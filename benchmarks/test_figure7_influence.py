@@ -1,0 +1,70 @@
+"""Figure 7: influence on other slices as one slice's data grows.
+
+The paper grows the (initially tiny) White_Male slice of UTKFace and plots
+the change in every other slice's loss against the change of the imbalance
+ratio.  Claims reproduced here:
+
+* the magnitude of influence grows with the imbalance-ratio change, and
+* the slice most similar to the grown one (White_Female, same race class)
+  is influenced *less negatively* than the average dissimilar slice —
+  acquiring White_Male data helps or barely hurts White_Female while it
+  hurts the other races.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from conftest import emit
+
+from repro.datasets.faces import faces_like_task
+from repro.experiments.influence import influence_experiment, influence_magnitude_by_step
+from repro.experiments.reporting import series_text
+from repro.ml.train import TrainingConfig
+
+
+def run_influence():
+    task = faces_like_task()
+    return influence_experiment(
+        task,
+        target_slice="White_Male",
+        base_size=250,
+        target_initial_size=50,
+        growth_steps=5,
+        growth_per_step=300,
+        validation_size=150,
+        trainer_config=TrainingConfig(epochs=25, batch_size=64, learning_rate=0.03),
+        n_repeats=2,
+        random_state=0,
+    )
+
+
+def test_figure7_influence_vs_imbalance_change(run_once):
+    points = run_once(run_influence)
+
+    series = {}
+    for point in points:
+        series.setdefault(point.slice_name, []).append(
+            (point.imbalance_change, point.influence)
+        )
+    emit(
+        "Figure 7 — influence of growing White_Male on the other slices",
+        series_text(series, x_label="imbalance ratio change", y_label="influence (loss change)"),
+    )
+
+    # Shape 1: influence magnitude grows with the imbalance-ratio change.
+    magnitudes = influence_magnitude_by_step(points)
+    first_change, first_magnitude = magnitudes[0]
+    last_change, last_magnitude = magnitudes[-1]
+    assert last_change > first_change
+    assert last_magnitude > first_magnitude
+
+    # Shape 2: the similar slice (White_Female) is influenced less negatively
+    # than the dissimilar slices at the largest imbalance change.
+    final_change = max(p.imbalance_change for p in points)
+    final_points = {p.slice_name: p.influence for p in points if p.imbalance_change == final_change}
+    dissimilar = [v for name, v in final_points.items() if not name.startswith("White")]
+    assert final_points["White_Female"] < np.mean(dissimilar)
+    # And the dissimilar slices are, on average, hurt (positive loss change).
+    assert np.mean(dissimilar) > 0

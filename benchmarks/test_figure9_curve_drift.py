@@ -1,0 +1,77 @@
+"""Figure 9: learning curves fitted on small slices deviate from the truth.
+
+The paper grows one Fashion-MNIST slice and refits its learning curve at each
+size: curves fitted when the slice is small deviate most from the curve
+fitted on the full data, which is why Slice Tuner re-estimates curves
+iteratively.  This benchmark refits the "Shirt" slice's curve at three slice
+sizes and asserts that the predicted loss at a large reference size gets
+closer to the large-data curve's prediction as the fitting size grows.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from conftest import SPEED, emit
+
+from repro.curves.estimator import CurveEstimationConfig, LearningCurveEstimator
+from repro.datasets.fashion import fashion_like_task
+from repro.experiments.config import fast_training_config
+from repro.utils.tables import format_table
+
+TARGET_SLICE = "Shirt"
+FIT_SIZES = (80, 300, 1000)
+REFERENCE_SIZE = 2000
+
+
+def fit_curves_at_sizes():
+    task = fashion_like_task()
+    fitted = {}
+    for size in FIT_SIZES:
+        sizes = {name: 300 for name in task.slice_names}
+        sizes[TARGET_SLICE] = size
+        sliced = task.initial_sliced_dataset(
+            sizes, validation_size=SPEED["validation_size"], random_state=0
+        )
+        estimator = LearningCurveEstimator(
+            trainer_config=fast_training_config(epochs=SPEED["epochs"]),
+            config=CurveEstimationConfig(n_points=6, n_repeats=2, min_fraction=0.15),
+            random_state=1,
+        )
+        fitted[size] = estimator.estimate(sliced)[TARGET_SLICE]
+    return fitted
+
+
+def test_figure9_small_slice_curves_deviate(run_once):
+    fitted = run_once(fit_curves_at_sizes)
+
+    reference_curve = fitted[max(FIT_SIZES)]
+    reference_prediction = reference_curve.predict(REFERENCE_SIZE)
+    rows = [
+        [
+            size,
+            curve.describe(),
+            f"{curve.predict(REFERENCE_SIZE):.3f}",
+            f"{abs(curve.predict(REFERENCE_SIZE) - reference_prediction):.3f}",
+        ]
+        for size, curve in fitted.items()
+    ]
+    emit(
+        f"Figure 9 — {TARGET_SLICE} curve refitted as the slice grows "
+        f"(prediction at {REFERENCE_SIZE} examples)",
+        format_table(
+            headers=["slice size at fit", "fitted curve", f"predicted loss @{REFERENCE_SIZE}", "deviation from largest fit"],
+            rows=rows,
+        ),
+    )
+
+    deviations = {
+        size: abs(curve.predict(REFERENCE_SIZE) - reference_prediction)
+        for size, curve in fitted.items()
+    }
+    # The curve fitted on the smallest slice deviates the most from the curve
+    # fitted with the most data — the paper's justification for iterative
+    # curve updates.
+    assert deviations[FIT_SIZES[0]] >= deviations[FIT_SIZES[1]] - 0.02
+    assert deviations[FIT_SIZES[0]] > deviations[FIT_SIZES[-1]]

@@ -1,0 +1,65 @@
+"""Table 4: the effect of the loss/fairness weight lambda.
+
+The paper varies lambda in {0, 0.1, 1, 10} for the Moderate method: larger
+lambda lowers Avg./Max. EER at the price of a (slightly) higher loss.  The
+shapes asserted here on two datasets:
+
+* Avg. EER at the largest lambda is lower than at lambda = 0, and
+* loss at the largest lambda is at least as high as at lambda = 0 (the
+  trade-off direction).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import emit, experiment_config
+
+from repro.experiments.runner import compare_methods
+from repro.utils.tables import format_table
+
+LAMBDAS = (0.0, 0.1, 1.0, 10.0)
+DATASETS = ("fashion_like", "mixed_like")
+
+
+def run_lambda_sweep():
+    results = {}
+    for dataset in DATASETS:
+        per_lambda = {}
+        for lam in LAMBDAS:
+            config = experiment_config(
+                dataset, methods=("moderate",), lam=lam, seed=31, trials=2
+            )
+            per_lambda[lam] = compare_methods(config, include_original=False)["moderate"]
+        results[dataset] = per_lambda
+    return results
+
+
+def test_table4_lambda_tradeoff(run_once):
+    results = run_once(run_lambda_sweep)
+
+    for dataset, per_lambda in results.items():
+        rows = [
+            [
+                lam,
+                f"{agg.loss_mean:.3f}",
+                f"{agg.avg_eer_mean:.3f} / {agg.max_eer_mean:.3f}",
+            ]
+            for lam, agg in per_lambda.items()
+        ]
+        emit(
+            f"Table 4 — Moderate with varying lambda on {dataset}",
+            format_table(headers=["lambda", "Loss", "Avg./Max. EER"], rows=rows),
+        )
+
+    for dataset, per_lambda in results.items():
+        # Fairness improves as lambda grows.
+        assert (
+            per_lambda[LAMBDAS[-1]].avg_eer_mean
+            < per_lambda[0.0].avg_eer_mean + 0.01
+        ), f"lambda had no fairness effect on {dataset}"
+        # The loss pays for it (or at least does not improve).
+        assert (
+            per_lambda[LAMBDAS[-1]].loss_mean
+            >= per_lambda[0.0].loss_mean - 0.02
+        ), f"loss unexpectedly improved with max lambda on {dataset}"

@@ -1,0 +1,54 @@
+"""Table 5: per-slice allocations as lambda varies (Fashion-MNIST-like).
+
+The paper's Table 5 shows that with larger lambda the Moderate method shifts
+its acquisitions towards the highest-loss slices (slices #2/#4/#6 of
+Fashion-MNIST; Pullover/Coat/Shirt here) and away from the easy slices.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from conftest import emit, experiment_config
+
+from repro.datasets.fashion import FASHION_CLASSES
+from repro.experiments.reporting import allocations_table
+from repro.experiments.runner import compare_methods
+
+HARD_SLICES = ("Pullover", "Coat", "Shirt")
+LAMBDAS = (0.0, 10.0)
+
+
+def run_allocation_sweep():
+    allocations = {}
+    for lam in LAMBDAS:
+        config = experiment_config(
+            "fashion_like", methods=("moderate",), lam=lam, seed=47, trials=2
+        )
+        allocations[lam] = compare_methods(config, include_original=False)["moderate"]
+    return allocations
+
+
+def test_table5_lambda_allocations(run_once):
+    allocations = run_once(run_allocation_sweep)
+
+    emit(
+        "Table 5 — Moderate allocations per slice for lambda in {0, 10}",
+        allocations_table(
+            {f"lambda={lam}": agg for lam, agg in allocations.items()},
+            slice_names=list(FASHION_CLASSES),
+        ),
+    )
+
+    shares = {}
+    for lam, aggregate in allocations.items():
+        total = sum(aggregate.acquired_mean.values())
+        hard = sum(aggregate.acquired_mean[name] for name in HARD_SLICES)
+        shares[lam] = hard / max(total, 1.0)
+
+    # With a strong fairness emphasis the hard (high-loss) slices receive a
+    # larger share of the budget than with lambda = 0.
+    assert shares[10.0] > shares[0.0]
+    # And in absolute terms they dominate the lambda=10 allocation.
+    assert shares[10.0] > 0.45

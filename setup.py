@@ -1,0 +1,11 @@
+"""Setuptools entry point.
+
+The pyproject.toml carries all metadata; this file exists so the package can
+be installed editable (``pip install -e . --no-build-isolation``) on
+environments whose setuptools predates PEP 660 wheel-based editable installs
+(no ``wheel`` package available offline).
+"""
+
+from setuptools import setup
+
+setup()

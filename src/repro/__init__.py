@@ -1,0 +1,143 @@
+"""Slice Tuner: selective data acquisition for accurate and fair ML models.
+
+A from-scratch reproduction of Tae & Whang, "Slice Tuner: A Selective Data
+Acquisition Framework for Accurate and Fair Machine Learning Models"
+(SIGMOD 2021), including every substrate the paper depends on: a NumPy
+machine-learning stack, synthetic stand-ins for the paper's four datasets, an
+acquisition/crowdsourcing simulator, learning-curve estimation, and the
+selective data acquisition optimization itself.
+
+Quickstart::
+
+    from repro import (
+        SliceTuner, fashion_like_task, GeneratorDataSource,
+    )
+
+    task = fashion_like_task()
+    sliced = task.initial_sliced_dataset(initial_sizes=200, random_state=0)
+    source = GeneratorDataSource(task, random_state=1)
+
+    tuner = SliceTuner(sliced, source, random_state=2)
+    result = tuner.run(budget=2000, method="moderate", lam=1.0)
+    print(result.acquisitions_table())
+    print(result.final_report.to_text())
+
+See ``examples/`` for runnable scripts and ``benchmarks/`` for the harness
+that regenerates every table and figure of the paper's evaluation.
+"""
+
+from repro.acquisition import (
+    BudgetLedger,
+    CrowdsourcingSimulator,
+    EscalatingCost,
+    GeneratorDataSource,
+    PoolDataSource,
+    TableCost,
+    UnitCost,
+    WorkerPool,
+)
+from repro.core import (
+    AcquisitionPlan,
+    IterativeAlgorithm,
+    OneShotAlgorithm,
+    SelectiveAcquisitionProblem,
+    SliceTuner,
+    SliceTunerConfig,
+    TuningResult,
+    get_change_ratio,
+    imbalance_ratio,
+    optimize_allocation,
+    proportional_allocation,
+    uniform_allocation,
+    water_filling_allocation,
+)
+from repro.curves import (
+    CurveEstimationConfig,
+    FittedCurve,
+    LearningCurveEstimator,
+    PowerLawCurve,
+    PowerLawWithFloor,
+    fit_power_law,
+)
+from repro.datasets import (
+    SliceBlueprint,
+    SyntheticTask,
+    adult_like_task,
+    faces_like_task,
+    fashion_like_task,
+    mixed_like_task,
+)
+from repro.fairness import (
+    FairnessReport,
+    average_equalized_error_rates,
+    evaluate_fairness,
+    max_equalized_error_rates,
+    unfairness,
+)
+from repro.ml import (
+    Dataset,
+    MLPClassifier,
+    SoftmaxRegression,
+    Trainer,
+    TrainingConfig,
+)
+from repro.slices import Slice, SlicedDataset, SliceSpec
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    # core
+    "SliceTuner",
+    "SliceTunerConfig",
+    "TuningResult",
+    "AcquisitionPlan",
+    "OneShotAlgorithm",
+    "IterativeAlgorithm",
+    "SelectiveAcquisitionProblem",
+    "optimize_allocation",
+    "uniform_allocation",
+    "water_filling_allocation",
+    "proportional_allocation",
+    "imbalance_ratio",
+    "get_change_ratio",
+    # curves
+    "PowerLawCurve",
+    "PowerLawWithFloor",
+    "FittedCurve",
+    "fit_power_law",
+    "LearningCurveEstimator",
+    "CurveEstimationConfig",
+    # slices
+    "Slice",
+    "SliceSpec",
+    "SlicedDataset",
+    # ml
+    "Dataset",
+    "SoftmaxRegression",
+    "MLPClassifier",
+    "Trainer",
+    "TrainingConfig",
+    # fairness
+    "FairnessReport",
+    "evaluate_fairness",
+    "unfairness",
+    "average_equalized_error_rates",
+    "max_equalized_error_rates",
+    # datasets
+    "SyntheticTask",
+    "SliceBlueprint",
+    "fashion_like_task",
+    "mixed_like_task",
+    "faces_like_task",
+    "adult_like_task",
+    # acquisition
+    "GeneratorDataSource",
+    "PoolDataSource",
+    "UnitCost",
+    "TableCost",
+    "EscalatingCost",
+    "BudgetLedger",
+    "WorkerPool",
+    "CrowdsourcingSimulator",
+]

@@ -1,0 +1,53 @@
+"""Data acquisition substrate.
+
+The paper abstracts over how new data is obtained (dataset search,
+crowdsourcing, simulators) behind a per-slice cost function.  This package
+provides the same abstraction:
+
+* :class:`~repro.acquisition.source.DataSource` — interface with
+  ``acquire(slice_name, count)``.
+* :class:`~repro.acquisition.source.GeneratorDataSource` — unlimited
+  simulator-backed source (wraps a :class:`repro.datasets.SyntheticTask`).
+* :class:`~repro.acquisition.source.PoolDataSource` — finite reserve pools,
+  modelling a fixed unlabeled corpus that can run dry.
+* :mod:`~repro.acquisition.cost` — cost models (unit, per-slice table,
+  escalating).
+* :class:`~repro.acquisition.budget.BudgetLedger` — budget accounting.
+* :class:`~repro.acquisition.crowdsourcing.CrowdsourcingSimulator` — the
+  Amazon-Mechanical-Turk-style source with task durations, worker mistakes,
+  duplicates, and a post-processing filter (Section 6.1).
+"""
+
+from repro.acquisition.budget import BudgetLedger
+from repro.acquisition.cost import (
+    CostModel,
+    EscalatingCost,
+    TableCost,
+    UnitCost,
+    cost_model_from_slices,
+)
+from repro.acquisition.crowdsourcing import (
+    AcquisitionReport,
+    CrowdsourcingSimulator,
+    WorkerPool,
+)
+from repro.acquisition.source import (
+    DataSource,
+    GeneratorDataSource,
+    PoolDataSource,
+)
+
+__all__ = [
+    "DataSource",
+    "GeneratorDataSource",
+    "PoolDataSource",
+    "CostModel",
+    "UnitCost",
+    "TableCost",
+    "EscalatingCost",
+    "cost_model_from_slices",
+    "BudgetLedger",
+    "WorkerPool",
+    "CrowdsourcingSimulator",
+    "AcquisitionReport",
+]

@@ -1,0 +1,107 @@
+"""Budget accounting for data acquisition.
+
+The selective data acquisition problem (Definition 2 of the paper) fixes a
+total budget ``B``; every acquisition batch spends ``C(s_i) * d_i`` of it.
+:class:`BudgetLedger` tracks that spending, refuses to overspend, and records
+a journal of charges for later inspection/reporting.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.utils.exceptions import BudgetError
+from repro.utils.validation import check_non_negative
+
+
+@dataclass(frozen=True)
+class BudgetCharge:
+    """One recorded charge against the budget."""
+
+    slice_name: str
+    count: int
+    unit_cost: float
+    total: float
+
+
+@dataclass
+class BudgetLedger:
+    """Tracks remaining budget and the history of charges.
+
+    Parameters
+    ----------
+    total:
+        The initial budget ``B``.  Must be non-negative.
+    tolerance:
+        Small numerical slack allowed when charging (rounding the optimizer's
+        continuous allocation to integers can overshoot by a fraction of one
+        example's cost).
+    """
+
+    total: float
+    tolerance: float = 1e-6
+    spent: float = field(default=0.0, init=False)
+    charges: list[BudgetCharge] = field(default_factory=list, init=False)
+
+    def __post_init__(self) -> None:
+        self.total = check_non_negative(self.total, "total budget")
+        self.tolerance = check_non_negative(self.tolerance, "tolerance")
+
+    @property
+    def remaining(self) -> float:
+        """Budget still available (never negative)."""
+        return max(self.total - self.spent, 0.0)
+
+    @property
+    def exhausted(self) -> bool:
+        """True once less than the tolerance remains."""
+        return self.remaining <= self.tolerance
+
+    def can_afford(self, unit_cost: float, count: int) -> bool:
+        """Whether ``count`` examples at ``unit_cost`` fit in the remaining budget."""
+        return unit_cost * count <= self.remaining + self.tolerance
+
+    def affordable_count(self, unit_cost: float) -> int:
+        """Largest number of examples at ``unit_cost`` the remaining budget buys."""
+        unit_cost = check_non_negative(unit_cost, "unit_cost")
+        if unit_cost == 0:
+            raise BudgetError("unit_cost must be positive to bound a count")
+        return int((self.remaining + self.tolerance) // unit_cost)
+
+    def charge(self, slice_name: str, count: int, unit_cost: float) -> float:
+        """Record the acquisition of ``count`` examples for ``slice_name``.
+
+        Returns the amount charged.  Raises :class:`BudgetError` if the charge
+        would exceed the remaining budget beyond the tolerance.
+        """
+        count = int(count)
+        if count < 0:
+            raise BudgetError(f"cannot charge a negative count ({count})")
+        unit_cost = check_non_negative(unit_cost, "unit_cost")
+        amount = unit_cost * count
+        if amount > self.remaining + self.tolerance:
+            raise BudgetError(
+                f"charge of {amount:.4f} for slice {slice_name!r} exceeds the "
+                f"remaining budget {self.remaining:.4f}"
+            )
+        self.spent += amount
+        self.charges.append(
+            BudgetCharge(
+                slice_name=slice_name, count=count, unit_cost=unit_cost, total=amount
+            )
+        )
+        return amount
+
+    def spent_by_slice(self) -> dict[str, float]:
+        """Total amount charged per slice so far."""
+        totals: dict[str, float] = {}
+        for charge in self.charges:
+            totals[charge.slice_name] = totals.get(charge.slice_name, 0.0) + charge.total
+        return totals
+
+    def acquired_by_slice(self) -> dict[str, int]:
+        """Total examples charged per slice so far."""
+        counts: dict[str, int] = {}
+        for charge in self.charges:
+            counts[charge.slice_name] = counts.get(charge.slice_name, 0) + charge.count
+        return counts

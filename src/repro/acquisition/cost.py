@@ -1,0 +1,105 @@
+"""Acquisition cost models.
+
+The paper's cost function ``C(s)`` returns the cost of acquiring one example
+of slice ``s`` and is assumed constant within a batch.  Three models are
+provided:
+
+* :class:`UnitCost` — every example costs 1 (the simulated-acquisition
+  datasets).
+* :class:`TableCost` — a fixed per-slice cost table (UTKFace, Table 1).
+* :class:`EscalatingCost` — cost grows as more data is acquired for a slice,
+  modelling the paper's remark that "as more examples are acquired, C(s) may
+  increase possibly because data becomes scarcer"; within one batch the cost
+  is still constant.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping, Protocol, runtime_checkable
+
+from repro.slices.slice import SliceSpec
+from repro.utils.exceptions import ConfigurationError
+from repro.utils.validation import check_non_negative, check_positive
+
+
+@runtime_checkable
+class CostModel(Protocol):
+    """Per-slice, per-example acquisition cost."""
+
+    def cost(self, slice_name: str) -> float:
+        """Cost of one example of ``slice_name`` at the current batch."""
+        ...
+
+    def record_acquisition(self, slice_name: str, count: int) -> None:
+        """Inform the model that ``count`` examples were acquired."""
+        ...
+
+
+class UnitCost:
+    """Every example of every slice costs the same fixed amount (default 1)."""
+
+    def __init__(self, per_example: float = 1.0) -> None:
+        self.per_example = check_positive(per_example, "per_example")
+
+    def cost(self, slice_name: str) -> float:
+        return self.per_example
+
+    def record_acquisition(self, slice_name: str, count: int) -> None:
+        """Unit cost never changes."""
+
+
+class TableCost:
+    """Fixed per-slice cost table, e.g. the UTKFace costs of Table 1."""
+
+    def __init__(self, costs: Mapping[str, float], default: float | None = None) -> None:
+        if not costs and default is None:
+            raise ConfigurationError("TableCost needs at least one entry or a default")
+        self._costs = {name: check_positive(c, f"cost[{name}]") for name, c in costs.items()}
+        self._default = None if default is None else check_positive(default, "default")
+
+    def cost(self, slice_name: str) -> float:
+        if slice_name in self._costs:
+            return self._costs[slice_name]
+        if self._default is not None:
+            return self._default
+        raise ConfigurationError(f"no cost configured for slice {slice_name!r}")
+
+    def record_acquisition(self, slice_name: str, count: int) -> None:
+        """Table costs are constant."""
+
+
+class EscalatingCost:
+    """Cost that increases as a slice's data becomes scarcer.
+
+    The cost of slice ``s`` is ``base(s) * (1 + escalation) ** batches(s)``
+    where ``batches(s)`` counts how many acquisition batches have already been
+    recorded for ``s``.  Within one batch the cost is constant, as the paper
+    assumes.
+    """
+
+    def __init__(
+        self,
+        base_costs: Mapping[str, float],
+        escalation: float = 0.1,
+        default: float = 1.0,
+    ) -> None:
+        self._base = TableCost(base_costs, default=default)
+        self.escalation = check_non_negative(escalation, "escalation")
+        self._batches: dict[str, int] = {}
+
+    def cost(self, slice_name: str) -> float:
+        batches = self._batches.get(slice_name, 0)
+        return self._base.cost(slice_name) * (1.0 + self.escalation) ** batches
+
+    def record_acquisition(self, slice_name: str, count: int) -> None:
+        if count > 0:
+            self._batches[slice_name] = self._batches.get(slice_name, 0) + 1
+
+    def batches_recorded(self, slice_name: str) -> int:
+        """How many acquisition batches have been recorded for ``slice_name``."""
+        return self._batches.get(slice_name, 0)
+
+
+def cost_model_from_slices(specs: Iterable[SliceSpec]) -> TableCost:
+    """Build a :class:`TableCost` from the costs stored on slice specs."""
+    return TableCost({spec.name: spec.cost for spec in specs})

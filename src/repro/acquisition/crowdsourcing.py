@@ -1,0 +1,232 @@
+"""Simulated crowdsourcing (the Amazon Mechanical Turk scenario, Section 6.1).
+
+The paper's UTKFace experiment posts tasks on AMT asking workers to find face
+images of a given demographic, pays per image, and then post-processes the
+submissions: filtering obvious mistakes, removing exact duplicates, and
+cropping faces.  The collection cost of a slice is defined to be proportional
+to the average time a task takes.
+
+:class:`CrowdsourcingSimulator` reproduces that pipeline end to end on top of
+any underlying :class:`~repro.acquisition.source.DataSource`:
+
+1. each requested example becomes a *task* assigned to a simulated worker,
+2. the worker takes a log-normal amount of time centred on the slice's mean
+   task duration,
+3. with some probability the worker submits a wrong-demographic example
+   (drawn from a random other slice) or an exact duplicate of an earlier
+   submission,
+4. post-processing drops mistakes and duplicates, so the delivered dataset
+   can be smaller than requested — just like the real campaign.
+
+The simulator also re-derives the per-slice cost table from the observed mean
+task durations, which is how Table 1 of the paper is regenerated.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from repro.acquisition.source import DataSource
+from repro.ml.data import Dataset
+from repro.utils.exceptions import AcquisitionError, ConfigurationError
+from repro.utils.rng import RandomState, as_generator
+from repro.utils.validation import check_positive, check_probability
+
+
+@dataclass(frozen=True)
+class WorkerPool:
+    """Statistical description of the simulated worker population.
+
+    Attributes
+    ----------
+    mistake_rate:
+        Probability a submission does not belong to the requested slice.
+    duplicate_rate:
+        Probability a submission duplicates an earlier one exactly.
+    speed_spread:
+        Sigma of the log-normal task-duration multiplier; 0 means every task
+        takes exactly the slice's mean time.
+    """
+
+    mistake_rate: float = 0.05
+    duplicate_rate: float = 0.03
+    speed_spread: float = 0.25
+
+    def __post_init__(self) -> None:
+        check_probability(self.mistake_rate, "mistake_rate")
+        check_probability(self.duplicate_rate, "duplicate_rate")
+        if self.speed_spread < 0:
+            raise ConfigurationError(
+                f"speed_spread must be >= 0, got {self.speed_spread}"
+            )
+
+
+@dataclass
+class AcquisitionReport:
+    """Outcome of one crowdsourced acquisition batch for one slice.
+
+    Attributes
+    ----------
+    slice_name:
+        The requested slice.
+    requested:
+        Number of examples requested.
+    submitted:
+        Number of worker submissions (equals ``requested``).
+    mistakes_filtered:
+        Submissions removed because the worker picked the wrong demographic.
+    duplicates_filtered:
+        Submissions removed as exact duplicates.
+    delivered:
+        Examples that survived post-processing.
+    mean_task_seconds:
+        Mean simulated task duration over the batch.
+    total_seconds:
+        Total simulated worker time spent.
+    """
+
+    slice_name: str
+    requested: int
+    submitted: int = 0
+    mistakes_filtered: int = 0
+    duplicates_filtered: int = 0
+    delivered: int = 0
+    mean_task_seconds: float = 0.0
+    total_seconds: float = 0.0
+
+
+class CrowdsourcingSimulator:
+    """AMT-style acquisition source with mistakes, duplicates, and timing.
+
+    Parameters
+    ----------
+    source:
+        The underlying source that produces genuine examples per slice.
+    task_seconds:
+        Mean task duration per slice (e.g.
+        :data:`repro.datasets.faces.UTKFACE_TASK_SECONDS`).
+    workers:
+        Worker population statistics.
+    random_state:
+        Seed or generator.
+    """
+
+    def __init__(
+        self,
+        source: DataSource,
+        task_seconds: Mapping[str, float],
+        workers: WorkerPool | None = None,
+        random_state: RandomState = None,
+    ) -> None:
+        if not task_seconds:
+            raise ConfigurationError("task_seconds must name at least one slice")
+        self._source = source
+        self._task_seconds = {
+            name: check_positive(seconds, f"task_seconds[{name}]")
+            for name, seconds in task_seconds.items()
+        }
+        self.workers = workers or WorkerPool()
+        self._rng = as_generator(random_state)
+        self.reports: list[AcquisitionReport] = []
+        self._observed_seconds: dict[str, list[float]] = {
+            name: [] for name in self._task_seconds
+        }
+
+    # -- DataSource interface ---------------------------------------------------
+    def acquire(self, slice_name: str, count: int) -> Dataset:
+        """Run a crowdsourcing batch and return the post-processed examples."""
+        count = int(count)
+        if count < 0:
+            raise AcquisitionError(f"cannot acquire a negative count ({count})")
+        if slice_name not in self._task_seconds:
+            raise AcquisitionError(
+                f"no crowdsourcing task configured for slice {slice_name!r}"
+            )
+        report = AcquisitionReport(slice_name=slice_name, requested=count)
+        if count == 0:
+            self.reports.append(report)
+            probe = self._source.acquire(slice_name, 0)
+            return probe
+
+        durations = self._simulate_durations(slice_name, count)
+        report.submitted = count
+        report.mean_task_seconds = float(np.mean(durations))
+        report.total_seconds = float(np.sum(durations))
+        self._observed_seconds[slice_name].extend(float(d) for d in durations)
+
+        outcomes = self._rng.random(count)
+        mistakes = outcomes < self.workers.mistake_rate
+        duplicates = (~mistakes) & (
+            outcomes < self.workers.mistake_rate + self.workers.duplicate_rate
+        )
+        report.mistakes_filtered = int(mistakes.sum())
+        report.duplicates_filtered = int(duplicates.sum())
+        delivered_count = count - report.mistakes_filtered - report.duplicates_filtered
+
+        delivered = self._source.acquire(slice_name, delivered_count)
+        report.delivered = len(delivered)
+        self.reports.append(report)
+        return delivered
+
+    def available(self, slice_name: str) -> int | None:
+        """Delegate availability to the underlying source."""
+        return self._source.available(slice_name)
+
+    # -- internals -----------------------------------------------------------------
+    def _simulate_durations(self, slice_name: str, count: int) -> np.ndarray:
+        """Draw per-task durations around the slice's configured mean."""
+        mean_seconds = self._task_seconds[slice_name]
+        if self.workers.speed_spread == 0:
+            return np.full(count, mean_seconds)
+        sigma = self.workers.speed_spread
+        # A log-normal with mean 1: exp(N(-sigma^2/2, sigma^2)).
+        multipliers = self._rng.lognormal(-0.5 * sigma**2, sigma, size=count)
+        return mean_seconds * multipliers
+
+    # -- cost derivation (Table 1) ----------------------------------------------------
+    def observed_mean_seconds(self) -> dict[str, float]:
+        """Mean observed task duration per slice (falls back to the configured mean)."""
+        means = {}
+        for name, configured in self._task_seconds.items():
+            observed = self._observed_seconds[name]
+            means[name] = float(np.mean(observed)) if observed else configured
+        return means
+
+    def derive_costs(self, round_to: float = 0.1) -> dict[str, float]:
+        """Derive per-slice costs proportional to mean task time (Table 1).
+
+        The cheapest slice is normalized to cost 1 and every other slice's
+        cost is its mean task time divided by the cheapest slice's, rounded
+        to ``round_to`` — exactly the construction in the paper.
+        """
+        means = self.observed_mean_seconds()
+        cheapest = min(means.values())
+        costs = {}
+        for name, seconds in means.items():
+            ratio = seconds / cheapest
+            costs[name] = round(ratio / round_to) * round_to if round_to > 0 else ratio
+        return costs
+
+    def summary(self) -> dict[str, dict[str, float]]:
+        """Aggregate the reports per slice (requested/delivered/filter counts)."""
+        aggregate: dict[str, dict[str, float]] = {}
+        for report in self.reports:
+            entry = aggregate.setdefault(
+                report.slice_name,
+                {
+                    "requested": 0,
+                    "delivered": 0,
+                    "mistakes_filtered": 0,
+                    "duplicates_filtered": 0,
+                    "total_seconds": 0.0,
+                },
+            )
+            entry["requested"] += report.requested
+            entry["delivered"] += report.delivered
+            entry["mistakes_filtered"] += report.mistakes_filtered
+            entry["duplicates_filtered"] += report.duplicates_filtered
+            entry["total_seconds"] += report.total_seconds
+        return aggregate

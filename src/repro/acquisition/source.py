@@ -1,0 +1,131 @@
+"""Data sources: where acquired examples come from.
+
+A :class:`DataSource` answers ``acquire(slice_name, count)`` with a
+:class:`~repro.ml.data.Dataset` of (up to) ``count`` fresh examples for that
+slice.  Two implementations cover the paper's settings:
+
+* :class:`GeneratorDataSource` — unlimited, backed by a synthetic task's
+  generative model; the analogue of a simulator or of the web at large.
+* :class:`PoolDataSource` — finite per-slice reserve pools; the analogue of a
+  fixed unlabeled corpus.  Useful to test Slice Tuner's behaviour when a
+  slice runs dry.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Protocol, runtime_checkable
+
+import numpy as np
+
+from repro.datasets.blueprints import SyntheticTask
+from repro.ml.data import Dataset
+from repro.utils.exceptions import AcquisitionError
+from repro.utils.rng import RandomState, as_generator
+
+
+@runtime_checkable
+class DataSource(Protocol):
+    """Anything that can deliver new examples for a named slice."""
+
+    def acquire(self, slice_name: str, count: int) -> Dataset:
+        """Return up to ``count`` fresh examples for ``slice_name``."""
+        ...
+
+    def available(self, slice_name: str) -> int | None:
+        """Remaining examples for ``slice_name`` (``None`` when unlimited)."""
+        ...
+
+
+class GeneratorDataSource:
+    """Unlimited source backed by a :class:`SyntheticTask`'s generative model.
+
+    Parameters
+    ----------
+    task:
+        The synthetic task whose ``generate`` method produces examples.
+    random_state:
+        Seed or generator for the draws.
+    """
+
+    def __init__(self, task: SyntheticTask, random_state: RandomState = None) -> None:
+        self._task = task
+        self._rng = as_generator(random_state)
+        self.total_delivered = 0
+
+    def acquire(self, slice_name: str, count: int) -> Dataset:
+        """Generate ``count`` fresh examples for ``slice_name``."""
+        count = int(count)
+        if count < 0:
+            raise AcquisitionError(f"cannot acquire a negative count ({count})")
+        dataset = self._task.generate(slice_name, count, random_state=self._rng)
+        self.total_delivered += len(dataset)
+        return dataset
+
+    def available(self, slice_name: str) -> None:
+        """Generators never run dry."""
+        self._task.blueprint(slice_name)  # validates the name
+        return None
+
+
+class PoolDataSource:
+    """Finite source drawing (without replacement) from per-slice pools.
+
+    Parameters
+    ----------
+    pools:
+        Mapping from slice name to the reserve dataset for that slice.
+    random_state:
+        Seed or generator controlling which pooled examples are handed out.
+    strict:
+        When True, asking for more examples than remain raises
+        :class:`~repro.utils.exceptions.AcquisitionError`; when False (the
+        default) the request is truncated to what is available, mirroring a
+        crowdsourcing campaign that simply comes back short.
+    """
+
+    def __init__(
+        self,
+        pools: Mapping[str, Dataset],
+        random_state: RandomState = None,
+        strict: bool = False,
+    ) -> None:
+        if not pools:
+            raise AcquisitionError("PoolDataSource needs at least one pool")
+        self._remaining: dict[str, Dataset] = dict(pools)
+        self._rng = as_generator(random_state)
+        self.strict = bool(strict)
+        self.total_delivered = 0
+
+    def acquire(self, slice_name: str, count: int) -> Dataset:
+        """Remove and return up to ``count`` examples from the slice's pool."""
+        count = int(count)
+        if count < 0:
+            raise AcquisitionError(f"cannot acquire a negative count ({count})")
+        pool = self._get_pool(slice_name)
+        if count > len(pool):
+            if self.strict:
+                raise AcquisitionError(
+                    f"slice {slice_name!r} has only {len(pool)} examples left "
+                    f"but {count} were requested"
+                )
+            count = len(pool)
+        if count == 0:
+            return Dataset.empty(pool.n_features)
+        order = self._rng.permutation(len(pool))
+        taken_idx, kept_idx = order[:count], order[count:]
+        taken = pool.subset(taken_idx)
+        self._remaining[slice_name] = pool.subset(np.sort(kept_idx))
+        self.total_delivered += len(taken)
+        return taken
+
+    def available(self, slice_name: str) -> int:
+        """Number of examples left in the slice's pool."""
+        return len(self._get_pool(slice_name))
+
+    def _get_pool(self, slice_name: str) -> Dataset:
+        try:
+            return self._remaining[slice_name]
+        except KeyError:
+            raise AcquisitionError(
+                f"no acquisition pool for slice {slice_name!r}"
+            ) from None

@@ -1,0 +1,166 @@
+"""Rotting-bandit style sequential data acquisition.
+
+Each slice is an arm.  Pulling an arm means acquiring a fixed-size batch for
+that slice, retraining the model, and observing the reward: the decrease of
+that slice's validation loss divided by the batch's cost.  Because rewards
+*rot* (diminishing returns of more data), the policy scores arms by the mean
+of their most recent rewards plus a UCB exploration bonus — a sliding-window
+variant of the rotting bandit algorithms referenced by the paper.
+
+This is deliberately model-free: it uses no learning curves and no fairness
+term, so comparing it against Slice Tuner isolates the value of the paper's
+optimization (see ``benchmarks/test_ablation_bandit.py``).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.acquisition.budget import BudgetLedger
+from repro.acquisition.cost import CostModel, TableCost
+from repro.acquisition.source import DataSource
+from repro.curves.estimator import ModelFactory, default_model_factory
+from repro.fairness.report import evaluate_fairness
+from repro.ml.metrics import log_loss
+from repro.ml.train import Trainer, TrainingConfig
+from repro.slices.sliced_dataset import SlicedDataset
+from repro.utils.rng import RandomState, as_generator
+from repro.utils.validation import check_positive_int
+
+
+@dataclass
+class BanditResult:
+    """Outcome of a rotting-bandit acquisition run."""
+
+    pulls: dict[str, int] = field(default_factory=dict)
+    total_acquired: dict[str, int] = field(default_factory=dict)
+    spent: float = 0.0
+    rewards: list[tuple[str, float]] = field(default_factory=list)
+    final_loss: float = float("nan")
+    final_avg_eer: float = float("nan")
+
+
+class RottingBanditAcquirer:
+    """Sliding-window UCB policy over slices.
+
+    Parameters
+    ----------
+    batch_size:
+        Examples acquired per pull.
+    window:
+        Number of most recent rewards per arm used for the mean estimate.
+    exploration:
+        UCB exploration coefficient.
+    model_factory / trainer_config:
+        Model used to measure rewards (retrained after every pull).
+    """
+
+    def __init__(
+        self,
+        batch_size: int = 50,
+        window: int = 3,
+        exploration: float = 0.3,
+        model_factory: ModelFactory | None = None,
+        trainer_config: TrainingConfig | None = None,
+        random_state: RandomState = None,
+    ) -> None:
+        self.batch_size = check_positive_int(batch_size, "batch_size")
+        self.window = check_positive_int(window, "window")
+        self.exploration = float(exploration)
+        self.model_factory = model_factory or default_model_factory
+        self.trainer_config = trainer_config or TrainingConfig()
+        self._rng = as_generator(random_state)
+
+    def run(
+        self,
+        sliced: SlicedDataset,
+        budget: float,
+        source: DataSource,
+        cost_model: CostModel | None = None,
+    ) -> BanditResult:
+        """Acquire data with the bandit policy until the budget runs out."""
+        cost_model = cost_model or TableCost(
+            {name: sliced[name].cost for name in sliced.names}
+        )
+        ledger = BudgetLedger(total=float(budget))
+        result = BanditResult(
+            pulls={name: 0 for name in sliced.names},
+            total_acquired={name: 0 for name in sliced.names},
+        )
+        recent_rewards: dict[str, deque[float]] = {
+            name: deque(maxlen=self.window) for name in sliced.names
+        }
+        slice_losses = self._measure_losses(sliced)
+        total_pulls = 0
+
+        while True:
+            affordable = [
+                name
+                for name in sliced.names
+                if ledger.affordable_count(cost_model.cost(name)) >= 1
+            ]
+            if not affordable:
+                break
+            name = self._select_arm(affordable, recent_rewards, total_pulls)
+            unit_cost = cost_model.cost(name)
+            count = min(self.batch_size, ledger.affordable_count(unit_cost))
+            delivered = source.acquire(name, count)
+            ledger.charge(name, count, unit_cost)
+            cost_model.record_acquisition(name, count)
+            sliced.add_examples(name, delivered)
+
+            new_losses = self._measure_losses(sliced)
+            reward = (slice_losses[name] - new_losses[name]) / max(
+                unit_cost * count, 1e-9
+            )
+            recent_rewards[name].append(reward)
+            result.rewards.append((name, float(reward)))
+            result.pulls[name] += 1
+            result.total_acquired[name] += len(delivered)
+            slice_losses = new_losses
+            total_pulls += 1
+
+        result.spent = ledger.spent
+        final_model = self._train(sliced)
+        report = evaluate_fairness(final_model, sliced)
+        result.final_loss = report.loss
+        result.final_avg_eer = report.avg_eer
+        return result
+
+    # -- internals ------------------------------------------------------------
+    def _select_arm(
+        self,
+        affordable: list[str],
+        recent_rewards: dict[str, deque[float]],
+        total_pulls: int,
+    ) -> str:
+        """Pick the affordable arm with the best windowed UCB score."""
+        best_name, best_score = affordable[0], -np.inf
+        for name in affordable:
+            rewards = recent_rewards[name]
+            if not rewards:
+                return name  # every arm is tried once before exploitation
+            mean = float(np.mean(rewards))
+            bonus = self.exploration * np.sqrt(
+                np.log(max(total_pulls, 2)) / len(rewards)
+            )
+            score = mean + bonus
+            if score > best_score:
+                best_name, best_score = name, score
+        return best_name
+
+    def _train(self, sliced: SlicedDataset):
+        model = self.model_factory(sliced.n_classes)
+        trainer = Trainer(config=self.trainer_config, random_state=self._rng)
+        trainer.fit(model, sliced.combined_train())
+        return model
+
+    def _measure_losses(self, sliced: SlicedDataset) -> dict[str, float]:
+        model = self._train(sliced)
+        return {
+            name: log_loss(model, dataset)
+            for name, dataset in sliced.validation_by_slice().items()
+        }

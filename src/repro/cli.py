@@ -1,0 +1,195 @@
+"""Command-line interface for the Slice Tuner reproduction.
+
+Three subcommands cover the common workflows without writing any Python:
+
+* ``curves`` — estimate and print the per-slice learning curves of a dataset.
+* ``plan`` — print the One-shot acquisition plan for a budget (no data is
+  acquired), the "concrete action items" of the paper.
+* ``compare`` — run several acquisition methods over independently seeded
+  trials and print the Table-2/6-style comparison.
+
+Examples::
+
+    python -m repro.cli curves --dataset fashion_like --initial-size 150
+    python -m repro.cli plan --dataset faces_like --budget 1000 --lam 1.0
+    python -m repro.cli compare --dataset mixed_like --budget 2000 \
+        --methods uniform water_filling moderate --trials 2
+"""
+
+from __future__ import annotations
+
+import argparse
+from typing import Sequence
+
+from repro.datasets.registry import available_tasks
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.reporting import allocations_table, methods_table
+from repro.experiments.runner import compare_methods, prepare_instance
+from repro.experiments.scenarios import list_scenarios
+from repro.core.tuner import SliceTuner, SliceTunerConfig
+from repro.utils.tables import format_table
+
+#: Methods accepted by the ``compare`` subcommand.
+KNOWN_METHODS = (
+    "uniform",
+    "water_filling",
+    "proportional",
+    "oneshot",
+    "conservative",
+    "moderate",
+    "aggressive",
+)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Build the top-level argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Slice Tuner: selective data acquisition (SIGMOD 2021 reproduction)",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    def add_common(sub: argparse.ArgumentParser) -> None:
+        sub.add_argument(
+            "--dataset",
+            default="fashion_like",
+            choices=available_tasks(),
+            help="synthetic dataset to use",
+        )
+        sub.add_argument(
+            "--scenario",
+            default="basic",
+            choices=list_scenarios(),
+            help="initial-size scenario",
+        )
+        sub.add_argument("--initial-size", type=int, default=150, help="base initial size per slice")
+        sub.add_argument("--validation-size", type=int, default=150, help="validation examples per slice")
+        sub.add_argument("--epochs", type=int, default=30, help="training epochs per model fit")
+        sub.add_argument("--curve-points", type=int, default=5, help="subset sizes measured per learning curve")
+        sub.add_argument("--seed", type=int, default=0, help="base random seed")
+
+    curves = subparsers.add_parser("curves", help="estimate per-slice learning curves")
+    add_common(curves)
+
+    plan = subparsers.add_parser("plan", help="print the One-shot acquisition plan for a budget")
+    add_common(plan)
+    plan.add_argument("--budget", type=float, default=1000.0, help="acquisition budget B")
+    plan.add_argument("--lam", type=float, default=1.0, help="loss/unfairness trade-off weight")
+
+    compare = subparsers.add_parser("compare", help="compare acquisition methods over trials")
+    add_common(compare)
+    compare.add_argument("--budget", type=float, default=1000.0, help="acquisition budget B")
+    compare.add_argument("--lam", type=float, default=1.0, help="loss/unfairness trade-off weight")
+    compare.add_argument(
+        "--methods",
+        nargs="+",
+        default=["uniform", "water_filling", "moderate"],
+        choices=KNOWN_METHODS,
+        help="methods to compare",
+    )
+    compare.add_argument("--trials", type=int, default=2, help="independently seeded repetitions")
+    compare.add_argument(
+        "--show-allocations",
+        action="store_true",
+        help="also print the mean per-slice acquisitions (Table 3 style)",
+    )
+    return parser
+
+
+def _experiment_config(args: argparse.Namespace, methods: tuple[str, ...], budget: float, lam: float, trials: int) -> ExperimentConfig:
+    return ExperimentConfig(
+        dataset=args.dataset,
+        scenario=args.scenario,
+        budget=budget,
+        methods=methods,
+        lam=lam,
+        trials=trials,
+        validation_size=args.validation_size,
+        curve_points=args.curve_points,
+        curve_repeats=1,
+        epochs=args.epochs,
+        seed=args.seed,
+        extra={"base_size": args.initial_size},
+    )
+
+
+def _build_tuner(args: argparse.Namespace, lam: float = 1.0) -> SliceTuner:
+    config = _experiment_config(args, methods=("moderate",), budget=1.0, lam=lam, trials=1)
+    sliced, source = prepare_instance(config, seed=args.seed)
+    return SliceTuner(
+        sliced,
+        source,
+        trainer_config=config.training_config(),
+        curve_config=config.curve_config(),
+        config=SliceTunerConfig(lam=lam),
+        random_state=args.seed + 1,
+    )
+
+
+def run_curves(args: argparse.Namespace) -> str:
+    """The ``curves`` subcommand: fit and render per-slice learning curves."""
+    tuner = _build_tuner(args)
+    curves = tuner.estimate_curves()
+    rows = [
+        [name, f"{curve.b:.3f}", f"{curve.a:.3f}", f"{curve.reliability:.2f}", curve.describe()]
+        for name, curve in curves.items()
+    ]
+    return format_table(
+        headers=["slice", "b", "a", "reliability", "curve"],
+        rows=rows,
+        title=f"Learning curves for {args.dataset} ({args.scenario} scenario)",
+    )
+
+
+def run_plan(args: argparse.Namespace) -> str:
+    """The ``plan`` subcommand: print the One-shot plan without acquiring."""
+    tuner = _build_tuner(args, lam=args.lam)
+    plan = tuner.plan(budget=args.budget, lam=args.lam)
+    return plan.to_text()
+
+
+def run_compare(args: argparse.Namespace) -> str:
+    """The ``compare`` subcommand: Table-2/6-style method comparison."""
+    config = _experiment_config(
+        args,
+        methods=tuple(args.methods),
+        budget=args.budget,
+        lam=args.lam,
+        trials=args.trials,
+    )
+    aggregates = compare_methods(config, include_original=True)
+    output = methods_table(
+        aggregates,
+        title=(
+            f"{args.dataset} / {args.scenario} — budget {args.budget:.0f}, "
+            f"lambda {args.lam}, {args.trials} trial(s)"
+        ),
+        method_order=["original", *args.methods],
+    )
+    if args.show_allocations:
+        sliced, _ = prepare_instance(config, seed=args.seed)
+        output += "\n\n" + allocations_table(
+            {m: aggregates[m] for m in args.methods},
+            slice_names=sliced.names,
+            title="Mean examples acquired per slice",
+        )
+    return output
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if args.command == "curves":
+        print(run_curves(args))
+    elif args.command == "plan":
+        print(run_plan(args))
+    elif args.command == "compare":
+        print(run_compare(args))
+    else:  # pragma: no cover - argparse enforces the choices
+        parser.error(f"unknown command {args.command!r}")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

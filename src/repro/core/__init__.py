@@ -1,0 +1,68 @@
+"""Slice Tuner core: selective data acquisition (Sections 3 and 5 of the paper).
+
+The pieces, bottom-up:
+
+* :mod:`~repro.core.problem` — the selective data acquisition problem
+  (Definition 2): slices, sizes, costs, fitted learning curves, budget, and
+  the loss/unfairness trade-off weight ``lambda``.
+* :mod:`~repro.core.optimizer` — the convex optimization that decides how
+  many examples to acquire per slice (Section 5.1), plus integer rounding.
+* :mod:`~repro.core.baselines` — Uniform, Water filling, and Proportional
+  allocation baselines (Section 2.2).
+* :mod:`~repro.core.imbalance` — imbalance ratio and the ``GetChangeRatio``
+  solver used by Algorithm 1.
+* :mod:`~repro.core.strategies` — Conservative / Moderate / Aggressive
+  schedules for the imbalance-ratio change limit ``T``.
+* :mod:`~repro.core.oneshot` / :mod:`~repro.core.iterative` — the One-shot
+  algorithm and Algorithm 1 (iterative updates).
+* :mod:`~repro.core.tuner` — :class:`SliceTuner`, the end-to-end orchestrator
+  of Figure 4: estimate curves, optimize, acquire, repeat, evaluate.
+"""
+
+from repro.core.baselines import (
+    proportional_allocation,
+    uniform_allocation,
+    water_filling_allocation,
+)
+from repro.core.imbalance import get_change_ratio, imbalance_ratio
+from repro.core.iterative import IterativeAlgorithm
+from repro.core.oneshot import OneShotAlgorithm
+from repro.core.optimizer import (
+    OptimizationResult,
+    optimize_allocation,
+    round_allocation,
+)
+from repro.core.plan import AcquisitionPlan, IterationRecord, TuningResult
+from repro.core.problem import SelectiveAcquisitionProblem
+from repro.core.strategies import (
+    AggressiveStrategy,
+    ConservativeStrategy,
+    LimitStrategy,
+    ModerateStrategy,
+    make_strategy,
+)
+from repro.core.tuner import SliceTuner, SliceTunerConfig
+
+__all__ = [
+    "SelectiveAcquisitionProblem",
+    "OptimizationResult",
+    "optimize_allocation",
+    "round_allocation",
+    "uniform_allocation",
+    "water_filling_allocation",
+    "proportional_allocation",
+    "imbalance_ratio",
+    "get_change_ratio",
+    "LimitStrategy",
+    "ConservativeStrategy",
+    "ModerateStrategy",
+    "AggressiveStrategy",
+    "make_strategy",
+    "OneShotAlgorithm",
+    "IterativeAlgorithm",
+    "AcquisitionPlan",
+    "IterationRecord",
+    "TuningResult",
+    "SliceTuner",
+    "SliceTunerConfig",
+]

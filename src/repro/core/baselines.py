@@ -1,0 +1,151 @@
+"""Baseline data acquisition strategies (Section 2.2 / Figure 3 of the paper).
+
+* :func:`uniform_allocation` — acquire (nearly) equal numbers of examples for
+  every slice.
+* :func:`water_filling_allocation` — acquire data so all slices end up with
+  (nearly) the same size, filling the smallest slices first.
+* :func:`proportional_allocation` — acquire data proportional to the current
+  slice sizes (the reference [12] baseline, which does not fix bias at all).
+
+All three respect per-slice costs and never exceed the budget; they return
+integer example counts keyed by position, aligned with the given slice order.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.utils.exceptions import ConfigurationError
+
+
+def _validate(
+    sizes: Sequence[int] | np.ndarray,
+    costs: Sequence[float] | np.ndarray | None,
+    budget: float,
+) -> tuple[np.ndarray, np.ndarray, float]:
+    sizes = np.asarray(sizes, dtype=np.float64).ravel()
+    if sizes.size == 0:
+        raise ConfigurationError("at least one slice is required")
+    if np.any(sizes < 0):
+        raise ConfigurationError("slice sizes must be non-negative")
+    if costs is None:
+        costs = np.ones_like(sizes)
+    else:
+        costs = np.asarray(costs, dtype=np.float64).ravel()
+        if costs.shape != sizes.shape:
+            raise ConfigurationError("costs must have one entry per slice")
+        if np.any(costs <= 0):
+            raise ConfigurationError("costs must be positive")
+    budget = float(budget)
+    if budget < 0:
+        raise ConfigurationError(f"budget must be non-negative, got {budget}")
+    return sizes, costs, budget
+
+
+def _spend_leftover(
+    allocation: np.ndarray,
+    costs: np.ndarray,
+    remaining: float,
+    priority: np.ndarray,
+) -> np.ndarray:
+    """Assign remaining budget one example at a time following ``priority``.
+
+    ``priority`` gives the preferred ordering of slices for extra examples
+    (lower value = earlier); ties cycle round-robin so leftovers spread out.
+    """
+    order = np.argsort(priority, kind="stable")
+    progressed = True
+    while progressed:
+        progressed = False
+        for i in order:
+            if costs[i] <= remaining + 1e-9:
+                allocation[i] += 1
+                remaining -= costs[i]
+                progressed = True
+    return allocation
+
+
+def uniform_allocation(
+    sizes: Sequence[int] | np.ndarray,
+    budget: float,
+    costs: Sequence[float] | np.ndarray | None = None,
+) -> np.ndarray:
+    """Acquire (nearly) the same number of examples for every slice.
+
+    The common per-slice count is ``budget / sum(costs)`` rounded down; any
+    leftover budget buys one more example for the cheapest slices first.
+    """
+    sizes, costs, budget = _validate(sizes, costs, budget)
+    per_slice = int(budget // costs.sum()) if costs.sum() > 0 else 0
+    allocation = np.full(sizes.shape[0], per_slice, dtype=np.int64)
+    remaining = budget - float(np.dot(costs, allocation))
+    return _spend_leftover(allocation, costs, remaining, priority=costs)
+
+
+def water_filling_allocation(
+    sizes: Sequence[int] | np.ndarray,
+    budget: float,
+    costs: Sequence[float] | np.ndarray | None = None,
+) -> np.ndarray:
+    """Acquire data so that all slices end up with (nearly) the same size.
+
+    The target level ``L`` satisfies ``sum_i C_i * max(0, L - |s_i|) = B`` and
+    is found by bisection on the piecewise-linear spend function; each slice
+    then receives ``max(0, floor(L) - |s_i|)`` examples, with any leftover
+    budget topping up the currently-smallest slices.
+    """
+    sizes, costs, budget = _validate(sizes, costs, budget)
+
+    def spend_at(level: float) -> float:
+        return float(np.dot(costs, np.maximum(level - sizes, 0.0)))
+
+    low = float(sizes.min())
+    high = float(sizes.max() + budget / costs.min() + 1.0)
+    if spend_at(high) < budget:
+        level = high
+    else:
+        for _ in range(100):
+            mid = 0.5 * (low + high)
+            if spend_at(mid) > budget:
+                high = mid
+            else:
+                low = mid
+        level = low
+    allocation = np.maximum(np.floor(level) - sizes, 0.0).astype(np.int64)
+    spent = float(np.dot(costs, allocation))
+    if spent > budget + 1e-9:
+        # Floor rounding can still overshoot when many slices sit exactly at
+        # the level; trim from the largest resulting slices.
+        order = np.argsort(-(sizes + allocation))
+        for i in order:
+            while allocation[i] > 0 and spent > budget + 1e-9:
+                allocation[i] -= 1
+                spent -= costs[i]
+    remaining = budget - spent
+    # Extra budget goes to whichever slice is currently smallest.
+    return _spend_leftover(
+        allocation, costs, remaining, priority=sizes + allocation
+    )
+
+
+def proportional_allocation(
+    sizes: Sequence[int] | np.ndarray,
+    budget: float,
+    costs: Sequence[float] | np.ndarray | None = None,
+) -> np.ndarray:
+    """Acquire data in proportion to the current slice sizes.
+
+    This keeps the existing bias intact (the paper considers it strictly
+    worse than the other baselines); it is included for completeness and for
+    the ablation benchmarks.
+    """
+    sizes, costs, budget = _validate(sizes, costs, budget)
+    total = float(np.dot(costs, sizes))
+    if total <= 0:
+        return uniform_allocation(sizes, budget, costs)
+    scale = budget / total
+    allocation = np.floor(sizes * scale).astype(np.int64)
+    remaining = budget - float(np.dot(costs, allocation))
+    return _spend_leftover(allocation, costs, remaining, priority=-sizes)

@@ -1,0 +1,248 @@
+"""The Iterative algorithm — Algorithm 1 of the paper (Section 5.2).
+
+The Iterative algorithm repeatedly:
+
+1. re-estimates the learning curves on the current data,
+2. runs One-shot with the *entire remaining budget*,
+3. caps the resulting acquisition so the imbalance ratio changes by at most
+   ``T`` (scaling the allocation by the ``GetChangeRatio`` factor),
+4. acquires the capped allocation, charges the budget, and
+5. grows ``T`` according to the chosen strategy.
+
+It also enforces the minimum slice size ``L`` up front.  The iterative
+updates keep the learning curves reliable and account for cross-slice
+influence, which is why the paper's Conservative/Moderate/Aggressive variants
+beat One-shot.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from repro.acquisition.budget import BudgetLedger
+from repro.acquisition.cost import CostModel, TableCost
+from repro.acquisition.source import DataSource
+from repro.core.imbalance import get_change_ratio, imbalance_ratio
+from repro.core.oneshot import OneShotAlgorithm
+from repro.core.plan import IterationRecord, TuningResult
+from repro.core.strategies import LimitStrategy
+from repro.slices.sliced_dataset import SlicedDataset
+from repro.utils.exceptions import OptimizationError
+from repro.utils.validation import check_non_negative_int, check_positive_int
+
+
+class IterativeAlgorithm:
+    """Algorithm 1: iterative selective data acquisition.
+
+    Parameters
+    ----------
+    oneshot:
+        The One-shot planner invoked each iteration with the remaining budget.
+    strategy:
+        Schedule for the imbalance-ratio change limit ``T``
+        (Conservative / Moderate / Aggressive).
+    min_slice_size:
+        The paper's ``L``: every slice is topped up to at least this size
+        before the main loop (0 disables the step).
+    max_iterations:
+        Safety cap on the number of iterations.
+    """
+
+    def __init__(
+        self,
+        oneshot: OneShotAlgorithm,
+        strategy: LimitStrategy,
+        min_slice_size: int = 0,
+        max_iterations: int = 30,
+    ) -> None:
+        self.oneshot = oneshot
+        self.strategy = strategy
+        self.min_slice_size = check_non_negative_int(min_slice_size, "min_slice_size")
+        self.max_iterations = check_positive_int(max_iterations, "max_iterations")
+
+    # -- the algorithm -----------------------------------------------------------
+    def run(
+        self,
+        sliced: SlicedDataset,
+        budget: float,
+        source: DataSource,
+        cost_model: CostModel | None = None,
+        on_iteration: Callable[[IterationRecord], None] | None = None,
+    ) -> TuningResult:
+        """Run Algorithm 1, mutating ``sliced`` as data is acquired.
+
+        Parameters
+        ----------
+        sliced:
+            The slices and their data; acquired examples are appended to it.
+        budget:
+            The total data acquisition budget ``B``.
+        source:
+            Where acquired examples come from.
+        cost_model:
+            Per-slice cost model; defaults to the costs on the slices.
+            Requested (not delivered) examples are charged, mirroring a
+            crowdsourcing campaign where every submitted task is paid.
+        on_iteration:
+            Optional callback invoked with each :class:`IterationRecord`.
+        """
+        cost_model = cost_model or TableCost(
+            {name: sliced[name].cost for name in sliced.names}
+        )
+        ledger = BudgetLedger(total=float(budget))
+        result = TuningResult(
+            method=self.strategy.name, lam=self.oneshot.lam, budget=float(budget)
+        )
+        result.total_acquired = {name: 0 for name in sliced.names}
+
+        limit = self.strategy.initial()
+        self._ensure_minimum_sizes(sliced, source, cost_model, ledger, result)
+        current_ratio = imbalance_ratio(sliced.sizes())
+
+        for iteration in range(1, self.max_iterations + 1):
+            if ledger.exhausted:
+                break
+            cheapest = min(cost_model.cost(name) for name in sliced.names)
+            if ledger.remaining < cheapest:
+                break
+
+            plan, curves = self.oneshot.plan(
+                sliced, ledger.remaining, cost_model=cost_model
+            )
+            requested = dict(plan.counts)
+            if plan.is_empty():
+                break
+
+            # Cap the change of the imbalance ratio at the current limit T.
+            sizes = sliced.sizes().astype(np.float64)
+            order = sliced.names
+            num = np.array([requested[name] for name in order], dtype=np.float64)
+            after_ratio = imbalance_ratio(sizes + num)
+            if abs(after_ratio - current_ratio) > limit:
+                target = current_ratio + limit * np.sign(after_ratio - current_ratio)
+                try:
+                    change_ratio = get_change_ratio(sizes, num, target)
+                except OptimizationError:
+                    change_ratio = 1.0
+                num = np.floor(change_ratio * num)
+                requested = {
+                    name: int(count) for name, count in zip(order, num)
+                }
+                after_ratio = imbalance_ratio(sizes + num)
+
+            record = IterationRecord(
+                iteration=iteration,
+                requested=dict(requested),
+                limit=limit,
+                imbalance_before=current_ratio,
+                imbalance_after=after_ratio,
+                curve_parameters={
+                    name: (curve.b, curve.a) for name, curve in curves.items()
+                },
+            )
+
+            acquired_total = self._acquire(
+                sliced, source, cost_model, ledger, requested, record, result
+            )
+            result.iterations.append(record)
+            if on_iteration is not None:
+                on_iteration(record)
+            if acquired_total == 0:
+                # The capped plan bought nothing (e.g. rounding to zero);
+                # growing T may unblock the next iteration, otherwise stop.
+                next_limit = self.strategy.increase(limit)
+                if next_limit <= limit:
+                    break
+                limit = next_limit
+                continue
+
+            limit = self.strategy.increase(limit)
+            current_ratio = imbalance_ratio(sliced.sizes())
+
+        result.spent = ledger.spent
+        return result
+
+    # -- helpers --------------------------------------------------------------------
+    def _ensure_minimum_sizes(
+        self,
+        sliced: SlicedDataset,
+        source: DataSource,
+        cost_model: CostModel,
+        ledger: BudgetLedger,
+        result: TuningResult,
+    ) -> None:
+        """Steps 3-6 of Algorithm 1: top every slice up to the minimum size L."""
+        if self.min_slice_size <= 0:
+            return
+        record = IterationRecord(iteration=0, limit=self.strategy.initial())
+        record.imbalance_before = imbalance_ratio(sliced.sizes())
+        spent_before = ledger.spent
+        any_topup = False
+        for name in sliced.names:
+            deficit = self.min_slice_size - sliced[name].size
+            if deficit <= 0:
+                continue
+            unit_cost = cost_model.cost(name)
+            affordable = min(deficit, ledger.affordable_count(unit_cost))
+            if affordable <= 0:
+                continue
+            any_topup = True
+            record.requested[name] = affordable
+            self._acquire_one(
+                sliced, source, cost_model, ledger, name, affordable, record, result
+            )
+        record.imbalance_after = imbalance_ratio(sliced.sizes())
+        record.spent = ledger.spent - spent_before
+        if any_topup:
+            result.iterations.append(record)
+
+    def _acquire(
+        self,
+        sliced: SlicedDataset,
+        source: DataSource,
+        cost_model: CostModel,
+        ledger: BudgetLedger,
+        requested: dict[str, int],
+        record: IterationRecord,
+        result: TuningResult,
+    ) -> int:
+        """Acquire one batch; returns the total number of delivered examples."""
+        spent_before = ledger.spent
+        total = 0
+        for name, count in requested.items():
+            if count <= 0:
+                continue
+            unit_cost = cost_model.cost(name)
+            affordable = min(count, ledger.affordable_count(unit_cost))
+            if affordable <= 0:
+                continue
+            total += self._acquire_one(
+                sliced, source, cost_model, ledger, name, affordable, record, result
+            )
+        record.spent = ledger.spent - spent_before
+        return total
+
+    def _acquire_one(
+        self,
+        sliced: SlicedDataset,
+        source: DataSource,
+        cost_model: CostModel,
+        ledger: BudgetLedger,
+        name: str,
+        count: int,
+        record: IterationRecord,
+        result: TuningResult,
+    ) -> int:
+        """Acquire ``count`` examples for one slice, updating all bookkeeping."""
+        unit_cost = cost_model.cost(name)
+        delivered = source.acquire(name, count)
+        ledger.charge(name, count, unit_cost)
+        cost_model.record_acquisition(name, count)
+        sliced.add_examples(name, delivered)
+        record.acquired[name] = record.acquired.get(name, 0) + len(delivered)
+        result.total_acquired[name] = result.total_acquired.get(name, 0) + len(
+            delivered
+        )
+        return len(delivered)

@@ -1,0 +1,136 @@
+"""Result records: acquisition plans, iteration records, and tuning results.
+
+These dataclasses are the externally visible artefacts of running Slice
+Tuner: what was acquired for whom, at what cost, over how many iterations,
+and how loss/unfairness changed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping
+
+from repro.fairness.report import FairnessReport
+from repro.utils.tables import format_table
+
+
+@dataclass(frozen=True)
+class AcquisitionPlan:
+    """How many examples to acquire per slice in one batch.
+
+    Attributes
+    ----------
+    counts:
+        Examples to acquire per slice name.
+    expected_cost:
+        Cost of the plan under the costs used to compute it.
+    solver:
+        Which solver/strategy produced the plan (for reporting).
+    """
+
+    counts: Mapping[str, int]
+    expected_cost: float
+    solver: str = ""
+
+    @property
+    def total_examples(self) -> int:
+        """Total number of examples across all slices."""
+        return int(sum(self.counts.values()))
+
+    def is_empty(self) -> bool:
+        """True when the plan acquires nothing."""
+        return self.total_examples == 0
+
+    def to_text(self) -> str:
+        """Render the plan as an aligned text table."""
+        rows = [[name, count] for name, count in self.counts.items()]
+        return format_table(
+            headers=["slice", "examples to acquire"],
+            rows=rows,
+            title=f"total = {self.total_examples} examples, "
+            f"cost = {self.expected_cost:.2f} ({self.solver})",
+        )
+
+
+@dataclass
+class IterationRecord:
+    """One iteration of the Iterative algorithm (or the single One-shot step).
+
+    Attributes
+    ----------
+    iteration:
+        1-based iteration index.
+    requested / acquired:
+        Examples requested per slice and actually delivered (crowdsourcing
+        may deliver fewer after filtering mistakes and duplicates).
+    spent:
+        Budget spent this iteration.
+    limit:
+        The imbalance-ratio change limit ``T`` in force.
+    imbalance_before / imbalance_after:
+        Imbalance ratio before and after the acquisition.
+    curve_parameters:
+        The fitted ``(b, a)`` per slice used by the optimization, for
+        inspection and for the Figure 9 style drift analyses.
+    """
+
+    iteration: int
+    requested: dict[str, int] = field(default_factory=dict)
+    acquired: dict[str, int] = field(default_factory=dict)
+    spent: float = 0.0
+    limit: float = 0.0
+    imbalance_before: float = 0.0
+    imbalance_after: float = 0.0
+    curve_parameters: dict[str, tuple[float, float]] = field(default_factory=dict)
+
+
+@dataclass
+class TuningResult:
+    """Complete outcome of one Slice Tuner run.
+
+    Attributes
+    ----------
+    method:
+        ``"oneshot"``, ``"conservative"``, ``"moderate"``, ``"aggressive"``,
+        or one of the baselines (``"uniform"``, ``"water_filling"``,
+        ``"proportional"``).
+    lam:
+        The loss/unfairness trade-off weight used.
+    budget:
+        Total budget given.
+    spent:
+        Total budget actually spent.
+    iterations:
+        Per-iteration records (baselines and One-shot have a single record).
+    total_acquired:
+        Total examples acquired per slice over all iterations.
+    initial_report / final_report:
+        Fairness/accuracy evaluation before and after acquisition (populated
+        when the caller asks for evaluation).
+    """
+
+    method: str
+    lam: float
+    budget: float
+    spent: float = 0.0
+    iterations: list[IterationRecord] = field(default_factory=list)
+    total_acquired: dict[str, int] = field(default_factory=dict)
+    initial_report: FairnessReport | None = None
+    final_report: FairnessReport | None = None
+
+    @property
+    def n_iterations(self) -> int:
+        """Number of acquisition iterations performed."""
+        return len(self.iterations)
+
+    def acquisitions_table(self) -> str:
+        """Text table of total acquired examples per slice (Table 3 style)."""
+        rows = [[name, count] for name, count in self.total_acquired.items()]
+        return format_table(
+            headers=["slice", "acquired"],
+            rows=rows,
+            title=(
+                f"method={self.method} budget={self.budget:.0f} "
+                f"spent={self.spent:.2f} iterations={self.n_iterations}"
+            ),
+        )

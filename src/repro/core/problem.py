@@ -1,0 +1,147 @@
+"""The selective data acquisition problem (Definition 2 of the paper).
+
+A :class:`SelectiveAcquisitionProblem` bundles everything the optimizer
+needs: slice names and current sizes, per-example acquisition costs, the
+fitted power-law learning-curve parameters, the budget, and the
+loss/unfairness trade-off weight ``lambda``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from repro.curves.power_law import FittedCurve, PowerLawCurve
+from repro.utils.exceptions import ConfigurationError
+from repro.utils.validation import check_non_negative
+
+
+@dataclass(frozen=True)
+class SelectiveAcquisitionProblem:
+    """An instance of the selective data acquisition optimization.
+
+    Attributes
+    ----------
+    slice_names:
+        Slice names, fixing the order of all arrays.
+    sizes:
+        Current number of training examples per slice (``|s_i|``).
+    costs:
+        Per-example acquisition cost per slice (``C(s_i)``).
+    b / a:
+        Power-law parameters of each slice's learning curve
+        (``loss_i(x) = b_i * x^-a_i``).
+    budget:
+        Total data acquisition budget ``B``.
+    lam:
+        Weight of the unfairness penalty (the paper's ``lambda``; 0 optimizes
+        loss only, larger values emphasize equalized error rates).
+    """
+
+    slice_names: tuple[str, ...]
+    sizes: np.ndarray
+    costs: np.ndarray
+    b: np.ndarray
+    a: np.ndarray
+    budget: float
+    lam: float = 1.0
+
+    def __post_init__(self) -> None:
+        names = tuple(self.slice_names)
+        object.__setattr__(self, "slice_names", names)
+        n = len(names)
+        if n == 0:
+            raise ConfigurationError("the problem needs at least one slice")
+
+        def as_array(value: object, label: str) -> np.ndarray:
+            array = np.asarray(value, dtype=np.float64).ravel()
+            if array.shape[0] != n:
+                raise ConfigurationError(
+                    f"{label} has {array.shape[0]} entries but there are {n} slices"
+                )
+            return array
+
+        sizes = as_array(self.sizes, "sizes")
+        costs = as_array(self.costs, "costs")
+        b = as_array(self.b, "b")
+        a = as_array(self.a, "a")
+        if np.any(sizes < 0):
+            raise ConfigurationError("slice sizes must be non-negative")
+        if np.any(costs <= 0):
+            raise ConfigurationError("acquisition costs must be positive")
+        if np.any(b <= 0) or np.any(a <= 0):
+            raise ConfigurationError("power-law parameters b and a must be positive")
+        object.__setattr__(self, "sizes", sizes)
+        object.__setattr__(self, "costs", costs)
+        object.__setattr__(self, "b", b)
+        object.__setattr__(self, "a", a)
+        check_non_negative(self.budget, "budget")
+        check_non_negative(self.lam, "lam")
+
+    # -- constructors ----------------------------------------------------------
+    @classmethod
+    def from_curves(
+        cls,
+        curves: Mapping[str, FittedCurve | PowerLawCurve],
+        sizes: Mapping[str, int],
+        costs: Mapping[str, float],
+        budget: float,
+        lam: float = 1.0,
+        order: Sequence[str] | None = None,
+    ) -> "SelectiveAcquisitionProblem":
+        """Build a problem from per-slice curves, sizes, and costs."""
+        names = tuple(order) if order is not None else tuple(curves.keys())
+        missing = [n for n in names if n not in curves or n not in sizes]
+        if missing:
+            raise ConfigurationError(f"missing curves or sizes for slices {missing}")
+        b = [
+            curves[n].curve.b if isinstance(curves[n], FittedCurve) else curves[n].b
+            for n in names
+        ]
+        a = [
+            curves[n].curve.a if isinstance(curves[n], FittedCurve) else curves[n].a
+            for n in names
+        ]
+        return cls(
+            slice_names=names,
+            sizes=np.array([sizes[n] for n in names], dtype=np.float64),
+            costs=np.array([float(costs.get(n, 1.0)) for n in names], dtype=np.float64),
+            b=np.array(b, dtype=np.float64),
+            a=np.array(a, dtype=np.float64),
+            budget=float(budget),
+            lam=float(lam),
+        )
+
+    # -- derived quantities --------------------------------------------------------
+    @property
+    def n_slices(self) -> int:
+        """Number of slices."""
+        return len(self.slice_names)
+
+    def predicted_losses(self, additional: np.ndarray | None = None) -> np.ndarray:
+        """Predicted per-slice losses after acquiring ``additional`` examples."""
+        additional = (
+            np.zeros(self.n_slices)
+            if additional is None
+            else np.asarray(additional, dtype=np.float64)
+        )
+        effective = np.maximum(self.sizes + additional, 1.0)
+        return self.b * np.power(effective, -self.a)
+
+    def average_current_loss(self) -> float:
+        """The constant ``A``: the average predicted loss over slices at the
+        current sizes."""
+        return float(self.predicted_losses().mean())
+
+    def objective(self, additional: np.ndarray) -> float:
+        """The paper's objective: total predicted loss + lambda * unfairness penalty."""
+        losses = self.predicted_losses(additional)
+        average = self.average_current_loss()
+        penalty = np.maximum(0.0, losses / average - 1.0)
+        return float(losses.sum() + self.lam * penalty.sum())
+
+    def total_cost(self, additional: np.ndarray) -> float:
+        """Cost of acquiring ``additional`` examples per slice."""
+        return float(np.dot(self.costs, np.asarray(additional, dtype=np.float64)))

@@ -1,0 +1,87 @@
+"""Strategies for growing the imbalance-ratio change limit ``T`` (Section 5.2).
+
+Algorithm 1 caps each iteration's change of the imbalance ratio at ``T`` and
+enlarges ``T`` between iterations.  The paper proposes three schedules:
+
+* **Conservative** — ``T`` stays constant (1 by default): most iterations,
+  most reliable curves.
+* **Moderate** — ``T`` grows by a constant each iteration.
+* **Aggressive** — ``T`` is multiplied by a constant (> 1) each iteration:
+  fewest iterations, data acquired most aggressively.
+"""
+
+from __future__ import annotations
+
+from repro.utils.exceptions import ConfigurationError
+from repro.utils.validation import check_positive
+
+
+class LimitStrategy:
+    """Base class: a schedule for the imbalance-ratio change limit ``T``."""
+
+    #: Name used in reports and for `make_strategy` lookups.
+    name: str = "base"
+
+    def __init__(self, initial_limit: float = 1.0) -> None:
+        self.initial_limit = check_positive(initial_limit, "initial_limit")
+
+    def initial(self) -> float:
+        """The limit used in the first iteration."""
+        return self.initial_limit
+
+    def increase(self, current_limit: float) -> float:
+        """Return the limit to use in the next iteration."""
+        raise NotImplementedError
+
+
+class ConservativeStrategy(LimitStrategy):
+    """Keep ``T`` constant: the imbalance ratio may only change linearly."""
+
+    name = "conservative"
+
+    def increase(self, current_limit: float) -> float:
+        return current_limit
+
+
+class ModerateStrategy(LimitStrategy):
+    """Increase ``T`` by a constant ``step`` per iteration (default 1)."""
+
+    name = "moderate"
+
+    def __init__(self, initial_limit: float = 1.0, step: float = 1.0) -> None:
+        super().__init__(initial_limit)
+        self.step = check_positive(step, "step")
+
+    def increase(self, current_limit: float) -> float:
+        return current_limit + self.step
+
+
+class AggressiveStrategy(LimitStrategy):
+    """Multiply ``T`` by a constant ``factor`` (> 1) per iteration (default 2)."""
+
+    name = "aggressive"
+
+    def __init__(self, initial_limit: float = 1.0, factor: float = 2.0) -> None:
+        super().__init__(initial_limit)
+        if factor <= 1.0:
+            raise ConfigurationError(
+                f"the aggressive factor must be > 1, got {factor}"
+            )
+        self.factor = float(factor)
+
+    def increase(self, current_limit: float) -> float:
+        return current_limit * self.factor
+
+
+def make_strategy(name: str, initial_limit: float = 1.0) -> LimitStrategy:
+    """Build a limit strategy by name (case-insensitive)."""
+    key = name.strip().lower()
+    if key == "conservative":
+        return ConservativeStrategy(initial_limit)
+    if key == "moderate":
+        return ModerateStrategy(initial_limit)
+    if key == "aggressive":
+        return AggressiveStrategy(initial_limit)
+    raise ConfigurationError(
+        f"unknown strategy {name!r}; expected conservative, moderate, or aggressive"
+    )

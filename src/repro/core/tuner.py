@@ -1,0 +1,319 @@
+"""The :class:`SliceTuner` orchestrator (Figure 4 of the paper).
+
+SliceTuner ties everything together: it owns the sliced dataset, the data
+source, the learning-curve estimator, and the cost model, and exposes a small
+API:
+
+* :meth:`SliceTuner.estimate_curves` — fit the current learning curves.
+* :meth:`SliceTuner.plan` — compute a One-shot acquisition plan without
+  acquiring anything (the "concrete action items" the paper advertises).
+* :meth:`SliceTuner.run` — execute a full acquisition strategy (One-shot,
+  one of the Iterative variants, or one of the baselines) and optionally
+  evaluate the model before and after.
+* :meth:`SliceTuner.evaluate` — train the model on the current data and
+  report loss, per-slice losses, and unfairness.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping
+
+import numpy as np
+
+from repro.acquisition.budget import BudgetLedger
+from repro.acquisition.cost import CostModel, TableCost
+from repro.acquisition.source import DataSource
+from repro.core.baselines import (
+    proportional_allocation,
+    uniform_allocation,
+    water_filling_allocation,
+)
+from repro.core.iterative import IterativeAlgorithm
+from repro.core.oneshot import OneShotAlgorithm
+from repro.core.plan import AcquisitionPlan, IterationRecord, TuningResult
+from repro.core.strategies import make_strategy
+from repro.curves.estimator import (
+    CurveEstimationConfig,
+    LearningCurveEstimator,
+    ModelFactory,
+    default_model_factory,
+)
+from repro.curves.power_law import FittedCurve
+from repro.fairness.report import FairnessReport, evaluate_fairness
+from repro.ml.train import Trainer, TrainingConfig
+from repro.slices.sliced_dataset import SlicedDataset
+from repro.utils.exceptions import ConfigurationError
+from repro.utils.rng import RandomState, as_generator
+
+#: Methods implemented by :meth:`SliceTuner.run`.
+SLICE_TUNER_METHODS = ("oneshot", "conservative", "moderate", "aggressive")
+BASELINE_METHODS = ("uniform", "water_filling", "proportional")
+
+
+@dataclass(frozen=True)
+class SliceTunerConfig:
+    """Behavioural knobs of the orchestrator.
+
+    Attributes
+    ----------
+    lam:
+        Default loss/unfairness trade-off weight (the paper's default is 1).
+    min_slice_size:
+        The paper's ``L``: minimum slice size enforced before iterating.
+    max_iterations:
+        Safety cap for the iterative algorithms.
+    evaluation_trials:
+        How many independently-seeded models are trained and averaged by
+        :meth:`SliceTuner.evaluate`.
+    """
+
+    lam: float = 1.0
+    min_slice_size: int = 0
+    max_iterations: int = 30
+    evaluation_trials: int = 1
+
+    def __post_init__(self) -> None:
+        if self.lam < 0:
+            raise ConfigurationError(f"lam must be >= 0, got {self.lam}")
+        if self.min_slice_size < 0:
+            raise ConfigurationError(
+                f"min_slice_size must be >= 0, got {self.min_slice_size}"
+            )
+        if self.max_iterations <= 0:
+            raise ConfigurationError(
+                f"max_iterations must be positive, got {self.max_iterations}"
+            )
+        if self.evaluation_trials <= 0:
+            raise ConfigurationError(
+                f"evaluation_trials must be positive, got {self.evaluation_trials}"
+            )
+
+
+class SliceTuner:
+    """End-to-end selective data acquisition for one sliced dataset.
+
+    Parameters
+    ----------
+    sliced:
+        The slices and their current data.  The tuner mutates this object as
+        data is acquired.
+    source:
+        Where new examples come from (simulator, pool, or crowdsourcing
+        simulator).
+    model_factory:
+        Callable ``n_classes -> model``; defaults to softmax regression.
+    trainer_config:
+        Hyperparameters used for every model training.
+    curve_config:
+        Learning-curve estimation configuration.
+    cost_model:
+        Per-slice acquisition costs; defaults to the costs on the slices.
+    config:
+        Orchestrator configuration.
+    random_state:
+        Seed or generator controlling sampling, training, and evaluation.
+    """
+
+    def __init__(
+        self,
+        sliced: SlicedDataset,
+        source: DataSource,
+        model_factory: ModelFactory | None = None,
+        trainer_config: TrainingConfig | None = None,
+        curve_config: CurveEstimationConfig | None = None,
+        cost_model: CostModel | None = None,
+        config: SliceTunerConfig | None = None,
+        random_state: RandomState = None,
+    ) -> None:
+        self.sliced = sliced
+        self.source = source
+        self.model_factory = model_factory or default_model_factory
+        self.trainer_config = trainer_config or TrainingConfig()
+        self.curve_config = curve_config or CurveEstimationConfig()
+        self.cost_model = cost_model or TableCost(
+            {name: sliced[name].cost for name in sliced.names}
+        )
+        self.config = config or SliceTunerConfig()
+        self._rng = as_generator(random_state)
+        self.estimator = LearningCurveEstimator(
+            model_factory=self.model_factory,
+            trainer_config=self.trainer_config,
+            config=self.curve_config,
+            random_state=self._rng,
+        )
+
+    # -- curves and plans ---------------------------------------------------------
+    def estimate_curves(self) -> dict[str, FittedCurve]:
+        """Fit the current learning curves of all slices."""
+        return self.estimator.estimate(self.sliced)
+
+    def plan(
+        self,
+        budget: float,
+        lam: float | None = None,
+        curves: Mapping[str, FittedCurve] | None = None,
+    ) -> AcquisitionPlan:
+        """Compute a One-shot acquisition plan without acquiring anything."""
+        oneshot = OneShotAlgorithm(
+            self.estimator, lam=self.config.lam if lam is None else lam
+        )
+        plan, _ = oneshot.plan(
+            self.sliced, budget, curves=curves, cost_model=self.cost_model
+        )
+        return plan
+
+    # -- evaluation -----------------------------------------------------------------
+    def evaluate(self, n_trials: int | None = None) -> FairnessReport:
+        """Train the model on the current data and measure loss/unfairness.
+
+        ``n_trials`` independently-seeded models are trained and their
+        reports averaged, mirroring the paper's mean-over-trials protocol.
+        """
+        n_trials = n_trials or self.config.evaluation_trials
+        train = self.sliced.combined_train()
+        reports: list[FairnessReport] = []
+        for _ in range(n_trials):
+            model = self.model_factory(self.sliced.n_classes)
+            trainer = Trainer(config=self.trainer_config, random_state=self._rng)
+            trainer.fit(model, train)
+            reports.append(evaluate_fairness(model, self.sliced))
+        return _average_reports(reports)
+
+    # -- the main entry point ----------------------------------------------------------
+    def run(
+        self,
+        budget: float,
+        method: str = "moderate",
+        lam: float | None = None,
+        evaluate: bool = True,
+    ) -> TuningResult:
+        """Acquire data with the chosen method and (optionally) evaluate.
+
+        Parameters
+        ----------
+        budget:
+            Total data acquisition budget ``B``.
+        method:
+            One of ``"oneshot"``, ``"conservative"``, ``"moderate"``,
+            ``"aggressive"`` (Slice Tuner methods) or ``"uniform"``,
+            ``"water_filling"``, ``"proportional"`` (baselines).
+        lam:
+            Loss/unfairness weight; defaults to the configured value.
+        evaluate:
+            When True, the model is trained and evaluated before and after
+            acquisition and the reports attached to the result.
+        """
+        method = method.strip().lower()
+        lam = self.config.lam if lam is None else float(lam)
+        initial_report = self.evaluate() if evaluate else None
+
+        if method in BASELINE_METHODS:
+            result = self._run_baseline(method, budget)
+        elif method == "oneshot":
+            result = self._run_oneshot(budget, lam)
+        elif method in ("conservative", "moderate", "aggressive"):
+            result = self._run_iterative(method, budget, lam)
+        else:
+            raise ConfigurationError(
+                f"unknown method {method!r}; expected one of "
+                f"{SLICE_TUNER_METHODS + BASELINE_METHODS}"
+            )
+
+        result.initial_report = initial_report
+        if evaluate:
+            result.final_report = self.evaluate()
+        return result
+
+    # -- method implementations ------------------------------------------------------------
+    def _run_oneshot(self, budget: float, lam: float) -> TuningResult:
+        oneshot = OneShotAlgorithm(self.estimator, lam=lam)
+        plan, curves = oneshot.plan(self.sliced, budget, cost_model=self.cost_model)
+        result = TuningResult(method="oneshot", lam=lam, budget=float(budget))
+        record = self._acquire_plan(plan.counts, budget, iteration=1)
+        record.curve_parameters = {
+            name: (curve.b, curve.a) for name, curve in curves.items()
+        }
+        result.iterations.append(record)
+        result.total_acquired = {
+            name: record.acquired.get(name, 0) for name in self.sliced.names
+        }
+        result.spent = record.spent
+        return result
+
+    def _run_iterative(self, method: str, budget: float, lam: float) -> TuningResult:
+        oneshot = OneShotAlgorithm(self.estimator, lam=lam)
+        algorithm = IterativeAlgorithm(
+            oneshot=oneshot,
+            strategy=make_strategy(method),
+            min_slice_size=self.config.min_slice_size,
+            max_iterations=self.config.max_iterations,
+        )
+        return algorithm.run(
+            self.sliced, budget, self.source, cost_model=self.cost_model
+        )
+
+    def _run_baseline(self, method: str, budget: float) -> TuningResult:
+        sizes = self.sliced.sizes()
+        costs = np.array(
+            [self.cost_model.cost(name) for name in self.sliced.names]
+        )
+        if method == "uniform":
+            allocation = uniform_allocation(sizes, budget, costs)
+        elif method == "water_filling":
+            allocation = water_filling_allocation(sizes, budget, costs)
+        else:
+            allocation = proportional_allocation(sizes, budget, costs)
+        counts = {
+            name: int(count) for name, count in zip(self.sliced.names, allocation)
+        }
+        result = TuningResult(method=method, lam=0.0, budget=float(budget))
+        record = self._acquire_plan(counts, budget, iteration=1)
+        result.iterations.append(record)
+        result.total_acquired = {
+            name: record.acquired.get(name, 0) for name in self.sliced.names
+        }
+        result.spent = record.spent
+        return result
+
+    # -- acquisition plumbing ----------------------------------------------------------------
+    def _acquire_plan(
+        self, counts: Mapping[str, int], budget: float, iteration: int
+    ) -> IterationRecord:
+        """Acquire a single batch described by ``counts`` within ``budget``."""
+        ledger = BudgetLedger(total=float(budget))
+        record = IterationRecord(iteration=iteration, requested=dict(counts))
+        record.imbalance_before = self.sliced.imbalance_ratio()
+        for name, count in counts.items():
+            if count <= 0:
+                continue
+            unit_cost = self.cost_model.cost(name)
+            affordable = min(int(count), ledger.affordable_count(unit_cost))
+            if affordable <= 0:
+                continue
+            delivered = self.source.acquire(name, affordable)
+            ledger.charge(name, affordable, unit_cost)
+            self.cost_model.record_acquisition(name, affordable)
+            self.sliced.add_examples(name, delivered)
+            record.acquired[name] = len(delivered)
+        record.spent = ledger.spent
+        record.imbalance_after = self.sliced.imbalance_ratio()
+        return record
+
+
+def _average_reports(reports: list[FairnessReport]) -> FairnessReport:
+    """Average several fairness reports field-by-field."""
+    if len(reports) == 1:
+        return reports[0]
+    slice_names = reports[0].slice_losses.keys()
+    slice_losses = {
+        name: float(np.mean([r.slice_losses[name] for r in reports]))
+        for name in slice_names
+    }
+    return FairnessReport(
+        loss=float(np.mean([r.loss for r in reports])),
+        slice_losses=slice_losses,
+        avg_eer=float(np.mean([r.avg_eer for r in reports])),
+        max_eer=float(np.mean([r.max_eer for r in reports])),
+        slice_sizes=dict(reports[0].slice_sizes),
+    )

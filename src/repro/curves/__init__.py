@@ -1,0 +1,50 @@
+"""Learning-curve estimation (Section 4 of the paper).
+
+A learning curve projects how the model's loss on one slice changes as that
+slice's training data grows.  Following the paper (and Hestness et al.), the
+curve is modelled as a power law ``loss = b * size^-a`` fitted with weighted
+non-linear least squares on losses measured by training models on random
+subsets of the data.
+
+* :class:`~repro.curves.power_law.PowerLawCurve` /
+  :class:`~repro.curves.power_law.PowerLawWithFloor` — the curve models.
+* :mod:`~repro.curves.parametric` — alternative parametric families used for
+  the Domhan-style comparison ablation.
+* :func:`~repro.curves.fitting.fit_power_law` — weighted fitting.
+* :class:`~repro.curves.estimator.LearningCurveEstimator` — produces one
+  fitted curve per slice using either the exhaustive protocol or the
+  amortized ("efficient") protocol of Section 4.2.
+* :mod:`~repro.curves.reliability` — curve averaging and reliability scores.
+"""
+
+from repro.curves.estimator import (
+    CurveEstimationConfig,
+    CurvePoint,
+    LearningCurveEstimator,
+)
+from repro.curves.fitting import fit_power_law, fit_power_law_with_floor
+from repro.curves.parametric import (
+    CURVE_FAMILIES,
+    CurveFamily,
+    fit_family,
+    select_best_family,
+)
+from repro.curves.power_law import FittedCurve, PowerLawCurve, PowerLawWithFloor
+from repro.curves.reliability import average_curves, curve_reliability
+
+__all__ = [
+    "PowerLawCurve",
+    "PowerLawWithFloor",
+    "FittedCurve",
+    "fit_power_law",
+    "fit_power_law_with_floor",
+    "CurveFamily",
+    "CURVE_FAMILIES",
+    "fit_family",
+    "select_best_family",
+    "CurvePoint",
+    "CurveEstimationConfig",
+    "LearningCurveEstimator",
+    "average_curves",
+    "curve_reliability",
+]

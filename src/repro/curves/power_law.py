@@ -1,0 +1,132 @@
+"""Power-law learning-curve models.
+
+The paper models a slice's loss as ``y = b * x^-a`` (power-law region) or
+``y = b * x^-a + c`` when enough data exists to observe the
+diminishing-returns floor.  Both forms are implemented; the plain power law
+is the default because, as the paper notes, it fits better when the floor has
+not been observed yet.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.utils.exceptions import ConfigurationError
+from repro.utils.validation import check_non_negative, check_positive
+
+
+@dataclass(frozen=True)
+class PowerLawCurve:
+    """The curve ``loss(x) = b * x^-a`` with ``a, b > 0``.
+
+    ``a`` is the learning-rate exponent (steepness) and ``b`` the scale; a
+    larger ``b`` means a higher starting loss, a larger ``a`` means data
+    acquisition pays off faster.
+    """
+
+    b: float
+    a: float
+
+    def __post_init__(self) -> None:
+        check_positive(self.b, "b")
+        check_positive(self.a, "a")
+
+    def predict(self, size: float | np.ndarray) -> float | np.ndarray:
+        """Predicted loss at training size ``size`` (size must be positive)."""
+        size = np.asarray(size, dtype=np.float64)
+        if np.any(size <= 0):
+            raise ConfigurationError("size must be positive to evaluate the curve")
+        result = self.b * np.power(size, -self.a)
+        return float(result) if result.ndim == 0 else result
+
+    def marginal_gain(self, size: float, extra: float = 1.0) -> float:
+        """Loss reduction from growing the slice from ``size`` by ``extra`` examples."""
+        return float(self.predict(size) - self.predict(size + extra))
+
+    def size_for_loss(self, target_loss: float) -> float:
+        """Training size at which the curve reaches ``target_loss``."""
+        check_positive(target_loss, "target_loss")
+        return float((self.b / target_loss) ** (1.0 / self.a))
+
+    def describe(self) -> str:
+        """Human-readable formula, e.g. ``y = 2.894x^-0.204`` (Figure 8 style)."""
+        return f"y = {self.b:.3f}x^-{self.a:.3f}"
+
+
+@dataclass(frozen=True)
+class PowerLawWithFloor:
+    """The curve ``loss(x) = b * x^-a + c`` with an irreducible floor ``c >= 0``."""
+
+    b: float
+    a: float
+    c: float
+
+    def __post_init__(self) -> None:
+        check_positive(self.b, "b")
+        check_positive(self.a, "a")
+        check_non_negative(self.c, "c")
+
+    def predict(self, size: float | np.ndarray) -> float | np.ndarray:
+        """Predicted loss at training size ``size``."""
+        size = np.asarray(size, dtype=np.float64)
+        if np.any(size <= 0):
+            raise ConfigurationError("size must be positive to evaluate the curve")
+        result = self.b * np.power(size, -self.a) + self.c
+        return float(result) if result.ndim == 0 else result
+
+    def without_floor(self) -> PowerLawCurve:
+        """Drop the floor term (useful for the convex optimizer)."""
+        return PowerLawCurve(b=self.b, a=self.a)
+
+    def describe(self) -> str:
+        """Human-readable formula."""
+        return f"y = {self.b:.3f}x^-{self.a:.3f} + {self.c:.3f}"
+
+
+@dataclass
+class FittedCurve:
+    """A fitted per-slice learning curve together with its evidence.
+
+    Attributes
+    ----------
+    slice_name:
+        The slice the curve belongs to.
+    curve:
+        The fitted :class:`PowerLawCurve`.
+    sizes / losses / weights:
+        The measured data points the fit was computed from.
+    residual:
+        Weighted root-mean-square error of the fit in log space.
+    reliability:
+        A score in [0, 1]; 1 means the points lie exactly on the curve.  The
+        paper stresses that curves only need to be reliable *enough* for a
+        relative comparison, and this score quantifies that.
+    """
+
+    slice_name: str
+    curve: PowerLawCurve
+    sizes: np.ndarray = field(default_factory=lambda: np.empty(0))
+    losses: np.ndarray = field(default_factory=lambda: np.empty(0))
+    weights: np.ndarray = field(default_factory=lambda: np.empty(0))
+    residual: float = 0.0
+    reliability: float = 1.0
+
+    @property
+    def b(self) -> float:
+        """Scale parameter of the fitted power law."""
+        return self.curve.b
+
+    @property
+    def a(self) -> float:
+        """Exponent of the fitted power law."""
+        return self.curve.a
+
+    def predict(self, size: float | np.ndarray) -> float | np.ndarray:
+        """Predicted loss at ``size`` (delegates to the underlying curve)."""
+        return self.curve.predict(size)
+
+    def describe(self) -> str:
+        """Formula plus the slice name, e.g. for figure legends."""
+        return f"{self.slice_name}: {self.curve.describe()}"

@@ -1,0 +1,96 @@
+"""Curve averaging and reliability scoring.
+
+The paper improves reliability by drawing multiple learning curves and
+averaging them (Section 4.1), and stresses that curves only need to be good
+enough for a *relative* comparison of slices.  The helpers here implement the
+averaging and a reliability score derived from how well the fitted curve
+explains the measured points.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.curves.fitting import fit_power_law, weighted_log_rmse
+from repro.curves.power_law import FittedCurve, PowerLawCurve
+from repro.utils.exceptions import FittingError
+
+
+def average_curves(curves: Sequence[PowerLawCurve]) -> PowerLawCurve:
+    """Average several power-law curves fitted on repeated measurements.
+
+    Averaging is performed in log-parameter space (geometric mean of ``b``,
+    arithmetic mean of ``a``), which corresponds to averaging the curves'
+    log-loss predictions at every size — the natural notion of "averaging the
+    curves" the paper uses.
+    """
+    curves = list(curves)
+    if not curves:
+        raise FittingError("cannot average zero curves")
+    a = float(np.mean([c.a for c in curves]))
+    log_b = float(np.mean([np.log(c.b) for c in curves]))
+    return PowerLawCurve(b=float(np.exp(log_b)), a=a)
+
+
+def curve_reliability(
+    curve: PowerLawCurve,
+    sizes: np.ndarray,
+    losses: np.ndarray,
+    weights: np.ndarray | None = None,
+) -> float:
+    """Reliability score in [0, 1] for ``curve`` against its measured points.
+
+    Defined as ``exp(-rmse)`` of the weighted log-space residuals: 1.0 means
+    the points lie exactly on the curve, and the score decays smoothly as the
+    measurements get noisier (e.g. the tiny slices of Figure 11).
+    """
+    rmse = weighted_log_rmse(curve, sizes, losses, weights)
+    return float(np.exp(-rmse))
+
+
+def fit_averaged_curve(
+    slice_name: str,
+    sizes: np.ndarray,
+    losses: np.ndarray,
+    weights: np.ndarray | None = None,
+    n_splits: int = 1,
+) -> FittedCurve:
+    """Fit a curve, optionally as the average of fits on interleaved subsets.
+
+    With ``n_splits > 1`` the points are split round-robin into that many
+    groups, a curve is fitted per group, and the averaged curve is returned —
+    the paper's "draw multiple curves (we use 5) and average them" at the
+    fitting level.  Points groups that are too small to fit are skipped.
+    """
+    sizes = np.asarray(sizes, dtype=np.float64)
+    losses = np.asarray(losses, dtype=np.float64)
+    if weights is None:
+        weights = sizes.copy()
+    weights = np.asarray(weights, dtype=np.float64)
+
+    curves: list[PowerLawCurve] = []
+    if n_splits <= 1 or sizes.shape[0] < 2 * n_splits:
+        curves.append(fit_power_law(sizes, losses, weights))
+    else:
+        for split in range(n_splits):
+            idx = np.arange(split, sizes.shape[0], n_splits)
+            try:
+                curves.append(fit_power_law(sizes[idx], losses[idx], weights[idx]))
+            except FittingError:
+                continue
+        if not curves:
+            curves.append(fit_power_law(sizes, losses, weights))
+
+    averaged = average_curves(curves)
+    residual = weighted_log_rmse(averaged, sizes, losses, weights)
+    return FittedCurve(
+        slice_name=slice_name,
+        curve=averaged,
+        sizes=sizes,
+        losses=losses,
+        weights=weights,
+        residual=residual,
+        reliability=float(np.exp(-residual)),
+    )

@@ -1,0 +1,312 @@
+"""Slice blueprints and the synthetic task generator.
+
+A :class:`SliceBlueprint` describes how examples of one slice are generated:
+a set of Gaussian clusters in feature space, the class label of each cluster,
+per-slice feature noise (difficulty), and label noise (irreducible error, the
+``c`` of the paper's ``y = b x^-a + c`` curve).  A :class:`SyntheticTask`
+groups the blueprints of one dataset and can
+
+* draw any number of fresh examples for a slice (the acquisition simulator),
+* build the initial :class:`~repro.slices.SlicedDataset` for an experiment,
+* report the per-slice acquisition costs.
+
+Slices whose clusters are close together and share labels are "similar" in
+the paper's sense (acquiring data for one helps the other), while slices with
+close clusters but different labels compete for the decision boundary —
+exactly the mechanism illustrated in Figure 6 and measured in Figure 7.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from repro.ml.data import Dataset
+from repro.slices.sliced_dataset import SlicedDataset
+from repro.utils.exceptions import ConfigurationError
+from repro.utils.rng import RandomState, as_generator
+from repro.utils.validation import check_positive, check_probability
+
+
+@dataclass(frozen=True)
+class SliceBlueprint:
+    """Generative description of one slice.
+
+    Attributes
+    ----------
+    name:
+        Slice name, unique within a task.
+    centers:
+        Array of shape ``(n_clusters, n_features)``: the Gaussian cluster
+        means of the slice.
+    cluster_labels:
+        Class label of each cluster (length ``n_clusters``).
+    noise:
+        Standard deviation of the isotropic Gaussian noise around each
+        cluster center.  Larger noise means more class overlap, a higher
+        loss floor, and a shallower learning curve.
+    label_noise:
+        Probability that a generated example's label is flipped to a random
+        other class: the irreducible error that produces the
+        diminishing-returns region of the learning curve.
+    cost:
+        Per-example acquisition cost (the paper's ``C(s)``).
+    cluster_weights:
+        Optional sampling weights over the clusters (defaults to uniform).
+    """
+
+    name: str
+    centers: np.ndarray
+    cluster_labels: tuple[int, ...]
+    noise: float = 1.0
+    label_noise: float = 0.02
+    cost: float = 1.0
+    cluster_weights: tuple[float, ...] | None = None
+
+    def __post_init__(self) -> None:
+        centers = np.atleast_2d(np.asarray(self.centers, dtype=np.float64))
+        object.__setattr__(self, "centers", centers)
+        if centers.shape[0] != len(self.cluster_labels):
+            raise ConfigurationError(
+                f"slice {self.name!r}: {centers.shape[0]} centers but "
+                f"{len(self.cluster_labels)} cluster labels"
+            )
+        check_positive(self.noise, f"noise of slice {self.name!r}")
+        check_probability(self.label_noise, f"label_noise of slice {self.name!r}")
+        check_positive(self.cost, f"cost of slice {self.name!r}")
+        if self.cluster_weights is not None:
+            if len(self.cluster_weights) != centers.shape[0]:
+                raise ConfigurationError(
+                    f"slice {self.name!r}: cluster_weights length mismatch"
+                )
+            total = float(sum(self.cluster_weights))
+            if total <= 0:
+                raise ConfigurationError(
+                    f"slice {self.name!r}: cluster_weights must sum to a "
+                    f"positive value"
+                )
+
+    @property
+    def n_features(self) -> int:
+        """Dimensionality of the feature space."""
+        return int(self.centers.shape[1])
+
+
+class SyntheticTask:
+    """A complete synthetic classification task with named slices.
+
+    Parameters
+    ----------
+    name:
+        Task name (e.g. ``"fashion_like"``).
+    blueprints:
+        One blueprint per slice, in a stable order.
+    n_classes:
+        Total number of classes in the task.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        blueprints: Sequence[SliceBlueprint],
+        n_classes: int,
+    ) -> None:
+        blueprints = list(blueprints)
+        if not blueprints:
+            raise ConfigurationError("a task needs at least one slice blueprint")
+        names = [bp.name for bp in blueprints]
+        if len(set(names)) != len(names):
+            raise ConfigurationError(f"duplicate slice names in task: {names}")
+        widths = {bp.n_features for bp in blueprints}
+        if len(widths) > 1:
+            raise ConfigurationError(
+                f"blueprints disagree on feature width: {sorted(widths)}"
+            )
+        max_label = max(max(bp.cluster_labels) for bp in blueprints)
+        if n_classes <= max_label:
+            raise ConfigurationError(
+                f"n_classes={n_classes} but a cluster label {max_label} exists"
+            )
+        self.name = name
+        self.n_classes = int(n_classes)
+        self._blueprints: dict[str, SliceBlueprint] = {
+            bp.name: bp for bp in blueprints
+        }
+        self._order = names
+
+    # -- introspection ---------------------------------------------------------
+    @property
+    def slice_names(self) -> list[str]:
+        """Slice names in their stable order."""
+        return list(self._order)
+
+    @property
+    def n_features(self) -> int:
+        """Feature dimensionality shared by all slices."""
+        return self._blueprints[self._order[0]].n_features
+
+    def blueprint(self, name: str) -> SliceBlueprint:
+        """Return the blueprint of the named slice."""
+        try:
+            return self._blueprints[name]
+        except KeyError:
+            raise ConfigurationError(
+                f"task {self.name!r} has no slice {name!r}"
+            ) from None
+
+    def costs(self) -> dict[str, float]:
+        """Per-slice acquisition costs."""
+        return {name: self._blueprints[name].cost for name in self._order}
+
+    # -- generation -------------------------------------------------------------
+    def generate(
+        self, slice_name: str, count: int, random_state: RandomState = None
+    ) -> Dataset:
+        """Draw ``count`` fresh examples for ``slice_name``.
+
+        The examples are sampled from the slice's Gaussian mixture; labels
+        follow the cluster labels with probability ``1 - label_noise`` and
+        are otherwise flipped to a uniformly random different class.
+        """
+        blueprint = self.blueprint(slice_name)
+        count = int(count)
+        if count <= 0:
+            return Dataset.empty(blueprint.n_features)
+        rng = as_generator(random_state)
+
+        n_clusters = blueprint.centers.shape[0]
+        if blueprint.cluster_weights is not None:
+            weights = np.asarray(blueprint.cluster_weights, dtype=np.float64)
+            weights = weights / weights.sum()
+        else:
+            weights = np.full(n_clusters, 1.0 / n_clusters)
+        assignments = rng.choice(n_clusters, size=count, p=weights)
+
+        features = blueprint.centers[assignments] + rng.normal(
+            0.0, blueprint.noise, size=(count, blueprint.n_features)
+        )
+        labels = np.array(
+            [blueprint.cluster_labels[a] for a in assignments], dtype=np.int64
+        )
+
+        if blueprint.label_noise > 0:
+            flip = rng.random(count) < blueprint.label_noise
+            if flip.any() and self.n_classes > 1:
+                offsets = rng.integers(1, self.n_classes, size=int(flip.sum()))
+                labels[flip] = (labels[flip] + offsets) % self.n_classes
+        return Dataset(features, labels)
+
+    def initial_sliced_dataset(
+        self,
+        initial_sizes: int | Mapping[str, int] | Sequence[int],
+        validation_size: int = 200,
+        random_state: RandomState = None,
+    ) -> SlicedDataset:
+        """Build the starting :class:`SlicedDataset` for an experiment.
+
+        Parameters
+        ----------
+        initial_sizes:
+            Either one integer applied to every slice, a mapping from slice
+            name to size, or a sequence aligned with :attr:`slice_names`.
+        validation_size:
+            Number of held-out validation examples generated per slice (the
+            paper uses 500; smaller values keep tests fast).
+        random_state:
+            Seed or generator.
+        """
+        rng = as_generator(random_state)
+        sizes = self._resolve_sizes(initial_sizes)
+        train_by_slice: dict[str, Dataset] = {}
+        validation_by_slice: dict[str, Dataset] = {}
+        for name in self._order:
+            train_by_slice[name] = self.generate(name, sizes[name], rng)
+            validation_by_slice[name] = self.generate(name, validation_size, rng)
+        return SlicedDataset.from_datasets(
+            train_by_slice,
+            validation_by_slice,
+            n_classes=self.n_classes,
+            costs=self.costs(),
+        )
+
+    def _resolve_sizes(
+        self, initial_sizes: int | Mapping[str, int] | Sequence[int]
+    ) -> dict[str, int]:
+        """Normalize the three accepted ``initial_sizes`` forms to a dict."""
+        if isinstance(initial_sizes, Mapping):
+            missing = set(self._order) - set(initial_sizes)
+            if missing:
+                raise ConfigurationError(
+                    f"initial_sizes is missing slices: {sorted(missing)}"
+                )
+            return {name: int(initial_sizes[name]) for name in self._order}
+        if isinstance(initial_sizes, (int, np.integer)):
+            return {name: int(initial_sizes) for name in self._order}
+        sizes = list(initial_sizes)
+        if len(sizes) != len(self._order):
+            raise ConfigurationError(
+                f"initial_sizes has {len(sizes)} entries but the task has "
+                f"{len(self._order)} slices"
+            )
+        return {name: int(size) for name, size in zip(self._order, sizes)}
+
+
+def exponential_initial_sizes(
+    slice_names: Sequence[str],
+    largest: int = 400,
+    decay: float = 0.85,
+    minimum: int = 30,
+) -> dict[str, int]:
+    """Initial sizes following an exponential distribution (Appendix C).
+
+    The first slice gets ``largest`` examples and each subsequent slice gets
+    ``decay`` times the previous one, floored at ``minimum`` — matching the
+    shape of the "Original" rows of Table 11.
+    """
+    sizes: dict[str, int] = {}
+    current = float(largest)
+    for name in slice_names:
+        sizes[name] = max(int(round(current)), int(minimum))
+        current *= float(decay)
+    return sizes
+
+
+def circle_centers(
+    n_points: int, n_features: int, radius: float, phase: float = 0.0
+) -> np.ndarray:
+    """Place ``n_points`` cluster centers evenly on a circle in the first two dims.
+
+    Remaining feature dimensions are zero; classifiers then separate classes
+    by angle, and the ``radius``/noise ratio controls how hard that is.
+    """
+    if n_features < 2:
+        raise ConfigurationError("circle_centers needs at least 2 features")
+    angles = phase + 2.0 * np.pi * np.arange(n_points) / max(n_points, 1)
+    centers = np.zeros((n_points, n_features), dtype=np.float64)
+    centers[:, 0] = radius * np.cos(angles)
+    centers[:, 1] = radius * np.sin(angles)
+    return centers
+
+
+def orthogonal_centers(
+    n_points: int, n_features: int, radius: float, offset: int = 0
+) -> np.ndarray:
+    """Place ``n_points`` cluster centers on orthogonal axes.
+
+    Center ``i`` is ``radius`` along feature dimension ``offset + i``, so all
+    pairs of centers are equidistant (``radius * sqrt(2)``).  This keeps the
+    per-class difficulty controlled purely by each slice's noise level rather
+    than by which classes happen to be neighbours, which makes the synthetic
+    learning curves clean power laws.
+    """
+    if n_features < offset + n_points:
+        raise ConfigurationError(
+            f"orthogonal_centers needs at least {offset + n_points} features, "
+            f"got {n_features}"
+        )
+    centers = np.zeros((n_points, n_features), dtype=np.float64)
+    for i in range(n_points):
+        centers[i, offset + i] = radius
+    return centers

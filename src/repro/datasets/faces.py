@@ -1,0 +1,120 @@
+"""UTKFace stand-in: 8 race x gender slices for race classification.
+
+The paper's UTKFace experiments classify the race of face images and slice by
+the combination of race (White, Black, Asian, Indian) and gender.  Two
+properties of that dataset matter for Slice Tuner and are reproduced here:
+
+* Slices of the *same race but different gender* contain similar data: in
+  Figure 7, acquiring data for ``White_Male`` lowers the loss of
+  ``White_Female`` while raising the loss of the other races.  The stand-in
+  places the two gender clusters of each race close together (same class
+  label) and the different races on a circle, so growing one race's data
+  pulls the decision boundary in its favour.
+* Crowdsourcing costs differ per slice (Table 1): collecting an Indian-female
+  image took ~50% longer than a Black-male image.  The same cost table is
+  used here and is also re-derived by the crowdsourcing simulator from
+  simulated task durations.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.datasets.blueprints import SliceBlueprint, SyntheticTask
+
+#: Race classes, in label order.
+RACES = ("White", "Black", "Asian", "Indian")
+
+#: Gender halves of each race slice.
+GENDERS = ("Male", "Female")
+
+#: The eight slice names, in the paper's W_M, W_F, B_M, ... order.
+FACE_SLICES = tuple(f"{race}_{gender}" for race in RACES for gender in GENDERS)
+
+#: Average crowdsourcing task time in seconds (Table 1 of the paper).
+UTKFACE_TASK_SECONDS = {
+    "White_Male": 82.1,
+    "White_Female": 81.9,
+    "Black_Male": 67.6,
+    "Black_Female": 79.3,
+    "Asian_Male": 94.8,
+    "Asian_Female": 77.5,
+    "Indian_Male": 91.6,
+    "Indian_Female": 104.6,
+}
+
+#: Per-example acquisition cost (Table 1): task time normalized by the
+#: cheapest slice and rounded to one decimal, exactly as the paper does.
+UTKFACE_COSTS = {
+    "White_Male": 1.2,
+    "White_Female": 1.2,
+    "Black_Male": 1.0,
+    "Black_Female": 1.2,
+    "Asian_Male": 1.4,
+    "Asian_Female": 1.1,
+    "Indian_Male": 1.4,
+    "Indian_Female": 1.5,
+}
+
+#: Feature noise per slice: face classification is noticeably harder than
+#: digit recognition, and some demographics are under-represented in web
+#: imagery which shows up as noisier data.
+_FACE_NOISE = {
+    "White_Male": 1.30,
+    "White_Female": 1.35,
+    "Black_Male": 1.45,
+    "Black_Female": 1.65,
+    "Asian_Male": 1.50,
+    "Asian_Female": 1.55,
+    "Indian_Male": 1.60,
+    "Indian_Female": 1.70,
+}
+
+
+def faces_like_task(
+    n_features: int = 48,
+    race_radius: float = 2.8,
+    gender_offset: float = 1.0,
+    label_noise: float = 0.04,
+) -> SyntheticTask:
+    """Build the UTKFace-like task: 4 race classes, 8 race x gender slices.
+
+    Parameters
+    ----------
+    n_features:
+        Feature dimensionality.
+    race_radius:
+        Radius of the circle the four race centers sit on; together with the
+        per-slice noise this sets the overall difficulty (losses around
+        0.5-0.7 as in the paper's UTKFace tables).
+    gender_offset:
+        Distance between the male and female cluster of the same race.  Small
+        relative to ``race_radius`` so same-race slices are similar.
+    label_noise:
+        Irreducible label noise (ambiguous faces exist).
+    """
+    angles = 2.0 * np.pi * np.arange(len(RACES)) / len(RACES)
+    blueprints = []
+    for race_label, race in enumerate(RACES):
+        race_center = np.zeros(n_features)
+        race_center[0] = race_radius * np.cos(angles[race_label])
+        race_center[1] = race_radius * np.sin(angles[race_label])
+        for gender_index, gender in enumerate(GENDERS):
+            center = race_center.copy()
+            # The gender clusters sit on either side of the race center along
+            # a dimension orthogonal to the race circle.
+            center[2] = gender_offset if gender_index == 0 else -gender_offset
+            name = f"{race}_{gender}"
+            blueprints.append(
+                SliceBlueprint(
+                    name=name,
+                    centers=center[np.newaxis, :],
+                    cluster_labels=(race_label,),
+                    noise=_FACE_NOISE[name],
+                    label_noise=label_noise,
+                    cost=UTKFACE_COSTS[name],
+                )
+            )
+    return SyntheticTask(
+        name="faces_like", blueprints=blueprints, n_classes=len(RACES)
+    )

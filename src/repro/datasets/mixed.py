@@ -1,0 +1,84 @@
+"""Mixed-MNIST stand-in: 20 non-homogeneous slices from two data sources.
+
+The paper combines Fashion-MNIST with MNIST digits to obtain 20 slices whose
+learning curves differ wildly (the digit slices learn much faster — compare
+the two curves of Figure 8b).  Here the "fashion" slices occupy the first ten
+feature axes with relatively high noise, while the "digit" slices occupy the
+next ten axes with low noise, so the digit slices are both easier and close
+to independent of the fashion ones — like combining two genuinely different
+datasets.
+"""
+
+from __future__ import annotations
+
+from repro.datasets.blueprints import SliceBlueprint, SyntheticTask, orthogonal_centers
+from repro.datasets.fashion import FASHION_CLASSES, _FASHION_LABEL_NOISE, _FASHION_NOISE
+
+#: Digit slice names for the MNIST half of the task.
+DIGIT_CLASSES = tuple(f"Digit{d}" for d in range(10))
+
+#: Digits are much easier than clothing items: small noise, almost no label
+#: noise, hence steep learning curves with a low floor.
+_DIGIT_NOISE = {
+    "Digit0": 0.55,
+    "Digit1": 0.45,
+    "Digit2": 0.75,
+    "Digit3": 0.80,
+    "Digit4": 0.70,
+    "Digit5": 0.85,
+    "Digit6": 0.60,
+    "Digit7": 0.65,
+    "Digit8": 0.90,
+    "Digit9": 0.80,
+}
+
+
+def mixed_like_task(
+    n_features: int = 64,
+    fashion_radius: float = 3.0,
+    digit_radius: float = 3.2,
+    cost: float = 1.0,
+) -> SyntheticTask:
+    """Build the Mixed-MNIST-like task with 20 slices and 20 classes.
+
+    The first ten slices/classes are the clothing categories (feature axes
+    0-9); the next ten are digits (feature axes 10-19).  Because the two
+    sources live on disjoint axes they interfere only weakly with each other,
+    while slices within a source still compete.
+    """
+    fashion_centers = orthogonal_centers(
+        len(FASHION_CLASSES), n_features, fashion_radius, offset=0
+    )
+    digit_centers = orthogonal_centers(
+        len(DIGIT_CLASSES), n_features, digit_radius, offset=len(FASHION_CLASSES)
+    )
+
+    blueprints = []
+    for label, class_name in enumerate(FASHION_CLASSES):
+        blueprints.append(
+            SliceBlueprint(
+                name=class_name,
+                centers=fashion_centers[label : label + 1],
+                cluster_labels=(label,),
+                noise=_FASHION_NOISE[class_name],
+                label_noise=_FASHION_LABEL_NOISE[class_name],
+                cost=cost,
+            )
+        )
+    for offset, class_name in enumerate(DIGIT_CLASSES):
+        label = len(FASHION_CLASSES) + offset
+        blueprints.append(
+            SliceBlueprint(
+                name=class_name,
+                centers=digit_centers[offset : offset + 1],
+                cluster_labels=(label,),
+                noise=_DIGIT_NOISE[class_name],
+                label_noise=0.005,
+                cost=cost,
+            )
+        )
+    return SyntheticTask(
+        name="mixed_like",
+        blueprints=blueprints,
+        n_classes=len(FASHION_CLASSES) + len(DIGIT_CLASSES),
+    )

@@ -1,0 +1,52 @@
+"""Registry mapping dataset names to task builders.
+
+The experiment harness and benchmarks refer to datasets by name
+(``"fashion_like"``, ``"mixed_like"``, ``"faces_like"``, ``"adult_like"``);
+this module resolves those names, so new synthetic tasks can be plugged in by
+registering a builder.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.datasets.adult import adult_like_task
+from repro.datasets.blueprints import SyntheticTask
+from repro.datasets.faces import faces_like_task
+from repro.datasets.fashion import fashion_like_task
+from repro.datasets.mixed import mixed_like_task
+from repro.utils.exceptions import ConfigurationError
+
+_REGISTRY: dict[str, Callable[..., SyntheticTask]] = {
+    "fashion_like": fashion_like_task,
+    "mixed_like": mixed_like_task,
+    "faces_like": faces_like_task,
+    "adult_like": adult_like_task,
+}
+
+
+def available_tasks() -> list[str]:
+    """Names of all registered synthetic tasks."""
+    return sorted(_REGISTRY)
+
+
+def register_task(name: str, builder: Callable[..., SyntheticTask]) -> None:
+    """Register a new task ``builder`` under ``name``.
+
+    Raises if the name is already taken, so accidental shadowing of the
+    built-in tasks is caught early.
+    """
+    if name in _REGISTRY:
+        raise ConfigurationError(f"task {name!r} is already registered")
+    _REGISTRY[name] = builder
+
+
+def build_task(name: str, **kwargs: object) -> SyntheticTask:
+    """Build the task registered under ``name``, passing ``kwargs`` through."""
+    try:
+        builder = _REGISTRY[name]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown task {name!r}; available: {available_tasks()}"
+        ) from None
+    return builder(**kwargs)

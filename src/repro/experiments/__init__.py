@@ -1,0 +1,45 @@
+"""Experiment harness reproducing the paper's evaluation (Section 6).
+
+* :mod:`~repro.experiments.config` — experiment configuration (dataset,
+  scenario, budget, methods, trials, speed knobs).
+* :mod:`~repro.experiments.scenarios` — the paper's settings: Basic,
+  Bad-for-Uniform, Bad-for-Water-filling, exponential initial sizes, and the
+  small-slice (unreliable curves) setting.
+* :mod:`~repro.experiments.runner` — runs methods over trials and aggregates
+  loss / Avg. EER / Max. EER / iterations / per-slice acquisitions.
+* :mod:`~repro.experiments.influence` — the Figure 7 influence experiment.
+* :mod:`~repro.experiments.reporting` — renders results as the paper's
+  tables and figure series.
+"""
+
+from repro.experiments.config import ExperimentConfig, fast_training_config
+from repro.experiments.influence import InfluencePoint, influence_experiment
+from repro.experiments.runner import (
+    MethodAggregate,
+    MethodOutcome,
+    compare_methods,
+    run_method,
+)
+from repro.experiments.scenarios import Scenario, build_scenario, list_scenarios
+from repro.experiments.reporting import (
+    comparison_table,
+    methods_table,
+    series_text,
+)
+
+__all__ = [
+    "ExperimentConfig",
+    "fast_training_config",
+    "Scenario",
+    "build_scenario",
+    "list_scenarios",
+    "MethodOutcome",
+    "MethodAggregate",
+    "run_method",
+    "compare_methods",
+    "InfluencePoint",
+    "influence_experiment",
+    "methods_table",
+    "comparison_table",
+    "series_text",
+]

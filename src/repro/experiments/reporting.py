@@ -1,0 +1,86 @@
+"""Rendering experiment results as the paper's tables and figure series."""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+from repro.experiments.runner import MethodAggregate
+from repro.utils.tables import format_series, format_table
+
+
+def methods_table(
+    aggregates: Mapping[str, MethodAggregate],
+    title: str = "",
+    method_order: Sequence[str] | None = None,
+) -> str:
+    """Table 2 / Table 7 / Table 9 / Table 10 style: Loss and Avg/Max EER per method."""
+    order = list(method_order) if method_order else list(aggregates)
+    rows = []
+    for method in order:
+        aggregate = aggregates[method]
+        rows.append(
+            [
+                method,
+                f"{aggregate.loss_mean:.3f} ± {aggregate.loss_std:.3f}",
+                f"{aggregate.avg_eer_mean:.3f} / {aggregate.max_eer_mean:.3f}",
+                f"{aggregate.iterations_mean:.1f}",
+            ]
+        )
+    return format_table(
+        headers=["Method", "Loss", "Avg./Max. EER", "# Iterations"],
+        rows=rows,
+        title=title,
+    )
+
+
+def allocations_table(
+    aggregates: Mapping[str, MethodAggregate],
+    slice_names: Sequence[str],
+    title: str = "",
+    method_order: Sequence[str] | None = None,
+) -> str:
+    """Table 3 / Table 5 / Table 11 style: mean examples acquired per slice."""
+    order = list(method_order) if method_order else list(aggregates)
+    rows = []
+    for method in order:
+        aggregate = aggregates[method]
+        rows.append(
+            [method]
+            + [f"{aggregate.acquired_mean.get(name, 0.0):.0f}" for name in slice_names]
+            + [f"{aggregate.iterations_mean:.1f}"]
+        )
+    return format_table(
+        headers=["Method", *slice_names, "# Iters"],
+        rows=rows,
+        title=title,
+    )
+
+
+def comparison_table(
+    per_setting: Mapping[str, Mapping[str, MethodAggregate]],
+    methods: Sequence[str],
+    title: str = "",
+) -> str:
+    """Table 6 style: methods as rows, settings as column groups."""
+    headers = ["Method"]
+    for setting in per_setting:
+        headers.extend([f"{setting}: Loss", f"{setting}: Avg. EER"])
+    rows = []
+    for method in methods:
+        row: list[object] = [method]
+        for setting, aggregates in per_setting.items():
+            aggregate = aggregates[method]
+            row.append(f"{aggregate.loss_mean:.3f} ± {aggregate.loss_std:.3f}")
+            row.append(f"{aggregate.avg_eer_mean:.3f} ± {aggregate.avg_eer_std:.3f}")
+        rows.append(row)
+    return format_table(headers=headers, rows=rows, title=title)
+
+
+def series_text(
+    series: Mapping[str, Sequence[tuple[float, float]]],
+    x_label: str,
+    y_label: str,
+    title: str = "",
+) -> str:
+    """Figure 7 / 8 / 9 / 10 / 11 style: named line series rendered as text."""
+    return format_series(series, x_label=x_label, y_label=y_label, title=title)

@@ -1,0 +1,217 @@
+"""Running and aggregating experiments.
+
+``run_method`` executes one acquisition method on one freshly generated
+instance of a dataset/scenario; ``compare_methods`` repeats that over several
+independently seeded trials for every configured method and aggregates the
+results into the mean/std statistics the paper reports (Tables 2, 6, 7, 9,
+10 and Figure 10).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping
+
+import numpy as np
+
+from repro.acquisition.source import GeneratorDataSource
+from repro.core.tuner import SliceTuner, SliceTunerConfig
+from repro.curves.estimator import ModelFactory, default_model_factory
+from repro.datasets.registry import build_task
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.scenarios import build_scenario
+from repro.ml.mlp import MLPClassifier
+from repro.slices.sliced_dataset import SlicedDataset
+from repro.utils.exceptions import ConfigurationError
+
+
+@dataclass
+class MethodOutcome:
+    """Result of one method on one trial."""
+
+    method: str
+    trial: int
+    loss: float
+    avg_eer: float
+    max_eer: float
+    initial_loss: float
+    initial_avg_eer: float
+    initial_max_eer: float
+    iterations: int
+    spent: float
+    acquired: dict[str, int] = field(default_factory=dict)
+
+
+@dataclass
+class MethodAggregate:
+    """Mean/std statistics of one method over all trials."""
+
+    method: str
+    loss_mean: float
+    loss_std: float
+    avg_eer_mean: float
+    avg_eer_std: float
+    max_eer_mean: float
+    max_eer_std: float
+    iterations_mean: float
+    spent_mean: float
+    acquired_mean: dict[str, float] = field(default_factory=dict)
+
+    @classmethod
+    def from_outcomes(cls, outcomes: list[MethodOutcome]) -> "MethodAggregate":
+        """Aggregate per-trial outcomes for one method."""
+        if not outcomes:
+            raise ConfigurationError("cannot aggregate zero outcomes")
+        slice_names = outcomes[0].acquired.keys()
+        return cls(
+            method=outcomes[0].method,
+            loss_mean=float(np.mean([o.loss for o in outcomes])),
+            loss_std=float(np.std([o.loss for o in outcomes])),
+            avg_eer_mean=float(np.mean([o.avg_eer for o in outcomes])),
+            avg_eer_std=float(np.std([o.avg_eer for o in outcomes])),
+            max_eer_mean=float(np.mean([o.max_eer for o in outcomes])),
+            max_eer_std=float(np.std([o.max_eer for o in outcomes])),
+            iterations_mean=float(np.mean([o.iterations for o in outcomes])),
+            spent_mean=float(np.mean([o.spent for o in outcomes])),
+            acquired_mean={
+                name: float(np.mean([o.acquired.get(name, 0) for o in outcomes]))
+                for name in slice_names
+            },
+        )
+
+
+def _model_factory_for(config: ExperimentConfig) -> ModelFactory:
+    """Pick the model family for an experiment (``extra["model"]``)."""
+    model_kind = str(config.extra.get("model", "softmax")).lower()
+    if model_kind == "softmax":
+        return default_model_factory
+    if model_kind == "mlp":
+        hidden = tuple(config.extra.get("hidden_sizes", (32,)))
+        return lambda n_classes: MLPClassifier(
+            n_classes=n_classes, hidden_sizes=hidden, random_state=0
+        )
+    raise ConfigurationError(f"unknown model kind {model_kind!r}")
+
+
+def prepare_instance(
+    config: ExperimentConfig, seed: int
+) -> tuple[SlicedDataset, GeneratorDataSource]:
+    """Generate one fresh (sliced dataset, acquisition source) pair."""
+    task = build_task(config.dataset, **config.extra.get("task_kwargs", {}))
+    scenario = build_scenario(config.scenario)
+    base_size = int(config.extra.get("base_size", 200))
+    initial_sizes = scenario.initial_sizes(task, base_size)
+    sliced = task.initial_sliced_dataset(
+        initial_sizes,
+        validation_size=config.validation_size,
+        random_state=seed,
+    )
+    source = GeneratorDataSource(task, random_state=seed + 10_000)
+    return sliced, source
+
+
+def run_method(
+    config: ExperimentConfig, method: str, trial: int
+) -> MethodOutcome:
+    """Run one method for one trial and measure loss/unfairness before/after."""
+    seed = config.seed + trial
+    sliced, source = prepare_instance(config, seed)
+    tuner = SliceTuner(
+        sliced=sliced,
+        source=source,
+        model_factory=_model_factory_for(config),
+        trainer_config=config.training_config(),
+        curve_config=config.curve_config(),
+        config=SliceTunerConfig(
+            lam=config.lam,
+            min_slice_size=config.min_slice_size,
+        ),
+        random_state=seed + 20_000,
+    )
+    if method == "original":
+        report = tuner.evaluate()
+        return MethodOutcome(
+            method="original",
+            trial=trial,
+            loss=report.loss,
+            avg_eer=report.avg_eer,
+            max_eer=report.max_eer,
+            initial_loss=report.loss,
+            initial_avg_eer=report.avg_eer,
+            initial_max_eer=report.max_eer,
+            iterations=0,
+            spent=0.0,
+            acquired={name: 0 for name in sliced.names},
+        )
+
+    result = tuner.run(config.budget, method=method, lam=config.lam, evaluate=True)
+    return MethodOutcome(
+        method=method,
+        trial=trial,
+        loss=result.final_report.loss,
+        avg_eer=result.final_report.avg_eer,
+        max_eer=result.final_report.max_eer,
+        initial_loss=result.initial_report.loss,
+        initial_avg_eer=result.initial_report.avg_eer,
+        initial_max_eer=result.initial_report.max_eer,
+        iterations=result.n_iterations,
+        spent=result.spent,
+        acquired=dict(result.total_acquired),
+    )
+
+
+def compare_methods(
+    config: ExperimentConfig, include_original: bool = True
+) -> dict[str, MethodAggregate]:
+    """Run every configured method over all trials and aggregate.
+
+    Returns a mapping from method name to its aggregate; the pseudo-method
+    ``"original"`` (no acquisition) is included when requested, as in the
+    paper's tables.
+    """
+    methods = list(config.methods)
+    if include_original and "original" not in methods:
+        methods = ["original", *methods]
+    outcomes: dict[str, list[MethodOutcome]] = {m: [] for m in methods}
+    for method in methods:
+        for trial in range(config.trials):
+            outcomes[method].append(run_method(config, method, trial))
+    return {
+        method: MethodAggregate.from_outcomes(results)
+        for method, results in outcomes.items()
+    }
+
+
+def budget_sweep(
+    config: ExperimentConfig, budgets: list[float]
+) -> dict[str, list[tuple[float, float, float]]]:
+    """Loss and Avg. EER of every method at several budgets (Figure 10).
+
+    Returns ``{method: [(budget, loss_mean, avg_eer_mean), ...]}``.
+    """
+    series: dict[str, list[tuple[float, float, float]]] = {
+        method: [] for method in config.methods
+    }
+    for budget in budgets:
+        sweep_config = ExperimentConfig(
+            dataset=config.dataset,
+            scenario=config.scenario,
+            budget=float(budget),
+            methods=config.methods,
+            lam=config.lam,
+            trials=config.trials,
+            validation_size=config.validation_size,
+            min_slice_size=config.min_slice_size,
+            curve_points=config.curve_points,
+            curve_repeats=config.curve_repeats,
+            epochs=config.epochs,
+            seed=config.seed,
+            extra=dict(config.extra),
+        )
+        aggregates = compare_methods(sweep_config, include_original=False)
+        for method in config.methods:
+            aggregate = aggregates[method]
+            series[method].append(
+                (float(budget), aggregate.loss_mean, aggregate.avg_eer_mean)
+            )
+    return series

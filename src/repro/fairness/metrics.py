@@ -1,0 +1,141 @@
+"""Fairness metric implementations.
+
+All metrics operate on plain numbers (per-slice losses, predictions, labels)
+so they can be unit-tested without training models; the report module wires
+them to live models and sliced datasets.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from repro.utils.exceptions import ConfigurationError
+
+
+def _as_loss_array(
+    slice_losses: Mapping[str, float] | Sequence[float],
+) -> np.ndarray:
+    values = (
+        list(slice_losses.values())
+        if isinstance(slice_losses, Mapping)
+        else list(slice_losses)
+    )
+    if not values:
+        raise ConfigurationError("at least one slice loss is required")
+    array = np.asarray(values, dtype=np.float64)
+    if np.any(~np.isfinite(array)):
+        raise ConfigurationError(f"slice losses must be finite, got {values}")
+    return array
+
+
+def unfairness(
+    slice_losses: Mapping[str, float] | Sequence[float],
+    overall_loss: float,
+    aggregate: str = "average",
+) -> float:
+    """Unfairness per Definition 1 of the paper.
+
+    ``avg_i |psi(s_i, M) - psi(D, M)|`` when ``aggregate="average"`` (the
+    paper's main measure) or the maximum absolute difference when
+    ``aggregate="max"`` (the worst-case variant).
+
+    Parameters
+    ----------
+    slice_losses:
+        Loss of the model on each slice.
+    overall_loss:
+        Loss of the model on the entire dataset ``D``.
+    aggregate:
+        ``"average"`` or ``"max"``.
+    """
+    losses = _as_loss_array(slice_losses)
+    if not np.isfinite(overall_loss):
+        raise ConfigurationError(f"overall_loss must be finite, got {overall_loss}")
+    differences = np.abs(losses - float(overall_loss))
+    if aggregate == "average":
+        return float(differences.mean())
+    if aggregate == "max":
+        return float(differences.max())
+    raise ConfigurationError(
+        f"aggregate must be 'average' or 'max', got {aggregate!r}"
+    )
+
+
+def average_equalized_error_rates(
+    slice_losses: Mapping[str, float] | Sequence[float], overall_loss: float
+) -> float:
+    """Average EER: mean absolute deviation of slice losses from the overall loss."""
+    return unfairness(slice_losses, overall_loss, aggregate="average")
+
+
+def max_equalized_error_rates(
+    slice_losses: Mapping[str, float] | Sequence[float], overall_loss: float
+) -> float:
+    """Max EER: largest absolute deviation of a slice loss from the overall loss."""
+    return unfairness(slice_losses, overall_loss, aggregate="max")
+
+
+def demographic_parity_difference(
+    predictions: Sequence[int] | np.ndarray,
+    groups: Sequence[int] | np.ndarray,
+    positive_class: int = 1,
+) -> float:
+    """Largest gap in positive-prediction rate between any two groups.
+
+    A value of 0 means every group receives positive predictions at the same
+    rate.  Provided for context; Slice Tuner optimizes equalized error rates
+    instead.
+    """
+    predictions = np.asarray(predictions)
+    groups = np.asarray(groups)
+    if predictions.shape[0] != groups.shape[0]:
+        raise ConfigurationError("predictions and groups must have the same length")
+    if predictions.shape[0] == 0:
+        raise ConfigurationError("at least one prediction is required")
+    rates = []
+    for group in np.unique(groups):
+        mask = groups == group
+        rates.append(float(np.mean(predictions[mask] == positive_class)))
+    return float(max(rates) - min(rates))
+
+
+def equalized_odds_difference(
+    predictions: Sequence[int] | np.ndarray,
+    labels: Sequence[int] | np.ndarray,
+    groups: Sequence[int] | np.ndarray,
+    positive_class: int = 1,
+) -> float:
+    """Largest gap in true- or false-positive rate between any two groups.
+
+    Groups with no positive (respectively negative) examples are skipped for
+    the corresponding rate.
+    """
+    predictions = np.asarray(predictions)
+    labels = np.asarray(labels)
+    groups = np.asarray(groups)
+    if not (predictions.shape[0] == labels.shape[0] == groups.shape[0]):
+        raise ConfigurationError(
+            "predictions, labels, and groups must have the same length"
+        )
+    if predictions.shape[0] == 0:
+        raise ConfigurationError("at least one prediction is required")
+
+    tpr, fpr = [], []
+    for group in np.unique(groups):
+        mask = groups == group
+        positives = mask & (labels == positive_class)
+        negatives = mask & (labels != positive_class)
+        if positives.any():
+            tpr.append(float(np.mean(predictions[positives] == positive_class)))
+        if negatives.any():
+            fpr.append(float(np.mean(predictions[negatives] == positive_class)))
+    gaps = []
+    if len(tpr) >= 2:
+        gaps.append(max(tpr) - min(tpr))
+    if len(fpr) >= 2:
+        gaps.append(max(fpr) - min(fpr))
+    if not gaps:
+        return 0.0
+    return float(max(gaps))

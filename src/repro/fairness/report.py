@@ -1,0 +1,87 @@
+"""Fairness/accuracy evaluation of a trained model on a sliced dataset.
+
+This is the "Model Training and Analysis" box of the paper's Figure 4: given
+a model and the per-slice validation sets, compute the overall loss, every
+slice's loss, and the unfairness measures, packaged for reporting.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.fairness.metrics import (
+    average_equalized_error_rates,
+    max_equalized_error_rates,
+)
+from repro.ml.metrics import ProbabilisticClassifier, log_loss, overall_loss
+from repro.slices.sliced_dataset import SlicedDataset
+from repro.utils.tables import format_table
+
+
+@dataclass
+class FairnessReport:
+    """Loss and unfairness of one trained model on one sliced dataset.
+
+    Attributes
+    ----------
+    loss:
+        Log loss on the union of all slices' validation data (the paper's
+        ``psi(D, M)``).
+    slice_losses:
+        Log loss per slice.
+    avg_eer:
+        Average equalized error rates (Definition 1).
+    max_eer:
+        Maximum equalized error rates.
+    slice_sizes:
+        Training-set size per slice at evaluation time (for context in
+        reports).
+    """
+
+    loss: float
+    slice_losses: dict[str, float]
+    avg_eer: float
+    max_eer: float
+    slice_sizes: dict[str, int] = field(default_factory=dict)
+
+    def worst_slice(self) -> str:
+        """Name of the slice with the highest loss."""
+        return max(self.slice_losses, key=self.slice_losses.get)
+
+    def best_slice(self) -> str:
+        """Name of the slice with the lowest loss."""
+        return min(self.slice_losses, key=self.slice_losses.get)
+
+    def to_text(self) -> str:
+        """Render the report as an aligned text table."""
+        rows = [
+            [name, self.slice_sizes.get(name, 0), loss, abs(loss - self.loss)]
+            for name, loss in self.slice_losses.items()
+        ]
+        table = format_table(
+            headers=["slice", "train size", "loss", "|loss - overall|"],
+            rows=rows,
+            title=(
+                f"overall loss = {self.loss:.4f}   avg EER = {self.avg_eer:.4f}   "
+                f"max EER = {self.max_eer:.4f}"
+            ),
+        )
+        return table
+
+
+def evaluate_fairness(
+    model: ProbabilisticClassifier, sliced: SlicedDataset
+) -> FairnessReport:
+    """Evaluate ``model`` on every slice's validation data of ``sliced``."""
+    validation = sliced.validation_by_slice()
+    slice_losses = {
+        name: log_loss(model, dataset) for name, dataset in validation.items()
+    }
+    loss = overall_loss(model, list(validation.values()))
+    return FairnessReport(
+        loss=loss,
+        slice_losses=slice_losses,
+        avg_eer=average_equalized_error_rates(slice_losses, loss),
+        max_eer=max_equalized_error_rates(slice_losses, loss),
+        slice_sizes={name: sliced[name].size for name in sliced.names},
+    )

@@ -1,0 +1,50 @@
+"""Machine-learning substrate built on NumPy.
+
+The paper trains Keras CNNs; this reproduction substitutes NumPy
+implementations of softmax regression and multi-layer perceptrons (see
+``DESIGN.md``).  Slice Tuner only consumes per-slice validation losses as a
+function of training-set size, so any classifier with the familiar power-law
+loss decay exercises the framework's code paths faithfully.
+
+Public entry points:
+
+* :class:`~repro.ml.data.Dataset` — immutable (features, labels) container.
+* :class:`~repro.ml.linear.SoftmaxRegression` and
+  :class:`~repro.ml.mlp.MLPClassifier` — the classifiers.
+* :class:`~repro.ml.train.Trainer` / :class:`~repro.ml.train.TrainingConfig`
+  — the training loop with mini-batching and early stopping.
+* :func:`~repro.ml.metrics.log_loss`, :func:`~repro.ml.metrics.accuracy`,
+  :func:`~repro.ml.metrics.per_slice_losses` — evaluation helpers.
+"""
+
+from repro.ml.data import Dataset, train_validation_split
+from repro.ml.linear import LogisticRegression, SoftmaxRegression
+from repro.ml.losses import cross_entropy_loss, sigmoid, softmax
+from repro.ml.metrics import accuracy, log_loss, per_slice_losses
+from repro.ml.mlp import MLPClassifier
+from repro.ml.optim import SGD, Adam, Momentum, Optimizer
+from repro.ml.preprocessing import OneHotEncoder, StandardScaler
+from repro.ml.train import Trainer, TrainingConfig, TrainingResult
+
+__all__ = [
+    "Dataset",
+    "train_validation_split",
+    "LogisticRegression",
+    "SoftmaxRegression",
+    "MLPClassifier",
+    "softmax",
+    "sigmoid",
+    "cross_entropy_loss",
+    "log_loss",
+    "accuracy",
+    "per_slice_losses",
+    "Optimizer",
+    "SGD",
+    "Momentum",
+    "Adam",
+    "StandardScaler",
+    "OneHotEncoder",
+    "Trainer",
+    "TrainingConfig",
+    "TrainingResult",
+]

@@ -1,0 +1,91 @@
+"""Evaluation metrics: log loss, accuracy, error rate, and per-slice losses.
+
+The per-slice loss evaluation is the quantity everything else in Slice Tuner
+is built on: learning curves fit it, the optimizer predicts it, and the
+unfairness measure compares it against the loss on the whole dataset.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Protocol, Sequence
+
+import numpy as np
+
+from repro.ml.data import Dataset
+from repro.ml.losses import cross_entropy_loss
+
+
+class ProbabilisticClassifier(Protocol):
+    """Anything that can produce class probabilities and hard predictions."""
+
+    def predict_proba(self, features: np.ndarray) -> np.ndarray: ...
+
+    def predict(self, features: np.ndarray) -> np.ndarray: ...
+
+
+def log_loss(model: ProbabilisticClassifier, dataset: Dataset) -> float:
+    """Mean multi-class log loss of ``model`` on ``dataset``.
+
+    Returns ``nan`` for an empty dataset so callers can detect and skip it
+    rather than silently treating it as a perfect score.
+    """
+    if len(dataset) == 0:
+        return float("nan")
+    probabilities = model.predict_proba(dataset.features)
+    return cross_entropy_loss(probabilities, dataset.labels)
+
+
+def accuracy(model: ProbabilisticClassifier, dataset: Dataset) -> float:
+    """Fraction of correct hard predictions on ``dataset``."""
+    if len(dataset) == 0:
+        return float("nan")
+    predictions = model.predict(dataset.features)
+    return float(np.mean(predictions == dataset.labels))
+
+
+def error_rate(model: ProbabilisticClassifier, dataset: Dataset) -> float:
+    """Misclassification rate (``1 - accuracy``)."""
+    acc = accuracy(model, dataset)
+    return float("nan") if np.isnan(acc) else 1.0 - acc
+
+
+def per_slice_losses(
+    model: ProbabilisticClassifier,
+    slice_datasets: Mapping[str, Dataset] | Sequence[Dataset],
+) -> dict[str, float] | list[float]:
+    """Log loss of ``model`` on each slice's evaluation dataset.
+
+    Accepts either a mapping from slice name to dataset (returns a dict) or a
+    sequence of datasets (returns a list in the same order).
+    """
+    if isinstance(slice_datasets, Mapping):
+        return {name: log_loss(model, ds) for name, ds in slice_datasets.items()}
+    return [log_loss(model, ds) for ds in slice_datasets]
+
+
+def overall_loss(
+    model: ProbabilisticClassifier, slice_datasets: Sequence[Dataset]
+) -> float:
+    """Log loss over the union of all slices' evaluation data.
+
+    This corresponds to the paper's :math:`\\psi(D, M)`: the loss on the
+    entire dataset, where larger slices naturally weigh more.
+    """
+    non_empty = [ds for ds in slice_datasets if len(ds) > 0]
+    if not non_empty:
+        return float("nan")
+    combined = Dataset.concatenate(non_empty)
+    return log_loss(model, combined)
+
+
+def confusion_matrix(
+    model: ProbabilisticClassifier, dataset: Dataset, n_classes: int
+) -> np.ndarray:
+    """Return the ``(n_classes, n_classes)`` confusion matrix (rows = truth)."""
+    matrix = np.zeros((n_classes, n_classes), dtype=np.int64)
+    if len(dataset) == 0:
+        return matrix
+    predictions = model.predict(dataset.features)
+    for truth, predicted in zip(dataset.labels, predictions):
+        matrix[int(truth), int(predicted)] += 1
+    return matrix

@@ -1,0 +1,106 @@
+"""Feature preprocessing: standardization and one-hot encoding.
+
+The synthetic tabular datasets (AdultCensus stand-in) mix continuous and
+categorical columns; the image-like datasets are already dense floats.  Both
+benefit from standardization before gradient-based training.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.exceptions import ConfigurationError
+
+
+class StandardScaler:
+    """Standardize features to zero mean and unit variance, column-wise.
+
+    Columns with zero variance are left centred but unscaled (divided by 1)
+    so constant features do not produce NaNs.
+    """
+
+    def __init__(self) -> None:
+        self.mean_: np.ndarray | None = None
+        self.scale_: np.ndarray | None = None
+
+    def fit(self, features: np.ndarray) -> "StandardScaler":
+        """Learn per-column mean and standard deviation from ``features``."""
+        features = np.asarray(features, dtype=np.float64)
+        if features.ndim != 2:
+            raise ConfigurationError(
+                f"features must be 2-dimensional, got shape {features.shape}"
+            )
+        if features.shape[0] == 0:
+            raise ConfigurationError("cannot fit a StandardScaler on zero rows")
+        self.mean_ = features.mean(axis=0)
+        std = features.std(axis=0)
+        std[std == 0.0] = 1.0
+        self.scale_ = std
+        return self
+
+    def transform(self, features: np.ndarray) -> np.ndarray:
+        """Apply the learned standardization."""
+        if self.mean_ is None or self.scale_ is None:
+            raise ConfigurationError("StandardScaler must be fitted before transform")
+        features = np.asarray(features, dtype=np.float64)
+        return (features - self.mean_) / self.scale_
+
+    def fit_transform(self, features: np.ndarray) -> np.ndarray:
+        """Fit on ``features`` and return the transformed array."""
+        return self.fit(features).transform(features)
+
+    def inverse_transform(self, features: np.ndarray) -> np.ndarray:
+        """Undo the standardization."""
+        if self.mean_ is None or self.scale_ is None:
+            raise ConfigurationError("StandardScaler must be fitted before use")
+        return np.asarray(features, dtype=np.float64) * self.scale_ + self.mean_
+
+
+class OneHotEncoder:
+    """One-hot encode integer categorical columns.
+
+    Categories are learned per column during :meth:`fit`; unseen categories at
+    transform time map to an all-zero block for that column, which keeps
+    downstream models well-defined when acquisition introduces new values.
+    """
+
+    def __init__(self) -> None:
+        self.categories_: list[np.ndarray] | None = None
+
+    def fit(self, columns: np.ndarray) -> "OneHotEncoder":
+        """Learn the category sets of each column of ``columns``."""
+        columns = np.asarray(columns)
+        if columns.ndim != 2:
+            raise ConfigurationError(
+                f"columns must be 2-dimensional, got shape {columns.shape}"
+            )
+        self.categories_ = [np.unique(columns[:, j]) for j in range(columns.shape[1])]
+        return self
+
+    @property
+    def n_output_features(self) -> int:
+        """Width of the encoded output."""
+        if self.categories_ is None:
+            raise ConfigurationError("OneHotEncoder must be fitted before use")
+        return int(sum(len(cats) for cats in self.categories_))
+
+    def transform(self, columns: np.ndarray) -> np.ndarray:
+        """Encode ``columns`` into a dense 0/1 float matrix."""
+        if self.categories_ is None:
+            raise ConfigurationError("OneHotEncoder must be fitted before transform")
+        columns = np.asarray(columns)
+        if columns.ndim != 2 or columns.shape[1] != len(self.categories_):
+            raise ConfigurationError(
+                f"expected {len(self.categories_)} columns, got shape {columns.shape}"
+            )
+        blocks = []
+        for j, categories in enumerate(self.categories_):
+            block = np.zeros((columns.shape[0], len(categories)), dtype=np.float64)
+            for k, category in enumerate(categories):
+                block[:, k] = (columns[:, j] == category).astype(np.float64)
+            blocks.append(block)
+        return np.concatenate(blocks, axis=1)
+
+    def fit_transform(self, columns: np.ndarray) -> np.ndarray:
+        """Fit on ``columns`` and return the encoded matrix."""
+        return self.fit(columns).transform(columns)

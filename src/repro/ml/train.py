@@ -1,0 +1,213 @@
+"""Shared mini-batch training loop.
+
+Every model training in the reproduction — the hundreds of trainings behind
+learning-curve estimation, the final evaluation trainings, the influence
+experiments — goes through :class:`Trainer` so they all use the same
+hyperparameters, batching, and early-stopping behaviour, exactly like the
+paper fixes hyperparameters once per dataset and never changes them again.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Protocol, Sequence
+
+import numpy as np
+
+from repro.ml.data import Dataset
+from repro.ml.optim import Optimizer, make_optimizer
+from repro.utils.exceptions import ConfigurationError
+from repro.utils.rng import RandomState, as_generator
+from repro.utils.validation import check_positive_int
+
+
+class TrainableModel(Protocol):
+    """Structural interface the Trainer expects of a model."""
+
+    n_classes: int
+
+    def initialize(self, n_features: int) -> None: ...
+
+    def parameters(self) -> list[np.ndarray]: ...
+
+    def gradients(
+        self, features: np.ndarray, labels: np.ndarray
+    ) -> list[np.ndarray]: ...
+
+    def loss(self, dataset: Dataset) -> float: ...
+
+    def predict(self, features: np.ndarray) -> np.ndarray: ...
+
+
+@dataclass(frozen=True)
+class TrainingConfig:
+    """Hyperparameters for a training run.
+
+    Attributes
+    ----------
+    epochs:
+        Maximum number of passes over the training data.
+    batch_size:
+        Mini-batch size; batches are drawn without replacement each epoch.
+    optimizer:
+        Name of the optimizer (``"sgd"``, ``"momentum"``, ``"adam"``).
+    learning_rate:
+        Step size passed to the optimizer.
+    early_stopping_patience:
+        Stop if the validation loss has not improved for this many epochs.
+        ``0`` disables early stopping.
+    validation_fraction:
+        When early stopping is enabled and no explicit validation set is
+        given to :meth:`Trainer.fit`, this fraction of the training data is
+        held out internally.
+    """
+
+    epochs: int = 60
+    batch_size: int = 32
+    optimizer: str = "adam"
+    learning_rate: float = 0.02
+    early_stopping_patience: int = 0
+    validation_fraction: float = 0.0
+
+    def __post_init__(self) -> None:
+        check_positive_int(self.epochs, "epochs")
+        check_positive_int(self.batch_size, "batch_size")
+        if self.early_stopping_patience < 0:
+            raise ConfigurationError(
+                f"early_stopping_patience must be >= 0, got "
+                f"{self.early_stopping_patience}"
+            )
+        if not 0.0 <= self.validation_fraction < 1.0:
+            raise ConfigurationError(
+                f"validation_fraction must lie in [0, 1), got "
+                f"{self.validation_fraction}"
+            )
+
+
+@dataclass
+class TrainingResult:
+    """Outcome of a training run.
+
+    Attributes
+    ----------
+    epochs_run:
+        Number of epochs actually executed (may be fewer than configured if
+        early stopping triggered).
+    train_losses:
+        Per-epoch loss on the training data.
+    validation_losses:
+        Per-epoch loss on the validation data (empty when none was used).
+    stopped_early:
+        Whether the patience criterion ended training.
+    """
+
+    epochs_run: int = 0
+    train_losses: list[float] = field(default_factory=list)
+    validation_losses: list[float] = field(default_factory=list)
+    stopped_early: bool = False
+
+    @property
+    def final_train_loss(self) -> float:
+        """Loss on the training data after the last epoch."""
+        return self.train_losses[-1] if self.train_losses else float("nan")
+
+
+class Trainer:
+    """Mini-batch gradient-descent training loop.
+
+    Parameters
+    ----------
+    config:
+        Training hyperparameters; a default config is used when omitted.
+    random_state:
+        Controls batch shuffling and the internal validation split.
+    """
+
+    def __init__(
+        self,
+        config: TrainingConfig | None = None,
+        random_state: RandomState = None,
+    ) -> None:
+        self.config = config or TrainingConfig()
+        self._rng = as_generator(random_state)
+
+    def fit(
+        self,
+        model: TrainableModel,
+        train: Dataset,
+        validation: Dataset | None = None,
+    ) -> TrainingResult:
+        """Train ``model`` on ``train`` and return a :class:`TrainingResult`.
+
+        The model is (re-)initialized, so a fresh model of the same
+        architecture is fitted each time — matching the paper's protocol of
+        retraining from scratch on every data subset.
+        """
+        if len(train) == 0:
+            raise ConfigurationError("cannot train on an empty dataset")
+        config = self.config
+
+        if (
+            validation is None
+            and config.early_stopping_patience > 0
+            and config.validation_fraction > 0.0
+            and len(train) >= 10
+        ):
+            from repro.ml.data import train_validation_split
+
+            train, validation = train_validation_split(
+                train, config.validation_fraction, random_state=self._rng
+            )
+
+        model.initialize(train.n_features)
+        optimizer: Optimizer = make_optimizer(config.optimizer, config.learning_rate)
+        result = TrainingResult()
+
+        best_validation = float("inf")
+        epochs_without_improvement = 0
+
+        for epoch in range(config.epochs):
+            self._run_epoch(model, optimizer, train)
+            result.epochs_run = epoch + 1
+            result.train_losses.append(model.loss(train))
+
+            if validation is not None and len(validation) > 0:
+                val_loss = model.loss(validation)
+                result.validation_losses.append(val_loss)
+                if config.early_stopping_patience > 0:
+                    if val_loss < best_validation - 1e-6:
+                        best_validation = val_loss
+                        epochs_without_improvement = 0
+                    else:
+                        epochs_without_improvement += 1
+                        if epochs_without_improvement >= config.early_stopping_patience:
+                            result.stopped_early = True
+                            break
+        return result
+
+    def _run_epoch(
+        self, model: TrainableModel, optimizer: Optimizer, train: Dataset
+    ) -> None:
+        """One pass over the training data in shuffled mini-batches."""
+        n = len(train)
+        order = self._rng.permutation(n)
+        batch_size = min(self.config.batch_size, n)
+        for start in range(0, n, batch_size):
+            batch_idx = order[start : start + batch_size]
+            features = train.features[batch_idx]
+            labels = train.labels[batch_idx]
+            grads = model.gradients(features, labels)
+            optimizer.update(model.parameters(), grads)
+
+
+def train_model(
+    model: TrainableModel,
+    train: Dataset,
+    validation: Dataset | None = None,
+    config: TrainingConfig | None = None,
+    random_state: RandomState = None,
+) -> TrainingResult:
+    """Functional convenience wrapper around :class:`Trainer`."""
+    return Trainer(config=config, random_state=random_state).fit(
+        model, train, validation
+    )

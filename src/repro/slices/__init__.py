@@ -1,0 +1,26 @@
+"""Data slicing: slice definitions, partition management, automatic slicing.
+
+A *slice* is a named subset of the training data (Section 2.1 of the paper);
+the slices partition the dataset.  The central container is
+:class:`~repro.slices.sliced_dataset.SlicedDataset`, which keeps per-slice
+training data, per-slice validation data, and per-slice acquisition cost, and
+is the object the Slice Tuner core operates on.
+"""
+
+from repro.slices.auto_slicer import AutoSlicer, SliceCandidate
+from repro.slices.predicates import FeaturePredicate, partition_by_predicates
+from repro.slices.slice import Slice, SliceSpec
+from repro.slices.sliced_dataset import SlicedDataset
+from repro.slices.validation import check_partition, imbalance_ratio
+
+__all__ = [
+    "Slice",
+    "SliceSpec",
+    "SlicedDataset",
+    "FeaturePredicate",
+    "partition_by_predicates",
+    "AutoSlicer",
+    "SliceCandidate",
+    "check_partition",
+    "imbalance_ratio",
+]

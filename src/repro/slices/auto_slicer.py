@@ -1,0 +1,181 @@
+"""Automatic slicing (Appendix A of the paper).
+
+The paper sketches a decision-tree style procedure: starting from the whole
+dataset, iteratively split slices that are *biased* — i.e. whose examples are
+heterogeneous enough that acquiring one example is not interchangeable with
+acquiring another — until every leaf slice is acceptably unbiased or a depth
+or size limit is hit.
+
+Bias is measured here with the label-entropy of a candidate slice combined
+with the variance reduction of the best feature split, which follows the
+appendix's suggestion of an "entropy-based measure" and standard decision
+tree practice.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.ml.data import Dataset
+from repro.utils.exceptions import ConfigurationError
+from repro.utils.validation import check_positive_int
+
+
+def label_entropy(dataset: Dataset) -> float:
+    """Shannon entropy (nats) of the label distribution of ``dataset``."""
+    if len(dataset) == 0:
+        return 0.0
+    counts = np.bincount(dataset.labels)
+    probabilities = counts[counts > 0] / counts.sum()
+    return float(-np.sum(probabilities * np.log(probabilities)))
+
+
+@dataclass
+class SliceCandidate:
+    """A (possibly internal) node of the automatic slicing tree.
+
+    Attributes
+    ----------
+    name:
+        Path-style name encoding the splits that produced the slice, e.g.
+        ``"root/x3<=0.52/x1>1.10"``.
+    dataset:
+        The examples belonging to this node.
+    depth:
+        Number of splits applied to reach this node.
+    entropy:
+        Label entropy of the node, the bias proxy.
+    """
+
+    name: str
+    dataset: Dataset
+    depth: int
+    entropy: float = field(init=False)
+
+    def __post_init__(self) -> None:
+        self.entropy = label_entropy(self.dataset)
+
+
+class AutoSlicer:
+    """Entropy-driven recursive slicer.
+
+    Parameters
+    ----------
+    max_depth:
+        Maximum number of splits along any path.
+    min_slice_size:
+        Do not split a node whose children would fall below this size; this
+        implements the appendix's warning against slices that are "not
+        biased, but too small".
+    entropy_threshold:
+        Nodes whose label entropy is at or below this value are considered
+        unbiased and are not split further.
+    n_thresholds:
+        Number of candidate split thresholds evaluated per feature.
+    """
+
+    def __init__(
+        self,
+        max_depth: int = 3,
+        min_slice_size: int = 20,
+        entropy_threshold: float = 0.3,
+        n_thresholds: int = 8,
+    ) -> None:
+        self.max_depth = check_positive_int(max_depth, "max_depth")
+        self.min_slice_size = check_positive_int(min_slice_size, "min_slice_size")
+        if entropy_threshold < 0:
+            raise ConfigurationError(
+                f"entropy_threshold must be >= 0, got {entropy_threshold}"
+            )
+        self.entropy_threshold = float(entropy_threshold)
+        self.n_thresholds = check_positive_int(n_thresholds, "n_thresholds")
+
+    # -- splitting ------------------------------------------------------------
+    def _best_split(
+        self, dataset: Dataset
+    ) -> tuple[int, float, np.ndarray, np.ndarray] | None:
+        """Find the (feature, threshold) split with the largest entropy drop.
+
+        Returns ``None`` when no split produces two children of at least
+        ``min_slice_size`` examples or no split reduces entropy.
+        """
+        parent_entropy = label_entropy(dataset)
+        best: tuple[float, int, float, np.ndarray, np.ndarray] | None = None
+        n = len(dataset)
+        for feature in range(dataset.n_features):
+            column = dataset.features[:, feature]
+            # Candidate cut points: evenly spaced quantiles plus the median,
+            # so a clean 50/50 split (common for bimodal features) is always
+            # among the candidates.
+            quantiles = np.append(np.linspace(0.1, 0.9, self.n_thresholds), 0.5)
+            for threshold in np.unique(np.quantile(column, quantiles)):
+                left_mask = column <= threshold
+                n_left = int(left_mask.sum())
+                n_right = n - n_left
+                if n_left < self.min_slice_size or n_right < self.min_slice_size:
+                    continue
+                left = dataset.subset(np.nonzero(left_mask)[0])
+                right = dataset.subset(np.nonzero(~left_mask)[0])
+                children_entropy = (
+                    n_left * label_entropy(left) + n_right * label_entropy(right)
+                ) / n
+                gain = parent_entropy - children_entropy
+                if gain <= 1e-9:
+                    continue
+                if best is None or gain > best[0]:
+                    best = (
+                        gain,
+                        feature,
+                        float(threshold),
+                        np.nonzero(left_mask)[0],
+                        np.nonzero(~left_mask)[0],
+                    )
+        if best is None:
+            return None
+        _, feature, threshold, left_idx, right_idx = best
+        return feature, threshold, left_idx, right_idx
+
+    def slice(self, dataset: Dataset) -> list[SliceCandidate]:
+        """Partition ``dataset`` into unbiased slices.
+
+        Returns the leaf :class:`SliceCandidate` nodes; their datasets form a
+        partition of ``dataset``.
+        """
+        if len(dataset) == 0:
+            raise ConfigurationError("cannot slice an empty dataset")
+        root = SliceCandidate(name="root", dataset=dataset, depth=0)
+        frontier = [root]
+        leaves: list[SliceCandidate] = []
+        while frontier:
+            node = frontier.pop()
+            should_split = (
+                node.depth < self.max_depth
+                and node.entropy > self.entropy_threshold
+                and len(node.dataset) >= 2 * self.min_slice_size
+            )
+            split = self._best_split(node.dataset) if should_split else None
+            if split is None:
+                leaves.append(node)
+                continue
+            feature, threshold, left_idx, right_idx = split
+            frontier.append(
+                SliceCandidate(
+                    name=f"{node.name}/x{feature}<={threshold:.3f}",
+                    dataset=node.dataset.subset(left_idx),
+                    depth=node.depth + 1,
+                )
+            )
+            frontier.append(
+                SliceCandidate(
+                    name=f"{node.name}/x{feature}>{threshold:.3f}",
+                    dataset=node.dataset.subset(right_idx),
+                    depth=node.depth + 1,
+                )
+            )
+        return leaves
+
+    def slice_as_mapping(self, dataset: Dataset) -> dict[str, Dataset]:
+        """Like :meth:`slice`, but returns ``{name: dataset}``."""
+        return {leaf.name: leaf.dataset for leaf in self.slice(dataset)}

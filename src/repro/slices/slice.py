@@ -1,0 +1,111 @@
+"""Slice definitions.
+
+A :class:`SliceSpec` names a slice and records its per-example acquisition
+cost (the paper's :math:`C(s)`).  A :class:`Slice` couples a spec with the
+slice's current training data and its fixed validation data.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from repro.ml.data import Dataset
+from repro.utils.exceptions import ConfigurationError
+from repro.utils.validation import check_positive
+
+
+@dataclass(frozen=True)
+class SliceSpec:
+    """Static description of a slice.
+
+    Attributes
+    ----------
+    name:
+        Unique, human-readable identifier, e.g. ``"White_Female"`` or
+        ``"label=Sandal"``.
+    cost:
+        Cost of acquiring one example for this slice.  The paper assumes the
+        cost is constant within a batch; it defaults to ``1.0``.
+    description:
+        Optional free-form description (e.g. the defining predicate).
+    """
+
+    name: str
+    cost: float = 1.0
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ConfigurationError("a slice must have a non-empty name")
+        check_positive(self.cost, f"cost of slice {self.name!r}")
+
+    def with_cost(self, cost: float) -> "SliceSpec":
+        """Return a copy of this spec with a different acquisition cost."""
+        return replace(self, cost=cost)
+
+
+@dataclass
+class Slice:
+    """A slice's spec together with its current train and validation data.
+
+    Attributes
+    ----------
+    spec:
+        The static slice description.
+    train:
+        Training examples currently available for the slice.  Grows as data
+        is acquired.
+    validation:
+        Held-out examples used to evaluate per-slice loss.  The paper assumes
+        a validation set "large enough to evaluate models" per slice; it is
+        never modified by acquisition.
+    """
+
+    spec: SliceSpec
+    train: Dataset
+    validation: Dataset
+    acquired: int = field(default=0)
+
+    def __post_init__(self) -> None:
+        if self.train.n_features != self.validation.n_features:
+            raise ConfigurationError(
+                f"slice {self.spec.name!r}: train and validation feature widths "
+                f"differ ({self.train.n_features} != {self.validation.n_features})"
+            )
+
+    @property
+    def name(self) -> str:
+        """The slice's name (shortcut for ``spec.name``)."""
+        return self.spec.name
+
+    @property
+    def cost(self) -> float:
+        """Per-example acquisition cost (shortcut for ``spec.cost``)."""
+        return self.spec.cost
+
+    @property
+    def size(self) -> int:
+        """Current number of training examples in the slice."""
+        return len(self.train)
+
+    def add_examples(self, examples: Dataset) -> None:
+        """Append newly acquired ``examples`` to the slice's training data."""
+        if len(examples) == 0:
+            return
+        if examples.n_features != self.train.n_features:
+            raise ConfigurationError(
+                f"slice {self.spec.name!r}: acquired examples have "
+                f"{examples.n_features} features but the slice has "
+                f"{self.train.n_features}"
+            )
+        self.train = Dataset.concatenate([self.train, examples])
+        self.acquired += len(examples)
+
+    def copy(self) -> "Slice":
+        """Return a shallow copy (datasets are immutable so sharing is safe)."""
+        return Slice(
+            spec=self.spec,
+            train=self.train,
+            validation=self.validation,
+            acquired=self.acquired,
+        )

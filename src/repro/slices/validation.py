@@ -1,0 +1,66 @@
+"""Partition validation and imbalance utilities."""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from repro.ml.data import Dataset
+from repro.utils.exceptions import SlicingError
+
+
+def check_partition(
+    dataset: Dataset, slices: Mapping[str, Dataset] | Sequence[Dataset]
+) -> None:
+    """Verify that ``slices`` together have exactly the rows of ``dataset``.
+
+    The check is structural (total row count and per-class counts match); it
+    does not compare individual rows, which keeps it cheap for large data.
+    Raises :class:`~repro.utils.exceptions.SlicingError` on mismatch.
+    """
+    parts = list(slices.values()) if isinstance(slices, Mapping) else list(slices)
+    total = sum(len(p) for p in parts)
+    if total != len(dataset):
+        raise SlicingError(
+            f"slices contain {total} examples but the dataset has {len(dataset)}"
+        )
+    n_classes = max([dataset.n_classes] + [p.n_classes for p in parts if len(p) > 0])
+    combined_counts = np.zeros(n_classes, dtype=np.int64)
+    for part in parts:
+        combined_counts += part.class_counts(n_classes)
+    if not np.array_equal(combined_counts, dataset.class_counts(n_classes)):
+        raise SlicingError(
+            "per-class example counts of the slices do not match the dataset"
+        )
+
+
+def imbalance_ratio(sizes: Sequence[int] | np.ndarray) -> float:
+    """Imbalance ratio: ``max(sizes) / min(sizes)`` (paper Section 5.2).
+
+    Returns ``inf`` when any size is zero; raises if ``sizes`` is empty or
+    contains negative values.
+    """
+    sizes = np.asarray(sizes, dtype=np.float64)
+    if sizes.size == 0:
+        raise SlicingError("imbalance ratio of zero slices is undefined")
+    if np.any(sizes < 0):
+        raise SlicingError("slice sizes must be non-negative")
+    smallest = sizes.min()
+    if smallest == 0:
+        return float("inf")
+    return float(sizes.max() / smallest)
+
+
+def size_entropy(sizes: Sequence[int] | np.ndarray) -> float:
+    """Shannon entropy (nats) of the slice-size distribution.
+
+    Used by the automatic slicer as a bias measure: a perfectly balanced
+    partition has maximal entropy ``log(n_slices)``.
+    """
+    sizes = np.asarray(sizes, dtype=np.float64)
+    total = sizes.sum()
+    if total <= 0:
+        return 0.0
+    probabilities = sizes[sizes > 0] / total
+    return float(-np.sum(probabilities * np.log(probabilities)))

@@ -1,0 +1,43 @@
+"""Shared utilities: randomness, validation helpers, text rendering.
+
+These helpers are deliberately small and dependency-free so every other
+subpackage (ml substrate, curves, core optimizer, experiments) can rely on
+them without circular imports.
+"""
+
+from repro.utils.exceptions import (
+    BudgetError,
+    ConfigurationError,
+    FittingError,
+    OptimizationError,
+    ReproError,
+    SlicingError,
+)
+from repro.utils.rng import RandomState, as_generator, spawn_generators
+from repro.utils.tables import format_series, format_table
+from repro.utils.validation import (
+    check_in_range,
+    check_length_match,
+    check_non_negative,
+    check_positive,
+    check_probability,
+)
+
+__all__ = [
+    "ReproError",
+    "ConfigurationError",
+    "SlicingError",
+    "FittingError",
+    "OptimizationError",
+    "BudgetError",
+    "RandomState",
+    "as_generator",
+    "spawn_generators",
+    "format_table",
+    "format_series",
+    "check_positive",
+    "check_non_negative",
+    "check_probability",
+    "check_in_range",
+    "check_length_match",
+]

@@ -1,0 +1,44 @@
+"""Exception hierarchy for the Slice Tuner reproduction.
+
+All library-specific errors derive from :class:`ReproError` so callers can
+catch a single base class.  More specific subclasses indicate which subsystem
+rejected the input or failed.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` package."""
+
+
+class ConfigurationError(ReproError):
+    """Raised when a user-supplied configuration value is invalid.
+
+    Examples include a negative budget, a ``lambda`` weight below zero, or an
+    unknown strategy name.
+    """
+
+
+class SlicingError(ReproError):
+    """Raised when slices do not form a valid partition of the dataset."""
+
+
+class FittingError(ReproError):
+    """Raised when a learning curve cannot be fitted.
+
+    This typically means there were fewer than two distinct sample sizes, or
+    the optimizer failed to converge even after fallback attempts.
+    """
+
+
+class OptimizationError(ReproError):
+    """Raised when the selective data acquisition optimization fails."""
+
+
+class BudgetError(ReproError):
+    """Raised when a budget constraint is violated or exhausted unexpectedly."""
+
+
+class AcquisitionError(ReproError):
+    """Raised when a data source cannot satisfy an acquisition request."""

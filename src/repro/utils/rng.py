@@ -1,0 +1,71 @@
+"""Randomness helpers.
+
+Every stochastic component in the library accepts either an integer seed, a
+:class:`numpy.random.Generator`, or ``None`` (fresh entropy).  The helpers
+here normalize those inputs so components never share mutable generator state
+by accident, which keeps experiments reproducible trial-by-trial.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Union
+
+import numpy as np
+
+#: The type accepted anywhere the library needs randomness.
+RandomState = Union[None, int, np.random.Generator]
+
+
+def as_generator(random_state: RandomState = None) -> np.random.Generator:
+    """Return a :class:`numpy.random.Generator` for ``random_state``.
+
+    Parameters
+    ----------
+    random_state:
+        ``None`` for fresh OS entropy, an ``int`` seed for a deterministic
+        generator, or an existing generator which is returned unchanged.
+    """
+    if random_state is None:
+        return np.random.default_rng()
+    if isinstance(random_state, np.random.Generator):
+        return random_state
+    if isinstance(random_state, (int, np.integer)):
+        return np.random.default_rng(int(random_state))
+    raise TypeError(
+        f"random_state must be None, an int, or a numpy Generator, "
+        f"got {type(random_state).__name__}"
+    )
+
+
+def spawn_generators(random_state: RandomState, count: int) -> list[np.random.Generator]:
+    """Derive ``count`` independent child generators from ``random_state``.
+
+    The children are statistically independent streams, so parallel or
+    repeated model trainings never reuse the same random numbers.
+    """
+    if count < 0:
+        raise ValueError(f"count must be non-negative, got {count}")
+    parent = as_generator(random_state)
+    seeds = parent.integers(0, 2**63 - 1, size=count, dtype=np.int64)
+    return [np.random.default_rng(int(seed)) for seed in seeds]
+
+
+def shuffled_indices(
+    n: int, random_state: RandomState = None
+) -> np.ndarray:
+    """Return a random permutation of ``range(n)``."""
+    rng = as_generator(random_state)
+    return rng.permutation(n)
+
+
+def sample_without_replacement(
+    n: int, size: int, random_state: RandomState = None
+) -> np.ndarray:
+    """Sample ``size`` distinct indices out of ``range(n)``.
+
+    Raises ``ValueError`` if ``size`` exceeds ``n``.
+    """
+    if size > n:
+        raise ValueError(f"cannot sample {size} items from a population of {n}")
+    rng = as_generator(random_state)
+    return rng.choice(n, size=size, replace=False)

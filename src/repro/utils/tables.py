@@ -1,0 +1,78 @@
+"""Plain-text rendering of tables and series.
+
+The benchmark harness regenerates every table and figure of the paper as
+text.  Tables are rendered with aligned columns; figures (line series) are
+rendered as ``x -> y`` listings per series so the shape is inspectable in a
+terminal or a log file.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping, Sequence
+
+
+def _stringify(value: object) -> str:
+    if isinstance(value, float):
+        return f"{value:.4f}"
+    return str(value)
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    title: str | None = None,
+) -> str:
+    """Render ``rows`` under ``headers`` as an aligned plain-text table.
+
+    Parameters
+    ----------
+    headers:
+        Column names.
+    rows:
+        Iterable of rows; each row must have one entry per header.  Floats are
+        formatted with four decimal places.
+    title:
+        Optional title printed above the table.
+    """
+    str_rows = [[_stringify(cell) for cell in row] for row in rows]
+    for row in str_rows:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row has {len(row)} cells but there are {len(headers)} headers"
+            )
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def render_row(cells: Sequence[str]) -> str:
+        return " | ".join(cell.ljust(widths[i]) for i, cell in enumerate(cells))
+
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(render_row(list(headers)))
+    lines.append("-+-".join("-" * w for w in widths))
+    lines.extend(render_row(row) for row in str_rows)
+    return "\n".join(lines)
+
+
+def format_series(
+    series: Mapping[str, Sequence[tuple[float, float]]],
+    x_label: str = "x",
+    y_label: str = "y",
+    title: str | None = None,
+) -> str:
+    """Render named ``(x, y)`` series, one block per series.
+
+    This is the text analogue of a line plot: the reader can see where each
+    curve starts, how fast it falls, and where curves cross.
+    """
+    lines = []
+    if title:
+        lines.append(title)
+    for name, points in series.items():
+        lines.append(f"[{name}]  ({x_label} -> {y_label})")
+        for x, y in points:
+            lines.append(f"  {_stringify(float(x))} -> {_stringify(float(y))}")
+    return "\n".join(lines)

@@ -1,0 +1,80 @@
+"""Input-validation helpers shared across the library.
+
+Each helper raises :class:`repro.utils.exceptions.ConfigurationError` with a
+message that names the offending parameter, so user mistakes surface at the
+API boundary instead of deep inside the optimizer.
+"""
+
+from __future__ import annotations
+
+from typing import Sized
+
+import numpy as np
+
+from repro.utils.exceptions import ConfigurationError
+
+
+def check_positive(value: float, name: str) -> float:
+    """Ensure ``value`` is strictly positive and return it as a float."""
+    value = float(value)
+    if not np.isfinite(value) or value <= 0:
+        raise ConfigurationError(f"{name} must be a positive finite number, got {value}")
+    return value
+
+
+def check_non_negative(value: float, name: str) -> float:
+    """Ensure ``value`` is zero or positive and return it as a float."""
+    value = float(value)
+    if not np.isfinite(value) or value < 0:
+        raise ConfigurationError(
+            f"{name} must be a non-negative finite number, got {value}"
+        )
+    return value
+
+
+def check_probability(value: float, name: str) -> float:
+    """Ensure ``value`` lies in the closed interval [0, 1]."""
+    value = float(value)
+    if not np.isfinite(value) or value < 0 or value > 1:
+        raise ConfigurationError(f"{name} must lie in [0, 1], got {value}")
+    return value
+
+
+def check_in_range(
+    value: float, name: str, low: float, high: float, inclusive: bool = True
+) -> float:
+    """Ensure ``value`` lies in ``[low, high]`` (or ``(low, high)``)."""
+    value = float(value)
+    if inclusive:
+        ok = low <= value <= high
+    else:
+        ok = low < value < high
+    if not np.isfinite(value) or not ok:
+        bounds = f"[{low}, {high}]" if inclusive else f"({low}, {high})"
+        raise ConfigurationError(f"{name} must lie in {bounds}, got {value}")
+    return value
+
+
+def check_length_match(a: Sized, b: Sized, name_a: str, name_b: str) -> None:
+    """Ensure two sized collections have the same length."""
+    if len(a) != len(b):
+        raise ConfigurationError(
+            f"{name_a} and {name_b} must have the same length "
+            f"({len(a)} != {len(b)})"
+        )
+
+
+def check_positive_int(value: int, name: str) -> int:
+    """Ensure ``value`` is a strictly positive integer and return it."""
+    if int(value) != value or int(value) <= 0:
+        raise ConfigurationError(f"{name} must be a positive integer, got {value!r}")
+    return int(value)
+
+
+def check_non_negative_int(value: int, name: str) -> int:
+    """Ensure ``value`` is a non-negative integer and return it."""
+    if int(value) != value or int(value) < 0:
+        raise ConfigurationError(
+            f"{name} must be a non-negative integer, got {value!r}"
+        )
+    return int(value)

@@ -1,0 +1,72 @@
+"""Tests for repro.acquisition.budget."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.acquisition.budget import BudgetLedger
+from repro.utils.exceptions import BudgetError, ConfigurationError
+
+
+class TestBudgetLedger:
+    def test_initial_state(self):
+        ledger = BudgetLedger(total=100.0)
+        assert ledger.remaining == 100.0
+        assert not ledger.exhausted
+        assert ledger.spent == 0.0
+
+    def test_negative_total_rejected(self):
+        with pytest.raises(ConfigurationError):
+            BudgetLedger(total=-5.0)
+
+    def test_charge_reduces_remaining(self):
+        ledger = BudgetLedger(total=100.0)
+        charged = ledger.charge("a", count=10, unit_cost=1.5)
+        assert charged == 15.0
+        assert ledger.remaining == 85.0
+        assert ledger.spent == 15.0
+
+    def test_overspending_rejected(self):
+        ledger = BudgetLedger(total=10.0)
+        with pytest.raises(BudgetError):
+            ledger.charge("a", count=11, unit_cost=1.0)
+
+    def test_small_tolerance_allowed(self):
+        ledger = BudgetLedger(total=10.0, tolerance=0.5)
+        ledger.charge("a", count=21, unit_cost=0.5)  # 10.5 <= 10 + 0.5
+        assert ledger.spent == pytest.approx(10.5)
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(BudgetError):
+            BudgetLedger(total=10.0).charge("a", count=-1, unit_cost=1.0)
+
+    def test_exhausted_flag(self):
+        ledger = BudgetLedger(total=5.0)
+        ledger.charge("a", count=5, unit_cost=1.0)
+        assert ledger.exhausted
+        assert ledger.remaining == 0.0
+
+    def test_can_afford_and_affordable_count(self):
+        ledger = BudgetLedger(total=10.0)
+        assert ledger.can_afford(unit_cost=2.0, count=5)
+        assert not ledger.can_afford(unit_cost=2.0, count=6)
+        assert ledger.affordable_count(unit_cost=3.0) == 3
+
+    def test_affordable_count_zero_cost_rejected(self):
+        with pytest.raises(BudgetError):
+            BudgetLedger(total=10.0).affordable_count(0.0)
+
+    def test_per_slice_accounting(self):
+        ledger = BudgetLedger(total=100.0)
+        ledger.charge("a", 10, 1.0)
+        ledger.charge("b", 5, 2.0)
+        ledger.charge("a", 3, 1.0)
+        assert ledger.acquired_by_slice() == {"a": 13, "b": 5}
+        assert ledger.spent_by_slice() == {"a": 13.0, "b": 10.0}
+
+    def test_charge_history_recorded(self):
+        ledger = BudgetLedger(total=10.0)
+        ledger.charge("a", 2, 1.0)
+        assert len(ledger.charges) == 1
+        assert ledger.charges[0].slice_name == "a"
+        assert ledger.charges[0].total == 2.0

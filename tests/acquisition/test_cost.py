@@ -1,0 +1,95 @@
+"""Tests for repro.acquisition.cost."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.acquisition.cost import (
+    CostModel,
+    EscalatingCost,
+    TableCost,
+    UnitCost,
+    cost_model_from_slices,
+)
+from repro.slices.slice import SliceSpec
+from repro.utils.exceptions import ConfigurationError
+
+
+class TestUnitCost:
+    def test_constant_cost(self):
+        cost = UnitCost()
+        assert cost.cost("anything") == 1.0
+        cost.record_acquisition("anything", 100)
+        assert cost.cost("anything") == 1.0
+
+    def test_custom_per_example(self):
+        assert UnitCost(2.5).cost("x") == 2.5
+
+    def test_invalid_cost_rejected(self):
+        with pytest.raises(ConfigurationError):
+            UnitCost(0.0)
+
+    def test_satisfies_protocol(self):
+        assert isinstance(UnitCost(), CostModel)
+
+
+class TestTableCost:
+    def test_lookup(self):
+        cost = TableCost({"a": 1.2, "b": 1.5})
+        assert cost.cost("a") == 1.2
+        assert cost.cost("b") == 1.5
+
+    def test_default_for_unknown(self):
+        cost = TableCost({"a": 1.2}, default=2.0)
+        assert cost.cost("unknown") == 2.0
+
+    def test_unknown_without_default_rejected(self):
+        with pytest.raises(ConfigurationError):
+            TableCost({"a": 1.2}).cost("unknown")
+
+    def test_empty_table_without_default_rejected(self):
+        with pytest.raises(ConfigurationError):
+            TableCost({})
+
+    def test_non_positive_cost_rejected(self):
+        with pytest.raises(ConfigurationError):
+            TableCost({"a": 0.0})
+
+    def test_recording_does_not_change_costs(self):
+        cost = TableCost({"a": 1.2})
+        cost.record_acquisition("a", 500)
+        assert cost.cost("a") == 1.2
+
+
+class TestEscalatingCost:
+    def test_cost_grows_per_batch(self):
+        cost = EscalatingCost({"a": 1.0}, escalation=0.5)
+        assert cost.cost("a") == 1.0
+        cost.record_acquisition("a", 10)
+        assert cost.cost("a") == pytest.approx(1.5)
+        cost.record_acquisition("a", 10)
+        assert cost.cost("a") == pytest.approx(2.25)
+
+    def test_zero_count_does_not_escalate(self):
+        cost = EscalatingCost({"a": 1.0}, escalation=0.5)
+        cost.record_acquisition("a", 0)
+        assert cost.cost("a") == 1.0
+        assert cost.batches_recorded("a") == 0
+
+    def test_slices_escalate_independently(self):
+        cost = EscalatingCost({"a": 1.0, "b": 2.0}, escalation=0.1)
+        cost.record_acquisition("a", 5)
+        assert cost.cost("a") == pytest.approx(1.1)
+        assert cost.cost("b") == pytest.approx(2.0)
+
+    def test_default_used_for_unknown_slices(self):
+        cost = EscalatingCost({"a": 1.0}, default=3.0)
+        assert cost.cost("other") == 3.0
+
+
+class TestCostModelFromSlices:
+    def test_costs_read_from_specs(self):
+        specs = [SliceSpec("a", cost=1.1), SliceSpec("b", cost=1.7)]
+        model = cost_model_from_slices(specs)
+        assert model.cost("a") == 1.1
+        assert model.cost("b") == 1.7

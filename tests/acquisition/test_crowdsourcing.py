@@ -1,0 +1,113 @@
+"""Tests for repro.acquisition.crowdsourcing."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.acquisition.crowdsourcing import (
+    AcquisitionReport,
+    CrowdsourcingSimulator,
+    WorkerPool,
+)
+from repro.acquisition.source import GeneratorDataSource
+from repro.datasets.faces import UTKFACE_COSTS, UTKFACE_TASK_SECONDS, faces_like_task
+from repro.utils.exceptions import AcquisitionError, ConfigurationError
+
+
+@pytest.fixture
+def crowd() -> CrowdsourcingSimulator:
+    task = faces_like_task()
+    return CrowdsourcingSimulator(
+        source=GeneratorDataSource(task, random_state=0),
+        task_seconds=UTKFACE_TASK_SECONDS,
+        workers=WorkerPool(mistake_rate=0.1, duplicate_rate=0.05, speed_spread=0.2),
+        random_state=1,
+    )
+
+
+class TestWorkerPool:
+    def test_defaults_valid(self):
+        pool = WorkerPool()
+        assert 0 <= pool.mistake_rate <= 1
+
+    @pytest.mark.parametrize(
+        "kwargs", [{"mistake_rate": 1.5}, {"duplicate_rate": -0.1}, {"speed_spread": -1}]
+    )
+    def test_invalid_rates_rejected(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            WorkerPool(**kwargs)
+
+
+class TestCrowdsourcingSimulator:
+    def test_delivers_at_most_requested(self, crowd):
+        delivered = crowd.acquire("White_Male", 100)
+        assert 0 < len(delivered) <= 100
+
+    def test_filtering_accounted_in_report(self, crowd):
+        crowd.acquire("Black_Female", 200)
+        report = crowd.reports[-1]
+        assert report.requested == 200
+        assert (
+            report.delivered
+            == report.submitted - report.mistakes_filtered - report.duplicates_filtered
+        )
+
+    def test_some_submissions_filtered_at_high_rates(self):
+        task = faces_like_task()
+        noisy = CrowdsourcingSimulator(
+            source=GeneratorDataSource(task, random_state=0),
+            task_seconds=UTKFACE_TASK_SECONDS,
+            workers=WorkerPool(mistake_rate=0.4, duplicate_rate=0.2),
+            random_state=2,
+        )
+        delivered = noisy.acquire("White_Male", 300)
+        assert len(delivered) < 300
+
+    def test_zero_request(self, crowd):
+        delivered = crowd.acquire("White_Male", 0)
+        assert len(delivered) == 0
+        assert crowd.reports[-1].requested == 0
+
+    def test_negative_request_rejected(self, crowd):
+        with pytest.raises(AcquisitionError):
+            crowd.acquire("White_Male", -1)
+
+    def test_unknown_slice_rejected(self, crowd):
+        with pytest.raises(AcquisitionError):
+            crowd.acquire("Martian_Male", 10)
+
+    def test_task_durations_near_configured_mean(self, crowd):
+        crowd.acquire("Indian_Female", 300)
+        observed = crowd.observed_mean_seconds()["Indian_Female"]
+        assert observed == pytest.approx(UTKFACE_TASK_SECONDS["Indian_Female"], rel=0.15)
+
+    def test_derive_costs_reproduces_table1(self, crowd):
+        # With no spread the derived costs must match the paper's Table 1
+        # exactly, because the construction is identical.
+        task = faces_like_task()
+        exact = CrowdsourcingSimulator(
+            source=GeneratorDataSource(task, random_state=0),
+            task_seconds=UTKFACE_TASK_SECONDS,
+            workers=WorkerPool(mistake_rate=0.0, duplicate_rate=0.0, speed_spread=0.0),
+            random_state=3,
+        )
+        for name in UTKFACE_TASK_SECONDS:
+            exact.acquire(name, 20)
+        derived = exact.derive_costs(round_to=0.1)
+        assert derived == pytest.approx(UTKFACE_COSTS)
+
+    def test_summary_aggregates_batches(self, crowd):
+        crowd.acquire("White_Male", 50)
+        crowd.acquire("White_Male", 70)
+        summary = crowd.summary()
+        assert summary["White_Male"]["requested"] == 120
+
+    def test_available_delegates_to_source(self, crowd):
+        assert crowd.available("White_Male") is None
+
+    def test_empty_task_seconds_rejected(self):
+        with pytest.raises(ConfigurationError):
+            CrowdsourcingSimulator(
+                source=GeneratorDataSource(faces_like_task()), task_seconds={}
+            )

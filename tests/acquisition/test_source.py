@@ -1,0 +1,90 @@
+"""Tests for repro.acquisition.source."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.acquisition.source import DataSource, GeneratorDataSource, PoolDataSource
+from repro.ml.data import Dataset
+from repro.utils.exceptions import AcquisitionError
+
+
+def make_pool(n: int, label: int = 0) -> Dataset:
+    rng = np.random.default_rng(n)
+    return Dataset(rng.normal(size=(n, 3)), np.full(n, label))
+
+
+class TestGeneratorDataSource:
+    def test_acquire_returns_requested_count(self, tiny_task):
+        source = GeneratorDataSource(tiny_task, random_state=0)
+        assert len(source.acquire("slice_0", 17)) == 17
+
+    def test_unlimited_availability(self, tiny_task):
+        source = GeneratorDataSource(tiny_task, random_state=0)
+        assert source.available("slice_1") is None
+
+    def test_total_delivered_tracked(self, tiny_task):
+        source = GeneratorDataSource(tiny_task, random_state=0)
+        source.acquire("slice_0", 5)
+        source.acquire("slice_1", 7)
+        assert source.total_delivered == 12
+
+    def test_negative_count_rejected(self, tiny_task):
+        source = GeneratorDataSource(tiny_task, random_state=0)
+        with pytest.raises(AcquisitionError):
+            source.acquire("slice_0", -1)
+
+    def test_unknown_slice_rejected(self, tiny_task):
+        source = GeneratorDataSource(tiny_task, random_state=0)
+        with pytest.raises(Exception):
+            source.available("not_a_slice")
+
+    def test_satisfies_datasource_protocol(self, tiny_task):
+        assert isinstance(GeneratorDataSource(tiny_task), DataSource)
+
+
+class TestPoolDataSource:
+    def test_acquire_draws_without_replacement(self):
+        source = PoolDataSource({"a": make_pool(30)}, random_state=0)
+        first = source.acquire("a", 10)
+        assert len(first) == 10
+        assert source.available("a") == 20
+
+    def test_exhausting_the_pool(self):
+        source = PoolDataSource({"a": make_pool(15)}, random_state=0)
+        source.acquire("a", 15)
+        assert source.available("a") == 0
+        assert len(source.acquire("a", 5)) == 0
+
+    def test_truncates_when_not_strict(self):
+        source = PoolDataSource({"a": make_pool(8)}, random_state=0, strict=False)
+        assert len(source.acquire("a", 20)) == 8
+
+    def test_strict_mode_raises_when_short(self):
+        source = PoolDataSource({"a": make_pool(8)}, random_state=0, strict=True)
+        with pytest.raises(AcquisitionError):
+            source.acquire("a", 20)
+
+    def test_unknown_slice_rejected(self):
+        source = PoolDataSource({"a": make_pool(8)})
+        with pytest.raises(AcquisitionError):
+            source.acquire("b", 1)
+
+    def test_negative_count_rejected(self):
+        source = PoolDataSource({"a": make_pool(8)})
+        with pytest.raises(AcquisitionError):
+            source.acquire("a", -2)
+
+    def test_empty_pools_rejected(self):
+        with pytest.raises(AcquisitionError):
+            PoolDataSource({})
+
+    def test_total_delivered_tracked(self):
+        source = PoolDataSource({"a": make_pool(30)}, random_state=0)
+        source.acquire("a", 5)
+        source.acquire("a", 6)
+        assert source.total_delivered == 11
+
+    def test_satisfies_datasource_protocol(self):
+        assert isinstance(PoolDataSource({"a": make_pool(3)}), DataSource)

@@ -1,0 +1,58 @@
+"""Tests for repro.bandit.rotting."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.bandit.rotting import RottingBanditAcquirer
+from repro.utils.exceptions import ConfigurationError
+
+
+@pytest.fixture
+def acquirer(fast_training) -> RottingBanditAcquirer:
+    return RottingBanditAcquirer(
+        batch_size=20,
+        window=2,
+        exploration=0.2,
+        trainer_config=fast_training,
+        random_state=0,
+    )
+
+
+class TestRottingBanditAcquirer:
+    def test_budget_respected(self, tiny_sliced, tiny_source, acquirer):
+        result = acquirer.run(tiny_sliced, budget=100, source=tiny_source)
+        assert result.spent <= 100 + 1e-6
+        assert sum(result.total_acquired.values()) > 0
+
+    def test_every_arm_tried_at_least_once(self, tiny_sliced, tiny_source, acquirer):
+        result = acquirer.run(tiny_sliced, budget=150, source=tiny_source)
+        assert all(result.pulls[name] >= 1 for name in tiny_sliced.names)
+
+    def test_rewards_recorded_per_pull(self, tiny_sliced, tiny_source, acquirer):
+        result = acquirer.run(tiny_sliced, budget=100, source=tiny_source)
+        assert len(result.rewards) == sum(result.pulls.values())
+
+    def test_final_metrics_populated(self, tiny_sliced, tiny_source, acquirer):
+        result = acquirer.run(tiny_sliced, budget=80, source=tiny_source)
+        assert np.isfinite(result.final_loss)
+        assert np.isfinite(result.final_avg_eer)
+
+    def test_slices_grow(self, tiny_sliced, tiny_source, acquirer):
+        before = tiny_sliced.sizes().sum()
+        result = acquirer.run(tiny_sliced, budget=100, source=tiny_source)
+        assert tiny_sliced.sizes().sum() == before + sum(result.total_acquired.values())
+
+    def test_zero_budget(self, tiny_sliced, tiny_source, acquirer):
+        result = acquirer.run(tiny_sliced, budget=0, source=tiny_source)
+        assert result.spent == 0.0
+        assert sum(result.pulls.values()) == 0
+
+    def test_invalid_batch_size_rejected(self):
+        with pytest.raises(ConfigurationError):
+            RottingBanditAcquirer(batch_size=0)
+
+    def test_invalid_window_rejected(self):
+        with pytest.raises(ConfigurationError):
+            RottingBanditAcquirer(window=0)

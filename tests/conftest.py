@@ -1,0 +1,80 @@
+"""Shared fixtures: small, fast instances of every substrate.
+
+Everything here is deliberately tiny (few slices, few features, few epochs)
+so the full unit-test suite runs in a couple of minutes; the benchmarks use
+larger settings.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.acquisition.source import GeneratorDataSource
+from repro.curves.estimator import CurveEstimationConfig
+from repro.datasets.blueprints import SliceBlueprint, SyntheticTask, orthogonal_centers
+from repro.ml.data import Dataset
+from repro.ml.train import TrainingConfig
+from repro.slices.sliced_dataset import SlicedDataset
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(0)
+
+
+@pytest.fixture
+def tiny_task() -> SyntheticTask:
+    """A 3-slice, 3-class task small enough to train on in milliseconds."""
+    centers = orthogonal_centers(3, 8, radius=3.0)
+    blueprints = [
+        SliceBlueprint(
+            name=f"slice_{i}",
+            centers=centers[i : i + 1],
+            cluster_labels=(i,),
+            noise=0.8 + 0.3 * i,
+            label_noise=0.01,
+            cost=1.0 + 0.2 * i,
+        )
+        for i in range(3)
+    ]
+    return SyntheticTask(name="tiny", blueprints=blueprints, n_classes=3)
+
+
+@pytest.fixture
+def tiny_sliced(tiny_task: SyntheticTask) -> SlicedDataset:
+    """A sliced dataset from the tiny task: 40 train / 60 validation per slice."""
+    return tiny_task.initial_sliced_dataset(
+        initial_sizes=40, validation_size=60, random_state=0
+    )
+
+
+@pytest.fixture
+def tiny_source(tiny_task: SyntheticTask) -> GeneratorDataSource:
+    return GeneratorDataSource(tiny_task, random_state=7)
+
+
+@pytest.fixture
+def fast_training() -> TrainingConfig:
+    """A very small training configuration for unit tests."""
+    return TrainingConfig(epochs=15, batch_size=16, optimizer="adam", learning_rate=0.05)
+
+
+@pytest.fixture
+def fast_curves() -> CurveEstimationConfig:
+    """A very small learning-curve estimation configuration for unit tests."""
+    return CurveEstimationConfig(n_points=4, n_repeats=1, min_fraction=0.3)
+
+
+@pytest.fixture
+def separable_dataset(rng: np.random.Generator) -> Dataset:
+    """A well-separated 2-class dataset any sane classifier gets right."""
+    n = 120
+    features = np.vstack(
+        [
+            rng.normal(loc=(-2.0, 0.0), scale=0.5, size=(n // 2, 2)),
+            rng.normal(loc=(2.0, 0.0), scale=0.5, size=(n // 2, 2)),
+        ]
+    )
+    labels = np.array([0] * (n // 2) + [1] * (n // 2))
+    return Dataset(features, labels)

@@ -1,0 +1,124 @@
+"""Tests for repro.core.baselines."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.baselines import (
+    proportional_allocation,
+    uniform_allocation,
+    water_filling_allocation,
+)
+from repro.utils.exceptions import ConfigurationError
+
+
+class TestUniformAllocation:
+    def test_equal_amounts_with_unit_costs(self):
+        allocation = uniform_allocation([100, 200, 300], budget=300)
+        assert allocation.tolist() == [100, 100, 100]
+
+    def test_budget_respected_with_costs(self):
+        costs = np.array([1.0, 2.0, 3.0])
+        allocation = uniform_allocation([10, 10, 10], budget=100, costs=costs)
+        assert float(np.dot(costs, allocation)) <= 100 + 1e-9
+
+    def test_leftover_budget_spent_on_cheapest(self):
+        allocation = uniform_allocation([0, 0], budget=5, costs=[2.0, 3.0])
+        assert float(np.dot([2.0, 3.0], allocation)) <= 5
+        assert allocation.sum() >= 2  # 1 each, plus leftover to the cheap one
+
+    def test_zero_budget(self):
+        assert uniform_allocation([10, 20], budget=0).tolist() == [0, 0]
+
+    def test_negative_budget_rejected(self):
+        with pytest.raises(ConfigurationError):
+            uniform_allocation([10], budget=-1)
+
+    def test_empty_sizes_rejected(self):
+        with pytest.raises(ConfigurationError):
+            uniform_allocation([], budget=10)
+
+
+class TestWaterFillingAllocation:
+    def test_fills_small_slices_first(self):
+        allocation = water_filling_allocation([10, 100], budget=50)
+        assert allocation[0] > allocation[1]
+        # The small slice is topped up towards the big one.
+        assert allocation[0] >= 45
+
+    def test_equal_sizes_split_evenly(self):
+        allocation = water_filling_allocation([100, 100], budget=200)
+        assert abs(int(allocation[0]) - int(allocation[1])) <= 1
+        assert allocation.sum() == 200
+
+    def test_final_sizes_nearly_equal_when_budget_allows(self):
+        sizes = np.array([10, 40, 70])
+        allocation = water_filling_allocation(sizes, budget=200)
+        final = sizes + allocation
+        assert final.max() - final.min() <= 2
+
+    def test_budget_respected_with_costs(self):
+        costs = np.array([1.5, 1.0])
+        allocation = water_filling_allocation([5, 50], budget=30, costs=costs)
+        assert float(np.dot(costs, allocation)) <= 30 + 1e-9
+
+    def test_huge_budget_spends_it_all(self):
+        costs = np.array([1.0, 1.0])
+        allocation = water_filling_allocation([10, 10], budget=1000, costs=costs)
+        assert float(np.dot(costs, allocation)) == pytest.approx(1000, abs=2)
+
+    def test_paper_figure3_shape(self):
+        """Figure 3b: after water filling all slices end up similar size."""
+        sizes = np.array([500, 300, 200, 100, 50])
+        allocation = water_filling_allocation(sizes, budget=600)
+        final = sizes + allocation
+        # The originally-largest slice receives nothing.
+        assert allocation[0] == 0
+        assert final.min() >= 250
+
+
+class TestProportionalAllocation:
+    def test_allocation_proportional_to_sizes(self):
+        allocation = proportional_allocation([100, 300], budget=400)
+        assert allocation[1] == pytest.approx(3 * allocation[0], abs=2)
+
+    def test_preserves_bias(self):
+        sizes = np.array([100, 300])
+        allocation = proportional_allocation(sizes, budget=400)
+        before = sizes[1] / sizes[0]
+        after = (sizes[1] + allocation[1]) / (sizes[0] + allocation[0])
+        assert after == pytest.approx(before, rel=0.05)
+
+    def test_all_empty_slices_fall_back_to_uniform(self):
+        allocation = proportional_allocation([0, 0], budget=10)
+        assert allocation.sum() == 10
+
+    def test_budget_respected(self):
+        costs = np.array([2.0, 1.0])
+        allocation = proportional_allocation([10, 30], budget=33, costs=costs)
+        assert float(np.dot(costs, allocation)) <= 33 + 1e-9
+
+
+class TestCommonValidation:
+    @pytest.mark.parametrize(
+        "fn", [uniform_allocation, water_filling_allocation, proportional_allocation]
+    )
+    def test_cost_length_mismatch_rejected(self, fn):
+        with pytest.raises(ConfigurationError):
+            fn([10, 20], budget=10, costs=[1.0])
+
+    @pytest.mark.parametrize(
+        "fn", [uniform_allocation, water_filling_allocation, proportional_allocation]
+    )
+    def test_negative_sizes_rejected(self, fn):
+        with pytest.raises(ConfigurationError):
+            fn([-5, 20], budget=10)
+
+    @pytest.mark.parametrize(
+        "fn", [uniform_allocation, water_filling_allocation, proportional_allocation]
+    )
+    def test_returns_non_negative_integers(self, fn):
+        allocation = fn([13, 27, 8], budget=47, costs=[1.1, 0.9, 1.3])
+        assert allocation.dtype.kind == "i"
+        assert np.all(allocation >= 0)

@@ -1,0 +1,93 @@
+"""Tests for repro.core.oneshot."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.acquisition.cost import TableCost
+from repro.core.oneshot import OneShotAlgorithm
+from repro.curves.estimator import CurveEstimationConfig, LearningCurveEstimator
+from repro.curves.power_law import FittedCurve, PowerLawCurve
+
+
+@pytest.fixture
+def estimator(fast_training, fast_curves) -> LearningCurveEstimator:
+    return LearningCurveEstimator(
+        trainer_config=fast_training, config=fast_curves, random_state=0
+    )
+
+
+class TestOneShotAlgorithm:
+    def test_plan_spends_at_most_budget(self, tiny_sliced, estimator):
+        oneshot = OneShotAlgorithm(estimator, lam=1.0)
+        plan, curves = oneshot.plan(tiny_sliced, budget=200)
+        assert set(plan.counts) == set(tiny_sliced.names)
+        assert set(curves) == set(tiny_sliced.names)
+        costs = tiny_sliced.costs()
+        spent = sum(
+            plan.counts[name] * costs[i] for i, name in enumerate(tiny_sliced.names)
+        )
+        assert spent <= 200 + 1e-6
+
+    def test_plan_spends_most_of_budget(self, tiny_sliced, estimator):
+        oneshot = OneShotAlgorithm(estimator, lam=1.0)
+        plan, _ = oneshot.plan(tiny_sliced, budget=200)
+        assert plan.expected_cost >= 200 - max(tiny_sliced.costs())
+
+    def test_reuses_provided_curves_without_training(self, tiny_sliced, estimator):
+        curves = {
+            name: FittedCurve(name, PowerLawCurve(b=2.0, a=0.3 + 0.1 * i))
+            for i, name in enumerate(tiny_sliced.names)
+        }
+        oneshot = OneShotAlgorithm(estimator, lam=0.0)
+        plan, returned = oneshot.plan(tiny_sliced, budget=100, curves=curves)
+        assert estimator.trainings_performed == 0
+        assert returned.keys() == curves.keys()
+        assert plan.total_examples > 0
+
+    def test_steeper_slice_gets_more(self, tiny_sliced, estimator):
+        # All slices start at the same predicted loss (b = size^a so that
+        # b * size^-a = 1), but slice 0's curve is far steeper; with lam=0
+        # the optimizer should give it the largest share.
+        size = float(tiny_sliced[tiny_sliced.names[0]].size)
+        exponents = {tiny_sliced.names[0]: 0.9, tiny_sliced.names[1]: 0.1, tiny_sliced.names[2]: 0.1}
+        curves = {
+            name: FittedCurve(name, PowerLawCurve(b=size**a, a=a))
+            for name, a in exponents.items()
+        }
+        oneshot = OneShotAlgorithm(estimator, lam=0.0)
+        plan, _ = oneshot.plan(tiny_sliced, budget=150, curves=curves)
+        assert plan.counts[tiny_sliced.names[0]] > plan.counts[tiny_sliced.names[1]]
+
+    def test_explicit_cost_model_used(self, tiny_sliced, estimator):
+        curves = {
+            name: FittedCurve(name, PowerLawCurve(b=2.0, a=0.4))
+            for name in tiny_sliced.names
+        }
+        # Make one slice prohibitively expensive: it should receive little.
+        expensive = tiny_sliced.names[2]
+        cost_model = TableCost({name: 1.0 for name in tiny_sliced.names} | {expensive: 50.0})
+        oneshot = OneShotAlgorithm(estimator, lam=0.0)
+        plan, _ = oneshot.plan(tiny_sliced, budget=100, curves=curves, cost_model=cost_model)
+        assert plan.counts[expensive] <= min(
+            plan.counts[tiny_sliced.names[0]], plan.counts[tiny_sliced.names[1]]
+        )
+
+    def test_zero_budget_plan_is_empty(self, tiny_sliced, estimator):
+        curves = {
+            name: FittedCurve(name, PowerLawCurve(b=2.0, a=0.4))
+            for name in tiny_sliced.names
+        }
+        plan, _ = OneShotAlgorithm(estimator).plan(tiny_sliced, 0.0, curves=curves)
+        assert plan.is_empty()
+
+    def test_plan_text_rendering(self, tiny_sliced, estimator):
+        curves = {
+            name: FittedCurve(name, PowerLawCurve(b=2.0, a=0.4))
+            for name in tiny_sliced.names
+        }
+        plan, _ = OneShotAlgorithm(estimator).plan(tiny_sliced, 60, curves=curves)
+        text = plan.to_text()
+        for name in tiny_sliced.names:
+            assert name in text

@@ -1,0 +1,60 @@
+"""Tests for repro.core.plan (result records)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.plan import AcquisitionPlan, IterationRecord, TuningResult
+from repro.fairness.report import FairnessReport
+
+
+class TestAcquisitionPlan:
+    def test_totals_and_emptiness(self):
+        plan = AcquisitionPlan(counts={"a": 10, "b": 0}, expected_cost=10.0)
+        assert plan.total_examples == 10
+        assert not plan.is_empty()
+        empty = AcquisitionPlan(counts={"a": 0}, expected_cost=0.0)
+        assert empty.is_empty()
+
+    def test_to_text_lists_slices(self):
+        plan = AcquisitionPlan(
+            counts={"a": 10, "b": 5}, expected_cost=17.5, solver="oneshot/slsqp"
+        )
+        text = plan.to_text()
+        assert "a" in text and "b" in text
+        assert "oneshot/slsqp" in text
+        assert "15" in text  # total examples
+
+
+class TestIterationRecord:
+    def test_defaults(self):
+        record = IterationRecord(iteration=2)
+        assert record.iteration == 2
+        assert record.requested == {} and record.acquired == {}
+        assert record.spent == 0.0
+
+
+class TestTuningResult:
+    def make_result(self) -> TuningResult:
+        result = TuningResult(method="moderate", lam=1.0, budget=500.0)
+        result.iterations = [IterationRecord(iteration=1), IterationRecord(iteration=2)]
+        result.total_acquired = {"a": 120, "b": 30}
+        result.spent = 150.0
+        return result
+
+    def test_n_iterations(self):
+        assert self.make_result().n_iterations == 2
+
+    def test_acquisitions_table_contains_summary(self):
+        text = self.make_result().acquisitions_table()
+        assert "method=moderate" in text
+        assert "budget=500" in text
+        assert "a" in text and "120" in text
+
+    def test_reports_optional(self):
+        result = self.make_result()
+        assert result.initial_report is None and result.final_report is None
+        result.final_report = FairnessReport(
+            loss=0.4, slice_losses={"a": 0.3, "b": 0.5}, avg_eer=0.1, max_eer=0.1
+        )
+        assert result.final_report.loss == pytest.approx(0.4)

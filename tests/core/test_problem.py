@@ -1,0 +1,136 @@
+"""Tests for repro.core.problem."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.problem import SelectiveAcquisitionProblem
+from repro.curves.power_law import FittedCurve, PowerLawCurve
+from repro.utils.exceptions import ConfigurationError
+
+
+def make_problem(**overrides) -> SelectiveAcquisitionProblem:
+    defaults = dict(
+        slice_names=("a", "b"),
+        sizes=np.array([100.0, 200.0]),
+        costs=np.array([1.0, 2.0]),
+        b=np.array([2.0, 1.5]),
+        a=np.array([0.4, 0.2]),
+        budget=500.0,
+        lam=1.0,
+    )
+    defaults.update(overrides)
+    return SelectiveAcquisitionProblem(**defaults)
+
+
+class TestConstruction:
+    def test_valid_problem(self):
+        problem = make_problem()
+        assert problem.n_slices == 2
+
+    def test_array_length_mismatch_rejected(self):
+        with pytest.raises(ConfigurationError):
+            make_problem(sizes=np.array([100.0]))
+
+    def test_negative_sizes_rejected(self):
+        with pytest.raises(ConfigurationError):
+            make_problem(sizes=np.array([-1.0, 10.0]))
+
+    def test_non_positive_costs_rejected(self):
+        with pytest.raises(ConfigurationError):
+            make_problem(costs=np.array([0.0, 1.0]))
+
+    def test_non_positive_curve_parameters_rejected(self):
+        with pytest.raises(ConfigurationError):
+            make_problem(b=np.array([0.0, 1.0]))
+        with pytest.raises(ConfigurationError):
+            make_problem(a=np.array([0.4, -0.1]))
+
+    def test_negative_budget_rejected(self):
+        with pytest.raises(ConfigurationError):
+            make_problem(budget=-1.0)
+
+    def test_negative_lambda_rejected(self):
+        with pytest.raises(ConfigurationError):
+            make_problem(lam=-0.5)
+
+    def test_empty_slices_rejected(self):
+        with pytest.raises(ConfigurationError):
+            SelectiveAcquisitionProblem(
+                slice_names=(),
+                sizes=np.array([]),
+                costs=np.array([]),
+                b=np.array([]),
+                a=np.array([]),
+                budget=10.0,
+            )
+
+
+class TestFromCurves:
+    def test_builds_from_fitted_curves(self):
+        curves = {
+            "a": FittedCurve("a", PowerLawCurve(b=2.0, a=0.4)),
+            "b": PowerLawCurve(b=1.5, a=0.2),
+        }
+        problem = SelectiveAcquisitionProblem.from_curves(
+            curves=curves,
+            sizes={"a": 100, "b": 200},
+            costs={"a": 1.0, "b": 2.0},
+            budget=300.0,
+            order=["a", "b"],
+        )
+        assert problem.b.tolist() == [2.0, 1.5]
+        assert problem.a.tolist() == [0.4, 0.2]
+
+    def test_missing_slice_rejected(self):
+        with pytest.raises(ConfigurationError):
+            SelectiveAcquisitionProblem.from_curves(
+                curves={"a": PowerLawCurve(b=1.0, a=0.3)},
+                sizes={"a": 10},
+                costs={},
+                budget=10,
+                order=["a", "b"],
+            )
+
+    def test_default_cost_is_one(self):
+        problem = SelectiveAcquisitionProblem.from_curves(
+            curves={"a": PowerLawCurve(b=1.0, a=0.3)},
+            sizes={"a": 10},
+            costs={},
+            budget=10,
+        )
+        assert problem.costs.tolist() == [1.0]
+
+
+class TestDerivedQuantities:
+    def test_predicted_losses_at_current_sizes(self):
+        problem = make_problem()
+        losses = problem.predicted_losses()
+        assert losses[0] == pytest.approx(2.0 * 100**-0.4)
+        assert losses[1] == pytest.approx(1.5 * 200**-0.2)
+
+    def test_average_current_loss(self):
+        problem = make_problem()
+        assert problem.average_current_loss() == pytest.approx(
+            problem.predicted_losses().mean()
+        )
+
+    def test_objective_decreases_with_acquisition(self):
+        problem = make_problem(lam=0.0)
+        assert problem.objective(np.array([100.0, 100.0])) < problem.objective(
+            np.zeros(2)
+        )
+
+    def test_objective_penalizes_above_average_slices(self):
+        # Slice "a" is above the average loss, so a positive lambda adds a
+        # penalty relative to the lam=0 objective at zero acquisition.
+        fair = make_problem(lam=5.0)
+        plain = make_problem(lam=0.0)
+        assert fair.objective(np.zeros(2)) > plain.objective(np.zeros(2))
+
+    def test_total_cost(self):
+        problem = make_problem()
+        assert problem.total_cost(np.array([10.0, 20.0])) == pytest.approx(
+            10.0 * 1.0 + 20.0 * 2.0
+        )

@@ -1,0 +1,94 @@
+"""Tests for repro.core.strategies."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.strategies import (
+    AggressiveStrategy,
+    ConservativeStrategy,
+    ModerateStrategy,
+    make_strategy,
+)
+from repro.utils.exceptions import ConfigurationError
+
+
+class TestConservativeStrategy:
+    def test_limit_stays_constant(self):
+        strategy = ConservativeStrategy(initial_limit=1.0)
+        limit = strategy.initial()
+        for _ in range(5):
+            limit = strategy.increase(limit)
+        assert limit == 1.0
+
+    def test_name(self):
+        assert ConservativeStrategy().name == "conservative"
+
+
+class TestModerateStrategy:
+    def test_limit_grows_linearly(self):
+        strategy = ModerateStrategy(initial_limit=1.0, step=1.0)
+        limits = [strategy.initial()]
+        for _ in range(3):
+            limits.append(strategy.increase(limits[-1]))
+        assert limits == [1.0, 2.0, 3.0, 4.0]
+
+    def test_custom_step(self):
+        assert ModerateStrategy(step=0.5).increase(2.0) == 2.5
+
+    def test_invalid_step_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ModerateStrategy(step=0.0)
+
+
+class TestAggressiveStrategy:
+    def test_limit_grows_geometrically(self):
+        strategy = AggressiveStrategy(initial_limit=1.0, factor=2.0)
+        limits = [strategy.initial()]
+        for _ in range(3):
+            limits.append(strategy.increase(limits[-1]))
+        assert limits == [1.0, 2.0, 4.0, 8.0]
+
+    def test_factor_must_exceed_one(self):
+        with pytest.raises(ConfigurationError):
+            AggressiveStrategy(factor=1.0)
+
+
+class TestStrategyOrdering:
+    def test_aggressive_grows_fastest(self):
+        """After several iterations: conservative < moderate < aggressive."""
+        strategies = {
+            name: make_strategy(name) for name in ("conservative", "moderate", "aggressive")
+        }
+        limits = {name: s.initial() for name, s in strategies.items()}
+        for _ in range(4):
+            for name, strategy in strategies.items():
+                limits[name] = strategy.increase(limits[name])
+        assert limits["conservative"] < limits["moderate"] < limits["aggressive"]
+
+
+class TestMakeStrategy:
+    @pytest.mark.parametrize(
+        "name, cls",
+        [
+            ("conservative", ConservativeStrategy),
+            ("moderate", ModerateStrategy),
+            ("aggressive", AggressiveStrategy),
+        ],
+    )
+    def test_known_names(self, name, cls):
+        assert isinstance(make_strategy(name), cls)
+
+    def test_case_and_whitespace_insensitive(self):
+        assert isinstance(make_strategy("  Moderate "), ModerateStrategy)
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(ConfigurationError):
+            make_strategy("yolo")
+
+    def test_initial_limit_passed_through(self):
+        assert make_strategy("conservative", initial_limit=2.5).initial() == 2.5
+
+    def test_invalid_initial_limit_rejected(self):
+        with pytest.raises(ConfigurationError):
+            make_strategy("moderate", initial_limit=0.0)

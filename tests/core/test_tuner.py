@@ -1,0 +1,142 @@
+"""Tests for repro.core.tuner (the SliceTuner orchestrator)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.plan import TuningResult
+from repro.core.tuner import SliceTuner, SliceTunerConfig
+from repro.utils.exceptions import ConfigurationError
+
+
+@pytest.fixture
+def tuner(tiny_sliced, tiny_source, fast_training, fast_curves) -> SliceTuner:
+    return SliceTuner(
+        tiny_sliced,
+        tiny_source,
+        trainer_config=fast_training,
+        curve_config=fast_curves,
+        config=SliceTunerConfig(lam=1.0, evaluation_trials=1),
+        random_state=0,
+    )
+
+
+class TestSliceTunerConfig:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"lam": -1.0},
+            {"min_slice_size": -1},
+            {"max_iterations": 0},
+            {"evaluation_trials": 0},
+        ],
+    )
+    def test_invalid_configs_rejected(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            SliceTunerConfig(**kwargs)
+
+
+class TestCurvesAndPlans:
+    def test_estimate_curves_per_slice(self, tuner, tiny_sliced):
+        curves = tuner.estimate_curves()
+        assert set(curves) == set(tiny_sliced.names)
+
+    def test_plan_does_not_mutate_data(self, tuner, tiny_sliced):
+        sizes_before = tiny_sliced.sizes().copy()
+        plan = tuner.plan(budget=100)
+        assert np.array_equal(tiny_sliced.sizes(), sizes_before)
+        assert plan.total_examples > 0
+
+    def test_evaluate_returns_report(self, tuner, tiny_sliced):
+        report = tuner.evaluate()
+        assert set(report.slice_losses) == set(tiny_sliced.names)
+        assert np.isfinite(report.loss)
+
+
+class TestRunMethods:
+    @pytest.mark.parametrize(
+        "method", ["uniform", "water_filling", "proportional", "oneshot", "moderate"]
+    )
+    def test_every_method_runs_and_respects_budget(
+        self, tiny_task, fast_training, fast_curves, method
+    ):
+        from repro.acquisition.source import GeneratorDataSource
+
+        sliced = tiny_task.initial_sliced_dataset(30, 50, random_state=0)
+        source = GeneratorDataSource(tiny_task, random_state=1)
+        tuner = SliceTuner(
+            sliced,
+            source,
+            trainer_config=fast_training,
+            curve_config=fast_curves,
+            config=SliceTunerConfig(evaluation_trials=1),
+            random_state=0,
+        )
+        result = tuner.run(budget=100, method=method, evaluate=True)
+        assert isinstance(result, TuningResult)
+        assert result.spent <= 100 + 1e-6
+        assert result.initial_report is not None
+        assert result.final_report is not None
+        assert sum(result.total_acquired.values()) > 0
+
+    def test_acquisition_grows_slices(self, tuner, tiny_sliced):
+        before = tiny_sliced.sizes().sum()
+        result = tuner.run(budget=90, method="uniform", evaluate=False)
+        assert tiny_sliced.sizes().sum() == before + sum(result.total_acquired.values())
+
+    def test_unknown_method_rejected(self, tuner):
+        with pytest.raises(ConfigurationError):
+            tuner.run(budget=10, method="random_forest")
+
+    def test_evaluate_false_skips_reports(self, tuner):
+        result = tuner.run(budget=60, method="uniform", evaluate=False)
+        assert result.initial_report is None and result.final_report is None
+
+    def test_uniform_allocates_similar_counts(self, tuner, tiny_sliced):
+        result = tuner.run(budget=90, method="uniform", evaluate=False)
+        counts = np.array([result.total_acquired[n] for n in tiny_sliced.names])
+        assert counts.max() - counts.min() <= max(counts.max() // 2, 5)
+
+    def test_water_filling_prefers_small_slices(
+        self, tiny_task, fast_training, fast_curves
+    ):
+        from repro.acquisition.source import GeneratorDataSource
+
+        sliced = tiny_task.initial_sliced_dataset(
+            {"slice_0": 10, "slice_1": 60, "slice_2": 60}, 50, random_state=0
+        )
+        source = GeneratorDataSource(tiny_task, random_state=1)
+        tuner = SliceTuner(
+            sliced,
+            source,
+            trainer_config=fast_training,
+            curve_config=fast_curves,
+            random_state=0,
+        )
+        result = tuner.run(budget=60, method="water_filling", evaluate=False)
+        assert result.total_acquired["slice_0"] > result.total_acquired["slice_1"]
+
+    def test_run_lambda_override(self, tuner):
+        result = tuner.run(budget=60, method="oneshot", lam=0.25, evaluate=False)
+        assert result.lam == 0.25
+
+    def test_acquisitions_table_renders(self, tuner):
+        result = tuner.run(budget=60, method="moderate", evaluate=False)
+        text = result.acquisitions_table()
+        assert "method=moderate" in text
+
+
+class TestEvaluationAveraging:
+    def test_multiple_trials_average(self, tiny_sliced, tiny_source, fast_training, fast_curves):
+        tuner = SliceTuner(
+            tiny_sliced,
+            tiny_source,
+            trainer_config=fast_training,
+            curve_config=fast_curves,
+            config=SliceTunerConfig(evaluation_trials=3),
+            random_state=0,
+        )
+        report = tuner.evaluate()
+        assert np.isfinite(report.loss)
+        assert report.avg_eer >= 0

@@ -1,0 +1,135 @@
+"""Tests for repro.curves.estimator."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.curves.estimator import (
+    CurveEstimationConfig,
+    CurvePoint,
+    LearningCurveEstimator,
+    default_model_factory,
+)
+from repro.curves.power_law import FittedCurve
+from repro.utils.exceptions import ConfigurationError, FittingError
+
+
+class TestCurveEstimationConfig:
+    def test_defaults_valid(self):
+        config = CurveEstimationConfig()
+        assert config.strategy == "amortized"
+        assert len(config.fractions()) == config.n_points
+
+    def test_fractions_span_range(self):
+        config = CurveEstimationConfig(n_points=5, min_fraction=0.2, max_fraction=1.0)
+        fractions = config.fractions()
+        assert fractions[0] == pytest.approx(0.2)
+        assert fractions[-1] == pytest.approx(1.0)
+
+    def test_single_point(self):
+        config = CurveEstimationConfig(n_points=1)
+        assert config.fractions().tolist() == [1.0]
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"n_points": 0},
+            {"n_repeats": 0},
+            {"min_fraction": 0.0},
+            {"min_fraction": 0.9, "max_fraction": 0.5},
+            {"strategy": "magic"},
+        ],
+    )
+    def test_invalid_configs_rejected(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            CurveEstimationConfig(**kwargs)
+
+
+class TestLearningCurveEstimator:
+    def test_estimate_returns_curve_per_slice(self, tiny_sliced, fast_training, fast_curves):
+        estimator = LearningCurveEstimator(
+            trainer_config=fast_training, config=fast_curves, random_state=0
+        )
+        curves = estimator.estimate(tiny_sliced)
+        assert set(curves) == set(tiny_sliced.names)
+        for curve in curves.values():
+            assert isinstance(curve, FittedCurve)
+            assert curve.a > 0 and curve.b > 0
+
+    def test_amortized_trains_fewer_models_than_exhaustive(
+        self, tiny_sliced, fast_training
+    ):
+        amortized = LearningCurveEstimator(
+            trainer_config=fast_training,
+            config=CurveEstimationConfig(n_points=3, n_repeats=1, strategy="amortized"),
+            random_state=0,
+        )
+        exhaustive = LearningCurveEstimator(
+            trainer_config=fast_training,
+            config=CurveEstimationConfig(n_points=3, n_repeats=1, strategy="exhaustive"),
+            random_state=0,
+        )
+        amortized.estimate(tiny_sliced)
+        exhaustive.estimate(tiny_sliced)
+        assert amortized.trainings_performed == 3
+        assert exhaustive.trainings_performed == 3 * len(tiny_sliced)
+
+    def test_collect_points_sizes_scale_with_fraction(
+        self, tiny_sliced, fast_training, fast_curves
+    ):
+        estimator = LearningCurveEstimator(
+            trainer_config=fast_training, config=fast_curves, random_state=0
+        )
+        points = estimator.collect_points(tiny_sliced)
+        sizes = {p.size for p in points if p.slice_name == tiny_sliced.names[0]}
+        assert len(sizes) > 1
+        assert max(sizes) <= tiny_sliced[tiny_sliced.names[0]].size
+
+    def test_fit_points_requires_points_for_each_slice(self):
+        estimator = LearningCurveEstimator()
+        points = [CurvePoint("a", 10, 1.0, 0), CurvePoint("a", 100, 0.5, 0)]
+        with pytest.raises(FittingError):
+            estimator.fit_points(points, ["a", "b"])
+
+    def test_fit_points_handles_degenerate_single_size(self):
+        estimator = LearningCurveEstimator()
+        points = [CurvePoint("a", 50, 0.8, 0), CurvePoint("a", 50, 0.85, 1)]
+        curves = estimator.fit_points(points, ["a"])
+        # Falls back to a nearly flat curve anchored near the measured loss.
+        assert curves["a"].predict(50) == pytest.approx(0.82, abs=0.15)
+
+    def test_default_model_factory_produces_trainable_model(self):
+        model = default_model_factory(4)
+        assert model.n_classes == 4
+
+    def test_custom_model_factory_used(self, tiny_sliced, fast_training, fast_curves):
+        created = []
+
+        def factory(n_classes):
+            model = default_model_factory(n_classes)
+            created.append(model)
+            return model
+
+        estimator = LearningCurveEstimator(
+            model_factory=factory,
+            trainer_config=fast_training,
+            config=fast_curves,
+            random_state=0,
+        )
+        estimator.estimate(tiny_sliced)
+        assert len(created) == estimator.trainings_performed
+
+
+class TestCurveQuality:
+    def test_estimated_curves_decrease_for_learnable_task(
+        self, tiny_sliced, fast_training
+    ):
+        estimator = LearningCurveEstimator(
+            trainer_config=fast_training,
+            config=CurveEstimationConfig(n_points=5, n_repeats=2),
+            random_state=0,
+        )
+        curves = estimator.estimate(tiny_sliced)
+        for curve in curves.values():
+            assert curve.predict(20) > curve.predict(2000)

@@ -1,0 +1,109 @@
+"""Tests for repro.curves.fitting."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.curves.fitting import (
+    MAX_EXPONENT,
+    MIN_EXPONENT,
+    fit_power_law,
+    fit_power_law_with_floor,
+    weighted_log_rmse,
+)
+from repro.curves.power_law import PowerLawCurve
+from repro.utils.exceptions import FittingError
+
+
+def synthetic_points(b=2.5, a=0.35, noise=0.0, n=12, seed=0):
+    rng = np.random.default_rng(seed)
+    sizes = np.linspace(20, 500, n)
+    losses = b * sizes**-a
+    if noise:
+        losses = losses * np.exp(rng.normal(0, noise, size=n))
+    return sizes, losses
+
+
+class TestFitPowerLaw:
+    def test_recovers_exact_parameters(self):
+        sizes, losses = synthetic_points(b=2.5, a=0.35)
+        curve = fit_power_law(sizes, losses)
+        assert curve.b == pytest.approx(2.5, rel=1e-6)
+        assert curve.a == pytest.approx(0.35, rel=1e-6)
+
+    def test_recovers_parameters_under_noise(self):
+        sizes, losses = synthetic_points(b=3.0, a=0.25, noise=0.05, seed=1)
+        curve = fit_power_law(sizes, losses)
+        assert curve.a == pytest.approx(0.25, abs=0.08)
+        assert curve.b == pytest.approx(3.0, rel=0.4)
+
+    def test_weights_prioritize_large_subsets(self):
+        sizes, losses = synthetic_points(b=2.0, a=0.3)
+        # Corrupt the smallest point badly; with size-proportional weights the
+        # fit should barely move.
+        losses = losses.copy()
+        losses[0] *= 3.0
+        curve = fit_power_law(sizes, losses)
+        assert curve.a == pytest.approx(0.3, abs=0.08)
+
+    def test_flat_losses_produce_near_zero_exponent(self):
+        sizes = np.array([10.0, 50.0, 200.0, 500.0])
+        losses = np.full(4, 0.7)
+        curve = fit_power_law(sizes, losses)
+        assert curve.a == pytest.approx(MIN_EXPONENT, abs=1e-6)
+        # The flat curve still predicts close to the observed loss level.
+        assert curve.predict(100.0) == pytest.approx(0.7, rel=0.05)
+
+    def test_increasing_losses_clipped_to_flat(self):
+        sizes = np.array([10.0, 100.0, 1000.0])
+        losses = np.array([0.2, 0.5, 0.9])
+        curve = fit_power_law(sizes, losses)
+        assert MIN_EXPONENT <= curve.a <= MAX_EXPONENT
+
+    def test_single_size_rejected(self):
+        with pytest.raises(FittingError):
+            fit_power_law(np.array([100.0, 100.0]), np.array([0.5, 0.6]))
+
+    def test_non_positive_losses_filtered(self):
+        sizes = np.array([10.0, 50.0, 100.0, 200.0])
+        losses = np.array([1.0, -0.1, 0.5, 0.4])
+        curve = fit_power_law(sizes, losses)
+        assert curve.a > 0
+
+    def test_all_invalid_points_rejected(self):
+        with pytest.raises(FittingError):
+            fit_power_law(np.array([10.0, 20.0]), np.array([-1.0, 0.0]))
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(FittingError):
+            fit_power_law(np.array([1.0, 2.0]), np.array([1.0]))
+
+
+class TestFitPowerLawWithFloor:
+    def test_recovers_floor(self):
+        sizes = np.linspace(20, 5000, 30)
+        losses = 4.0 * sizes**-0.6 + 0.25
+        curve = fit_power_law_with_floor(sizes, losses)
+        assert curve.c == pytest.approx(0.25, abs=0.05)
+        assert curve.a == pytest.approx(0.6, abs=0.1)
+
+    def test_zero_floor_when_pure_power_law(self):
+        sizes, losses = synthetic_points(b=2.0, a=0.4, n=20)
+        curve = fit_power_law_with_floor(sizes, losses)
+        assert curve.c == pytest.approx(0.0, abs=0.02)
+
+
+class TestWeightedLogRmse:
+    def test_zero_for_perfect_fit(self):
+        sizes, losses = synthetic_points()
+        curve = fit_power_law(sizes, losses)
+        assert weighted_log_rmse(curve, sizes, losses) == pytest.approx(0.0, abs=1e-6)
+
+    def test_larger_for_worse_fit(self):
+        sizes, losses = synthetic_points(noise=0.2, seed=2)
+        good = fit_power_law(sizes, losses)
+        bad = PowerLawCurve(b=100.0, a=1.5)
+        assert weighted_log_rmse(bad, sizes, losses) > weighted_log_rmse(
+            good, sizes, losses
+        )

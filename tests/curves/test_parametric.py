@@ -1,0 +1,69 @@
+"""Tests for repro.curves.parametric."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.curves.parametric import (
+    CURVE_FAMILIES,
+    fit_family,
+    select_best_family,
+)
+from repro.utils.exceptions import FittingError
+
+
+def power_law_points(b=2.0, a=0.4, n=15):
+    sizes = np.linspace(20, 800, n)
+    return sizes, b * sizes**-a
+
+
+class TestCurveFamilies:
+    def test_expected_families_present(self):
+        for name in (
+            "power_law",
+            "power_law_floor",
+            "exponential",
+            "logarithmic",
+            "inverse_linear",
+        ):
+            assert name in CURVE_FAMILIES
+
+    @pytest.mark.parametrize("name", sorted(CURVE_FAMILIES))
+    def test_every_family_fits_power_law_data(self, name):
+        sizes, losses = power_law_points()
+        fitted = fit_family(name, sizes, losses)
+        assert fitted.family == name
+        assert np.isfinite(fitted.rmse)
+        assert np.isfinite(fitted.predict(150.0))
+
+    def test_power_law_family_recovers_parameters(self):
+        sizes, losses = power_law_points(b=3.0, a=0.5)
+        fitted = fit_family("power_law", sizes, losses)
+        b, a = fitted.params
+        assert b == pytest.approx(3.0, rel=0.05)
+        assert a == pytest.approx(0.5, abs=0.05)
+
+    def test_unknown_family_rejected(self):
+        with pytest.raises(FittingError):
+            fit_family("spline", *power_law_points())
+
+
+class TestSelectBestFamily:
+    def test_power_law_wins_on_power_law_data(self):
+        sizes, losses = power_law_points(b=2.5, a=0.3)
+        best = select_best_family(sizes, losses)
+        assert best.family in ("power_law", "power_law_floor")
+        assert best.rmse < 1e-6
+
+    def test_restricting_candidate_families(self):
+        sizes, losses = power_law_points()
+        best = select_best_family(sizes, losses, families=["logarithmic", "exponential"])
+        assert best.family in ("logarithmic", "exponential")
+
+    def test_exponential_data_prefers_exponential_over_logarithmic(self):
+        sizes = np.linspace(10, 400, 20)
+        losses = 1.5 * np.exp(-0.01 * sizes) + 0.2
+        exp_fit = fit_family("exponential", sizes, losses)
+        log_fit = fit_family("logarithmic", sizes, losses)
+        assert exp_fit.rmse < log_fit.rmse

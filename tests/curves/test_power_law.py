@@ -1,0 +1,79 @@
+"""Tests for repro.curves.power_law."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.curves.power_law import FittedCurve, PowerLawCurve, PowerLawWithFloor
+from repro.utils.exceptions import ConfigurationError
+
+
+class TestPowerLawCurve:
+    def test_prediction_matches_formula(self):
+        curve = PowerLawCurve(b=2.0, a=0.5)
+        assert curve.predict(4.0) == pytest.approx(2.0 * 4.0**-0.5)
+
+    def test_vectorized_prediction(self):
+        curve = PowerLawCurve(b=1.0, a=0.3)
+        sizes = np.array([10.0, 100.0, 1000.0])
+        predictions = curve.predict(sizes)
+        assert predictions.shape == (3,)
+        assert np.all(np.diff(predictions) < 0)
+
+    def test_monotonically_decreasing(self):
+        curve = PowerLawCurve(b=3.0, a=0.2)
+        assert curve.predict(10) > curve.predict(100) > curve.predict(1000)
+
+    def test_marginal_gain_positive_and_diminishing(self):
+        curve = PowerLawCurve(b=2.0, a=0.4)
+        early = curve.marginal_gain(10, 10)
+        late = curve.marginal_gain(1000, 10)
+        assert early > late > 0
+
+    def test_size_for_loss_inverts_predict(self):
+        curve = PowerLawCurve(b=2.0, a=0.3)
+        size = curve.size_for_loss(0.5)
+        assert curve.predict(size) == pytest.approx(0.5)
+
+    def test_non_positive_size_rejected(self):
+        with pytest.raises(ConfigurationError):
+            PowerLawCurve(b=1.0, a=0.5).predict(0.0)
+
+    @pytest.mark.parametrize("b, a", [(0.0, 0.5), (1.0, 0.0), (-1.0, 0.5)])
+    def test_invalid_parameters_rejected(self, b, a):
+        with pytest.raises(ConfigurationError):
+            PowerLawCurve(b=b, a=a)
+
+    def test_describe_matches_figure8_style(self):
+        assert PowerLawCurve(b=2.894, a=0.204).describe() == "y = 2.894x^-0.204"
+
+
+class TestPowerLawWithFloor:
+    def test_prediction_includes_floor(self):
+        curve = PowerLawWithFloor(b=2.0, a=0.5, c=0.3)
+        assert curve.predict(1e12) == pytest.approx(0.3, abs=1e-5)
+
+    def test_without_floor_drops_c(self):
+        curve = PowerLawWithFloor(b=2.0, a=0.5, c=0.3)
+        plain = curve.without_floor()
+        assert isinstance(plain, PowerLawCurve)
+        assert plain.b == 2.0 and plain.a == 0.5
+
+    def test_negative_floor_rejected(self):
+        with pytest.raises(ConfigurationError):
+            PowerLawWithFloor(b=1.0, a=0.5, c=-0.1)
+
+    def test_describe(self):
+        assert "+ 0.100" in PowerLawWithFloor(b=1.0, a=0.5, c=0.1).describe()
+
+
+class TestFittedCurve:
+    def test_delegation_to_curve(self):
+        fitted = FittedCurve(slice_name="s", curve=PowerLawCurve(b=2.0, a=0.4))
+        assert fitted.b == 2.0 and fitted.a == 0.4
+        assert fitted.predict(10) == pytest.approx(2.0 * 10**-0.4)
+
+    def test_describe_includes_slice_name(self):
+        fitted = FittedCurve(slice_name="Shirt", curve=PowerLawCurve(b=2.9, a=0.2))
+        assert fitted.describe().startswith("Shirt:")

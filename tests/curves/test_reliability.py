@@ -1,0 +1,82 @@
+"""Tests for repro.curves.reliability."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.curves.power_law import PowerLawCurve
+from repro.curves.reliability import average_curves, curve_reliability, fit_averaged_curve
+from repro.utils.exceptions import FittingError
+
+
+class TestAverageCurves:
+    def test_average_of_identical_curves_is_identity(self):
+        curve = PowerLawCurve(b=2.0, a=0.4)
+        averaged = average_curves([curve, curve, curve])
+        assert averaged.b == pytest.approx(2.0)
+        assert averaged.a == pytest.approx(0.4)
+
+    def test_average_is_between_inputs(self):
+        averaged = average_curves(
+            [PowerLawCurve(b=1.0, a=0.2), PowerLawCurve(b=4.0, a=0.6)]
+        )
+        assert 1.0 < averaged.b < 4.0
+        assert averaged.a == pytest.approx(0.4)
+
+    def test_geometric_mean_of_b(self):
+        averaged = average_curves(
+            [PowerLawCurve(b=1.0, a=0.3), PowerLawCurve(b=4.0, a=0.3)]
+        )
+        assert averaged.b == pytest.approx(2.0)
+
+    def test_empty_list_rejected(self):
+        with pytest.raises(FittingError):
+            average_curves([])
+
+
+class TestCurveReliability:
+    def test_perfect_fit_scores_one(self):
+        curve = PowerLawCurve(b=2.0, a=0.3)
+        sizes = np.array([10.0, 100.0, 500.0])
+        losses = curve.predict(sizes)
+        assert curve_reliability(curve, sizes, losses) == pytest.approx(1.0)
+
+    def test_noisier_points_score_lower(self):
+        curve = PowerLawCurve(b=2.0, a=0.3)
+        sizes = np.linspace(10, 500, 10)
+        clean = np.asarray(curve.predict(sizes))
+        rng = np.random.default_rng(0)
+        noisy = clean * np.exp(rng.normal(0, 0.5, size=10))
+        assert curve_reliability(curve, sizes, noisy) < curve_reliability(
+            curve, sizes, clean
+        )
+
+    def test_score_bounded_by_one(self):
+        curve = PowerLawCurve(b=5.0, a=1.0)
+        sizes = np.array([10.0, 100.0])
+        losses = np.array([10.0, 0.001])
+        assert 0.0 <= curve_reliability(curve, sizes, losses) <= 1.0
+
+
+class TestFitAveragedCurve:
+    def test_single_split_equals_plain_fit(self):
+        sizes = np.linspace(20, 500, 12)
+        losses = 2.0 * sizes**-0.4
+        fitted = fit_averaged_curve("s", sizes, losses, n_splits=1)
+        assert fitted.slice_name == "s"
+        assert fitted.curve.a == pytest.approx(0.4, abs=1e-6)
+        assert fitted.reliability == pytest.approx(1.0, abs=1e-6)
+
+    def test_multiple_splits_average_out_noise(self):
+        rng = np.random.default_rng(3)
+        sizes = np.linspace(20, 500, 24)
+        losses = 2.0 * sizes**-0.4 * np.exp(rng.normal(0, 0.1, 24))
+        fitted = fit_averaged_curve("s", sizes, losses, n_splits=3)
+        assert fitted.curve.a == pytest.approx(0.4, abs=0.15)
+
+    def test_too_few_points_for_splits_falls_back(self):
+        sizes = np.array([20.0, 200.0])
+        losses = np.array([1.0, 0.5])
+        fitted = fit_averaged_curve("s", sizes, losses, n_splits=5)
+        assert fitted.curve.a > 0

@@ -1,0 +1,179 @@
+"""Tests for repro.datasets.blueprints."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.datasets.blueprints import (
+    SliceBlueprint,
+    SyntheticTask,
+    circle_centers,
+    exponential_initial_sizes,
+    orthogonal_centers,
+)
+from repro.utils.exceptions import ConfigurationError
+
+
+def simple_blueprint(name="a", label=0, **kwargs) -> SliceBlueprint:
+    defaults = dict(
+        centers=np.zeros((1, 4)),
+        cluster_labels=(label,),
+        noise=1.0,
+        label_noise=0.0,
+        cost=1.0,
+    )
+    defaults.update(kwargs)
+    return SliceBlueprint(name=name, **defaults)
+
+
+class TestSliceBlueprint:
+    def test_center_label_mismatch_rejected(self):
+        with pytest.raises(ConfigurationError):
+            SliceBlueprint(
+                name="a", centers=np.zeros((2, 3)), cluster_labels=(0,), noise=1.0
+            )
+
+    def test_invalid_noise_rejected(self):
+        with pytest.raises(ConfigurationError):
+            simple_blueprint(noise=0.0)
+
+    def test_invalid_label_noise_rejected(self):
+        with pytest.raises(ConfigurationError):
+            simple_blueprint(label_noise=1.5)
+
+    def test_cluster_weights_validation(self):
+        with pytest.raises(ConfigurationError):
+            SliceBlueprint(
+                name="a",
+                centers=np.zeros((2, 3)),
+                cluster_labels=(0, 1),
+                cluster_weights=(1.0,),
+            )
+
+    def test_n_features(self):
+        assert simple_blueprint().n_features == 4
+
+
+class TestSyntheticTask:
+    def make_task(self) -> SyntheticTask:
+        blueprints = [simple_blueprint("a", 0), simple_blueprint("b", 1)]
+        return SyntheticTask("toy", blueprints, n_classes=2)
+
+    def test_slice_names_and_costs(self):
+        task = self.make_task()
+        assert task.slice_names == ["a", "b"]
+        assert task.costs() == {"a": 1.0, "b": 1.0}
+
+    def test_duplicate_slice_names_rejected(self):
+        with pytest.raises(ConfigurationError):
+            SyntheticTask("bad", [simple_blueprint("a"), simple_blueprint("a")], 2)
+
+    def test_n_classes_must_cover_labels(self):
+        with pytest.raises(ConfigurationError):
+            SyntheticTask("bad", [simple_blueprint("a", label=3)], n_classes=2)
+
+    def test_generate_count_and_labels(self):
+        task = self.make_task()
+        data = task.generate("b", 25, random_state=0)
+        assert len(data) == 25
+        assert set(data.labels.tolist()) == {1}
+
+    def test_generate_zero_or_negative(self):
+        task = self.make_task()
+        assert len(task.generate("a", 0)) == 0
+        assert len(task.generate("a", -5)) == 0
+
+    def test_generate_unknown_slice_rejected(self):
+        with pytest.raises(ConfigurationError):
+            self.make_task().generate("missing", 5)
+
+    def test_generate_is_deterministic_given_seed(self):
+        task = self.make_task()
+        a = task.generate("a", 10, random_state=3)
+        b = task.generate("a", 10, random_state=3)
+        assert np.array_equal(a.features, b.features)
+
+    def test_label_noise_flips_labels(self):
+        blueprint = simple_blueprint("noisy", 0, label_noise=0.5)
+        task = SyntheticTask("noisy", [blueprint, simple_blueprint("b", 1)], 2)
+        data = task.generate("noisy", 400, random_state=0)
+        flipped = np.mean(data.labels != 0)
+        assert 0.35 < flipped < 0.65
+
+    def test_cluster_weights_respected(self):
+        blueprint = SliceBlueprint(
+            name="w",
+            centers=np.zeros((2, 3)),
+            cluster_labels=(0, 1),
+            noise=1.0,
+            label_noise=0.0,
+            cluster_weights=(0.9, 0.1),
+        )
+        task = SyntheticTask("weighted", [blueprint], n_classes=2)
+        data = task.generate("w", 500, random_state=0)
+        positive_rate = np.mean(data.labels == 1)
+        assert 0.05 < positive_rate < 0.2
+
+    def test_initial_sliced_dataset_sizes(self):
+        task = self.make_task()
+        sliced = task.initial_sliced_dataset(
+            {"a": 10, "b": 20}, validation_size=15, random_state=0
+        )
+        assert sliced.sizes().tolist() == [10, 20]
+        assert len(sliced["a"].validation) == 15
+
+    def test_initial_sizes_scalar_and_sequence(self):
+        task = self.make_task()
+        assert task.initial_sliced_dataset(12, 5, 0).sizes().tolist() == [12, 12]
+        assert task.initial_sliced_dataset([5, 6], 5, 0).sizes().tolist() == [5, 6]
+
+    def test_initial_sizes_missing_slice_rejected(self):
+        with pytest.raises(ConfigurationError):
+            self.make_task().initial_sliced_dataset({"a": 10}, 5, 0)
+
+    def test_initial_sizes_wrong_length_rejected(self):
+        with pytest.raises(ConfigurationError):
+            self.make_task().initial_sliced_dataset([1, 2, 3], 5, 0)
+
+
+class TestCenterHelpers:
+    def test_circle_centers_radius(self):
+        centers = circle_centers(4, 6, radius=2.0)
+        assert centers.shape == (4, 6)
+        assert np.allclose(np.linalg.norm(centers, axis=1), 2.0)
+
+    def test_orthogonal_centers_equidistant(self):
+        centers = orthogonal_centers(5, 8, radius=3.0)
+        distances = [
+            np.linalg.norm(centers[i] - centers[j])
+            for i in range(5)
+            for j in range(i + 1, 5)
+        ]
+        assert np.allclose(distances, 3.0 * np.sqrt(2))
+
+    def test_orthogonal_centers_offset(self):
+        centers = orthogonal_centers(2, 6, radius=1.0, offset=3)
+        assert centers[0, 3] == 1.0 and centers[1, 4] == 1.0
+
+    def test_orthogonal_centers_too_few_features_rejected(self):
+        with pytest.raises(ConfigurationError):
+            orthogonal_centers(5, 4, radius=1.0)
+
+    def test_circle_centers_too_few_features_rejected(self):
+        with pytest.raises(ConfigurationError):
+            circle_centers(3, 1, radius=1.0)
+
+
+class TestExponentialInitialSizes:
+    def test_monotonically_non_increasing(self):
+        sizes = exponential_initial_sizes(["a", "b", "c", "d"], largest=400, decay=0.8)
+        values = list(sizes.values())
+        assert values == sorted(values, reverse=True)
+        assert values[0] == 400
+
+    def test_minimum_enforced(self):
+        sizes = exponential_initial_sizes(
+            [f"s{i}" for i in range(20)], largest=100, decay=0.5, minimum=30
+        )
+        assert min(sizes.values()) == 30

@@ -1,0 +1,120 @@
+"""Tests for the four concrete synthetic tasks."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.datasets.adult import ADULT_SLICES, adult_like_task
+from repro.datasets.faces import FACE_SLICES, RACES, UTKFACE_COSTS, faces_like_task
+from repro.datasets.fashion import FASHION_CLASSES, fashion_like_task
+from repro.datasets.mixed import DIGIT_CLASSES, mixed_like_task
+
+
+class TestFashionLikeTask:
+    def test_ten_label_slices(self):
+        task = fashion_like_task()
+        assert task.slice_names == list(FASHION_CLASSES)
+        assert task.n_classes == 10
+
+    def test_slice_contains_only_its_label(self):
+        task = fashion_like_task()
+        data = task.generate("Trouser", 100, random_state=0)
+        majority = np.mean(data.labels == FASHION_CLASSES.index("Trouser"))
+        assert majority > 0.95  # only label noise deviates
+
+    def test_unit_costs(self):
+        assert set(fashion_like_task().costs().values()) == {1.0}
+
+    def test_difficulty_ordering(self):
+        task = fashion_like_task()
+        assert task.blueprint("Shirt").noise > task.blueprint("Trouser").noise
+
+
+class TestMixedLikeTask:
+    def test_twenty_slices_twenty_classes(self):
+        task = mixed_like_task()
+        assert len(task.slice_names) == 20
+        assert task.n_classes == 20
+        assert set(DIGIT_CLASSES) <= set(task.slice_names)
+
+    def test_digits_easier_than_clothing(self):
+        task = mixed_like_task()
+        digit_noise = np.mean([task.blueprint(n).noise for n in DIGIT_CLASSES])
+        fashion_noise = np.mean([task.blueprint(n).noise for n in FASHION_CLASSES])
+        assert digit_noise < fashion_noise
+
+    def test_sources_live_on_disjoint_axes(self):
+        task = mixed_like_task()
+        fashion_center = task.blueprint("Shirt").centers[0]
+        digit_center = task.blueprint("Digit0").centers[0]
+        assert np.count_nonzero(fashion_center * digit_center) == 0
+
+
+class TestFacesLikeTask:
+    def test_eight_slices_four_classes(self):
+        task = faces_like_task()
+        assert task.slice_names == list(FACE_SLICES)
+        assert task.n_classes == len(RACES)
+
+    def test_costs_match_table1(self):
+        assert faces_like_task().costs() == UTKFACE_COSTS
+
+    def test_same_race_slices_share_label(self):
+        task = faces_like_task()
+        male = task.generate("White_Male", 200, random_state=0)
+        female = task.generate("White_Female", 200, random_state=1)
+        white = RACES.index("White")
+        # Label noise flips a few labels, but the dominant label of both
+        # gender slices is the shared race class.
+        assert np.mean(male.labels == white) > 0.9
+        assert np.mean(female.labels == white) > 0.9
+
+    def test_same_race_slices_are_similar(self):
+        """Same-race clusters are much closer than different-race clusters."""
+        task = faces_like_task()
+        wm = task.blueprint("White_Male").centers[0]
+        wf = task.blueprint("White_Female").centers[0]
+        bm = task.blueprint("Black_Male").centers[0]
+        assert np.linalg.norm(wm - wf) < np.linalg.norm(wm - bm)
+
+
+class TestAdultLikeTask:
+    def test_four_slices_binary_labels(self):
+        task = adult_like_task()
+        assert task.slice_names == list(ADULT_SLICES)
+        assert task.n_classes == 2
+
+    def test_positive_rates_differ_by_slice(self):
+        task = adult_like_task()
+        rates = {}
+        for name in ADULT_SLICES:
+            data = task.generate(name, 800, random_state=0)
+            rates[name] = float(np.mean(data.labels == 1))
+        assert rates["White_Male"] > rates["Black_Female"]
+
+    def test_both_classes_present_in_each_slice(self):
+        task = adult_like_task()
+        for name in ADULT_SLICES:
+            data = task.generate(name, 300, random_state=1)
+            assert set(data.labels.tolist()) == {0, 1}
+
+
+class TestLearningBehaviour:
+    def test_more_data_lowers_loss(self):
+        """The core premise: validation loss decreases as training data grows."""
+        from repro.ml.linear import SoftmaxRegression
+        from repro.ml.metrics import overall_loss
+        from repro.ml.train import Trainer, TrainingConfig
+
+        task = fashion_like_task()
+        config = TrainingConfig(epochs=25, batch_size=64, learning_rate=0.03)
+        losses = []
+        for per_slice in (40, 400):
+            sliced = task.initial_sliced_dataset(per_slice, validation_size=100, random_state=0)
+            model = SoftmaxRegression(n_classes=10, random_state=0)
+            Trainer(config=config, random_state=1).fit(model, sliced.combined_train())
+            losses.append(
+                overall_loss(model, list(sliced.validation_by_slice().values()))
+            )
+        assert losses[1] < losses[0]

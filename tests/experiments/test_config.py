@@ -1,0 +1,44 @@
+"""Tests for repro.experiments.config."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.config import ExperimentConfig, fast_training_config
+from repro.utils.exceptions import ConfigurationError
+
+
+class TestFastTrainingConfig:
+    def test_returns_training_config(self):
+        config = fast_training_config(epochs=17)
+        assert config.epochs == 17
+        assert config.optimizer == "adam"
+
+
+class TestExperimentConfig:
+    def test_defaults_valid(self):
+        config = ExperimentConfig()
+        assert config.dataset == "fashion_like"
+        assert config.trials >= 1
+
+    def test_training_config_uses_epochs(self):
+        config = ExperimentConfig(epochs=13)
+        assert config.training_config().epochs == 13
+
+    def test_curve_config_uses_points_and_repeats(self):
+        config = ExperimentConfig(curve_points=4, curve_repeats=2)
+        curve_config = config.curve_config()
+        assert curve_config.n_points == 4
+        assert curve_config.n_repeats == 2
+        assert curve_config.strategy == "amortized"
+
+    def test_curve_config_strategy_override(self):
+        config = ExperimentConfig()
+        assert config.curve_config("exhaustive").strategy == "exhaustive"
+
+    @pytest.mark.parametrize(
+        "kwargs", [{"budget": -1.0}, {"trials": 0}, {"methods": ()}]
+    )
+    def test_invalid_configs_rejected(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            ExperimentConfig(**kwargs)

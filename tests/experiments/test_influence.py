@@ -1,0 +1,97 @@
+"""Tests for repro.experiments.influence (the Figure 7 experiment)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.experiments.influence import (
+    influence_experiment,
+    influence_magnitude_by_step,
+)
+from repro.ml.train import TrainingConfig
+from repro.utils.exceptions import ConfigurationError
+
+
+class TestInfluenceExperiment:
+    def test_points_cover_all_other_slices_and_steps(self, tiny_task, fast_training):
+        points = influence_experiment(
+            tiny_task,
+            target_slice="slice_0",
+            base_size=40,
+            target_initial_size=10,
+            growth_steps=2,
+            growth_per_step=30,
+            validation_size=40,
+            trainer_config=fast_training,
+            n_repeats=1,
+            random_state=0,
+        )
+        observed = {p.slice_name for p in points}
+        assert observed == {"slice_1", "slice_2"}
+        assert len(points) == 2 * 2  # steps x other slices
+
+    def test_imbalance_change_is_monotone_in_target_size(self, tiny_task, fast_training):
+        points = influence_experiment(
+            tiny_task,
+            target_slice="slice_0",
+            base_size=40,
+            target_initial_size=10,
+            growth_steps=3,
+            growth_per_step=40,
+            validation_size=40,
+            trainer_config=fast_training,
+            n_repeats=1,
+            random_state=0,
+        )
+        # Ordered by how large the grown slice has become, the change of the
+        # imbalance ratio increases monotonically (it can start negative when
+        # the grown slice is still catching up to the others, as here).
+        by_target = {}
+        for point in points:
+            by_target[point.target_size] = point.imbalance_change
+        ordered_changes = [by_target[size] for size in sorted(by_target)]
+        assert len(ordered_changes) == 3
+        assert all(
+            later >= earlier - 1e-9
+            for earlier, later in zip(ordered_changes, ordered_changes[1:])
+        )
+
+    def test_target_sizes_grow(self, tiny_task, fast_training):
+        points = influence_experiment(
+            tiny_task,
+            target_slice="slice_1",
+            base_size=30,
+            target_initial_size=10,
+            growth_steps=2,
+            growth_per_step=25,
+            validation_size=30,
+            trainer_config=fast_training,
+            n_repeats=1,
+            random_state=0,
+        )
+        sizes = sorted({p.target_size for p in points})
+        assert sizes == [35, 60]
+
+    def test_unknown_target_slice_rejected(self, tiny_task):
+        with pytest.raises(ConfigurationError):
+            influence_experiment(tiny_task, target_slice="nope")
+
+
+class TestInfluenceMagnitude:
+    def test_aggregation_by_step(self, tiny_task, fast_training):
+        points = influence_experiment(
+            tiny_task,
+            target_slice="slice_0",
+            base_size=30,
+            target_initial_size=10,
+            growth_steps=2,
+            growth_per_step=30,
+            validation_size=30,
+            trainer_config=fast_training,
+            n_repeats=1,
+            random_state=0,
+        )
+        magnitudes = influence_magnitude_by_step(points)
+        assert len(magnitudes) == 2
+        assert all(m >= 0 for _, m in magnitudes)

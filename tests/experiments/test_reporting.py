@@ -1,0 +1,70 @@
+"""Tests for repro.experiments.reporting."""
+
+from __future__ import annotations
+
+from repro.experiments.reporting import (
+    allocations_table,
+    comparison_table,
+    methods_table,
+    series_text,
+)
+from repro.experiments.runner import MethodAggregate
+
+
+def make_aggregate(method: str, loss: float = 0.5, eer: float = 0.2) -> MethodAggregate:
+    return MethodAggregate(
+        method=method,
+        loss_mean=loss,
+        loss_std=0.01,
+        avg_eer_mean=eer,
+        avg_eer_std=0.005,
+        max_eer_mean=eer * 2,
+        max_eer_std=0.01,
+        iterations_mean=2.0,
+        spent_mean=100.0,
+        acquired_mean={"a": 30.0, "b": 70.0},
+    )
+
+
+class TestMethodsTable:
+    def test_contains_methods_and_metrics(self):
+        aggregates = {"uniform": make_aggregate("uniform"), "moderate": make_aggregate("moderate", 0.4, 0.1)}
+        text = methods_table(aggregates, title="Table 2")
+        assert "Table 2" in text
+        assert "uniform" in text and "moderate" in text
+        assert "0.400" in text
+
+    def test_method_order_respected(self):
+        aggregates = {"a": make_aggregate("a"), "b": make_aggregate("b")}
+        text = methods_table(aggregates, method_order=["b", "a"])
+        assert text.index("b") < text.index("a ")
+
+
+class TestAllocationsTable:
+    def test_contains_slices(self):
+        aggregates = {"moderate": make_aggregate("moderate")}
+        text = allocations_table(aggregates, slice_names=["a", "b"])
+        assert "a" in text and "b" in text
+        assert "30" in text and "70" in text
+
+
+class TestComparisonTable:
+    def test_settings_as_column_groups(self):
+        per_setting = {
+            "basic": {"uniform": make_aggregate("uniform"), "moderate": make_aggregate("moderate")},
+            "bad_for_uniform": {"uniform": make_aggregate("uniform", 0.7), "moderate": make_aggregate("moderate", 0.5)},
+        }
+        text = comparison_table(per_setting, methods=["uniform", "moderate"])
+        assert "basic: Loss" in text
+        assert "bad_for_uniform: Avg. EER" in text
+
+
+class TestSeriesText:
+    def test_renders_series(self):
+        text = series_text(
+            {"moderate": [(1000, 0.25), (2000, 0.22)]},
+            x_label="budget",
+            y_label="loss",
+            title="Figure 10",
+        )
+        assert "Figure 10" in text and "[moderate]" in text

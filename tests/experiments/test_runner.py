@@ -1,0 +1,131 @@
+"""Tests for repro.experiments.runner (kept tiny for speed)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.runner import (
+    MethodAggregate,
+    MethodOutcome,
+    budget_sweep,
+    compare_methods,
+    prepare_instance,
+    run_method,
+)
+from repro.utils.exceptions import ConfigurationError
+
+
+@pytest.fixture(scope="module")
+def small_config() -> ExperimentConfig:
+    """A deliberately tiny experiment so the runner tests stay fast."""
+    return ExperimentConfig(
+        dataset="adult_like",
+        scenario="basic",
+        budget=80.0,
+        methods=("uniform", "oneshot"),
+        lam=1.0,
+        trials=1,
+        validation_size=80,
+        curve_points=3,
+        curve_repeats=1,
+        epochs=12,
+        seed=0,
+        extra={"base_size": 60},
+    )
+
+
+class TestPrepareInstance:
+    def test_instance_matches_scenario(self, small_config):
+        sliced, source = prepare_instance(small_config, seed=0)
+        assert set(sliced.names) == {
+            "White_Male",
+            "White_Female",
+            "Black_Male",
+            "Black_Female",
+        }
+        assert set(sliced.sizes().tolist()) == {60}
+        assert source.available("White_Male") is None
+
+    def test_different_seeds_give_different_data(self, small_config):
+        a, _ = prepare_instance(small_config, seed=0)
+        b, _ = prepare_instance(small_config, seed=1)
+        assert not np.array_equal(
+            a["White_Male"].train.features, b["White_Male"].train.features
+        )
+
+
+class TestRunMethod:
+    def test_original_pseudo_method(self, small_config):
+        outcome = run_method(small_config, "original", trial=0)
+        assert outcome.method == "original"
+        assert outcome.spent == 0.0
+        assert outcome.loss == outcome.initial_loss
+
+    def test_real_method_spends_budget(self, small_config):
+        outcome = run_method(small_config, "uniform", trial=0)
+        assert outcome.spent <= small_config.budget + 1e-6
+        assert sum(outcome.acquired.values()) > 0
+        assert np.isfinite(outcome.loss) and np.isfinite(outcome.avg_eer)
+
+    def test_mlp_model_option(self, small_config):
+        config = ExperimentConfig(
+            dataset=small_config.dataset,
+            scenario="basic",
+            budget=40.0,
+            methods=("uniform",),
+            trials=1,
+            validation_size=60,
+            curve_points=3,
+            epochs=8,
+            extra={"base_size": 50, "model": "mlp", "hidden_sizes": (8,)},
+        )
+        outcome = run_method(config, "uniform", trial=0)
+        assert np.isfinite(outcome.loss)
+
+    def test_unknown_model_kind_rejected(self, small_config):
+        config = ExperimentConfig(extra={"model": "transformer"})
+        with pytest.raises(ConfigurationError):
+            run_method(config, "uniform", trial=0)
+
+
+class TestAggregation:
+    def test_from_outcomes_statistics(self):
+        outcomes = [
+            MethodOutcome(
+                method="uniform",
+                trial=t,
+                loss=0.5 + 0.1 * t,
+                avg_eer=0.2,
+                max_eer=0.4,
+                initial_loss=0.6,
+                initial_avg_eer=0.25,
+                initial_max_eer=0.5,
+                iterations=1,
+                spent=100.0,
+                acquired={"a": 10 + t},
+            )
+            for t in range(3)
+        ]
+        aggregate = MethodAggregate.from_outcomes(outcomes)
+        assert aggregate.loss_mean == pytest.approx(0.6)
+        assert aggregate.loss_std > 0
+        assert aggregate.acquired_mean["a"] == pytest.approx(11.0)
+
+    def test_empty_outcomes_rejected(self):
+        with pytest.raises(ConfigurationError):
+            MethodAggregate.from_outcomes([])
+
+    def test_compare_methods_includes_original(self, small_config):
+        aggregates = compare_methods(small_config, include_original=True)
+        assert "original" in aggregates
+        for method in small_config.methods:
+            assert method in aggregates
+
+    def test_budget_sweep_series_shape(self, small_config):
+        series = budget_sweep(small_config, budgets=[40.0, 80.0])
+        for method in small_config.methods:
+            assert len(series[method]) == 2
+            budgets = [point[0] for point in series[method]]
+            assert budgets == [40.0, 80.0]

@@ -1,0 +1,68 @@
+"""Tests for repro.experiments.scenarios."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datasets.fashion import fashion_like_task
+from repro.experiments.scenarios import build_scenario, list_scenarios
+from repro.utils.exceptions import ConfigurationError
+
+
+@pytest.fixture(scope="module")
+def task():
+    return fashion_like_task()
+
+
+class TestScenarioRegistry:
+    def test_expected_scenarios_listed(self):
+        names = list_scenarios()
+        for expected in (
+            "basic",
+            "bad_for_uniform",
+            "bad_for_water_filling",
+            "exponential",
+            "small_slices",
+        ):
+            assert expected in names
+
+    def test_unknown_scenario_rejected(self):
+        with pytest.raises(ConfigurationError):
+            build_scenario("adversarial")
+
+    @pytest.mark.parametrize("name", ["basic", "bad_for_uniform", "bad_for_water_filling", "exponential", "small_slices"])
+    def test_every_scenario_sizes_every_slice(self, task, name):
+        sizes = build_scenario(name).initial_sizes(task, base_size=120)
+        assert set(sizes) == set(task.slice_names)
+        assert all(size > 0 for size in sizes.values())
+
+
+class TestScenarioShapes:
+    def test_basic_equal_sizes(self, task):
+        sizes = build_scenario("basic").initial_sizes(task, 150)
+        assert set(sizes.values()) == {150}
+
+    def test_bad_for_uniform_has_starved_hard_slices(self, task):
+        sizes = build_scenario("bad_for_uniform").initial_sizes(task, 200)
+        # The hardest slice (largest noise) is starved, the easy ones are rich.
+        hardest = max(task.slice_names, key=lambda n: task.blueprint(n).noise)
+        easiest = min(task.slice_names, key=lambda n: task.blueprint(n).noise)
+        assert sizes[hardest] < sizes[easiest]
+        assert sizes[easiest] == 400
+
+    def test_bad_for_water_filling_has_large_hard_slice(self, task):
+        sizes = build_scenario("bad_for_water_filling").initial_sizes(task, 200)
+        hardest = max(task.slice_names, key=lambda n: task.blueprint(n).noise)
+        easiest = min(task.slice_names, key=lambda n: task.blueprint(n).noise)
+        assert sizes[hardest] > sizes[easiest]
+        assert sizes[hardest] == 600
+
+    def test_exponential_sizes_decay(self, task):
+        sizes = build_scenario("exponential").initial_sizes(task, 200)
+        values = [sizes[name] for name in task.slice_names]
+        assert values[0] == max(values)
+        assert values == sorted(values, reverse=True)
+
+    def test_small_slices_are_tiny(self, task):
+        sizes = build_scenario("small_slices").initial_sizes(task, 180)
+        assert max(sizes.values()) <= 30

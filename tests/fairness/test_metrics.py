@@ -1,0 +1,104 @@
+"""Tests for repro.fairness.metrics."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.fairness.metrics import (
+    average_equalized_error_rates,
+    demographic_parity_difference,
+    equalized_odds_difference,
+    max_equalized_error_rates,
+    unfairness,
+)
+from repro.utils.exceptions import ConfigurationError
+
+
+class TestUnfairness:
+    def test_paper_toy_example(self):
+        """The Section 1 example: losses 5 and 3, overall 4 -> unfairness 1."""
+        assert unfairness([5.0, 3.0], 4.0) == pytest.approx(1.0)
+
+    def test_paper_toy_example_after_acquisition(self):
+        """Losses 2 and 3 with overall 2.4 -> unfairness 0.5."""
+        assert unfairness([2.0, 3.0], 2.4) == pytest.approx(0.5)
+
+    def test_equal_losses_are_perfectly_fair(self):
+        assert unfairness([0.4, 0.4, 0.4], 0.4) == pytest.approx(0.0)
+
+    def test_max_aggregate(self):
+        assert unfairness([5.0, 3.0], 4.0, aggregate="max") == pytest.approx(1.0)
+        assert unfairness([5.0, 3.9], 4.0, aggregate="max") == pytest.approx(1.0)
+
+    def test_mapping_input(self):
+        assert unfairness({"a": 5.0, "b": 3.0}, 4.0) == pytest.approx(1.0)
+
+    def test_invalid_aggregate_rejected(self):
+        with pytest.raises(ConfigurationError):
+            unfairness([1.0], 1.0, aggregate="median")
+
+    def test_empty_losses_rejected(self):
+        with pytest.raises(ConfigurationError):
+            unfairness([], 1.0)
+
+    def test_non_finite_losses_rejected(self):
+        with pytest.raises(ConfigurationError):
+            unfairness([float("nan")], 1.0)
+        with pytest.raises(ConfigurationError):
+            unfairness([1.0], float("inf"))
+
+    def test_named_wrappers(self):
+        losses = [0.5, 0.3, 0.7]
+        overall = 0.45
+        assert average_equalized_error_rates(losses, overall) == pytest.approx(
+            unfairness(losses, overall)
+        )
+        assert max_equalized_error_rates(losses, overall) == pytest.approx(
+            unfairness(losses, overall, aggregate="max")
+        )
+
+
+class TestDemographicParity:
+    def test_equal_rates_give_zero(self):
+        predictions = [1, 0, 1, 0]
+        groups = [0, 0, 1, 1]
+        assert demographic_parity_difference(predictions, groups) == pytest.approx(0.0)
+
+    def test_maximal_gap(self):
+        predictions = [1, 1, 0, 0]
+        groups = [0, 0, 1, 1]
+        assert demographic_parity_difference(predictions, groups) == pytest.approx(1.0)
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ConfigurationError):
+            demographic_parity_difference([1], [0, 1])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigurationError):
+            demographic_parity_difference([], [])
+
+
+class TestEqualizedOdds:
+    def test_identical_behaviour_across_groups_gives_zero(self):
+        predictions = [1, 0, 1, 0]
+        labels = [1, 0, 1, 0]
+        groups = [0, 0, 1, 1]
+        assert equalized_odds_difference(predictions, labels, groups) == pytest.approx(0.0)
+
+    def test_tpr_gap_detected(self):
+        # Group 0: TPR 1.0; group 1: TPR 0.0.
+        predictions = [1, 1, 0, 0]
+        labels = [1, 1, 1, 1]
+        groups = [0, 0, 1, 1]
+        assert equalized_odds_difference(predictions, labels, groups) == pytest.approx(1.0)
+
+    def test_single_class_groups_handled(self):
+        predictions = [1, 1]
+        labels = [1, 1]
+        groups = [0, 1]
+        assert equalized_odds_difference(predictions, labels, groups) == 0.0
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ConfigurationError):
+            equalized_odds_difference([1], [1, 0], [0, 1])

@@ -1,0 +1,60 @@
+"""Tests for repro.fairness.report."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.fairness.report import FairnessReport, evaluate_fairness
+from repro.ml.linear import SoftmaxRegression
+from repro.ml.train import Trainer
+
+
+class TestFairnessReport:
+    def make_report(self) -> FairnessReport:
+        return FairnessReport(
+            loss=0.5,
+            slice_losses={"a": 0.3, "b": 0.9, "c": 0.5},
+            avg_eer=0.2,
+            max_eer=0.4,
+            slice_sizes={"a": 100, "b": 20, "c": 50},
+        )
+
+    def test_worst_and_best_slice(self):
+        report = self.make_report()
+        assert report.worst_slice() == "b"
+        assert report.best_slice() == "a"
+
+    def test_to_text_contains_all_slices(self):
+        text = self.make_report().to_text()
+        for name in ("a", "b", "c"):
+            assert name in text
+        assert "avg EER" in text
+
+
+class TestEvaluateFairness:
+    def test_report_consistent_with_definition(self, tiny_sliced, fast_training):
+        model = SoftmaxRegression(n_classes=tiny_sliced.n_classes, random_state=0)
+        Trainer(config=fast_training, random_state=0).fit(
+            model, tiny_sliced.combined_train()
+        )
+        report = evaluate_fairness(model, tiny_sliced)
+        assert set(report.slice_losses) == set(tiny_sliced.names)
+        # Definition 1: avg EER is the mean absolute deviation from the loss.
+        expected_avg = np.mean(
+            [abs(v - report.loss) for v in report.slice_losses.values()]
+        )
+        assert report.avg_eer == pytest.approx(expected_avg)
+        assert report.max_eer >= report.avg_eer
+        assert report.slice_sizes == {
+            name: tiny_sliced[name].size for name in tiny_sliced.names
+        }
+
+    def test_overall_loss_within_slice_loss_range(self, tiny_sliced, fast_training):
+        model = SoftmaxRegression(n_classes=tiny_sliced.n_classes, random_state=0)
+        Trainer(config=fast_training, random_state=0).fit(
+            model, tiny_sliced.combined_train()
+        )
+        report = evaluate_fairness(model, tiny_sliced)
+        assert min(report.slice_losses.values()) <= report.loss
+        assert report.loss <= max(report.slice_losses.values())

@@ -1,0 +1,133 @@
+"""Tests for repro.ml.data."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.ml.data import Dataset, train_validation_split
+from repro.utils.exceptions import ConfigurationError
+
+
+def make_dataset(n: int = 10, d: int = 3) -> Dataset:
+    rng = np.random.default_rng(0)
+    return Dataset(rng.normal(size=(n, d)), rng.integers(0, 3, size=n))
+
+
+class TestDatasetConstruction:
+    def test_basic_properties(self):
+        ds = make_dataset(12, 4)
+        assert len(ds) == 12
+        assert ds.n_features == 4
+
+    def test_n_classes_from_labels(self):
+        ds = Dataset(np.zeros((3, 2)), np.array([0, 2, 1]))
+        assert ds.n_classes == 3
+
+    def test_empty_dataset(self):
+        ds = Dataset.empty(5)
+        assert len(ds) == 0
+        assert ds.n_features == 5
+        assert ds.n_classes == 0
+
+    def test_features_must_be_2d(self):
+        with pytest.raises(ConfigurationError):
+            Dataset(np.zeros(3), np.zeros(3, dtype=int))
+
+    def test_labels_must_be_1d(self):
+        with pytest.raises(ConfigurationError):
+            Dataset(np.zeros((3, 2)), np.zeros((3, 1), dtype=int))
+
+    def test_row_count_mismatch_raises(self):
+        with pytest.raises(ConfigurationError):
+            Dataset(np.zeros((3, 2)), np.zeros(4, dtype=int))
+
+    def test_dtype_coercion(self):
+        ds = Dataset([[1, 2], [3, 4]], [0, 1])
+        assert ds.features.dtype == np.float64
+        assert ds.labels.dtype == np.int64
+
+    def test_class_counts(self):
+        ds = Dataset(np.zeros((4, 1)), np.array([0, 0, 2, 2]))
+        assert ds.class_counts().tolist() == [2, 0, 2]
+        assert ds.class_counts(n_classes=4).tolist() == [2, 0, 2, 0]
+
+
+class TestDatasetOperations:
+    def test_subset_selects_rows(self):
+        ds = make_dataset(10)
+        sub = ds.subset([0, 3, 5])
+        assert len(sub) == 3
+        assert np.array_equal(sub.features[1], ds.features[3])
+
+    def test_sample_without_replacement(self):
+        ds = make_dataset(20)
+        sample = ds.sample(10, random_state=0)
+        assert len(sample) == 10
+
+    def test_sample_clamps_to_size(self):
+        ds = make_dataset(5)
+        assert len(ds.sample(100, random_state=0)) == 5
+
+    def test_sample_zero(self):
+        ds = make_dataset(5)
+        assert len(ds.sample(0)) == 0
+
+    def test_take_keeps_prefix(self):
+        ds = make_dataset(10)
+        taken = ds.take(4)
+        assert np.array_equal(taken.features, ds.features[:4])
+
+    def test_shuffle_is_permutation(self):
+        ds = make_dataset(30)
+        shuffled = ds.shuffle(random_state=0)
+        assert sorted(shuffled.labels.tolist()) == sorted(ds.labels.tolist())
+        assert len(shuffled) == len(ds)
+
+    def test_concatenate(self):
+        a, b = make_dataset(4), make_dataset(6)
+        combined = Dataset.concatenate([a, b])
+        assert len(combined) == 10
+
+    def test_concatenate_skips_empty(self):
+        a = make_dataset(4)
+        combined = Dataset.concatenate([a, Dataset.empty(3)])
+        assert len(combined) == 4
+
+    def test_concatenate_mismatched_width_raises(self):
+        with pytest.raises(ConfigurationError):
+            Dataset.concatenate([make_dataset(3, 2), make_dataset(3, 4)])
+
+    def test_concatenate_all_empty_raises(self):
+        with pytest.raises(ConfigurationError):
+            Dataset.concatenate([Dataset.empty(2)])
+
+
+class TestTrainValidationSplit:
+    def test_absolute_split(self):
+        ds = make_dataset(20)
+        train, val = train_validation_split(ds, 5, random_state=0)
+        assert len(train) == 15 and len(val) == 5
+
+    def test_fractional_split(self):
+        ds = make_dataset(40)
+        train, val = train_validation_split(ds, 0.25, random_state=0)
+        assert len(val) == 10 and len(train) == 30
+
+    def test_split_is_partition(self):
+        ds = make_dataset(20)
+        train, val = train_validation_split(ds, 8, random_state=0)
+        combined = np.sort(
+            np.concatenate([train.features[:, 0], val.features[:, 0]])
+        )
+        assert np.allclose(combined, np.sort(ds.features[:, 0]))
+
+    def test_oversized_split_raises(self):
+        with pytest.raises(ConfigurationError):
+            train_validation_split(make_dataset(5), 6)
+
+    def test_deterministic_given_seed(self):
+        ds = make_dataset(20)
+        _, val1 = train_validation_split(ds, 5, random_state=3)
+        _, val2 = train_validation_split(ds, 5, random_state=3)
+        assert np.array_equal(val1.features, val2.features)

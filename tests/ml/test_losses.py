@@ -1,0 +1,114 @@
+"""Tests for repro.ml.losses."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.ml.losses import (
+    binary_cross_entropy_loss,
+    cross_entropy_gradient,
+    cross_entropy_loss,
+    one_hot,
+    sigmoid,
+    softmax,
+)
+
+
+class TestSoftmax:
+    def test_rows_sum_to_one(self):
+        probs = softmax(np.random.default_rng(0).normal(size=(5, 4)))
+        assert np.allclose(probs.sum(axis=1), 1.0)
+
+    def test_invariant_to_constant_shift(self):
+        logits = np.array([[1.0, 2.0, 3.0]])
+        assert np.allclose(softmax(logits), softmax(logits + 100.0))
+
+    def test_large_logits_do_not_overflow(self):
+        probs = softmax(np.array([[1000.0, 0.0]]))
+        assert np.isfinite(probs).all()
+        assert probs[0, 0] == pytest.approx(1.0)
+
+    def test_uniform_logits_give_uniform_probs(self):
+        probs = softmax(np.zeros((1, 4)))
+        assert np.allclose(probs, 0.25)
+
+
+class TestSigmoid:
+    def test_symmetry(self):
+        assert sigmoid(np.array([0.0]))[0] == pytest.approx(0.5)
+        assert sigmoid(np.array([2.0]))[0] + sigmoid(np.array([-2.0]))[0] == pytest.approx(1.0)
+
+    def test_extremes_are_stable(self):
+        values = sigmoid(np.array([-1000.0, 1000.0]))
+        assert np.isfinite(values).all()
+        assert values[0] == pytest.approx(0.0, abs=1e-12)
+        assert values[1] == pytest.approx(1.0, abs=1e-12)
+
+
+class TestOneHot:
+    def test_encoding(self):
+        encoded = one_hot(np.array([0, 2]), 3)
+        assert encoded.tolist() == [[1, 0, 0], [0, 0, 1]]
+
+    def test_out_of_range_raises(self):
+        with pytest.raises(ValueError):
+            one_hot(np.array([3]), 3)
+
+    def test_empty(self):
+        assert one_hot(np.array([], dtype=int), 3).shape == (0, 3)
+
+
+class TestCrossEntropy:
+    def test_perfect_prediction_is_zero(self):
+        probs = np.array([[1.0, 0.0], [0.0, 1.0]])
+        assert cross_entropy_loss(probs, np.array([0, 1])) == pytest.approx(0.0, abs=1e-9)
+
+    def test_uniform_prediction_is_log_k(self):
+        probs = np.full((4, 5), 0.2)
+        assert cross_entropy_loss(probs, np.array([0, 1, 2, 3])) == pytest.approx(np.log(5))
+
+    def test_wrong_confident_prediction_is_large(self):
+        probs = np.array([[1e-9, 1.0 - 1e-9]])
+        assert cross_entropy_loss(probs, np.array([0])) > 10
+
+    def test_empty_inputs_return_zero(self):
+        assert cross_entropy_loss(np.empty((0, 3)), np.array([], dtype=int)) == 0.0
+
+    def test_length_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            cross_entropy_loss(np.full((2, 2), 0.5), np.array([0]))
+
+    def test_matches_binary_loss_on_two_classes(self):
+        rng = np.random.default_rng(0)
+        positive = rng.uniform(0.05, 0.95, size=20)
+        probs = np.column_stack([1 - positive, positive])
+        labels = rng.integers(0, 2, size=20)
+        assert cross_entropy_loss(probs, labels) == pytest.approx(
+            binary_cross_entropy_loss(positive, labels), rel=1e-9
+        )
+
+
+class TestCrossEntropyGradient:
+    def test_gradient_shape_and_scale(self):
+        probs = softmax(np.random.default_rng(0).normal(size=(6, 3)))
+        grad = cross_entropy_gradient(probs, np.array([0, 1, 2, 0, 1, 2]))
+        assert grad.shape == (6, 3)
+        # Each row of (p - y) has zero sum, so the gradient rows sum to zero.
+        assert np.allclose(grad.sum(axis=1), 0.0)
+
+    def test_gradient_matches_finite_difference(self):
+        rng = np.random.default_rng(1)
+        logits = rng.normal(size=(4, 3))
+        labels = np.array([0, 2, 1, 0])
+
+        def loss_at(flat_logits):
+            return cross_entropy_loss(softmax(flat_logits.reshape(4, 3)), labels)
+
+        analytic = cross_entropy_gradient(softmax(logits), labels)
+        eps = 1e-6
+        for index in [(0, 0), (1, 2), (3, 1)]:
+            shifted = logits.copy()
+            shifted[index] += eps
+            numeric = (loss_at(shifted.ravel()) - loss_at(logits.ravel())) / eps
+            assert analytic[index] == pytest.approx(numeric, abs=1e-4)

@@ -1,0 +1,89 @@
+"""Tests for repro.ml.metrics."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.ml.data import Dataset
+from repro.ml.metrics import (
+    accuracy,
+    confusion_matrix,
+    error_rate,
+    log_loss,
+    overall_loss,
+    per_slice_losses,
+)
+
+
+class ConstantModel:
+    """Predicts a fixed probability vector for every input."""
+
+    def __init__(self, probabilities):
+        self._probs = np.asarray(probabilities, dtype=float)
+
+    def predict_proba(self, features):
+        return np.tile(self._probs, (len(features), 1))
+
+    def predict(self, features):
+        return np.full(len(features), int(np.argmax(self._probs)))
+
+
+@pytest.fixture
+def three_class_dataset() -> Dataset:
+    return Dataset(np.zeros((6, 2)), np.array([0, 0, 1, 1, 2, 2]))
+
+
+class TestLogLossAndAccuracy:
+    def test_log_loss_of_uniform_model(self, three_class_dataset):
+        model = ConstantModel([1 / 3, 1 / 3, 1 / 3])
+        assert log_loss(model, three_class_dataset) == pytest.approx(np.log(3))
+
+    def test_accuracy_of_majority_model(self, three_class_dataset):
+        model = ConstantModel([0.9, 0.05, 0.05])
+        assert accuracy(model, three_class_dataset) == pytest.approx(2 / 6)
+        assert error_rate(model, three_class_dataset) == pytest.approx(4 / 6)
+
+    def test_empty_dataset_gives_nan(self):
+        model = ConstantModel([0.5, 0.5])
+        assert np.isnan(log_loss(model, Dataset.empty(2)))
+        assert np.isnan(accuracy(model, Dataset.empty(2)))
+
+
+class TestPerSliceLosses:
+    def test_mapping_input_returns_dict(self, three_class_dataset):
+        model = ConstantModel([0.8, 0.1, 0.1])
+        result = per_slice_losses(model, {"a": three_class_dataset})
+        assert set(result) == {"a"}
+
+    def test_sequence_input_returns_list(self, three_class_dataset):
+        model = ConstantModel([0.8, 0.1, 0.1])
+        result = per_slice_losses(model, [three_class_dataset, three_class_dataset])
+        assert len(result) == 2
+        assert result[0] == pytest.approx(result[1])
+
+    def test_overall_loss_weights_by_slice_size(self):
+        model = ConstantModel([0.9, 0.1])
+        small = Dataset(np.zeros((1, 1)), np.array([1]))  # loss = -log(0.1)
+        large = Dataset(np.zeros((9, 1)), np.array([0] * 9))  # loss = -log(0.9)
+        combined = overall_loss(model, [small, large])
+        expected = (-np.log(0.1) * 1 + -np.log(0.9) * 9) / 10
+        assert combined == pytest.approx(expected)
+
+    def test_overall_loss_all_empty_is_nan(self):
+        model = ConstantModel([1.0, 0.0])
+        assert np.isnan(overall_loss(model, [Dataset.empty(1)]))
+
+
+class TestConfusionMatrix:
+    def test_counts_sum_to_dataset_size(self, three_class_dataset):
+        model = ConstantModel([0.2, 0.5, 0.3])
+        matrix = confusion_matrix(model, three_class_dataset, n_classes=3)
+        assert matrix.sum() == len(three_class_dataset)
+        # The constant model predicts class 1 for everything.
+        assert matrix[:, 1].sum() == len(three_class_dataset)
+
+    def test_empty_dataset(self):
+        model = ConstantModel([1.0, 0.0])
+        matrix = confusion_matrix(model, Dataset.empty(2), n_classes=2)
+        assert matrix.sum() == 0

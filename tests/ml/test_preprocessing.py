@@ -1,0 +1,73 @@
+"""Tests for repro.ml.preprocessing."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.ml.preprocessing import OneHotEncoder, StandardScaler
+from repro.utils.exceptions import ConfigurationError
+
+
+class TestStandardScaler:
+    def test_zero_mean_unit_variance(self):
+        rng = np.random.default_rng(0)
+        data = rng.normal(loc=5.0, scale=3.0, size=(200, 4))
+        scaled = StandardScaler().fit_transform(data)
+        assert np.allclose(scaled.mean(axis=0), 0.0, atol=1e-9)
+        assert np.allclose(scaled.std(axis=0), 1.0, atol=1e-9)
+
+    def test_constant_column_left_finite(self):
+        data = np.column_stack([np.ones(10), np.arange(10.0)])
+        scaled = StandardScaler().fit_transform(data)
+        assert np.isfinite(scaled).all()
+        assert np.allclose(scaled[:, 0], 0.0)
+
+    def test_inverse_transform_roundtrip(self):
+        rng = np.random.default_rng(1)
+        data = rng.normal(size=(50, 3))
+        scaler = StandardScaler().fit(data)
+        assert np.allclose(scaler.inverse_transform(scaler.transform(data)), data)
+
+    def test_transform_before_fit_raises(self):
+        with pytest.raises(ConfigurationError):
+            StandardScaler().transform(np.zeros((2, 2)))
+
+    def test_fit_on_empty_raises(self):
+        with pytest.raises(ConfigurationError):
+            StandardScaler().fit(np.zeros((0, 2)))
+
+    def test_fit_on_1d_raises(self):
+        with pytest.raises(ConfigurationError):
+            StandardScaler().fit(np.zeros(5))
+
+
+class TestOneHotEncoder:
+    def test_basic_encoding(self):
+        columns = np.array([[0], [1], [2], [1]])
+        encoded = OneHotEncoder().fit_transform(columns)
+        assert encoded.shape == (4, 3)
+        assert encoded.sum(axis=1).tolist() == [1, 1, 1, 1]
+
+    def test_multiple_columns(self):
+        columns = np.array([[0, 10], [1, 20]])
+        encoder = OneHotEncoder().fit(columns)
+        assert encoder.n_output_features == 4
+
+    def test_unseen_category_encodes_to_zeros(self):
+        encoder = OneHotEncoder().fit(np.array([[0], [1]]))
+        encoded = encoder.transform(np.array([[5]]))
+        assert encoded.sum() == 0.0
+
+    def test_transform_before_fit_raises(self):
+        with pytest.raises(ConfigurationError):
+            OneHotEncoder().transform(np.array([[1]]))
+
+    def test_wrong_column_count_raises(self):
+        encoder = OneHotEncoder().fit(np.array([[0], [1]]))
+        with pytest.raises(ConfigurationError):
+            encoder.transform(np.array([[0, 1]]))
+
+    def test_n_output_features_before_fit_raises(self):
+        with pytest.raises(ConfigurationError):
+            _ = OneHotEncoder().n_output_features

@@ -1,0 +1,108 @@
+"""Tests for repro.ml.train."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.ml.data import Dataset
+from repro.ml.linear import SoftmaxRegression
+from repro.ml.train import Trainer, TrainingConfig, train_model
+from repro.utils.exceptions import ConfigurationError
+
+
+class TestTrainingConfig:
+    def test_defaults_are_valid(self):
+        config = TrainingConfig()
+        assert config.epochs > 0 and config.batch_size > 0
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"epochs": 0},
+            {"batch_size": 0},
+            {"early_stopping_patience": -1},
+            {"validation_fraction": 1.0},
+        ],
+    )
+    def test_invalid_values_rejected(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            TrainingConfig(**kwargs)
+
+
+class TestTrainer:
+    def test_returns_result_with_losses(self, separable_dataset, fast_training):
+        model = SoftmaxRegression(n_classes=2, random_state=0)
+        result = Trainer(config=fast_training, random_state=0).fit(
+            model, separable_dataset
+        )
+        assert result.epochs_run == fast_training.epochs
+        assert len(result.train_losses) == result.epochs_run
+        assert result.final_train_loss < result.train_losses[0]
+
+    def test_training_is_deterministic_given_seeds(self, separable_dataset, fast_training):
+        losses = []
+        for _ in range(2):
+            model = SoftmaxRegression(n_classes=2, random_state=5)
+            result = Trainer(config=fast_training, random_state=9).fit(
+                model, separable_dataset
+            )
+            losses.append(result.final_train_loss)
+        assert losses[0] == pytest.approx(losses[1])
+
+    def test_empty_dataset_rejected(self, fast_training):
+        with pytest.raises(ConfigurationError):
+            Trainer(config=fast_training).fit(
+                SoftmaxRegression(n_classes=2), Dataset.empty(3)
+            )
+
+    def test_validation_losses_tracked(self, separable_dataset, fast_training):
+        train = separable_dataset.take(80)
+        validation = separable_dataset.subset(np.arange(80, len(separable_dataset)))
+        model = SoftmaxRegression(n_classes=2, random_state=0)
+        result = Trainer(config=fast_training, random_state=0).fit(
+            model, train, validation
+        )
+        assert len(result.validation_losses) == result.epochs_run
+
+    def test_early_stopping_stops_before_max_epochs(self):
+        # Random labels carry no signal, so validation loss stops improving
+        # almost immediately and the patience criterion must kick in.
+        rng = np.random.default_rng(0)
+        train = Dataset(rng.normal(size=(60, 4)), rng.integers(0, 2, size=60))
+        validation = Dataset(rng.normal(size=(40, 4)), rng.integers(0, 2, size=40))
+        config = TrainingConfig(
+            epochs=200,
+            batch_size=16,
+            learning_rate=0.1,
+            early_stopping_patience=3,
+        )
+        model = SoftmaxRegression(n_classes=2, random_state=0)
+        result = Trainer(config=config, random_state=0).fit(model, train, validation)
+        assert result.stopped_early
+        assert result.epochs_run < 200
+
+    def test_internal_validation_split_used(self, separable_dataset):
+        config = TrainingConfig(
+            epochs=50,
+            batch_size=16,
+            learning_rate=0.1,
+            early_stopping_patience=3,
+            validation_fraction=0.25,
+        )
+        model = SoftmaxRegression(n_classes=2, random_state=0)
+        result = Trainer(config=config, random_state=0).fit(model, separable_dataset)
+        assert len(result.validation_losses) > 0
+
+    def test_batch_size_larger_than_dataset(self, separable_dataset):
+        config = TrainingConfig(epochs=5, batch_size=10_000, learning_rate=0.1)
+        model = SoftmaxRegression(n_classes=2, random_state=0)
+        result = Trainer(config=config, random_state=0).fit(model, separable_dataset)
+        assert result.epochs_run == 5
+
+    def test_train_model_convenience_wrapper(self, separable_dataset, fast_training):
+        model = SoftmaxRegression(n_classes=2, random_state=0)
+        result = train_model(
+            model, separable_dataset, config=fast_training, random_state=0
+        )
+        assert result.epochs_run == fast_training.epochs

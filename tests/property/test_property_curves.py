@@ -1,0 +1,80 @@
+"""Property-based tests for the learning-curve machinery."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.curves.fitting import fit_power_law, weighted_log_rmse
+from repro.curves.power_law import PowerLawCurve
+from repro.curves.reliability import average_curves
+
+positive_b = st.floats(min_value=0.05, max_value=50.0, allow_nan=False)
+exponent = st.floats(min_value=0.01, max_value=2.0, allow_nan=False)
+sizes_strategy = st.lists(
+    st.integers(min_value=5, max_value=5000), min_size=3, max_size=12, unique=True
+)
+
+
+class TestPowerLawProperties:
+    @given(b=positive_b, a=exponent, size=st.floats(min_value=1.0, max_value=1e6))
+    def test_predictions_are_positive(self, b, a, size):
+        assert PowerLawCurve(b=b, a=a).predict(size) > 0
+
+    @given(b=positive_b, a=exponent)
+    def test_monotonically_non_increasing(self, b, a):
+        curve = PowerLawCurve(b=b, a=a)
+        sizes = np.logspace(0.5, 5, 20)
+        predictions = np.asarray(curve.predict(sizes))
+        assert np.all(np.diff(predictions) <= 1e-12)
+
+    @given(b=positive_b, a=exponent)
+    def test_size_for_loss_round_trip(self, b, a):
+        curve = PowerLawCurve(b=b, a=a)
+        loss = curve.predict(321.0)
+        assert curve.size_for_loss(loss) == pytest.approx(321.0, rel=1e-6)
+
+
+class TestFittingProperties:
+    @given(b=positive_b, a=exponent, sizes=sizes_strategy)
+    @settings(max_examples=40, deadline=None)
+    def test_exact_recovery_of_noise_free_curves(self, b, a, sizes):
+        sizes = np.array(sorted(sizes), dtype=float)
+        losses = b * sizes**-a
+        curve = fit_power_law(sizes, losses)
+        assert curve.a == pytest.approx(a, rel=1e-3, abs=1e-4)
+        assert curve.b == pytest.approx(b, rel=1e-2)
+        assert weighted_log_rmse(curve, sizes, losses) < 1e-6
+
+    @given(
+        b=positive_b,
+        a=exponent,
+        sizes=sizes_strategy,
+        noise=st.floats(min_value=0.0, max_value=0.15),
+        seed=st.integers(min_value=0, max_value=1000),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_fit_is_always_a_valid_curve(self, b, a, sizes, noise, seed):
+        rng = np.random.default_rng(seed)
+        sizes = np.array(sorted(sizes), dtype=float)
+        losses = b * sizes**-a * np.exp(rng.normal(0, noise, size=len(sizes)))
+        curve = fit_power_law(sizes, losses)
+        assert curve.a > 0 and curve.b > 0
+        assert np.isfinite(curve.predict(10_000))
+
+
+class TestAveragingProperties:
+    @given(
+        parameters=st.lists(
+            st.tuples(positive_b, exponent), min_size=1, max_size=6
+        )
+    )
+    def test_average_parameters_within_input_range(self, parameters):
+        curves = [PowerLawCurve(b=b, a=a) for b, a in parameters]
+        averaged = average_curves(curves)
+        a_values = [c.a for c in curves]
+        b_values = [c.b for c in curves]
+        assert min(a_values) - 1e-9 <= averaged.a <= max(a_values) + 1e-9
+        assert min(b_values) - 1e-9 <= averaged.b <= max(b_values) + 1e-9

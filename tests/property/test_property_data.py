@@ -1,0 +1,91 @@
+"""Property-based tests for the data containers and the budget ledger."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.acquisition.budget import BudgetLedger
+from repro.ml.data import Dataset, train_validation_split
+from repro.slices.validation import imbalance_ratio
+from repro.utils.exceptions import BudgetError
+
+
+@st.composite
+def datasets(draw):
+    n = draw(st.integers(min_value=1, max_value=60))
+    d = draw(st.integers(min_value=1, max_value=6))
+    k = draw(st.integers(min_value=1, max_value=4))
+    seed = draw(st.integers(min_value=0, max_value=10_000))
+    rng = np.random.default_rng(seed)
+    return Dataset(rng.normal(size=(n, d)), rng.integers(0, k, size=n))
+
+
+class TestDatasetProperties:
+    @given(dataset=datasets(), seed=st.integers(min_value=0, max_value=100))
+    @settings(max_examples=40, deadline=None)
+    def test_shuffle_preserves_multiset_of_labels(self, dataset, seed):
+        shuffled = dataset.shuffle(random_state=seed)
+        assert sorted(shuffled.labels.tolist()) == sorted(dataset.labels.tolist())
+
+    @given(dataset=datasets(), size=st.integers(min_value=0, max_value=100))
+    @settings(max_examples=40, deadline=None)
+    def test_sample_size_clamped(self, dataset, size):
+        sample = dataset.sample(size, random_state=0)
+        assert len(sample) == min(size, len(dataset))
+
+    @given(dataset=datasets(), fraction=st.floats(min_value=0.05, max_value=0.95))
+    @settings(max_examples=40, deadline=None)
+    def test_split_sizes_sum(self, dataset, fraction):
+        train, validation = train_validation_split(dataset, fraction, random_state=0)
+        assert len(train) + len(validation) == len(dataset)
+
+    @given(dataset=datasets())
+    @settings(max_examples=30, deadline=None)
+    def test_concatenate_with_empty_is_identity(self, dataset):
+        combined = Dataset.concatenate([dataset, Dataset.empty(dataset.n_features)])
+        assert len(combined) == len(dataset)
+
+
+class TestImbalanceRatioProperties:
+    @given(
+        sizes=st.lists(st.integers(min_value=1, max_value=10_000), min_size=1, max_size=12)
+    )
+    def test_at_least_one(self, sizes):
+        assert imbalance_ratio(sizes) >= 1.0
+
+    @given(
+        sizes=st.lists(st.integers(min_value=1, max_value=10_000), min_size=1, max_size=12),
+        scale=st.integers(min_value=1, max_value=50),
+    )
+    def test_scale_invariance(self, sizes, scale):
+        scaled = [s * scale for s in sizes]
+        assert imbalance_ratio(scaled) == pytest.approx(imbalance_ratio(sizes))
+
+
+class TestBudgetLedgerProperties:
+    @given(
+        total=st.floats(min_value=0.0, max_value=1000.0),
+        charges=st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=50),
+                st.floats(min_value=0.1, max_value=3.0),
+            ),
+            max_size=20,
+        ),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_spent_never_exceeds_total(self, total, charges):
+        ledger = BudgetLedger(total=total)
+        for count, unit_cost in charges:
+            try:
+                ledger.charge("s", count, unit_cost)
+            except BudgetError:
+                continue
+        assert ledger.spent <= total + ledger.tolerance + 1e-9
+        assert ledger.remaining >= 0.0
+        assert sum(ledger.acquired_by_slice().values()) == sum(
+            charge.count for charge in ledger.charges
+        )

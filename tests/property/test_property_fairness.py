@@ -1,0 +1,61 @@
+"""Property-based tests for the fairness metrics (Definition 1)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.fairness.metrics import (
+    average_equalized_error_rates,
+    max_equalized_error_rates,
+    unfairness,
+)
+
+losses_strategy = st.lists(
+    st.floats(min_value=0.0, max_value=10.0, allow_nan=False, allow_infinity=False),
+    min_size=1,
+    max_size=15,
+)
+overall_strategy = st.floats(
+    min_value=0.0, max_value=10.0, allow_nan=False, allow_infinity=False
+)
+
+
+class TestUnfairnessProperties:
+    @given(losses=losses_strategy, overall=overall_strategy)
+    def test_non_negative(self, losses, overall):
+        assert unfairness(losses, overall) >= 0.0
+
+    @given(losses=losses_strategy, overall=overall_strategy)
+    def test_avg_bounded_by_max(self, losses, overall):
+        assert average_equalized_error_rates(losses, overall) <= (
+            max_equalized_error_rates(losses, overall) + 1e-12
+        )
+
+    @given(overall=overall_strategy, n=st.integers(min_value=1, max_value=10))
+    def test_zero_when_all_slices_equal_overall(self, overall, n):
+        assert unfairness([overall] * n, overall) == pytest.approx(0.0)
+
+    @given(losses=losses_strategy, overall=overall_strategy, shift=st.floats(min_value=-2, max_value=2, allow_nan=False))
+    def test_translation_invariance(self, losses, overall, shift):
+        """Shifting every loss and the overall loss by the same amount keeps
+        the unfairness unchanged (it only depends on differences)."""
+        shifted = [loss + shift for loss in losses]
+        assert unfairness(shifted, overall + shift) == pytest.approx(
+            unfairness(losses, overall), abs=1e-9
+        )
+
+    @given(losses=losses_strategy, overall=overall_strategy)
+    def test_permutation_invariance(self, losses, overall):
+        permuted = list(reversed(losses))
+        assert unfairness(permuted, overall) == pytest.approx(
+            unfairness(losses, overall)
+        )
+
+    @given(losses=losses_strategy, overall=overall_strategy)
+    def test_max_is_attained_by_some_slice(self, losses, overall):
+        value = max_equalized_error_rates(losses, overall)
+        deviations = [abs(loss - overall) for loss in losses]
+        assert value == pytest.approx(max(deviations))

@@ -1,0 +1,91 @@
+"""Property-based tests for the selective data acquisition optimizer."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.optimizer import optimize_allocation, round_allocation, solve_greedy
+from repro.core.problem import SelectiveAcquisitionProblem
+
+
+@st.composite
+def problems(draw):
+    n = draw(st.integers(min_value=2, max_value=8))
+    sizes = draw(
+        st.lists(st.integers(min_value=10, max_value=500), min_size=n, max_size=n)
+    )
+    costs = draw(
+        st.lists(
+            st.floats(min_value=0.5, max_value=3.0, allow_nan=False),
+            min_size=n,
+            max_size=n,
+        )
+    )
+    b = draw(
+        st.lists(
+            st.floats(min_value=0.2, max_value=10.0, allow_nan=False),
+            min_size=n,
+            max_size=n,
+        )
+    )
+    a = draw(
+        st.lists(
+            st.floats(min_value=0.05, max_value=1.2, allow_nan=False),
+            min_size=n,
+            max_size=n,
+        )
+    )
+    budget = draw(st.floats(min_value=10.0, max_value=2000.0))
+    lam = draw(st.sampled_from([0.0, 0.1, 1.0, 10.0]))
+    return SelectiveAcquisitionProblem(
+        slice_names=tuple(f"s{i}" for i in range(n)),
+        sizes=np.array(sizes, dtype=float),
+        costs=np.array(costs),
+        b=np.array(b),
+        a=np.array(a),
+        budget=budget,
+        lam=lam,
+    )
+
+
+class TestOptimizerInvariants:
+    @given(problem=problems())
+    @settings(max_examples=25, deadline=None)
+    def test_allocation_feasible_and_integer(self, problem):
+        result = optimize_allocation(problem)
+        assert np.all(result.allocation >= 0)
+        assert result.allocation.dtype.kind == "i"
+        assert float(np.dot(problem.costs, result.allocation)) <= problem.budget + 1e-6
+
+    @given(problem=problems())
+    @settings(max_examples=25, deadline=None)
+    def test_budget_nearly_exhausted(self, problem):
+        result = optimize_allocation(problem)
+        spent = float(np.dot(problem.costs, result.allocation))
+        assert spent >= problem.budget - float(problem.costs.max()) - 1e-6
+
+    @given(problem=problems())
+    @settings(max_examples=25, deadline=None)
+    def test_objective_not_worse_than_doing_nothing(self, problem):
+        result = optimize_allocation(problem)
+        baseline = problem.objective(np.zeros(problem.n_slices))
+        achieved = problem.objective(result.allocation.astype(float))
+        assert achieved <= baseline + 1e-9
+
+    @given(problem=problems())
+    @settings(max_examples=15, deadline=None)
+    def test_greedy_allocation_feasible(self, problem):
+        allocation = solve_greedy(problem, n_chunks=50)
+        assert np.all(allocation >= -1e-9)
+        assert float(np.dot(problem.costs, allocation)) <= problem.budget + 1e-6
+
+    @given(problem=problems(), scale=st.floats(min_value=0.0, max_value=3.0))
+    @settings(max_examples=15, deadline=None)
+    def test_rounding_any_continuous_point_is_feasible(self, problem, scale):
+        continuous = np.full(problem.n_slices, scale * problem.budget / problem.n_slices)
+        rounded = round_allocation(problem, continuous)
+        assert np.all(rounded >= 0)
+        assert float(np.dot(problem.costs, rounded)) <= problem.budget + 1e-6

@@ -1,0 +1,81 @@
+"""Tests for repro.slices.auto_slicer (Appendix A)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.ml.data import Dataset
+from repro.slices.auto_slicer import AutoSlicer, label_entropy
+from repro.utils.exceptions import ConfigurationError
+
+
+def biased_dataset(n_per_group: int = 80) -> Dataset:
+    """Two clearly separated groups with different labels: splittable."""
+    rng = np.random.default_rng(0)
+    left = rng.normal(loc=(-3.0, 0.0), scale=0.4, size=(n_per_group, 2))
+    right = rng.normal(loc=(3.0, 0.0), scale=0.4, size=(n_per_group, 2))
+    features = np.vstack([left, right])
+    labels = np.array([0] * n_per_group + [1] * n_per_group)
+    return Dataset(features, labels)
+
+
+def homogeneous_dataset(n: int = 100) -> Dataset:
+    rng = np.random.default_rng(1)
+    return Dataset(rng.normal(size=(n, 2)), np.zeros(n, dtype=int))
+
+
+class TestLabelEntropy:
+    def test_single_class_zero(self):
+        assert label_entropy(homogeneous_dataset()) == pytest.approx(0.0)
+
+    def test_balanced_two_classes(self):
+        assert label_entropy(biased_dataset()) == pytest.approx(np.log(2))
+
+    def test_empty_dataset(self):
+        assert label_entropy(Dataset.empty(2)) == 0.0
+
+
+class TestAutoSlicer:
+    def test_splits_biased_dataset(self):
+        slicer = AutoSlicer(max_depth=2, min_slice_size=20, entropy_threshold=0.2)
+        leaves = slicer.slice(biased_dataset())
+        assert len(leaves) >= 2
+        # The split should isolate the label groups: leaves become pure.
+        assert all(leaf.entropy < 0.2 for leaf in leaves)
+
+    def test_leaves_form_partition(self):
+        dataset = biased_dataset()
+        leaves = AutoSlicer(max_depth=3, min_slice_size=10).slice(dataset)
+        assert sum(len(leaf.dataset) for leaf in leaves) == len(dataset)
+
+    def test_homogeneous_dataset_not_split(self):
+        leaves = AutoSlicer(entropy_threshold=0.3).slice(homogeneous_dataset())
+        assert len(leaves) == 1
+        assert leaves[0].name == "root"
+
+    def test_min_slice_size_prevents_tiny_leaves(self):
+        leaves = AutoSlicer(max_depth=5, min_slice_size=30).slice(biased_dataset(40))
+        assert all(len(leaf.dataset) >= 30 for leaf in leaves)
+
+    def test_max_depth_limits_splitting(self):
+        leaves = AutoSlicer(max_depth=1, min_slice_size=5, entropy_threshold=0.0).slice(
+            biased_dataset()
+        )
+        assert all(leaf.depth <= 1 for leaf in leaves)
+
+    def test_slice_as_mapping(self):
+        mapping = AutoSlicer(max_depth=2, min_slice_size=20).slice_as_mapping(
+            biased_dataset()
+        )
+        assert all(isinstance(name, str) for name in mapping)
+
+    def test_empty_dataset_rejected(self):
+        with pytest.raises(ConfigurationError):
+            AutoSlicer().slice(Dataset.empty(2))
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ConfigurationError):
+            AutoSlicer(max_depth=0)
+        with pytest.raises(ConfigurationError):
+            AutoSlicer(entropy_threshold=-1.0)

@@ -1,0 +1,118 @@
+"""Tests for repro.slices.predicates."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.ml.data import Dataset
+from repro.slices.predicates import (
+    FeaturePredicate,
+    partition_by_label,
+    partition_by_predicates,
+)
+from repro.utils.exceptions import SlicingError
+
+
+@pytest.fixture
+def demographic_dataset() -> Dataset:
+    """Rows with columns (age, gender, region) and a binary label."""
+    features = np.array(
+        [
+            [25.0, 0.0, 0.0],
+            [35.0, 1.0, 0.0],
+            [45.0, 0.0, 1.0],
+            [55.0, 1.0, 1.0],
+            [65.0, 0.0, 0.0],
+            [30.0, 1.0, 1.0],
+        ]
+    )
+    labels = np.array([0, 1, 0, 1, 1, 0])
+    return Dataset(features, labels)
+
+
+class TestFeaturePredicate:
+    def test_equality_predicate(self, demographic_dataset):
+        predicate = FeaturePredicate(equals={1: 0.0})
+        assert len(predicate.matches(demographic_dataset)) == 3
+
+    def test_conjunction(self, demographic_dataset):
+        predicate = FeaturePredicate(equals={1: 1.0, 2: 1.0})
+        assert len(predicate.matches(demographic_dataset)) == 2
+
+    def test_range_predicate(self, demographic_dataset):
+        predicate = FeaturePredicate(ranges={0: (30.0, 50.0)})
+        assert len(predicate.matches(demographic_dataset)) == 3
+
+    def test_label_predicate(self, demographic_dataset):
+        predicate = FeaturePredicate(label=1)
+        assert len(predicate.matches(demographic_dataset)) == 3
+
+    def test_empty_predicate_matches_all(self, demographic_dataset):
+        predicate = FeaturePredicate()
+        assert len(predicate.matches(demographic_dataset)) == len(demographic_dataset)
+        assert predicate.describe() == "TRUE"
+
+    def test_describe_mentions_conditions(self):
+        predicate = FeaturePredicate(equals={2: 1.0}, label=3)
+        text = predicate.describe()
+        assert "x2" in text and "label = 3" in text
+
+
+class TestPartitionByPredicates:
+    def test_valid_partition(self, demographic_dataset):
+        parts = partition_by_predicates(
+            demographic_dataset,
+            {
+                "male": FeaturePredicate(equals={1: 0.0}),
+                "female": FeaturePredicate(equals={1: 1.0}),
+            },
+        )
+        assert len(parts["male"]) + len(parts["female"]) == len(demographic_dataset)
+
+    def test_uncovered_examples_rejected(self, demographic_dataset):
+        with pytest.raises(SlicingError, match="uncovered"):
+            partition_by_predicates(
+                demographic_dataset,
+                {"young": FeaturePredicate(ranges={0: (0.0, 40.0)})},
+            )
+
+    def test_overlapping_predicates_rejected(self, demographic_dataset):
+        with pytest.raises(SlicingError):
+            partition_by_predicates(
+                demographic_dataset,
+                {
+                    "all": FeaturePredicate(),
+                    "female": FeaturePredicate(equals={1: 1.0}),
+                },
+            )
+
+    def test_overlap_allowed_when_not_required(self, demographic_dataset):
+        parts = partition_by_predicates(
+            demographic_dataset,
+            {"all": FeaturePredicate(), "female": FeaturePredicate(equals={1: 1.0})},
+            require_partition=False,
+        )
+        assert len(parts["all"]) == len(demographic_dataset)
+
+    def test_sequence_input_autonames(self, demographic_dataset):
+        parts = partition_by_predicates(
+            demographic_dataset,
+            [FeaturePredicate(equals={1: 0.0}), FeaturePredicate(equals={1: 1.0})],
+        )
+        assert set(parts) == {"slice_0", "slice_1"}
+
+    def test_no_predicates_rejected(self, demographic_dataset):
+        with pytest.raises(SlicingError):
+            partition_by_predicates(demographic_dataset, {})
+
+
+class TestPartitionByLabel:
+    def test_one_slice_per_label(self, demographic_dataset):
+        parts = partition_by_label(demographic_dataset)
+        assert set(parts) == {"label_0", "label_1"}
+        assert len(parts["label_0"]) == 3
+
+    def test_explicit_class_count_creates_empty_slices(self, demographic_dataset):
+        parts = partition_by_label(demographic_dataset, n_classes=3)
+        assert len(parts["label_2"]) == 0

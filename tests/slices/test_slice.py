@@ -1,0 +1,70 @@
+"""Tests for repro.slices.slice."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.ml.data import Dataset
+from repro.slices.slice import Slice, SliceSpec
+from repro.utils.exceptions import ConfigurationError
+
+
+def make_data(n: int, d: int = 3) -> Dataset:
+    rng = np.random.default_rng(0)
+    return Dataset(rng.normal(size=(n, d)), rng.integers(0, 2, size=n))
+
+
+class TestSliceSpec:
+    def test_defaults(self):
+        spec = SliceSpec(name="europe")
+        assert spec.cost == 1.0 and spec.description == ""
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(ConfigurationError):
+            SliceSpec(name="")
+
+    def test_non_positive_cost_rejected(self):
+        with pytest.raises(ConfigurationError):
+            SliceSpec(name="x", cost=0.0)
+
+    def test_with_cost_returns_new_spec(self):
+        spec = SliceSpec(name="x", cost=1.0)
+        updated = spec.with_cost(2.5)
+        assert updated.cost == 2.5 and spec.cost == 1.0
+        assert updated.name == "x"
+
+
+class TestSlice:
+    def test_basic_properties(self):
+        slice_ = Slice(SliceSpec("a", cost=1.5), make_data(10), make_data(20))
+        assert slice_.name == "a"
+        assert slice_.cost == 1.5
+        assert slice_.size == 10
+        assert slice_.acquired == 0
+
+    def test_add_examples_grows_train_and_acquired(self):
+        slice_ = Slice(SliceSpec("a"), make_data(10), make_data(5))
+        slice_.add_examples(make_data(4))
+        assert slice_.size == 14
+        assert slice_.acquired == 4
+
+    def test_add_empty_examples_is_noop(self):
+        slice_ = Slice(SliceSpec("a"), make_data(10), make_data(5))
+        slice_.add_examples(Dataset.empty(3))
+        assert slice_.size == 10 and slice_.acquired == 0
+
+    def test_add_examples_wrong_width_raises(self):
+        slice_ = Slice(SliceSpec("a"), make_data(10, 3), make_data(5, 3))
+        with pytest.raises(ConfigurationError):
+            slice_.add_examples(make_data(2, 4))
+
+    def test_train_validation_width_mismatch_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Slice(SliceSpec("a"), make_data(3, 2), make_data(3, 4))
+
+    def test_copy_is_independent_for_growth(self):
+        slice_ = Slice(SliceSpec("a"), make_data(10), make_data(5))
+        copy = slice_.copy()
+        copy.add_examples(make_data(3))
+        assert slice_.size == 10 and copy.size == 13

@@ -1,0 +1,137 @@
+"""Tests for repro.slices.sliced_dataset."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.ml.data import Dataset
+from repro.slices.slice import Slice, SliceSpec
+from repro.slices.sliced_dataset import SlicedDataset
+from repro.utils.exceptions import ConfigurationError, SlicingError
+
+
+def make_data(n: int, label: int = 0, d: int = 3) -> Dataset:
+    rng = np.random.default_rng(n + label)
+    return Dataset(rng.normal(size=(n, d)), np.full(n, label))
+
+
+def make_sliced(sizes=(10, 20, 30)) -> SlicedDataset:
+    slices = [
+        Slice(SliceSpec(f"s{i}", cost=1.0 + i), make_data(n, label=i), make_data(8, label=i))
+        for i, n in enumerate(sizes)
+    ]
+    return SlicedDataset(slices, n_classes=len(sizes))
+
+
+class TestConstruction:
+    def test_names_sizes_costs(self):
+        sliced = make_sliced()
+        assert sliced.names == ["s0", "s1", "s2"]
+        assert sliced.sizes().tolist() == [10, 20, 30]
+        assert sliced.costs().tolist() == [1.0, 2.0, 3.0]
+        assert len(sliced) == 3
+
+    def test_duplicate_names_rejected(self):
+        slices = [
+            Slice(SliceSpec("dup"), make_data(5), make_data(5)),
+            Slice(SliceSpec("dup"), make_data(5), make_data(5)),
+        ]
+        with pytest.raises(SlicingError):
+            SlicedDataset(slices, n_classes=2)
+
+    def test_empty_slice_list_rejected(self):
+        with pytest.raises(SlicingError):
+            SlicedDataset([], n_classes=2)
+
+    def test_mismatched_feature_widths_rejected(self):
+        slices = [
+            Slice(SliceSpec("a"), make_data(5, d=3), make_data(5, d=3)),
+            Slice(SliceSpec("b"), make_data(5, d=4), make_data(5, d=4)),
+        ]
+        with pytest.raises(SlicingError):
+            SlicedDataset(slices, n_classes=2)
+
+    def test_invalid_n_classes_rejected(self):
+        slices = [Slice(SliceSpec("a"), make_data(5), make_data(5))]
+        with pytest.raises(ConfigurationError):
+            SlicedDataset(slices, n_classes=0)
+
+    def test_from_datasets_constructor(self):
+        sliced = SlicedDataset.from_datasets(
+            {"a": make_data(5), "b": make_data(7, label=1)},
+            {"a": make_data(3), "b": make_data(3, label=1)},
+            n_classes=2,
+            costs={"a": 2.0},
+        )
+        assert sliced["a"].cost == 2.0
+        assert sliced["b"].cost == 1.0
+
+    def test_from_datasets_mismatched_names_rejected(self):
+        with pytest.raises(SlicingError):
+            SlicedDataset.from_datasets(
+                {"a": make_data(5)}, {"b": make_data(5)}, n_classes=2
+            )
+
+
+class TestAccessAndViews:
+    def test_getitem_and_contains(self):
+        sliced = make_sliced()
+        assert "s1" in sliced
+        assert sliced["s1"].size == 20
+        with pytest.raises(SlicingError):
+            sliced["missing"]
+
+    def test_combined_train_size(self):
+        sliced = make_sliced()
+        assert len(sliced.combined_train()) == 60
+
+    def test_combined_validation_size(self):
+        sliced = make_sliced()
+        assert len(sliced.combined_validation()) == 24
+
+    def test_validation_by_slice_keys(self):
+        assert set(make_sliced().validation_by_slice()) == {"s0", "s1", "s2"}
+
+    def test_imbalance_ratio(self):
+        assert make_sliced((10, 20, 30)).imbalance_ratio() == pytest.approx(3.0)
+
+    def test_summary_entries(self):
+        summary = make_sliced().summary()
+        assert len(summary) == 3
+        assert summary[0]["name"] == "s0"
+        assert summary[2]["size"] == 30
+
+
+class TestSubsetTrain:
+    def test_fraction_subsets_every_slice(self):
+        sliced = make_sliced((10, 20, 30))
+        subset = sliced.subset_train(fraction=0.5, random_state=0)
+        assert len(subset) == 5 + 10 + 15
+
+    def test_explicit_sizes(self):
+        sliced = make_sliced((10, 20, 30))
+        subset = sliced.subset_train(sizes={"s0": 2, "s1": 3, "s2": 4}, random_state=0)
+        assert len(subset) == 9
+
+    def test_both_arguments_rejected(self):
+        sliced = make_sliced()
+        with pytest.raises(ConfigurationError):
+            sliced.subset_train(fraction=0.5, sizes={"s0": 1})
+        with pytest.raises(ConfigurationError):
+            sliced.subset_train()
+
+
+class TestMutation:
+    def test_add_examples_updates_slice(self):
+        sliced = make_sliced()
+        sliced.add_examples("s0", make_data(5))
+        assert sliced["s0"].size == 15
+        assert sliced.acquired_counts().tolist() == [5, 0, 0]
+
+    def test_copy_is_independent(self):
+        sliced = make_sliced()
+        copy = sliced.copy()
+        copy.add_examples("s0", make_data(5))
+        assert sliced["s0"].size == 10
+        assert copy["s0"].size == 15

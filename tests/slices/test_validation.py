@@ -1,0 +1,74 @@
+"""Tests for repro.slices.validation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.ml.data import Dataset
+from repro.slices.validation import check_partition, imbalance_ratio, size_entropy
+from repro.utils.exceptions import SlicingError
+
+
+def make_dataset(labels) -> Dataset:
+    labels = np.asarray(labels)
+    return Dataset(np.zeros((len(labels), 2)), labels)
+
+
+class TestCheckPartition:
+    def test_valid_partition_passes(self):
+        dataset = make_dataset([0, 0, 1, 1, 2])
+        slices = {
+            "a": make_dataset([0, 0]),
+            "b": make_dataset([1, 1]),
+            "c": make_dataset([2]),
+        }
+        check_partition(dataset, slices)
+
+    def test_size_mismatch_rejected(self):
+        dataset = make_dataset([0, 1])
+        with pytest.raises(SlicingError):
+            check_partition(dataset, [make_dataset([0])])
+
+    def test_class_count_mismatch_rejected(self):
+        dataset = make_dataset([0, 1])
+        with pytest.raises(SlicingError):
+            check_partition(dataset, [make_dataset([0, 0])])
+
+    def test_sequence_input_accepted(self):
+        dataset = make_dataset([0, 1])
+        check_partition(dataset, [make_dataset([0]), make_dataset([1])])
+
+
+class TestImbalanceRatio:
+    def test_paper_example(self):
+        # Sizes 10, 20, 30 -> ratio 3 (the example in Section 5.2).
+        assert imbalance_ratio([10, 20, 30]) == pytest.approx(3.0)
+
+    def test_balanced_slices_give_one(self):
+        assert imbalance_ratio([7, 7, 7]) == pytest.approx(1.0)
+
+    def test_zero_size_gives_infinity(self):
+        assert imbalance_ratio([0, 5]) == float("inf")
+
+    def test_empty_rejected(self):
+        with pytest.raises(SlicingError):
+            imbalance_ratio([])
+
+    def test_negative_rejected(self):
+        with pytest.raises(SlicingError):
+            imbalance_ratio([-1, 5])
+
+
+class TestSizeEntropy:
+    def test_balanced_has_max_entropy(self):
+        assert size_entropy([10, 10, 10]) == pytest.approx(np.log(3))
+
+    def test_single_slice_has_zero_entropy(self):
+        assert size_entropy([10]) == pytest.approx(0.0)
+
+    def test_skewed_less_than_balanced(self):
+        assert size_entropy([1, 1, 98]) < size_entropy([33, 33, 34])
+
+    def test_all_zero_sizes(self):
+        assert size_entropy([0, 0]) == 0.0

@@ -1,0 +1,78 @@
+"""Tests for the command-line interface (repro.cli)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import build_parser, main, run_curves, run_plan
+
+#: Small, fast arguments shared by the CLI tests (adult_like is the cheapest
+#: dataset: 4 slices, binary labels).
+FAST = [
+    "--dataset", "adult_like",
+    "--initial-size", "60",
+    "--validation-size", "60",
+    "--epochs", "10",
+    "--curve-points", "3",
+    "--seed", "0",
+]
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_dataset_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["curves", "--dataset", "imagenet"])
+
+    def test_unknown_method_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["compare", "--methods", "alchemy"])
+
+    def test_defaults(self):
+        args = build_parser().parse_args(["compare"])
+        assert args.dataset == "fashion_like"
+        assert "moderate" in args.methods
+
+
+class TestSubcommands:
+    def test_curves_lists_every_slice(self, capsys):
+        exit_code = main(["curves", *FAST])
+        assert exit_code == 0
+        output = capsys.readouterr().out
+        for name in ("White_Male", "White_Female", "Black_Male", "Black_Female"):
+            assert name in output
+        assert "reliability" in output
+
+    def test_plan_prints_allocation(self, capsys):
+        exit_code = main(["plan", *FAST, "--budget", "80", "--lam", "1.0"])
+        assert exit_code == 0
+        output = capsys.readouterr().out
+        assert "examples to acquire" in output
+        assert "cost" in output
+
+    def test_compare_prints_methods_table(self, capsys):
+        exit_code = main(
+            [
+                "compare",
+                *FAST,
+                "--budget", "60",
+                "--methods", "uniform", "oneshot",
+                "--trials", "1",
+                "--show-allocations",
+            ]
+        )
+        assert exit_code == 0
+        output = capsys.readouterr().out
+        assert "original" in output
+        assert "uniform" in output and "oneshot" in output
+        assert "Avg./Max. EER" in output
+        assert "Mean examples acquired per slice" in output
+
+    def test_run_helpers_return_text(self):
+        args = build_parser().parse_args(["curves", *FAST])
+        assert "Learning curves" in run_curves(args)
+        args = build_parser().parse_args(["plan", *FAST, "--budget", "40"])
+        assert "total" in run_plan(args)

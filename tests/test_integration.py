@@ -1,0 +1,123 @@
+"""End-to-end integration tests across modules.
+
+These tests wire the whole system together the way the examples and the
+benchmark harness do — dataset generator -> sliced dataset -> learning-curve
+estimation -> optimization -> acquisition -> evaluation — on small instances,
+and assert the paper's qualitative claims on the shapes of the results.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import (
+    CrowdsourcingSimulator,
+    CurveEstimationConfig,
+    GeneratorDataSource,
+    SliceTuner,
+    SliceTunerConfig,
+    TableCost,
+    TrainingConfig,
+    WorkerPool,
+)
+from repro.datasets.faces import UTKFACE_COSTS, UTKFACE_TASK_SECONDS, faces_like_task
+
+
+def make_tuner(task, sliced, source, lam=1.0, seed=0, trials=1):
+    return SliceTuner(
+        sliced,
+        source,
+        trainer_config=TrainingConfig(epochs=20, batch_size=32, learning_rate=0.05),
+        curve_config=CurveEstimationConfig(n_points=4, n_repeats=1, min_fraction=0.3),
+        config=SliceTunerConfig(lam=lam, evaluation_trials=trials),
+        random_state=seed,
+    )
+
+
+class TestEndToEndTinyTask:
+    def test_moderate_improves_fairness_over_original(self, tiny_task):
+        # slice_2 is the hardest slice of the tiny task and starts starved,
+        # so the initial model is both lossy and unfair on it — the setting
+        # the paper's Table 2 captures.  Moderate acquisition should improve
+        # both metrics.
+        sliced = tiny_task.initial_sliced_dataset(
+            {"slice_0": 60, "slice_1": 60, "slice_2": 15}, 80, random_state=0
+        )
+        source = GeneratorDataSource(tiny_task, random_state=1)
+        tuner = make_tuner(tiny_task, sliced, source, trials=2)
+        result = tuner.run(budget=200, method="moderate")
+        assert result.final_report.avg_eer <= result.initial_report.avg_eer + 0.02
+        assert result.final_report.loss <= result.initial_report.loss + 0.02
+
+    def test_slice_tuner_targets_starved_hard_slice(self, tiny_task):
+        # slice_2 has the largest noise (hardest) and starts smallest, so a
+        # sensible allocation gives it at least an average share.
+        sliced = tiny_task.initial_sliced_dataset(
+            {"slice_0": 80, "slice_1": 80, "slice_2": 15}, 80, random_state=0
+        )
+        source = GeneratorDataSource(tiny_task, random_state=1)
+        tuner = make_tuner(tiny_task, sliced, source)
+        result = tuner.run(budget=150, method="moderate", evaluate=False)
+        total = sum(result.total_acquired.values())
+        assert result.total_acquired["slice_2"] >= total / len(sliced.names) * 0.8
+
+    def test_oneshot_vs_iterative_budget_accounting(self, tiny_task):
+        for method in ("oneshot", "aggressive"):
+            sliced = tiny_task.initial_sliced_dataset(30, 60, random_state=0)
+            source = GeneratorDataSource(tiny_task, random_state=1)
+            tuner = make_tuner(tiny_task, sliced, source)
+            result = tuner.run(budget=120, method=method, evaluate=False)
+            assert result.spent <= 120 + 1e-6
+            assert result.spent >= 120 - 2 * max(sliced.costs())
+
+
+class TestEndToEndCrowdsourcing:
+    def test_crowdsourced_acquisition_pipeline(self):
+        task = faces_like_task()
+        sliced = task.initial_sliced_dataset(60, 60, random_state=0)
+        crowd = CrowdsourcingSimulator(
+            source=GeneratorDataSource(task, random_state=1),
+            task_seconds=UTKFACE_TASK_SECONDS,
+            workers=WorkerPool(mistake_rate=0.1, duplicate_rate=0.05),
+            random_state=2,
+        )
+        tuner = SliceTuner(
+            sliced,
+            crowd,
+            trainer_config=TrainingConfig(epochs=15, batch_size=32, learning_rate=0.05),
+            curve_config=CurveEstimationConfig(n_points=3, n_repeats=1, min_fraction=0.3),
+            cost_model=TableCost(UTKFACE_COSTS),
+            config=SliceTunerConfig(lam=1.0, evaluation_trials=1),
+            random_state=3,
+        )
+        result = tuner.run(budget=300, method="moderate", evaluate=False)
+        # Paid for the requested tasks, within budget.
+        assert result.spent <= 300 + 1e-6
+        # Filtering means delivered <= requested in every iteration.
+        for record in result.iterations:
+            for name, requested in record.requested.items():
+                assert record.acquired.get(name, 0) <= requested
+        # The crowdsourcing reports account for every submission.
+        for report in crowd.reports:
+            assert (
+                report.delivered
+                == report.submitted
+                - report.mistakes_filtered
+                - report.duplicates_filtered
+            )
+
+
+class TestLambdaTradeoffShape:
+    def test_higher_lambda_gives_no_worse_fairness(self, tiny_task):
+        """Table 4 shape: raising lambda should not hurt Avg. EER much."""
+        eers = {}
+        for lam in (0.0, 10.0):
+            sliced = tiny_task.initial_sliced_dataset(
+                {"slice_0": 20, "slice_1": 60, "slice_2": 60}, 100, random_state=5
+            )
+            source = GeneratorDataSource(tiny_task, random_state=6)
+            tuner = make_tuner(tiny_task, sliced, source, lam=lam, seed=7, trials=2)
+            result = tuner.run(budget=150, method="oneshot", lam=lam)
+            eers[lam] = result.final_report.avg_eer
+        assert eers[10.0] <= eers[0.0] + 0.05

@@ -1,0 +1,42 @@
+"""Tests for the exception hierarchy."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.utils.exceptions import (
+    AcquisitionError,
+    BudgetError,
+    ConfigurationError,
+    FittingError,
+    OptimizationError,
+    ReproError,
+    SlicingError,
+)
+
+ALL_ERRORS = [
+    ConfigurationError,
+    SlicingError,
+    FittingError,
+    OptimizationError,
+    BudgetError,
+    AcquisitionError,
+]
+
+
+class TestExceptionHierarchy:
+    @pytest.mark.parametrize("error_cls", ALL_ERRORS)
+    def test_all_derive_from_repro_error(self, error_cls):
+        assert issubclass(error_cls, ReproError)
+
+    @pytest.mark.parametrize("error_cls", ALL_ERRORS)
+    def test_catchable_as_base_class(self, error_cls):
+        with pytest.raises(ReproError):
+            raise error_cls("boom")
+
+    def test_repro_error_is_an_exception(self):
+        assert issubclass(ReproError, Exception)
+
+    def test_message_preserved(self):
+        error = BudgetError("out of budget")
+        assert "out of budget" in str(error)

@@ -1,0 +1,77 @@
+"""Tests for repro.utils.rng."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.utils.rng import (
+    as_generator,
+    sample_without_replacement,
+    shuffled_indices,
+    spawn_generators,
+)
+
+
+class TestAsGenerator:
+    def test_none_returns_generator(self):
+        assert isinstance(as_generator(None), np.random.Generator)
+
+    def test_int_seed_is_deterministic(self):
+        a = as_generator(42).integers(0, 1000, size=5)
+        b = as_generator(42).integers(0, 1000, size=5)
+        assert np.array_equal(a, b)
+
+    def test_different_seeds_differ(self):
+        a = as_generator(1).integers(0, 10**9, size=8)
+        b = as_generator(2).integers(0, 10**9, size=8)
+        assert not np.array_equal(a, b)
+
+    def test_generator_passthrough(self):
+        gen = np.random.default_rng(3)
+        assert as_generator(gen) is gen
+
+    def test_numpy_integer_seed_accepted(self):
+        gen = as_generator(np.int64(5))
+        assert isinstance(gen, np.random.Generator)
+
+    def test_invalid_type_raises(self):
+        with pytest.raises(TypeError):
+            as_generator("not a seed")
+
+
+class TestSpawnGenerators:
+    def test_count_respected(self):
+        assert len(spawn_generators(0, 4)) == 4
+
+    def test_children_are_independent_streams(self):
+        children = spawn_generators(0, 2)
+        a = children[0].integers(0, 10**9, size=10)
+        b = children[1].integers(0, 10**9, size=10)
+        assert not np.array_equal(a, b)
+
+    def test_deterministic_given_seed(self):
+        a = [g.integers(0, 10**9) for g in spawn_generators(9, 3)]
+        b = [g.integers(0, 10**9) for g in spawn_generators(9, 3)]
+        assert a == b
+
+    def test_zero_count(self):
+        assert spawn_generators(0, 0) == []
+
+    def test_negative_count_raises(self):
+        with pytest.raises(ValueError):
+            spawn_generators(0, -1)
+
+
+class TestSamplingHelpers:
+    def test_shuffled_indices_is_permutation(self):
+        indices = shuffled_indices(10, random_state=0)
+        assert sorted(indices.tolist()) == list(range(10))
+
+    def test_sample_without_replacement_unique(self):
+        sample = sample_without_replacement(50, 20, random_state=0)
+        assert len(set(sample.tolist())) == 20
+
+    def test_sample_too_large_raises(self):
+        with pytest.raises(ValueError):
+            sample_without_replacement(5, 6)

@@ -1,0 +1,53 @@
+"""Tests for repro.utils.tables."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.utils.tables import format_series, format_table
+
+
+class TestFormatTable:
+    def test_contains_headers_and_cells(self):
+        text = format_table(["name", "value"], [["alpha", 1.5], ["beta", 2]])
+        assert "name" in text and "value" in text
+        assert "alpha" in text and "beta" in text
+
+    def test_floats_formatted_with_four_decimals(self):
+        text = format_table(["v"], [[0.123456]])
+        assert "0.1235" in text
+
+    def test_title_is_first_line(self):
+        text = format_table(["a"], [[1]], title="My Table")
+        assert text.splitlines()[0] == "My Table"
+
+    def test_columns_are_aligned(self):
+        text = format_table(["col", "x"], [["short", 1], ["much longer cell", 2]])
+        header, separator, *rows = text.splitlines()
+        assert len(header) == len(rows[0]) == len(rows[1])
+
+    def test_row_width_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            format_table(["a", "b"], [[1]])
+
+    def test_empty_rows_ok(self):
+        text = format_table(["a", "b"], [])
+        assert "a" in text and "b" in text
+
+
+class TestFormatSeries:
+    def test_series_names_and_points_rendered(self):
+        text = format_series(
+            {"curve": [(1.0, 2.0), (2.0, 1.5)]}, x_label="size", y_label="loss"
+        )
+        assert "[curve]" in text
+        assert "size" in text and "loss" in text
+        assert "1.0000 -> 2.0000" in text
+
+    def test_multiple_series(self):
+        text = format_series({"a": [(1, 1)], "b": [(2, 2)]})
+        assert "[a]" in text and "[b]" in text
+
+    def test_title(self):
+        text = format_series({"a": [(0, 0)]}, title="Figure 10")
+        assert text.splitlines()[0] == "Figure 10"

@@ -1,0 +1,85 @@
+"""Tests for repro.utils.validation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.utils.exceptions import ConfigurationError
+from repro.utils.validation import (
+    check_in_range,
+    check_length_match,
+    check_non_negative,
+    check_non_negative_int,
+    check_positive,
+    check_positive_int,
+    check_probability,
+)
+
+
+class TestCheckPositive:
+    def test_accepts_positive(self):
+        assert check_positive(2.5, "x") == 2.5
+
+    @pytest.mark.parametrize("value", [0, -1, float("nan"), float("inf")])
+    def test_rejects_non_positive_and_non_finite(self, value):
+        with pytest.raises(ConfigurationError, match="x"):
+            check_positive(value, "x")
+
+
+class TestCheckNonNegative:
+    def test_accepts_zero(self):
+        assert check_non_negative(0, "x") == 0.0
+
+    def test_rejects_negative(self):
+        with pytest.raises(ConfigurationError):
+            check_non_negative(-0.1, "x")
+
+
+class TestCheckProbability:
+    @pytest.mark.parametrize("value", [0.0, 0.5, 1.0])
+    def test_accepts_unit_interval(self, value):
+        assert check_probability(value, "p") == value
+
+    @pytest.mark.parametrize("value", [-0.01, 1.01, float("nan")])
+    def test_rejects_out_of_range(self, value):
+        with pytest.raises(ConfigurationError):
+            check_probability(value, "p")
+
+
+class TestCheckInRange:
+    def test_inclusive_bounds_accepted(self):
+        assert check_in_range(1.0, "x", 1.0, 2.0) == 1.0
+
+    def test_exclusive_bounds_rejected(self):
+        with pytest.raises(ConfigurationError):
+            check_in_range(1.0, "x", 1.0, 2.0, inclusive=False)
+
+    def test_error_message_names_parameter(self):
+        with pytest.raises(ConfigurationError, match="my_param"):
+            check_in_range(5.0, "my_param", 0.0, 1.0)
+
+
+class TestCheckLengthMatch:
+    def test_matching_lengths_pass(self):
+        check_length_match([1, 2], [3, 4], "a", "b")
+
+    def test_mismatch_raises_with_both_names(self):
+        with pytest.raises(ConfigurationError, match="a and b"):
+            check_length_match([1], [1, 2], "a", "b")
+
+
+class TestIntChecks:
+    def test_positive_int_accepts(self):
+        assert check_positive_int(3, "n") == 3
+
+    @pytest.mark.parametrize("value", [0, -2, 1.5])
+    def test_positive_int_rejects(self, value):
+        with pytest.raises(ConfigurationError):
+            check_positive_int(value, "n")
+
+    def test_non_negative_int_accepts_zero(self):
+        assert check_non_negative_int(0, "n") == 0
+
+    def test_non_negative_int_rejects_negative(self):
+        with pytest.raises(ConfigurationError):
+            check_non_negative_int(-1, "n")
