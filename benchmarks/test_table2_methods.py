@@ -26,7 +26,9 @@ METHODS = ("oneshot", "aggressive", "moderate", "conservative")
 def run_table2():
     results = {}
     for dataset in ALL_DATASETS:
-        config = experiment_config(dataset, methods=METHODS, lam=1.0, seed=11)
+        # Three trials: the 2-trial means are noisy enough that the oneshot
+        # vs iterative Avg. EER comparison below flips sign run to run.
+        config = experiment_config(dataset, methods=METHODS, lam=1.0, seed=11, trials=3)
         results[dataset] = compare_methods(config, include_original=True)
     return results
 

@@ -4,9 +4,13 @@ This is the smallest end-to-end use of the library:
 
 1. build a synthetic task with ten label-defined slices,
 2. start every slice with the same amount of data,
-3. ask Slice Tuner (Moderate strategy) how to spend a budget of 2,000
-   examples, let it acquire them, and
-4. compare loss and unfairness before and after.
+3. pick an acquisition strategy from the registry (any name printed by
+   ``available_strategies()`` works, including the ``bandit`` comparator),
+4. stream the run through a ``TunerSession`` — each acquisition batch is
+   yielded as it lands, with an early-stop predicate cutting the run short
+   once the slices are nearly balanced, and
+5. compare loss and unfairness before and after, and round-trip the result
+   through JSON.
 
 Run with::
 
@@ -21,6 +25,8 @@ from repro import (
     SliceTuner,
     SliceTunerConfig,
     TrainingConfig,
+    TuningResult,
+    available_strategies,
     fashion_like_task,
 )
 
@@ -39,7 +45,9 @@ def main() -> None:
     source = GeneratorDataSource(task, random_state=1)
 
     # 3. The tuner: fixed training hyperparameters, amortized learning-curve
-    #    estimation, and lambda = 1 balancing loss and fairness.
+    #    estimation, and lambda = 1 balancing loss and fairness.  Every
+    #    acquisition policy is a registered strategy.
+    print(f"Registered strategies: {', '.join(available_strategies())}")
     tuner = SliceTuner(
         sliced,
         source,
@@ -49,12 +57,34 @@ def main() -> None:
         random_state=2,
     )
 
-    print("Fitted learning curves (loss = b * size^-a):")
+    print("\nFitted learning curves (loss = b * size^-a):")
     for name, curve in tuner.estimate_curves().items():
         print(f"  {curve.describe()}  (reliability {curve.reliability:.2f})")
 
-    result = tuner.run(budget=2000, method="moderate")
+    # 4. Stream the run: one IterationRecord per acquisition batch, stopping
+    #    early once the imbalance ratio drops below 1.2.
+    initial_report = tuner.evaluate()
+    session = tuner.session(
+        on_acquire=lambda record: print(
+            f"  iteration {record.iteration}: "
+            f"+{sum(record.acquired.values())} examples, "
+            f"spent {record.spent:.0f}, "
+            f"imbalance {record.imbalance_after:.2f}"
+        )
+    )
+    print("\nStreaming a Moderate run (budget 2000):")
+    for _ in session.stream(
+        budget=2000,
+        strategy="moderate",
+        stop_when=lambda record: record.imbalance_after < 1.2,
+    ):
+        pass
+    result = session.result()
+    result.initial_report = initial_report
+    result.final_report = tuner.evaluate()
 
+    # 5. Inspect the outcome; to_json()/from_json() round-trips the result
+    #    for checkpoints and CI artifacts.
     print()
     print(result.acquisitions_table())
     print()
@@ -63,6 +93,8 @@ def main() -> None:
     print()
     print("After acquisition:")
     print(result.final_report.to_text())
+    restored = TuningResult.from_json(result.to_json())
+    assert restored.total_acquired == result.total_acquired
 
 
 if __name__ == "__main__":

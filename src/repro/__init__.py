@@ -7,11 +7,18 @@ machine-learning stack, synthetic stand-ins for the paper's four datasets, an
 acquisition/crowdsourcing simulator, learning-curve estimation, and the
 selective data acquisition optimization itself.
 
-Quickstart::
+Quickstart
+----------
+Every acquisition policy — the paper's One-shot and Iterative variants, the
+allocation baselines, and the rotting-bandit comparator — is a registered
+strategy; pick one by name::
 
-    from repro import (
-        SliceTuner, fashion_like_task, GeneratorDataSource,
-    )
+    from repro import SliceTuner, available_strategies, fashion_like_task
+    from repro import GeneratorDataSource
+
+    print(available_strategies())
+    # ('aggressive', 'bandit', 'conservative', 'moderate', 'oneshot',
+    #  'proportional', 'uniform', 'water_filling')
 
     task = fashion_like_task()
     sliced = task.initial_sliced_dataset(initial_sizes=200, random_state=0)
@@ -21,6 +28,50 @@ Quickstart::
     result = tuner.run(budget=2000, method="moderate", lam=1.0)
     print(result.acquisitions_table())
     print(result.final_report.to_text())
+
+For step-wise control, stream the same run through a
+:class:`~repro.core.session.TunerSession` — each acquisition batch is
+yielded as it lands, with hooks, early stops, and checkpointing::
+
+    session = tuner.session()
+    session.add_early_stop(lambda record: record.imbalance_after < 1.5)
+    for record in session.stream(budget=2000, strategy="aggressive"):
+        print(f"iteration {record.iteration}: acquired {record.acquired}")
+    result = session.result()
+    checkpoint = session.state_dict()       # JSON-serializable
+    print(result.to_json())                 # so is the result
+
+Registering a custom strategy
+-----------------------------
+A strategy answers one question — *what should the next acquisition batch
+be?* — and the framework handles budgets, acquisition, records, and
+evaluation.  Subclass :class:`~repro.core.strategy_api.AcquisitionStrategy`,
+register it, and every entry point (``SliceTuner.run``, sessions, the CLI's
+``--methods``/``strategies`` subcommands, the experiment runner) accepts it::
+
+    from repro import AcquisitionPlan, AcquisitionStrategy, register_strategy
+
+    @register_strategy("greedy_worst", description="all budget to the worst slice")
+    class GreedyWorstSlice(AcquisitionStrategy):
+        name = "greedy_worst"
+        is_iterative = False            # one batch, like the baselines
+
+        def propose(self, state, budget, lam):
+            losses = state.slice_validation_losses()
+            worst = max(losses, key=losses.get)
+            count = int(budget // state.cost_model.cost(worst))
+            return AcquisitionPlan(
+                counts={worst: count},
+                expected_cost=count * state.cost_model.cost(worst),
+                solver=self.name,
+            )
+
+    result = tuner.run(budget=500, method="greedy_worst")
+
+Iterative policies (``is_iterative = True``) are called repeatedly until the
+budget runs dry; override ``observe(state, record)`` to digest each batch
+(and return ``False`` to stop early), and ``state_dict``/``load_state_dict``
+to participate in session checkpoints.
 
 See ``examples/`` for runnable scripts and ``benchmarks/`` for the harness
 that regenerates every table and figure of the paper's evaluation.
@@ -36,18 +87,27 @@ from repro.acquisition import (
     UnitCost,
     WorkerPool,
 )
+from repro.bandit import BanditResult, RottingBanditAcquirer
 from repro.core import (
     AcquisitionPlan,
+    AcquisitionStrategy,
+    IterationRecord,
     IterativeAlgorithm,
     OneShotAlgorithm,
     SelectiveAcquisitionProblem,
     SliceTuner,
     SliceTunerConfig,
+    TunerSession,
+    TunerState,
     TuningResult,
+    available_strategies,
     get_change_ratio,
+    get_strategy,
     imbalance_ratio,
     optimize_allocation,
     proportional_allocation,
+    register_strategy,
+    strategy_descriptions,
     uniform_allocation,
     water_filling_allocation,
 )
@@ -83,14 +143,16 @@ from repro.ml import (
 )
 from repro.slices import Slice, SlicedDataset, SliceSpec
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "__version__",
     # core
     "SliceTuner",
     "SliceTunerConfig",
+    "TunerSession",
     "TuningResult",
+    "IterationRecord",
     "AcquisitionPlan",
     "OneShotAlgorithm",
     "IterativeAlgorithm",
@@ -101,6 +163,16 @@ __all__ = [
     "proportional_allocation",
     "imbalance_ratio",
     "get_change_ratio",
+    # strategy registry
+    "AcquisitionStrategy",
+    "TunerState",
+    "register_strategy",
+    "get_strategy",
+    "available_strategies",
+    "strategy_descriptions",
+    # bandit
+    "RottingBanditAcquirer",
+    "BanditResult",
     # curves
     "PowerLawCurve",
     "PowerLawWithFloor",

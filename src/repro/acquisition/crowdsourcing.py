@@ -24,8 +24,8 @@ task durations, which is how Table 1 of the paper is regenerated.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Mapping, Sequence
+from dataclasses import dataclass
+from typing import Mapping
 
 import numpy as np
 

@@ -16,12 +16,16 @@ from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass, field
+from typing import Mapping
 
 import numpy as np
 
 from repro.acquisition.budget import BudgetLedger
 from repro.acquisition.cost import CostModel, TableCost
 from repro.acquisition.source import DataSource
+from repro.core.plan import AcquisitionPlan, IterationRecord
+from repro.core.registry import register_strategy
+from repro.core.strategy_api import AcquisitionStrategy, TunerState, acquire_batch
 from repro.curves.estimator import ModelFactory, default_model_factory
 from repro.fairness.report import evaluate_fairness
 from repro.ml.metrics import log_loss
@@ -95,32 +99,40 @@ class RottingBanditAcquirer:
         }
         slice_losses = self._measure_losses(sliced)
         total_pulls = 0
+        exhausted: set[str] = set()
 
         while True:
             affordable = [
                 name
                 for name in sliced.names
-                if ledger.affordable_count(cost_model.cost(name)) >= 1
+                if name not in exhausted
+                and ledger.affordable_count(cost_model.cost(name)) >= 1
             ]
             if not affordable:
                 break
             name = self._select_arm(affordable, recent_rewards, total_pulls)
             unit_cost = cost_model.cost(name)
             count = min(self.batch_size, ledger.affordable_count(unit_cost))
-            delivered = source.acquire(name, count)
-            ledger.charge(name, count, unit_cost)
-            cost_model.record_acquisition(name, count)
-            sliced.add_examples(name, delivered)
-
-            new_losses = self._measure_losses(sliced)
-            reward = (slice_losses[name] - new_losses[name]) / max(
-                unit_cost * count, 1e-9
+            delivered = acquire_batch(
+                sliced, source, cost_model, ledger, name, count
             )
+
+            if delivered == 0:
+                # Nothing was delivered (e.g. a dry pool): the data did not
+                # change, so record a neutral reward instead of retraining,
+                # and stop pulling this arm — it cannot deliver anymore.
+                exhausted.add(name)
+                reward = 0.0
+            else:
+                new_losses = self._measure_losses(sliced)
+                reward = (slice_losses[name] - new_losses[name]) / (
+                    unit_cost * delivered
+                )
+                slice_losses = new_losses
             recent_rewards[name].append(reward)
             result.rewards.append((name, float(reward)))
             result.pulls[name] += 1
-            result.total_acquired[name] += len(delivered)
-            slice_losses = new_losses
+            result.total_acquired[name] += delivered
             total_pulls += 1
 
         result.spent = ledger.spent
@@ -138,19 +150,9 @@ class RottingBanditAcquirer:
         total_pulls: int,
     ) -> str:
         """Pick the affordable arm with the best windowed UCB score."""
-        best_name, best_score = affordable[0], -np.inf
-        for name in affordable:
-            rewards = recent_rewards[name]
-            if not rewards:
-                return name  # every arm is tried once before exploitation
-            mean = float(np.mean(rewards))
-            bonus = self.exploration * np.sqrt(
-                np.log(max(total_pulls, 2)) / len(rewards)
-            )
-            score = mean + bonus
-            if score > best_score:
-                best_name, best_score = name, score
-        return best_name
+        return select_windowed_ucb_arm(
+            affordable, recent_rewards, total_pulls, self.exploration
+        )
 
     def _train(self, sliced: SlicedDataset):
         model = self.model_factory(sliced.n_classes)
@@ -164,3 +166,160 @@ class RottingBanditAcquirer:
             name: log_loss(model, dataset)
             for name, dataset in sliced.validation_by_slice().items()
         }
+
+
+def select_windowed_ucb_arm(
+    affordable: list[str],
+    recent_rewards: Mapping[str, deque[float] | list[float]],
+    total_pulls: int,
+    exploration: float,
+) -> str:
+    """Pick the affordable arm with the best windowed UCB score.
+
+    Arms with no reward history yet are returned immediately, so every arm is
+    tried once before exploitation begins.
+    """
+    best_name, best_score = affordable[0], -np.inf
+    for name in affordable:
+        rewards = recent_rewards[name]
+        if not rewards:
+            return name
+        mean = float(np.mean(rewards))
+        bonus = exploration * np.sqrt(np.log(max(total_pulls, 2)) / len(rewards))
+        score = mean + bonus
+        if score > best_score:
+            best_name, best_score = name, score
+    return best_name
+
+
+@register_strategy(
+    "bandit",
+    aliases=("rotting_bandit",),
+    description="model-free sliding-window UCB over slices (rotting bandit)",
+)
+class RottingBanditStrategy(AcquisitionStrategy):
+    """The rotting bandit as a pluggable acquisition strategy.
+
+    Each proposal pulls one arm: a fixed-size batch for the slice with the
+    best windowed UCB score.  :meth:`observe` retrains the model, measures
+    the pulled slice's validation-loss drop per unit cost, and feeds it back
+    into the sliding reward window.  Unlike
+    :class:`RottingBanditAcquirer` (kept for direct, `BanditResult`-style
+    use), this class plugs into :class:`~repro.core.session.TunerSession`
+    and :meth:`~repro.core.tuner.SliceTuner.run`, so the bandit is
+    comparable method-for-method with Slice Tuner.
+
+    Parameters
+    ----------
+    batch_size:
+        Examples acquired per pull.
+    window:
+        Number of most recent rewards per arm used for the mean estimate.
+    exploration:
+        UCB exploration coefficient.
+    iteration_cap:
+        Maximum number of pulls.  One pull is far smaller than one
+        Algorithm-1 iteration, so the default is a large bound that lets the
+        bandit drain the whole budget (like :class:`RottingBanditAcquirer`)
+        rather than inheriting the orchestrator's ``max_iterations``.
+    """
+
+    name = "bandit"
+    is_iterative = True
+    uses_lam = False
+
+    def __init__(
+        self,
+        batch_size: int = 50,
+        window: int = 3,
+        exploration: float = 0.3,
+        iteration_cap: int = 10_000,
+    ) -> None:
+        self.batch_size = check_positive_int(batch_size, "batch_size")
+        self.window = check_positive_int(window, "window")
+        self.exploration = float(exploration)
+        self.iteration_cap = check_positive_int(iteration_cap, "iteration_cap")
+        self._recent: dict[str, deque[float]] = {}
+        self._losses: dict[str, float] = {}
+        self._pulls = 0
+        self._last_arm: str | None = None
+        self._exhausted: set[str] = set()
+
+    # -- lifecycle ---------------------------------------------------------------
+    def begin(self, state: TunerState) -> None:
+        self._recent = {
+            name: deque(maxlen=self.window) for name in state.sliced.names
+        }
+        self._losses = state.slice_validation_losses()
+        self._pulls = 0
+        self._last_arm = None
+        self._exhausted = set()
+
+    def propose(
+        self, state: TunerState, budget: float, lam: float
+    ) -> AcquisitionPlan | None:
+        affordable = [
+            name
+            for name in state.sliced.names
+            if name not in self._exhausted
+            and state.ledger.affordable_count(state.cost_model.cost(name)) >= 1
+        ]
+        if not affordable:
+            return None
+        arm = select_windowed_ucb_arm(
+            affordable, self._recent, self._pulls, self.exploration
+        )
+        unit_cost = state.cost_model.cost(arm)
+        count = min(self.batch_size, state.ledger.affordable_count(unit_cost))
+        self._last_arm = arm
+        return AcquisitionPlan(
+            counts={arm: int(count)},
+            expected_cost=float(unit_cost * count),
+            solver="bandit/windowed_ucb",
+        )
+
+    def observe(self, state: TunerState, record: IterationRecord) -> bool:
+        arm = self._last_arm
+        if arm is None:
+            return True
+        if record.acquired.get(arm, 0) == 0 or record.spent <= 0:
+            # Nothing was delivered (e.g. the arm's pool ran dry): the data
+            # did not change, so skip the retraining and record a neutral
+            # reward instead of dividing loss noise by (nearly) zero cost,
+            # and stop proposing this arm — it cannot deliver anymore.
+            self._exhausted.add(arm)
+            self._recent[arm].append(0.0)
+            self._pulls += 1
+            return True
+        new_losses = state.slice_validation_losses()
+        reward = (self._losses[arm] - new_losses[arm]) / record.spent
+        self._recent[arm].append(float(reward))
+        self._losses = new_losses
+        self._pulls += 1
+        return True
+
+    # -- checkpointing -----------------------------------------------------------
+    def state_dict(self) -> dict:
+        return {
+            "batch_size": self.batch_size,
+            "window": self.window,
+            "exploration": self.exploration,
+            "iteration_cap": self.iteration_cap,
+            "recent": {name: list(r) for name, r in self._recent.items()},
+            "losses": dict(self._losses),
+            "pulls": self._pulls,
+            "exhausted": sorted(self._exhausted),
+        }
+
+    def load_state_dict(self, state) -> None:
+        self.batch_size = int(state.get("batch_size", self.batch_size))
+        self.window = int(state.get("window", self.window))
+        self.exploration = float(state.get("exploration", self.exploration))
+        self.iteration_cap = int(state.get("iteration_cap", self.iteration_cap))
+        self._recent = {
+            name: deque(rewards, maxlen=self.window)
+            for name, rewards in state["recent"].items()
+        }
+        self._losses = {k: float(v) for k, v in state["losses"].items()}
+        self._pulls = int(state["pulls"])
+        self._exhausted = set(state.get("exhausted", ()))

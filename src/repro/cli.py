@@ -1,19 +1,23 @@
 """Command-line interface for the Slice Tuner reproduction.
 
-Three subcommands cover the common workflows without writing any Python:
+Four subcommands cover the common workflows without writing any Python:
 
 * ``curves`` — estimate and print the per-slice learning curves of a dataset.
 * ``plan`` — print the One-shot acquisition plan for a budget (no data is
   acquired), the "concrete action items" of the paper.
-* ``compare`` — run several acquisition methods over independently seeded
-  trials and print the Table-2/6-style comparison.
+* ``compare`` — run several acquisition strategies over independently seeded
+  trials and print the Table-2/6-style comparison.  ``--methods`` accepts
+  any name in the strategy registry, including the ``bandit`` comparator
+  and user registrations.
+* ``strategies`` — list every registered acquisition strategy.
 
 Examples::
 
+    python -m repro.cli strategies
     python -m repro.cli curves --dataset fashion_like --initial-size 150
     python -m repro.cli plan --dataset faces_like --budget 1000 --lam 1.0
     python -m repro.cli compare --dataset mixed_like --budget 2000 \
-        --methods uniform water_filling moderate --trials 2
+        --methods uniform water_filling moderate bandit --trials 2
 """
 
 from __future__ import annotations
@@ -21,6 +25,12 @@ from __future__ import annotations
 import argparse
 from typing import Sequence
 
+from repro.core.registry import (
+    available_strategies,
+    get_strategy,
+    is_registered,
+    strategy_descriptions,
+)
 from repro.datasets.registry import available_tasks
 from repro.experiments.config import ExperimentConfig
 from repro.experiments.reporting import allocations_table, methods_table
@@ -29,16 +39,15 @@ from repro.experiments.scenarios import list_scenarios
 from repro.core.tuner import SliceTuner, SliceTunerConfig
 from repro.utils.tables import format_table
 
-#: Methods accepted by the ``compare`` subcommand.
-KNOWN_METHODS = (
-    "uniform",
-    "water_filling",
-    "proportional",
-    "oneshot",
-    "conservative",
-    "moderate",
-    "aggressive",
-)
+
+def _registered_method(name: str) -> str:
+    """argparse type for ``--methods``: any registered strategy name."""
+    if not is_registered(name):
+        raise argparse.ArgumentTypeError(
+            f"unknown strategy {name!r}; run `python -m repro.cli strategies` "
+            f"to list registered strategies ({', '.join(available_strategies())})"
+        )
+    return name.strip().lower()
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -84,14 +93,19 @@ def build_parser() -> argparse.ArgumentParser:
         "--methods",
         nargs="+",
         default=["uniform", "water_filling", "moderate"],
-        choices=KNOWN_METHODS,
-        help="methods to compare",
+        type=_registered_method,
+        metavar="STRATEGY",
+        help="registered strategy names to compare (see the strategies subcommand)",
     )
     compare.add_argument("--trials", type=int, default=2, help="independently seeded repetitions")
     compare.add_argument(
         "--show-allocations",
         action="store_true",
         help="also print the mean per-slice acquisitions (Table 3 style)",
+    )
+
+    subparsers.add_parser(
+        "strategies", help="list every registered acquisition strategy"
     )
     return parser
 
@@ -176,6 +190,21 @@ def run_compare(args: argparse.Namespace) -> str:
     return output
 
 
+def run_strategies(args: argparse.Namespace) -> str:
+    """The ``strategies`` subcommand: list the acquisition-strategy registry."""
+    rows = []
+    for name, description in strategy_descriptions().items():
+        strategy = get_strategy(name)
+        kind = "iterative" if strategy.is_iterative else "one-shot"
+        uses_lam = "yes" if strategy.uses_lam else "no"
+        rows.append([name, kind, uses_lam, description])
+    return format_table(
+        headers=["strategy", "kind", "uses lambda", "description"],
+        rows=rows,
+        title="Registered acquisition strategies",
+    )
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     """CLI entry point; returns a process exit code."""
     parser = build_parser()
@@ -186,6 +215,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         print(run_plan(args))
     elif args.command == "compare":
         print(run_compare(args))
+    elif args.command == "strategies":
+        print(run_strategies(args))
     else:  # pragma: no cover - argparse enforces the choices
         parser.error(f"unknown command {args.command!r}")
     return 0

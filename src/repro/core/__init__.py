@@ -15,18 +15,24 @@ The pieces, bottom-up:
   schedules for the imbalance-ratio change limit ``T``.
 * :mod:`~repro.core.oneshot` / :mod:`~repro.core.iterative` — the One-shot
   algorithm and Algorithm 1 (iterative updates).
+* :mod:`~repro.core.strategy_api` / :mod:`~repro.core.registry` — the
+  pluggable :class:`AcquisitionStrategy` protocol and the string-keyed
+  registry every method resolves through.
+* :mod:`~repro.core.session` — :class:`TunerSession`, the streaming
+  propose-acquire-refit loop with hooks, early stops, and checkpoints.
 * :mod:`~repro.core.tuner` — :class:`SliceTuner`, the end-to-end orchestrator
   of Figure 4: estimate curves, optimize, acquire, repeat, evaluate.
 """
 
 from repro.core.baselines import (
+    AllocationBaselineStrategy,
     proportional_allocation,
     uniform_allocation,
     water_filling_allocation,
 )
 from repro.core.imbalance import get_change_ratio, imbalance_ratio
-from repro.core.iterative import IterativeAlgorithm
-from repro.core.oneshot import OneShotAlgorithm
+from repro.core.iterative import IterativeAlgorithm, ScheduledIterativeStrategy
+from repro.core.oneshot import OneShotAlgorithm, OneShotStrategy
 from repro.core.optimizer import (
     OptimizationResult,
     optimize_allocation,
@@ -34,6 +40,14 @@ from repro.core.optimizer import (
 )
 from repro.core.plan import AcquisitionPlan, IterationRecord, TuningResult
 from repro.core.problem import SelectiveAcquisitionProblem
+from repro.core.registry import (
+    available_strategies,
+    get_strategy,
+    is_registered,
+    register_strategy,
+    strategy_descriptions,
+)
+from repro.core.session import TunerSession
 from repro.core.strategies import (
     AggressiveStrategy,
     ConservativeStrategy,
@@ -41,6 +55,7 @@ from repro.core.strategies import (
     ModerateStrategy,
     make_strategy,
 )
+from repro.core.strategy_api import AcquisitionStrategy, TunerState
 from repro.core.tuner import SliceTuner, SliceTunerConfig
 
 __all__ = [
@@ -63,6 +78,17 @@ __all__ = [
     "AcquisitionPlan",
     "IterationRecord",
     "TuningResult",
+    "AcquisitionStrategy",
+    "TunerState",
+    "OneShotStrategy",
+    "ScheduledIterativeStrategy",
+    "AllocationBaselineStrategy",
+    "register_strategy",
+    "get_strategy",
+    "available_strategies",
+    "strategy_descriptions",
+    "is_registered",
+    "TunerSession",
     "SliceTuner",
     "SliceTunerConfig",
 ]

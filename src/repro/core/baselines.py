@@ -13,10 +13,13 @@ integer example counts keyed by position, aligned with the given slice order.
 
 from __future__ import annotations
 
-from typing import Sequence
+from typing import Callable, Sequence
 
 import numpy as np
 
+from repro.core.plan import AcquisitionPlan
+from repro.core.registry import register_strategy
+from repro.core.strategy_api import AcquisitionStrategy, TunerState
 from repro.utils.exceptions import ConfigurationError
 
 
@@ -149,3 +152,69 @@ def proportional_allocation(
     allocation = np.floor(sizes * scale).astype(np.int64)
     remaining = budget - float(np.dot(costs, allocation))
     return _spend_leftover(allocation, costs, remaining, priority=-sizes)
+
+
+class AllocationBaselineStrategy(AcquisitionStrategy):
+    """A curve-free allocation rule as a pluggable strategy (single batch).
+
+    Parameters
+    ----------
+    kind:
+        The registry name (``"uniform"``, ``"water_filling"``, or
+        ``"proportional"``).
+    allocate:
+        The allocation function ``(sizes, budget, costs) -> counts``.
+    """
+
+    is_iterative = False
+    uses_lam = False
+
+    def __init__(
+        self,
+        kind: str,
+        allocate: Callable[[np.ndarray, float, np.ndarray], np.ndarray],
+    ) -> None:
+        self.name = kind
+        self._allocate = allocate
+
+    def propose(
+        self, state: TunerState, budget: float, lam: float
+    ) -> AcquisitionPlan:
+        sizes = state.sliced.sizes()
+        costs = np.array(
+            [state.cost_model.cost(name) for name in state.sliced.names]
+        )
+        allocation = self._allocate(sizes, budget, costs)
+        counts = {
+            name: int(count)
+            for name, count in zip(state.sliced.names, allocation)
+        }
+        return AcquisitionPlan(
+            counts=counts,
+            expected_cost=float(np.dot(costs, allocation)),
+            solver=self.name,
+        )
+
+
+@register_strategy(
+    "uniform", description="equal examples per slice (Section 2.2 baseline)"
+)
+def _uniform_strategy() -> AllocationBaselineStrategy:
+    return AllocationBaselineStrategy("uniform", uniform_allocation)
+
+
+@register_strategy(
+    "water_filling",
+    aliases=("waterfilling",),
+    description="equalize final slice sizes, smallest slices first",
+)
+def _water_filling_strategy() -> AllocationBaselineStrategy:
+    return AllocationBaselineStrategy("water_filling", water_filling_allocation)
+
+
+@register_strategy(
+    "proportional",
+    description="acquire proportionally to current sizes (keeps bias)",
+)
+def _proportional_strategy() -> AllocationBaselineStrategy:
+    return AllocationBaselineStrategy("proportional", proportional_allocation)

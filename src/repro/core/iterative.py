@@ -26,15 +26,58 @@ from repro.acquisition.cost import CostModel, TableCost
 from repro.acquisition.source import DataSource
 from repro.core.imbalance import get_change_ratio, imbalance_ratio
 from repro.core.oneshot import OneShotAlgorithm
-from repro.core.plan import IterationRecord, TuningResult
-from repro.core.strategies import LimitStrategy
+from repro.core.plan import AcquisitionPlan, IterationRecord, TuningResult
+from repro.core.registry import register_strategy
+from repro.core.strategies import LimitStrategy, make_strategy
+from repro.core.strategy_api import (
+    AcquisitionStrategy,
+    TunerState,
+    acquire_batch,
+    top_up_minimum_sizes,
+)
 from repro.slices.sliced_dataset import SlicedDataset
 from repro.utils.exceptions import OptimizationError
 from repro.utils.validation import check_non_negative_int, check_positive_int
 
 
+def cap_change_by_limit(
+    sizes: np.ndarray,
+    order: tuple[str, ...],
+    requested: dict[str, int],
+    current_ratio: float,
+    limit: float,
+) -> tuple[dict[str, int], float]:
+    """Cap ``requested`` so the imbalance ratio changes by at most ``limit``.
+
+    Returns the (possibly scaled-down) integer allocation and the imbalance
+    ratio it would produce.  This is the ``GetChangeRatio`` step of
+    Algorithm 1, shared by :class:`IterativeAlgorithm` and
+    :class:`ScheduledIterativeStrategy`.
+    """
+    sizes = sizes.astype(np.float64)
+    num = np.array([requested[name] for name in order], dtype=np.float64)
+    after_ratio = imbalance_ratio(sizes + num)
+    if abs(after_ratio - current_ratio) <= limit:
+        return dict(requested), float(after_ratio)
+    target = current_ratio + limit * np.sign(after_ratio - current_ratio)
+    try:
+        change_ratio = get_change_ratio(sizes, num, target)
+    except OptimizationError:
+        change_ratio = 1.0
+    num = np.floor(change_ratio * num)
+    capped = {name: int(count) for name, count in zip(order, num)}
+    return capped, float(imbalance_ratio(sizes + num))
+
+
 class IterativeAlgorithm:
     """Algorithm 1: iterative selective data acquisition.
+
+    .. note::
+       This is the standalone, tuner-free driver of Algorithm 1.  The
+       orchestrator (:meth:`repro.core.tuner.SliceTuner.run`) now runs the
+       same algorithm through :class:`ScheduledIterativeStrategy` inside a
+       :class:`~repro.core.session.TunerSession`; both charge the budget for
+       delivered (not merely requested) examples.
 
     Parameters
     ----------
@@ -83,8 +126,8 @@ class IterativeAlgorithm:
             Where acquired examples come from.
         cost_model:
             Per-slice cost model; defaults to the costs on the slices.
-            Requested (not delivered) examples are charged, mirroring a
-            crowdsourcing campaign where every submitted task is paid.
+            Only delivered examples are charged, so an exhausted pool or a
+            lossy crowdsourcing campaign never debits phantom examples.
         on_iteration:
             Optional callback invoked with each :class:`IterationRecord`.
         """
@@ -116,21 +159,9 @@ class IterativeAlgorithm:
                 break
 
             # Cap the change of the imbalance ratio at the current limit T.
-            sizes = sliced.sizes().astype(np.float64)
-            order = sliced.names
-            num = np.array([requested[name] for name in order], dtype=np.float64)
-            after_ratio = imbalance_ratio(sizes + num)
-            if abs(after_ratio - current_ratio) > limit:
-                target = current_ratio + limit * np.sign(after_ratio - current_ratio)
-                try:
-                    change_ratio = get_change_ratio(sizes, num, target)
-                except OptimizationError:
-                    change_ratio = 1.0
-                num = np.floor(change_ratio * num)
-                requested = {
-                    name: int(count) for name, count in zip(order, num)
-                }
-                after_ratio = imbalance_ratio(sizes + num)
+            requested, after_ratio = cap_change_by_limit(
+                sliced.sizes(), sliced.names, requested, current_ratio, limit
+            )
 
             record = IterationRecord(
                 iteration=iteration,
@@ -179,23 +210,16 @@ class IterativeAlgorithm:
         record = IterationRecord(iteration=0, limit=self.strategy.initial())
         record.imbalance_before = imbalance_ratio(sliced.sizes())
         spent_before = ledger.spent
-        any_topup = False
-        for name in sliced.names:
-            deficit = self.min_slice_size - sliced[name].size
-            if deficit <= 0:
-                continue
-            unit_cost = cost_model.cost(name)
-            affordable = min(deficit, ledger.affordable_count(unit_cost))
-            if affordable <= 0:
-                continue
-            any_topup = True
-            record.requested[name] = affordable
-            self._acquire_one(
-                sliced, source, cost_model, ledger, name, affordable, record, result
+        delivered_by_slice = top_up_minimum_sizes(
+            sliced, source, cost_model, ledger, self.min_slice_size, record
+        )
+        for name, delivered in delivered_by_slice.items():
+            result.total_acquired[name] = (
+                result.total_acquired.get(name, 0) + delivered
             )
         record.imbalance_after = imbalance_ratio(sliced.sizes())
         record.spent = ledger.spent - spent_before
-        if any_topup:
+        if delivered_by_slice:
             result.iterations.append(record)
 
     def _acquire(
@@ -236,13 +260,143 @@ class IterativeAlgorithm:
         result: TuningResult,
     ) -> int:
         """Acquire ``count`` examples for one slice, updating all bookkeeping."""
-        unit_cost = cost_model.cost(name)
-        delivered = source.acquire(name, count)
-        ledger.charge(name, count, unit_cost)
-        cost_model.record_acquisition(name, count)
-        sliced.add_examples(name, delivered)
-        record.acquired[name] = record.acquired.get(name, 0) + len(delivered)
-        result.total_acquired[name] = result.total_acquired.get(name, 0) + len(
-            delivered
+        delivered = acquire_batch(sliced, source, cost_model, ledger, name, count)
+        record.acquired[name] = record.acquired.get(name, 0) + delivered
+        result.total_acquired[name] = (
+            result.total_acquired.get(name, 0) + delivered
         )
-        return len(delivered)
+        return delivered
+
+
+class ScheduledIterativeStrategy(AcquisitionStrategy):
+    """Algorithm 1 as a pluggable strategy.
+
+    Each proposal re-runs One-shot with the remaining budget and caps the
+    allocation so the imbalance ratio changes by at most the current limit
+    ``T``; :meth:`observe` then grows ``T`` according to the wrapped
+    Conservative / Moderate / Aggressive schedule.
+
+    Parameters
+    ----------
+    schedule:
+        The :class:`~repro.core.strategies.LimitStrategy` growing ``T``.
+    """
+
+    is_iterative = True
+    uses_lam = True
+    enforce_min_slice_size = True
+
+    def __init__(self, schedule: LimitStrategy) -> None:
+        self.schedule = schedule
+        self.name = schedule.name
+        self._limit = schedule.initial()
+        self._current_ratio: float | None = None
+
+    # -- lifecycle ---------------------------------------------------------------
+    def begin(self, state: TunerState) -> None:
+        self._limit = self.schedule.initial()
+        self._current_ratio = None
+
+    def propose(
+        self, state: TunerState, budget: float, lam: float
+    ) -> AcquisitionPlan | None:
+        if self._current_ratio is None:
+            # First proposal: measure the post-top-up imbalance ratio.
+            self._current_ratio = imbalance_ratio(state.sliced.sizes())
+
+        algorithm = OneShotAlgorithm(state.estimator, lam=lam)
+        plan, curves = algorithm.plan(
+            state.sliced, budget, cost_model=state.cost_model
+        )
+        if plan.is_empty():
+            return None
+
+        # Cap the change of the imbalance ratio at the current limit T.
+        order = state.sliced.names
+        requested, after_ratio = cap_change_by_limit(
+            state.sliced.sizes(),
+            order,
+            dict(plan.counts),
+            self._current_ratio,
+            self._limit,
+        )
+
+        costs = np.array([state.cost_model.cost(name) for name in order])
+        return AcquisitionPlan(
+            counts=requested,
+            expected_cost=float(
+                np.dot(costs, [requested[name] for name in order])
+            ),
+            solver=plan.solver,
+            limit=self._limit,
+            curve_parameters={
+                name: (curve.b, curve.a) for name, curve in curves.items()
+            },
+            imbalance_before=self._current_ratio,
+            imbalance_after=float(after_ratio),
+        )
+
+    def observe(self, state: TunerState, record: IterationRecord) -> bool:
+        if sum(record.acquired.values()) == 0:
+            # The capped plan bought nothing (e.g. rounding to zero);
+            # growing T may unblock the next iteration, otherwise stop.
+            next_limit = self.schedule.increase(self._limit)
+            if next_limit <= self._limit:
+                return False
+            self._limit = next_limit
+            return True
+        self._limit = self.schedule.increase(self._limit)
+        self._current_ratio = imbalance_ratio(state.sliced.sizes())
+        return True
+
+    @property
+    def current_limit(self) -> float:
+        return self._limit
+
+    # -- checkpointing -----------------------------------------------------------
+    def state_dict(self) -> dict:
+        return {
+            "limit": self._limit,
+            "current_ratio": self._current_ratio,
+            "schedule": {
+                "initial_limit": self.schedule.initial_limit,
+                "step": getattr(self.schedule, "step", None),
+                "factor": getattr(self.schedule, "factor", None),
+            },
+        }
+
+    def load_state_dict(self, state) -> None:
+        self._limit = float(state["limit"])
+        ratio = state.get("current_ratio")
+        self._current_ratio = None if ratio is None else float(ratio)
+        schedule = state.get("schedule", {})
+        self.schedule.initial_limit = float(
+            schedule.get("initial_limit", self.schedule.initial_limit)
+        )
+        for knob in ("step", "factor"):
+            if schedule.get(knob) is not None and hasattr(self.schedule, knob):
+                setattr(self.schedule, knob, float(schedule[knob]))
+
+
+@register_strategy(
+    "conservative",
+    description="iterative updates; T stays constant (most iterations)",
+)
+def _conservative_strategy(initial_limit: float = 1.0) -> ScheduledIterativeStrategy:
+    return ScheduledIterativeStrategy(make_strategy("conservative", initial_limit))
+
+
+@register_strategy(
+    "moderate",
+    description="iterative updates; T grows by a constant per iteration",
+)
+def _moderate_strategy(initial_limit: float = 1.0) -> ScheduledIterativeStrategy:
+    return ScheduledIterativeStrategy(make_strategy("moderate", initial_limit))
+
+
+@register_strategy(
+    "aggressive",
+    description="iterative updates; T doubles per iteration (fewest iterations)",
+)
+def _aggressive_strategy(initial_limit: float = 1.0) -> ScheduledIterativeStrategy:
+    return ScheduledIterativeStrategy(make_strategy("aggressive", initial_limit))

@@ -14,6 +14,8 @@ from repro.acquisition.cost import CostModel
 from repro.core.optimizer import optimize_allocation
 from repro.core.plan import AcquisitionPlan
 from repro.core.problem import SelectiveAcquisitionProblem
+from repro.core.registry import register_strategy
+from repro.core.strategy_api import AcquisitionStrategy, TunerState, annotate_plan
 from repro.curves.estimator import LearningCurveEstimator
 from repro.curves.power_law import FittedCurve
 from repro.slices.sliced_dataset import SlicedDataset
@@ -87,3 +89,29 @@ class OneShotAlgorithm:
             solver=f"oneshot/{result.solver}",
         )
         return plan, dict(curves)
+
+
+@register_strategy(
+    "oneshot",
+    description="estimate curves once, optimize once, spend the whole budget",
+)
+class OneShotStrategy(AcquisitionStrategy):
+    """Section 5.1 as a pluggable strategy: one proposal, one batch."""
+
+    name = "oneshot"
+    is_iterative = False
+    uses_lam = True
+
+    def propose(
+        self, state: TunerState, budget: float, lam: float
+    ) -> AcquisitionPlan:
+        algorithm = OneShotAlgorithm(state.estimator, lam=lam)
+        plan, curves = algorithm.plan(
+            state.sliced, budget, cost_model=state.cost_model
+        )
+        return annotate_plan(
+            plan,
+            curve_parameters={
+                name: (curve.b, curve.a) for name, curve in curves.items()
+            },
+        )

@@ -7,8 +7,9 @@ and how loss/unfairness changed.
 
 from __future__ import annotations
 
+import json
 from dataclasses import dataclass, field
-from typing import Mapping
+from typing import Any, Mapping
 
 from repro.fairness.report import FairnessReport
 from repro.utils.tables import format_table
@@ -26,11 +27,27 @@ class AcquisitionPlan:
         Cost of the plan under the costs used to compute it.
     solver:
         Which solver/strategy produced the plan (for reporting).
+    limit:
+        The imbalance-ratio change limit ``T`` in force when the plan was
+        proposed (0 when the strategy has no such limit).
+    curve_parameters:
+        The fitted ``(b, a)`` per slice the plan was computed from (empty for
+        curve-free strategies).
+    imbalance_before / imbalance_after:
+        The proposing strategy's imbalance-ratio prediction for this batch;
+        ``None`` when the strategy makes no prediction (the session then
+        measures the actual ratios).
     """
 
     counts: Mapping[str, int]
     expected_cost: float
     solver: str = ""
+    limit: float = 0.0
+    curve_parameters: Mapping[str, tuple[float, float]] = field(
+        default_factory=dict
+    )
+    imbalance_before: float | None = None
+    imbalance_after: float | None = None
 
     @property
     def total_examples(self) -> int:
@@ -83,6 +100,38 @@ class IterationRecord:
     imbalance_after: float = 0.0
     curve_parameters: dict[str, tuple[float, float]] = field(default_factory=dict)
 
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-compatible representation of this record."""
+        return {
+            "iteration": self.iteration,
+            "requested": dict(self.requested),
+            "acquired": dict(self.acquired),
+            "spent": self.spent,
+            "limit": self.limit,
+            "imbalance_before": self.imbalance_before,
+            "imbalance_after": self.imbalance_after,
+            "curve_parameters": {
+                name: list(params) for name, params in self.curve_parameters.items()
+            },
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "IterationRecord":
+        """Rebuild a record from :meth:`to_dict` output."""
+        return cls(
+            iteration=int(data["iteration"]),
+            requested={k: int(v) for k, v in data.get("requested", {}).items()},
+            acquired={k: int(v) for k, v in data.get("acquired", {}).items()},
+            spent=float(data.get("spent", 0.0)),
+            limit=float(data.get("limit", 0.0)),
+            imbalance_before=float(data.get("imbalance_before", 0.0)),
+            imbalance_after=float(data.get("imbalance_after", 0.0)),
+            curve_parameters={
+                name: (float(params[0]), float(params[1]))
+                for name, params in data.get("curve_parameters", {}).items()
+            },
+        )
+
 
 @dataclass
 class TuningResult:
@@ -134,3 +183,57 @@ class TuningResult:
                 f"spent={self.spent:.2f} iterations={self.n_iterations}"
             ),
         )
+
+    # -- serialization (session checkpoints, CI artifacts) -------------------------
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-compatible representation of the full result."""
+        return {
+            "method": self.method,
+            "lam": self.lam,
+            "budget": self.budget,
+            "spent": self.spent,
+            "iterations": [record.to_dict() for record in self.iterations],
+            "total_acquired": dict(self.total_acquired),
+            "initial_report": (
+                None if self.initial_report is None else self.initial_report.to_dict()
+            ),
+            "final_report": (
+                None if self.final_report is None else self.final_report.to_dict()
+            ),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "TuningResult":
+        """Rebuild a result from :meth:`to_dict` output."""
+        return cls(
+            method=str(data["method"]),
+            lam=float(data["lam"]),
+            budget=float(data["budget"]),
+            spent=float(data.get("spent", 0.0)),
+            iterations=[
+                IterationRecord.from_dict(record)
+                for record in data.get("iterations", [])
+            ],
+            total_acquired={
+                k: int(v) for k, v in data.get("total_acquired", {}).items()
+            },
+            initial_report=(
+                None
+                if data.get("initial_report") is None
+                else FairnessReport.from_dict(data["initial_report"])
+            ),
+            final_report=(
+                None
+                if data.get("final_report") is None
+                else FairnessReport.from_dict(data["final_report"])
+            ),
+        )
+
+    def to_json(self, indent: int | None = None) -> str:
+        """Serialize the result to a JSON string."""
+        return json.dumps(self.to_dict(), indent=indent)
+
+    @classmethod
+    def from_json(cls, payload: str) -> "TuningResult":
+        """Deserialize a result produced by :meth:`to_json`."""
+        return cls.from_dict(json.loads(payload))

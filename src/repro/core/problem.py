@@ -8,7 +8,7 @@ loss/unfairness trade-off weight ``lambda``.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Mapping, Sequence
 
 import numpy as np

@@ -1,0 +1,435 @@
+"""Streaming tuning sessions: the propose-acquire-refit loop, step by step.
+
+:class:`TunerSession` is the engine behind :meth:`SliceTuner.run
+<repro.core.tuner.SliceTuner.run>`.  Where ``run`` executes a whole strategy
+and hands back one :class:`~repro.core.plan.TuningResult`, a session exposes
+the loop itself::
+
+    session = TunerSession(tuner)
+    for record in session.stream(budget=2000, strategy="aggressive"):
+        print(record.iteration, record.acquired)
+        if record.spent == 0:
+            break                       # the caller can stop at any point
+    result = session.result()           # everything acquired so far
+
+Sessions add three things on top of the batch API:
+
+* **Lifecycle hooks** — ``on_acquire`` / ``on_iteration`` fire per batch and
+  ``on_evaluate`` around the before/after evaluations, so progress can be
+  logged or shipped to a dashboard while the run is in flight.
+* **Early-stop predicates** — ``stop_when=lambda record: ...`` (or
+  :meth:`TunerSession.add_early_stop`) ends the loop as soon as a predicate
+  is satisfied, e.g. stop once the imbalance ratio is close to 1.
+* **Checkpointing** — :meth:`TunerSession.state_dict` snapshots the
+  orchestration state (budget spent, iteration index, the strategy's
+  schedule state, and all records); :meth:`TunerSession.load_state_dict`
+  plus :meth:`TunerSession.resume` continue a paused run.  The dataset
+  itself is owned by the tuner; persist it separately if the process exits.
+
+Any strategy name registered in :mod:`repro.core.registry` can be streamed,
+including user-defined registrations.
+
+Each :meth:`TunerSession.stream` call owns its run state, but all runs of
+one session mutate the same tuner (dataset, cost model, RNG) — run them to
+completion one at a time; :meth:`TunerSession.result` / ``state_dict`` refer
+to the most recently started run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Any, Callable, Iterable, Iterator, Mapping
+
+from repro.acquisition.budget import BudgetLedger
+from repro.core.plan import AcquisitionPlan, IterationRecord, TuningResult
+from repro.core.registry import get_strategy
+from repro.core.strategy_api import (
+    AcquisitionStrategy,
+    TunerState,
+    acquire_batch,
+    top_up_minimum_sizes,
+)
+from repro.utils.exceptions import ConfigurationError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.tuner import SliceTuner
+    from repro.fairness.report import FairnessReport
+
+#: Hook signatures (see :meth:`TunerSession.add_hook`).
+IterationHook = Callable[[IterationRecord], None]
+EvaluateHook = Callable[[str, "FairnessReport"], None]
+EarlyStop = Callable[[IterationRecord], bool]
+
+_CHECKPOINT_VERSION = 1
+
+
+@dataclass
+class _RunContext:
+    """The mutable state of one tuning run (one stream/run invocation)."""
+
+    strategy: AcquisitionStrategy
+    state: TunerState
+    result: TuningResult
+    lam: float
+    iteration: int = 0
+
+
+class TunerSession:
+    """A stateful, step-wise tuning run over one :class:`SliceTuner`.
+
+    Parameters
+    ----------
+    tuner:
+        The orchestrator owning the dataset, source, estimator, cost model,
+        and evaluation protocol.
+    on_iteration / on_acquire / on_evaluate:
+        Optional hooks; see :meth:`add_hook`.
+    """
+
+    def __init__(
+        self,
+        tuner: "SliceTuner",
+        on_iteration: IterationHook | None = None,
+        on_acquire: IterationHook | None = None,
+        on_evaluate: EvaluateHook | None = None,
+    ) -> None:
+        self.tuner = tuner
+        self._hooks: dict[str, list[Callable]] = {
+            "iteration": [on_iteration] if on_iteration else [],
+            "acquire": [on_acquire] if on_acquire else [],
+            "evaluate": [on_evaluate] if on_evaluate else [],
+        }
+        self._early_stops: list[EarlyStop] = []
+        #: The most recently started run (stream()/load_state_dict()).
+        self._run: _RunContext | None = None
+
+    # -- hooks and early stops ---------------------------------------------------
+    def add_hook(self, event: str, hook: Callable) -> "TunerSession":
+        """Register a hook; ``event`` is ``iteration``, ``acquire``, or ``evaluate``.
+
+        ``acquire`` hooks fire right after a batch lands in the dataset;
+        ``iteration`` hooks fire once the strategy has digested the batch;
+        ``evaluate`` hooks fire as ``(stage, report)`` around the
+        before/after evaluations of :meth:`run`.  Returns ``self`` so calls
+        chain.
+        """
+        if event not in self._hooks:
+            raise ConfigurationError(
+                f"unknown hook event {event!r}; expected one of "
+                f"{tuple(self._hooks)}"
+            )
+        self._hooks[event].append(hook)
+        return self
+
+    def add_early_stop(self, predicate: EarlyStop) -> "TunerSession":
+        """Stop streaming as soon as ``predicate(record)`` is True."""
+        self._early_stops.append(predicate)
+        return self
+
+    def _fire(self, event: str, *args) -> None:
+        for hook in self._hooks[event]:
+            hook(*args)
+
+    # -- the streaming API -------------------------------------------------------
+    def stream(
+        self,
+        budget: float,
+        strategy: str | AcquisitionStrategy = "moderate",
+        lam: float | None = None,
+        stop_when: EarlyStop | Iterable[EarlyStop] | None = None,
+    ) -> Iterator[IterationRecord]:
+        """Run a strategy, yielding each :class:`IterationRecord` as it lands.
+
+        Parameters
+        ----------
+        budget:
+            Total data acquisition budget ``B``.
+        strategy:
+            A registered strategy name (see
+            :func:`repro.core.registry.available_strategies`) or an
+            :class:`~repro.core.strategy_api.AcquisitionStrategy` instance.
+        lam:
+            Loss/unfairness weight; defaults to the tuner's configured value.
+        stop_when:
+            Early-stop predicate(s) for this run, in addition to any added
+            through :meth:`add_early_stop`.
+
+        The generator mutates the tuner's dataset as it goes; breaking out
+        early keeps everything acquired so far, and :meth:`result` /
+        :meth:`state_dict` reflect the partial run.
+        """
+        run = self._begin(budget, strategy, lam)
+        if stop_when is not None:
+            stops = [stop_when] if callable(stop_when) else list(stop_when)
+        else:
+            stops = []
+        return self._drive(run, extra_stops=stops)
+
+    def resume(self) -> Iterator[IterationRecord]:
+        """Continue a run restored with :meth:`load_state_dict`."""
+        if self._run is None:
+            raise ConfigurationError(
+                "nothing to resume: call stream() or load_state_dict() first"
+            )
+        return self._drive(self._run, extra_stops=[])
+
+    def run(
+        self,
+        budget: float,
+        strategy: str | AcquisitionStrategy = "moderate",
+        lam: float | None = None,
+        evaluate: bool = True,
+    ) -> TuningResult:
+        """Batch counterpart of :meth:`stream`: drain the loop, return the result.
+
+        When ``evaluate`` is True the model is trained and evaluated before
+        and after acquisition and the reports attached (firing ``evaluate``
+        hooks with stages ``"initial"`` and ``"final"``).
+        """
+        initial_report = None
+        if evaluate:
+            initial_report = self.tuner.evaluate()
+            self._fire("evaluate", "initial", initial_report)
+        for _ in self.stream(budget, strategy=strategy, lam=lam):
+            pass
+        result = self.result()
+        result.initial_report = initial_report
+        if evaluate:
+            result.final_report = self.tuner.evaluate()
+            self._fire("evaluate", "final", result.final_report)
+        return result
+
+    def result(self) -> TuningResult:
+        """The (possibly partial) result of the most recently started run."""
+        if self._run is None:
+            raise ConfigurationError("no run in progress: call stream() first")
+        return self._run.result
+
+    # -- checkpointing -----------------------------------------------------------
+    def state_dict(self) -> dict[str, Any]:
+        """Snapshot of the orchestration state of the current run.
+
+        Captures the strategy (name + schedule state), budget accounting,
+        iteration index, and the result so far — everything needed by
+        :meth:`load_state_dict` to continue the loop.  The tuner's dataset
+        and RNG are *not* captured; a faithful resume needs the same live
+        tuner (or a dataset restored by other means).
+        """
+        run = self._run
+        if run is None:
+            raise ConfigurationError("no run in progress: call stream() first")
+        return {
+            "version": _CHECKPOINT_VERSION,
+            "strategy": run.strategy.name,
+            "strategy_state": run.strategy.state_dict(),
+            "lam": run.lam,
+            "budget": run.state.ledger.total,
+            "spent": run.state.ledger.spent,
+            "iteration": run.iteration,
+            "result": run.result.to_dict(),
+        }
+
+    def load_state_dict(
+        self,
+        state: Mapping[str, Any],
+        strategy: AcquisitionStrategy | None = None,
+    ) -> None:
+        """Restore a run captured by :meth:`state_dict`; continue via :meth:`resume`.
+
+        The strategy is re-created from the registry by the checkpointed name
+        and its run state restored via ``strategy.load_state_dict`` (``begin``
+        is *not* called, so no checkpointed state is clobbered and no model is
+        trained during the restore).  For a run started from an unregistered
+        :class:`~repro.core.strategy_api.AcquisitionStrategy` instance, pass
+        an equivalent instance as ``strategy``.
+        """
+        if int(state.get("version", -1)) != _CHECKPOINT_VERSION:
+            raise ConfigurationError(
+                f"unsupported session checkpoint version {state.get('version')!r}"
+            )
+        if strategy is None:
+            strategy = get_strategy(str(state["strategy"]))
+        elif strategy.name != state["strategy"]:
+            raise ConfigurationError(
+                f"checkpoint was taken with strategy {state['strategy']!r} "
+                f"but {strategy.name!r} was supplied"
+            )
+        ledger = BudgetLedger(total=float(state["budget"]))
+        ledger.spent = float(state["spent"])
+        result = TuningResult.from_dict(state["result"])
+        run = _RunContext(
+            strategy=strategy,
+            state=self._make_state(ledger),
+            result=result,
+            lam=float(state["lam"]),
+            iteration=int(state["iteration"]),
+        )
+        run.state.iteration = run.iteration
+        run.state.records = result.iterations
+        strategy.load_state_dict(state.get("strategy_state", {}))
+        self._run = run
+
+    # -- internals ---------------------------------------------------------------
+    def _make_state(self, ledger: BudgetLedger) -> TunerState:
+        tuner = self.tuner
+        return TunerState(
+            sliced=tuner.sliced,
+            source=tuner.source,
+            estimator=tuner.estimator,
+            cost_model=tuner.cost_model,
+            ledger=ledger,
+            config=tuner.config,
+            model_factory=tuner.model_factory,
+            trainer_config=tuner.trainer_config,
+            rng=tuner._rng,
+        )
+
+    def _begin(
+        self,
+        budget: float,
+        strategy: str | AcquisitionStrategy,
+        lam: float | None,
+    ) -> _RunContext:
+        if isinstance(strategy, str):
+            strategy = get_strategy(strategy)
+        elif not isinstance(strategy, AcquisitionStrategy):
+            raise ConfigurationError(
+                f"strategy must be a registered name or an "
+                f"AcquisitionStrategy, got {type(strategy).__name__}"
+            )
+        lam = self.tuner.config.lam if lam is None else float(lam)
+        result = TuningResult(
+            method=strategy.name,
+            lam=lam if strategy.uses_lam else 0.0,
+            budget=float(budget),
+        )
+        result.total_acquired = {name: 0 for name in self.tuner.sliced.names}
+        run = _RunContext(
+            strategy=strategy,
+            state=self._make_state(BudgetLedger(total=float(budget))),
+            result=result,
+            lam=lam,
+        )
+        run.state.records = result.iterations
+        strategy.begin(run.state)
+        self._run = run
+        return run
+
+    def _drive(
+        self, run: _RunContext, extra_stops: list[EarlyStop]
+    ) -> Iterator[IterationRecord]:
+        strategy, state, result = run.strategy, run.state, run.result
+        stops = [*self._early_stops, *extra_stops]
+        tuner = self.tuner
+
+        def finish(record: IterationRecord) -> bool:
+            """Yield-side bookkeeping; True when an early stop fired."""
+            result.spent = state.ledger.spent
+            return any(predicate(record) for predicate in stops)
+
+        # Steps 3-6 of Algorithm 1: top every slice up to the minimum size L.
+        if (
+            run.iteration == 0
+            and strategy.enforce_min_slice_size
+            and tuner.config.min_slice_size > 0
+        ):
+            record = self._top_up_minimum_sizes(run)
+            if record is not None:
+                result.iterations.append(record)
+                self._fire("acquire", record)
+                self._fire("iteration", record)
+                stop = finish(record)
+                yield record
+                if stop:
+                    return
+
+        max_iterations = strategy.iteration_cap or tuner.config.max_iterations
+        while run.iteration < max_iterations:
+            if strategy.is_iterative:
+                if state.ledger.exhausted:
+                    break
+                if state.ledger.remaining < state.cheapest_cost():
+                    break
+            plan = strategy.propose(state, state.ledger.remaining, run.lam)
+            if plan is None:
+                break
+            run.iteration += 1
+            state.iteration = run.iteration
+            record = self._acquire_plan(state, plan, run.iteration)
+            result.iterations.append(record)
+            for name, count in record.acquired.items():
+                result.total_acquired[name] = (
+                    result.total_acquired.get(name, 0) + count
+                )
+            self._fire("acquire", record)
+            keep_going = strategy.observe(state, record)
+            self._fire("iteration", record)
+            stop = finish(record)
+            yield record
+            if stop or not keep_going or not strategy.is_iterative:
+                break
+        result.spent = state.ledger.spent
+
+    def _acquire_plan(
+        self, state: TunerState, plan: AcquisitionPlan, iteration: int
+    ) -> IterationRecord:
+        """Acquire one proposed batch, charging only for delivered examples."""
+        record = IterationRecord(
+            iteration=iteration,
+            requested={
+                name: int(count) for name, count in plan.counts.items()
+            },
+            limit=plan.limit,
+            curve_parameters=dict(plan.curve_parameters),
+        )
+        record.imbalance_before = (
+            state.sliced.imbalance_ratio()
+            if plan.imbalance_before is None
+            else plan.imbalance_before
+        )
+        spent_before = state.ledger.spent
+        for name, count in plan.counts.items():
+            if count <= 0:
+                continue
+            unit_cost = state.cost_model.cost(name)
+            affordable = min(int(count), state.ledger.affordable_count(unit_cost))
+            if affordable <= 0:
+                continue
+            delivered = acquire_batch(
+                state.sliced,
+                state.source,
+                state.cost_model,
+                state.ledger,
+                name,
+                affordable,
+            )
+            record.acquired[name] = record.acquired.get(name, 0) + delivered
+        record.spent = state.ledger.spent - spent_before
+        record.imbalance_after = (
+            state.sliced.imbalance_ratio()
+            if plan.imbalance_after is None
+            else plan.imbalance_after
+        )
+        return record
+
+    def _top_up_minimum_sizes(self, run: _RunContext) -> IterationRecord | None:
+        """Top every slice up to ``min_slice_size``; None when nothing to do."""
+        state = run.state
+        record = IterationRecord(iteration=0, limit=run.strategy.current_limit)
+        record.imbalance_before = state.sliced.imbalance_ratio()
+        spent_before = state.ledger.spent
+        delivered_by_slice = top_up_minimum_sizes(
+            state.sliced,
+            state.source,
+            state.cost_model,
+            state.ledger,
+            self.tuner.config.min_slice_size,
+            record,
+        )
+        for name, delivered in delivered_by_slice.items():
+            run.result.total_acquired[name] = (
+                run.result.total_acquired.get(name, 0) + delivered
+            )
+        record.imbalance_after = state.sliced.imbalance_ratio()
+        record.spent = state.ledger.spent - spent_before
+        return record if delivered_by_slice else None

@@ -7,11 +7,17 @@ API:
 * :meth:`SliceTuner.estimate_curves` — fit the current learning curves.
 * :meth:`SliceTuner.plan` — compute a One-shot acquisition plan without
   acquiring anything (the "concrete action items" the paper advertises).
-* :meth:`SliceTuner.run` — execute a full acquisition strategy (One-shot,
-  one of the Iterative variants, or one of the baselines) and optionally
-  evaluate the model before and after.
+* :meth:`SliceTuner.run` — execute a full acquisition strategy by registry
+  name (One-shot, an Iterative variant, a baseline, the bandit, or any
+  custom registration) and optionally evaluate before and after.
+* :meth:`SliceTuner.session` — a :class:`~repro.core.session.TunerSession`
+  for step-wise streaming runs with hooks, early stops, and checkpoints.
 * :meth:`SliceTuner.evaluate` — train the model on the current data and
   report loss, per-slice losses, and unfairness.
+
+``run`` is a thin facade over ``session().run(...)``; the propose-acquire-
+refit loop itself lives in :mod:`repro.core.session` and the acquisition
+policies in :mod:`repro.core.registry`.
 """
 
 from __future__ import annotations
@@ -21,18 +27,12 @@ from typing import Mapping
 
 import numpy as np
 
-from repro.acquisition.budget import BudgetLedger
 from repro.acquisition.cost import CostModel, TableCost
 from repro.acquisition.source import DataSource
-from repro.core.baselines import (
-    proportional_allocation,
-    uniform_allocation,
-    water_filling_allocation,
-)
-from repro.core.iterative import IterativeAlgorithm
 from repro.core.oneshot import OneShotAlgorithm
-from repro.core.plan import AcquisitionPlan, IterationRecord, TuningResult
-from repro.core.strategies import make_strategy
+from repro.core.plan import AcquisitionPlan, TuningResult
+from repro.core.registry import available_strategies
+from repro.core.session import TunerSession
 from repro.curves.estimator import (
     CurveEstimationConfig,
     LearningCurveEstimator,
@@ -44,9 +44,10 @@ from repro.fairness.report import FairnessReport, evaluate_fairness
 from repro.ml.train import Trainer, TrainingConfig
 from repro.slices.sliced_dataset import SlicedDataset
 from repro.utils.exceptions import ConfigurationError
-from repro.utils.rng import RandomState, as_generator
+from repro.utils.rng import RandomState, as_generator, spawn_generators
 
-#: Methods implemented by :meth:`SliceTuner.run`.
+#: Legacy method groups, kept for backward compatibility; the authoritative
+#: list is :func:`repro.core.registry.available_strategies`.
 SLICE_TUNER_METHODS = ("oneshot", "conservative", "moderate", "aggressive")
 BASELINE_METHODS = ("uniform", "water_filling", "proportional")
 
@@ -136,6 +137,10 @@ class SliceTuner:
         )
         self.config = config or SliceTunerConfig()
         self._rng = as_generator(random_state)
+        # A fixed evaluation seed drawn once, so repeated evaluate() calls on
+        # the same data agree regardless of how much of the main stream the
+        # acquisition loop has consumed in between.
+        self._eval_seed = int(self._rng.integers(0, 2**63 - 1))
         self.estimator = LearningCurveEstimator(
             model_factory=self.model_factory,
             trainer_config=self.trainer_config,
@@ -169,18 +174,29 @@ class SliceTuner:
 
         ``n_trials`` independently-seeded models are trained and their
         reports averaged, mirroring the paper's mean-over-trials protocol.
+        Trial seeds are spawned from a dedicated evaluation stream, so two
+        ``evaluate()`` calls on the same data return identical reports no
+        matter how much randomness the acquisition loop consumed in between.
         """
         n_trials = n_trials or self.config.evaluation_trials
         train = self.sliced.combined_train()
         reports: list[FairnessReport] = []
-        for _ in range(n_trials):
+        for child in spawn_generators(self._eval_seed, n_trials):
             model = self.model_factory(self.sliced.n_classes)
-            trainer = Trainer(config=self.trainer_config, random_state=self._rng)
+            trainer = Trainer(config=self.trainer_config, random_state=child)
             trainer.fit(model, train)
             reports.append(evaluate_fairness(model, self.sliced))
         return _average_reports(reports)
 
-    # -- the main entry point ----------------------------------------------------------
+    # -- the main entry points ----------------------------------------------------------
+    def session(self, **hooks) -> TunerSession:
+        """Create a streaming :class:`~repro.core.session.TunerSession`.
+
+        Keyword arguments (``on_iteration``, ``on_acquire``, ``on_evaluate``)
+        are forwarded to the session constructor.
+        """
+        return TunerSession(self, **hooks)
+
     def run(
         self,
         budget: float,
@@ -188,117 +204,36 @@ class SliceTuner:
         lam: float | None = None,
         evaluate: bool = True,
     ) -> TuningResult:
-        """Acquire data with the chosen method and (optionally) evaluate.
+        """Acquire data with the chosen strategy and (optionally) evaluate.
+
+        This is a thin facade over :meth:`session`: it drains
+        ``session().run(...)`` and returns the complete
+        :class:`~repro.core.plan.TuningResult`.
 
         Parameters
         ----------
         budget:
             Total data acquisition budget ``B``.
         method:
-            One of ``"oneshot"``, ``"conservative"``, ``"moderate"``,
-            ``"aggressive"`` (Slice Tuner methods) or ``"uniform"``,
-            ``"water_filling"``, ``"proportional"`` (baselines).
+            Any registered strategy name — the paper's ``"oneshot"``,
+            ``"conservative"``, ``"moderate"``, ``"aggressive"``, the
+            baselines ``"uniform"``, ``"water_filling"``,
+            ``"proportional"``, the ``"bandit"`` comparator, or a custom
+            registration (see :func:`repro.core.registry.register_strategy`).
         lam:
             Loss/unfairness weight; defaults to the configured value.
         evaluate:
             When True, the model is trained and evaluated before and after
             acquisition and the reports attached to the result.
         """
-        method = method.strip().lower()
-        lam = self.config.lam if lam is None else float(lam)
-        initial_report = self.evaluate() if evaluate else None
-
-        if method in BASELINE_METHODS:
-            result = self._run_baseline(method, budget)
-        elif method == "oneshot":
-            result = self._run_oneshot(budget, lam)
-        elif method in ("conservative", "moderate", "aggressive"):
-            result = self._run_iterative(method, budget, lam)
-        else:
-            raise ConfigurationError(
-                f"unknown method {method!r}; expected one of "
-                f"{SLICE_TUNER_METHODS + BASELINE_METHODS}"
-            )
-
-        result.initial_report = initial_report
-        if evaluate:
-            result.final_report = self.evaluate()
-        return result
-
-    # -- method implementations ------------------------------------------------------------
-    def _run_oneshot(self, budget: float, lam: float) -> TuningResult:
-        oneshot = OneShotAlgorithm(self.estimator, lam=lam)
-        plan, curves = oneshot.plan(self.sliced, budget, cost_model=self.cost_model)
-        result = TuningResult(method="oneshot", lam=lam, budget=float(budget))
-        record = self._acquire_plan(plan.counts, budget, iteration=1)
-        record.curve_parameters = {
-            name: (curve.b, curve.a) for name, curve in curves.items()
-        }
-        result.iterations.append(record)
-        result.total_acquired = {
-            name: record.acquired.get(name, 0) for name in self.sliced.names
-        }
-        result.spent = record.spent
-        return result
-
-    def _run_iterative(self, method: str, budget: float, lam: float) -> TuningResult:
-        oneshot = OneShotAlgorithm(self.estimator, lam=lam)
-        algorithm = IterativeAlgorithm(
-            oneshot=oneshot,
-            strategy=make_strategy(method),
-            min_slice_size=self.config.min_slice_size,
-            max_iterations=self.config.max_iterations,
-        )
-        return algorithm.run(
-            self.sliced, budget, self.source, cost_model=self.cost_model
+        return self.session().run(
+            budget=budget, strategy=method, lam=lam, evaluate=evaluate
         )
 
-    def _run_baseline(self, method: str, budget: float) -> TuningResult:
-        sizes = self.sliced.sizes()
-        costs = np.array(
-            [self.cost_model.cost(name) for name in self.sliced.names]
-        )
-        if method == "uniform":
-            allocation = uniform_allocation(sizes, budget, costs)
-        elif method == "water_filling":
-            allocation = water_filling_allocation(sizes, budget, costs)
-        else:
-            allocation = proportional_allocation(sizes, budget, costs)
-        counts = {
-            name: int(count) for name, count in zip(self.sliced.names, allocation)
-        }
-        result = TuningResult(method=method, lam=0.0, budget=float(budget))
-        record = self._acquire_plan(counts, budget, iteration=1)
-        result.iterations.append(record)
-        result.total_acquired = {
-            name: record.acquired.get(name, 0) for name in self.sliced.names
-        }
-        result.spent = record.spent
-        return result
-
-    # -- acquisition plumbing ----------------------------------------------------------------
-    def _acquire_plan(
-        self, counts: Mapping[str, int], budget: float, iteration: int
-    ) -> IterationRecord:
-        """Acquire a single batch described by ``counts`` within ``budget``."""
-        ledger = BudgetLedger(total=float(budget))
-        record = IterationRecord(iteration=iteration, requested=dict(counts))
-        record.imbalance_before = self.sliced.imbalance_ratio()
-        for name, count in counts.items():
-            if count <= 0:
-                continue
-            unit_cost = self.cost_model.cost(name)
-            affordable = min(int(count), ledger.affordable_count(unit_cost))
-            if affordable <= 0:
-                continue
-            delivered = self.source.acquire(name, affordable)
-            ledger.charge(name, affordable, unit_cost)
-            self.cost_model.record_acquisition(name, affordable)
-            self.sliced.add_examples(name, delivered)
-            record.acquired[name] = len(delivered)
-        record.spent = ledger.spent
-        record.imbalance_after = self.sliced.imbalance_ratio()
-        return record
+    @staticmethod
+    def available_methods() -> tuple[str, ...]:
+        """Every strategy name :meth:`run` currently accepts."""
+        return available_strategies()
 
 
 def _average_reports(reports: list[FairnessReport]) -> FairnessReport:

@@ -18,7 +18,7 @@ exactly the mechanism illustrated in Figure 6 and measured in Figure 7.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Mapping, Sequence
 
 import numpy as np

@@ -10,11 +10,11 @@ results into the mean/std statistics the paper reports (Tables 2, 6, 7, 9,
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Mapping
 
 import numpy as np
 
 from repro.acquisition.source import GeneratorDataSource
+from repro.core.registry import available_strategies, is_registered
 from repro.core.tuner import SliceTuner, SliceTunerConfig
 from repro.curves.estimator import ModelFactory, default_model_factory
 from repro.datasets.registry import build_task
@@ -172,6 +172,12 @@ def compare_methods(
     methods = list(config.methods)
     if include_original and "original" not in methods:
         methods = ["original", *methods]
+    unknown = [m for m in methods if m != "original" and not is_registered(m)]
+    if unknown:
+        raise ConfigurationError(
+            f"unknown methods {unknown}; registered strategies: "
+            f"{', '.join(available_strategies())}"
+        )
     outcomes: dict[str, list[MethodOutcome]] = {m: [] for m in methods}
     for method in methods:
         for trial in range(config.trials):

@@ -44,6 +44,27 @@ class FairnessReport:
     max_eer: float
     slice_sizes: dict[str, int] = field(default_factory=dict)
 
+    def to_dict(self) -> dict:
+        """JSON-compatible representation of the report."""
+        return {
+            "loss": self.loss,
+            "slice_losses": dict(self.slice_losses),
+            "avg_eer": self.avg_eer,
+            "max_eer": self.max_eer,
+            "slice_sizes": dict(self.slice_sizes),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "FairnessReport":
+        """Rebuild a report from :meth:`to_dict` output."""
+        return cls(
+            loss=float(data["loss"]),
+            slice_losses={k: float(v) for k, v in data["slice_losses"].items()},
+            avg_eer=float(data["avg_eer"]),
+            max_eer=float(data["max_eer"]),
+            slice_sizes={k: int(v) for k, v in data.get("slice_sizes", {}).items()},
+        )
+
     def worst_slice(self) -> str:
         """Name of the slice with the highest loss."""
         return max(self.slice_losses, key=self.slice_losses.get)

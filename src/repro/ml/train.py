@@ -10,7 +10,7 @@ paper fixes hyperparameters once per dataset and never changes them again.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Protocol, Sequence
+from typing import Protocol
 
 import numpy as np
 

@@ -9,7 +9,7 @@ train data), the per-slice views needed for evaluation, and mutation through
 
 from __future__ import annotations
 
-from typing import Iterable, Iterator, Mapping, Sequence
+from typing import Iterator, Mapping, Sequence
 
 import numpy as np
 

@@ -8,7 +8,7 @@ by accident, which keeps experiments reproducible trial-by-trial.
 
 from __future__ import annotations
 
-from typing import Iterable, Optional, Union
+from typing import Union
 
 import numpy as np
 

@@ -56,3 +56,38 @@ class TestRottingBanditAcquirer:
     def test_invalid_window_rejected(self):
         with pytest.raises(ConfigurationError):
             RottingBanditAcquirer(window=0)
+
+
+class TestRottingBanditStrategy:
+    def test_zero_delivery_records_neutral_reward(self):
+        from collections import deque
+
+        from repro.bandit.rotting import RottingBanditStrategy
+        from repro.core.plan import IterationRecord
+
+        strategy = RottingBanditStrategy(window=3)
+        strategy._recent = {"a": deque(maxlen=3), "b": deque(maxlen=3)}
+        strategy._losses = {"a": 0.5, "b": 0.4}
+        strategy._last_arm = "a"
+        # The pulled arm's pool ran dry: nothing delivered, nothing spent.
+        record = IterationRecord(iteration=1, requested={"a": 10}, spent=0.0)
+        assert strategy.observe(None, record) is True
+        assert list(strategy._recent["a"]) == [0.0]
+        # The stale losses are kept (the data did not change).
+        assert strategy._losses == {"a": 0.5, "b": 0.4}
+
+    def test_checkpoint_round_trips_configuration(self):
+        import json
+
+        from repro.core.registry import get_strategy
+
+        strategy = get_strategy("bandit", batch_size=7, window=2, exploration=0.5)
+        strategy._recent = {"a": __import__("collections").deque([1.0], maxlen=2)}
+        strategy._losses = {"a": 0.5}
+        strategy._pulls = 1
+        restored = get_strategy("bandit")
+        restored.load_state_dict(json.loads(json.dumps(strategy.state_dict())))
+        assert restored.batch_size == 7
+        assert restored.window == 2
+        assert restored.exploration == 0.5
+        assert list(restored._recent["a"]) == [1.0]

@@ -2,10 +2,7 @@
 
 from __future__ import annotations
 
-import numpy as np
-import pytest
-
-from repro.acquisition.cost import EscalatingCost, TableCost
+from repro.acquisition.cost import EscalatingCost
 from repro.core.iterative import IterativeAlgorithm
 from repro.core.oneshot import OneShotAlgorithm
 from repro.core.strategies import make_strategy

@@ -2,12 +2,11 @@
 
 from __future__ import annotations
 
-import numpy as np
 import pytest
 
 from repro.acquisition.cost import TableCost
 from repro.core.oneshot import OneShotAlgorithm
-from repro.curves.estimator import CurveEstimationConfig, LearningCurveEstimator
+from repro.curves.estimator import LearningCurveEstimator
 from repro.curves.power_law import FittedCurve, PowerLawCurve
 
 

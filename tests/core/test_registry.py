@@ -1,0 +1,140 @@
+"""Tests for repro.core.registry (the pluggable strategy registry)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.acquisition.source import GeneratorDataSource
+from repro.core.plan import AcquisitionPlan, TuningResult
+from repro.core.registry import (
+    available_strategies,
+    get_strategy,
+    is_registered,
+    register_strategy,
+    strategy_descriptions,
+    unregister_strategy,
+)
+from repro.core.strategy_api import AcquisitionStrategy
+from repro.core.tuner import SliceTuner, SliceTunerConfig
+from repro.utils.exceptions import ConfigurationError
+
+#: The seven legacy SliceTuner.run methods plus the rotting bandit.
+EXPECTED_STRATEGIES = (
+    "aggressive",
+    "bandit",
+    "conservative",
+    "moderate",
+    "oneshot",
+    "proportional",
+    "uniform",
+    "water_filling",
+)
+
+
+class TestRegistryContents:
+    def test_all_builtins_registered(self):
+        assert set(EXPECTED_STRATEGIES) <= set(available_strategies())
+
+    def test_descriptions_cover_every_strategy(self):
+        descriptions = strategy_descriptions()
+        for name in available_strategies():
+            assert name in descriptions
+            assert descriptions[name]
+
+    def test_get_strategy_is_case_and_space_insensitive(self):
+        assert get_strategy("  Moderate ").name == "moderate"
+
+    def test_aliases_resolve(self):
+        assert get_strategy("waterfilling").name == "water_filling"
+        assert get_strategy("rotting_bandit").name == "bandit"
+
+    def test_unknown_strategy_rejected(self):
+        with pytest.raises(ConfigurationError):
+            get_strategy("alchemy")
+
+    def test_is_registered(self):
+        assert is_registered("moderate")
+        assert is_registered("Bandit")
+        assert not is_registered("alchemy")
+
+    def test_factory_kwargs_forwarded(self):
+        bandit = get_strategy("bandit", batch_size=7)
+        assert bandit.batch_size == 7
+
+    def test_fresh_instance_per_call(self):
+        assert get_strategy("moderate") is not get_strategy("moderate")
+
+
+class TestCustomRegistration:
+    def test_register_and_run_custom_strategy(
+        self, tiny_sliced, tiny_source, fast_training, fast_curves
+    ):
+        @register_strategy("cheapest_only", description="spend all on slice_0")
+        class CheapestOnly(AcquisitionStrategy):
+            name = "cheapest_only"
+            is_iterative = False
+            uses_lam = False
+
+            def propose(self, state, budget, lam):
+                name = state.sliced.names[0]
+                cost = state.cost_model.cost(name)
+                count = int(budget // cost)
+                return AcquisitionPlan(
+                    counts={name: count},
+                    expected_cost=count * cost,
+                    solver=self.name,
+                )
+
+        try:
+            tuner = SliceTuner(
+                tiny_sliced,
+                tiny_source,
+                trainer_config=fast_training,
+                curve_config=fast_curves,
+                random_state=0,
+            )
+            result = tuner.run(budget=30, method="cheapest_only", evaluate=False)
+            assert result.method == "cheapest_only"
+            assert result.total_acquired[tiny_sliced.names[0]] == 30
+        finally:
+            unregister_strategy("cheapest_only")
+
+    def test_duplicate_registration_rejected(self):
+        with pytest.raises(ConfigurationError):
+
+            @register_strategy("moderate")
+            class Clash(AcquisitionStrategy):  # pragma: no cover - never built
+                pass
+
+    def test_non_strategy_factory_rejected(self):
+        @register_strategy("broken_factory")
+        def broken():
+            return object()
+
+        try:
+            with pytest.raises(ConfigurationError):
+                get_strategy("broken_factory")
+        finally:
+            unregister_strategy("broken_factory")
+
+
+class TestRoundTripEveryStrategy:
+    @pytest.mark.parametrize("name", EXPECTED_STRATEGIES)
+    def test_available_strategy_runs_end_to_end(
+        self, tiny_task, fast_training, fast_curves, name
+    ):
+        sliced = tiny_task.initial_sliced_dataset(30, 50, random_state=0)
+        source = GeneratorDataSource(tiny_task, random_state=1)
+        tuner = SliceTuner(
+            sliced,
+            source,
+            trainer_config=fast_training,
+            curve_config=fast_curves,
+            config=SliceTunerConfig(evaluation_trials=1, max_iterations=3),
+            random_state=0,
+        )
+        result = tuner.run(budget=60, method=name, evaluate=False)
+        assert isinstance(result, TuningResult)
+        assert result.method == name
+        assert result.spent <= 60 + 1e-6
+        assert sum(result.total_acquired.values()) > 0

@@ -3,7 +3,6 @@
 from __future__ import annotations
 
 import numpy as np
-import pytest
 
 from repro.datasets.adult import ADULT_SLICES, adult_like_task
 from repro.datasets.faces import FACE_SLICES, RACES, UTKFACE_COSTS, faces_like_task

@@ -2,14 +2,12 @@
 
 from __future__ import annotations
 
-import numpy as np
 import pytest
 
 from repro.experiments.influence import (
     influence_experiment,
     influence_magnitude_by_step,
 )
-from repro.ml.train import TrainingConfig
 from repro.utils.exceptions import ConfigurationError
 
 

@@ -7,7 +7,7 @@ import pytest
 
 from repro.ml.data import Dataset
 from repro.ml.linear import LogisticRegression, SoftmaxRegression
-from repro.ml.train import Trainer, TrainingConfig
+from repro.ml.train import Trainer
 from repro.utils.exceptions import ConfigurationError
 
 

@@ -2,9 +2,8 @@
 
 from __future__ import annotations
 
-import numpy as np
 import pytest
-from hypothesis import given, settings
+from hypothesis import given
 from hypothesis import strategies as st
 
 from repro.fairness.metrics import (

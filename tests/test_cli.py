@@ -36,6 +36,12 @@ class TestParser:
         assert args.dataset == "fashion_like"
         assert "moderate" in args.methods
 
+    def test_any_registered_strategy_accepted(self):
+        args = build_parser().parse_args(
+            ["compare", "--methods", "bandit", "Water_Filling", "moderate"]
+        )
+        assert args.methods == ["bandit", "water_filling", "moderate"]
+
 
 class TestSubcommands:
     def test_curves_lists_every_slice(self, capsys):
@@ -76,3 +82,20 @@ class TestSubcommands:
         assert "Learning curves" in run_curves(args)
         args = build_parser().parse_args(["plan", *FAST, "--budget", "40"])
         assert "total" in run_plan(args)
+
+    def test_strategies_lists_registry(self, capsys):
+        exit_code = main(["strategies"])
+        assert exit_code == 0
+        output = capsys.readouterr().out
+        for name in (
+            "oneshot",
+            "conservative",
+            "moderate",
+            "aggressive",
+            "uniform",
+            "water_filling",
+            "proportional",
+            "bandit",
+        ):
+            assert name in output
+        assert "iterative" in output

@@ -8,9 +8,6 @@ and assert the paper's qualitative claims on the shapes of the results.
 
 from __future__ import annotations
 
-import numpy as np
-import pytest
-
 from repro import (
     CrowdsourcingSimulator,
     CurveEstimationConfig,
