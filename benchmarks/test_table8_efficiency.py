@@ -9,14 +9,21 @@ loss/unfairness.  Shapes asserted:
   estimator's model trainings and is several times faster end to end, and
 * the resulting loss and Avg. EER are comparable (within a small margin) —
   the efficiency does not cost quality.
+
+The benchmark doubles as the engine smoke test: set ``REPRO_EXECUTOR`` to
+``serial`` (default) or ``process`` to run every training through the chosen
+:mod:`repro.engine` backend — the numbers must not depend on it — and set
+``BENCH_ENGINE_OUT`` to a path to record wall-clock and training-count
+numbers (the CI benchmark-smoke job uploads the resulting
+``BENCH_engine.json``).
 """
 
 from __future__ import annotations
 
+import json
+import os
 import time
-
-import numpy as np
-import pytest
+from pathlib import Path
 
 from conftest import SPEED, emit
 
@@ -24,11 +31,16 @@ from repro.acquisition.source import GeneratorDataSource
 from repro.core.tuner import SliceTuner, SliceTunerConfig
 from repro.curves.estimator import CurveEstimationConfig
 from repro.datasets.fashion import fashion_like_task
+from repro.engine.executor import get_executor
 from repro.experiments.config import fast_training_config
 from repro.utils.tables import format_table
 
 BUDGET = 1200.0
 INITIAL_SIZE = 150
+
+
+def _executor_name() -> str:
+    return os.environ.get("REPRO_EXECUTOR", "serial").strip().lower()
 
 
 def run_one(strategy: str) -> dict[str, float]:
@@ -37,17 +49,19 @@ def run_one(strategy: str) -> dict[str, float]:
         INITIAL_SIZE, validation_size=SPEED["validation_size"], random_state=0
     )
     source = GeneratorDataSource(task, random_state=1)
-    tuner = SliceTuner(
-        sliced,
-        source,
-        trainer_config=fast_training_config(epochs=SPEED["epochs"]),
-        curve_config=CurveEstimationConfig(n_points=4, n_repeats=1, strategy=strategy),
-        config=SliceTunerConfig(lam=1.0, evaluation_trials=2),
-        random_state=2,
-    )
-    start = time.perf_counter()
-    result = tuner.run(BUDGET, method="moderate")
-    elapsed = time.perf_counter() - start
+    with get_executor(_executor_name()) as executor:
+        tuner = SliceTuner(
+            sliced,
+            source,
+            trainer_config=fast_training_config(epochs=SPEED["epochs"]),
+            curve_config=CurveEstimationConfig(n_points=4, n_repeats=1, strategy=strategy),
+            config=SliceTunerConfig(lam=1.0, evaluation_trials=2),
+            random_state=2,
+            executor=executor,
+        )
+        start = time.perf_counter()
+        result = tuner.run(BUDGET, method="moderate")
+        elapsed = time.perf_counter() - start
     return {
         "loss": result.final_report.loss,
         "avg_eer": result.final_report.avg_eer,
@@ -62,8 +76,34 @@ def run_table8():
     return {strategy: run_one(strategy) for strategy in ("exhaustive", "amortized")}
 
 
+def _record_bench(results: dict[str, dict[str, float]]) -> None:
+    """Merge this run's numbers into ``$BENCH_ENGINE_OUT`` (when set)."""
+    out = os.environ.get("BENCH_ENGINE_OUT")
+    if not out:
+        return
+    path = Path(out)
+    payload: dict = {}
+    if path.exists():
+        try:
+            payload = json.loads(path.read_text())
+        except json.JSONDecodeError:
+            payload = {}
+    payload[_executor_name()] = {
+        strategy: {
+            "runtime_s": round(stats["runtime_s"], 3),
+            "trainings": int(stats["trainings"]),
+            "loss": round(stats["loss"], 6),
+            "avg_eer": round(stats["avg_eer"], 6),
+            "iterations": int(stats["iterations"]),
+        }
+        for strategy, stats in results.items()
+    }
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+
+
 def test_table8_efficient_curve_generation(run_once):
     results = run_once(run_table8)
+    _record_bench(results)
 
     rows = [
         [
@@ -78,7 +118,8 @@ def test_table8_efficient_curve_generation(run_once):
     ]
     emit(
         "Table 8 — exhaustive vs amortized learning-curve generation "
-        f"(fashion_like, init {INITIAL_SIZE}, budget {BUDGET:.0f})",
+        f"(fashion_like, init {INITIAL_SIZE}, budget {BUDGET:.0f}, "
+        f"executor {_executor_name()})",
         format_table(
             headers=["curve generation", "Loss", "Avg./Max. EER", "runtime (s)", "model trainings", "iterations"],
             rows=rows,

@@ -8,9 +8,13 @@ This is the smallest end-to-end use of the library:
    ``available_strategies()`` works, including the ``bandit`` comparator),
 4. stream the run through a ``TunerSession`` — each acquisition batch is
    yielded as it lands, with an early-stop predicate cutting the run short
-   once the slices are nearly balanced, and
+   once the slices are nearly balanced,
 5. compare loss and unfairness before and after, and round-trip the result
-   through JSON.
+   through JSON, and
+6. tour the execution-engine knobs: every model training funnels through an
+   ``Executor`` (serial or process pool — the backend never changes the
+   numbers, because per-job seeds are spawned up-front) and an optional
+   content-addressed ``ResultCache`` that makes repeated trainings free.
 
 Run with::
 
@@ -22,6 +26,8 @@ from __future__ import annotations
 from repro import (
     CurveEstimationConfig,
     GeneratorDataSource,
+    InMemoryResultCache,
+    SerialExecutor,
     SliceTuner,
     SliceTunerConfig,
     TrainingConfig,
@@ -95,6 +101,36 @@ def main() -> None:
     print(result.final_report.to_text())
     restored = TuningResult.from_json(result.to_json())
     assert restored.total_acquired == result.total_acquired
+
+    # 6. Engine knobs.  The executor decides *where* trainings run —
+    #    SerialExecutor() in-process, ProcessPoolExecutor(max_workers=N)
+    #    across worker processes — and the result cache decides *whether*
+    #    they run at all: jobs are fingerprinted by data content, trainer
+    #    config, model family, and seed, so re-estimating curves on
+    #    unchanged data is served entirely from cache.
+    #    (SliceTunerConfig(incremental_curves=True) goes further: refits
+    #    skip entirely when nothing changed, and the exhaustive protocol
+    #    re-measures only the slices whose pools changed.)
+    cache = InMemoryResultCache()
+    cached_tuner = SliceTuner(
+        task.initial_sliced_dataset(
+            initial_sizes=150, validation_size=200, random_state=0
+        ),
+        GeneratorDataSource(task, random_state=1),
+        trainer_config=TrainingConfig(epochs=40, batch_size=64, learning_rate=0.03),
+        curve_config=CurveEstimationConfig(n_points=6, n_repeats=1),
+        random_state=2,
+        executor=SerialExecutor(),  # or ProcessPoolExecutor(max_workers=4)
+        result_cache=cache,
+    )
+    cached_tuner.estimate_curves()
+    cold_trainings = cached_tuner.estimator.trainings_performed
+    cached_tuner.estimate_curves()  # warm: zero new trainings
+    assert cached_tuner.estimator.trainings_performed == cold_trainings
+    print(
+        f"\nEngine: {cold_trainings} trainings cold, 0 warm "
+        f"({cache.stats.hits} cache hits, hit rate {cache.stats.hit_rate:.0%})"
+    )
 
 
 if __name__ == "__main__":

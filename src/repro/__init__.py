@@ -119,6 +119,17 @@ from repro.curves import (
     PowerLawWithFloor,
     fit_power_law,
 )
+from repro.engine import (
+    CurveCache,
+    Executor,
+    InMemoryResultCache,
+    MLPFactory,
+    ProcessPoolExecutor,
+    SerialExecutor,
+    TrainingJob,
+    available_executors,
+    get_executor,
+)
 from repro.datasets import (
     SliceBlueprint,
     SyntheticTask,
@@ -203,6 +214,16 @@ __all__ = [
     "mixed_like_task",
     "faces_like_task",
     "adult_like_task",
+    # engine
+    "Executor",
+    "SerialExecutor",
+    "ProcessPoolExecutor",
+    "TrainingJob",
+    "InMemoryResultCache",
+    "CurveCache",
+    "MLPFactory",
+    "get_executor",
+    "available_executors",
     # acquisition
     "GeneratorDataSource",
     "PoolDataSource",

@@ -32,6 +32,7 @@ from repro.core.registry import (
     strategy_descriptions,
 )
 from repro.datasets.registry import available_tasks
+from repro.engine.executor import available_executors, get_executor
 from repro.experiments.config import ExperimentConfig
 from repro.experiments.reporting import allocations_table, methods_table
 from repro.experiments.runner import compare_methods, prepare_instance
@@ -103,6 +104,19 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="also print the mean per-slice acquisitions (Table 3 style)",
     )
+    compare.add_argument(
+        "--executor",
+        default="serial",
+        choices=available_executors(),
+        help="execution backend for the (method, trial) grid; results are "
+        "identical for every backend",
+    )
+    compare.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="worker processes for --executor process (default: CPU count)",
+    )
 
     subparsers.add_parser(
         "strategies", help="list every registered acquisition strategy"
@@ -171,7 +185,15 @@ def run_compare(args: argparse.Namespace) -> str:
         lam=args.lam,
         trials=args.trials,
     )
-    aggregates = compare_methods(config, include_original=True)
+    if args.workers is not None and args.executor != "process":
+        raise SystemExit(
+            "error: --workers only applies to --executor process"
+        )
+    executor_kwargs = (
+        {"max_workers": args.workers} if args.executor == "process" else {}
+    )
+    with get_executor(args.executor, **executor_kwargs) as executor:
+        aggregates = compare_methods(config, include_original=True, executor=executor)
     output = methods_table(
         aggregates,
         title=(

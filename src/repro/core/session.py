@@ -29,6 +29,15 @@ Sessions add three things on top of the batch API:
 Any strategy name registered in :mod:`repro.core.registry` can be streamed,
 including user-defined registrations.
 
+Evaluation trials and the per-iteration curve refits inside curve-based
+strategies run through the tuner's
+:class:`~repro.engine.executor.Executor` (exposed to strategies as
+``TunerState.executor``), so the serial/process-pool choice and the result
+cache apply to streaming runs exactly as they do to batch runs.  Strategies
+that train their own reward models inline (e.g. the bandit's
+``state.train_model()``) still draw on the shared RNG stream and bypass the
+executor.
+
 Each :meth:`TunerSession.stream` call owns its run state, but all runs of
 one session mutate the same tuner (dataset, cost model, RNG) — run them to
 completion one at a time; :meth:`TunerSession.result` / ``state_dict`` refer
@@ -282,6 +291,7 @@ class TunerSession:
             model_factory=tuner.model_factory,
             trainer_config=tuner.trainer_config,
             rng=tuner._rng,
+            executor=tuner.executor,
         )
 
     def _begin(

@@ -39,6 +39,7 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guards, typing only
     from repro.acquisition.source import DataSource
     from repro.core.tuner import SliceTunerConfig
     from repro.curves.estimator import LearningCurveEstimator, ModelFactory
+    from repro.engine.executor import Executor
     from repro.fairness.report import FairnessReport
     from repro.ml.train import TrainingConfig
     from repro.slices.sliced_dataset import SlicedDataset
@@ -70,6 +71,13 @@ class TunerState:
     model_factory / trainer_config:
         The model family and hyperparameters used for evaluations, available
         to strategies that measure their own rewards (e.g. the bandit).
+    executor:
+        The run's :class:`~repro.engine.executor.Executor` (None for legacy
+        drivers).  Strategies with several independent trainings to run
+        should batch them into :class:`~repro.engine.job.TrainingJob` specs
+        and submit them here rather than looping over ``Trainer.fit``.
+        (The :meth:`train_model` helper below predates the engine and still
+        trains inline on the shared RNG stream.)
     rng:
         The run's random generator.
     iteration:
@@ -88,6 +96,7 @@ class TunerState:
     model_factory: "ModelFactory"
     trainer_config: "TrainingConfig"
     rng: np.random.Generator
+    executor: "Executor | None" = None
     iteration: int = 0
     records: list[IterationRecord] = field(default_factory=list)
 

@@ -33,6 +33,10 @@ from repro.core.oneshot import OneShotAlgorithm
 from repro.core.plan import AcquisitionPlan, TuningResult
 from repro.core.registry import available_strategies
 from repro.core.session import TunerSession
+from repro.engine.cache import ResultCache
+from repro.engine.executor import Executor, SerialExecutor
+from repro.engine.factories import describe_factory
+from repro.engine.job import TrainingJob
 from repro.curves.estimator import (
     CurveEstimationConfig,
     LearningCurveEstimator,
@@ -41,10 +45,10 @@ from repro.curves.estimator import (
 )
 from repro.curves.power_law import FittedCurve
 from repro.fairness.report import FairnessReport, evaluate_fairness
-from repro.ml.train import Trainer, TrainingConfig
+from repro.ml.train import TrainingConfig
 from repro.slices.sliced_dataset import SlicedDataset
 from repro.utils.exceptions import ConfigurationError
-from repro.utils.rng import RandomState, as_generator, spawn_generators
+from repro.utils.rng import RandomState, as_generator, spawn_seeds
 
 #: Legacy method groups, kept for backward compatibility; the authoritative
 #: list is :func:`repro.core.registry.available_strategies`.
@@ -67,12 +71,22 @@ class SliceTunerConfig:
     evaluation_trials:
         How many independently-seeded models are trained and averaged by
         :meth:`SliceTuner.evaluate`.
+    incremental_curves:
+        When True, the estimator keeps a per-slice
+        :class:`~repro.engine.cache.CurveCache`: refits skip entirely when
+        no slice pool changed, and the exhaustive protocol re-measures only
+        the slices whose pools did change (the amortized protocol's
+        trainings each cover every slice, so any change refreshes all
+        curves at unchanged cost).  Off by default: it trades curve
+        freshness for fewer trainings under the exhaustive protocol, which
+        also changes the Table 8 training counts.
     """
 
     lam: float = 1.0
     min_slice_size: int = 0
     max_iterations: int = 30
     evaluation_trials: int = 1
+    incremental_curves: bool = False
 
     def __post_init__(self) -> None:
         if self.lam < 0:
@@ -114,6 +128,22 @@ class SliceTuner:
         Orchestrator configuration.
     random_state:
         Seed or generator controlling sampling, training, and evaluation.
+    executor:
+        Execution backend for every model training the tuner performs
+        (curve estimation and evaluation trials).  Defaults to a
+        :class:`~repro.engine.executor.SerialExecutor`; pass a
+        :class:`~repro.engine.executor.ProcessPoolExecutor` to parallelize.
+        Per-job seeds are spawned up-front, so the backend never changes the
+        numbers — parallelism is purely a deployment choice.
+    result_cache:
+        Optional content-addressed :class:`~repro.engine.cache.ResultCache`
+        attached to the executor, so a training repeated on identical data
+        with an identical seed is served from cache instead of re-run.
+        When you pass your own ``executor``, the cache is attached to it —
+        and therefore shared by everything using that executor (safe,
+        because entries are keyed by content, but visible in its stats).
+        Passing a *different* ``result_cache`` for an executor that already
+        has one is a configuration error rather than a silent override.
     """
 
     def __init__(
@@ -126,6 +156,8 @@ class SliceTuner:
         cost_model: CostModel | None = None,
         config: SliceTunerConfig | None = None,
         random_state: RandomState = None,
+        executor: Executor | None = None,
+        result_cache: ResultCache | None = None,
     ) -> None:
         self.sliced = sliced
         self.source = source
@@ -136,6 +168,18 @@ class SliceTuner:
             {name: sliced[name].cost for name in sliced.names}
         )
         self.config = config or SliceTunerConfig()
+        if executor is None:
+            executor = SerialExecutor(cache=result_cache)
+        elif result_cache is not None:
+            if executor.cache is None:
+                executor.cache = result_cache
+            elif executor.cache is not result_cache:
+                raise ConfigurationError(
+                    "the supplied executor already has a result cache "
+                    "attached; pass result_cache only together with a "
+                    "cache-less executor (or let the tuner build one)"
+                )
+        self.executor = executor
         self._rng = as_generator(random_state)
         # A fixed evaluation seed drawn once, so repeated evaluate() calls on
         # the same data agree regardless of how much of the main stream the
@@ -146,6 +190,8 @@ class SliceTuner:
             trainer_config=self.trainer_config,
             config=self.curve_config,
             random_state=self._rng,
+            executor=self.executor,
+            incremental=self.config.incremental_curves,
         )
 
     # -- curves and plans ---------------------------------------------------------
@@ -177,15 +223,30 @@ class SliceTuner:
         Trial seeds are spawned from a dedicated evaluation stream, so two
         ``evaluate()`` calls on the same data return identical reports no
         matter how much randomness the acquisition loop consumed in between.
+
+        The trials are submitted to the tuner's executor as one job batch —
+        they parallelize across workers, and with a result cache attached a
+        re-evaluation on unchanged data trains nothing at all.
         """
         n_trials = n_trials or self.config.evaluation_trials
         train = self.sliced.combined_train()
-        reports: list[FairnessReport] = []
-        for child in spawn_generators(self._eval_seed, n_trials):
-            model = self.model_factory(self.sliced.n_classes)
-            trainer = Trainer(config=self.trainer_config, random_state=child)
-            trainer.fit(model, train)
-            reports.append(evaluate_fairness(model, self.sliced))
+        factory_name = describe_factory(self.model_factory)
+        jobs = [
+            TrainingJob(
+                train=train,
+                n_classes=self.sliced.n_classes,
+                seed=seed,
+                trainer_config=self.trainer_config,
+                model_factory=self.model_factory,
+                factory_name=factory_name,
+                tag=("evaluate", trial),
+            )
+            for trial, seed in enumerate(spawn_seeds(self._eval_seed, n_trials))
+        ]
+        results = self.executor.submit(jobs)
+        reports = [
+            evaluate_fairness(result.model, self.sliced) for result in results
+        ]
         return _average_reports(reports)
 
     # -- the main entry points ----------------------------------------------------------

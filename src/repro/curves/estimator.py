@@ -16,29 +16,45 @@ are implemented:
 Reliability is improved by repeating the whole procedure ``n_repeats`` times
 with different random subsets and averaging the fitted curves, and by
 weighting measurement points by their subset sizes during fitting.
+
+Both protocols are *declarative*: they build a batch of
+:class:`~repro.engine.job.TrainingJob` specs — subsets sampled and per-job
+seeds spawned up-front from a content-derived RNG — and submit the whole
+wave to an :class:`~repro.engine.executor.Executor`.  Consequences:
+
+* serial and process-pool executors produce byte-identical curves,
+* repeating an estimation on unchanged data rebuilds identical job
+  fingerprints, so a warm :class:`~repro.engine.cache.ResultCache` serves
+  every training from cache (zero new trainings), and
+* with ``incremental=True`` the estimator keeps a
+  :class:`~repro.engine.cache.CurveCache` and only re-measures slices whose
+  training pools changed since the previous estimate.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Sequence
+from typing import Iterable, Mapping, Sequence
 
 import numpy as np
 
 from repro.curves.power_law import FittedCurve
 from repro.curves.reliability import average_curves, fit_averaged_curve
 from repro.curves.fitting import fit_power_law, weighted_log_rmse
-from repro.ml.data import Dataset
+from repro.engine.cache import CurveCache
+from repro.engine.cache import pool_fingerprints as slice_pool_fingerprints
+from repro.engine.executor import Executor, SerialExecutor
+from repro.engine.factories import ModelFactory, describe_factory
+from repro.engine.job import JobResult, TrainingJob, stable_seed
 from repro.ml.linear import SoftmaxRegression
 from repro.ml.metrics import log_loss
-from repro.ml.train import Trainer, TrainingConfig
+from repro.ml.train import TrainingConfig
 from repro.slices.sliced_dataset import SlicedDataset
 from repro.utils.exceptions import ConfigurationError, FittingError
-from repro.utils.rng import RandomState, as_generator
+from repro.utils.rng import RandomState, as_generator, spawn_seeds
 from repro.utils.validation import check_positive_int
 
-#: A model factory maps the number of classes to a fresh, untrained model.
-ModelFactory = Callable[[int], object]
+_SEED_BOUND = 2**63 - 1
 
 
 @dataclass(frozen=True)
@@ -114,7 +130,19 @@ class LearningCurveEstimator:
     config:
         The estimation protocol configuration.
     random_state:
-        Seed or generator for subset sampling and training.
+        Seed or generator; one root seed is drawn up-front and every
+        estimation derives its subsets and per-job seeds from (root seed,
+        data content), so identical data always produces identical jobs.
+    executor:
+        Where the training jobs run; defaults to a fresh
+        :class:`~repro.engine.executor.SerialExecutor`.  Attach a
+        :class:`~repro.engine.cache.ResultCache` to the executor to skip
+        repeated trainings entirely.
+    incremental:
+        When True, fitted curves are cached per slice and subsequent
+        :meth:`estimate` calls only re-measure slices whose training pools
+        changed (the :class:`~repro.engine.cache.CurveCache` is exposed as
+        :attr:`curve_cache`).
     """
 
     def __init__(
@@ -123,25 +151,60 @@ class LearningCurveEstimator:
         trainer_config: TrainingConfig | None = None,
         config: CurveEstimationConfig | None = None,
         random_state: RandomState = None,
+        executor: Executor | None = None,
+        incremental: bool = False,
     ) -> None:
         self.model_factory = model_factory or default_model_factory
         self.trainer_config = trainer_config or TrainingConfig()
         self.config = config or CurveEstimationConfig()
         self._rng = as_generator(random_state)
+        self._root_seed = int(self._rng.integers(0, _SEED_BOUND))
+        self.executor = executor or SerialExecutor()
+        self.curve_cache: CurveCache | None = CurveCache() if incremental else None
         #: Number of model trainings performed so far (for the Table 8 bench).
+        #: Cache-served jobs do not count — the counter stays honest.
         self.trainings_performed = 0
 
     # -- public API -----------------------------------------------------------
-    def estimate(self, sliced: SlicedDataset) -> dict[str, FittedCurve]:
-        """Estimate learning curves for every slice of ``sliced``."""
-        points = self.collect_points(sliced)
-        return self.fit_points(points, sliced.names)
+    def estimate(
+        self, sliced: SlicedDataset, only: Iterable[str] | None = None
+    ) -> dict[str, FittedCurve]:
+        """Estimate learning curves for every slice of ``sliced``.
 
-    def collect_points(self, sliced: SlicedDataset) -> list[CurvePoint]:
-        """Measure raw (size, loss) points for every slice."""
+        ``only`` restricts measurement and fitting to the named slices (the
+        returned mapping then covers just those).  In incremental mode the
+        estimator works that set out itself — slices whose pools are
+        unchanged since the last call are served from :attr:`curve_cache` —
+        and always returns a curve for every slice.
+        """
+        if self.curve_cache is not None and only is None:
+            return self._estimate_incremental(sliced)
+        names = self._select_names(sliced, only)
+        points = self.collect_points(sliced, only=names)
+        return self.fit_points(points, names)
+
+    def collect_points(
+        self,
+        sliced: SlicedDataset,
+        only: Iterable[str] | None = None,
+        pool_fingerprints: Mapping[str, str] | None = None,
+    ) -> list[CurvePoint]:
+        """Measure raw (size, loss) points for the (named) slices.
+
+        Builds the full job batch first — per-job seeds pre-spawned from the
+        content-derived RNG — submits it to the executor in one wave, then
+        evaluates every returned model on the relevant validation sets.
+        ``pool_fingerprints`` lets callers that already hashed the slice
+        pools (the incremental path) avoid a second pass.
+        """
+        names = self._select_names(sliced, only)
         if self.config.strategy == "amortized":
-            return self._collect_amortized(sliced)
-        return self._collect_exhaustive(sliced)
+            jobs = self._amortized_jobs(sliced, pool_fingerprints)
+            results = self._execute(jobs)
+            return self._amortized_points(sliced, names, results)
+        jobs = self._exhaustive_jobs(sliced, names, pool_fingerprints)
+        results = self._execute(jobs)
+        return self._exhaustive_points(sliced, results)
 
     def fit_points(
         self,
@@ -156,78 +219,233 @@ class LearningCurveEstimator:
         anchored at the mean measured loss so downstream optimization always
         has a curve to work with.
         """
+        by_slice: dict[str, list[CurvePoint]] = {name: [] for name in slice_names}
+        for point in points:
+            bucket = by_slice.get(point.slice_name)
+            if bucket is not None:
+                bucket.append(point)
         curves: dict[str, FittedCurve] = {}
         for name in slice_names:
-            slice_points = [p for p in points if p.slice_name == name]
+            slice_points = by_slice[name]
             if not slice_points:
                 raise FittingError(f"no measured points for slice {name!r}")
             curves[name] = self._fit_slice(name, slice_points)
         return curves
 
-    # -- point collection -----------------------------------------------------
-    def _collect_amortized(self, sliced: SlicedDataset) -> list[CurvePoint]:
-        """Efficient protocol: one model per subset fraction (Section 4.2)."""
-        points: list[CurvePoint] = []
-        validation = sliced.validation_by_slice()
-        sizes = {name: sliced[name].size for name in sliced.names}
+    # -- incremental re-estimation ---------------------------------------------
+    def _estimate_incremental(self, sliced: SlicedDataset) -> dict[str, FittedCurve]:
+        """Only re-measure and refit slices whose pools changed.
+
+        The exhaustive protocol re-trains only for the stale slices (true
+        training savings).  The amortized protocol's trainings each cover
+        every slice at once, so any pool change re-runs the full wave anyway
+        — there the cache's value is skipping estimation entirely when
+        *nothing* changed, and when something did change every curve is
+        refreshed (the per-slice loss evaluations are cheap next to the
+        trainings, and fresh fits beat stale ones at no extra training
+        cost).
+        """
+        cache = self.curve_cache
+        assert cache is not None
+        # One fingerprint pass per estimate, shared by staleness detection,
+        # job construction, and the cache refresh.
+        fingerprints = slice_pool_fingerprints(sliced)
+        stale = cache.stale_slices(sliced, fingerprints=fingerprints)
+        if stale and self.config.strategy == "amortized":
+            stale = list(sliced.names)
+        fresh_set = set(stale)
+        cached = cache.cached_curves(
+            [name for name in sliced.names if name not in fresh_set]
+        )
+        if stale:
+            points = self.collect_points(
+                sliced, only=stale, pool_fingerprints=fingerprints
+            )
+            fitted = self.fit_points(points, stale)
+            cache.update(sliced, fitted, fingerprints=fingerprints)
+        else:
+            fitted = {}
+        return {
+            name: fitted[name] if name in fresh_set else cached[name]
+            for name in sliced.names
+        }
+
+    # -- job construction -------------------------------------------------------
+    def _select_names(
+        self, sliced: SlicedDataset, only: Iterable[str] | None
+    ) -> list[str]:
+        if only is None:
+            return list(sliced.names)
+        requested = set(only)
+        unknown = requested - set(sliced.names)
+        if unknown:
+            raise ConfigurationError(f"unknown slices requested: {sorted(unknown)}")
+        return [name for name in sliced.names if name in requested]
+
+    def _data_fingerprint(
+        self,
+        sliced: SlicedDataset,
+        pool_fingerprints: Mapping[str, str] | None = None,
+    ) -> str:
+        """Content hash of every slice's current training pool."""
+        if pool_fingerprints is None:
+            pool_fingerprints = slice_pool_fingerprints(sliced)
+        return "|".join(
+            f"{name}:{pool_fingerprints[name]}" for name in sliced.names
+        )
+
+    def _job(
+        self, train, sliced: SlicedDataset, seed: int, tag, factory_name: str
+    ) -> TrainingJob:
+        return TrainingJob(
+            train=train,
+            n_classes=sliced.n_classes,
+            seed=seed,
+            trainer_config=self.trainer_config,
+            model_factory=self.model_factory,
+            factory_name=factory_name,
+            tag=tag,
+        )
+
+    def _amortized_jobs(
+        self,
+        sliced: SlicedDataset,
+        pool_fingerprints: Mapping[str, str] | None = None,
+    ) -> list[TrainingJob]:
+        """Efficient protocol: one job per (repeat, subset fraction)."""
+        fractions = self.config.fractions()
+        rng = np.random.default_rng(
+            stable_seed(
+                self._root_seed,
+                "amortized",
+                self._data_fingerprint(sliced, pool_fingerprints),
+            )
+        )
+        # Per-job seeds are spawned up-front, one per lattice cell, so the
+        # seed of job (repeat, fraction) never depends on which other cells
+        # produced non-empty subsets.
+        seeds = spawn_seeds(rng, self.config.n_repeats * len(fractions))
+        factory_name = describe_factory(self.model_factory)
+        jobs: list[TrainingJob] = []
+        cell = 0
         for repeat in range(self.config.n_repeats):
-            for fraction in self.config.fractions():
-                train = sliced.subset_train(fraction=fraction, random_state=self._rng)
+            for fraction in fractions:
+                seed = seeds[cell]
+                cell += 1
+                train = sliced.subset_train(fraction=float(fraction), random_state=rng)
                 if len(train) == 0:
                     continue
-                model = self._train(train, sliced.n_classes)
-                for name in sliced.names:
-                    subset_size = int(round(sizes[name] * fraction))
-                    if subset_size <= 0:
-                        continue
-                    loss = log_loss(model, validation[name])
-                    if np.isfinite(loss):
-                        points.append(
-                            CurvePoint(
-                                slice_name=name,
-                                size=subset_size,
-                                loss=float(loss),
-                                repeat=repeat,
-                            )
-                        )
-        return points
+                jobs.append(
+                    self._job(
+                        train,
+                        sliced,
+                        seed,
+                        tag=(repeat, float(fraction)),
+                        factory_name=factory_name,
+                    )
+                )
+        return jobs
 
-    def _collect_exhaustive(self, sliced: SlicedDataset) -> list[CurvePoint]:
-        """Exhaustive protocol: one model per (slice, subset fraction)."""
-        points: list[CurvePoint] = []
-        validation = sliced.validation_by_slice()
+    def _exhaustive_jobs(
+        self,
+        sliced: SlicedDataset,
+        names: Sequence[str],
+        pool_fingerprints: Mapping[str, str] | None = None,
+    ) -> list[TrainingJob]:
+        """Exhaustive protocol: one job per (repeat, slice, subset fraction).
+
+        Each (repeat, slice) cell derives its own RNG from the full data
+        fingerprint, so restricting ``names`` (incremental refits) builds
+        byte-identical jobs for the slices it does cover — and therefore
+        hits the result cache exactly when nothing those jobs depend on
+        changed.
+        """
+        fractions = self.config.fractions()
+        data_fingerprint = self._data_fingerprint(sliced, pool_fingerprints)
+        full_sizes = {name: sliced[name].size for name in sliced.names}
+        factory_name = describe_factory(self.model_factory)
+        jobs: list[TrainingJob] = []
         for repeat in range(self.config.n_repeats):
-            for name in sliced.names:
-                slice_size = sliced[name].size
-                for fraction in self.config.fractions():
-                    subset_size = int(round(slice_size * fraction))
+            for name in names:
+                cell_rng = np.random.default_rng(
+                    stable_seed(
+                        self._root_seed, "exhaustive", data_fingerprint, repeat, name
+                    )
+                )
+                seeds = spawn_seeds(cell_rng, len(fractions))
+                for index, fraction in enumerate(fractions):
+                    subset_size = int(round(full_sizes[name] * float(fraction)))
                     if subset_size <= 0:
                         continue
-                    sizes = {other: sliced[other].size for other in sliced.names}
+                    sizes = dict(full_sizes)
                     sizes[name] = subset_size
-                    train = sliced.subset_train(sizes=sizes, random_state=self._rng)
+                    train = sliced.subset_train(sizes=sizes, random_state=cell_rng)
                     if len(train) == 0:
                         continue
-                    model = self._train(train, sliced.n_classes)
-                    loss = log_loss(model, validation[name])
-                    if np.isfinite(loss):
-                        points.append(
-                            CurvePoint(
-                                slice_name=name,
-                                size=subset_size,
-                                loss=float(loss),
-                                repeat=repeat,
-                            )
+                    jobs.append(
+                        self._job(
+                            train,
+                            sliced,
+                            seeds[index],
+                            tag=(repeat, name, subset_size),
+                            factory_name=factory_name,
                         )
+                    )
+        return jobs
+
+    def _execute(self, jobs: list[TrainingJob]) -> list[JobResult]:
+        results = self.executor.submit(jobs)
+        self.trainings_performed += sum(
+            1 for result in results if not result.from_cache
+        )
+        return results
+
+    # -- point evaluation --------------------------------------------------------
+    def _amortized_points(
+        self,
+        sliced: SlicedDataset,
+        names: Sequence[str],
+        results: Sequence[JobResult],
+    ) -> list[CurvePoint]:
+        validation = sliced.validation_by_slice()
+        sizes = {name: sliced[name].size for name in sliced.names}
+        points: list[CurvePoint] = []
+        for result in results:
+            repeat, fraction = result.tag
+            for name in names:
+                subset_size = int(round(sizes[name] * fraction))
+                if subset_size <= 0:
+                    continue
+                loss = log_loss(result.model, validation[name])
+                if np.isfinite(loss):
+                    points.append(
+                        CurvePoint(
+                            slice_name=name,
+                            size=subset_size,
+                            loss=float(loss),
+                            repeat=repeat,
+                        )
+                    )
         return points
 
-    def _train(self, train: Dataset, n_classes: int) -> object:
-        """Train a fresh model on ``train`` and count the training."""
-        model = self.model_factory(n_classes)
-        trainer = Trainer(config=self.trainer_config, random_state=self._rng)
-        trainer.fit(model, train)
-        self.trainings_performed += 1
-        return model
+    def _exhaustive_points(
+        self, sliced: SlicedDataset, results: Sequence[JobResult]
+    ) -> list[CurvePoint]:
+        validation = sliced.validation_by_slice()
+        points: list[CurvePoint] = []
+        for result in results:
+            repeat, name, subset_size = result.tag
+            loss = log_loss(result.model, validation[name])
+            if np.isfinite(loss):
+                points.append(
+                    CurvePoint(
+                        slice_name=name,
+                        size=subset_size,
+                        loss=float(loss),
+                        repeat=repeat,
+                    )
+                )
+        return points
 
     # -- fitting ----------------------------------------------------------------
     def _fit_slice(self, name: str, slice_points: Sequence[CurvePoint]) -> FittedCurve:

@@ -1,0 +1,68 @@
+"""The parallel training execution engine.
+
+Every model training in the reproduction — the hundreds behind
+learning-curve estimation, the evaluation trials, the experiment grids — is
+describable as a :class:`~repro.engine.job.TrainingJob`: a dataset, a model
+factory, a trainer configuration, and a pre-spawned seed.  This package turns
+that observation into infrastructure:
+
+* :mod:`repro.engine.job` — the declarative job spec with content-addressed
+  fingerprints, and the single worker function that executes one job.
+* :mod:`repro.engine.cache` — a :class:`~repro.engine.cache.ResultCache`
+  keyed on job fingerprints so a training with the same data, configuration,
+  and seed is never re-run, plus the :class:`~repro.engine.cache.CurveCache`
+  powering incremental curve re-estimation.
+* :mod:`repro.engine.executor` — the :class:`~repro.engine.executor.Executor`
+  protocol with :class:`~repro.engine.executor.SerialExecutor` and
+  :class:`~repro.engine.executor.ProcessPoolExecutor` backends.  Seeds are
+  spawned up-front from the parent RNG, so the two backends produce
+  byte-identical results and parallelism is purely a deployment choice.
+* :mod:`repro.engine.factories` — a registry of named, picklable model
+  factories so jobs can cross process boundaries and be fingerprinted by a
+  stable name.
+"""
+
+from repro.engine.cache import CacheStats, CurveCache, InMemoryResultCache, ResultCache
+from repro.engine.executor import (
+    Executor,
+    ProcessPoolExecutor,
+    SerialExecutor,
+    available_executors,
+    get_executor,
+)
+from repro.engine.factories import (
+    MLPFactory,
+    available_model_factories,
+    describe_factory,
+    get_model_factory,
+    register_model_factory,
+)
+from repro.engine.job import (
+    JobResult,
+    TrainingJob,
+    fingerprint_dataset,
+    run_training_job,
+    stable_seed,
+)
+
+__all__ = [
+    "CacheStats",
+    "CurveCache",
+    "Executor",
+    "InMemoryResultCache",
+    "JobResult",
+    "MLPFactory",
+    "ProcessPoolExecutor",
+    "ResultCache",
+    "SerialExecutor",
+    "TrainingJob",
+    "available_executors",
+    "available_model_factories",
+    "describe_factory",
+    "fingerprint_dataset",
+    "get_executor",
+    "get_model_factory",
+    "register_model_factory",
+    "run_training_job",
+    "stable_seed",
+]

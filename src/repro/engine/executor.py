@@ -1,0 +1,222 @@
+"""Executor backends: where (and whether) training jobs run in parallel.
+
+An :class:`Executor` takes a batch of :class:`~repro.engine.job.TrainingJob`
+specs and returns their :class:`~repro.engine.job.JobResult`\\ s **in
+submission order**.  Because every job carries its own pre-spawned seed, the
+backend is purely a deployment choice: :class:`SerialExecutor` (in-process)
+and :class:`ProcessPoolExecutor` (one worker process per core) produce
+byte-identical results for the same jobs.
+
+Both backends optionally wrap a :class:`~repro.engine.cache.ResultCache`;
+cached jobs are served without running, and only the misses are dispatched.
+Executors also expose :meth:`Executor.map` — a generic ordered map used by
+the experiment runner to fan a scenario/method/trial grid out across
+workers.
+"""
+
+from __future__ import annotations
+
+import concurrent.futures
+import os
+import pickle
+import warnings
+from typing import Any, Callable, Iterable, Sequence, TypeVar
+
+from repro.engine.cache import ResultCache
+from repro.engine.job import JobResult, TrainingJob, run_training_job
+from repro.utils.exceptions import ConfigurationError
+
+T = TypeVar("T")
+R = TypeVar("R")
+
+
+class Executor:
+    """Base class: cache bookkeeping plus an ordered-execution contract.
+
+    Parameters
+    ----------
+    cache:
+        Optional :class:`~repro.engine.cache.ResultCache`.  Hits skip
+        execution entirely (``JobResult.from_cache`` is True for them);
+        misses are executed by the backend and stored.
+    """
+
+    name: str = "base"
+
+    def __init__(self, cache: ResultCache | None = None) -> None:
+        self.cache = cache
+
+    # -- the contract ------------------------------------------------------------
+    def submit(self, jobs: Sequence[TrainingJob]) -> list[JobResult]:
+        """Run ``jobs`` (serving cache hits), results in submission order."""
+        jobs = list(jobs)
+        results: list[JobResult | None] = [None] * len(jobs)
+        pending: list[tuple[int, TrainingJob]] = []
+        if self.cache is None:
+            pending = list(enumerate(jobs))
+        else:
+            for index, job in enumerate(jobs):
+                hit = self.cache.get(job.fingerprint)
+                if hit is not None:
+                    hit.tag = job.tag
+                    results[index] = hit
+                else:
+                    pending.append((index, job))
+        if pending:
+            executed = self._run_jobs([job for _, job in pending])
+            for (index, job), result in zip(pending, executed, strict=True):
+                results[index] = result
+                if self.cache is not None:
+                    # Job fingerprints hash the full training set, so they
+                    # are only materialized on cached runs.
+                    result.fingerprint = job.fingerprint
+                    self.cache.put(job.fingerprint, result)
+        if any(result is None for result in results):
+            raise RuntimeError("executor backend dropped a job result")
+        return results
+
+    def map(self, fn: Callable[[T], R], items: Iterable[T]) -> list[R]:
+        """Apply ``fn`` to every item, preserving order (generic fan-out)."""
+        raise NotImplementedError
+
+    def _run_jobs(self, jobs: Sequence[TrainingJob]) -> list[JobResult]:
+        """Execute cache-missed jobs; must preserve order."""
+        raise NotImplementedError
+
+    # -- lifecycle ---------------------------------------------------------------
+    def close(self) -> None:
+        """Release backend resources (a no-op for in-process backends)."""
+
+    def __enter__(self) -> "Executor":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+
+class SerialExecutor(Executor):
+    """Run every job in the calling process, one after another."""
+
+    name = "serial"
+
+    def _run_jobs(self, jobs: Sequence[TrainingJob]) -> list[JobResult]:
+        return [run_training_job(job) for job in jobs]
+
+    def map(self, fn: Callable[[T], R], items: Iterable[T]) -> list[R]:
+        return [fn(item) for item in items]
+
+
+class ProcessPoolExecutor(Executor):
+    """Fan jobs out across worker processes.
+
+    Parameters
+    ----------
+    max_workers:
+        Worker process count; defaults to the CPU count.
+    cache:
+        Optional result cache (lives in the parent process; workers only see
+        cache misses).
+    chunksize:
+        Jobs shipped per worker task; 1 keeps scheduling responsive for the
+        heterogeneous job sizes the estimator produces.
+
+    Jobs and their results must be picklable.  A closure model factory (the
+    one realistic offender) degrades gracefully: the whole batch is executed
+    serially in the parent with a warning, so correctness never depends on
+    the backend.  Only the factories are probed — datasets, configs, and
+    seeds always pickle, and probing whole jobs would serialize every
+    training set twice.
+    """
+
+    name = "process"
+
+    def __init__(
+        self,
+        max_workers: int | None = None,
+        cache: ResultCache | None = None,
+        chunksize: int = 1,
+    ) -> None:
+        super().__init__(cache=cache)
+        if max_workers is not None and max_workers <= 0:
+            raise ConfigurationError(
+                f"max_workers must be positive or None, got {max_workers}"
+            )
+        if chunksize <= 0:
+            raise ConfigurationError(f"chunksize must be positive, got {chunksize}")
+        self.max_workers = max_workers or os.cpu_count() or 1
+        self.chunksize = chunksize
+        self._pool: concurrent.futures.ProcessPoolExecutor | None = None
+
+    def _ensure_pool(self) -> concurrent.futures.ProcessPoolExecutor:
+        if self._pool is None:
+            self._pool = concurrent.futures.ProcessPoolExecutor(
+                max_workers=self.max_workers
+            )
+        return self._pool
+
+    @staticmethod
+    def _picklable(payload: object) -> bool:
+        try:
+            pickle.dumps(payload)
+        except Exception:
+            return False
+        return True
+
+    def _run_jobs(self, jobs: Sequence[TrainingJob]) -> list[JobResult]:
+        if not jobs:
+            return []
+        factories = {id(job.model_factory): job.model_factory for job in jobs}
+        if not all(self._picklable(factory) for factory in factories.values()):
+            warnings.warn(
+                "a job's model factory is not picklable (closure?); "
+                "falling back to serial execution for this batch",
+                RuntimeWarning,
+                stacklevel=3,
+            )
+            return [run_training_job(job) for job in jobs]
+        pool = self._ensure_pool()
+        return list(pool.map(run_training_job, jobs, chunksize=self.chunksize))
+
+    def map(self, fn: Callable[[T], R], items: Iterable[T]) -> list[R]:
+        items = list(items)
+        if not items:
+            return []
+        if not self._picklable(fn) or not all(
+            self._picklable(item) for item in items
+        ):
+            warnings.warn(
+                "task is not picklable; falling back to serial execution",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+            return [fn(item) for item in items]
+        pool = self._ensure_pool()
+        return list(pool.map(fn, items, chunksize=self.chunksize))
+
+    def close(self) -> None:
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+
+
+_EXECUTORS: dict[str, Callable[..., Executor]] = {
+    "serial": SerialExecutor,
+    "process": ProcessPoolExecutor,
+    "process_pool": ProcessPoolExecutor,
+}
+
+
+def available_executors() -> tuple[str, ...]:
+    """Primary names of the built-in executor backends."""
+    return ("serial", "process")
+
+
+def get_executor(name: str, **kwargs: Any) -> Executor:
+    """Build an executor backend by name (``"serial"`` or ``"process"``)."""
+    factory = _EXECUTORS.get(name.strip().lower())
+    if factory is None:
+        raise ConfigurationError(
+            f"unknown executor {name!r}; available: "
+            f"{', '.join(available_executors())}"
+        )
+    return factory(**kwargs)

@@ -1,0 +1,129 @@
+"""Named, picklable model factories.
+
+Process-pool workers need to rebuild models from a pickled job, and the
+result cache needs a *stable* identity for "which model family was this?".
+Registering a factory under a name solves both: jobs can carry just the name
+(always picklable), and fingerprints key on it.
+
+Arbitrary callables still work everywhere the serial executor runs;
+:func:`describe_factory` derives a best-effort stable name for them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import partial
+from typing import Callable, Iterable
+
+from repro.utils.exceptions import ConfigurationError
+
+#: A model factory maps the number of classes to a fresh, untrained model.
+ModelFactory = Callable[[int], object]
+
+_FACTORIES: dict[str, ModelFactory] = {}
+
+
+def _normalize(name: str) -> str:
+    return name.strip().lower()
+
+
+def register_model_factory(
+    name: str, *, aliases: Iterable[str] = (), overwrite: bool = False
+) -> Callable[[ModelFactory], ModelFactory]:
+    """Decorator registering a model factory under ``name`` (and aliases)."""
+    keys = [_normalize(name), *(_normalize(alias) for alias in aliases)]
+
+    def decorator(factory: ModelFactory) -> ModelFactory:
+        for key in keys:
+            if not overwrite and key in _FACTORIES:
+                raise ConfigurationError(
+                    f"model factory {key!r} is already registered; pass "
+                    f"overwrite=True to replace it"
+                )
+            _FACTORIES[key] = factory
+        return factory
+
+    return decorator
+
+
+def get_model_factory(name: str) -> ModelFactory:
+    """Look a registered factory up by name."""
+    factory = _FACTORIES.get(_normalize(name))
+    if factory is None:
+        raise ConfigurationError(
+            f"unknown model factory {name!r}; registered: "
+            f"{', '.join(available_model_factories())}"
+        )
+    return factory
+
+
+def available_model_factories() -> tuple[str, ...]:
+    """Sorted names of every registered model factory."""
+    return tuple(sorted(_FACTORIES))
+
+
+def describe_factory(factory: ModelFactory | None) -> str:
+    """A stable, fingerprint-friendly name for a factory callable.
+
+    Registered factories resolve to their registry name; plain functions to
+    ``module.qualname``; dataclass instances and partials to their ``repr``
+    (which encodes their configuration).  Closures fall back to their
+    qualname — good enough to tell families apart, though two differently
+    configured closures of one function would collide; register such
+    factories to give them distinct names.
+    """
+    if factory is None:
+        return "<none>"
+    for name, registered in _FACTORIES.items():
+        if registered is factory:
+            return name
+    if isinstance(factory, partial):
+        return repr(factory)
+    if hasattr(factory, "__qualname__"):
+        module = getattr(factory, "__module__", "")
+        return f"{module}.{factory.__qualname__}"
+    # Instances of factory classes: repr encodes the configuration for
+    # dataclasses; fall back to the type for everything else.
+    representation = repr(factory)
+    if representation.startswith("<"):
+        return f"{type(factory).__module__}.{type(factory).__qualname__}"
+    return representation
+
+
+@register_model_factory("softmax", aliases=("linear", "default"))
+def softmax_factory(n_classes: int) -> object:
+    """Softmax regression — the default model family."""
+    from repro.ml.linear import SoftmaxRegression
+
+    return SoftmaxRegression(n_classes=n_classes, random_state=0)
+
+
+@dataclass(frozen=True)
+class MLPFactory:
+    """Picklable factory building :class:`~repro.ml.mlp.MLPClassifier` models.
+
+    Use this instead of a lambda when jobs must cross a process boundary::
+
+        factory = MLPFactory(hidden_sizes=(32, 16))
+        tuner = SliceTuner(sliced, source, model_factory=factory, ...)
+    """
+
+    hidden_sizes: tuple[int, ...] = (32,)
+    l2: float = 1e-4
+    random_state: int = 0
+
+    def __call__(self, n_classes: int) -> object:
+        from repro.ml.mlp import MLPClassifier
+
+        return MLPClassifier(
+            n_classes=n_classes,
+            hidden_sizes=self.hidden_sizes,
+            l2=self.l2,
+            random_state=self.random_state,
+        )
+
+
+@register_model_factory("mlp")
+def mlp_factory(n_classes: int) -> object:
+    """Default MLP: one hidden layer of 32 units."""
+    return MLPFactory()(n_classes)

@@ -5,6 +5,12 @@ instance of a dataset/scenario; ``compare_methods`` repeats that over several
 independently seeded trials for every configured method and aggregates the
 results into the mean/std statistics the paper reports (Tables 2, 6, 7, 9,
 10 and Figure 10).
+
+The (method, trial) grid is embarrassingly parallel — every cell builds its
+own dataset, source, and tuner from ``config.seed + trial`` — so
+``compare_methods`` and ``budget_sweep`` accept an
+:class:`~repro.engine.executor.Executor` and fan the grid out across
+workers.  Results are identical for every backend.
 """
 
 from __future__ import annotations
@@ -18,9 +24,10 @@ from repro.core.registry import available_strategies, is_registered
 from repro.core.tuner import SliceTuner, SliceTunerConfig
 from repro.curves.estimator import ModelFactory, default_model_factory
 from repro.datasets.registry import build_task
+from repro.engine.executor import Executor, SerialExecutor
+from repro.engine.factories import MLPFactory
 from repro.experiments.config import ExperimentConfig
 from repro.experiments.scenarios import build_scenario
-from repro.ml.mlp import MLPClassifier
 from repro.slices.sliced_dataset import SlicedDataset
 from repro.utils.exceptions import ConfigurationError
 
@@ -87,9 +94,9 @@ def _model_factory_for(config: ExperimentConfig) -> ModelFactory:
         return default_model_factory
     if model_kind == "mlp":
         hidden = tuple(config.extra.get("hidden_sizes", (32,)))
-        return lambda n_classes: MLPClassifier(
-            n_classes=n_classes, hidden_sizes=hidden, random_state=0
-        )
+        # A picklable factory (not a lambda), so experiment grids using the
+        # MLP can still fan out across process-pool workers.
+        return MLPFactory(hidden_sizes=hidden, random_state=0)
     raise ConfigurationError(f"unknown model kind {model_kind!r}")
 
 
@@ -160,14 +167,24 @@ def run_method(
     )
 
 
+def _run_method_cell(task: tuple[ExperimentConfig, str, int]) -> MethodOutcome:
+    """One (method, trial) grid cell; module-level so it can cross processes."""
+    config, method, trial = task
+    return run_method(config, method, trial)
+
+
 def compare_methods(
-    config: ExperimentConfig, include_original: bool = True
+    config: ExperimentConfig,
+    include_original: bool = True,
+    executor: Executor | None = None,
 ) -> dict[str, MethodAggregate]:
     """Run every configured method over all trials and aggregate.
 
     Returns a mapping from method name to its aggregate; the pseudo-method
     ``"original"`` (no acquisition) is included when requested, as in the
-    paper's tables.
+    paper's tables.  The full (method, trial) grid is fanned out through
+    ``executor`` (serial by default); every cell is independently seeded, so
+    the aggregates do not depend on the backend.
     """
     methods = list(config.methods)
     if include_original and "original" not in methods:
@@ -178,10 +195,16 @@ def compare_methods(
             f"unknown methods {unknown}; registered strategies: "
             f"{', '.join(available_strategies())}"
         )
+    executor = executor or SerialExecutor()
+    grid = [
+        (config, method, trial)
+        for method in methods
+        for trial in range(config.trials)
+    ]
+    cells = executor.map(_run_method_cell, grid)
     outcomes: dict[str, list[MethodOutcome]] = {m: [] for m in methods}
-    for method in methods:
-        for trial in range(config.trials):
-            outcomes[method].append(run_method(config, method, trial))
+    for (_, method, _), outcome in zip(grid, cells):
+        outcomes[method].append(outcome)
     return {
         method: MethodAggregate.from_outcomes(results)
         for method, results in outcomes.items()
@@ -189,11 +212,14 @@ def compare_methods(
 
 
 def budget_sweep(
-    config: ExperimentConfig, budgets: list[float]
+    config: ExperimentConfig,
+    budgets: list[float],
+    executor: Executor | None = None,
 ) -> dict[str, list[tuple[float, float, float]]]:
     """Loss and Avg. EER of every method at several budgets (Figure 10).
 
-    Returns ``{method: [(budget, loss_mean, avg_eer_mean), ...]}``.
+    Returns ``{method: [(budget, loss_mean, avg_eer_mean), ...]}``.  Each
+    budget's method/trial grid fans out through ``executor``.
     """
     series: dict[str, list[tuple[float, float, float]]] = {
         method: [] for method in config.methods
@@ -214,7 +240,9 @@ def budget_sweep(
             seed=config.seed,
             extra=dict(config.extra),
         )
-        aggregates = compare_methods(sweep_config, include_original=False)
+        aggregates = compare_methods(
+            sweep_config, include_original=False, executor=executor
+        )
         for method in config.methods:
             aggregate = aggregates[method]
             series[method].append(

@@ -60,6 +60,10 @@ class TrainingConfig:
         When early stopping is enabled and no explicit validation set is
         given to :meth:`Trainer.fit`, this fraction of the training data is
         held out internally.
+    restore_best:
+        When early stopping is in force, restore the parameters of the epoch
+        with the best validation loss instead of keeping the post-patience
+        weights.  Off by default, matching the historical behaviour.
     """
 
     epochs: int = 60
@@ -68,6 +72,7 @@ class TrainingConfig:
     learning_rate: float = 0.02
     early_stopping_patience: int = 0
     validation_fraction: float = 0.0
+    restore_best: bool = False
 
     def __post_init__(self) -> None:
         check_positive_int(self.epochs, "epochs")
@@ -99,12 +104,20 @@ class TrainingResult:
         Per-epoch loss on the validation data (empty when none was used).
     stopped_early:
         Whether the patience criterion ended training.
+    best_epoch:
+        1-based epoch with the best validation loss (``None`` when no
+        validation ran).
+    restored_best:
+        Whether the best epoch's parameters were restored into the model
+        (``restore_best`` configs only).
     """
 
     epochs_run: int = 0
     train_losses: list[float] = field(default_factory=list)
     validation_losses: list[float] = field(default_factory=list)
     stopped_early: bool = False
+    best_epoch: int | None = None
+    restored_best: bool = False
 
     @property
     def final_train_loss(self) -> float:
@@ -164,7 +177,11 @@ class Trainer:
         result = TrainingResult()
 
         best_validation = float("inf")
+        best_parameters: list[np.ndarray] | None = None
         epochs_without_improvement = 0
+        track_best = (
+            config.restore_best and config.early_stopping_patience > 0
+        )
 
         for epoch in range(config.epochs):
             self._run_epoch(model, optimizer, train)
@@ -174,15 +191,22 @@ class Trainer:
             if validation is not None and len(validation) > 0:
                 val_loss = model.loss(validation)
                 result.validation_losses.append(val_loss)
-                if config.early_stopping_patience > 0:
-                    if val_loss < best_validation - 1e-6:
-                        best_validation = val_loss
-                        epochs_without_improvement = 0
-                    else:
-                        epochs_without_improvement += 1
-                        if epochs_without_improvement >= config.early_stopping_patience:
-                            result.stopped_early = True
-                            break
+                if val_loss < best_validation - 1e-6:
+                    best_validation = val_loss
+                    result.best_epoch = epoch + 1
+                    epochs_without_improvement = 0
+                    if track_best:
+                        best_parameters = [p.copy() for p in model.parameters()]
+                elif config.early_stopping_patience > 0:
+                    epochs_without_improvement += 1
+                    if epochs_without_improvement >= config.early_stopping_patience:
+                        result.stopped_early = True
+                        break
+
+        if track_best and best_parameters is not None:
+            for parameter, best in zip(model.parameters(), best_parameters):
+                parameter[...] = best
+            result.restored_best = True
         return result
 
     def _run_epoch(

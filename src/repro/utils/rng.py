@@ -37,17 +37,28 @@ def as_generator(random_state: RandomState = None) -> np.random.Generator:
     )
 
 
+def spawn_seeds(random_state: RandomState, count: int) -> list[int]:
+    """Draw ``count`` independent child seeds from ``random_state``.
+
+    This is the "pre-spawn seeds up-front" primitive behind deterministic
+    parallelism: the parent RNG is consumed once, in one place, and the
+    resulting integer seeds can be shipped to any executor backend (or
+    process) without sharing generator state.
+    """
+    if count < 0:
+        raise ValueError(f"count must be non-negative, got {count}")
+    parent = as_generator(random_state)
+    seeds = parent.integers(0, 2**63 - 1, size=count, dtype=np.int64)
+    return [int(seed) for seed in seeds]
+
+
 def spawn_generators(random_state: RandomState, count: int) -> list[np.random.Generator]:
     """Derive ``count`` independent child generators from ``random_state``.
 
     The children are statistically independent streams, so parallel or
     repeated model trainings never reuse the same random numbers.
     """
-    if count < 0:
-        raise ValueError(f"count must be non-negative, got {count}")
-    parent = as_generator(random_state)
-    seeds = parent.integers(0, 2**63 - 1, size=count, dtype=np.int64)
-    return [np.random.default_rng(int(seed)) for seed in seeds]
+    return [np.random.default_rng(seed) for seed in spawn_seeds(random_state, count)]
 
 
 def shuffled_indices(

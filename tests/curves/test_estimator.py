@@ -132,3 +132,54 @@ class TestCurveQuality:
         curves = estimator.estimate(tiny_sliced)
         for curve in curves.values():
             assert curve.predict(20) > curve.predict(2000)
+
+
+class TestFitPointsGrouping:
+    """fit_points groups points by slice in a single pass."""
+
+    def test_points_with_unknown_slice_names_are_ignored(self):
+        estimator = LearningCurveEstimator()
+        points = [
+            CurvePoint("a", 10, 1.0, 0),
+            CurvePoint("a", 100, 0.5, 0),
+            CurvePoint("ghost", 50, 0.9, 0),
+        ]
+        curves = estimator.fit_points(points, ["a"])
+        assert set(curves) == {"a"}
+
+    def test_many_slices_fit_from_interleaved_points(self):
+        estimator = LearningCurveEstimator()
+        names = [f"s{i}" for i in range(20)]
+        points = []
+        for size in (10, 50, 200):
+            for name in names:
+                points.append(CurvePoint(name, size, 2.0 * size**-0.3, 0))
+        curves = estimator.fit_points(points, names)
+        assert set(curves) == set(names)
+
+
+class TestEstimateOnly:
+    """The ``only`` parameter restricts measurement to named slices."""
+
+    def test_only_restricts_returned_curves(self, tiny_sliced, fast_training, fast_curves):
+        estimator = LearningCurveEstimator(
+            trainer_config=fast_training, config=fast_curves, random_state=0
+        )
+        target = tiny_sliced.names[0]
+        curves = estimator.estimate(tiny_sliced, only=[target])
+        assert set(curves) == {target}
+
+    def test_only_with_unknown_slice_rejected(self, tiny_sliced, fast_training, fast_curves):
+        estimator = LearningCurveEstimator(
+            trainer_config=fast_training, config=fast_curves, random_state=0
+        )
+        with pytest.raises(ConfigurationError):
+            estimator.estimate(tiny_sliced, only=["nope"])
+
+    def test_exhaustive_only_trains_fewer_models(self, tiny_sliced, fast_training):
+        config = CurveEstimationConfig(n_points=3, n_repeats=1, strategy="exhaustive")
+        estimator = LearningCurveEstimator(
+            trainer_config=fast_training, config=config, random_state=0
+        )
+        estimator.estimate(tiny_sliced, only=[tiny_sliced.names[0]])
+        assert estimator.trainings_performed == 3

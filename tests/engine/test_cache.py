@@ -1,0 +1,102 @@
+"""Tests for repro.engine.cache: the result cache and the curve cache."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.engine.cache import CurveCache, InMemoryResultCache
+from repro.engine.factories import get_model_factory
+from repro.engine.job import TrainingJob, run_training_job
+from repro.ml.data import Dataset
+from repro.ml.train import TrainingConfig
+from repro.utils.exceptions import ConfigurationError
+
+
+@pytest.fixture
+def job(rng) -> TrainingJob:
+    dataset = Dataset(rng.normal(size=(30, 4)), rng.integers(0, 2, size=30))
+    return TrainingJob(
+        train=dataset,
+        n_classes=2,
+        seed=3,
+        trainer_config=TrainingConfig(epochs=2),
+        model_factory=get_model_factory("softmax"),
+        factory_name="softmax",
+    )
+
+
+class TestInMemoryResultCache:
+    def test_miss_then_hit(self, job):
+        cache = InMemoryResultCache()
+        assert cache.get(job.fingerprint) is None
+        cache.put(job.fingerprint, run_training_job(job))
+        served = cache.get(job.fingerprint)
+        assert served is not None and served.from_cache
+        assert cache.stats.hits == 1 and cache.stats.misses == 1
+        assert cache.stats.hit_rate == pytest.approx(0.5)
+
+    def test_hit_returns_independent_copy(self, job):
+        cache = InMemoryResultCache()
+        cache.put(job.fingerprint, run_training_job(job))
+        first = cache.get(job.fingerprint)
+        first.model.weights[...] = 0.0
+        second = cache.get(job.fingerprint)
+        assert not np.allclose(second.model.weights, 0.0)
+
+    def test_lru_eviction(self, job):
+        cache = InMemoryResultCache(max_entries=2)
+        result = run_training_job(job)
+        cache.put("a", result)
+        cache.put("b", result)
+        cache.get("a")  # refresh "a"; "b" becomes LRU
+        cache.put("c", result)
+        assert "a" in cache and "c" in cache and "b" not in cache
+        assert cache.stats.evictions == 1
+
+    def test_invalid_capacity_rejected(self):
+        with pytest.raises(ConfigurationError):
+            InMemoryResultCache(max_entries=0)
+
+    def test_clear_keeps_stats(self, job):
+        cache = InMemoryResultCache()
+        cache.put(job.fingerprint, run_training_job(job))
+        cache.get(job.fingerprint)
+        cache.clear()
+        assert len(cache) == 0 and cache.stats.hits == 1
+
+
+class TestCurveCache:
+    def test_all_slices_stale_initially(self, tiny_sliced):
+        cache = CurveCache()
+        assert cache.stale_slices(tiny_sliced) == tiny_sliced.names
+
+    def test_unchanged_slices_not_stale_after_update(
+        self, tiny_sliced, fast_training, fast_curves
+    ):
+        from repro.curves.estimator import LearningCurveEstimator
+
+        estimator = LearningCurveEstimator(
+            trainer_config=fast_training, config=fast_curves, random_state=0
+        )
+        curves = estimator.estimate(tiny_sliced)
+        cache = CurveCache()
+        cache.stale_slices(tiny_sliced)
+        cache.update(tiny_sliced, curves)
+        assert cache.stale_slices(tiny_sliced) == []
+        cached = cache.cached_curves(tiny_sliced.names)
+        assert cached.keys() == curves.keys()
+
+    def test_changed_pool_marks_only_that_slice_stale(
+        self, tiny_sliced, tiny_source, fast_training, fast_curves
+    ):
+        from repro.curves.estimator import LearningCurveEstimator
+
+        estimator = LearningCurveEstimator(
+            trainer_config=fast_training, config=fast_curves, random_state=0
+        )
+        cache = CurveCache()
+        cache.update(tiny_sliced, estimator.estimate(tiny_sliced))
+        target = tiny_sliced.names[1]
+        tiny_sliced.add_examples(target, tiny_source.acquire(target, 5))
+        assert cache.stale_slices(tiny_sliced) == [target]

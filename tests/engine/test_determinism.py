@@ -1,0 +1,219 @@
+"""Engine acceptance tests: backend-independence and honest cache accounting.
+
+The contract of the execution engine (ISSUE 2):
+
+* ``SerialExecutor`` and ``ProcessPoolExecutor`` produce byte-identical
+  fitted curves and tuning results for the same seed,
+* a warm ``ResultCache`` cuts a repeated ``estimate()`` to **zero** new
+  trainings, and
+* cache-served jobs never increment ``trainings_performed`` (the Table 8
+  counter stays honest).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.tuner import SliceTuner, SliceTunerConfig
+from repro.curves.estimator import CurveEstimationConfig, LearningCurveEstimator
+from repro.engine.cache import InMemoryResultCache
+from repro.engine.executor import ProcessPoolExecutor, SerialExecutor
+
+
+def make_tuner(tiny_task, fast_training, executor=None, cache=None, seed=3):
+    sliced = tiny_task.initial_sliced_dataset(
+        initial_sizes=30, validation_size=40, random_state=0
+    )
+    from repro.acquisition.source import GeneratorDataSource
+
+    source = GeneratorDataSource(tiny_task, random_state=1)
+    return SliceTuner(
+        sliced,
+        source,
+        trainer_config=fast_training,
+        curve_config=CurveEstimationConfig(n_points=3, n_repeats=1),
+        config=SliceTunerConfig(lam=1.0, evaluation_trials=2),
+        random_state=seed,
+        executor=executor,
+        result_cache=cache,
+    )
+
+
+def curves_equal(left, right) -> bool:
+    return set(left) == set(right) and all(
+        left[name].b == right[name].b and left[name].a == right[name].a
+        for name in left
+    )
+
+
+class TestBackendEquivalence:
+    def test_curves_identical_serial_vs_process(
+        self, tiny_sliced, fast_training, fast_curves
+    ):
+        serial = LearningCurveEstimator(
+            trainer_config=fast_training, config=fast_curves, random_state=0,
+            executor=SerialExecutor(),
+        )
+        with ProcessPoolExecutor(max_workers=1) as pool:
+            parallel = LearningCurveEstimator(
+                trainer_config=fast_training, config=fast_curves, random_state=0,
+                executor=pool,
+            )
+            assert curves_equal(
+                serial.estimate(tiny_sliced), parallel.estimate(tiny_sliced)
+            )
+        assert serial.trainings_performed == parallel.trainings_performed
+
+    @pytest.mark.parametrize("method", ["moderate", "oneshot"])
+    def test_tuning_results_identical_serial_vs_process(
+        self, tiny_task, fast_training, method
+    ):
+        serial_tuner = make_tuner(tiny_task, fast_training, SerialExecutor())
+        serial = serial_tuner.run(budget=150.0, method=method)
+        with ProcessPoolExecutor(max_workers=1) as pool:
+            parallel_tuner = make_tuner(tiny_task, fast_training, pool)
+            parallel = parallel_tuner.run(budget=150.0, method=method)
+        # Byte-identical runs: same JSON round-trip, same reports.
+        assert serial.to_json() == parallel.to_json()
+        assert serial.final_report.loss == parallel.final_report.loss
+        assert serial.final_report.slice_losses == parallel.final_report.slice_losses
+
+    def test_evaluate_identical_serial_vs_process(self, tiny_task, fast_training):
+        serial = make_tuner(tiny_task, fast_training, SerialExecutor()).evaluate()
+        with ProcessPoolExecutor(max_workers=1) as pool:
+            parallel = make_tuner(tiny_task, fast_training, pool).evaluate()
+        assert serial.loss == parallel.loss
+        assert serial.slice_losses == parallel.slice_losses
+
+
+class TestCacheAccounting:
+    def test_warm_cache_estimate_trains_nothing(
+        self, tiny_sliced, fast_training, fast_curves
+    ):
+        cache = InMemoryResultCache()
+        estimator = LearningCurveEstimator(
+            trainer_config=fast_training,
+            config=fast_curves,
+            random_state=0,
+            executor=SerialExecutor(cache=cache),
+        )
+        first = estimator.estimate(tiny_sliced)
+        cold = estimator.trainings_performed
+        assert cold > 0
+        second = estimator.estimate(tiny_sliced)
+        assert estimator.trainings_performed == cold, (
+            "warm cache must add zero trainings"
+        )
+        assert cache.stats.hits == cold
+        assert curves_equal(first, second)
+
+    def test_cache_shared_across_estimators(self, tiny_sliced, fast_training, fast_curves):
+        cache = InMemoryResultCache()
+        first = LearningCurveEstimator(
+            trainer_config=fast_training, config=fast_curves, random_state=0,
+            executor=SerialExecutor(cache=cache),
+        )
+        second = LearningCurveEstimator(
+            trainer_config=fast_training, config=fast_curves, random_state=0,
+            executor=SerialExecutor(cache=cache),
+        )
+        first.estimate(tiny_sliced)
+        second.estimate(tiny_sliced)
+        # Same root seed + same data content => identical jobs => all hits.
+        assert second.trainings_performed == 0
+
+    def test_repeated_evaluate_served_from_cache(self, tiny_task, fast_training):
+        cache = InMemoryResultCache()
+        tuner = make_tuner(tiny_task, fast_training, cache=cache)
+        first = tuner.evaluate()
+        hits_before = cache.stats.hits
+        second = tuner.evaluate()
+        assert cache.stats.hits == hits_before + 2  # both trials served
+        assert first.loss == second.loss
+
+    def test_incremental_curves_only_refit_changed_slices(
+        self, tiny_task, fast_training
+    ):
+        tuner = make_tuner(tiny_task, fast_training)
+        estimator = LearningCurveEstimator(
+            trainer_config=fast_training,
+            config=CurveEstimationConfig(n_points=3, n_repeats=1, strategy="exhaustive"),
+            random_state=0,
+            incremental=True,
+        )
+        sliced = tuner.sliced
+        estimator.estimate(sliced)
+        cold = estimator.trainings_performed
+        assert cold == 3 * len(sliced)
+        # Nothing changed: fully served from the curve cache.
+        estimator.estimate(sliced)
+        assert estimator.trainings_performed == cold
+        # One slice grows: only its 3 fractions are re-measured.
+        target = sliced.names[0]
+        sliced.add_examples(target, tuner.source.acquire(target, 5))
+        estimator.estimate(sliced)
+        assert estimator.trainings_performed == cold + 3
+
+    def test_tuner_wires_incremental_flag_through(self, tiny_task, fast_training):
+        sliced = tiny_task.initial_sliced_dataset(
+            initial_sizes=30, validation_size=40, random_state=0
+        )
+        from repro.acquisition.source import GeneratorDataSource
+
+        tuner = SliceTuner(
+            sliced,
+            GeneratorDataSource(tiny_task, random_state=1),
+            trainer_config=fast_training,
+            config=SliceTunerConfig(incremental_curves=True),
+            random_state=0,
+        )
+        assert tuner.estimator.curve_cache is not None
+
+    def test_incremental_amortized_refreshes_all_curves_on_change(
+        self, tiny_task, fast_training
+    ):
+        # Amortized trainings cover every slice at once, so a pool change
+        # refreshes every curve (no stale fits) at unchanged training cost —
+        # and an unchanged dataset estimates with zero trainings.
+        tuner = make_tuner(tiny_task, fast_training)
+        estimator = LearningCurveEstimator(
+            trainer_config=fast_training,
+            config=CurveEstimationConfig(n_points=3, n_repeats=1, strategy="amortized"),
+            random_state=0,
+            incremental=True,
+        )
+        sliced = tuner.sliced
+        first = estimator.estimate(sliced)
+        cold = estimator.trainings_performed
+        assert cold == 3
+        estimator.estimate(sliced)  # unchanged: served from the curve cache
+        assert estimator.trainings_performed == cold
+        target = sliced.names[0]
+        sliced.add_examples(target, tuner.source.acquire(target, 5))
+        refreshed = estimator.estimate(sliced)
+        assert estimator.trainings_performed == cold + 3
+        # Every slice's curve was refit against the new models, including
+        # the untouched ones.
+        unchanged = sliced.names[1]
+        assert (refreshed[unchanged].b, refreshed[unchanged].a) != (
+            first[unchanged].b,
+            first[unchanged].a,
+        )
+
+    def test_conflicting_result_caches_rejected(self, tiny_task, fast_training):
+        from repro.utils.exceptions import ConfigurationError
+
+        executor = SerialExecutor(cache=InMemoryResultCache())
+        with pytest.raises(ConfigurationError):
+            make_tuner(
+                tiny_task, fast_training, executor=executor,
+                cache=InMemoryResultCache(),
+            )
+
+    def test_same_cache_on_executor_and_tuner_accepted(
+        self, tiny_task, fast_training
+    ):
+        cache = InMemoryResultCache()
+        executor = SerialExecutor(cache=cache)
+        tuner = make_tuner(tiny_task, fast_training, executor=executor, cache=cache)
+        assert tuner.executor.cache is cache

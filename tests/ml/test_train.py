@@ -106,3 +106,57 @@ class TestTrainer:
             model, separable_dataset, config=fast_training, random_state=0
         )
         assert result.epochs_run == fast_training.epochs
+
+
+class TestRestoreBest:
+    """The ``restore_best`` early-stopping flag (off by default)."""
+
+    @staticmethod
+    def _noisy_split(rng):
+        train = Dataset(rng.normal(size=(60, 4)), rng.integers(0, 2, size=60))
+        validation = Dataset(rng.normal(size=(40, 4)), rng.integers(0, 2, size=40))
+        return train, validation
+
+    def test_default_keeps_post_patience_weights(self, rng):
+        train, validation = self._noisy_split(rng)
+        config = TrainingConfig(
+            epochs=200, batch_size=16, learning_rate=0.1, early_stopping_patience=3
+        )
+        model = SoftmaxRegression(n_classes=2, random_state=0)
+        result = Trainer(config=config, random_state=0).fit(model, train, validation)
+        assert result.stopped_early and not result.restored_best
+        # The final weights correspond to the *last* epoch, not the best one.
+        assert model.loss(validation) == pytest.approx(result.validation_losses[-1])
+
+    def test_restore_best_restores_best_epoch_parameters(self, rng):
+        train, validation = self._noisy_split(rng)
+        config = TrainingConfig(
+            epochs=200,
+            batch_size=16,
+            learning_rate=0.1,
+            early_stopping_patience=3,
+            restore_best=True,
+        )
+        model = SoftmaxRegression(n_classes=2, random_state=0)
+        result = Trainer(config=config, random_state=0).fit(model, train, validation)
+        assert result.stopped_early and result.restored_best
+        assert result.best_epoch is not None
+        best_loss = min(result.validation_losses)
+        assert result.validation_losses[result.best_epoch - 1] == pytest.approx(best_loss)
+        assert model.loss(validation) == pytest.approx(best_loss)
+        assert model.loss(validation) <= result.validation_losses[-1]
+
+    def test_best_epoch_tracked_without_restore(self, separable_dataset, fast_training):
+        train = separable_dataset.take(80)
+        validation = separable_dataset.subset(np.arange(80, len(separable_dataset)))
+        model = SoftmaxRegression(n_classes=2, random_state=0)
+        result = Trainer(config=fast_training, random_state=0).fit(
+            model, train, validation
+        )
+        assert result.best_epoch is not None and not result.restored_best
+
+    def test_restore_best_without_early_stopping_is_inert(self, separable_dataset):
+        config = TrainingConfig(epochs=5, batch_size=16, restore_best=True)
+        model = SoftmaxRegression(n_classes=2, random_state=0)
+        result = Trainer(config=config, random_state=0).fit(model, separable_dataset)
+        assert not result.restored_best
