@@ -14,7 +14,13 @@ This is the smallest end-to-end use of the library:
 6. tour the execution-engine knobs: every model training funnels through an
    ``Executor`` (serial or process pool — the backend never changes the
    numbers, because per-job seeds are spawned up-front) and an optional
-   content-addressed ``ResultCache`` that makes repeated trainings free.
+   content-addressed ``ResultCache`` that makes repeated trainings free, and
+7. tour the acquisition service: sources are *named providers* (the
+   registry behind ``available_sources()`` / the CLI ``sources``
+   subcommand), a tuner can route every acquisition across a provider
+   table with failover (a draining pool backed by the generator), and the
+   session streams each ``Fulfillment`` — delivered count, shortfall,
+   provenance — as an event.
 
 Run with::
 
@@ -27,11 +33,13 @@ from repro import (
     CurveEstimationConfig,
     GeneratorDataSource,
     InMemoryResultCache,
+    PoolDataSource,
     SerialExecutor,
     SliceTuner,
     SliceTunerConfig,
     TrainingConfig,
     TuningResult,
+    available_sources,
     available_strategies,
     fashion_like_task,
 )
@@ -131,6 +139,41 @@ def main() -> None:
         f"\nEngine: {cold_trainings} trainings cold, 0 warm "
         f"({cache.stats.hits} cache hits, hit rate {cache.stats.hit_rate:.0%})"
     )
+
+    # 7. The acquisition service.  Sources are named providers (see
+    #    `python -m repro.cli sources`); a tuner routes every acquisition
+    #    across its provider table in priority order, so a finite pool that
+    #    drains mid-run fails over to the generator instead of ending the
+    #    run, and every delivery surfaces as a Fulfillment event carrying
+    #    its provenance and shortfall.
+    print(f"\nRegistered source providers: {', '.join(available_sources())}")
+    pools = {
+        name: task.generate(name, 40, random_state=10 + i)
+        for i, name in enumerate(task.slice_names)
+    }
+    routed_tuner = SliceTuner(
+        task.initial_sliced_dataset(
+            initial_sizes=150, validation_size=200, random_state=0
+        ),
+        trainer_config=TrainingConfig(epochs=40, batch_size=64, learning_rate=0.03),
+        curve_config=CurveEstimationConfig(n_points=6, n_repeats=1),
+        random_state=2,
+        sources={
+            "pool": PoolDataSource(pools, random_state=3),     # tried first
+            "generator": GeneratorDataSource(task, random_state=4),  # failover
+        },
+    )
+    print("Streaming with pool -> generator failover (budget 600):")
+    routed_session = routed_tuner.session()
+    for event in routed_session.stream_events(budget=600, strategy="uniform"):
+        if event.kind == "fulfillment":
+            f = event.fulfillment
+            print(
+                f"  {f.slice_name}: {f.delivered_count}/{f.effective_count} "
+                f"delivered via {'+'.join(f.provenance) or '-'} ({f.status})"
+            )
+        else:
+            print(f"  iteration {event.record.iteration} complete")
 
 
 if __name__ == "__main__":

@@ -29,9 +29,24 @@ strategy; pick one by name::
     print(result.acquisitions_table())
     print(result.final_report.to_text())
 
+Acquisition itself is a routed, batch-oriented service: sources are *named
+providers* (``available_sources()`` lists the registry — ``generator``,
+``pool``, ``crowdsourcing``, plus the ``composite`` failover and
+``throttled`` rate-limit decorators), and a tuner can route every request
+across a provider table with failover::
+
+    pool_first = SliceTuner(
+        sliced,
+        sources={"pool": pool_source, "generator": source},  # priority order
+        random_state=2,
+    )
+
 For step-wise control, stream the same run through a
 :class:`~repro.core.session.TunerSession` — each acquisition batch is
-yielded as it lands, with hooks, early stops, and checkpointing::
+yielded as it lands, with hooks, early stops, and checkpointing (and
+``stream_events()`` additionally yields every
+:class:`~repro.acquisition.requests.Fulfillment`: delivered counts,
+shortfalls, and per-provider provenance)::
 
     session = tuner.session()
     session.add_early_stop(lambda record: record.imbalance_after < 1.5)
@@ -78,14 +93,24 @@ that regenerates every table and figure of the paper's evaluation.
 """
 
 from repro.acquisition import (
+    AcquisitionRequest,
+    AcquisitionRouter,
+    AcquisitionService,
     BudgetLedger,
+    CompositeSource,
     CrowdsourcingSimulator,
     EscalatingCost,
+    Fulfillment,
     GeneratorDataSource,
     PoolDataSource,
     TableCost,
+    ThrottledSource,
     UnitCost,
     WorkerPool,
+    available_sources,
+    get_source,
+    register_source,
+    source_descriptions,
 )
 from repro.bandit import BanditResult, RottingBanditAcquirer
 from repro.core import (
@@ -227,6 +252,16 @@ __all__ = [
     # acquisition
     "GeneratorDataSource",
     "PoolDataSource",
+    "CompositeSource",
+    "ThrottledSource",
+    "AcquisitionRequest",
+    "Fulfillment",
+    "AcquisitionRouter",
+    "AcquisitionService",
+    "register_source",
+    "get_source",
+    "available_sources",
+    "source_descriptions",
     "UnitCost",
     "TableCost",
     "EscalatingCost",

@@ -2,7 +2,8 @@
 
 The paper abstracts over how new data is obtained (dataset search,
 crowdsourcing, simulators) behind a per-slice cost function.  This package
-provides the same abstraction:
+provides the same abstraction, plus the service layer that makes acquisition
+batch-oriented, partially-fulfilled, and multi-source:
 
 * :class:`~repro.acquisition.source.DataSource` — interface with
   ``acquire(slice_name, count)``.
@@ -10,6 +11,19 @@ provides the same abstraction:
   simulator-backed source (wraps a :class:`repro.datasets.SyntheticTask`).
 * :class:`~repro.acquisition.source.PoolDataSource` — finite reserve pools,
   modelling a fixed unlabeled corpus that can run dry.
+* :mod:`~repro.acquisition.providers` — the named provider registry
+  (``register_source`` / ``get_source`` / ``available_sources``) and the
+  :class:`~repro.acquisition.providers.CompositeSource` (priority/failover)
+  and :class:`~repro.acquisition.providers.ThrottledSource` (rate limits +
+  simulated latency) decorators.
+* :mod:`~repro.acquisition.requests` —
+  :class:`~repro.acquisition.requests.AcquisitionRequest` /
+  :class:`~repro.acquisition.requests.Fulfillment`, the declarative
+  request/fulfillment records.
+* :class:`~repro.acquisition.router.AcquisitionRouter` — multi-source
+  routing with per-slice routes and bounded retry rounds.
+* :class:`~repro.acquisition.service.AcquisitionService` — the
+  acquire/charge/record pipeline every driver funnels through.
 * :mod:`~repro.acquisition.cost` — cost models (unit, per-slice table,
   escalating).
 * :class:`~repro.acquisition.budget.BudgetLedger` — budget accounting.
@@ -31,6 +45,19 @@ from repro.acquisition.crowdsourcing import (
     CrowdsourcingSimulator,
     WorkerPool,
 )
+from repro.acquisition.providers import (
+    CompositeSource,
+    ThrottledSource,
+    available_sources,
+    get_source,
+    is_source_registered,
+    register_source,
+    source_descriptions,
+    unregister_source,
+)
+from repro.acquisition.requests import AcquisitionRequest, Fulfillment
+from repro.acquisition.router import AcquisitionRouter, RoutedDelivery
+from repro.acquisition.service import AcquisitionService
 from repro.acquisition.source import (
     DataSource,
     GeneratorDataSource,
@@ -41,6 +68,19 @@ __all__ = [
     "DataSource",
     "GeneratorDataSource",
     "PoolDataSource",
+    "CompositeSource",
+    "ThrottledSource",
+    "register_source",
+    "unregister_source",
+    "get_source",
+    "available_sources",
+    "source_descriptions",
+    "is_source_registered",
+    "AcquisitionRequest",
+    "Fulfillment",
+    "AcquisitionRouter",
+    "RoutedDelivery",
+    "AcquisitionService",
     "CostModel",
     "UnitCost",
     "TableCost",

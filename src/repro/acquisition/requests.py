@@ -1,0 +1,183 @@
+"""Declarative acquisition requests and their fulfillments.
+
+The paper's loop treats acquisition as an instantaneous
+``source.acquire(name, count)`` call, but the campaigns it models (AMT
+crowdsourcing, Table 1) are slow, lossy, partially fulfilled, and
+heterogeneous across sources.  This module gives the request side of that
+reality a first-class shape:
+
+* :class:`AcquisitionRequest` — a declarative order for one slice: how many
+  examples, an optional spend cap, and a deadline in routing rounds for
+  sources that deliver incrementally (throttled providers, draining pools).
+* :class:`Fulfillment` — what actually came back: the delivered dataset, the
+  realized cost, the shortfall against the effective request, and the
+  provenance (which named providers contributed, over how many rounds).
+
+Strategies and sessions emit batches of requests; the
+:class:`~repro.acquisition.service.AcquisitionService` routes them across the
+provider registry and hands back fulfillments, so partial delivery, dry
+pools, and retries are data instead of exceptions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any
+
+from repro.utils.exceptions import AcquisitionError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.ml.data import Dataset
+
+#: Fulfillment statuses (see :attr:`Fulfillment.status`).
+FULFILLED = "fulfilled"
+PARTIAL = "partial"
+EMPTY = "empty"
+SKIPPED = "skipped"
+
+
+@dataclass(frozen=True)
+class AcquisitionRequest:
+    """A declarative order for new examples of one slice.
+
+    Attributes
+    ----------
+    slice_name:
+        The slice the examples must belong to.
+    count:
+        Examples wanted.  The service may reduce the effective count to what
+        ``max_cost`` and the remaining budget afford.
+    max_cost:
+        Optional cap on what this request may spend (``None`` = no cap
+        beyond the run's budget ledger).
+    deadline_rounds:
+        How many routing rounds the router may use to fill the request.  A
+        round walks every eligible provider once; more rounds let throttled
+        or partially-delivering providers be retried.  The default of 1
+        reproduces the classic single-shot ``acquire`` semantics.
+    tag:
+        Free-form label carried through to the fulfillment (e.g. the
+        iteration that emitted the request).
+    """
+
+    slice_name: str
+    count: int
+    max_cost: float | None = None
+    deadline_rounds: int = 1
+    tag: str = ""
+
+    def __post_init__(self) -> None:
+        if int(self.count) != self.count or self.count < 0:
+            raise AcquisitionError(
+                f"request count must be a non-negative integer, got {self.count!r}"
+            )
+        object.__setattr__(self, "count", int(self.count))
+        if self.max_cost is not None and self.max_cost < 0:
+            raise AcquisitionError(
+                f"max_cost must be >= 0 or None, got {self.max_cost}"
+            )
+        if self.deadline_rounds < 1:
+            raise AcquisitionError(
+                f"deadline_rounds must be >= 1, got {self.deadline_rounds}"
+            )
+
+
+@dataclass
+class Fulfillment:
+    """What came back for one :class:`AcquisitionRequest`.
+
+    Attributes
+    ----------
+    request:
+        The originating request (with its original, uncapped count).
+    effective_count:
+        The count actually ordered after applying ``max_cost`` and the
+        budget ledger; the shortfall is measured against this number, so a
+        budget-capped request is not misreported as a provider failure.
+    delivered:
+        The delivered dataset (``None`` when the request was skipped before
+        reaching any provider, or after :meth:`release_payload` dropped the
+        data to save memory — the accounting fields survive either way).
+    delivered_count:
+        Number of examples actually delivered (kept even after the payload
+        is released).
+    unit_cost:
+        Per-example cost in force for the batch (constant within a batch,
+        as the paper assumes).
+    cost:
+        Amount actually charged to the ledger (``unit_cost * delivered_count``).
+    provenance:
+        Names of the providers that contributed at least one example, in
+        delivery order.
+    contributions:
+        Examples delivered per contributing provider.
+    rounds:
+        Routing rounds consumed (0 when the request never reached a
+        provider).
+    """
+
+    request: AcquisitionRequest
+    effective_count: int
+    delivered: "Dataset | None" = None
+    delivered_count: int = 0
+    unit_cost: float = 0.0
+    cost: float = 0.0
+    provenance: tuple[str, ...] = ()
+    contributions: dict[str, int] = field(default_factory=dict)
+    rounds: int = 0
+
+    def __post_init__(self) -> None:
+        if self.delivered is not None and not self.delivered_count:
+            self.delivered_count = len(self.delivered)
+
+    @property
+    def slice_name(self) -> str:
+        """The slice the fulfillment is for."""
+        return self.request.slice_name
+
+    def release_payload(self) -> None:
+        """Drop the delivered dataset, keeping every accounting field.
+
+        The data itself lives on in the run's
+        :class:`~repro.slices.sliced_dataset.SlicedDataset`; releasing the
+        payload stops the fulfillment log from pinning a second copy.
+        """
+        self.delivered = None
+
+    @property
+    def shortfall(self) -> int:
+        """Examples ordered (post-cap) but not delivered."""
+        return max(self.effective_count - self.delivered_count, 0)
+
+    @property
+    def status(self) -> str:
+        """``fulfilled`` / ``partial`` / ``empty`` / ``skipped``.
+
+        ``skipped`` means no provider was consulted (the effective count was
+        zero); ``empty`` means providers were asked but delivered nothing
+        (e.g. every pool ran dry).
+        """
+        if self.rounds == 0:
+            return SKIPPED
+        if self.delivered_count == 0:
+            return EMPTY
+        if self.shortfall > 0:
+            return PARTIAL
+        return FULFILLED
+
+    def summary(self) -> dict[str, Any]:
+        """JSON-compatible summary (no dataset payload)."""
+        return {
+            "slice": self.slice_name,
+            "requested": self.request.count,
+            "effective": self.effective_count,
+            "delivered": self.delivered_count,
+            "shortfall": self.shortfall,
+            "unit_cost": self.unit_cost,
+            "cost": self.cost,
+            "provenance": list(self.provenance),
+            "contributions": dict(self.contributions),
+            "rounds": self.rounds,
+            "status": self.status,
+            "tag": self.request.tag,
+        }

@@ -1,0 +1,211 @@
+"""Routing acquisition requests across named providers.
+
+The :class:`AcquisitionRouter` owns a table of named providers (any objects
+implementing :class:`~repro.acquisition.source.DataSource`) and answers one
+question: *given a request for a slice, which providers serve it, in what
+order, and over how many rounds?*
+
+Routing model
+-------------
+* Every slice resolves to a priority-ordered tuple of provider names —
+  either an explicit per-slice route or the router's default order.
+* One *round* walks that order once, asking each provider for whatever is
+  still missing; a provider that raises
+  :class:`~repro.utils.exceptions.AcquisitionError` (it does not cover the
+  slice) is skipped, which is what makes pool→generator failover work.
+* If the request is still short after a round and its ``deadline_rounds``
+  allows, the walk repeats — this is how throttled providers that cap each
+  request eventually fill a large order.  A round that delivers nothing ends
+  the attempt early: retrying dry providers cannot help.
+
+The router only moves data; charging the ledger, recording costs, and
+growing the dataset belong to the
+:class:`~repro.acquisition.service.AcquisitionService` on top.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+
+from repro.acquisition.source import DataSource
+from repro.ml.data import Dataset
+from repro.utils.exceptions import AcquisitionError, ConfigurationError
+
+
+@dataclass
+class RoutedDelivery:
+    """What one routed fulfillment attempt produced (pre-accounting).
+
+    Attributes
+    ----------
+    dataset:
+        Everything delivered across providers and rounds (possibly empty).
+    provenance:
+        Names of the providers that contributed at least one example, in
+        delivery order.
+    contributions:
+        Examples delivered per contributing provider.
+    rounds:
+        Rounds actually walked (>= 1 when any provider was consulted).
+    """
+
+    dataset: Dataset
+    provenance: tuple[str, ...]
+    contributions: dict[str, int]
+    rounds: int
+
+
+class AcquisitionRouter:
+    """Fans slice requests out across a table of named providers.
+
+    Parameters
+    ----------
+    providers:
+        Mapping of provider name to source; insertion order is the fallback
+        priority order when ``default`` is not given.
+    routes:
+        Optional per-slice routing table: slice name → provider name or
+        priority-ordered sequence of provider names.  Slices without an
+        entry use the default order.
+    default:
+        Priority order for unrouted slices; defaults to all providers in
+        insertion order.
+    """
+
+    def __init__(
+        self,
+        providers: Mapping[str, DataSource],
+        routes: Mapping[str, str | Sequence[str]] | None = None,
+        default: Sequence[str] | None = None,
+    ) -> None:
+        if not providers:
+            raise ConfigurationError("AcquisitionRouter needs at least one provider")
+        self._providers = dict(providers)
+        self._default = self._check_order(
+            tuple(default) if default is not None else tuple(self._providers)
+        )
+        self._routes: dict[str, tuple[str, ...]] = {}
+        for slice_name, route in (routes or {}).items():
+            order = (route,) if isinstance(route, str) else tuple(route)
+            self._routes[slice_name] = self._check_order(order)
+
+    def _check_order(self, order: tuple[str, ...]) -> tuple[str, ...]:
+        unknown = [name for name in order if name not in self._providers]
+        if unknown:
+            raise ConfigurationError(
+                f"route names unknown providers {unknown}; available: "
+                f"{sorted(self._providers)}"
+            )
+        if not order:
+            raise ConfigurationError("a route must name at least one provider")
+        return order
+
+    @property
+    def provider_names(self) -> tuple[str, ...]:
+        """All provider names, in table order."""
+        return tuple(self._providers)
+
+    def provider(self, name: str) -> DataSource:
+        """The provider registered under ``name``."""
+        try:
+            return self._providers[name]
+        except KeyError:
+            raise ConfigurationError(
+                f"unknown provider {name!r}; available: {sorted(self._providers)}"
+            ) from None
+
+    def route(self, slice_name: str) -> tuple[str, ...]:
+        """Priority-ordered provider names serving ``slice_name``."""
+        return self._routes.get(slice_name, self._default)
+
+    def set_route(self, slice_name: str, order: str | Sequence[str]) -> None:
+        """Install or replace the route for one slice."""
+        resolved = (order,) if isinstance(order, str) else tuple(order)
+        self._routes[slice_name] = self._check_order(resolved)
+
+    # -- fulfillment -------------------------------------------------------------
+    def fulfill(
+        self, slice_name: str, count: int, deadline_rounds: int = 1
+    ) -> RoutedDelivery:
+        """Collect up to ``count`` examples for ``slice_name`` across providers.
+
+        Raises :class:`~repro.utils.exceptions.AcquisitionError` only when
+        *every* routed provider refuses the slice outright; partial and
+        empty deliveries are normal outcomes, reported in the returned
+        :class:`RoutedDelivery`.
+        """
+        count = int(count)
+        if count < 0:
+            raise AcquisitionError(f"cannot acquire a negative count ({count})")
+        order = self.route(slice_name)
+        parts: list[Dataset] = []
+        provenance: list[str] = []
+        contributions: dict[str, int] = {}
+        fallback: Dataset | None = None
+        last_error: AcquisitionError | None = None
+        remaining = count
+        rounds = 0
+        for _ in range(max(int(deadline_rounds), 1)):
+            if remaining <= 0 and fallback is not None:
+                break
+            rounds += 1
+            progress = 0
+            for provider_name in order:
+                if remaining <= 0 and fallback is not None:
+                    break
+                try:
+                    delivered = self._providers[provider_name].acquire(
+                        slice_name, max(remaining, 0)
+                    )
+                except AcquisitionError as error:
+                    last_error = error
+                    continue
+                if fallback is None:
+                    fallback = delivered
+                if len(delivered):
+                    parts.append(delivered)
+                    if provider_name not in contributions:
+                        provenance.append(provider_name)
+                    contributions[provider_name] = (
+                        contributions.get(provider_name, 0) + len(delivered)
+                    )
+                    progress += len(delivered)
+                    remaining -= len(delivered)
+            if progress == 0:
+                break  # every routed provider is dry; retrying cannot help
+        if fallback is None:
+            raise last_error if last_error is not None else AcquisitionError(
+                f"no provider routed for slice {slice_name!r}"
+            )
+        dataset = Dataset.concatenate(parts) if parts else fallback
+        return RoutedDelivery(
+            dataset=dataset,
+            provenance=tuple(provenance),
+            contributions=contributions,
+            rounds=rounds,
+        )
+
+    def available(self, slice_name: str) -> int | None:
+        """Total availability across the slice's routed providers.
+
+        ``None`` when any routed provider is unlimited.
+        """
+        total = 0
+        seen = False
+        last_error: AcquisitionError | None = None
+        for provider_name in self.route(slice_name):
+            try:
+                remaining = self._providers[provider_name].available(slice_name)
+            except AcquisitionError as error:
+                last_error = error
+                continue
+            seen = True
+            if remaining is None:
+                return None
+            total += int(remaining)
+        if not seen:
+            raise last_error if last_error is not None else AcquisitionError(
+                f"no provider routed for slice {slice_name!r}"
+            )
+        return total

@@ -22,10 +22,11 @@ import numpy as np
 
 from repro.acquisition.budget import BudgetLedger
 from repro.acquisition.cost import CostModel, TableCost
+from repro.acquisition.service import AcquisitionService
 from repro.acquisition.source import DataSource
 from repro.core.plan import AcquisitionPlan, IterationRecord
 from repro.core.registry import register_strategy
-from repro.core.strategy_api import AcquisitionStrategy, TunerState, acquire_batch
+from repro.core.strategy_api import AcquisitionStrategy, TunerState
 from repro.curves.estimator import ModelFactory, default_model_factory
 from repro.fairness.report import evaluate_fairness
 from repro.ml.metrics import log_loss
@@ -45,6 +46,7 @@ class BanditResult:
     rewards: list[tuple[str, float]] = field(default_factory=list)
     final_loss: float = float("nan")
     final_avg_eer: float = float("nan")
+    fulfillments: list[dict] = field(default_factory=list)
 
 
 class RottingBanditAcquirer:
@@ -90,6 +92,9 @@ class RottingBanditAcquirer:
             {name: sliced[name].cost for name in sliced.names}
         )
         ledger = BudgetLedger(total=float(budget))
+        service = AcquisitionService(
+            source, cost_model=cost_model, ledger=ledger, sliced=sliced
+        )
         result = BanditResult(
             pulls={name: 0 for name in sliced.names},
             total_acquired={name: 0 for name in sliced.names},
@@ -113,9 +118,9 @@ class RottingBanditAcquirer:
             name = self._select_arm(affordable, recent_rewards, total_pulls)
             unit_cost = cost_model.cost(name)
             count = min(self.batch_size, ledger.affordable_count(unit_cost))
-            delivered = acquire_batch(
-                sliced, source, cost_model, ledger, name, count
-            )
+            fulfillment = service.acquire(name, count, tag=f"pull:{total_pulls}")
+            delivered = fulfillment.delivered_count
+            result.fulfillments.append(fulfillment.summary())
 
             if delivered == 0:
                 # Nothing was delivered (e.g. a dry pool): the data did not

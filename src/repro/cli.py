@@ -1,21 +1,29 @@
 """Command-line interface for the Slice Tuner reproduction.
 
-Four subcommands cover the common workflows without writing any Python:
+Six subcommands cover the common workflows without writing any Python:
 
 * ``curves`` — estimate and print the per-slice learning curves of a dataset.
 * ``plan`` — print the One-shot acquisition plan for a budget (no data is
   acquired), the "concrete action items" of the paper.
+* ``run`` — execute one acquisition strategy end to end against a chosen
+  acquisition setup (``--source generator|pool|mixed|flaky|crowdsourcing``)
+  and print the per-fulfillment delivery log: provenance, shortfalls, and
+  routing rounds, the things the multi-source service makes observable.
 * ``compare`` — run several acquisition strategies over independently seeded
   trials and print the Table-2/6-style comparison.  ``--methods`` accepts
   any name in the strategy registry, including the ``bandit`` comparator
   and user registrations.
 * ``strategies`` — list every registered acquisition strategy.
+* ``sources`` — list every registered data-source provider.
 
 Examples::
 
     python -m repro.cli strategies
+    python -m repro.cli sources
     python -m repro.cli curves --dataset fashion_like --initial-size 150
     python -m repro.cli plan --dataset faces_like --budget 1000 --lam 1.0
+    python -m repro.cli run --dataset fashion_like --scenario mixed_sources \
+        --source mixed --method moderate --budget 800
     python -m repro.cli compare --dataset mixed_like --budget 2000 \
         --methods uniform water_filling moderate bandit --trials 2
 """
@@ -25,6 +33,7 @@ from __future__ import annotations
 import argparse
 from typing import Sequence
 
+from repro.acquisition.providers import source_descriptions
 from repro.core.registry import (
     available_strategies,
     get_strategy,
@@ -35,7 +44,12 @@ from repro.datasets.registry import available_tasks
 from repro.engine.executor import available_executors, get_executor
 from repro.experiments.config import ExperimentConfig
 from repro.experiments.reporting import allocations_table, methods_table
-from repro.experiments.runner import compare_methods, prepare_instance
+from repro.experiments.runner import (
+    SOURCE_KINDS,
+    compare_methods,
+    prepare_instance,
+    prepare_named_instance,
+)
 from repro.experiments.scenarios import list_scenarios
 from repro.core.tuner import SliceTuner, SliceTunerConfig
 from repro.utils.tables import format_table
@@ -86,6 +100,40 @@ def build_parser() -> argparse.ArgumentParser:
     plan.add_argument("--budget", type=float, default=1000.0, help="acquisition budget B")
     plan.add_argument("--lam", type=float, default=1.0, help="loss/unfairness trade-off weight")
 
+    run = subparsers.add_parser(
+        "run",
+        help="run one strategy end to end and print the fulfillment log",
+    )
+    add_common(run)
+    run.add_argument("--budget", type=float, default=1000.0, help="acquisition budget B")
+    run.add_argument("--lam", type=float, default=1.0, help="loss/unfairness trade-off weight")
+    run.add_argument(
+        "--method",
+        default="moderate",
+        type=_registered_method,
+        metavar="STRATEGY",
+        help="registered strategy name to run (see the strategies subcommand)",
+    )
+    run.add_argument(
+        "--source",
+        default=None,
+        choices=SOURCE_KINDS,
+        help="acquisition setup to route requests across (defaults to the "
+        "scenario's own source kind)",
+    )
+    run.add_argument(
+        "--rounds",
+        type=int,
+        default=1,
+        help="routing rounds per acquisition request (re-ask throttled or "
+        "partially-delivering providers up to this many times per batch)",
+    )
+    run.add_argument(
+        "--evaluate",
+        action="store_true",
+        help="also train and evaluate the model before and after acquisition",
+    )
+
     compare = subparsers.add_parser("compare", help="compare acquisition methods over trials")
     add_common(compare)
     compare.add_argument("--budget", type=float, default=1000.0, help="acquisition budget B")
@@ -121,10 +169,20 @@ def build_parser() -> argparse.ArgumentParser:
     subparsers.add_parser(
         "strategies", help="list every registered acquisition strategy"
     )
+    subparsers.add_parser(
+        "sources", help="list every registered data-source provider"
+    )
     return parser
 
 
-def _experiment_config(args: argparse.Namespace, methods: tuple[str, ...], budget: float, lam: float, trials: int) -> ExperimentConfig:
+def _experiment_config(
+    args: argparse.Namespace,
+    methods: tuple[str, ...],
+    budget: float,
+    lam: float,
+    trials: int,
+    extra: dict | None = None,
+) -> ExperimentConfig:
     return ExperimentConfig(
         dataset=args.dataset,
         scenario=args.scenario,
@@ -137,7 +195,7 @@ def _experiment_config(args: argparse.Namespace, methods: tuple[str, ...], budge
         curve_repeats=1,
         epochs=args.epochs,
         seed=args.seed,
-        extra={"base_size": args.initial_size},
+        extra={"base_size": args.initial_size, **(extra or {})},
     )
 
 
@@ -174,6 +232,66 @@ def run_plan(args: argparse.Namespace) -> str:
     tuner = _build_tuner(args, lam=args.lam)
     plan = tuner.plan(budget=args.budget, lam=args.lam)
     return plan.to_text()
+
+
+def run_run(args: argparse.Namespace) -> str:
+    """The ``run`` subcommand: one strategy end to end + the fulfillment log."""
+    extra = {} if args.source is None else {"source": args.source}
+    config = _experiment_config(
+        args,
+        methods=(args.method,),
+        budget=args.budget,
+        lam=args.lam,
+        trials=1,
+        extra=extra,
+    )
+    sliced, sources = prepare_named_instance(config, seed=args.seed)
+    tuner = SliceTuner(
+        sliced,
+        trainer_config=config.training_config(),
+        curve_config=config.curve_config(),
+        config=SliceTunerConfig(lam=args.lam, acquisition_rounds=args.rounds),
+        random_state=args.seed + 1,
+        sources=sources,
+    )
+    session = tuner.session()
+    fulfillments = []
+    session.add_hook("fulfillment", lambda f: fulfillments.append(f))
+    if args.evaluate:
+        result = session.run(args.budget, strategy=args.method, lam=args.lam)
+    else:
+        for _ in session.stream(args.budget, strategy=args.method, lam=args.lam):
+            pass
+        result = session.result()
+
+    rows = [
+        [
+            f.slice_name,
+            f.request.count,
+            f.delivered_count,
+            f.shortfall,
+            f.rounds,
+            f.status,
+            "+".join(f.provenance) or "-",
+            f.request.tag,
+        ]
+        for f in fulfillments
+    ]
+    output = format_table(
+        headers=[
+            "slice", "requested", "delivered", "shortfall", "rounds",
+            "status", "provenance", "tag",
+        ],
+        rows=rows,
+        title=(
+            f"Fulfillment log — providers: {', '.join(tuner.provider_order)} "
+            f"({len(fulfillments)} fulfillments)"
+        ),
+    )
+    output += "\n\n" + result.acquisitions_table()
+    if args.evaluate and result.final_report is not None:
+        output += "\n\n" + result.final_report.to_text()
+    return output
 
 
 def run_compare(args: argparse.Namespace) -> str:
@@ -227,6 +345,19 @@ def run_strategies(args: argparse.Namespace) -> str:
     )
 
 
+def run_sources(args: argparse.Namespace) -> str:
+    """The ``sources`` subcommand: list the data-source provider registry."""
+    rows = [
+        [name, description]
+        for name, description in source_descriptions().items()
+    ]
+    return format_table(
+        headers=["source", "description"],
+        rows=rows,
+        title="Registered data-source providers",
+    )
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     """CLI entry point; returns a process exit code."""
     parser = build_parser()
@@ -235,10 +366,14 @@ def main(argv: Sequence[str] | None = None) -> int:
         print(run_curves(args))
     elif args.command == "plan":
         print(run_plan(args))
+    elif args.command == "run":
+        print(run_run(args))
     elif args.command == "compare":
         print(run_compare(args))
     elif args.command == "strategies":
         print(run_strategies(args))
+    elif args.command == "sources":
+        print(run_sources(args))
     else:  # pragma: no cover - argparse enforces the choices
         parser.error(f"unknown command {args.command!r}")
     return 0

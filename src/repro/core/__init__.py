@@ -47,7 +47,12 @@ from repro.core.registry import (
     register_strategy,
     strategy_descriptions,
 )
-from repro.core.session import TunerSession
+from repro.core.session import (
+    FulfillmentEvent,
+    IterationEvent,
+    SessionEvent,
+    TunerSession,
+)
 from repro.core.strategies import (
     AggressiveStrategy,
     ConservativeStrategy,
@@ -89,6 +94,9 @@ __all__ = [
     "strategy_descriptions",
     "is_registered",
     "TunerSession",
+    "FulfillmentEvent",
+    "IterationEvent",
+    "SessionEvent",
     "SliceTuner",
     "SliceTunerConfig",
 ]

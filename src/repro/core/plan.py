@@ -89,6 +89,12 @@ class IterationRecord:
     curve_parameters:
         The fitted ``(b, a)`` per slice used by the optimization, for
         inspection and for the Figure 9 style drift analyses.
+    fulfillments:
+        JSON-compatible :meth:`~repro.acquisition.requests.Fulfillment.summary`
+        dicts of every fulfillment behind this record — per-provider
+        provenance, shortfall, and routing rounds — populated when the
+        record was produced through the
+        :class:`~repro.acquisition.service.AcquisitionService`.
     """
 
     iteration: int
@@ -99,6 +105,7 @@ class IterationRecord:
     imbalance_before: float = 0.0
     imbalance_after: float = 0.0
     curve_parameters: dict[str, tuple[float, float]] = field(default_factory=dict)
+    fulfillments: list[dict[str, Any]] = field(default_factory=list)
 
     def to_dict(self) -> dict[str, Any]:
         """JSON-compatible representation of this record."""
@@ -113,6 +120,7 @@ class IterationRecord:
             "curve_parameters": {
                 name: list(params) for name, params in self.curve_parameters.items()
             },
+            "fulfillments": [dict(entry) for entry in self.fulfillments],
         }
 
     @classmethod
@@ -130,6 +138,7 @@ class IterationRecord:
                 name: (float(params[0]), float(params[1]))
                 for name, params in data.get("curve_parameters", {}).items()
             },
+            fulfillments=[dict(entry) for entry in data.get("fulfillments", [])],
         )
 
 

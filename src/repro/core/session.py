@@ -14,9 +14,16 @@ the loop itself::
 
 Sessions add three things on top of the batch API:
 
-* **Lifecycle hooks** — ``on_acquire`` / ``on_iteration`` fire per batch and
-  ``on_evaluate`` around the before/after evaluations, so progress can be
-  logged or shipped to a dashboard while the run is in flight.
+* **Lifecycle hooks** — ``on_fulfillment`` fires per delivered fulfillment,
+  ``on_acquire`` / ``on_iteration`` fire per batch, and ``on_evaluate``
+  around the before/after evaluations, so progress can be logged or shipped
+  to a dashboard while the run is in flight.
+* **Per-fulfillment events** — every run owns an
+  :class:`~repro.acquisition.service.AcquisitionService` routing its
+  acquisitions across the tuner's named providers;
+  :meth:`TunerSession.stream_events` yields each
+  :class:`~repro.acquisition.requests.Fulfillment` (partial deliveries, dry
+  pools, failover provenance) alongside the iteration records.
 * **Early-stop predicates** — ``stop_when=lambda record: ...`` (or
   :meth:`TunerSession.add_early_stop`) ends the loop as soon as a predicate
   is satisfied, e.g. stop once the imbalance ratio is close to 1.
@@ -47,15 +54,17 @@ to the most recently started run.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, Any, Callable, Iterable, Iterator, Mapping
+from typing import TYPE_CHECKING, Any, Callable, Iterable, Iterator, Mapping, Union
 
 from repro.acquisition.budget import BudgetLedger
+from repro.acquisition.requests import SKIPPED, Fulfillment
+from repro.acquisition.router import AcquisitionRouter
+from repro.acquisition.service import AcquisitionService
 from repro.core.plan import AcquisitionPlan, IterationRecord, TuningResult
 from repro.core.registry import get_strategy
 from repro.core.strategy_api import (
     AcquisitionStrategy,
     TunerState,
-    acquire_batch,
     top_up_minimum_sizes,
 )
 from repro.utils.exceptions import ConfigurationError
@@ -67,9 +76,43 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 #: Hook signatures (see :meth:`TunerSession.add_hook`).
 IterationHook = Callable[[IterationRecord], None]
 EvaluateHook = Callable[[str, "FairnessReport"], None]
+FulfillmentHook = Callable[[Fulfillment], None]
 EarlyStop = Callable[[IterationRecord], bool]
 
 _CHECKPOINT_VERSION = 1
+
+
+@dataclass(frozen=True)
+class FulfillmentEvent:
+    """One fulfillment landing mid-run (see :meth:`TunerSession.stream_events`).
+
+    Attributes
+    ----------
+    iteration:
+        The iteration whose batch the fulfillment belongs to (0 for the
+        minimum-slice-size top-up).
+    fulfillment:
+        The full :class:`~repro.acquisition.requests.Fulfillment`, including
+        the delivered dataset, shortfall, and provenance.
+    """
+
+    iteration: int
+    fulfillment: Fulfillment
+
+    kind: str = "fulfillment"
+
+
+@dataclass(frozen=True)
+class IterationEvent:
+    """One completed acquisition batch (the strategy has digested it)."""
+
+    record: IterationRecord
+
+    kind: str = "iteration"
+
+
+#: Everything :meth:`TunerSession.stream_events` can yield.
+SessionEvent = Union[FulfillmentEvent, IterationEvent]
 
 
 @dataclass
@@ -91,7 +134,7 @@ class TunerSession:
     tuner:
         The orchestrator owning the dataset, source, estimator, cost model,
         and evaluation protocol.
-    on_iteration / on_acquire / on_evaluate:
+    on_iteration / on_acquire / on_evaluate / on_fulfillment:
         Optional hooks; see :meth:`add_hook`.
     """
 
@@ -101,12 +144,14 @@ class TunerSession:
         on_iteration: IterationHook | None = None,
         on_acquire: IterationHook | None = None,
         on_evaluate: EvaluateHook | None = None,
+        on_fulfillment: FulfillmentHook | None = None,
     ) -> None:
         self.tuner = tuner
         self._hooks: dict[str, list[Callable]] = {
             "iteration": [on_iteration] if on_iteration else [],
             "acquire": [on_acquire] if on_acquire else [],
             "evaluate": [on_evaluate] if on_evaluate else [],
+            "fulfillment": [on_fulfillment] if on_fulfillment else [],
         }
         self._early_stops: list[EarlyStop] = []
         #: The most recently started run (stream()/load_state_dict()).
@@ -114,13 +159,16 @@ class TunerSession:
 
     # -- hooks and early stops ---------------------------------------------------
     def add_hook(self, event: str, hook: Callable) -> "TunerSession":
-        """Register a hook; ``event`` is ``iteration``, ``acquire``, or ``evaluate``.
+        """Register a hook; ``event`` is ``fulfillment``, ``acquire``, ``iteration``, or ``evaluate``.
 
-        ``acquire`` hooks fire right after a batch lands in the dataset;
-        ``iteration`` hooks fire once the strategy has digested the batch;
-        ``evaluate`` hooks fire as ``(stage, report)`` around the
-        before/after evaluations of :meth:`run`.  Returns ``self`` so calls
-        chain.
+        ``fulfillment`` hooks fire with every
+        :class:`~repro.acquisition.requests.Fulfillment` the moment the
+        acquisition service applies it (so partial deliveries and dry pools
+        are observable mid-batch); ``acquire`` hooks fire right after a
+        batch lands in the dataset; ``iteration`` hooks fire once the
+        strategy has digested the batch; ``evaluate`` hooks fire as
+        ``(stage, report)`` around the before/after evaluations of
+        :meth:`run`.  Returns ``self`` so calls chain.
         """
         if event not in self._hooks:
             raise ConfigurationError(
@@ -173,6 +221,45 @@ class TunerSession:
         else:
             stops = []
         return self._drive(run, extra_stops=stops)
+
+    def stream_events(
+        self,
+        budget: float,
+        strategy: str | AcquisitionStrategy = "moderate",
+        lam: float | None = None,
+        stop_when: EarlyStop | Iterable[EarlyStop] | None = None,
+    ) -> Iterator[SessionEvent]:
+        """Like :meth:`stream`, but yields per-fulfillment events too.
+
+        Every :class:`~repro.acquisition.requests.Fulfillment` produced by
+        the run's acquisition service is yielded as a
+        :class:`FulfillmentEvent` (in delivery order), followed by an
+        :class:`IterationEvent` once the strategy has digested the batch —
+        so partial deliveries, dry pools, and multi-provider failover are
+        first-class observations instead of exceptions::
+
+            for event in session.stream_events(budget=500, strategy="moderate"):
+                if event.kind == "fulfillment":
+                    f = event.fulfillment
+                    print(f.slice_name, f.status, f.provenance, f.shortfall)
+                else:
+                    print("iteration", event.record.iteration, "done")
+
+        Breaking out early keeps everything acquired so far, exactly as with
+        :meth:`stream`.
+        """
+        records = self.stream(budget, strategy=strategy, lam=lam, stop_when=stop_when)
+        run = self._run
+        assert run is not None and run.state.service is not None
+        fulfillments = run.state.service.fulfillments
+        seen = 0
+        for record in records:
+            for fulfillment in fulfillments[seen:]:
+                yield FulfillmentEvent(
+                    iteration=record.iteration, fulfillment=fulfillment
+                )
+            seen = len(fulfillments)
+            yield IterationEvent(record=record)
 
     def resume(self) -> Iterator[IterationRecord]:
         """Continue a run restored with :meth:`load_state_dict`."""
@@ -281,6 +368,14 @@ class TunerSession:
     # -- internals ---------------------------------------------------------------
     def _make_state(self, ledger: BudgetLedger) -> TunerState:
         tuner = self.tuner
+        router = AcquisitionRouter(tuner.sources, default=tuner.provider_order)
+        service = AcquisitionService(
+            router,
+            cost_model=tuner.cost_model,
+            ledger=ledger,
+            sliced=tuner.sliced,
+        )
+        service.add_callback(lambda fulfillment: self._fire("fulfillment", fulfillment))
         return TunerState(
             sliced=tuner.sliced,
             source=tuner.source,
@@ -292,6 +387,7 @@ class TunerSession:
             trainer_config=tuner.trainer_config,
             rng=tuner._rng,
             executor=tuner.executor,
+            service=service,
         )
 
     def _begin(
@@ -383,7 +479,14 @@ class TunerSession:
     def _acquire_plan(
         self, state: TunerState, plan: AcquisitionPlan, iteration: int
     ) -> IterationRecord:
-        """Acquire one proposed batch, charging only for delivered examples."""
+        """Acquire one proposed batch, charging only for delivered examples.
+
+        The plan is translated into declarative acquisition requests and
+        submitted to the run's :class:`~repro.acquisition.service.
+        AcquisitionService`; each fulfillment is applied incrementally (and
+        fires the ``fulfillment`` hooks) as it lands, and its summary is
+        recorded on the iteration record.
+        """
         record = IterationRecord(
             iteration=iteration,
             requested={
@@ -398,22 +501,22 @@ class TunerSession:
             else plan.imbalance_before
         )
         spent_before = state.ledger.spent
+        deadline_rounds = self.tuner.config.acquisition_rounds
         for name, count in plan.counts.items():
             if count <= 0:
                 continue
-            unit_cost = state.cost_model.cost(name)
-            affordable = min(int(count), state.ledger.affordable_count(unit_cost))
-            if affordable <= 0:
-                continue
-            delivered = acquire_batch(
-                state.sliced,
-                state.source,
-                state.cost_model,
-                state.ledger,
+            fulfillment = state.service.acquire(
                 name,
-                affordable,
+                int(count),
+                deadline_rounds=deadline_rounds,
+                tag=f"iteration:{iteration}",
             )
-            record.acquired[name] = record.acquired.get(name, 0) + delivered
+            record.fulfillments.append(fulfillment.summary())
+            if fulfillment.status == SKIPPED:
+                continue  # capped to zero by the budget; no provider consulted
+            record.acquired[name] = (
+                record.acquired.get(name, 0) + fulfillment.delivered_count
+            )
         record.spent = state.ledger.spent - spent_before
         record.imbalance_after = (
             state.sliced.imbalance_ratio()
@@ -435,6 +538,7 @@ class TunerSession:
             state.ledger,
             self.tuner.config.min_slice_size,
             record,
+            service=state.service,
         )
         for name, delivered in delivered_by_slice.items():
             run.result.total_acquired[name] = (

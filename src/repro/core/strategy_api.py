@@ -28,6 +28,7 @@ from typing import TYPE_CHECKING, Mapping
 
 import numpy as np
 
+from repro.acquisition.service import AcquisitionService
 from repro.core.plan import AcquisitionPlan, IterationRecord
 from repro.fairness.report import evaluate_fairness
 from repro.ml.metrics import log_loss
@@ -78,6 +79,12 @@ class TunerState:
         and submit them here rather than looping over ``Trainer.fit``.
         (The :meth:`train_model` helper below predates the engine and still
         trains inline on the shared RNG stream.)
+    service:
+        The run's :class:`~repro.acquisition.service.AcquisitionService`
+        (None for legacy drivers).  Strategies may inspect its fulfillment
+        history (``service.fulfillments``, ``service.shortfall_by_slice()``)
+        or routed availability (``service.available(name)``); actually
+        acquiring and charging stays the session's job.
     rng:
         The run's random generator.
     iteration:
@@ -97,6 +104,7 @@ class TunerState:
     trainer_config: "TrainingConfig"
     rng: np.random.Generator
     executor: "Executor | None" = None
+    service: AcquisitionService | None = None
     iteration: int = 0
     records: list[IterationRecord] = field(default_factory=list)
 
@@ -227,18 +235,19 @@ def acquire_batch(
 ) -> int:
     """Acquire ``count`` examples for one slice, updating all bookkeeping.
 
-    The single authoritative acquire/charge/record step shared by the
-    session, the legacy :class:`~repro.core.iterative.IterativeAlgorithm`,
-    and the bandit acquirer: the ledger and cost model are charged for what
-    was actually *delivered*, so an exhausted pool or a lossy crowdsourcing
-    campaign never debits phantom examples.  Returns the delivered count.
+    A thin facade over :class:`~repro.acquisition.service.AcquisitionService`
+    kept for the legacy drivers (:class:`~repro.core.iterative.
+    IterativeAlgorithm`, the bandit acquirer) and for user code written
+    against the PR-1 API: one request in, one fulfillment out, with the
+    ledger and cost model charged for what was actually *delivered* — an
+    exhausted pool or a lossy crowdsourcing campaign never debits phantom
+    examples.  Returns the delivered count.  The session holds a per-run
+    service instead, so its fulfillments accumulate and stream as events.
     """
-    unit_cost = cost_model.cost(name)
-    delivered = source.acquire(name, count)
-    ledger.charge(name, len(delivered), unit_cost)
-    cost_model.record_acquisition(name, len(delivered))
-    sliced.add_examples(name, delivered)
-    return len(delivered)
+    service = AcquisitionService(
+        source, cost_model=cost_model, ledger=ledger, sliced=sliced
+    )
+    return service.acquire(name, count).delivered_count
 
 
 def top_up_minimum_sizes(
@@ -248,14 +257,21 @@ def top_up_minimum_sizes(
     ledger: "BudgetLedger",
     min_slice_size: int,
     record: IterationRecord,
+    service: AcquisitionService | None = None,
 ) -> dict[str, int]:
     """Steps 3-6 of Algorithm 1: top every slice up to ``min_slice_size``.
 
     Fills ``record.requested``/``record.acquired`` per topped-up slice and
     returns the delivered counts (empty when no slice needed topping up).
-    Shared by :class:`~repro.core.session.TunerSession` and the legacy
-    :class:`~repro.core.iterative.IterativeAlgorithm`.
+    Shared by :class:`~repro.core.session.TunerSession` (which passes its
+    per-run ``service`` so fulfillments are logged and streamed) and the
+    legacy :class:`~repro.core.iterative.IterativeAlgorithm` (which lets an
+    ephemeral service be built from the raw parts).
     """
+    if service is None:
+        service = AcquisitionService(
+            source, cost_model=cost_model, ledger=ledger, sliced=sliced
+        )
     delivered_by_slice: dict[str, int] = {}
     for name in sliced.names:
         deficit = min_slice_size - sliced[name].size
@@ -266,11 +282,12 @@ def top_up_minimum_sizes(
         if affordable <= 0:
             continue
         record.requested[name] = affordable
-        delivered = acquire_batch(
-            sliced, source, cost_model, ledger, name, affordable
+        fulfillment = service.acquire(name, affordable, tag="min_slice_size")
+        record.acquired[name] = (
+            record.acquired.get(name, 0) + fulfillment.delivered_count
         )
-        record.acquired[name] = record.acquired.get(name, 0) + delivered
-        delivered_by_slice[name] = delivered
+        record.fulfillments.append(fulfillment.summary())
+        delivered_by_slice[name] = fulfillment.delivered_count
     return delivered_by_slice
 
 

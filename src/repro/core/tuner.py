@@ -28,6 +28,8 @@ from typing import Mapping
 import numpy as np
 
 from repro.acquisition.cost import CostModel, TableCost
+from repro.acquisition.providers import CompositeSource
+from repro.acquisition.service import DEFAULT_PROVIDER
 from repro.acquisition.source import DataSource
 from repro.core.oneshot import OneShotAlgorithm
 from repro.core.plan import AcquisitionPlan, TuningResult
@@ -71,6 +73,12 @@ class SliceTunerConfig:
     evaluation_trials:
         How many independently-seeded models are trained and averaged by
         :meth:`SliceTuner.evaluate`.
+    acquisition_rounds:
+        Deadline (in routing rounds) given to every acquisition request the
+        session emits.  One round walks each routed provider once; more
+        rounds let throttled or partially-delivering providers be retried
+        within the same batch.  The default of 1 reproduces the classic
+        single-shot ``acquire`` semantics.
     incremental_curves:
         When True, the estimator keeps a per-slice
         :class:`~repro.engine.cache.CurveCache`: refits skip entirely when
@@ -86,6 +94,7 @@ class SliceTunerConfig:
     min_slice_size: int = 0
     max_iterations: int = 30
     evaluation_trials: int = 1
+    acquisition_rounds: int = 1
     incremental_curves: bool = False
 
     def __post_init__(self) -> None:
@@ -103,6 +112,10 @@ class SliceTunerConfig:
             raise ConfigurationError(
                 f"evaluation_trials must be positive, got {self.evaluation_trials}"
             )
+        if self.acquisition_rounds < 1:
+            raise ConfigurationError(
+                f"acquisition_rounds must be >= 1, got {self.acquisition_rounds}"
+            )
 
 
 class SliceTuner:
@@ -114,8 +127,20 @@ class SliceTuner:
         The slices and their current data.  The tuner mutates this object as
         data is acquired.
     source:
-        Where new examples come from (simulator, pool, or crowdsourcing
-        simulator).
+        Which provider leads the acquisition routing: the name of an entry
+        in ``sources``, or (deprecation shim for the pre-service API) a bare
+        :class:`~repro.acquisition.source.DataSource` instance, registered
+        as the single provider ``"default"``.  When ``sources`` holds
+        several providers the selected one is tried first and the rest serve
+        as failover, in table order; omitted, the table order itself is the
+        priority order.
+    sources:
+        Named provider table for the run — a mapping of provider name to
+        :class:`~repro.acquisition.source.DataSource` (insertion order =
+        priority order), e.g. ``{"pool": pool, "generator": simulator}``.
+        Every session acquisition is routed across this table through an
+        :class:`~repro.acquisition.router.AcquisitionRouter`, so a dry pool
+        fails over to the next provider instead of ending the run.
     model_factory:
         Callable ``n_classes -> model``; defaults to softmax regression.
     trainer_config:
@@ -149,7 +174,7 @@ class SliceTuner:
     def __init__(
         self,
         sliced: SlicedDataset,
-        source: DataSource,
+        source: DataSource | str | None = None,
         model_factory: ModelFactory | None = None,
         trainer_config: TrainingConfig | None = None,
         curve_config: CurveEstimationConfig | None = None,
@@ -158,9 +183,12 @@ class SliceTuner:
         random_state: RandomState = None,
         executor: Executor | None = None,
         result_cache: ResultCache | None = None,
+        sources: Mapping[str, DataSource] | None = None,
     ) -> None:
         self.sliced = sliced
-        self.source = source
+        self.sources, self.provider_order, self.source = _resolve_sources(
+            source, sources
+        )
         self.model_factory = model_factory or default_model_factory
         self.trainer_config = trainer_config or TrainingConfig()
         self.curve_config = curve_config or CurveEstimationConfig()
@@ -295,6 +323,59 @@ class SliceTuner:
     def available_methods() -> tuple[str, ...]:
         """Every strategy name :meth:`run` currently accepts."""
         return available_strategies()
+
+
+def _resolve_sources(
+    source: DataSource | str | None,
+    sources: Mapping[str, DataSource] | None,
+) -> tuple[dict[str, DataSource], tuple[str, ...], DataSource]:
+    """Resolve the ``(source=, sources=)`` constructor surface.
+
+    Returns ``(provider table, priority order, primary source view)``.  The
+    primary view is the single :class:`DataSource` legacy readers (e.g.
+    ``TunerState.source``) see: the provider itself for a one-entry table,
+    or a :class:`~repro.acquisition.providers.CompositeSource` over the
+    priority order when several providers are configured.
+    """
+    if sources:
+        table = dict(sources)
+        for name, provider in table.items():
+            if not isinstance(provider, DataSource):
+                raise ConfigurationError(
+                    f"sources[{name!r}] does not implement DataSource "
+                    f"(got {type(provider).__name__})"
+                )
+        if source is None:
+            order = tuple(table)
+        elif isinstance(source, str):
+            if source not in table:
+                raise ConfigurationError(
+                    f"source {source!r} is not in the sources table; "
+                    f"available: {sorted(table)}"
+                )
+            order = (source, *(name for name in table if name != source))
+        else:
+            raise ConfigurationError(
+                "when sources= is given, select the lead provider by name "
+                "(source=\"name\"), not by instance"
+            )
+        if len(order) == 1:
+            return table, order, table[order[0]]
+        view = CompositeSource([(name, table[name]) for name in order])
+        return table, order, view
+    if source is None:
+        raise ConfigurationError(
+            "SliceTuner needs a data source: pass sources={name: DataSource, ...} "
+            "(optionally selecting a lead with source=\"name\") or a bare "
+            "DataSource instance"
+        )
+    if isinstance(source, str):
+        raise ConfigurationError(
+            f"source {source!r} names a provider but no sources= table was given"
+        )
+    # Deprecation shim: the pre-service API passed a bare DataSource; it
+    # becomes the single provider "default" in the routing table.
+    return {DEFAULT_PROVIDER: source}, (DEFAULT_PROVIDER,), source
 
 
 def _average_reports(reports: list[FairnessReport]) -> FairnessReport:

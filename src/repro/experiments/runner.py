@@ -19,7 +19,13 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro.acquisition.source import GeneratorDataSource
+from repro.acquisition.crowdsourcing import CrowdsourcingSimulator
+from repro.acquisition.providers import CompositeSource, ThrottledSource
+from repro.acquisition.source import (
+    DataSource,
+    GeneratorDataSource,
+    PoolDataSource,
+)
 from repro.core.registry import available_strategies, is_registered
 from repro.core.tuner import SliceTuner, SliceTunerConfig
 from repro.curves.estimator import ModelFactory, default_model_factory
@@ -100,10 +106,81 @@ def _model_factory_for(config: ExperimentConfig) -> ModelFactory:
     raise ConfigurationError(f"unknown model kind {model_kind!r}")
 
 
-def prepare_instance(
+#: Source kinds :func:`build_sources` understands (CLI ``--source`` choices).
+SOURCE_KINDS = ("generator", "pool", "mixed", "flaky", "crowdsourcing")
+
+
+def build_sources(
+    kind: str, task, seed: int, base_size: int = 200
+) -> dict[str, DataSource]:
+    """Build the named provider table for one experiment instance.
+
+    Returns a mapping of provider name to source in priority order, ready
+    for ``SliceTuner(sources=...)``:
+
+    * ``"generator"`` — the paper's unlimited simulator (single provider).
+    * ``"pool"`` — finite per-slice reserves (``4 * base_size`` each).
+    * ``"mixed"`` — a small pool (``base_size // 2`` per slice) that drains
+      mid-run, with the generator as failover.
+    * ``"flaky"`` — the generator behind a
+      :class:`~repro.acquisition.providers.ThrottledSource` capping every
+      request at ``max(base_size // 3, 10)`` examples, so batches come back
+      partially fulfilled.
+    * ``"crowdsourcing"`` — the AMT-style simulator (mistakes, duplicates,
+      task timing) over the generator.
+
+    All randomness derives from ``seed``, so two calls with the same
+    arguments build byte-identical tables.
+    """
+    kind = str(kind).lower()
+    generator = GeneratorDataSource(task, random_state=seed)
+    if kind == "generator":
+        return {"generator": generator}
+    if kind == "pool":
+        return {"pool": _pool_source(task, seed, per_slice=base_size * 4)}
+    if kind == "mixed":
+        pool = _pool_source(task, seed, per_slice=max(base_size // 2, 10))
+        return {"pool": pool, "generator": generator}
+    if kind == "flaky":
+        throttled = ThrottledSource(
+            generator,
+            per_request_cap=max(base_size // 3, 10),
+            latency_per_example=0.1,
+        )
+        return {"throttled_generator": throttled}
+    if kind == "crowdsourcing":
+        task_seconds = {
+            name: 1.0 + 0.25 * index
+            for index, name in enumerate(task.slice_names)
+        }
+        simulator = CrowdsourcingSimulator(
+            generator, task_seconds=task_seconds, random_state=seed + 1
+        )
+        return {"crowdsourcing": simulator}
+    raise ConfigurationError(
+        f"unknown source kind {kind!r}; available: {SOURCE_KINDS}"
+    )
+
+
+def _pool_source(task, seed: int, per_slice: int) -> PoolDataSource:
+    """Finite per-slice reserve pools generated deterministically from ``seed``."""
+    pools = {
+        name: task.generate(name, per_slice, random_state=seed + 100 + index)
+        for index, name in enumerate(task.slice_names)
+    }
+    return PoolDataSource(pools, random_state=seed + 99)
+
+
+def _source_kind_for(config: ExperimentConfig) -> str:
+    """The source kind in force: ``extra["source"]`` overrides the scenario's."""
+    scenario = build_scenario(config.scenario)
+    return str(config.extra.get("source", scenario.source_kind))
+
+
+def prepare_named_instance(
     config: ExperimentConfig, seed: int
-) -> tuple[SlicedDataset, GeneratorDataSource]:
-    """Generate one fresh (sliced dataset, acquisition source) pair."""
+) -> tuple[SlicedDataset, dict[str, DataSource]]:
+    """Generate one fresh (sliced dataset, named provider table) pair."""
     task = build_task(config.dataset, **config.extra.get("task_kwargs", {}))
     scenario = build_scenario(config.scenario)
     base_size = int(config.extra.get("base_size", 200))
@@ -113,8 +190,28 @@ def prepare_instance(
         validation_size=config.validation_size,
         random_state=seed,
     )
-    source = GeneratorDataSource(task, random_state=seed + 10_000)
-    return sliced, source
+    sources = build_sources(
+        _source_kind_for(config), task, seed=seed + 10_000, base_size=base_size
+    )
+    return sliced, sources
+
+
+def prepare_instance(
+    config: ExperimentConfig, seed: int
+) -> tuple[SlicedDataset, DataSource]:
+    """Generate one fresh (sliced dataset, acquisition source) pair.
+
+    Single-source facade over :func:`prepare_named_instance`: a one-provider
+    table returns the provider itself (for the paper's scenarios this is the
+    same :class:`~repro.acquisition.source.GeneratorDataSource` as always);
+    a multi-provider table is wrapped in a
+    :class:`~repro.acquisition.providers.CompositeSource` honouring the
+    priority order.
+    """
+    sliced, sources = prepare_named_instance(config, seed)
+    if len(sources) == 1:
+        return sliced, next(iter(sources.values()))
+    return sliced, CompositeSource(sources)
 
 
 def run_method(
@@ -122,18 +219,19 @@ def run_method(
 ) -> MethodOutcome:
     """Run one method for one trial and measure loss/unfairness before/after."""
     seed = config.seed + trial
-    sliced, source = prepare_instance(config, seed)
+    sliced, sources = prepare_named_instance(config, seed)
     tuner = SliceTuner(
         sliced=sliced,
-        source=source,
         model_factory=_model_factory_for(config),
         trainer_config=config.training_config(),
         curve_config=config.curve_config(),
         config=SliceTunerConfig(
             lam=config.lam,
             min_slice_size=config.min_slice_size,
+            acquisition_rounds=int(config.extra.get("acquisition_rounds", 1)),
         ),
         random_state=seed + 20_000,
+        sources=sources,
     )
     if method == "original":
         report = tuner.evaluate()

@@ -10,6 +10,20 @@ distribution and the Section 6.3.4 setting with very small slices.
 A :class:`Scenario` turns a synthetic task into the mapping of initial sizes
 per slice.  Difficulty information (the blueprint noise) identifies "high
 loss" and "low loss" slices for the pathological settings.
+
+Scenarios also carry a *source kind* — which acquisition setup the
+experiment runner should build (see
+:func:`repro.experiments.runner.build_sources`).  The paper's settings all
+use the unlimited ``"generator"``; the service-layer scenarios exercise the
+multi-source router instead:
+
+* ``mixed_sources`` — a finite per-slice pool that drains mid-run, with the
+  generator as failover: fulfillments start on the pool and hand over to
+  the generator, exercising :class:`~repro.acquisition.providers.
+  CompositeSource`-style priority routing.
+* ``flaky_source`` — a :class:`~repro.acquisition.providers.ThrottledSource`
+  capping every request, so each batch comes back partially fulfilled and
+  the router must retry across rounds.
 """
 
 from __future__ import annotations
@@ -33,11 +47,16 @@ class Scenario:
         What the scenario stresses (used in reports).
     sizer:
         Callable ``(task, base_size) -> {slice_name: initial_size}``.
+    source_kind:
+        Which acquisition setup the experiment runner builds for the
+        scenario (see :func:`repro.experiments.runner.build_sources`);
+        ``"generator"`` reproduces the paper's unlimited simulator.
     """
 
     name: str
     description: str
     sizer: Callable[[SyntheticTask, int], dict[str, int]]
+    source_kind: str = "generator"
 
     def initial_sizes(self, task: SyntheticTask, base_size: int) -> dict[str, int]:
         """Initial sizes for ``task`` with the scenario's rule."""
@@ -133,6 +152,24 @@ _SCENARIOS: dict[str, Scenario] = {
         name="small_slices",
         description="tiny slices with unreliable learning curves (Section 6.3.4)",
         sizer=_small_slices,
+    ),
+    "mixed_sources": Scenario(
+        name="mixed_sources",
+        description=(
+            "equal initial sizes served by a draining pool with generator "
+            "failover (multi-source routing)"
+        ),
+        sizer=_equal_sizes,
+        source_kind="mixed",
+    ),
+    "flaky_source": Scenario(
+        name="flaky_source",
+        description=(
+            "equal initial sizes served by a throttled source that caps "
+            "every request (partial fulfillments + retries)"
+        ),
+        sizer=_equal_sizes,
+        source_kind="flaky",
     ),
 }
 

@@ -109,3 +109,65 @@ class TestCrowdsourcingSimulator:
             CrowdsourcingSimulator(
                 source=GeneratorDataSource(faces_like_task()), task_seconds={}
             )
+
+
+def _fresh_simulator(seed: int = 11) -> CrowdsourcingSimulator:
+    task = faces_like_task()
+    return CrowdsourcingSimulator(
+        source=GeneratorDataSource(task, random_state=seed),
+        task_seconds=UTKFACE_TASK_SECONDS,
+        workers=WorkerPool(mistake_rate=0.08, duplicate_rate=0.04, speed_spread=0.2),
+        random_state=seed + 1,
+    )
+
+
+class TestCrowdsourcingDeterminism:
+    """Satellite: same seed => identical campaign, directly and routed."""
+
+    ORDERS = [("White_Male", 40), ("Black_Female", 25), ("White_Male", 10)]
+
+    def _run_direct(self):
+        crowd = _fresh_simulator()
+        batches = [crowd.acquire(name, count) for name, count in self.ORDERS]
+        return crowd, batches
+
+    def test_same_seed_identical_deliveries_and_cost_table(self):
+        import numpy as np
+
+        crowd_a, batches_a = self._run_direct()
+        crowd_b, batches_b = self._run_direct()
+        for left, right in zip(batches_a, batches_b):
+            assert np.array_equal(left.features, right.features)
+            assert np.array_equal(left.labels, right.labels)
+        assert [r.__dict__ for r in crowd_a.reports] == [
+            r.__dict__ for r in crowd_b.reports
+        ]
+        assert crowd_a.derive_costs() == crowd_b.derive_costs()
+        assert crowd_a.summary() == crowd_b.summary()
+
+    def test_same_seed_identical_through_router_and_service(self):
+        from repro.acquisition.budget import BudgetLedger
+        from repro.acquisition.cost import UnitCost
+        from repro.acquisition.service import AcquisitionService
+
+        def run_routed():
+            crowd = _fresh_simulator()
+            service = AcquisitionService(
+                {"crowdsourcing": crowd},
+                cost_model=UnitCost(),
+                ledger=BudgetLedger(total=1000.0),
+            )
+            summaries = [
+                service.acquire(name, count).summary()
+                for name, count in self.ORDERS
+            ]
+            return crowd, summaries
+
+        crowd_a, summaries_a = run_routed()
+        crowd_b, summaries_b = run_routed()
+        assert summaries_a == summaries_b
+        assert crowd_a.derive_costs() == crowd_b.derive_costs()
+        # The routed campaign is the same campaign the direct API runs.
+        crowd_direct, _ = self._run_direct()
+        assert crowd_direct.derive_costs() == crowd_a.derive_costs()
+        assert crowd_direct.summary() == crowd_a.summary()

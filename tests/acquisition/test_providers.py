@@ -1,0 +1,194 @@
+"""Tests for repro.acquisition.providers: registry, composite, throttle."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.acquisition.providers import (
+    CompositeSource,
+    ThrottledSource,
+    available_sources,
+    get_source,
+    is_source_registered,
+    register_source,
+    source_descriptions,
+    unregister_source,
+)
+from repro.acquisition.source import (
+    DataSource,
+    GeneratorDataSource,
+    PoolDataSource,
+)
+from repro.ml.data import Dataset
+from repro.utils.exceptions import AcquisitionError, ConfigurationError
+
+
+def make_pool(n: int, label: int = 0, n_features: int = 3) -> Dataset:
+    rng = np.random.default_rng(n)
+    return Dataset(rng.normal(size=(n, n_features)), np.full(n, label))
+
+
+class TestSourceRegistry:
+    def test_builtins_registered(self):
+        names = available_sources()
+        for name in ("generator", "pool", "crowdsourcing", "composite", "throttled"):
+            assert name in names
+
+    def test_aliases_resolve(self):
+        assert is_source_registered("simulator")
+        assert is_source_registered("amt")
+        assert not is_source_registered("no_such_source")
+
+    def test_get_source_builds_instances(self, tiny_task):
+        source = get_source("generator", task=tiny_task, random_state=3)
+        assert isinstance(source, GeneratorDataSource)
+        assert len(source.acquire("slice_0", 4)) == 4
+
+    def test_get_source_unknown_name_rejected(self):
+        with pytest.raises(ConfigurationError):
+            get_source("no_such_source")
+
+    def test_descriptions_cover_all_primaries(self):
+        descriptions = source_descriptions()
+        assert set(descriptions) == set(available_sources())
+        assert all(descriptions[name] for name in ("generator", "pool"))
+
+    def test_custom_registration_and_teardown(self):
+        @register_source("test_only_source", description="for this test")
+        class TestOnlySource:
+            def acquire(self, slice_name, count):
+                return Dataset.empty(1)
+
+            def available(self, slice_name):
+                return 0
+
+        try:
+            assert is_source_registered("test_only_source")
+            assert isinstance(get_source("test_only_source"), DataSource)
+        finally:
+            unregister_source("test_only_source")
+        assert not is_source_registered("test_only_source")
+
+    def test_duplicate_registration_rejected(self):
+        with pytest.raises(ConfigurationError):
+            register_source("generator")(GeneratorDataSource)
+
+    def test_factory_must_return_datasource(self):
+        register_source("broken_source")(lambda: object())
+        try:
+            with pytest.raises(ConfigurationError):
+                get_source("broken_source")
+        finally:
+            unregister_source("broken_source")
+
+
+class TestCompositeSource:
+    def test_failover_on_shortfall(self, tiny_task):
+        pool = PoolDataSource({"slice_0": make_pool(5, n_features=8)}, random_state=0)
+        generator = GeneratorDataSource(tiny_task, random_state=1)
+        composite = CompositeSource({"pool": pool, "generator": generator})
+        delivered = composite.acquire("slice_0", 12)
+        assert len(delivered) == 12
+        assert composite.last_provenance == ("pool", "generator")
+        assert composite.last_contributions == {"pool": 5, "generator": 7}
+
+    def test_failover_on_uncovered_slice(self, tiny_task):
+        pool = PoolDataSource({"slice_0": make_pool(5, n_features=8)}, random_state=0)
+        generator = GeneratorDataSource(tiny_task, random_state=1)
+        composite = CompositeSource({"pool": pool, "generator": generator})
+        delivered = composite.acquire("slice_1", 6)
+        assert len(delivered) == 6
+        assert composite.last_provenance == ("generator",)
+
+    def test_priority_order_respected(self, tiny_task):
+        pool = PoolDataSource({"slice_0": make_pool(20, n_features=8)}, random_state=0)
+        generator = GeneratorDataSource(tiny_task, random_state=1)
+        composite = CompositeSource([("pool", pool), ("generator", generator)])
+        composite.acquire("slice_0", 10)
+        assert composite.last_provenance == ("pool",)
+        assert generator.total_delivered == 0
+
+    def test_all_providers_refusing_raises(self):
+        pool_a = PoolDataSource({"a": make_pool(3)}, random_state=0)
+        pool_b = PoolDataSource({"b": make_pool(3)}, random_state=0)
+        composite = CompositeSource({"a_pool": pool_a, "b_pool": pool_b})
+        with pytest.raises(AcquisitionError):
+            composite.acquire("c", 1)
+
+    def test_available_sums_finite_providers(self):
+        composite = CompositeSource(
+            {
+                "one": PoolDataSource({"a": make_pool(3)}, random_state=0),
+                "two": PoolDataSource({"a": make_pool(4)}, random_state=0),
+            }
+        )
+        assert composite.available("a") == 7
+
+    def test_available_unlimited_when_any_generator(self, tiny_task):
+        composite = CompositeSource(
+            {
+                "pool": PoolDataSource(
+                    {"slice_0": make_pool(3, n_features=8)}, random_state=0
+                ),
+                "generator": GeneratorDataSource(tiny_task, random_state=1),
+            }
+        )
+        assert composite.available("slice_0") is None
+
+    def test_empty_table_rejected(self):
+        with pytest.raises(ConfigurationError):
+            CompositeSource({})
+
+    def test_satisfies_datasource_protocol(self, tiny_task):
+        composite = CompositeSource(
+            {"generator": GeneratorDataSource(tiny_task, random_state=0)}
+        )
+        assert isinstance(composite, DataSource)
+
+
+class TestThrottledSource:
+    def test_caps_each_request(self, tiny_task):
+        throttled = ThrottledSource(
+            GeneratorDataSource(tiny_task, random_state=0), per_request_cap=4
+        )
+        assert len(throttled.acquire("slice_0", 10)) == 4
+        assert throttled.throttled_requests == 1
+        assert len(throttled.acquire("slice_0", 3)) == 3
+        assert throttled.throttled_requests == 1
+
+    def test_per_slice_caps(self, tiny_task):
+        throttled = ThrottledSource(
+            GeneratorDataSource(tiny_task, random_state=0),
+            per_request_cap={"slice_0": 2},
+        )
+        assert len(throttled.acquire("slice_0", 10)) == 2
+        assert len(throttled.acquire("slice_1", 10)) == 10  # uncapped slice
+
+    def test_simulated_latency_accumulates_without_sleeping(self, tiny_task):
+        throttled = ThrottledSource(
+            GeneratorDataSource(tiny_task, random_state=0),
+            latency_per_request=1.0,
+            latency_per_example=0.5,
+        )
+        throttled.acquire("slice_0", 4)
+        assert throttled.simulated_seconds == pytest.approx(1.0 + 0.5 * 4)
+        throttled.acquire("slice_0", 2)
+        assert throttled.simulated_seconds == pytest.approx(2.0 + 0.5 * 6)
+
+    def test_availability_delegates(self):
+        throttled = ThrottledSource(
+            PoolDataSource({"a": make_pool(9)}, random_state=0), per_request_cap=2
+        )
+        assert throttled.available("a") == 9
+
+    def test_invalid_cap_rejected(self, tiny_task):
+        generator = GeneratorDataSource(tiny_task, random_state=0)
+        with pytest.raises(ConfigurationError):
+            ThrottledSource(generator, per_request_cap=0)
+        with pytest.raises(ConfigurationError):
+            ThrottledSource(generator, per_request_cap={"slice_0": 0})
+
+    def test_satisfies_datasource_protocol(self, tiny_task):
+        throttled = ThrottledSource(GeneratorDataSource(tiny_task, random_state=0))
+        assert isinstance(throttled, DataSource)

@@ -1,0 +1,260 @@
+"""Tests for the acquisition request/fulfillment pipeline (service + router)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.acquisition.budget import BudgetLedger
+from repro.acquisition.cost import EscalatingCost, TableCost, UnitCost
+from repro.acquisition.providers import ThrottledSource
+from repro.acquisition.requests import AcquisitionRequest
+from repro.acquisition.router import AcquisitionRouter
+from repro.acquisition.service import AcquisitionService
+from repro.acquisition.source import GeneratorDataSource, PoolDataSource
+from repro.ml.data import Dataset
+from repro.utils.exceptions import AcquisitionError, ConfigurationError
+
+
+def make_pool(n: int, label: int = 0, n_features: int = 8) -> Dataset:
+    rng = np.random.default_rng(n)
+    return Dataset(rng.normal(size=(n, n_features)), np.full(n, label))
+
+
+class TestAcquisitionRequest:
+    def test_validation(self):
+        with pytest.raises(AcquisitionError):
+            AcquisitionRequest("a", -1)
+        with pytest.raises(AcquisitionError):
+            AcquisitionRequest("a", 5, max_cost=-2.0)
+        with pytest.raises(AcquisitionError):
+            AcquisitionRequest("a", 5, deadline_rounds=0)
+
+    def test_count_coerced_to_int(self):
+        assert AcquisitionRequest("a", 5.0).count == 5
+
+
+class TestAcquisitionRouter:
+    def test_single_provider_roundtrip(self, tiny_task):
+        router = AcquisitionRouter(
+            {"generator": GeneratorDataSource(tiny_task, random_state=0)}
+        )
+        delivery = router.fulfill("slice_0", 6)
+        assert len(delivery.dataset) == 6
+        assert delivery.provenance == ("generator",)
+        assert delivery.rounds == 1
+
+    def test_failover_within_one_round(self, tiny_task):
+        router = AcquisitionRouter(
+            {
+                "pool": PoolDataSource({"slice_0": make_pool(4)}, random_state=0),
+                "generator": GeneratorDataSource(tiny_task, random_state=1),
+            }
+        )
+        delivery = router.fulfill("slice_0", 10)
+        assert len(delivery.dataset) == 10
+        assert delivery.contributions == {"pool": 4, "generator": 6}
+
+    def test_multiple_rounds_fill_throttled_provider(self, tiny_task):
+        throttled = ThrottledSource(
+            GeneratorDataSource(tiny_task, random_state=0), per_request_cap=3
+        )
+        router = AcquisitionRouter({"throttled": throttled})
+        delivery = router.fulfill("slice_0", 8, deadline_rounds=5)
+        assert len(delivery.dataset) == 8
+        assert delivery.rounds == 3  # 3 + 3 + 2
+
+    def test_deadline_bounds_rounds(self, tiny_task):
+        throttled = ThrottledSource(
+            GeneratorDataSource(tiny_task, random_state=0), per_request_cap=3
+        )
+        router = AcquisitionRouter({"throttled": throttled})
+        delivery = router.fulfill("slice_0", 10, deadline_rounds=2)
+        assert len(delivery.dataset) == 6
+        assert delivery.rounds == 2
+
+    def test_dry_round_stops_early(self):
+        router = AcquisitionRouter(
+            {"pool": PoolDataSource({"a": make_pool(2)}, random_state=0)}
+        )
+        delivery = router.fulfill("a", 10, deadline_rounds=4)
+        assert len(delivery.dataset) == 2
+        assert delivery.rounds == 2  # the first dry round ends the attempt
+
+    def test_per_slice_routes(self, tiny_task):
+        generator_a = GeneratorDataSource(tiny_task, random_state=0)
+        generator_b = GeneratorDataSource(tiny_task, random_state=1)
+        router = AcquisitionRouter(
+            {"a": generator_a, "b": generator_b},
+            routes={"slice_1": "b"},
+        )
+        assert router.route("slice_1") == ("b",)
+        assert router.route("slice_0") == ("a", "b")
+        router.fulfill("slice_1", 5)
+        assert generator_a.total_delivered == 0
+        assert generator_b.total_delivered == 5
+
+    def test_unknown_provider_in_route_rejected(self, tiny_task):
+        generator = GeneratorDataSource(tiny_task, random_state=0)
+        with pytest.raises(ConfigurationError):
+            AcquisitionRouter({"g": generator}, routes={"slice_0": "nope"})
+        router = AcquisitionRouter({"g": generator})
+        with pytest.raises(ConfigurationError):
+            router.set_route("slice_0", ("nope",))
+
+    def test_all_providers_refusing_raises(self):
+        router = AcquisitionRouter(
+            {"pool": PoolDataSource({"a": make_pool(2)}, random_state=0)}
+        )
+        with pytest.raises(AcquisitionError):
+            router.fulfill("b", 1)
+
+    def test_available_sums_routed_providers(self, tiny_task):
+        router = AcquisitionRouter(
+            {
+                "pool": PoolDataSource({"slice_0": make_pool(4)}, random_state=0),
+                "generator": GeneratorDataSource(tiny_task, random_state=1),
+            }
+        )
+        assert router.available("slice_0") is None
+        only_pool = AcquisitionRouter(
+            {"pool": PoolDataSource({"slice_0": make_pool(4)}, random_state=0)}
+        )
+        assert only_pool.available("slice_0") == 4
+
+
+class TestAcquisitionService:
+    def make_service(self, source, budget=1000.0, cost_model=None, sliced=None):
+        return AcquisitionService(
+            source,
+            cost_model=cost_model or UnitCost(),
+            ledger=BudgetLedger(total=budget),
+            sliced=sliced,
+        )
+
+    def test_full_fulfillment(self, tiny_task):
+        service = self.make_service(GeneratorDataSource(tiny_task, random_state=0))
+        fulfillment = service.acquire("slice_0", 7)
+        assert fulfillment.status == "fulfilled"
+        assert fulfillment.delivered_count == 7
+        assert fulfillment.shortfall == 0
+        assert fulfillment.cost == pytest.approx(7.0)
+        assert service.ledger.spent == pytest.approx(7.0)
+
+    def test_partial_fulfillment_charges_delivered_only(self):
+        service = self.make_service(
+            PoolDataSource({"a": make_pool(4)}, random_state=0)
+        )
+        fulfillment = service.acquire("a", 10)
+        assert fulfillment.status == "partial"
+        assert fulfillment.delivered_count == 4
+        assert fulfillment.shortfall == 6
+        assert service.ledger.spent == pytest.approx(4.0)
+
+    def test_empty_fulfillment_from_dry_pool(self):
+        source = PoolDataSource({"a": make_pool(3)}, random_state=0)
+        service = self.make_service(source)
+        service.acquire("a", 3)
+        fulfillment = service.acquire("a", 5)
+        assert fulfillment.status == "empty"
+        assert fulfillment.delivered_count == 0
+        assert service.ledger.spent == pytest.approx(3.0)
+
+    def test_budget_cap_produces_skipped_not_error(self, tiny_task):
+        source = GeneratorDataSource(tiny_task, random_state=0)
+        service = self.make_service(source, budget=5.0)
+        first = service.acquire("slice_0", 5)
+        assert first.status == "fulfilled"
+        second = service.acquire("slice_0", 3)
+        assert second.status == "skipped"
+        assert second.rounds == 0
+        assert source.total_delivered == 5  # the skipped request never reached it
+
+    def test_budget_cap_truncates_oversized_request(self, tiny_task):
+        service = self.make_service(
+            GeneratorDataSource(tiny_task, random_state=0), budget=6.0
+        )
+        fulfillment = service.acquire("slice_0", 50)
+        assert fulfillment.effective_count == 6
+        assert fulfillment.delivered_count == 6
+        assert fulfillment.status == "fulfilled"  # filled to the effective count
+
+    def test_max_cost_caps_effective_count(self, tiny_task):
+        service = self.make_service(
+            GeneratorDataSource(tiny_task, random_state=0),
+            cost_model=TableCost({"slice_0": 2.0}),
+        )
+        fulfillment = service.acquire("slice_0", 50, max_cost=7.0)
+        assert fulfillment.effective_count == 3  # floor(7 / 2)
+        assert fulfillment.cost == pytest.approx(6.0)
+
+    def test_submit_preserves_order_and_fires_callbacks(self, tiny_task):
+        service = self.make_service(GeneratorDataSource(tiny_task, random_state=0))
+        seen = []
+        service.add_callback(lambda f: seen.append(f.slice_name))
+        fulfillments = service.submit(
+            [
+                AcquisitionRequest("slice_0", 2),
+                AcquisitionRequest("slice_1", 3),
+                AcquisitionRequest("slice_2", 0),
+            ]
+        )
+        assert [f.slice_name for f in fulfillments] == ["slice_0", "slice_1", "slice_2"]
+        assert fulfillments[2].status == "skipped"
+        assert seen == ["slice_0", "slice_1", "slice_2"]
+        assert service.delivered_by_slice() == {
+            "slice_0": 2, "slice_1": 3, "slice_2": 0,
+        }
+
+    def test_sliced_dataset_grows_with_deliveries(self, tiny_task):
+        sliced = tiny_task.initial_sliced_dataset(
+            initial_sizes=10, validation_size=10, random_state=0
+        )
+        before = sliced["slice_0"].size
+        service = self.make_service(
+            GeneratorDataSource(tiny_task, random_state=1), sliced=sliced
+        )
+        service.acquire("slice_0", 6)
+        assert sliced["slice_0"].size == before + 6
+
+    def test_escalating_cost_records_delivered_not_requested(self):
+        """Satellite: delivered-not-requested semantics pinned end to end.
+
+        A pool that comes back short still escalates (one non-empty batch was
+        delivered), but a completely dry delivery must neither charge the
+        ledger nor advance the escalation schedule — requested counts never
+        leak into the cost model.
+        """
+        cost_model = EscalatingCost({"a": 1.0}, escalation=0.5)
+        source = PoolDataSource({"a": make_pool(4)}, random_state=0)
+        service = AcquisitionService(
+            source, cost_model=cost_model, ledger=BudgetLedger(total=100.0)
+        )
+        short = service.acquire("a", 10)  # delivers 4 of 10
+        assert short.delivered_count == 4
+        assert service.ledger.spent == pytest.approx(4.0)
+        assert cost_model.batches_recorded("a") == 1
+
+        dry = service.acquire("a", 10)  # pool is empty now
+        assert dry.delivered_count == 0
+        assert service.ledger.spent == pytest.approx(4.0)
+        assert cost_model.batches_recorded("a") == 1  # no phantom escalation
+
+    def test_shortfall_by_slice_accumulates(self):
+        service = self.make_service(
+            PoolDataSource({"a": make_pool(4)}, random_state=0)
+        )
+        service.acquire("a", 10)
+        service.acquire("a", 2)
+        assert service.shortfall_by_slice() == {"a": 8}
+
+    def test_release_payloads_keeps_accounting(self, tiny_task):
+        service = self.make_service(GeneratorDataSource(tiny_task, random_state=0))
+        service.acquire("slice_0", 6)
+        service.acquire("slice_1", 3)
+        summaries_before = [f.summary() for f in service.fulfillments]
+        assert service.release_payloads() == 2
+        assert all(f.delivered is None for f in service.fulfillments)
+        assert [f.summary() for f in service.fulfillments] == summaries_before
+        assert service.delivered_by_slice() == {"slice_0": 6, "slice_1": 3}
+        assert service.release_payloads() == 0  # idempotent

@@ -88,3 +88,31 @@ class TestPoolDataSource:
 
     def test_satisfies_datasource_protocol(self):
         assert isinstance(PoolDataSource({"a": make_pool(3)}), DataSource)
+
+    def test_draining_by_small_acquires_is_exact(self):
+        """Regression: many partial acquires never over-report or duplicate.
+
+        Drains a pool of 57 uniquely-tagged examples with acquires of odd
+        sizes (including over-asks) and checks, after every step, that
+        ``available()`` plus everything delivered equals the initial size,
+        that no example is ever delivered twice, and that the drained pool
+        keeps returning empty datasets instead of recycling data.
+        """
+        n = 57
+        features = np.arange(n, dtype=float).reshape(n, 1)  # unique tags
+        pool = Dataset(features, np.zeros(n, dtype=int))
+        source = PoolDataSource({"a": pool}, random_state=3)
+        seen: set[float] = set()
+        delivered_total = 0
+        for step, ask in enumerate([5, 1, 9, 2, 13, 4, 30, 8, 5]):
+            batch = source.acquire("a", ask)
+            tags = [float(x) for x in batch.features[:, 0]]
+            assert not seen.intersection(tags), f"duplicate delivery at step {step}"
+            seen.update(tags)
+            delivered_total += len(batch)
+            assert source.available("a") == n - delivered_total
+            assert source.available("a") + delivered_total == n
+        assert delivered_total == n
+        assert source.available("a") == 0
+        assert len(source.acquire("a", 10)) == 0
+        assert source.available("a") == 0

@@ -1,0 +1,361 @@
+"""Acceptance tests for the acquisition service inside tuning sessions.
+
+The contract of the service redesign (ISSUE 3):
+
+* every registered strategy (and the bandit) runs unmodified through the
+  :class:`~repro.acquisition.service.AcquisitionService`, with fulfillment
+  summaries recorded on each iteration record,
+* a pool → generator failover completes a full ``SliceTuner.run`` with
+  partial fulfillments surfaced as session events instead of exceptions,
+  byte-identical between ``SerialExecutor`` and ``ProcessPoolExecutor``, and
+* the ``sources=``/``source="name"`` constructor surface routes acquisitions
+  across the named provider table (with the bare-``DataSource`` shim kept).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.acquisition.cost import EscalatingCost
+from repro.acquisition.providers import ThrottledSource
+from repro.acquisition.source import GeneratorDataSource, PoolDataSource
+from repro.bandit.rotting import RottingBanditAcquirer
+from repro.core.registry import available_strategies
+from repro.core.session import FulfillmentEvent, IterationEvent
+from repro.core.tuner import SliceTuner, SliceTunerConfig
+from repro.engine.executor import ProcessPoolExecutor, SerialExecutor
+from repro.utils.exceptions import ConfigurationError
+
+
+def make_tuner(task, fast_training, fast_curves, *, sources=None, source=None,
+               seed=0, executor=None, **config_kwargs):
+    """One deterministically seeded tuner on a fresh dataset instance."""
+    config_kwargs.setdefault("evaluation_trials", 1)
+    config_kwargs.setdefault("max_iterations", 4)
+    sliced = task.initial_sliced_dataset(30, 50, random_state=seed)
+    if sources is None and source is None:
+        source = GeneratorDataSource(task, random_state=seed + 1)
+    return SliceTuner(
+        sliced,
+        source,
+        trainer_config=fast_training,
+        curve_config=fast_curves,
+        config=SliceTunerConfig(**config_kwargs),
+        random_state=seed,
+        executor=executor,
+        sources=sources,
+    )
+
+
+def pool_generator_sources(task, seed=0, pool_size=12):
+    """A small pool that drains mid-run, with the generator as failover."""
+    pools = {
+        name: task.generate(name, pool_size, random_state=seed + 50 + i)
+        for i, name in enumerate(task.slice_names)
+    }
+    return {
+        "pool": PoolDataSource(pools, random_state=seed + 2),
+        "generator": GeneratorDataSource(task, random_state=seed + 1),
+    }
+
+
+class TestAllStrategiesThroughService:
+    @pytest.mark.parametrize("strategy", available_strategies())
+    def test_strategy_runs_and_records_fulfillments(
+        self, tiny_task, fast_training, fast_curves, strategy
+    ):
+        tuner = make_tuner(tiny_task, fast_training, fast_curves)
+        result = tuner.run(budget=60, method=strategy, evaluate=False)
+        assert result.spent > 0
+        fulfillments = [
+            entry for record in result.iterations for entry in record.fulfillments
+        ]
+        assert fulfillments, f"{strategy} produced no fulfillment records"
+        for entry in fulfillments:
+            assert entry["delivered"] <= entry["effective"] <= entry["requested"]
+            if entry["delivered"]:
+                assert entry["provenance"] == ["default"]
+
+    @pytest.mark.parametrize("strategy", available_strategies())
+    def test_strategy_runs_over_named_multi_source_table(
+        self, tiny_task, fast_training, fast_curves, strategy
+    ):
+        tuner = make_tuner(
+            tiny_task,
+            fast_training,
+            fast_curves,
+            sources=pool_generator_sources(tiny_task),
+        )
+        result = tuner.run(budget=60, method=strategy, evaluate=False)
+        assert result.spent > 0
+        providers = {
+            name
+            for record in result.iterations
+            for entry in record.fulfillments
+            for name in entry["provenance"]
+        }
+        assert providers <= {"pool", "generator"} and providers
+
+
+class TestCompositeFailoverAcceptance:
+    def run_with_events(self, task, fast_training, fast_curves, executor):
+        tuner = make_tuner(
+            task,
+            fast_training,
+            fast_curves,
+            sources=pool_generator_sources(task),
+            executor=executor,
+        )
+        session = tuner.session()
+        events = list(session.stream_events(budget=120, strategy="moderate"))
+        return session.result(), events
+
+    def test_partial_fulfillments_surface_as_events_byte_identical(
+        self, tiny_task, fast_training, fast_curves
+    ):
+        serial_result, serial_events = self.run_with_events(
+            tiny_task, fast_training, fast_curves, SerialExecutor()
+        )
+        with ProcessPoolExecutor(max_workers=1) as pool:
+            process_result, process_events = self.run_with_events(
+                tiny_task, fast_training, fast_curves, pool
+            )
+
+        # The run completed and consumed the failover: the 12-example pools
+        # drain and the generator takes over, visibly in the provenance.
+        assert serial_result.spent > 0
+        fulfillment_events = [
+            event for event in serial_events if isinstance(event, FulfillmentEvent)
+        ]
+        iteration_events = [
+            event for event in serial_events if isinstance(event, IterationEvent)
+        ]
+        assert fulfillment_events and iteration_events
+        providers = {
+            name
+            for event in fulfillment_events
+            for name in event.fulfillment.provenance
+        }
+        assert "generator" in providers and "pool" in providers
+        assert any(
+            len(event.fulfillment.provenance) > 1 for event in fulfillment_events
+        ), "no fulfillment was split across providers"
+
+        # Byte-identical between executors: same events, same result.
+        assert serial_result.to_json() == process_result.to_json()
+        assert [e.kind for e in serial_events] == [e.kind for e in process_events]
+        serial_summaries = [
+            e.fulfillment.summary() for e in serial_events
+            if isinstance(e, FulfillmentEvent)
+        ]
+        process_summaries = [
+            e.fulfillment.summary() for e in process_events
+            if isinstance(e, FulfillmentEvent)
+        ]
+        assert serial_summaries == process_summaries
+
+    def test_fulfillment_hooks_fire(self, tiny_task, fast_training, fast_curves):
+        tuner = make_tuner(
+            tiny_task,
+            fast_training,
+            fast_curves,
+            sources=pool_generator_sources(tiny_task),
+        )
+        seen = []
+        session = tuner.session(on_fulfillment=lambda f: seen.append(f))
+        records = list(session.stream(budget=80, strategy="uniform"))
+        recorded = [entry for r in records for entry in r.fulfillments]
+        assert len(seen) == len(recorded)
+        assert [f.summary() for f in seen] == recorded
+
+
+class TestAcquisitionRounds:
+    def test_throttled_source_fills_within_extra_rounds(
+        self, tiny_task, fast_training, fast_curves
+    ):
+        def build(rounds):
+            throttled = ThrottledSource(
+                GeneratorDataSource(tiny_task, random_state=1),
+                per_request_cap=5,
+            )
+            return make_tuner(
+                tiny_task,
+                fast_training,
+                fast_curves,
+                sources={"throttled": throttled},
+                acquisition_rounds=rounds,
+            )
+
+        single = build(1).run(budget=60, method="uniform", evaluate=False)
+        multi = build(6).run(budget=60, method="uniform", evaluate=False)
+        single_short = sum(
+            entry["shortfall"]
+            for record in single.iterations
+            for entry in record.fulfillments
+        )
+        multi_short = sum(
+            entry["shortfall"]
+            for record in multi.iterations
+            for entry in record.fulfillments
+        )
+        assert single_short > 0  # one round per request leaves orders short
+        assert multi_short == 0  # extra rounds fill them
+        assert multi.spent > single.spent
+
+    def test_invalid_rounds_rejected(self):
+        with pytest.raises(ConfigurationError):
+            SliceTunerConfig(acquisition_rounds=0)
+
+
+class TestSourcesConstructorSurface:
+    def test_bare_datasource_shim(self, tiny_task):
+        source = GeneratorDataSource(tiny_task, random_state=1)
+        sliced = tiny_task.initial_sliced_dataset(20, 20, random_state=0)
+        tuner = SliceTuner(sliced, source, random_state=0)
+        assert tuner.source is source
+        assert tuner.sources == {"default": source}
+        assert tuner.provider_order == ("default",)
+
+    def test_named_table_with_lead_selection(self, tiny_task):
+        sources = pool_generator_sources(tiny_task)
+        sliced = tiny_task.initial_sliced_dataset(20, 20, random_state=0)
+        tuner = SliceTuner(sliced, "generator", sources=sources, random_state=0)
+        assert tuner.provider_order == ("generator", "pool")
+        assert tuner.sources == dict(sources)
+
+    def test_single_entry_table_unwraps_to_provider(self, tiny_task):
+        generator = GeneratorDataSource(tiny_task, random_state=1)
+        sliced = tiny_task.initial_sliced_dataset(20, 20, random_state=0)
+        tuner = SliceTuner(sliced, sources={"generator": generator}, random_state=0)
+        assert tuner.source is generator
+
+    def test_missing_source_rejected(self, tiny_task):
+        sliced = tiny_task.initial_sliced_dataset(20, 20, random_state=0)
+        with pytest.raises(ConfigurationError):
+            SliceTuner(sliced, random_state=0)
+
+    def test_unknown_lead_name_rejected(self, tiny_task):
+        sliced = tiny_task.initial_sliced_dataset(20, 20, random_state=0)
+        sources = pool_generator_sources(tiny_task)
+        with pytest.raises(ConfigurationError):
+            SliceTuner(sliced, "nope", sources=sources, random_state=0)
+
+    def test_name_without_table_rejected(self, tiny_task):
+        sliced = tiny_task.initial_sliced_dataset(20, 20, random_state=0)
+        with pytest.raises(ConfigurationError):
+            SliceTuner(sliced, "generator", random_state=0)
+
+
+class TestDeliveredNotRequestedSemantics:
+    """Satellite: the ledger/cost model see delivered counts on every path."""
+
+    def pool_only_tuner(self, task, fast_training, fast_curves, pool_size=8):
+        pools = {
+            name: task.generate(name, pool_size, random_state=60 + i)
+            for i, name in enumerate(task.slice_names)
+        }
+        cost_model = EscalatingCost(
+            {name: 1.0 for name in task.slice_names}, escalation=0.25
+        )
+        sliced = task.initial_sliced_dataset(30, 50, random_state=0)
+        tuner = SliceTuner(
+            sliced,
+            PoolDataSource(pools, random_state=2),
+            trainer_config=fast_training,
+            curve_config=fast_curves,
+            cost_model=cost_model,
+            config=SliceTunerConfig(evaluation_trials=1, max_iterations=3),
+            random_state=0,
+        )
+        return tuner, cost_model
+
+    def test_session_path_charges_delivered_only(
+        self, tiny_task, fast_training, fast_curves
+    ):
+        tuner, cost_model = self.pool_only_tuner(
+            tiny_task, fast_training, fast_curves
+        )
+        result = tuner.run(budget=500, method="uniform", evaluate=False)
+        delivered = sum(result.total_acquired.values())
+        assert delivered <= 3 * 8  # the pools bound everything
+        # Spending equals the sum of per-fulfillment charges, which are all
+        # delivered * unit_cost — requested counts never reach the ledger.
+        charged = sum(
+            entry["cost"]
+            for record in result.iterations
+            for entry in record.fulfillments
+        )
+        assert result.spent == pytest.approx(charged)
+        shortfalls = sum(
+            entry["shortfall"]
+            for record in result.iterations
+            for entry in record.fulfillments
+        )
+        assert shortfalls > 0  # the dry pools did come back short
+        for name in tiny_task.slice_names:
+            non_empty = sum(
+                1
+                for record in result.iterations
+                for entry in record.fulfillments
+                if entry["slice"] == name and entry["delivered"] > 0
+            )
+            assert cost_model.batches_recorded(name) == non_empty
+
+    def test_bandit_path_charges_delivered_only(
+        self, tiny_task, fast_training
+    ):
+        pools = {
+            name: tiny_task.generate(name, 6, random_state=70 + i)
+            for i, name in enumerate(tiny_task.slice_names)
+        }
+        cost_model = EscalatingCost(
+            {name: 1.0 for name in tiny_task.slice_names}, escalation=0.25
+        )
+        sliced = tiny_task.initial_sliced_dataset(30, 50, random_state=0)
+        acquirer = RottingBanditAcquirer(
+            batch_size=10,
+            trainer_config=fast_training,
+            random_state=0,
+        )
+        result = acquirer.run(
+            sliced,
+            budget=200,
+            source=PoolDataSource(pools, random_state=2),
+            cost_model=cost_model,
+        )
+        delivered = sum(result.total_acquired.values())
+        assert delivered == 3 * 6  # everything the pools held, nothing more
+        assert result.spent == pytest.approx(
+            sum(entry["cost"] for entry in result.fulfillments)
+        )
+        empty_pulls = [
+            entry for entry in result.fulfillments if entry["delivered"] == 0
+        ]
+        assert empty_pulls, "dry pools should surface as empty fulfillments"
+        for name in tiny_task.slice_names:
+            non_empty = sum(
+                1
+                for entry in result.fulfillments
+                if entry["slice"] == name and entry["delivered"] > 0
+            )
+            assert cost_model.batches_recorded(name) == non_empty
+
+
+class TestFulfillmentSerialization:
+    def test_records_roundtrip_with_fulfillments(
+        self, tiny_task, fast_training, fast_curves
+    ):
+        from repro.core.plan import TuningResult
+
+        tuner = make_tuner(
+            tiny_task,
+            fast_training,
+            fast_curves,
+            sources=pool_generator_sources(tiny_task),
+        )
+        result = tuner.run(budget=80, method="uniform", evaluate=False)
+        restored = TuningResult.from_json(result.to_json())
+        assert [r.fulfillments for r in restored.iterations] == [
+            r.fulfillments for r in result.iterations
+        ]
+        assert restored.to_json() == result.to_json()

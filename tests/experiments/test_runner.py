@@ -129,3 +129,49 @@ class TestAggregation:
             assert len(series[method]) == 2
             budgets = [point[0] for point in series[method]]
             assert budgets == [40.0, 80.0]
+
+
+class TestBuildSources:
+    def test_generator_kind_matches_legacy_single_source(self, small_config):
+        from repro.acquisition.source import GeneratorDataSource
+        from repro.experiments.runner import prepare_named_instance
+
+        _, sources = prepare_named_instance(small_config, seed=0)
+        assert list(sources) == ["generator"]
+        assert isinstance(sources["generator"], GeneratorDataSource)
+
+    def test_every_kind_builds_and_is_deterministic(self, small_config):
+        import numpy as np
+
+        from repro.datasets.registry import build_task
+        from repro.experiments.runner import SOURCE_KINDS, build_sources
+
+        task = build_task(small_config.dataset)
+        for kind in SOURCE_KINDS:
+            first = build_sources(kind, task, seed=5, base_size=60)
+            second = build_sources(kind, task, seed=5, base_size=60)
+            assert list(first) == list(second)
+            name = task.slice_names[0]
+            left = first[next(iter(first))].acquire(name, 7)
+            right = second[next(iter(second))].acquire(name, 7)
+            assert np.array_equal(left.features, right.features)
+
+    def test_unknown_kind_rejected(self, small_config):
+        from repro.datasets.registry import build_task
+        from repro.experiments.runner import build_sources
+        from repro.utils.exceptions import ConfigurationError
+
+        with pytest.raises(ConfigurationError):
+            build_sources("teleporter", build_task(small_config.dataset), seed=0)
+
+    def test_mixed_scenario_runs_with_failover(self, small_config):
+        from dataclasses import replace
+
+        from repro.experiments.runner import run_method
+
+        config = replace(
+            small_config, scenario="mixed_sources", budget=120.0, trials=1
+        )
+        outcome = run_method(config, "uniform", trial=0)
+        assert outcome.spent > 0
+        assert sum(outcome.acquired.values()) > 0

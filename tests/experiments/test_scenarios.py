@@ -66,3 +66,17 @@ class TestScenarioShapes:
     def test_small_slices_are_tiny(self, task):
         sizes = build_scenario("small_slices").initial_sizes(task, 180)
         assert max(sizes.values()) <= 30
+
+
+class TestSourceScenarios:
+    def test_source_kinds_attached(self):
+        assert build_scenario("basic").source_kind == "generator"
+        assert build_scenario("mixed_sources").source_kind == "mixed"
+        assert build_scenario("flaky_source").source_kind == "flaky"
+
+    def test_new_scenarios_listed_and_size_every_slice(self, task):
+        names = list_scenarios()
+        assert "mixed_sources" in names and "flaky_source" in names
+        for name in ("mixed_sources", "flaky_source"):
+            sizes = build_scenario(name).initial_sizes(task, base_size=100)
+            assert set(sizes) == set(task.slice_names)

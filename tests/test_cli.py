@@ -99,3 +99,45 @@ class TestSubcommands:
         ):
             assert name in output
         assert "iterative" in output
+
+    def test_sources_lists_provider_registry(self, capsys):
+        exit_code = main(["sources"])
+        assert exit_code == 0
+        output = capsys.readouterr().out
+        for name in ("generator", "pool", "crowdsourcing", "composite", "throttled"):
+            assert name in output
+
+    def test_run_prints_fulfillment_log(self, capsys):
+        exit_code = main(
+            [
+                "run",
+                *FAST,
+                "--budget", "60",
+                "--method", "uniform",
+                "--source", "mixed",
+            ]
+        )
+        assert exit_code == 0
+        output = capsys.readouterr().out
+        assert "Fulfillment log" in output
+        assert "provenance" in output
+        assert "pool" in output and "generator" in output
+
+    def test_run_flaky_scenario_with_rounds(self, capsys):
+        exit_code = main(
+            [
+                "run",
+                *FAST,
+                "--scenario", "flaky_source",
+                "--budget", "60",
+                "--method", "uniform",
+                "--rounds", "4",
+            ]
+        )
+        assert exit_code == 0
+        output = capsys.readouterr().out
+        assert "throttled_generator" in output
+
+    def test_run_rejects_unknown_source(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "--source", "teleporter"])
