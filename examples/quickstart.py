@@ -20,7 +20,12 @@ This is the smallest end-to-end use of the library:
    subcommand), a tuner can route every acquisition across a provider
    table with failover (a draining pool backed by the generator), and the
    session streams each ``Fulfillment`` — delivered count, shortfall,
-   provenance — as an event.
+   provenance — as an event, and
+8. make a run *durable*: start a ``Campaign`` persisting every iteration
+   and snapshot to a store, kill it mid-run (here: simply abandon the
+   object, the moral equivalent of ``kill -9`` — nothing is flushed at
+   exit), then ``resume`` from the store and get a result byte-identical
+   to an uninterrupted run.
 
 Run with::
 
@@ -30,9 +35,12 @@ Run with::
 from __future__ import annotations
 
 from repro import (
+    Campaign,
+    CampaignSpec,
     CurveEstimationConfig,
     GeneratorDataSource,
     InMemoryResultCache,
+    InMemoryStore,
     PoolDataSource,
     SerialExecutor,
     SliceTuner,
@@ -174,6 +182,44 @@ def main() -> None:
             )
         else:
             print(f"  iteration {event.record.iteration} complete")
+
+    # 8. Campaigns: durable runs.  A CampaignSpec declaratively names the
+    #    work (dataset, scenario, strategy, budget, seed), a store persists
+    #    an append-only event log plus runtime-state snapshots, and
+    #    Campaign.resume() rebuilds everything from the store — the resumed
+    #    result is byte-identical to a never-interrupted run.  Swap the
+    #    in-memory store for SqliteStore("campaigns.sqlite") (or use
+    #    `python -m repro.cli campaign start/resume/list/show`) to survive
+    #    a real kill -9.
+    store = InMemoryStore()
+    spec = CampaignSpec(
+        name="quickstart",
+        dataset="adult_like",
+        method="moderate",
+        budget=600,
+        base_size=50,
+        validation_size=50,
+        epochs=8,
+        curve_points=3,
+    )
+    print("\nCampaign start -> kill -> resume:")
+    doomed = Campaign.start(store, spec)
+    doomed.advance()                  # one iteration (event + snapshot) lands...
+    del doomed                        # ...then the process "dies": no pause(),
+    # no final flush — the status is still "running", exactly the state a
+    # real kill -9 leaves behind (tests/campaigns/test_crash_resume.py
+    # SIGKILLs an actual subprocess; the sqlite-backed CLI survives the same
+    # way: `python -m repro.cli campaign resume --all`).
+
+    revived = Campaign.resume(store, spec.campaign_id())
+    resumed_result = revived.run()
+    baseline = Campaign.start(InMemoryStore(), spec).run()
+    assert resumed_result.to_json() == baseline.to_json()
+    print(
+        f"  resumed {revived.campaign_id}: "
+        f"{resumed_result.n_iterations} iterations, "
+        f"spent {resumed_result.spent:.0f} — byte-identical to uninterrupted"
+    )
 
 
 if __name__ == "__main__":

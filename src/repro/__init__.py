@@ -56,6 +56,18 @@ shortfalls, and per-provider provenance)::
     checkpoint = session.state_dict()       # JSON-serializable
     print(result.to_json())                 # so is the result
 
+For runs that must survive the process, wrap the session in a *campaign*:
+a declarative :class:`~repro.campaigns.campaign.CampaignSpec` plus a
+durable :class:`~repro.campaigns.store.CampaignStore` (in-memory or
+stdlib-sqlite3 WAL) give crash-safe, byte-identical resume and idempotent
+re-run detection, and a :class:`~repro.campaigns.scheduler.CampaignScheduler`
+multiplexes many concurrent campaigns over one shared engine executor::
+
+    store = SqliteStore("campaigns.sqlite")
+    campaign = Campaign.start(store, CampaignSpec(name="nightly", budget=2000))
+    campaign.run()                                  # kill -9 any time...
+    Campaign.resume(store, campaign.campaign_id).run()   # ...and continue
+
 Registering a custom strategy
 -----------------------------
 A strategy answers one question — *what should the next acquisition batch
@@ -113,6 +125,14 @@ from repro.acquisition import (
     source_descriptions,
 )
 from repro.bandit import BanditResult, RottingBanditAcquirer
+from repro.campaigns import (
+    Campaign,
+    CampaignScheduler,
+    CampaignSpec,
+    CampaignStore,
+    InMemoryStore,
+    SqliteStore,
+)
 from repro.core import (
     AcquisitionPlan,
     AcquisitionStrategy,
@@ -179,7 +199,7 @@ from repro.ml import (
 )
 from repro.slices import Slice, SlicedDataset, SliceSpec
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "__version__",
@@ -209,6 +229,13 @@ __all__ = [
     # bandit
     "RottingBanditAcquirer",
     "BanditResult",
+    # campaigns
+    "Campaign",
+    "CampaignScheduler",
+    "CampaignSpec",
+    "CampaignStore",
+    "InMemoryStore",
+    "SqliteStore",
     # curves
     "PowerLawCurve",
     "PowerLawWithFloor",

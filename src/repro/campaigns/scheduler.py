@@ -1,0 +1,198 @@
+"""Multiplexing many campaigns over one shared engine executor.
+
+:class:`CampaignScheduler` drives N concurrent campaigns one iteration at a
+time over a single :class:`~repro.engine.executor.Executor` (and therefore
+one shared result cache), interleaving them with **budget-fair round-robin
+inside priority lanes**:
+
+* the highest-priority lane with an unfinished campaign always schedules
+  first (``CampaignSpec.priority``, higher = more urgent);
+* within a lane, the campaign that has spent the *smallest fraction* of its
+  budget goes next, so a cheap-per-iteration campaign cannot starve an
+  expensive one — progress is fair in budget, not in iteration count;
+* ties (e.g. at the start, when every campaign has spent nothing) fall back
+  to least-recently-scheduled order, i.e. plain round-robin.
+
+Every scheduled step emits a :class:`SchedulerTick` to the registered
+progress callbacks, so dashboards and the CLI can watch all campaigns at
+once.  Because each campaign owns its instance, RNG streams, and ledger, and
+per-job seeds are pre-spawned, the interleaving (and the executor backend)
+never changes any campaign's numbers: scheduling N campaigns concurrently
+yields byte-identical results to running them serially.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.campaigns.campaign import Campaign, CampaignSpec
+from repro.campaigns.store import CampaignStore, InMemoryStore
+from repro.core.plan import TuningResult
+from repro.engine.cache import ResultCache
+from repro.engine.executor import Executor, SerialExecutor
+from repro.utils.exceptions import CampaignError
+
+
+@dataclass(frozen=True)
+class SchedulerTick:
+    """One scheduled step of one campaign, as seen by progress callbacks.
+
+    Attributes
+    ----------
+    campaign_id / name / priority:
+        Which campaign was scheduled, and in which lane.
+    iteration:
+        The iteration that just landed (``-1`` for the finalizing tick that
+        drained the campaign).
+    spent / budget:
+        The campaign's budget position after the step.
+    done:
+        True on the tick that completed the campaign.
+    """
+
+    campaign_id: str
+    name: str
+    priority: int
+    iteration: int
+    spent: float
+    budget: float
+    done: bool
+
+
+#: Signature of a scheduler progress callback.
+ProgressCallback = Callable[[SchedulerTick], None]
+
+
+@dataclass
+class _Entry:
+    campaign: Campaign
+    order: int
+    last_step: int = 0
+
+
+class CampaignScheduler:
+    """Budget-fair, priority-laned multiplexer of concurrent campaigns.
+
+    Parameters
+    ----------
+    store:
+        The shared :class:`~repro.campaigns.store.CampaignStore` every
+        scheduled campaign persists into (an
+        :class:`~repro.campaigns.store.InMemoryStore` by default).
+    executor:
+        One engine executor shared by every campaign's trainings; defaults
+        to a :class:`~repro.engine.executor.SerialExecutor` carrying
+        ``result_cache``.  Sharing is safe — the cache is content-addressed
+        — and lets identical trainings across campaigns be served once.
+    result_cache:
+        Attached to the default executor (ignored when ``executor`` is
+        supplied; attach the cache to that executor yourself).
+    on_progress:
+        Optional :class:`SchedulerTick` callback registered up-front.
+    """
+
+    def __init__(
+        self,
+        store: CampaignStore | None = None,
+        executor: Executor | None = None,
+        result_cache: ResultCache | None = None,
+        on_progress: ProgressCallback | None = None,
+    ) -> None:
+        self.store = store if store is not None else InMemoryStore()
+        self.executor = executor or SerialExecutor(cache=result_cache)
+        self._entries: list[_Entry] = []
+        self._callbacks: list[ProgressCallback] = (
+            [on_progress] if on_progress else []
+        )
+        self._steps = 0
+
+    # -- registration ------------------------------------------------------------
+    def add(self, spec: CampaignSpec) -> Campaign:
+        """Schedule a new campaign (deduplicated by content fingerprint)."""
+        campaign = Campaign.start(self.store, spec, executor=self.executor)
+        return self._register(campaign)
+
+    def add_existing(self, campaign_id: str) -> Campaign:
+        """Schedule a stored campaign for (re)execution on this scheduler."""
+        campaign = Campaign.resume(self.store, campaign_id, executor=self.executor)
+        return self._register(campaign)
+
+    def add_progress_callback(self, callback: ProgressCallback) -> "CampaignScheduler":
+        """Fire ``callback`` with every :class:`SchedulerTick`; returns self."""
+        self._callbacks.append(callback)
+        return self
+
+    def _register(self, campaign: Campaign) -> Campaign:
+        if any(
+            entry.campaign.campaign_id == campaign.campaign_id
+            for entry in self._entries
+        ):
+            raise CampaignError(
+                f"campaign {campaign.campaign_id!r} is already scheduled"
+            )
+        self._entries.append(_Entry(campaign, order=len(self._entries)))
+        return campaign
+
+    @property
+    def campaigns(self) -> list[Campaign]:
+        """Every scheduled campaign, in registration order."""
+        return [entry.campaign for entry in self._entries]
+
+    # -- the scheduling loop -----------------------------------------------------
+    def run(self) -> dict[str, TuningResult]:
+        """Drive every scheduled campaign to completion, interleaved.
+
+        Returns ``{campaign id: result}`` — campaign ids are unique per
+        store, unlike names, so no result can be shadowed.  Campaigns that
+        were already complete (idempotent re-runs) contribute their stored
+        result without consuming any schedule slots.
+        """
+        while self.step() is not None:
+            pass
+        return {
+            entry.campaign.campaign_id: entry.campaign.result()
+            for entry in self._entries
+        }
+
+    def step(self) -> SchedulerTick | None:
+        """Schedule a single iteration; ``None`` when every campaign is done."""
+        active = [entry for entry in self._entries if not entry.campaign.is_done]
+        if not active:
+            return None
+        entry = self._pick(active)
+        self._steps += 1
+        entry.last_step = self._steps
+        record = entry.campaign.advance()
+        done = record is None
+        return self._emit(entry, -1 if done else record.iteration, done)
+
+    def _pick(self, active: list[_Entry]) -> _Entry:
+        """Budget-fair choice inside the highest non-empty priority lane."""
+        lane = max(entry.campaign.spec.priority for entry in active)
+        candidates = [
+            entry for entry in active if entry.campaign.spec.priority == lane
+        ]
+        return min(
+            candidates,
+            key=lambda entry: (
+                entry.campaign.spent_fraction,
+                entry.last_step,
+                entry.order,
+            ),
+        )
+
+    def _emit(self, entry: _Entry, iteration: int, done: bool) -> SchedulerTick:
+        campaign = entry.campaign
+        tick = SchedulerTick(
+            campaign_id=campaign.campaign_id,
+            name=campaign.spec.name,
+            priority=campaign.spec.priority,
+            iteration=iteration,
+            spent=campaign.spent,
+            budget=campaign.spec.budget,
+            done=done,
+        )
+        for callback in self._callbacks:
+            callback(tick)
+        return tick

@@ -1,0 +1,550 @@
+"""Durable campaign state: an append-only event log plus periodic snapshots.
+
+A :class:`CampaignStore` persists everything a campaign run produces:
+
+* one **campaign record** per campaign — the declarative
+  :class:`~repro.campaigns.campaign.CampaignSpec` (as a JSON dict), a
+  content fingerprint for idempotent re-run detection, a status, and a
+  scheduling priority;
+* an **append-only event log** — one ``iteration`` event per
+  :class:`~repro.core.plan.IterationRecord` and one ``fulfillment`` event
+  per :class:`~repro.acquisition.requests.Fulfillment` summary, exactly the
+  stream :meth:`TunerSession.stream_events
+  <repro.core.session.TunerSession.stream_events>` yields, plus lifecycle
+  markers (``evaluate``, ``completed``); and
+* periodic **snapshots** — opaque byte payloads (the campaign layer pickles
+  a full runtime-state bundle) keyed by ``(campaign id, generation,
+  iteration)``.
+
+Recovery follows the incremental-view-maintenance stance of the FO+MOD line
+of work: a run is *replayed* as its latest snapshot plus the event-log tail,
+never recomputed from scratch.  Because resumed runs are deterministic,
+re-executed iterations append byte-identical events under a fresh
+**generation** number; :func:`replay_events` collapses the log back into a
+single consistent history by keeping, for every iteration, the events of the
+newest generation that covers it.
+
+Two backends implement the protocol:
+
+* :class:`InMemoryStore` — plain dictionaries; for tests and throwaway runs.
+* :class:`SqliteStore` — a stdlib-:mod:`sqlite3` file in WAL mode with one
+  committed transaction per append, so a ``kill -9`` can lose at most the
+  event being written, never a committed one.
+"""
+
+from __future__ import annotations
+
+import json
+import sqlite3
+import time
+from dataclasses import dataclass, replace
+from typing import Any, Iterable, Mapping, Protocol, runtime_checkable
+
+from repro.utils.exceptions import CampaignError
+
+#: Campaign lifecycle states.
+PENDING = "pending"
+RUNNING = "running"
+PAUSED = "paused"
+COMPLETED = "completed"
+FAILED = "failed"
+
+#: Statuses a campaign can be resumed from (``completed`` simply replays
+#: its stored result).
+RESUMABLE = (PENDING, RUNNING, PAUSED, FAILED)
+
+
+@dataclass(frozen=True)
+class CampaignRecord:
+    """One campaign as the store knows it."""
+
+    campaign_id: str
+    name: str
+    fingerprint: str
+    spec: dict
+    status: str = PENDING
+    priority: int = 0
+    created_at: float = 0.0
+
+
+@dataclass(frozen=True)
+class CampaignEvent:
+    """One entry of a campaign's append-only event log.
+
+    Attributes
+    ----------
+    seq:
+        Store-assigned, strictly increasing sequence number.
+    generation:
+        Resume epoch the event was written under (0 for the first run; each
+        :meth:`Campaign.resume <repro.campaigns.campaign.Campaign>` bumps
+        it).  Deterministic re-execution after a crash re-appends identical
+        events under a newer generation; replay keeps the newest.
+    iteration:
+        Iteration the event belongs to (0 for the minimum-size top-up,
+        ``-1`` for events outside the loop, e.g. ``evaluate``).
+    kind:
+        ``iteration`` / ``fulfillment`` / ``evaluate`` / ``completed``.
+    payload:
+        JSON-compatible event body.
+    """
+
+    campaign_id: str
+    seq: int
+    generation: int
+    iteration: int
+    kind: str
+    payload: dict
+
+
+@dataclass(frozen=True)
+class CampaignSnapshot:
+    """One opaque runtime-state snapshot of a campaign."""
+
+    campaign_id: str
+    generation: int
+    iteration: int
+    payload: bytes
+
+
+@runtime_checkable
+class CampaignStore(Protocol):
+    """Protocol every campaign persistence backend implements."""
+
+    def create_campaign(self, record: CampaignRecord) -> None:
+        """Persist a new campaign record (id must be unused)."""
+        ...
+
+    def get_campaign(self, campaign_id: str) -> CampaignRecord:
+        """Return the record for ``campaign_id``; raise if unknown."""
+        ...
+
+    def find_fingerprint(self, fingerprint: str) -> CampaignRecord | None:
+        """The campaign carrying ``fingerprint``, or ``None``."""
+        ...
+
+    def list_campaigns(self) -> list[CampaignRecord]:
+        """Every stored campaign, in creation order."""
+        ...
+
+    def set_status(self, campaign_id: str, status: str) -> None:
+        """Update a campaign's lifecycle status."""
+        ...
+
+    def append_event(
+        self,
+        campaign_id: str,
+        *,
+        generation: int,
+        iteration: int,
+        kind: str,
+        payload: Mapping[str, Any],
+    ) -> int:
+        """Append one event; returns its sequence number."""
+        ...
+
+    def events(
+        self, campaign_id: str, kinds: tuple[str, ...] | None = None
+    ) -> list[CampaignEvent]:
+        """The campaign's event log in append order.
+
+        ``kinds`` restricts the result to the named event kinds — progress
+        summaries over large stores use it to skip parsing the heavy
+        payloads they do not need (e.g. the full result embedded in every
+        ``completed`` event).
+        """
+        ...
+
+    def latest_generation(self, campaign_id: str) -> int:
+        """Highest generation seen in events/snapshots (-1 when none)."""
+        ...
+
+    def save_snapshot(
+        self, campaign_id: str, *, generation: int, iteration: int, payload: bytes
+    ) -> None:
+        """Persist one snapshot."""
+        ...
+
+    def latest_snapshot(self, campaign_id: str) -> CampaignSnapshot | None:
+        """The most recently written snapshot, or ``None``."""
+        ...
+
+    def close(self) -> None:
+        """Release backend resources."""
+        ...
+
+
+def replay_events(events: Iterable[CampaignEvent]) -> list[CampaignEvent]:
+    """Collapse a multi-generation event log into one consistent history.
+
+    Crash-resume re-executes the iterations after the last snapshot, so the
+    raw log can contain the same iteration once per generation (with
+    byte-identical payloads, since resumed runs are deterministic).  Replay
+    keeps, for every iteration, only the events written by the newest
+    generation that covers that iteration; out-of-loop events (iteration
+    ``-1``) are deduplicated by ``(kind, iteration)`` the same way.
+    """
+    events = list(events)
+    newest: dict[tuple[str, int], int] = {}
+    for event in events:
+        key = (event.kind, event.iteration)
+        newest[key] = max(newest.get(key, event.generation), event.generation)
+    kept = [
+        event
+        for event in events
+        if event.generation == newest[(event.kind, event.iteration)]
+    ]
+    # Sequence order is already chronological: a resumed generation only
+    # appends events for iterations after its snapshot, so the surviving
+    # prefix (older generation) has strictly smaller seq numbers.
+    kept.sort(key=lambda event: event.seq)
+    return kept
+
+
+class InMemoryStore:
+    """Dictionary-backed :class:`CampaignStore` (nothing survives the process)."""
+
+    def __init__(self) -> None:
+        self._campaigns: dict[str, CampaignRecord] = {}
+        self._events: dict[str, list[CampaignEvent]] = {}
+        self._snapshots: dict[str, list[CampaignSnapshot]] = {}
+        self._seq = 0
+
+    # -- campaigns ---------------------------------------------------------------
+    def create_campaign(self, record: CampaignRecord) -> None:
+        if record.campaign_id in self._campaigns:
+            raise CampaignError(
+                f"campaign {record.campaign_id!r} already exists"
+            )
+        if record.created_at == 0.0:
+            record = replace(record, created_at=time.time())
+        self._campaigns[record.campaign_id] = record
+        self._events[record.campaign_id] = []
+        self._snapshots[record.campaign_id] = []
+
+    def get_campaign(self, campaign_id: str) -> CampaignRecord:
+        try:
+            return self._campaigns[campaign_id]
+        except KeyError:
+            raise CampaignError(f"unknown campaign {campaign_id!r}") from None
+
+    def find_fingerprint(self, fingerprint: str) -> CampaignRecord | None:
+        for record in self._campaigns.values():
+            if record.fingerprint == fingerprint:
+                return record
+        return None
+
+    def list_campaigns(self) -> list[CampaignRecord]:
+        return list(self._campaigns.values())
+
+    def set_status(self, campaign_id: str, status: str) -> None:
+        record = self.get_campaign(campaign_id)
+        self._campaigns[campaign_id] = replace(record, status=status)
+
+    # -- events ------------------------------------------------------------------
+    def append_event(
+        self,
+        campaign_id: str,
+        *,
+        generation: int,
+        iteration: int,
+        kind: str,
+        payload: Mapping[str, Any],
+    ) -> int:
+        self.get_campaign(campaign_id)
+        self._seq += 1
+        event = CampaignEvent(
+            campaign_id=campaign_id,
+            seq=self._seq,
+            generation=int(generation),
+            iteration=int(iteration),
+            kind=str(kind),
+            payload=dict(payload),
+        )
+        self._events[campaign_id].append(event)
+        return event.seq
+
+    def events(
+        self, campaign_id: str, kinds: tuple[str, ...] | None = None
+    ) -> list[CampaignEvent]:
+        self.get_campaign(campaign_id)
+        events = self._events[campaign_id]
+        if kinds is None:
+            return list(events)
+        wanted = set(kinds)
+        return [event for event in events if event.kind in wanted]
+
+    def latest_generation(self, campaign_id: str) -> int:
+        self.get_campaign(campaign_id)
+        generations = [event.generation for event in self._events[campaign_id]]
+        generations += [snap.generation for snap in self._snapshots[campaign_id]]
+        return max(generations, default=-1)
+
+    # -- snapshots ---------------------------------------------------------------
+    def save_snapshot(
+        self, campaign_id: str, *, generation: int, iteration: int, payload: bytes
+    ) -> None:
+        self.get_campaign(campaign_id)
+        self._snapshots[campaign_id].append(
+            CampaignSnapshot(
+                campaign_id=campaign_id,
+                generation=int(generation),
+                iteration=int(iteration),
+                payload=bytes(payload),
+            )
+        )
+
+    def latest_snapshot(self, campaign_id: str) -> CampaignSnapshot | None:
+        self.get_campaign(campaign_id)
+        snapshots = self._snapshots[campaign_id]
+        return snapshots[-1] if snapshots else None
+
+    # -- lifecycle ---------------------------------------------------------------
+    def close(self) -> None:
+        """Nothing to release."""
+
+    def __enter__(self) -> "InMemoryStore":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+
+_SCHEMA = """
+CREATE TABLE IF NOT EXISTS campaigns (
+    campaign_id TEXT PRIMARY KEY,
+    name        TEXT NOT NULL,
+    fingerprint TEXT NOT NULL,
+    spec        TEXT NOT NULL,
+    status      TEXT NOT NULL,
+    priority    INTEGER NOT NULL DEFAULT 0,
+    created_at  REAL NOT NULL
+);
+CREATE INDEX IF NOT EXISTS idx_campaigns_fingerprint
+    ON campaigns(fingerprint);
+CREATE TABLE IF NOT EXISTS events (
+    seq         INTEGER PRIMARY KEY AUTOINCREMENT,
+    campaign_id TEXT NOT NULL,
+    generation  INTEGER NOT NULL,
+    iteration   INTEGER NOT NULL,
+    kind        TEXT NOT NULL,
+    payload     TEXT NOT NULL
+);
+CREATE INDEX IF NOT EXISTS idx_events_campaign ON events(campaign_id, seq);
+CREATE TABLE IF NOT EXISTS snapshots (
+    snap_id     INTEGER PRIMARY KEY AUTOINCREMENT,
+    campaign_id TEXT NOT NULL,
+    generation  INTEGER NOT NULL,
+    iteration   INTEGER NOT NULL,
+    payload     BLOB NOT NULL,
+    created_at  REAL NOT NULL
+);
+CREATE INDEX IF NOT EXISTS idx_snapshots_campaign
+    ON snapshots(campaign_id, snap_id);
+"""
+
+
+class SqliteStore:
+    """File-backed :class:`CampaignStore` on stdlib :mod:`sqlite3`.
+
+    The database runs in WAL mode and every append is its own committed
+    transaction, so state persisted before an abrupt process death
+    (``kill -9``, SIGTERM, power loss) is recoverable by simply reopening
+    the file.  Snapshot payloads are stored as opaque BLOBs; events and
+    specs as JSON text, so the log stays greppable with the ``sqlite3``
+    command-line shell.
+
+    Parameters
+    ----------
+    path:
+        Database file path (created on first use).  ``":memory:"`` works for
+        tests but obviously defeats durability.
+    """
+
+    def __init__(self, path: str) -> None:
+        self.path = str(path)
+        self._conn = sqlite3.connect(self.path)
+        self._conn.execute("PRAGMA journal_mode=WAL")
+        self._conn.execute("PRAGMA synchronous=NORMAL")
+        with self._conn:
+            self._conn.executescript(_SCHEMA)
+
+    # -- campaigns ---------------------------------------------------------------
+    def create_campaign(self, record: CampaignRecord) -> None:
+        created_at = record.created_at or time.time()
+        try:
+            with self._conn:
+                self._conn.execute(
+                    "INSERT INTO campaigns "
+                    "(campaign_id, name, fingerprint, spec, status, priority, created_at) "
+                    "VALUES (?, ?, ?, ?, ?, ?, ?)",
+                    (
+                        record.campaign_id,
+                        record.name,
+                        record.fingerprint,
+                        json.dumps(record.spec, sort_keys=True),
+                        record.status,
+                        int(record.priority),
+                        created_at,
+                    ),
+                )
+        except sqlite3.IntegrityError:
+            raise CampaignError(
+                f"campaign {record.campaign_id!r} already exists"
+            ) from None
+
+    def get_campaign(self, campaign_id: str) -> CampaignRecord:
+        row = self._conn.execute(
+            "SELECT campaign_id, name, fingerprint, spec, status, priority, created_at "
+            "FROM campaigns WHERE campaign_id = ?",
+            (campaign_id,),
+        ).fetchone()
+        if row is None:
+            raise CampaignError(f"unknown campaign {campaign_id!r}")
+        return self._record_from_row(row)
+
+    def find_fingerprint(self, fingerprint: str) -> CampaignRecord | None:
+        row = self._conn.execute(
+            "SELECT campaign_id, name, fingerprint, spec, status, priority, created_at "
+            "FROM campaigns WHERE fingerprint = ? ORDER BY created_at LIMIT 1",
+            (fingerprint,),
+        ).fetchone()
+        return None if row is None else self._record_from_row(row)
+
+    def list_campaigns(self) -> list[CampaignRecord]:
+        rows = self._conn.execute(
+            "SELECT campaign_id, name, fingerprint, spec, status, priority, created_at "
+            "FROM campaigns ORDER BY created_at, campaign_id"
+        ).fetchall()
+        return [self._record_from_row(row) for row in rows]
+
+    def set_status(self, campaign_id: str, status: str) -> None:
+        with self._conn:
+            updated = self._conn.execute(
+                "UPDATE campaigns SET status = ? WHERE campaign_id = ?",
+                (status, campaign_id),
+            ).rowcount
+        if not updated:
+            raise CampaignError(f"unknown campaign {campaign_id!r}")
+
+    @staticmethod
+    def _record_from_row(row: tuple) -> CampaignRecord:
+        return CampaignRecord(
+            campaign_id=row[0],
+            name=row[1],
+            fingerprint=row[2],
+            spec=json.loads(row[3]),
+            status=row[4],
+            priority=int(row[5]),
+            created_at=float(row[6]),
+        )
+
+    # -- events ------------------------------------------------------------------
+    def append_event(
+        self,
+        campaign_id: str,
+        *,
+        generation: int,
+        iteration: int,
+        kind: str,
+        payload: Mapping[str, Any],
+    ) -> int:
+        self.get_campaign(campaign_id)
+        with self._conn:
+            cursor = self._conn.execute(
+                "INSERT INTO events (campaign_id, generation, iteration, kind, payload) "
+                "VALUES (?, ?, ?, ?, ?)",
+                (
+                    campaign_id,
+                    int(generation),
+                    int(iteration),
+                    str(kind),
+                    # Insertion order is preserved (not sorted) so a result
+                    # reloaded from the log re-serializes byte-identically.
+                    json.dumps(dict(payload)),
+                ),
+            )
+        return int(cursor.lastrowid)
+
+    def events(
+        self, campaign_id: str, kinds: tuple[str, ...] | None = None
+    ) -> list[CampaignEvent]:
+        self.get_campaign(campaign_id)
+        query = (
+            "SELECT seq, generation, iteration, kind, payload FROM events "
+            "WHERE campaign_id = ?"
+        )
+        params: list = [campaign_id]
+        if kinds is not None:
+            placeholders = ", ".join("?" for _ in kinds)
+            query += f" AND kind IN ({placeholders})"
+            params.extend(kinds)
+        rows = self._conn.execute(query + " ORDER BY seq", params).fetchall()
+        return [
+            CampaignEvent(
+                campaign_id=campaign_id,
+                seq=int(row[0]),
+                generation=int(row[1]),
+                iteration=int(row[2]),
+                kind=row[3],
+                payload=json.loads(row[4]),
+            )
+            for row in rows
+        ]
+
+    def latest_generation(self, campaign_id: str) -> int:
+        self.get_campaign(campaign_id)
+        row = self._conn.execute(
+            "SELECT max(generation) FROM ("
+            "  SELECT generation FROM events WHERE campaign_id = ?"
+            "  UNION ALL"
+            "  SELECT generation FROM snapshots WHERE campaign_id = ?"
+            ")",
+            (campaign_id, campaign_id),
+        ).fetchone()
+        return -1 if row is None or row[0] is None else int(row[0])
+
+    # -- snapshots ---------------------------------------------------------------
+    def save_snapshot(
+        self, campaign_id: str, *, generation: int, iteration: int, payload: bytes
+    ) -> None:
+        self.get_campaign(campaign_id)
+        with self._conn:
+            self._conn.execute(
+                "INSERT INTO snapshots "
+                "(campaign_id, generation, iteration, payload, created_at) "
+                "VALUES (?, ?, ?, ?, ?)",
+                (
+                    campaign_id,
+                    int(generation),
+                    int(iteration),
+                    sqlite3.Binary(bytes(payload)),
+                    time.time(),
+                ),
+            )
+
+    def latest_snapshot(self, campaign_id: str) -> CampaignSnapshot | None:
+        self.get_campaign(campaign_id)
+        row = self._conn.execute(
+            "SELECT generation, iteration, payload FROM snapshots "
+            "WHERE campaign_id = ? ORDER BY snap_id DESC LIMIT 1",
+            (campaign_id,),
+        ).fetchone()
+        if row is None:
+            return None
+        return CampaignSnapshot(
+            campaign_id=campaign_id,
+            generation=int(row[0]),
+            iteration=int(row[1]),
+            payload=bytes(row[2]),
+        )
+
+    # -- lifecycle ---------------------------------------------------------------
+    def close(self) -> None:
+        self._conn.close()
+
+    def __enter__(self) -> "SqliteStore":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()

@@ -1,29 +1,40 @@
 """Command-line interface for the Slice Tuner reproduction.
 
-Six subcommands cover the common workflows without writing any Python:
+Seven subcommands cover the common workflows without writing any Python:
 
 * ``curves`` — estimate and print the per-slice learning curves of a dataset.
 * ``plan`` — print the One-shot acquisition plan for a budget (no data is
   acquired), the "concrete action items" of the paper.
 * ``run`` — execute one acquisition strategy end to end against a chosen
   acquisition setup (``--source generator|pool|mixed|flaky|crowdsourcing``)
-  and print the per-fulfillment delivery log: provenance, shortfalls, and
-  routing rounds, the things the multi-source service makes observable.
+  and print the per-fulfillment delivery log plus the engine cache
+  statistics; ``run --resume <campaign-id>`` instead continues a stored
+  campaign from its latest snapshot.
 * ``compare`` — run several acquisition strategies over independently seeded
   trials and print the Table-2/6-style comparison.  ``--methods`` accepts
   any name in the strategy registry, including the ``bandit`` comparator
   and user registrations.
+* ``campaign`` — durable, resumable runs persisted to a SQLite store:
+  ``campaign start`` (one spec from flags, or ``--suite`` for the builtin
+  concurrent multi-campaign workload), ``campaign resume <id>`` (or
+  ``--all``) continuing after a pause or crash, ``campaign list``, and
+  ``campaign show <id>`` replaying a campaign's event log.
 * ``strategies`` — list every registered acquisition strategy.
 * ``sources`` — list every registered data-source provider.
+
+Every subcommand accepts ``--quiet`` (print only essential results) and the
+process exits with code 0 on success, 2 on configuration/usage errors (the
+same code argparse uses), and a raised traceback only for genuine bugs.
 
 Examples::
 
     python -m repro.cli strategies
-    python -m repro.cli sources
     python -m repro.cli curves --dataset fashion_like --initial-size 150
-    python -m repro.cli plan --dataset faces_like --budget 1000 --lam 1.0
     python -m repro.cli run --dataset fashion_like --scenario mixed_sources \
         --source mixed --method moderate --budget 800
+    python -m repro.cli campaign start --suite --store campaigns.sqlite
+    python -m repro.cli campaign list --store campaigns.sqlite
+    python -m repro.cli campaign resume --all --store campaigns.sqlite
     python -m repro.cli compare --dataset mixed_like --budget 2000 \
         --methods uniform water_filling moderate bandit --trials 2
 """
@@ -31,9 +42,21 @@ Examples::
 from __future__ import annotations
 
 import argparse
-from typing import Sequence
+import os
+import signal
+import sys
+from typing import Callable, Sequence
 
 from repro.acquisition.providers import source_descriptions
+from repro.campaigns import (
+    RESUMABLE,
+    Campaign,
+    CampaignScheduler,
+    CampaignSpec,
+    SqliteStore,
+    campaign_progress,
+    replay_events,
+)
 from repro.core.registry import (
     available_strategies,
     get_strategy,
@@ -41,18 +64,29 @@ from repro.core.registry import (
     strategy_descriptions,
 )
 from repro.datasets.registry import available_tasks
-from repro.engine.executor import available_executors, get_executor
+from repro.engine.cache import InMemoryResultCache
+from repro.engine.executor import SerialExecutor, available_executors, get_executor
 from repro.experiments.config import ExperimentConfig
-from repro.experiments.reporting import allocations_table, methods_table
+from repro.experiments.reporting import (
+    allocations_table,
+    cache_stats_table,
+    engine_cache_stats,
+    methods_table,
+)
 from repro.experiments.runner import (
     SOURCE_KINDS,
+    campaign_suite,
     compare_methods,
     prepare_instance,
     prepare_named_instance,
 )
 from repro.experiments.scenarios import list_scenarios
 from repro.core.tuner import SliceTuner, SliceTunerConfig
+from repro.utils.exceptions import ConfigurationError, ReproError
 from repro.utils.tables import format_table
+
+#: Default campaign store location for the ``campaign`` family of commands.
+DEFAULT_STORE = "campaigns.sqlite"
 
 
 def _registered_method(name: str) -> str:
@@ -73,6 +107,13 @@ def build_parser() -> argparse.ArgumentParser:
     )
     subparsers = parser.add_subparsers(dest="command", required=True)
 
+    def add_quiet(sub: argparse.ArgumentParser) -> None:
+        sub.add_argument(
+            "--quiet",
+            action="store_true",
+            help="print only essential results (ids, status, final summary)",
+        )
+
     def add_common(sub: argparse.ArgumentParser) -> None:
         sub.add_argument(
             "--dataset",
@@ -91,6 +132,7 @@ def build_parser() -> argparse.ArgumentParser:
         sub.add_argument("--epochs", type=int, default=30, help="training epochs per model fit")
         sub.add_argument("--curve-points", type=int, default=5, help="subset sizes measured per learning curve")
         sub.add_argument("--seed", type=int, default=0, help="base random seed")
+        add_quiet(sub)
 
     curves = subparsers.add_parser("curves", help="estimate per-slice learning curves")
     add_common(curves)
@@ -133,6 +175,18 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="also train and evaluate the model before and after acquisition",
     )
+    run.add_argument(
+        "--resume",
+        metavar="CAMPAIGN_ID",
+        default=None,
+        help="instead of a fresh run, resume the stored campaign from its "
+        "latest snapshot (shorthand for `campaign resume CAMPAIGN_ID`)",
+    )
+    run.add_argument(
+        "--store",
+        default=DEFAULT_STORE,
+        help=f"campaign store used by --resume (default: {DEFAULT_STORE})",
+    )
 
     compare = subparsers.add_parser("compare", help="compare acquisition methods over trials")
     add_common(compare)
@@ -166,12 +220,103 @@ def build_parser() -> argparse.ArgumentParser:
         help="worker processes for --executor process (default: CPU count)",
     )
 
-    subparsers.add_parser(
+    campaign = subparsers.add_parser(
+        "campaign",
+        help="durable campaign runs: start, resume, list, show",
+    )
+    campaign_sub = campaign.add_subparsers(dest="campaign_command", required=True)
+
+    def add_store(sub: argparse.ArgumentParser) -> None:
+        sub.add_argument(
+            "--store",
+            default=DEFAULT_STORE,
+            help=f"SQLite campaign store path (default: {DEFAULT_STORE})",
+        )
+        add_quiet(sub)
+
+    c_start = campaign_sub.add_parser(
+        "start",
+        help="start a new campaign (or the builtin --suite), persisting "
+        "every iteration",
+    )
+    add_store(c_start)
+    c_start.add_argument("--name", default=None, help="campaign name (required unless --suite)")
+    c_start.add_argument("--dataset", default="adult_like", choices=available_tasks())
+    c_start.add_argument("--scenario", default="basic", choices=list_scenarios())
+    c_start.add_argument(
+        "--source",
+        default=None,
+        choices=SOURCE_KINDS,
+        help="acquisition setup (defaults to the scenario's own source kind)",
+    )
+    c_start.add_argument("--method", default="moderate", type=_registered_method, metavar="STRATEGY")
+    c_start.add_argument("--budget", type=float, default=500.0)
+    c_start.add_argument("--lam", type=float, default=1.0)
+    c_start.add_argument("--seed", type=int, default=0)
+    c_start.add_argument("--initial-size", type=int, default=60, help="base initial size per slice")
+    c_start.add_argument("--validation-size", type=int, default=60)
+    c_start.add_argument("--epochs", type=int, default=10)
+    c_start.add_argument("--curve-points", type=int, default=3)
+    c_start.add_argument("--priority", type=int, default=0, help="scheduler lane (higher runs first)")
+    c_start.add_argument(
+        "--checkpoint-every",
+        type=int,
+        default=1,
+        help="snapshot cadence in iterations",
+    )
+    c_start.add_argument(
+        "--evaluate",
+        action="store_true",
+        help="attach before/after evaluation reports to the result",
+    )
+    c_start.add_argument(
+        "--max-steps",
+        type=int,
+        default=None,
+        help="pause (checkpointed) after this many iterations instead of "
+        "running to completion",
+    )
+    c_start.add_argument(
+        "--suite",
+        action="store_true",
+        help="run the builtin campaign_suite: 3 heterogeneous campaigns "
+        "multiplexed over one shared engine executor",
+    )
+
+    c_resume = campaign_sub.add_parser(
+        "resume", help="resume stored campaigns after a pause or crash"
+    )
+    add_store(c_resume)
+    c_resume.add_argument(
+        "campaign_id",
+        nargs="?",
+        default=None,
+        help="campaign id to resume (omit with --all)",
+    )
+    c_resume.add_argument(
+        "--all",
+        action="store_true",
+        dest="resume_all",
+        help="resume every unfinished campaign in the store, multiplexed",
+    )
+
+    c_list = campaign_sub.add_parser("list", help="list every stored campaign")
+    add_store(c_list)
+
+    c_show = campaign_sub.add_parser(
+        "show", help="replay one campaign's event log into a progress report"
+    )
+    add_store(c_show)
+    c_show.add_argument("campaign_id", help="campaign id to show")
+
+    strategies = subparsers.add_parser(
         "strategies", help="list every registered acquisition strategy"
     )
-    subparsers.add_parser(
+    add_quiet(strategies)
+    sources = subparsers.add_parser(
         "sources", help="list every registered data-source provider"
     )
+    add_quiet(sources)
     return parser
 
 
@@ -220,6 +365,10 @@ def run_curves(args: argparse.Namespace) -> str:
         [name, f"{curve.b:.3f}", f"{curve.a:.3f}", f"{curve.reliability:.2f}", curve.describe()]
         for name, curve in curves.items()
     ]
+    if args.quiet:
+        return "\n".join(
+            f"{name} b={curve.b:.3f} a={curve.a:.3f}" for name, curve in curves.items()
+        )
     return format_table(
         headers=["slice", "b", "a", "reliability", "curve"],
         rows=rows,
@@ -231,11 +380,15 @@ def run_plan(args: argparse.Namespace) -> str:
     """The ``plan`` subcommand: print the One-shot plan without acquiring."""
     tuner = _build_tuner(args, lam=args.lam)
     plan = tuner.plan(budget=args.budget, lam=args.lam)
+    if args.quiet:
+        return "\n".join(f"{name} {count}" for name, count in plan.counts.items())
     return plan.to_text()
 
 
 def run_run(args: argparse.Namespace) -> str:
     """The ``run`` subcommand: one strategy end to end + the fulfillment log."""
+    if args.resume is not None:
+        return _resume_campaigns(args, [args.resume])
     extra = {} if args.source is None else {"source": args.source}
     config = _experiment_config(
         args,
@@ -253,6 +406,7 @@ def run_run(args: argparse.Namespace) -> str:
         config=SliceTunerConfig(lam=args.lam, acquisition_rounds=args.rounds),
         random_state=args.seed + 1,
         sources=sources,
+        result_cache=InMemoryResultCache(),
     )
     session = tuner.session()
     fulfillments = []
@@ -264,6 +418,11 @@ def run_run(args: argparse.Namespace) -> str:
             pass
         result = session.result()
 
+    if args.quiet:
+        return (
+            f"method={args.method} iterations={result.n_iterations} "
+            f"spent={result.spent:.2f} acquired={sum(result.total_acquired.values())}"
+        )
     rows = [
         [
             f.slice_name,
@@ -289,6 +448,10 @@ def run_run(args: argparse.Namespace) -> str:
         ),
     )
     output += "\n\n" + result.acquisitions_table()
+    output += "\n\n" + cache_stats_table(
+        engine_cache_stats(tuner),
+        trainings_performed=tuner.estimator.trainings_performed,
+    )
     if args.evaluate and result.final_report is not None:
         output += "\n\n" + result.final_report.to_text()
     return output
@@ -304,14 +467,18 @@ def run_compare(args: argparse.Namespace) -> str:
         trials=args.trials,
     )
     if args.workers is not None and args.executor != "process":
-        raise SystemExit(
-            "error: --workers only applies to --executor process"
-        )
+        raise ConfigurationError("--workers only applies to --executor process")
     executor_kwargs = (
         {"max_workers": args.workers} if args.executor == "process" else {}
     )
     with get_executor(args.executor, **executor_kwargs) as executor:
         aggregates = compare_methods(config, include_original=True, executor=executor)
+    if args.quiet:
+        return "\n".join(
+            f"{method} loss={aggregate.loss_mean:.3f} "
+            f"avg_eer={aggregate.avg_eer_mean:.3f}"
+            for method, aggregate in aggregates.items()
+        )
     output = methods_table(
         aggregates,
         title=(
@@ -330,8 +497,286 @@ def run_compare(args: argparse.Namespace) -> str:
     return output
 
 
+# -- the campaign family -----------------------------------------------------------
+
+
+def _kill_after_hook() -> Callable[..., None] | None:
+    """Testing aid: kill this process after N persisted iterations.
+
+    Controlled by the ``REPRO_CAMPAIGN_KILL_AFTER`` environment variable
+    (``REPRO_CAMPAIGN_KILL_SIGNAL`` picks the signal, default ``KILL``);
+    the CI campaign-smoke job and the crash/resume acceptance test use it
+    to kill a suite at a deterministic mid-run point and prove that
+    resuming reproduces the uninterrupted results byte-for-byte.  The kill
+    fires *after* the iteration's event and snapshot were committed, which
+    is exactly what an external ``kill -9`` races against.
+    """
+    kill_after = int(os.environ.get("REPRO_CAMPAIGN_KILL_AFTER", "0") or 0)
+    if kill_after <= 0:
+        return None
+    signame = os.environ.get("REPRO_CAMPAIGN_KILL_SIGNAL", "KILL").upper()
+    signum = getattr(signal, f"SIG{signame}")
+    seen = {"n": 0}
+
+    def hook(*_args: object) -> None:
+        seen["n"] += 1
+        if seen["n"] >= kill_after:
+            os.kill(os.getpid(), signum)
+
+    return hook
+
+
+def _progress_printer(quiet: bool):
+    def on_progress(tick) -> None:
+        if quiet:
+            return
+        state = "done" if tick.done else f"iteration {tick.iteration}"
+        print(
+            f"[{tick.name}] {state} — spent {tick.spent:.0f}/{tick.budget:.0f} "
+            f"(lane {tick.priority})"
+        )
+
+    return on_progress
+
+
+def _combined_progress(quiet: bool):
+    """Progress printer plus the optional deterministic-kill testing hook."""
+    printer = _progress_printer(quiet)
+    kill_hook = _kill_after_hook()
+
+    def on_progress(tick) -> None:
+        printer(tick)
+        if kill_hook is not None:
+            kill_hook(tick)
+
+    return on_progress
+
+
+def _suite_summary(results, executor, quiet: bool) -> str:
+    """Render ``[(display name, TuningResult), ...]`` plus the shared cache."""
+    lines = [
+        f"{name}: iterations={result.n_iterations} spent={result.spent:.2f} "
+        f"acquired={sum(result.total_acquired.values())}"
+        for name, result in results
+    ]
+    if not quiet and executor.cache is not None:
+        lines.append("")
+        lines.append(
+            cache_stats_table(
+                {"results": executor.cache.stats},
+                title="Shared engine cache across campaigns",
+            )
+        )
+    return "\n".join(lines)
+
+
+def run_campaign_start(args: argparse.Namespace) -> str:
+    """``campaign start``: one campaign from flags, or the builtin suite."""
+    with SqliteStore(args.store) as store:
+        if args.suite:
+            executor = SerialExecutor(cache=InMemoryResultCache())
+            results = campaign_suite(
+                store=store,
+                executor=executor,
+                seed=args.seed,
+                on_progress=_combined_progress(args.quiet),
+            )
+            return _suite_summary(list(results.items()), executor, args.quiet)
+        if not args.name:
+            raise ConfigurationError(
+                "campaign start needs --name (or --suite for the builtin workload)"
+            )
+        spec = CampaignSpec(
+            name=args.name,
+            dataset=args.dataset,
+            scenario=args.scenario,
+            source=args.source,
+            method=args.method,
+            budget=args.budget,
+            lam=args.lam,
+            seed=args.seed,
+            base_size=args.initial_size,
+            validation_size=args.validation_size,
+            epochs=args.epochs,
+            curve_points=args.curve_points,
+            priority=args.priority,
+            checkpoint_every=args.checkpoint_every,
+            evaluate=args.evaluate,
+        )
+        campaign = Campaign.start(store, spec, result_cache=InMemoryResultCache())
+        if campaign.reused and campaign.is_done:
+            result = campaign.result()
+            return (
+                f"{campaign.campaign_id}: already completed (idempotent re-run) — "
+                f"iterations={result.n_iterations} spent={result.spent:.2f}"
+            )
+        if not args.quiet:
+            campaign.add_iteration_hook(
+                lambda c, record: print(
+                    f"[{c.spec.name}] iteration {record.iteration} — "
+                    f"spent {c.spent:.0f}/{c.spec.budget:.0f}"
+                )
+            )
+        kill_hook = _kill_after_hook()
+        if kill_hook is not None:
+            campaign.add_iteration_hook(kill_hook)
+        result = campaign.run(max_steps=args.max_steps)
+        if result is None:
+            return (
+                f"{campaign.campaign_id}: paused after --max-steps "
+                f"{args.max_steps} iteration(s); resume with "
+                f"`campaign resume {campaign.campaign_id} --store {args.store}`"
+            )
+        return _campaign_result_text(campaign, result, args.quiet)
+
+
+def _campaign_result_text(campaign: Campaign, result, quiet: bool) -> str:
+    essential = (
+        f"{campaign.campaign_id}: completed — iterations={result.n_iterations} "
+        f"spent={result.spent:.2f} acquired={sum(result.total_acquired.values())}"
+    )
+    if quiet:
+        return essential
+    output = essential + "\n\n" + result.acquisitions_table()
+    if campaign.tuner is not None:
+        output += "\n\n" + cache_stats_table(
+            engine_cache_stats(campaign.tuner),
+            trainings_performed=campaign.tuner.estimator.trainings_performed,
+        )
+    if result.final_report is not None:
+        output += "\n\n" + result.final_report.to_text()
+    return output
+
+
+def _resume_campaigns(args: argparse.Namespace, campaign_ids: list[str]) -> str:
+    with SqliteStore(args.store) as store:
+        scheduler = CampaignScheduler(
+            store=store,
+            result_cache=InMemoryResultCache(),
+            on_progress=_combined_progress(args.quiet),
+        )
+        for campaign_id in campaign_ids:
+            scheduler.add_existing(campaign_id)
+        by_id = scheduler.run()
+        # Display names can collide across campaigns; campaign ids cannot,
+        # so every resumed campaign gets its own summary line.
+        results = [
+            (campaign.spec.name, by_id[campaign.campaign_id])
+            for campaign in scheduler.campaigns
+        ]
+        return _suite_summary(results, scheduler.executor, args.quiet)
+
+
+def run_campaign_resume(args: argparse.Namespace) -> str:
+    """``campaign resume``: continue one campaign (or every unfinished one)."""
+    if args.resume_all and args.campaign_id:
+        raise ConfigurationError("pass either a campaign id or --all, not both")
+    if args.resume_all:
+        with SqliteStore(args.store) as store:
+            pending = [
+                record.campaign_id
+                for record in store.list_campaigns()
+                if record.status in RESUMABLE
+            ]
+        if not pending:
+            return "nothing to resume: every stored campaign is completed"
+        return _resume_campaigns(args, pending)
+    if not args.campaign_id:
+        raise ConfigurationError("campaign resume needs a campaign id (or --all)")
+    return _resume_campaigns(args, [args.campaign_id])
+
+
+def run_campaign_list(args: argparse.Namespace) -> str:
+    """``campaign list``: one row per stored campaign."""
+    with SqliteStore(args.store) as store:
+        records = store.list_campaigns()
+        if not records:
+            return f"no campaigns in {args.store}"
+        rows = []
+        for record in records:
+            progress = campaign_progress(store, record.campaign_id)
+            rows.append(
+                [
+                    record.campaign_id,
+                    record.name,
+                    record.status,
+                    record.priority,
+                    progress.iterations,
+                    f"{progress.spent:.0f}/{progress.budget:.0f}",
+                    progress.generations,
+                ]
+            )
+    if args.quiet:
+        return "\n".join(f"{row[0]} {row[2]}" for row in rows)
+    return format_table(
+        headers=["id", "name", "status", "lane", "iters", "spent/budget", "gens"],
+        rows=rows,
+        title=f"Campaigns in {args.store}",
+    )
+
+
+def run_campaign_show(args: argparse.Namespace) -> str:
+    """``campaign show``: replay one campaign's event log."""
+    with SqliteStore(args.store) as store:
+        record = store.get_campaign(args.campaign_id)
+        progress = campaign_progress(store, args.campaign_id)
+        events = replay_events(store.events(args.campaign_id))
+    if args.quiet:
+        return (
+            f"{record.campaign_id} {record.status} iterations={progress.iterations} "
+            f"spent={progress.spent:.2f}"
+        )
+    spec_lines = "\n".join(
+        f"  {key} = {value}" for key, value in sorted(record.spec.items())
+    )
+    iteration_rows = [
+        [
+            event.iteration,
+            event.generation,
+            sum(event.payload.get("acquired", {}).values()),
+            f"{event.payload.get('spent', 0.0):.1f}",
+            f"{event.payload.get('imbalance_after', 0.0):.2f}",
+        ]
+        for event in events
+        if event.kind == "iteration"
+    ]
+    output = (
+        f"campaign {record.campaign_id} ({record.name})\n"
+        f"status: {record.status} — lane {record.priority}, "
+        f"{progress.generations} generation(s), "
+        f"{progress.fulfillments} fulfillment(s)\n"
+        f"spec:\n{spec_lines}\n\n"
+    )
+    output += format_table(
+        headers=["iteration", "generation", "acquired", "spent", "imbalance"],
+        rows=iteration_rows,
+        title=(
+            f"Replayed history — {progress.iterations} iteration(s), "
+            f"spent {progress.spent:.2f}/{progress.budget:.0f}"
+        ),
+    )
+    return output
+
+
+def run_campaign(args: argparse.Namespace) -> str:
+    """Dispatch for the ``campaign`` family of subcommands."""
+    if args.campaign_command == "start":
+        return run_campaign_start(args)
+    if args.campaign_command == "resume":
+        return run_campaign_resume(args)
+    if args.campaign_command == "list":
+        return run_campaign_list(args)
+    if args.campaign_command == "show":
+        return run_campaign_show(args)
+    raise ConfigurationError(  # pragma: no cover - argparse enforces choices
+        f"unknown campaign command {args.campaign_command!r}"
+    )
+
+
 def run_strategies(args: argparse.Namespace) -> str:
     """The ``strategies`` subcommand: list the acquisition-strategy registry."""
+    if args.quiet:
+        return "\n".join(available_strategies())
     rows = []
     for name, description in strategy_descriptions().items():
         strategy = get_strategy(name)
@@ -347,10 +792,10 @@ def run_strategies(args: argparse.Namespace) -> str:
 
 def run_sources(args: argparse.Namespace) -> str:
     """The ``sources`` subcommand: list the data-source provider registry."""
-    rows = [
-        [name, description]
-        for name, description in source_descriptions().items()
-    ]
+    descriptions = source_descriptions()
+    if args.quiet:
+        return "\n".join(descriptions)
+    rows = [[name, description] for name, description in descriptions.items()]
     return format_table(
         headers=["source", "description"],
         rows=rows,
@@ -358,24 +803,37 @@ def run_sources(args: argparse.Namespace) -> str:
     )
 
 
+_COMMANDS = {
+    "curves": run_curves,
+    "plan": run_plan,
+    "run": run_run,
+    "compare": run_compare,
+    "campaign": run_campaign,
+    "strategies": run_strategies,
+    "sources": run_sources,
+}
+
+
 def main(argv: Sequence[str] | None = None) -> int:
-    """CLI entry point; returns a process exit code."""
+    """CLI entry point; returns a process exit code.
+
+    Exit codes are consistent across subcommands: 0 on success, 2 for
+    configuration/usage errors (unknown strategy, unknown campaign id,
+    invalid flag combinations — the same code argparse uses for parse
+    errors).  Unexpected exceptions propagate as tracebacks.
+    """
     parser = build_parser()
     args = parser.parse_args(argv)
-    if args.command == "curves":
-        print(run_curves(args))
-    elif args.command == "plan":
-        print(run_plan(args))
-    elif args.command == "run":
-        print(run_run(args))
-    elif args.command == "compare":
-        print(run_compare(args))
-    elif args.command == "strategies":
-        print(run_strategies(args))
-    elif args.command == "sources":
-        print(run_sources(args))
-    else:  # pragma: no cover - argparse enforces the choices
+    handler = _COMMANDS.get(args.command)
+    if handler is None:  # pragma: no cover - argparse enforces the choices
         parser.error(f"unknown command {args.command!r}")
+    try:
+        output = handler(args)
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    if output:
+        print(output)
     return 0
 
 

@@ -277,6 +277,54 @@ class SliceTuner:
         ]
         return _average_reports(reports)
 
+    # -- runtime state (campaign snapshots) ----------------------------------------
+    def runtime_state(self) -> dict:
+        """The tuner's mutable runtime state, as one picklable bundle.
+
+        Everything a faithful mid-run restore needs *besides* the session
+        checkpoint (:meth:`TunerSession.state_dict
+        <repro.core.session.TunerSession.state_dict>`): the sliced dataset,
+        the named provider table (each provider carries its own RNG and
+        remaining reserves), the cost model, the main RNG stream position,
+        and the fixed evaluation seed.  The returned dict *aliases* the live
+        objects — serialize it immediately (e.g. ``pickle.dumps``) to get a
+        point-in-time copy; the campaign subsystem does exactly that.
+        """
+        return {
+            "sliced": self.sliced,
+            "sources": self.sources,
+            "provider_order": self.provider_order,
+            "cost_model": self.cost_model,
+            "rng_state": self._rng.bit_generator.state,
+            "eval_seed": self._eval_seed,
+        }
+
+    def restore_runtime_state(self, state: Mapping) -> None:
+        """Restore a bundle captured by :meth:`runtime_state`.
+
+        Must be called on a tuner *constructed identically* to the one the
+        bundle was captured from (same constructor arguments and seed):
+        construction-time derivations — the estimator's content-derived root
+        seed, configs, the model factory — are not part of the bundle, only
+        the state that mutates as a run progresses.  The main RNG is
+        restored *in place* so components sharing the generator object (the
+        curve estimator) see the restored stream position.  After the
+        restore, a continued run is byte-identical to one that was never
+        interrupted.
+        """
+        self.sliced = state["sliced"]
+        self.sources = dict(state["sources"])
+        self.provider_order = tuple(state["provider_order"])
+        if len(self.provider_order) == 1:
+            self.source = self.sources[self.provider_order[0]]
+        else:
+            self.source = CompositeSource(
+                [(name, self.sources[name]) for name in self.provider_order]
+            )
+        self.cost_model = state["cost_model"]
+        self._rng.bit_generator.state = state["rng_state"]
+        self._eval_seed = int(state["eval_seed"])
+
     # -- the main entry points ----------------------------------------------------------
     def session(self, **hooks) -> TunerSession:
         """Create a streaming :class:`~repro.core.session.TunerSession`.

@@ -1,11 +1,22 @@
-"""Rendering experiment results as the paper's tables and figure series."""
+"""Rendering experiment results as the paper's tables and figure series.
+
+Beyond the paper's tables, :func:`engine_cache_stats` /
+:func:`cache_stats_table` surface the execution engine's cache
+effectiveness — result-cache and curve-cache hit rates plus the honest
+training counter — so warm re-runs and campaign resumes are measurable
+instead of anecdotal.
+"""
 
 from __future__ import annotations
 
-from typing import Mapping, Sequence
+from typing import TYPE_CHECKING, Mapping, Sequence
 
+from repro.engine.cache import CacheStats
 from repro.experiments.runner import MethodAggregate
 from repro.utils.tables import format_series, format_table
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.tuner import SliceTuner
 
 
 def methods_table(
@@ -74,6 +85,56 @@ def comparison_table(
             row.append(f"{aggregate.avg_eer_mean:.3f} ± {aggregate.avg_eer_std:.3f}")
         rows.append(row)
     return format_table(headers=headers, rows=rows, title=title)
+
+
+def engine_cache_stats(tuner: "SliceTuner") -> dict[str, CacheStats]:
+    """The engine caches a tuner is running with, keyed by a display name.
+
+    Covers the executor's content-addressed result cache (when attached)
+    and the estimator's per-slice curve cache (when
+    ``incremental_curves=True``).  Returns an empty mapping when the tuner
+    runs cache-less.
+    """
+    stats: dict[str, CacheStats] = {}
+    if tuner.executor.cache is not None:
+        stats["results"] = tuner.executor.cache.stats
+    if tuner.estimator.curve_cache is not None:
+        stats["curves"] = tuner.estimator.curve_cache.stats
+    return stats
+
+
+def cache_stats_table(
+    stats: Mapping[str, CacheStats],
+    title: str = "Engine cache effectiveness",
+    trainings_performed: int | None = None,
+) -> str:
+    """Hit/miss statistics of the engine caches as an aligned text table.
+
+    ``trainings_performed`` (the estimator's honest counter — cache-served
+    jobs never inflate it) is appended to the title when given, so one
+    table answers both "how often did the cache help" and "how much work
+    actually ran".
+    """
+    if trainings_performed is not None:
+        title = f"{title} — {trainings_performed} trainings performed"
+    rows = [
+        [
+            name,
+            cache.requests,
+            cache.hits,
+            cache.misses,
+            f"{cache.hit_rate:.0%}",
+            cache.evictions,
+        ]
+        for name, cache in stats.items()
+    ]
+    if not rows:
+        rows = [["(no caches attached)", 0, 0, 0, "0%", 0]]
+    return format_table(
+        headers=["cache", "lookups", "hits", "misses", "hit rate", "evictions"],
+        rows=rows,
+        title=title,
+    )
 
 
 def series_text(

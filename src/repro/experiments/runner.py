@@ -11,6 +11,14 @@ own dataset, source, and tuner from ``config.seed + trial`` — so
 ``compare_methods`` and ``budget_sweep`` accept an
 :class:`~repro.engine.executor.Executor` and fan the grid out across
 workers.  Results are identical for every backend.
+
+``campaign_suite`` is the durable counterpart: it runs several
+heterogeneous campaigns (different datasets, scenarios, strategies, and
+priorities) concurrently through a
+:class:`~repro.campaigns.scheduler.CampaignScheduler` over one shared
+engine executor, persisting every iteration to a
+:class:`~repro.campaigns.store.CampaignStore` so the whole suite survives
+a crash and resumes byte-identically.
 """
 
 from __future__ import annotations
@@ -306,6 +314,101 @@ def compare_methods(
     return {
         method: MethodAggregate.from_outcomes(results)
         for method, results in outcomes.items()
+    }
+
+
+def default_campaign_specs(seed: int = 0) -> tuple:
+    """The builtin ``campaign_suite`` workload: 3 heterogeneous campaigns.
+
+    The three campaigns differ along every axis the scheduler multiplexes:
+    dataset (4-slice adult vs 8-slice faces), scenario/source (unlimited
+    generator vs a draining pool with generator failover), strategy
+    (iterative curve-based vs one-shot baseline), priority lane, and
+    whether before/after evaluation reports are attached.  Sized to finish
+    in seconds so the suite doubles as the CI crash/resume smoke workload.
+    """
+    from repro.campaigns import CampaignSpec
+
+    return (
+        CampaignSpec(
+            name="adult-moderate",
+            dataset="adult_like",
+            scenario="basic",
+            method="moderate",
+            budget=600.0,
+            seed=seed,
+            base_size=50,
+            validation_size=50,
+            epochs=8,
+            curve_points=3,
+            evaluate=True,
+            priority=1,
+        ),
+        CampaignSpec(
+            name="adult-mixed-conservative",
+            dataset="adult_like",
+            scenario="mixed_sources",
+            method="conservative",
+            budget=400.0,
+            seed=seed + 1,
+            base_size=50,
+            validation_size=50,
+            epochs=8,
+            curve_points=3,
+            priority=0,
+        ),
+        CampaignSpec(
+            name="faces-uniform",
+            dataset="faces_like",
+            scenario="basic",
+            method="uniform",
+            budget=200.0,
+            seed=seed + 2,
+            base_size=30,
+            validation_size=40,
+            epochs=8,
+            curve_points=3,
+            priority=0,
+        ),
+    )
+
+
+def campaign_suite(
+    store=None,
+    specs=None,
+    executor: Executor | None = None,
+    on_progress=None,
+    seed: int = 0,
+):
+    """Run several heterogeneous campaigns concurrently over one engine.
+
+    Every campaign persists its event log and snapshots into ``store`` (an
+    in-memory store by default — pass a
+    :class:`~repro.campaigns.store.SqliteStore` for durability), so a
+    killed suite resumes where it left off: re-running ``campaign_suite``
+    against the same store deduplicates completed campaigns by content
+    fingerprint and continues unfinished ones from their latest snapshot.
+
+    Returns ``{campaign name: TuningResult}`` (suite specs must therefore
+    carry unique names; the scheduler itself keys by campaign id).  With a
+    serial executor the results are byte-identical to running each campaign
+    on its own.
+    """
+    from repro.campaigns import CampaignScheduler
+
+    scheduler = CampaignScheduler(
+        store=store, executor=executor, on_progress=on_progress
+    )
+    specs = list(specs) if specs is not None else list(default_campaign_specs(seed))
+    names = [spec.name for spec in specs]
+    if len(set(names)) != len(names):
+        raise ConfigurationError(
+            f"campaign_suite specs need unique names, got {names}"
+        )
+    campaigns = [scheduler.add(spec) for spec in specs]
+    by_id = scheduler.run()
+    return {
+        campaign.spec.name: by_id[campaign.campaign_id] for campaign in campaigns
     }
 
 

@@ -42,3 +42,12 @@ class BudgetError(ReproError):
 
 class AcquisitionError(ReproError):
     """Raised when a data source cannot satisfy an acquisition request."""
+
+
+class CampaignError(ReproError):
+    """Raised when a campaign cannot be created, restored, or resumed.
+
+    Examples include resuming an unknown campaign id, scheduling the same
+    campaign twice, or loading a snapshot written by an incompatible
+    version of the campaign subsystem.
+    """

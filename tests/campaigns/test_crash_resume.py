@@ -1,0 +1,125 @@
+"""The acceptance test: kill -9 a campaign_suite run, resume, byte-identical.
+
+A subprocess runs ``python -m repro.cli campaign start --suite`` against a
+SQLite store and is killed with SIGKILL at a deterministic mid-run point
+(after the Nth persisted iteration, via the ``REPRO_CAMPAIGN_KILL_AFTER``
+testing hook — the kill races exactly like an external ``kill -9``, landing
+after that iteration's event and snapshot committed but before anything
+else).  The parent process then reopens the store, resumes every campaign,
+and asserts each final :class:`~repro.core.plan.TuningResult` is
+byte-identical to an uninterrupted in-process run of the same suite.
+Everything is stdlib + the already-required NumPy: no new dependencies.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import subprocess
+import sys
+from pathlib import Path
+
+from repro.campaigns import Campaign, InMemoryStore, SqliteStore
+from repro.experiments.runner import campaign_suite
+
+_SRC = str(Path(__file__).resolve().parents[2] / "src")
+
+
+def _run_suite_subprocess(store_path: str, kill_after: int) -> subprocess.CompletedProcess:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = _SRC + os.pathsep + env.get("PYTHONPATH", "")
+    env["REPRO_CAMPAIGN_KILL_AFTER"] = str(kill_after)
+    env["REPRO_CAMPAIGN_KILL_SIGNAL"] = "KILL"
+    return subprocess.run(
+        [
+            sys.executable,
+            "-m",
+            "repro.cli",
+            "campaign",
+            "start",
+            "--suite",
+            "--store",
+            store_path,
+            "--quiet",
+        ],
+        env=env,
+        capture_output=True,
+        text=True,
+        timeout=600,
+    )
+
+
+def test_kill9_mid_suite_then_resume_is_byte_identical(tmp_path):
+    baseline = campaign_suite(store=InMemoryStore(), seed=0)
+    assert len(baseline) >= 3
+
+    store_path = str(tmp_path / "suite.sqlite")
+    proc = _run_suite_subprocess(store_path, kill_after=3)
+    # SIGKILL'd mid-run: non-zero exit, and the suite did not finish.
+    assert proc.returncode == -signal.SIGKILL, (proc.returncode, proc.stderr)
+
+    with SqliteStore(store_path) as store:
+        records = store.list_campaigns()
+        assert {record.name for record in records} == set(baseline)
+        statuses = {record.name: record.status for record in records}
+        assert any(status != "completed" for status in statuses.values()), statuses
+
+        results = {}
+        for record in records:
+            campaign = Campaign.resume(store, record.campaign_id)
+            results[record.name] = campaign.run()
+
+    for name, expected in baseline.items():
+        assert results[name].to_json() == expected.to_json(), name
+
+
+def test_sigterm_single_campaign_then_resume_is_byte_identical(tmp_path):
+    """The CI smoke shape, in miniature: SIGTERM one campaign mid-run."""
+    from repro.campaigns import CampaignSpec
+
+    spec_kwargs = dict(
+        dataset="adult_like",
+        method="moderate",
+        budget=600.0,
+        seed=0,
+        base_size=50,
+        validation_size=50,
+        epochs=8,
+        curve_points=3,
+    )
+    baseline = Campaign.start(
+        InMemoryStore(), CampaignSpec(name="smoke", **spec_kwargs)
+    ).run()
+
+    store_path = str(tmp_path / "single.sqlite")
+    env = dict(os.environ)
+    env["PYTHONPATH"] = _SRC + os.pathsep + env.get("PYTHONPATH", "")
+    env["REPRO_CAMPAIGN_KILL_AFTER"] = "2"
+    env["REPRO_CAMPAIGN_KILL_SIGNAL"] = "TERM"
+    proc = subprocess.run(
+        [
+            sys.executable, "-m", "repro.cli", "campaign", "start",
+            "--name", "smoke",
+            "--dataset", "adult_like",
+            "--method", "moderate",
+            "--budget", "600",
+            "--seed", "0",
+            "--initial-size", "50",
+            "--validation-size", "50",
+            "--epochs", "8",
+            "--curve-points", "3",
+            "--store", store_path,
+            "--quiet",
+        ],
+        env=env,
+        capture_output=True,
+        text=True,
+        timeout=600,
+    )
+    assert proc.returncode == -signal.SIGTERM, (proc.returncode, proc.stderr)
+
+    with SqliteStore(store_path) as store:
+        [record] = store.list_campaigns()
+        assert record.status != "completed"
+        resumed = Campaign.resume(store, record.campaign_id).run()
+    assert resumed.to_json() == baseline.to_json()

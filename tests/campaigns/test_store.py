@@ -1,0 +1,185 @@
+"""Tests for repro.campaigns.store (event log + snapshot backends)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.campaigns.store import (
+    COMPLETED,
+    PENDING,
+    CampaignEvent,
+    CampaignRecord,
+    CampaignStore,
+    InMemoryStore,
+    SqliteStore,
+    replay_events,
+)
+from repro.utils.exceptions import CampaignError
+
+
+@pytest.fixture(params=["memory", "sqlite"])
+def store(request, tmp_path):
+    """Each test runs against both backends."""
+    if request.param == "memory":
+        backend = InMemoryStore()
+    else:
+        backend = SqliteStore(str(tmp_path / "store.sqlite"))
+    yield backend
+    backend.close()
+
+
+def make_record(campaign_id="camp-1", **overrides) -> CampaignRecord:
+    defaults = dict(
+        campaign_id=campaign_id,
+        name="camp",
+        fingerprint=f"fp-{campaign_id}",
+        spec={"name": "camp", "budget": 10.0},
+        status=PENDING,
+        priority=1,
+    )
+    defaults.update(overrides)
+    return CampaignRecord(**defaults)
+
+
+class TestCampaignRecords:
+    def test_create_and_get_round_trip(self, store):
+        store.create_campaign(make_record())
+        record = store.get_campaign("camp-1")
+        assert record.name == "camp"
+        assert record.spec == {"name": "camp", "budget": 10.0}
+        assert record.status == PENDING
+        assert record.priority == 1
+
+    def test_backends_satisfy_the_protocol(self, store):
+        assert isinstance(store, CampaignStore)
+
+    def test_duplicate_id_rejected(self, store):
+        store.create_campaign(make_record())
+        with pytest.raises(CampaignError):
+            store.create_campaign(make_record())
+
+    def test_unknown_campaign_rejected(self, store):
+        with pytest.raises(CampaignError):
+            store.get_campaign("nope")
+        with pytest.raises(CampaignError):
+            store.set_status("nope", COMPLETED)
+        with pytest.raises(CampaignError):
+            store.events("nope")
+
+    def test_find_fingerprint(self, store):
+        store.create_campaign(make_record("a"))
+        store.create_campaign(make_record("b"))
+        assert store.find_fingerprint("fp-b").campaign_id == "b"
+        assert store.find_fingerprint("fp-zzz") is None
+
+    def test_status_update(self, store):
+        store.create_campaign(make_record())
+        store.set_status("camp-1", COMPLETED)
+        assert store.get_campaign("camp-1").status == COMPLETED
+
+    def test_list_preserves_creation_order(self, store):
+        for campaign_id in ("a", "b", "c"):
+            store.create_campaign(make_record(campaign_id))
+        assert [r.campaign_id for r in store.list_campaigns()] == ["a", "b", "c"]
+
+
+class TestEventLog:
+    def test_append_only_with_monotonic_seq(self, store):
+        store.create_campaign(make_record())
+        seqs = [
+            store.append_event(
+                "camp-1", generation=0, iteration=i, kind="iteration", payload={"i": i}
+            )
+            for i in range(1, 4)
+        ]
+        assert seqs == sorted(seqs)
+        events = store.events("camp-1")
+        assert [e.iteration for e in events] == [1, 2, 3]
+        assert [e.payload["i"] for e in events] == [1, 2, 3]
+
+    def test_payload_dict_order_survives_round_trip(self, store):
+        store.create_campaign(make_record())
+        payload = {"zeta": 1, "alpha": 2, "mid": {"b": 1, "a": 2}}
+        store.append_event(
+            "camp-1", generation=0, iteration=1, kind="iteration", payload=payload
+        )
+        stored = store.events("camp-1")[0].payload
+        assert list(stored) == ["zeta", "alpha", "mid"]
+        assert list(stored["mid"]) == ["b", "a"]
+
+    def test_latest_generation_tracks_events_and_snapshots(self, store):
+        store.create_campaign(make_record())
+        assert store.latest_generation("camp-1") == -1
+        store.append_event(
+            "camp-1", generation=0, iteration=1, kind="iteration", payload={}
+        )
+        assert store.latest_generation("camp-1") == 0
+        store.save_snapshot("camp-1", generation=2, iteration=1, payload=b"x")
+        assert store.latest_generation("camp-1") == 2
+
+
+class TestSnapshots:
+    def test_latest_snapshot_wins(self, store):
+        store.create_campaign(make_record())
+        assert store.latest_snapshot("camp-1") is None
+        store.save_snapshot("camp-1", generation=0, iteration=1, payload=b"one")
+        store.save_snapshot("camp-1", generation=0, iteration=2, payload=b"two")
+        snapshot = store.latest_snapshot("camp-1")
+        assert snapshot.iteration == 2
+        assert snapshot.payload == b"two"
+
+
+class TestSqliteDurability:
+    def test_reopen_sees_committed_state(self, tmp_path):
+        path = str(tmp_path / "durable.sqlite")
+        first = SqliteStore(path)
+        first.create_campaign(make_record())
+        first.append_event(
+            "camp-1", generation=0, iteration=1, kind="iteration", payload={"spent": 3}
+        )
+        first.save_snapshot("camp-1", generation=0, iteration=1, payload=b"blob")
+        # Simulate an abrupt death: no explicit commit/close choreography is
+        # needed — every append is its own committed transaction.
+        first.close()
+
+        second = SqliteStore(path)
+        assert second.get_campaign("camp-1").name == "camp"
+        assert second.events("camp-1")[0].payload == {"spent": 3}
+        assert second.latest_snapshot("camp-1").payload == b"blob"
+        second.close()
+
+
+class TestReplay:
+    def test_replay_keeps_newest_generation_per_iteration(self):
+        def event(seq, generation, iteration, kind="iteration", payload=None):
+            return CampaignEvent(
+                campaign_id="c",
+                seq=seq,
+                generation=generation,
+                iteration=iteration,
+                kind=kind,
+                payload=payload or {"gen": generation},
+            )
+
+        log = [
+            event(1, 0, 1),
+            event(2, 0, 1, kind="fulfillment"),
+            event(3, 0, 2),
+            event(4, 0, 3),  # superseded: gen 1 re-executed iteration 3
+            event(5, 1, 3),
+            event(6, 1, 4),
+            event(7, 1, -1, kind="completed"),
+        ]
+        replayed = replay_events(log)
+        iterations = [e for e in replayed if e.kind == "iteration"]
+        assert [(e.iteration, e.generation) for e in iterations] == [
+            (1, 0),
+            (2, 0),
+            (3, 1),
+            (4, 1),
+        ]
+        # Out-of-loop kinds are deduplicated independently of iterations.
+        assert sum(1 for e in replayed if e.kind == "completed") == 1
+        assert sum(1 for e in replayed if e.kind == "fulfillment") == 1
+        # Chronological order is preserved.
+        assert [e.seq for e in replayed] == sorted(e.seq for e in replayed)

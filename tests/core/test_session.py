@@ -157,6 +157,58 @@ class TestCheckpointing:
         assert len(remaining) == expected.n_iterations - 1
         assert result.to_json() == expected.to_json()
 
+    def test_json_round_trip_resume_matches_uninterrupted_everywhere(
+        self, tiny_task, fast_training, fast_curves
+    ):
+        """state_dict -> json -> load_state_dict -> resume() reproduces the
+        uninterrupted result at *every* interrupt point of the run."""
+        import json
+
+        continuous = make_tuner(tiny_task, fast_training, fast_curves)
+        expected = continuous.run(budget=90, method="moderate", evaluate=False)
+        assert expected.n_iterations >= 2
+
+        for interrupt_after in range(1, expected.n_iterations + 1):
+            tuner = make_tuner(tiny_task, fast_training, fast_curves)
+            session = tuner.session()
+            stream = session.stream(budget=90, strategy="moderate")
+            for _ in range(interrupt_after):
+                next(stream)
+            checkpoint = json.loads(json.dumps(session.state_dict()))
+
+            restored = tuner.session()
+            restored.load_state_dict(checkpoint)
+            list(restored.resume())
+            assert restored.result().to_json() == expected.to_json(), (
+                f"diverged when interrupted after iteration {interrupt_after}"
+            )
+
+    def test_round_trip_at_mid_iteration_event_boundary(
+        self, tiny_task, fast_training, fast_curves
+    ):
+        """Interrupting between a FulfillmentEvent and its IterationEvent
+        (the finest-grained interrupt point stream_events exposes) still
+        checkpoints a state that resumes to the uninterrupted result."""
+        import json
+
+        from repro.core.session import FulfillmentEvent
+
+        continuous = make_tuner(tiny_task, fast_training, fast_curves)
+        expected = continuous.run(budget=90, method="moderate", evaluate=False)
+
+        tuner = make_tuner(tiny_task, fast_training, fast_curves)
+        session = tuner.session()
+        events = session.stream_events(budget=90, strategy="moderate")
+        for event in events:
+            if isinstance(event, FulfillmentEvent):
+                break  # the batch landed; its IterationEvent is still pending
+        checkpoint = json.loads(json.dumps(session.state_dict()))
+
+        restored = tuner.session()
+        restored.load_state_dict(checkpoint)
+        list(restored.resume())
+        assert restored.result().to_json() == expected.to_json()
+
     def test_resume_without_state_rejected(
         self, tiny_task, fast_training, fast_curves
     ):

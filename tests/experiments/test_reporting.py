@@ -2,9 +2,12 @@
 
 from __future__ import annotations
 
+from repro.engine.cache import CacheStats
 from repro.experiments.reporting import (
     allocations_table,
+    cache_stats_table,
     comparison_table,
+    engine_cache_stats,
     methods_table,
     series_text,
 )
@@ -68,3 +71,46 @@ class TestSeriesText:
             title="Figure 10",
         )
         assert "Figure 10" in text and "[moderate]" in text
+
+
+class TestCacheStatsTable:
+    def test_renders_hit_rates_and_training_count(self):
+        stats = {
+            "results": CacheStats(hits=3, misses=1),
+            "curves": CacheStats(hits=0, misses=4, evictions=1),
+        }
+        text = cache_stats_table(stats, trainings_performed=7)
+        assert "results" in text and "curves" in text
+        assert "75%" in text  # 3 hits / 4 lookups
+        assert "7 trainings performed" in text
+
+    def test_cache_less_tuner_renders_placeholder(self):
+        text = cache_stats_table({})
+        assert "no caches attached" in text
+
+    def test_engine_cache_stats_reads_the_live_caches(
+        self, tiny_task, fast_training, fast_curves
+    ):
+        from repro.acquisition.source import GeneratorDataSource
+        from repro.core.tuner import SliceTuner, SliceTunerConfig
+        from repro.engine.cache import InMemoryResultCache
+
+        sliced = tiny_task.initial_sliced_dataset(30, 50, random_state=0)
+        tuner = SliceTuner(
+            sliced,
+            GeneratorDataSource(tiny_task, random_state=1),
+            trainer_config=fast_training,
+            curve_config=fast_curves,
+            config=SliceTunerConfig(incremental_curves=True),
+            random_state=0,
+            result_cache=InMemoryResultCache(),
+        )
+        stats = engine_cache_stats(tuner)
+        assert set(stats) == {"results", "curves"}
+        tuner.estimate_curves()
+        cold = tuner.estimator.trainings_performed
+        tuner.estimate_curves()  # warm: served from the curve cache
+        assert tuner.estimator.trainings_performed == cold
+        assert stats["curves"].hits > 0
+        text = cache_stats_table(stats, trainings_performed=cold)
+        assert f"{cold} trainings performed" in text

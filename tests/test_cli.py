@@ -141,3 +141,134 @@ class TestSubcommands:
     def test_run_rejects_unknown_source(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args(["run", "--source", "teleporter"])
+
+    def test_run_prints_cache_stats(self, capsys):
+        exit_code = main(
+            ["run", *FAST, "--budget", "60", "--method", "uniform"]
+        )
+        assert exit_code == 0
+        output = capsys.readouterr().out
+        assert "Engine cache effectiveness" in output
+        assert "trainings performed" in output
+
+
+class TestQuietAndExitCodes:
+    def test_quiet_run_prints_only_the_summary_line(self, capsys):
+        exit_code = main(
+            ["run", *FAST, "--quiet", "--budget", "60", "--method", "uniform"]
+        )
+        assert exit_code == 0
+        output = capsys.readouterr().out.strip()
+        assert len(output.splitlines()) == 1
+        assert "method=uniform" in output and "spent=" in output
+
+    def test_quiet_strategies_prints_bare_names(self, capsys):
+        assert main(["strategies", "--quiet"]) == 0
+        output = capsys.readouterr().out
+        assert "moderate" in output
+        assert "description" not in output
+
+    def test_config_errors_exit_2(self, capsys):
+        # --workers without the process executor is a configuration error.
+        exit_code = main(
+            ["compare", *FAST, "--budget", "40", "--trials", "1", "--workers", "2"]
+        )
+        assert exit_code == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_unknown_campaign_exits_2(self, capsys, tmp_path):
+        store = str(tmp_path / "empty.sqlite")
+        assert main(["campaign", "show", "ghost", "--store", store]) == 2
+        assert main(["campaign", "resume", "ghost", "--store", store]) == 2
+        assert main(["run", *FAST, "--resume", "ghost", "--store", store]) == 2
+        err = capsys.readouterr().err
+        assert err.count("error:") == 3
+
+    def test_campaign_start_without_name_exits_2(self, capsys, tmp_path):
+        store = str(tmp_path / "empty.sqlite")
+        assert main(["campaign", "start", "--store", store]) == 2
+        assert "error:" in capsys.readouterr().err
+
+
+#: Small, fast campaign flags shared by the campaign CLI tests.
+CAMPAIGN_FAST = [
+    "--dataset", "adult_like",
+    "--method", "moderate",
+    "--budget", "200",
+    "--seed", "0",
+    "--initial-size", "50",
+    "--validation-size", "50",
+    "--epochs", "8",
+    "--curve-points", "3",
+]
+
+
+class TestCampaignCommands:
+    def test_start_list_show_flow(self, capsys, tmp_path):
+        store = str(tmp_path / "camp.sqlite")
+        exit_code = main(
+            ["campaign", "start", "--name", "demo", *CAMPAIGN_FAST, "--store", store]
+        )
+        assert exit_code == 0
+        start_output = capsys.readouterr().out
+        assert "completed" in start_output
+        assert "Engine cache effectiveness" in start_output
+
+        assert main(["campaign", "list", "--store", store]) == 0
+        list_output = capsys.readouterr().out
+        assert "demo" in list_output and "completed" in list_output
+
+        campaign_id = next(
+            line.split()[0]
+            for line in list_output.splitlines()
+            if line.startswith("demo-")
+        )
+        assert main(["campaign", "show", campaign_id, "--store", store]) == 0
+        show_output = capsys.readouterr().out
+        assert "Replayed history" in show_output
+        assert "method = moderate" in show_output
+
+    def test_start_pause_then_run_resume_shorthand(self, capsys, tmp_path):
+        store = str(tmp_path / "camp.sqlite")
+        exit_code = main(
+            [
+                "campaign", "start", "--name", "pausy", *CAMPAIGN_FAST,
+                "--max-steps", "1", "--store", store,
+            ]
+        )
+        assert exit_code == 0
+        paused_output = capsys.readouterr().out
+        assert "paused" in paused_output
+        campaign_id = paused_output.split(":", 1)[0].strip().splitlines()[-1]
+
+        # `run --resume` is a shorthand for `campaign resume`.
+        assert main(["run", "--resume", campaign_id, "--store", store]) == 0
+        resumed_output = capsys.readouterr().out
+        assert "pausy" in resumed_output and "iterations=" in resumed_output
+
+        assert main(["campaign", "list", "--store", store, "--quiet"]) == 0
+        assert "completed" in capsys.readouterr().out
+
+    def test_idempotent_restart_replays_without_rerunning(self, capsys, tmp_path):
+        store = str(tmp_path / "camp.sqlite")
+        args = ["campaign", "start", "--name", "once", *CAMPAIGN_FAST, "--store", store]
+        assert main(args) == 0
+        capsys.readouterr()
+        assert main(args) == 0
+        assert "idempotent re-run" in capsys.readouterr().out
+
+    def test_resume_all_with_nothing_pending(self, capsys, tmp_path):
+        store = str(tmp_path / "camp.sqlite")
+        assert main(
+            ["campaign", "start", "--name", "done", *CAMPAIGN_FAST, "--store", store]
+        ) == 0
+        capsys.readouterr()
+        assert main(["campaign", "resume", "--all", "--store", store]) == 0
+        assert "nothing to resume" in capsys.readouterr().out
+
+    def test_resume_rejects_id_plus_all(self, capsys, tmp_path):
+        store = str(tmp_path / "camp.sqlite")
+        assert (
+            main(["campaign", "resume", "some-id", "--all", "--store", store]) == 2
+        )
+        assert "error:" in capsys.readouterr().err
