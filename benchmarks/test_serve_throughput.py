@@ -1,0 +1,127 @@
+"""Serving-throughput smoke: N threaded clients against one tuner daemon.
+
+The first serving-perf trajectory point of the repo: a
+:class:`~repro.serve.server.TunerServer` (ThreadingHTTPServer) over one
+shared scheduler serves several concurrent clients, each submitting its own
+campaign and tailing the live SSE stream to completion.  The benchmark
+asserts the serving layer adds correctness-preserving concurrency — every
+wire-served result equals an in-process ``Campaign.run`` of the same spec —
+and records wall-clock, request, and event-stream counters to
+``$BENCH_SERVE_OUT`` (the CI artifact ``BENCH_serve.json``; the committed
+``benchmarks/BENCH_serve.json`` is one reference point from a 1-CPU dev
+container).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import time
+from pathlib import Path
+
+from conftest import emit
+
+from repro.campaigns import Campaign, CampaignSpec, InMemoryStore
+from repro.serve import TunerClient, TunerServer, TunerService
+
+CLIENTS = 3
+
+
+def _spec(index: int) -> dict:
+    return {
+        "name": f"serve-bench-{index}",
+        "dataset": "adult_like",
+        "scenario": "basic",
+        "method": "uniform" if index % 2 == 0 else "moderate",
+        "budget": 160.0,
+        "seed": 40 + index,
+        "base_size": 30,
+        "validation_size": 30,
+        "epochs": 4,
+        "curve_points": 3,
+    }
+
+
+def run_serve_throughput() -> dict:
+    app = TunerService().start()
+    server = TunerServer(app).start_background()
+    outcomes: dict[int, dict] = {}
+    events_seen: dict[int, int] = {}
+    errors: list[Exception] = []
+
+    def one_client(index: int) -> None:
+        try:
+            client = TunerClient(server.url, timeout=60.0)
+            submitted = client.submit(_spec(index))
+            streamed = 0
+            for frame in client.tail(submitted["campaign_id"]):
+                if frame["id"] is not None:
+                    streamed += 1
+            events_seen[index] = streamed
+            outcomes[index] = client.result(submitted["campaign_id"])
+        except Exception as error:  # noqa: BLE001 - surfaced by the assert
+            errors.append(error)
+
+    start = time.perf_counter()
+    threads = [
+        threading.Thread(target=one_client, args=(index,))
+        for index in range(CLIENTS)
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    elapsed = time.perf_counter() - start
+    stats = app.server_stats()
+    server.shutdown()
+    app.close()
+    assert errors == [], errors
+    return {
+        "clients": CLIENTS,
+        "elapsed_s": elapsed,
+        "requests": stats["requests"],
+        "events_streamed": stats["events_streamed"],
+        "scheduler_steps": stats["scheduler_steps"],
+        "campaigns_completed": stats["campaigns_completed"],
+        "events_per_client": events_seen,
+        "outcomes": outcomes,
+    }
+
+
+def _record_bench(numbers: dict) -> None:
+    """Write this run's numbers to ``$BENCH_SERVE_OUT`` (when set)."""
+    out = os.environ.get("BENCH_SERVE_OUT")
+    if not out:
+        return
+    Path(out).write_text(json.dumps(numbers, indent=2, sort_keys=True) + "\n")
+
+
+def test_serve_throughput_smoke(run_once):
+    results = run_once(run_serve_throughput)
+
+    # Correctness under concurrency: every wire-served result equals the
+    # same spec run in-process, so the serving layer is pure plumbing.
+    for index in range(CLIENTS):
+        store = InMemoryStore()
+        baseline = Campaign.start(store, CampaignSpec(**_spec(index))).run()
+        assert results["outcomes"][index] == baseline.to_dict(), index
+
+    assert results["campaigns_completed"] == CLIENTS
+    # Each client saw a full event stream (>= iterations + completed).
+    assert all(count >= 2 for count in results["events_per_client"].values())
+
+    numbers = {
+        "clients": results["clients"],
+        "elapsed_s": round(results["elapsed_s"], 3),
+        "requests": int(results["requests"]),
+        "events_streamed": int(results["events_streamed"]),
+        "scheduler_steps": int(results["scheduler_steps"]),
+        "campaigns_completed": int(results["campaigns_completed"]),
+        "campaigns_per_s": round(CLIENTS / results["elapsed_s"], 3),
+    }
+    _record_bench(numbers)
+    emit(
+        "Serving throughput smoke — concurrent clients over one daemon",
+        "\n".join(f"{key:>20}: {value}" for key, value in numbers.items()),
+    )

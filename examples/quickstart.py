@@ -25,7 +25,12 @@ This is the smallest end-to-end use of the library:
    and snapshot to a store, kill it mid-run (here: simply abandon the
    object, the moral equivalent of ``kill -9`` — nothing is flushed at
    exit), then ``resume`` from the store and get a result byte-identical
-   to an uninterrupted run.
+   to an uninterrupted run, and
+9. serve it all as a daemon: a ``TunerService`` pumps one shared scheduler
+   in the background, a ``TunerServer`` exposes the HTTP campaign API, and
+   a ``TunerClient`` submits a campaign, tails its live event stream
+   (Server-Sent Events, resumable from any cursor), and fetches the final
+   result — identical to running the same spec in-process.
 
 Run with::
 
@@ -46,6 +51,9 @@ from repro import (
     SliceTuner,
     SliceTunerConfig,
     TrainingConfig,
+    TunerClient,
+    TunerServer,
+    TunerService,
     TuningResult,
     available_sources,
     available_strategies,
@@ -220,6 +228,35 @@ def main() -> None:
         f"{resumed_result.n_iterations} iterations, "
         f"spent {resumed_result.spent:.0f} — byte-identical to uninterrupted"
     )
+
+    # 9. The tuner service daemon.  One TunerService pumps a shared
+    #    scheduler on a background thread; the HTTP layer serves any number
+    #    of concurrent clients (the CLI equivalent: `python -m repro.cli
+    #    serve --store campaigns.sqlite`, then `remote submit/tail/show`
+    #    from other terminals).  Events stream over SSE with durable
+    #    cursors, and the wire-served result is identical to step 8's.
+    print("\nTuner service daemon (HTTP + SSE):")
+    service = TunerService().start()
+    server = TunerServer(service).start_background()   # port 0 = pick free
+    client = TunerClient(server.url)
+    campaign_id = client.submit(spec.to_dict())["campaign_id"]
+    for frame in client.tail(campaign_id):             # replay + live tail
+        if frame["event"] == "iteration":
+            payload = frame["data"]["payload"]
+            print(
+                f"  [SSE {frame['id']}] iteration {payload['iteration']}: "
+                f"spent {payload['spent']:.0f}"
+            )
+    served_result = client.result(campaign_id)
+    assert served_result == baseline.to_dict()
+    stats = client.stats()
+    print(
+        f"  served result identical to in-process run "
+        f"({stats['requests']} requests, "
+        f"{stats['events_streamed']} events streamed); draining..."
+    )
+    server.shutdown()
+    service.close()
 
 
 if __name__ == "__main__":

@@ -68,6 +68,18 @@ multiplexes many concurrent campaigns over one shared engine executor::
     campaign.run()                                  # kill -9 any time...
     Campaign.resume(store, campaign.campaign_id).run()   # ...and continue
 
+To serve many clients from one long-running process, put the same store
+behind the tuner service daemon (`python -m repro.cli serve`): a
+stdlib-only HTTP JSON API over a shared background scheduler, streaming
+live events over SSE, draining gracefully on SIGTERM::
+
+    service = TunerService(store=SqliteStore("campaigns.sqlite")).start()
+    server = TunerServer(service, port=8731).start_background()
+    client = TunerClient(server.url)
+    campaign_id = client.submit({"name": "nightly", "budget": 2000})["campaign_id"]
+    for frame in client.tail(campaign_id):          # replay + live SSE
+        print(frame["event"], frame["data"])
+
 Registering a custom strategy
 -----------------------------
 A strategy answers one question — *what should the next acquisition batch
@@ -197,9 +209,10 @@ from repro.ml import (
     Trainer,
     TrainingConfig,
 )
+from repro.serve import TunerClient, TunerServer, TunerService
 from repro.slices import Slice, SlicedDataset, SliceSpec
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 __all__ = [
     "__version__",
@@ -236,6 +249,10 @@ __all__ = [
     "CampaignStore",
     "InMemoryStore",
     "SqliteStore",
+    # serve
+    "TunerService",
+    "TunerServer",
+    "TunerClient",
     # curves
     "PowerLawCurve",
     "PowerLawWithFloor",

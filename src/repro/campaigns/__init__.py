@@ -21,6 +21,7 @@ from repro.campaigns.campaign import (
     CampaignSpec,
     build_campaign_tuner,
     campaign_progress,
+    campaign_summary,
 )
 from repro.campaigns.scheduler import (
     CampaignScheduler,
@@ -56,6 +57,7 @@ __all__ = [
     "SqliteStore",
     "build_campaign_tuner",
     "campaign_progress",
+    "campaign_summary",
     "replay_events",
     "COMPLETED",
     "FAILED",

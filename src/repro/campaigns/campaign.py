@@ -270,6 +270,29 @@ def campaign_progress(store: CampaignStore, campaign_id: str) -> CampaignProgres
     return progress
 
 
+def campaign_summary(store: CampaignStore, campaign_id: str) -> dict[str, Any]:
+    """One campaign's record + replayed progress as a JSON-compatible dict.
+
+    The single source of the summary shape shared by the daemon's
+    ``GET /campaigns`` payload and the CLI's ``--json`` output, so local
+    and remote tooling parse one schema.
+    """
+    record = store.get_campaign(campaign_id)
+    progress = campaign_progress(store, campaign_id)
+    return {
+        "campaign_id": record.campaign_id,
+        "name": record.name,
+        "status": record.status,
+        "priority": record.priority,
+        "iterations": progress.iterations,
+        "spent": progress.spent,
+        "budget": progress.budget,
+        "acquired": dict(progress.acquired),
+        "generations": progress.generations,
+        "fulfillments": progress.fulfillments,
+    }
+
+
 def _iteration_of(fulfillment_summary: Mapping[str, Any]) -> int:
     """Iteration an acquisition-service fulfillment belongs to (from its tag)."""
     tag = str(fulfillment_summary.get("tag", ""))
@@ -458,10 +481,14 @@ class Campaign:
         """
         if self._result is not None:
             return None
-        self._ensure_session()
         try:
+            self._ensure_session()
             record = next(self._records, None)  # type: ignore[arg-type]
         except Exception:
+            # Both a failing iteration and a failing session *build* (bad
+            # dataset, unrestorable snapshot, ...) leave the campaign FAILED
+            # — otherwise a daemon's clients would watch it sit "pending"
+            # forever.  FAILED campaigns stay resumable.
             self.store.set_status(self.campaign_id, FAILED)
             raise
         if record is None:
@@ -488,6 +515,24 @@ class Campaign:
         :meth:`resume` (in this process or a later one) continues the run.
         """
         self._pause_requested = True
+
+    def suspend(self) -> bool:
+        """Checkpoint (if needed) and mark the campaign paused *right now*.
+
+        Unlike :meth:`pause` — a request honored by :meth:`run` at the next
+        iteration boundary — ``suspend`` acts immediately, so it must only
+        be called *between* iterations (the scheduler's graceful drain calls
+        it under the scheduling lock, which is exactly that boundary).  A
+        campaign suspended this way resumes byte-identically via
+        :meth:`resume`, in this process or after a daemon restart.  Returns
+        False (and does nothing) once the campaign already completed.
+        """
+        if self._result is not None:
+            return False
+        if self.session is not None and self._since_checkpoint:
+            self.checkpoint()
+        self.store.set_status(self.campaign_id, PAUSED)
+        return True
 
     def checkpoint(self) -> None:
         """Write a full runtime-state snapshot of the live run."""

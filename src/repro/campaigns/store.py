@@ -36,6 +36,7 @@ from __future__ import annotations
 
 import json
 import sqlite3
+import threading
 import time
 from dataclasses import dataclass, replace
 from typing import Any, Iterable, Mapping, Protocol, runtime_checkable
@@ -96,6 +97,16 @@ class CampaignEvent:
     kind: str
     payload: dict
 
+    def to_dict(self) -> dict[str, Any]:
+        """The wire/``--json`` representation (shared by CLI and daemon)."""
+        return {
+            "seq": self.seq,
+            "generation": self.generation,
+            "iteration": self.iteration,
+            "kind": self.kind,
+            "payload": self.payload,
+        }
+
 
 @dataclass(frozen=True)
 class CampaignSnapshot:
@@ -144,14 +155,19 @@ class CampaignStore(Protocol):
         ...
 
     def events(
-        self, campaign_id: str, kinds: tuple[str, ...] | None = None
+        self,
+        campaign_id: str,
+        kinds: tuple[str, ...] | None = None,
+        after: int = 0,
     ) -> list[CampaignEvent]:
         """The campaign's event log in append order.
 
         ``kinds`` restricts the result to the named event kinds — progress
         summaries over large stores use it to skip parsing the heavy
         payloads they do not need (e.g. the full result embedded in every
-        ``completed`` event).
+        ``completed`` event).  ``after`` returns only events with
+        ``seq > after`` — the live-tail cursor query of the serve layer,
+        pushed into the backend so an idle poll costs O(new events).
         """
         ...
 
@@ -202,9 +218,15 @@ def replay_events(events: Iterable[CampaignEvent]) -> list[CampaignEvent]:
 
 
 class InMemoryStore:
-    """Dictionary-backed :class:`CampaignStore` (nothing survives the process)."""
+    """Dictionary-backed :class:`CampaignStore` (nothing survives the process).
+
+    Safe under concurrent threads: every operation holds one re-entrant
+    lock, mirroring the :class:`SqliteStore` write-lock discipline so the
+    two backends stay interchangeable under the tuner service daemon.
+    """
 
     def __init__(self) -> None:
+        self._lock = threading.RLock()
         self._campaigns: dict[str, CampaignRecord] = {}
         self._events: dict[str, list[CampaignEvent]] = {}
         self._snapshots: dict[str, list[CampaignSnapshot]] = {}
@@ -212,34 +234,39 @@ class InMemoryStore:
 
     # -- campaigns ---------------------------------------------------------------
     def create_campaign(self, record: CampaignRecord) -> None:
-        if record.campaign_id in self._campaigns:
-            raise CampaignError(
-                f"campaign {record.campaign_id!r} already exists"
-            )
-        if record.created_at == 0.0:
-            record = replace(record, created_at=time.time())
-        self._campaigns[record.campaign_id] = record
-        self._events[record.campaign_id] = []
-        self._snapshots[record.campaign_id] = []
+        with self._lock:
+            if record.campaign_id in self._campaigns:
+                raise CampaignError(
+                    f"campaign {record.campaign_id!r} already exists"
+                )
+            if record.created_at == 0.0:
+                record = replace(record, created_at=time.time())
+            self._campaigns[record.campaign_id] = record
+            self._events[record.campaign_id] = []
+            self._snapshots[record.campaign_id] = []
 
     def get_campaign(self, campaign_id: str) -> CampaignRecord:
-        try:
-            return self._campaigns[campaign_id]
-        except KeyError:
-            raise CampaignError(f"unknown campaign {campaign_id!r}") from None
+        with self._lock:
+            try:
+                return self._campaigns[campaign_id]
+            except KeyError:
+                raise CampaignError(f"unknown campaign {campaign_id!r}") from None
 
     def find_fingerprint(self, fingerprint: str) -> CampaignRecord | None:
-        for record in self._campaigns.values():
-            if record.fingerprint == fingerprint:
-                return record
-        return None
+        with self._lock:
+            for record in self._campaigns.values():
+                if record.fingerprint == fingerprint:
+                    return record
+            return None
 
     def list_campaigns(self) -> list[CampaignRecord]:
-        return list(self._campaigns.values())
+        with self._lock:
+            return list(self._campaigns.values())
 
     def set_status(self, campaign_id: str, status: str) -> None:
-        record = self.get_campaign(campaign_id)
-        self._campaigns[campaign_id] = replace(record, status=status)
+        with self._lock:
+            record = self.get_campaign(campaign_id)
+            self._campaigns[campaign_id] = replace(record, status=status)
 
     # -- events ------------------------------------------------------------------
     def append_event(
@@ -251,53 +278,65 @@ class InMemoryStore:
         kind: str,
         payload: Mapping[str, Any],
     ) -> int:
-        self.get_campaign(campaign_id)
-        self._seq += 1
-        event = CampaignEvent(
-            campaign_id=campaign_id,
-            seq=self._seq,
-            generation=int(generation),
-            iteration=int(iteration),
-            kind=str(kind),
-            payload=dict(payload),
-        )
-        self._events[campaign_id].append(event)
-        return event.seq
+        with self._lock:
+            self.get_campaign(campaign_id)
+            self._seq += 1
+            event = CampaignEvent(
+                campaign_id=campaign_id,
+                seq=self._seq,
+                generation=int(generation),
+                iteration=int(iteration),
+                kind=str(kind),
+                payload=dict(payload),
+            )
+            self._events[campaign_id].append(event)
+            return event.seq
 
     def events(
-        self, campaign_id: str, kinds: tuple[str, ...] | None = None
+        self,
+        campaign_id: str,
+        kinds: tuple[str, ...] | None = None,
+        after: int = 0,
     ) -> list[CampaignEvent]:
-        self.get_campaign(campaign_id)
-        events = self._events[campaign_id]
-        if kinds is None:
-            return list(events)
-        wanted = set(kinds)
-        return [event for event in events if event.kind in wanted]
+        with self._lock:
+            self.get_campaign(campaign_id)
+            events = self._events[campaign_id]
+            if after:
+                events = [event for event in events if event.seq > after]
+            if kinds is None:
+                return list(events)
+            wanted = set(kinds)
+            return [event for event in events if event.kind in wanted]
 
     def latest_generation(self, campaign_id: str) -> int:
-        self.get_campaign(campaign_id)
-        generations = [event.generation for event in self._events[campaign_id]]
-        generations += [snap.generation for snap in self._snapshots[campaign_id]]
-        return max(generations, default=-1)
+        with self._lock:
+            self.get_campaign(campaign_id)
+            generations = [event.generation for event in self._events[campaign_id]]
+            generations += [
+                snap.generation for snap in self._snapshots[campaign_id]
+            ]
+            return max(generations, default=-1)
 
     # -- snapshots ---------------------------------------------------------------
     def save_snapshot(
         self, campaign_id: str, *, generation: int, iteration: int, payload: bytes
     ) -> None:
-        self.get_campaign(campaign_id)
-        self._snapshots[campaign_id].append(
-            CampaignSnapshot(
-                campaign_id=campaign_id,
-                generation=int(generation),
-                iteration=int(iteration),
-                payload=bytes(payload),
+        with self._lock:
+            self.get_campaign(campaign_id)
+            self._snapshots[campaign_id].append(
+                CampaignSnapshot(
+                    campaign_id=campaign_id,
+                    generation=int(generation),
+                    iteration=int(iteration),
+                    payload=bytes(payload),
+                )
             )
-        )
 
     def latest_snapshot(self, campaign_id: str) -> CampaignSnapshot | None:
-        self.get_campaign(campaign_id)
-        snapshots = self._snapshots[campaign_id]
-        return snapshots[-1] if snapshots else None
+        with self._lock:
+            self.get_campaign(campaign_id)
+            snapshots = self._snapshots[campaign_id]
+            return snapshots[-1] if snapshots else None
 
     # -- lifecycle ---------------------------------------------------------------
     def close(self) -> None:
@@ -354,6 +393,13 @@ class SqliteStore:
     specs as JSON text, so the log stays greppable with the ``sqlite3``
     command-line shell.
 
+    Safe under concurrent threads: the tuner service daemon appends from
+    its scheduler pump while HTTP handler threads read progress and replay
+    event logs.  All access goes through one shared connection
+    (``check_same_thread=False``) serialized by a re-entrant write lock —
+    SQLite serializes writers anyway, so a process-level lock costs nothing
+    and spares every reader the ``database is locked`` retry dance.
+
     Parameters
     ----------
     path:
@@ -363,7 +409,8 @@ class SqliteStore:
 
     def __init__(self, path: str) -> None:
         self.path = str(path)
-        self._conn = sqlite3.connect(self.path)
+        self._lock = threading.RLock()
+        self._conn = sqlite3.connect(self.path, check_same_thread=False)
         self._conn.execute("PRAGMA journal_mode=WAL")
         self._conn.execute("PRAGMA synchronous=NORMAL")
         with self._conn:
@@ -373,7 +420,7 @@ class SqliteStore:
     def create_campaign(self, record: CampaignRecord) -> None:
         created_at = record.created_at or time.time()
         try:
-            with self._conn:
+            with self._lock, self._conn:
                 self._conn.execute(
                     "INSERT INTO campaigns "
                     "(campaign_id, name, fingerprint, spec, status, priority, created_at) "
@@ -394,32 +441,35 @@ class SqliteStore:
             ) from None
 
     def get_campaign(self, campaign_id: str) -> CampaignRecord:
-        row = self._conn.execute(
-            "SELECT campaign_id, name, fingerprint, spec, status, priority, created_at "
-            "FROM campaigns WHERE campaign_id = ?",
-            (campaign_id,),
-        ).fetchone()
+        with self._lock:
+            row = self._conn.execute(
+                "SELECT campaign_id, name, fingerprint, spec, status, priority, created_at "
+                "FROM campaigns WHERE campaign_id = ?",
+                (campaign_id,),
+            ).fetchone()
         if row is None:
             raise CampaignError(f"unknown campaign {campaign_id!r}")
         return self._record_from_row(row)
 
     def find_fingerprint(self, fingerprint: str) -> CampaignRecord | None:
-        row = self._conn.execute(
-            "SELECT campaign_id, name, fingerprint, spec, status, priority, created_at "
-            "FROM campaigns WHERE fingerprint = ? ORDER BY created_at LIMIT 1",
-            (fingerprint,),
-        ).fetchone()
+        with self._lock:
+            row = self._conn.execute(
+                "SELECT campaign_id, name, fingerprint, spec, status, priority, created_at "
+                "FROM campaigns WHERE fingerprint = ? ORDER BY created_at LIMIT 1",
+                (fingerprint,),
+            ).fetchone()
         return None if row is None else self._record_from_row(row)
 
     def list_campaigns(self) -> list[CampaignRecord]:
-        rows = self._conn.execute(
-            "SELECT campaign_id, name, fingerprint, spec, status, priority, created_at "
-            "FROM campaigns ORDER BY created_at, campaign_id"
-        ).fetchall()
+        with self._lock:
+            rows = self._conn.execute(
+                "SELECT campaign_id, name, fingerprint, spec, status, priority, created_at "
+                "FROM campaigns ORDER BY created_at, campaign_id"
+            ).fetchall()
         return [self._record_from_row(row) for row in rows]
 
     def set_status(self, campaign_id: str, status: str) -> None:
-        with self._conn:
+        with self._lock, self._conn:
             updated = self._conn.execute(
                 "UPDATE campaigns SET status = ? WHERE campaign_id = ?",
                 (status, campaign_id),
@@ -449,25 +499,29 @@ class SqliteStore:
         kind: str,
         payload: Mapping[str, Any],
     ) -> int:
-        self.get_campaign(campaign_id)
-        with self._conn:
-            cursor = self._conn.execute(
-                "INSERT INTO events (campaign_id, generation, iteration, kind, payload) "
-                "VALUES (?, ?, ?, ?, ?)",
-                (
-                    campaign_id,
-                    int(generation),
-                    int(iteration),
-                    str(kind),
-                    # Insertion order is preserved (not sorted) so a result
-                    # reloaded from the log re-serializes byte-identically.
-                    json.dumps(dict(payload)),
-                ),
-            )
-        return int(cursor.lastrowid)
+        with self._lock:
+            self.get_campaign(campaign_id)
+            with self._conn:
+                cursor = self._conn.execute(
+                    "INSERT INTO events (campaign_id, generation, iteration, kind, payload) "
+                    "VALUES (?, ?, ?, ?, ?)",
+                    (
+                        campaign_id,
+                        int(generation),
+                        int(iteration),
+                        str(kind),
+                        # Insertion order is preserved (not sorted) so a result
+                        # reloaded from the log re-serializes byte-identically.
+                        json.dumps(dict(payload)),
+                    ),
+                )
+            return int(cursor.lastrowid)
 
     def events(
-        self, campaign_id: str, kinds: tuple[str, ...] | None = None
+        self,
+        campaign_id: str,
+        kinds: tuple[str, ...] | None = None,
+        after: int = 0,
     ) -> list[CampaignEvent]:
         self.get_campaign(campaign_id)
         query = (
@@ -475,11 +529,15 @@ class SqliteStore:
             "WHERE campaign_id = ?"
         )
         params: list = [campaign_id]
+        if after:
+            query += " AND seq > ?"
+            params.append(int(after))
         if kinds is not None:
             placeholders = ", ".join("?" for _ in kinds)
             query += f" AND kind IN ({placeholders})"
             params.extend(kinds)
-        rows = self._conn.execute(query + " ORDER BY seq", params).fetchall()
+        with self._lock:
+            rows = self._conn.execute(query + " ORDER BY seq", params).fetchall()
         return [
             CampaignEvent(
                 campaign_id=campaign_id,
@@ -493,43 +551,46 @@ class SqliteStore:
         ]
 
     def latest_generation(self, campaign_id: str) -> int:
-        self.get_campaign(campaign_id)
-        row = self._conn.execute(
-            "SELECT max(generation) FROM ("
-            "  SELECT generation FROM events WHERE campaign_id = ?"
-            "  UNION ALL"
-            "  SELECT generation FROM snapshots WHERE campaign_id = ?"
-            ")",
-            (campaign_id, campaign_id),
-        ).fetchone()
+        with self._lock:
+            self.get_campaign(campaign_id)
+            row = self._conn.execute(
+                "SELECT max(generation) FROM ("
+                "  SELECT generation FROM events WHERE campaign_id = ?"
+                "  UNION ALL"
+                "  SELECT generation FROM snapshots WHERE campaign_id = ?"
+                ")",
+                (campaign_id, campaign_id),
+            ).fetchone()
         return -1 if row is None or row[0] is None else int(row[0])
 
     # -- snapshots ---------------------------------------------------------------
     def save_snapshot(
         self, campaign_id: str, *, generation: int, iteration: int, payload: bytes
     ) -> None:
-        self.get_campaign(campaign_id)
-        with self._conn:
-            self._conn.execute(
-                "INSERT INTO snapshots "
-                "(campaign_id, generation, iteration, payload, created_at) "
-                "VALUES (?, ?, ?, ?, ?)",
-                (
-                    campaign_id,
-                    int(generation),
-                    int(iteration),
-                    sqlite3.Binary(bytes(payload)),
-                    time.time(),
-                ),
-            )
+        with self._lock:
+            self.get_campaign(campaign_id)
+            with self._conn:
+                self._conn.execute(
+                    "INSERT INTO snapshots "
+                    "(campaign_id, generation, iteration, payload, created_at) "
+                    "VALUES (?, ?, ?, ?, ?)",
+                    (
+                        campaign_id,
+                        int(generation),
+                        int(iteration),
+                        sqlite3.Binary(bytes(payload)),
+                        time.time(),
+                    ),
+                )
 
     def latest_snapshot(self, campaign_id: str) -> CampaignSnapshot | None:
-        self.get_campaign(campaign_id)
-        row = self._conn.execute(
-            "SELECT generation, iteration, payload FROM snapshots "
-            "WHERE campaign_id = ? ORDER BY snap_id DESC LIMIT 1",
-            (campaign_id,),
-        ).fetchone()
+        with self._lock:
+            self.get_campaign(campaign_id)
+            row = self._conn.execute(
+                "SELECT generation, iteration, payload FROM snapshots "
+                "WHERE campaign_id = ? ORDER BY snap_id DESC LIMIT 1",
+                (campaign_id,),
+            ).fetchone()
         if row is None:
             return None
         return CampaignSnapshot(
@@ -541,7 +602,8 @@ class SqliteStore:
 
     # -- lifecycle ---------------------------------------------------------------
     def close(self) -> None:
-        self._conn.close()
+        with self._lock:
+            self._conn.close()
 
     def __enter__(self) -> "SqliteStore":
         return self

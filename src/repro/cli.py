@@ -1,6 +1,6 @@
 """Command-line interface for the Slice Tuner reproduction.
 
-Seven subcommands cover the common workflows without writing any Python:
+Nine subcommands cover the common workflows without writing any Python:
 
 * ``curves`` — estimate and print the per-slice learning curves of a dataset.
 * ``plan`` — print the One-shot acquisition plan for a budget (no data is
@@ -19,12 +19,22 @@ Seven subcommands cover the common workflows without writing any Python:
   concurrent multi-campaign workload), ``campaign resume <id>`` (or
   ``--all``) continuing after a pause or crash, ``campaign list``, and
   ``campaign show <id>`` replaying a campaign's event log.
+* ``serve`` — the tuner service daemon: a ``ThreadingHTTPServer`` JSON API
+  over one shared campaign scheduler + SQLite store, streaming live events
+  over SSE; SIGTERM/SIGINT drain gracefully (checkpoint + pause every
+  running campaign so a restarted daemon resumes byte-identically).
+* ``remote`` — thin clients for a running daemon: ``submit``, ``list``,
+  ``show``, ``tail`` (live event stream), ``result``, ``wait``, ``pause``,
+  ``resume``, ``stats``.
 * ``strategies`` — list every registered acquisition strategy.
 * ``sources`` — list every registered data-source provider.
 
 Every subcommand accepts ``--quiet`` (print only essential results) and the
 process exits with code 0 on success, 2 on configuration/usage errors (the
 same code argparse uses), and a raised traceback only for genuine bugs.
+``run``, ``campaign list/show``, and the ``remote`` commands also accept
+``--json`` for machine-readable output: one JSON object on stdout carrying
+a ``schema`` tag (e.g. ``repro.run/1``) that stays stable across releases.
 
 Examples::
 
@@ -33,8 +43,12 @@ Examples::
     python -m repro.cli run --dataset fashion_like --scenario mixed_sources \
         --source mixed --method moderate --budget 800
     python -m repro.cli campaign start --suite --store campaigns.sqlite
-    python -m repro.cli campaign list --store campaigns.sqlite
+    python -m repro.cli campaign list --store campaigns.sqlite --json
     python -m repro.cli campaign resume --all --store campaigns.sqlite
+    python -m repro.cli serve --store campaigns.sqlite --port 8731
+    python -m repro.cli remote submit --name nightly --budget 500 \
+        --url http://127.0.0.1:8731 --wait
+    python -m repro.cli remote tail nightly-0123456789 --url http://127.0.0.1:8731
     python -m repro.cli compare --dataset mixed_like --budget 2000 \
         --methods uniform water_filling moderate bandit --trials 2
 """
@@ -42,9 +56,11 @@ Examples::
 from __future__ import annotations
 
 import argparse
+import json
 import os
 import signal
 import sys
+import threading
 from typing import Callable, Sequence
 
 from repro.acquisition.providers import source_descriptions
@@ -55,6 +71,7 @@ from repro.campaigns import (
     CampaignSpec,
     SqliteStore,
     campaign_progress,
+    campaign_summary,
     replay_events,
 )
 from repro.core.registry import (
@@ -72,6 +89,8 @@ from repro.experiments.reporting import (
     cache_stats_table,
     engine_cache_stats,
     methods_table,
+    server_stats_table,
+    server_status_line,
 )
 from repro.experiments.runner import (
     SOURCE_KINDS,
@@ -82,11 +101,27 @@ from repro.experiments.runner import (
 )
 from repro.experiments.scenarios import list_scenarios
 from repro.core.tuner import SliceTuner, SliceTunerConfig
+from repro.serve import TunerClient, TunerServer, TunerService
 from repro.utils.exceptions import ConfigurationError, ReproError
 from repro.utils.tables import format_table
 
 #: Default campaign store location for the ``campaign`` family of commands.
 DEFAULT_STORE = "campaigns.sqlite"
+
+#: Default bind/connect endpoint for ``serve`` and the ``remote`` commands.
+DEFAULT_HOST = "127.0.0.1"
+DEFAULT_PORT = 8731
+DEFAULT_URL = f"http://{DEFAULT_HOST}:{DEFAULT_PORT}"
+
+
+def _json_output(schema: str, payload: dict) -> str:
+    """Render one machine-readable result object (the ``--json`` mode).
+
+    Every payload carries a ``schema`` tag (``repro.<command>/<version>``)
+    so downstream tooling can detect breaking changes; keys are sorted for
+    diff-stable output.
+    """
+    return json.dumps({"schema": schema, **payload}, indent=2, sort_keys=True)
 
 
 def _registered_method(name: str) -> str:
@@ -112,6 +147,15 @@ def build_parser() -> argparse.ArgumentParser:
             "--quiet",
             action="store_true",
             help="print only essential results (ids, status, final summary)",
+        )
+
+    def add_json(sub: argparse.ArgumentParser) -> None:
+        sub.add_argument(
+            "--json",
+            action="store_true",
+            dest="json_output",
+            help="print one machine-readable JSON object instead of tables "
+            "(stable schema, see the module docs)",
         )
 
     def add_common(sub: argparse.ArgumentParser) -> None:
@@ -187,6 +231,7 @@ def build_parser() -> argparse.ArgumentParser:
         default=DEFAULT_STORE,
         help=f"campaign store used by --resume (default: {DEFAULT_STORE})",
     )
+    add_json(run)
 
     compare = subparsers.add_parser("compare", help="compare acquisition methods over trials")
     add_common(compare)
@@ -302,12 +347,145 @@ def build_parser() -> argparse.ArgumentParser:
 
     c_list = campaign_sub.add_parser("list", help="list every stored campaign")
     add_store(c_list)
+    add_json(c_list)
 
     c_show = campaign_sub.add_parser(
         "show", help="replay one campaign's event log into a progress report"
     )
     add_store(c_show)
+    add_json(c_show)
     c_show.add_argument("campaign_id", help="campaign id to show")
+
+    serve = subparsers.add_parser(
+        "serve",
+        help="run the tuner service daemon (HTTP campaign API + SSE streams)",
+    )
+    serve.add_argument(
+        "--store",
+        default=DEFAULT_STORE,
+        help=f"SQLite campaign store path (default: {DEFAULT_STORE})",
+    )
+    serve.add_argument("--host", default=DEFAULT_HOST, help="bind address")
+    serve.add_argument(
+        "--port",
+        type=int,
+        default=DEFAULT_PORT,
+        help=f"bind port; 0 picks a free one (default: {DEFAULT_PORT})",
+    )
+    serve.add_argument(
+        "--resume-all",
+        action="store_true",
+        dest="resume_all",
+        help="re-activate every unfinished stored campaign on startup",
+    )
+    add_quiet(serve)
+
+    remote = subparsers.add_parser(
+        "remote",
+        help="drive a running tuner service daemon over HTTP",
+    )
+    remote_sub = remote.add_subparsers(dest="remote_command", required=True)
+
+    def add_url(sub: argparse.ArgumentParser) -> None:
+        sub.add_argument(
+            "--url",
+            default=DEFAULT_URL,
+            help=f"daemon base URL (default: {DEFAULT_URL})",
+        )
+        sub.add_argument(
+            "--timeout",
+            type=float,
+            default=300.0,
+            help="overall wait/request timeout in seconds",
+        )
+        add_quiet(sub)
+        add_json(sub)
+
+    r_submit = remote_sub.add_parser(
+        "submit", help="submit a campaign spec to the daemon"
+    )
+    add_url(r_submit)
+    r_submit.add_argument("--name", required=True, help="campaign name")
+    r_submit.add_argument("--dataset", default="adult_like", choices=available_tasks())
+    r_submit.add_argument("--scenario", default="basic", choices=list_scenarios())
+    r_submit.add_argument("--source", default=None, choices=SOURCE_KINDS)
+    r_submit.add_argument(
+        "--method", default="moderate", type=_registered_method, metavar="STRATEGY"
+    )
+    r_submit.add_argument("--budget", type=float, default=500.0)
+    r_submit.add_argument("--lam", type=float, default=1.0)
+    r_submit.add_argument("--seed", type=int, default=0)
+    r_submit.add_argument("--initial-size", type=int, default=60)
+    r_submit.add_argument("--validation-size", type=int, default=60)
+    r_submit.add_argument("--epochs", type=int, default=10)
+    r_submit.add_argument("--curve-points", type=int, default=3)
+    r_submit.add_argument("--priority", type=int, default=0)
+    r_submit.add_argument("--checkpoint-every", type=int, default=1)
+    r_submit.add_argument("--evaluate", action="store_true")
+    r_submit.add_argument(
+        "--wait",
+        action="store_true",
+        help="block until the campaign completes and print its summary",
+    )
+
+    r_list = remote_sub.add_parser("list", help="list the daemon's campaigns")
+    add_url(r_list)
+
+    r_show = remote_sub.add_parser(
+        "show", help="one campaign's progress plus the daemon's health table"
+    )
+    add_url(r_show)
+    r_show.add_argument("campaign_id")
+
+    r_tail = remote_sub.add_parser(
+        "tail", help="stream a campaign's events live (SSE)"
+    )
+    add_url(r_tail)
+    r_tail.add_argument("campaign_id")
+    r_tail.add_argument(
+        "--after",
+        type=int,
+        default=0,
+        help="resume cursor: only stream events with seq > AFTER",
+    )
+    r_tail.add_argument(
+        "--reconnect",
+        type=int,
+        default=0,
+        help="retry dropped connections this many times (resuming from "
+        "the cursor)",
+    )
+
+    r_result = remote_sub.add_parser(
+        "result", help="fetch a completed campaign's TuningResult"
+    )
+    add_url(r_result)
+    r_result.add_argument("campaign_id")
+
+    r_wait = remote_sub.add_parser(
+        "wait", help="block until a campaign completes"
+    )
+    add_url(r_wait)
+    r_wait.add_argument("campaign_id")
+
+    r_pause = remote_sub.add_parser(
+        "pause", help="checkpoint + pause a running campaign"
+    )
+    add_url(r_pause)
+    r_pause.add_argument("campaign_id")
+
+    r_resume = remote_sub.add_parser(
+        "resume", help="re-activate paused/stored campaigns"
+    )
+    add_url(r_resume)
+    r_resume.add_argument("campaign_id", nargs="?", default=None)
+    r_resume.add_argument(
+        "--all", action="store_true", dest="resume_all",
+        help="re-activate every unfinished stored campaign",
+    )
+
+    r_stats = remote_sub.add_parser("stats", help="the daemon's health table")
+    add_url(r_stats)
 
     strategies = subparsers.add_parser(
         "strategies", help="list every registered acquisition strategy"
@@ -418,6 +596,33 @@ def run_run(args: argparse.Namespace) -> str:
             pass
         result = session.result()
 
+    if args.json_output:
+        return _json_output(
+            "repro.run/1",
+            {
+                "config": {
+                    "dataset": args.dataset,
+                    "scenario": args.scenario,
+                    "source": args.source,
+                    "method": args.method,
+                    "budget": args.budget,
+                    "lam": args.lam,
+                    "seed": args.seed,
+                    "rounds": args.rounds,
+                },
+                "result": result.to_dict(),
+                "fulfillments": [f.summary() for f in fulfillments],
+                "cache": {
+                    name: {
+                        "requests": stats.requests,
+                        "hits": stats.hits,
+                        "misses": stats.misses,
+                        "evictions": stats.evictions,
+                    }
+                    for name, stats in engine_cache_stats(tuner).items()
+                },
+            },
+        )
     if args.quiet:
         return (
             f"method={args.method} iterations={result.n_iterations} "
@@ -658,6 +863,17 @@ def _resume_campaigns(args: argparse.Namespace, campaign_ids: list[str]) -> str:
         for campaign_id in campaign_ids:
             scheduler.add_existing(campaign_id)
         by_id = scheduler.run()
+        if getattr(args, "json_output", False):
+            return _json_output(
+                "repro.campaign.resume/1",
+                {
+                    "store": args.store,
+                    "results": {
+                        campaign_id: result.to_dict()
+                        for campaign_id, result in by_id.items()
+                    },
+                },
+            )
         # Display names can collide across campaigns; campaign ids cannot,
         # so every resumed campaign gets its own summary line.
         results = [
@@ -689,6 +905,20 @@ def run_campaign_resume(args: argparse.Namespace) -> str:
 def run_campaign_list(args: argparse.Namespace) -> str:
     """``campaign list``: one row per stored campaign."""
     with SqliteStore(args.store) as store:
+        if args.json_output:
+            # campaign_summary is the same serializer the daemon's
+            # ``GET /campaigns`` uses, so local and remote tooling share
+            # one parser.
+            return _json_output(
+                "repro.campaign.list/1",
+                {
+                    "store": args.store,
+                    "campaigns": [
+                        campaign_summary(store, record.campaign_id)
+                        for record in store.list_campaigns()
+                    ],
+                },
+            )
         records = store.list_campaigns()
         if not records:
             return f"no campaigns in {args.store}"
@@ -721,6 +951,18 @@ def run_campaign_show(args: argparse.Namespace) -> str:
         record = store.get_campaign(args.campaign_id)
         progress = campaign_progress(store, args.campaign_id)
         events = replay_events(store.events(args.campaign_id))
+        # Same serializer as the daemon's ``GET /campaigns/<id>`` payload.
+        summary = campaign_summary(store, args.campaign_id)
+    if args.json_output:
+        summary["spec"] = dict(record.spec)
+        return _json_output(
+            "repro.campaign.show/1",
+            {
+                "store": args.store,
+                "campaign": summary,
+                "events": [event.to_dict() for event in events],
+            },
+        )
     if args.quiet:
         return (
             f"{record.campaign_id} {record.status} iterations={progress.iterations} "
@@ -773,6 +1015,263 @@ def run_campaign(args: argparse.Namespace) -> str:
     )
 
 
+# -- the serve daemon and its remote clients ---------------------------------------
+
+
+def run_serve(args: argparse.Namespace) -> str:
+    """``serve``: the tuner service daemon, until SIGTERM/SIGINT drains it.
+
+    The status line printed on startup (and the drain summary on exit) are
+    ``--quiet``-compatible: one line each, so supervisors can log them.  A
+    graceful drain checkpoints and pauses every unfinished campaign — a
+    restarted daemon with ``--resume-all`` continues each one
+    byte-identically.
+    """
+    store = SqliteStore(args.store)
+    app = TunerService(store=store, result_cache=InMemoryResultCache())
+    resumed = app.resume_all() if args.resume_all else []
+    app.start()
+    server = TunerServer(
+        app,
+        host=args.host,
+        port=args.port,
+        log=None if args.quiet else lambda line: print(line, file=sys.stderr),
+    )
+    server.start_background()
+    stop = threading.Event()
+
+    def request_stop(signum: int, frame: object) -> None:
+        stop.set()
+
+    previous = {
+        signum: signal.signal(signum, request_stop)
+        for signum in (signal.SIGTERM, signal.SIGINT)
+    }
+    print(
+        f"serving on {server.url} — store {args.store}, "
+        f"{len(resumed)} campaign(s) resumed",
+        flush=True,
+    )
+    try:
+        while not stop.wait(0.2):
+            pass
+    finally:
+        for signum, handler in previous.items():
+            signal.signal(signum, handler)
+        stats = app.server_stats()
+        summary = app.drain()
+        server.shutdown()
+        store.close()
+    line = (
+        f"drained — {len(summary['suspended'])} campaign(s) suspended; "
+        f"{server_status_line(stats)}"
+    )
+    if args.quiet:
+        return line
+    return line + "\n\n" + server_stats_table(stats)
+
+
+def _remote_submit_spec(args: argparse.Namespace) -> dict:
+    """The CampaignSpec JSON body a ``remote submit`` invocation describes."""
+    return {
+        "name": args.name,
+        "dataset": args.dataset,
+        "scenario": args.scenario,
+        "source": args.source,
+        "method": args.method,
+        "budget": args.budget,
+        "lam": args.lam,
+        "seed": args.seed,
+        "base_size": args.initial_size,
+        "validation_size": args.validation_size,
+        "epochs": args.epochs,
+        "curve_points": args.curve_points,
+        "priority": args.priority,
+        "checkpoint_every": args.checkpoint_every,
+        "evaluate": args.evaluate,
+    }
+
+
+def _remote_show_quiet(summary: dict) -> str:
+    """One campaign as the same quiet line ``campaign show --quiet`` prints."""
+    return (
+        f"{summary['campaign_id']} {summary['status']} "
+        f"iterations={summary['iterations']} spent={summary['spent']:.2f}"
+    )
+
+
+def run_remote(args: argparse.Namespace) -> str:
+    """Dispatch for the ``remote`` family: thin clients over TunerClient."""
+    client = TunerClient(args.url, timeout=args.timeout)
+    command = args.remote_command
+
+    if command == "submit":
+        submitted = client.submit(_remote_submit_spec(args))
+        campaign_id = submitted["campaign_id"]
+        if args.wait:
+            client.wait(campaign_id, timeout=args.timeout)
+            summary = client.show(campaign_id)
+            if args.json_output:
+                return _json_output(
+                    "repro.remote.submit/1",
+                    {"submitted": submitted, "campaign": summary,
+                     "result": client.result(campaign_id)},
+                )
+            return _remote_show_quiet(summary)
+        if args.json_output:
+            return _json_output("repro.remote.submit/1", {"submitted": submitted})
+        return (
+            f"{campaign_id}: submitted ({submitted['status']}"
+            f"{', reused' if submitted['reused'] else ''})"
+        )
+
+    if command == "list":
+        campaigns = client.list_campaigns()
+        if args.json_output:
+            return _json_output(
+                "repro.remote.list/1", {"url": args.url, "campaigns": campaigns}
+            )
+        if not campaigns:
+            return f"no campaigns at {args.url}"
+        if args.quiet:
+            return "\n".join(
+                f"{c['campaign_id']} {c['status']}" for c in campaigns
+            )
+        rows = [
+            [
+                c["campaign_id"],
+                c["name"],
+                c["status"],
+                c["priority"],
+                c["iterations"],
+                f"{c['spent']:.0f}/{c['budget']:.0f}",
+                c["generations"],
+            ]
+            for c in campaigns
+        ]
+        return format_table(
+            headers=["id", "name", "status", "lane", "iters", "spent/budget", "gens"],
+            rows=rows,
+            title=f"Campaigns at {args.url}",
+        )
+
+    if command == "show":
+        summary = client.show(args.campaign_id)
+        stats = client.stats()
+        if args.json_output:
+            return _json_output(
+                "repro.remote.show/1", {"campaign": summary, "stats": stats}
+            )
+        if args.quiet:
+            return _remote_show_quiet(summary)
+        spec_lines = "\n".join(
+            f"  {key} = {value}" for key, value in sorted(summary["spec"].items())
+        )
+        output = (
+            f"campaign {summary['campaign_id']} ({summary['name']})\n"
+            f"status: {summary['status']} — lane {summary['priority']}, "
+            f"{summary['generations']} generation(s), "
+            f"{summary['fulfillments']} fulfillment(s)\n"
+            f"progress: {summary['iterations']} iteration(s), spent "
+            f"{summary['spent']:.2f}/{summary['budget']:.0f}\n"
+            f"spec:\n{spec_lines}\n\n"
+        )
+        return output + server_stats_table(stats)
+
+    if command == "tail":
+        frames = []
+        for frame in client.tail(
+            args.campaign_id, after=args.after, reconnect=args.reconnect
+        ):
+            frames.append(frame)
+            if args.json_output:
+                continue  # collected and printed as one object at the end
+            if frame["event"] == "tick":
+                if not args.quiet:
+                    data = frame["data"]
+                    print(
+                        f"[tick] {data['name']} iteration {data['iteration']} — "
+                        f"spent {data['spent']:.0f}/{data['budget']:.0f}",
+                        flush=True,
+                    )
+                continue
+            if frame["event"] == "end":
+                continue  # summarized by the return value below
+            print(
+                f"{frame['id']} {frame['event']} "
+                f"{json.dumps(frame['data']['payload'], sort_keys=True)}",
+                flush=True,
+            )
+        end = frames[-1]["data"] if frames and frames[-1]["event"] == "end" else {}
+        if args.json_output:
+            return _json_output(
+                "repro.remote.tail/1",
+                {"campaign_id": args.campaign_id, "frames": frames},
+            )
+        return (
+            f"{args.campaign_id} {end.get('status', '?')} "
+            f"(last event seq {end.get('last_seq', client.last_event_id)})"
+        )
+
+    if command == "result":
+        result = client.result(args.campaign_id)
+        if args.json_output:
+            return _json_output(
+                "repro.remote.result/1",
+                {"campaign_id": args.campaign_id, "result": result},
+            )
+        acquired = sum(result.get("total_acquired", {}).values())
+        return (
+            f"{args.campaign_id}: method={result['method']} "
+            f"iterations={len(result.get('iterations', []))} "
+            f"spent={result['spent']:.2f} acquired={acquired}"
+        )
+
+    if command == "wait":
+        summary = client.wait(args.campaign_id, timeout=args.timeout)
+        if args.json_output:
+            return _json_output("repro.remote.wait/1", {"campaign": summary})
+        return _remote_show_quiet(summary)
+
+    if command == "pause":
+        outcome = client.pause(args.campaign_id)
+        if args.json_output:
+            return _json_output("repro.remote.pause/1", outcome)
+        state = "paused" if outcome["paused"] else "not pausable (done or idle)"
+        return f"{args.campaign_id}: {state}"
+
+    if command == "resume":
+        if args.resume_all and args.campaign_id:
+            raise ConfigurationError("pass either a campaign id or --all, not both")
+        if args.resume_all:
+            resumed = client.resume_all()
+            if args.json_output:
+                return _json_output("repro.remote.resume/1", {"resumed": resumed})
+            if not resumed:
+                return "nothing to resume: every stored campaign is completed"
+            return "\n".join(f"{campaign_id} resumed" for campaign_id in resumed)
+        if not args.campaign_id:
+            raise ConfigurationError("remote resume needs a campaign id (or --all)")
+        outcome = client.resume(args.campaign_id)
+        if args.json_output:
+            return _json_output("repro.remote.resume/1", {"resumed": [outcome]})
+        return f"{args.campaign_id}: {outcome['status']}"
+
+    if command == "stats":
+        stats = client.stats()
+        if args.json_output:
+            return _json_output(
+                "repro.remote.stats/1", {"url": args.url, "stats": stats}
+            )
+        if args.quiet:
+            return server_status_line(stats)
+        return server_stats_table(stats, title=f"Tuner service health — {args.url}")
+
+    raise ConfigurationError(  # pragma: no cover - argparse enforces choices
+        f"unknown remote command {command!r}"
+    )
+
+
 def run_strategies(args: argparse.Namespace) -> str:
     """The ``strategies`` subcommand: list the acquisition-strategy registry."""
     if args.quiet:
@@ -809,6 +1308,8 @@ _COMMANDS = {
     "run": run_run,
     "compare": run_compare,
     "campaign": run_campaign,
+    "serve": run_serve,
+    "remote": run_remote,
     "strategies": run_strategies,
     "sources": run_sources,
 }

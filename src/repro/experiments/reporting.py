@@ -4,7 +4,10 @@ Beyond the paper's tables, :func:`engine_cache_stats` /
 :func:`cache_stats_table` surface the execution engine's cache
 effectiveness — result-cache and curve-cache hit rates plus the honest
 training counter — so warm re-runs and campaign resumes are measurable
-instead of anecdotal.
+instead of anecdotal.  :func:`server_stats_table` /
+:func:`server_status_line` do the same for the tuner service daemon:
+requests served, campaigns by lifecycle state, events streamed, and the
+shared training cache, rendered from the ``GET /stats`` payload.
 """
 
 from __future__ import annotations
@@ -134,6 +137,61 @@ def cache_stats_table(
         headers=["cache", "lookups", "hits", "misses", "hit rate", "evictions"],
         rows=rows,
         title=title,
+    )
+
+
+#: ``/stats`` keys rendered by :func:`server_stats_table`, in display order,
+#: with their human-readable row labels.
+_SERVER_STAT_ROWS = (
+    ("uptime_seconds", "uptime (s)"),
+    ("requests", "HTTP requests"),
+    ("errors", "request errors"),
+    ("campaigns_submitted", "campaigns submitted"),
+    ("campaigns_total", "campaigns stored"),
+    ("campaigns_active", "campaigns active"),
+    ("campaigns_completed", "campaigns completed"),
+    ("campaigns_paused", "campaigns paused"),
+    ("campaigns_failed", "campaigns failed"),
+    ("scheduler_steps", "scheduler steps"),
+    ("pump_running", "pump running"),
+    ("pump_errors", "pump errors"),
+    ("sse_connections", "event streams opened"),
+    ("events_streamed", "events streamed"),
+)
+
+
+def server_stats_table(
+    stats: Mapping[str, object], title: str = "Tuner service health"
+) -> str:
+    """The daemon's ``GET /stats`` payload as an aligned two-column table.
+
+    Renders the known scheduler/server health counters in a stable order
+    (unknown keys are ignored, missing ones skipped, so the table tolerates
+    older and newer daemons), and appends the shared training-cache line
+    when the payload carries one.
+    """
+    rows: list[list[object]] = [
+        [label, stats[key]] for key, label in _SERVER_STAT_ROWS if key in stats
+    ]
+    cache = stats.get("cache")
+    if isinstance(cache, Mapping):
+        rows.append(
+            [
+                "shared result cache",
+                f"{cache.get('hits', 0)}/{cache.get('requests', 0)} hits",
+            ]
+        )
+    return format_table(headers=["metric", "value"], rows=rows, title=title)
+
+
+def server_status_line(stats: Mapping[str, object]) -> str:
+    """One ``--quiet``-compatible line summarizing daemon health."""
+    return (
+        f"up {float(stats.get('uptime_seconds', 0.0)):.0f}s — "
+        f"{stats.get('campaigns_active', 0)} active / "
+        f"{stats.get('campaigns_total', 0)} stored campaign(s), "
+        f"{stats.get('requests', 0)} request(s), "
+        f"{stats.get('events_streamed', 0)} event(s) streamed"
     )
 
 

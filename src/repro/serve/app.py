@@ -1,0 +1,352 @@
+"""The tuner service core: one scheduler + one store behind a thread-safe API.
+
+:class:`TunerService` is the application object the HTTP layer
+(:mod:`repro.serve.server`) exposes and the tests drive directly.  It owns
+
+* one :class:`~repro.campaigns.scheduler.CampaignScheduler` running in
+  background-pump mode — submissions from any number of HTTP handler
+  threads land under the scheduling lock, i.e. exactly at iteration
+  boundaries, so serving never perturbs campaign numbers;
+* one :class:`~repro.campaigns.store.CampaignStore` (thread-safe since the
+  serve PR) holding every campaign's event log and snapshots;
+* a :class:`ServerStats` counter block surfaced by ``GET /stats`` and
+  :func:`repro.experiments.reporting.server_stats_table`.
+
+Shutdown is a *drain*: :meth:`TunerService.drain` stops the pump, then
+checkpoints and pauses every unfinished campaign
+(:meth:`Campaign.suspend <repro.campaigns.campaign.Campaign.suspend>`), so
+a restarted daemon — or an in-process ``campaign resume`` — continues each
+run byte-identically, reusing the PR 4 crash-resume guarantees.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Any, Mapping
+
+from repro.campaigns.campaign import Campaign, CampaignSpec, campaign_summary
+from repro.campaigns.scheduler import CampaignScheduler, SchedulerTick
+from repro.campaigns.store import (
+    COMPLETED,
+    FAILED,
+    PAUSED,
+    RESUMABLE,
+    CampaignEvent,
+    CampaignStore,
+    InMemoryStore,
+    replay_events,
+)
+from repro.engine.cache import InMemoryResultCache, ResultCache
+from repro.utils.exceptions import CampaignError, ConfigurationError
+
+#: Store statuses that end a live event stream (a paused campaign may be
+#: resumed later; the client reconnects with its cursor).
+TERMINAL_STATUSES = (COMPLETED, FAILED, PAUSED)
+
+
+@dataclass
+class ServerStats:
+    """Thread-safe counters of everything the daemon has served so far."""
+
+    started_at: float = field(default_factory=time.time)
+    requests: int = 0
+    campaigns_submitted: int = 0
+    sse_connections: int = 0
+    events_streamed: int = 0
+    errors: int = 0
+
+    def __post_init__(self) -> None:
+        self._lock = threading.Lock()
+
+    def count(self, counter: str, amount: int = 1) -> None:
+        """Atomically bump one of the counters by ``amount``."""
+        with self._lock:
+            setattr(self, counter, getattr(self, counter) + amount)
+
+    def snapshot(self) -> dict[str, Any]:
+        """A point-in-time copy, as plain JSON-compatible values."""
+        with self._lock:
+            return {
+                "uptime_seconds": round(time.time() - self.started_at, 3),
+                "requests": self.requests,
+                "campaigns_submitted": self.campaigns_submitted,
+                "sse_connections": self.sse_connections,
+                "events_streamed": self.events_streamed,
+                "errors": self.errors,
+            }
+
+
+class TunerService:
+    """The tuning daemon's application core (transport-agnostic).
+
+    Parameters
+    ----------
+    store:
+        Campaign persistence shared by every client
+        (:class:`~repro.campaigns.store.InMemoryStore` by default; pass a
+        :class:`~repro.campaigns.store.SqliteStore` for a durable daemon).
+    result_cache:
+        Content-addressed training cache attached to the shared executor,
+        so identical trainings across tenants are served once (an
+        :class:`~repro.engine.cache.InMemoryResultCache` by default).
+    poll_interval:
+        Pump idle wait in seconds (submissions wake it immediately).
+    """
+
+    def __init__(
+        self,
+        store: CampaignStore | None = None,
+        result_cache: ResultCache | None = None,
+        poll_interval: float = 0.05,
+    ) -> None:
+        self.store = store if store is not None else InMemoryStore()
+        self.scheduler = CampaignScheduler(
+            store=self.store,
+            result_cache=(
+                result_cache if result_cache is not None else InMemoryResultCache()
+            ),
+        )
+        self.stats = ServerStats()
+        self.poll_interval = float(poll_interval)
+        self._activity = threading.Condition()
+        self._tick_seq = 0
+        self._last_ticks: dict[str, tuple[int, dict[str, Any]]] = {}
+        self._closing = threading.Event()
+        self.scheduler.add_progress_callback(self._on_tick)
+
+    # -- lifecycle ---------------------------------------------------------------
+    def start(self) -> "TunerService":
+        """Start the background scheduler pump; returns self."""
+        self.scheduler.start_pump(poll_interval=self.poll_interval)
+        return self
+
+    @property
+    def closing(self) -> bool:
+        """True once a drain has begun (SSE streams end promptly)."""
+        return self._closing.is_set()
+
+    def drain(self) -> dict[str, Any]:
+        """Graceful shutdown: stop the pump, checkpoint + pause survivors.
+
+        Returns a summary (``suspended`` campaign ids and final stats); the
+        store stays open so callers can still read state before
+        :meth:`close`.
+        """
+        self._closing.set()
+        self._notify()
+        suspended = self.scheduler.drain()
+        return {"suspended": suspended, "stats": self.stats.snapshot()}
+
+    def close(self) -> None:
+        """Drain (if not already) and release the store."""
+        if not self._closing.is_set():
+            self.drain()
+        self.store.close()
+
+    # -- submissions and control -------------------------------------------------
+    def submit(self, data: Mapping[str, Any]) -> dict[str, Any]:
+        """Register the campaign a JSON spec describes; idempotent.
+
+        Unknown spec fields are rejected (a typo'd knob silently ignored is
+        a determinism bug waiting to happen).  Re-submitting an identical
+        spec deduplicates by content fingerprint: a completed campaign
+        replays its stored result, an unfinished one keeps running.
+        """
+        if self._closing.is_set():
+            raise CampaignError("the service is draining; submissions are closed")
+        known = {f.name for f in CampaignSpec.__dataclass_fields__.values()}  # type: ignore[attr-defined]
+        unknown = sorted(set(data) - known)
+        if unknown:
+            raise ConfigurationError(
+                f"unknown campaign spec field(s) {', '.join(unknown)}; "
+                f"known fields: {', '.join(sorted(known))}"
+            )
+        spec = CampaignSpec.from_dict(data)
+        try:
+            campaign = self.scheduler.add(spec)
+            reused = campaign.reused
+        except CampaignError as error:
+            if "already scheduled" not in str(error):
+                raise
+            # Same fingerprint submitted twice while running: point the
+            # client at the live campaign instead of failing the request.
+            # The stored record is looked up by fingerprint because a
+            # renamed-but-identical spec deduplicates onto the original id.
+            record = self.store.find_fingerprint(spec.fingerprint())
+            campaign = (
+                None if record is None else self.scheduler.find(record.campaign_id)
+            )
+            if campaign is None:  # pragma: no cover - defensive
+                raise
+            reused = True
+        self.stats.count("campaigns_submitted")
+        self._notify()
+        return {
+            "campaign_id": campaign.campaign_id,
+            "name": campaign.spec.name,
+            "reused": reused,
+            "done": campaign.is_done,
+            "status": self.store.get_campaign(campaign.campaign_id).status,
+        }
+
+    def resume_all(self) -> list[str]:
+        """Register every unfinished stored campaign; returns their ids."""
+        resumed = []
+        for record in self.store.list_campaigns():
+            if record.status not in RESUMABLE:
+                continue
+            if self.scheduler.find(record.campaign_id) is None:
+                self.scheduler.add_existing(record.campaign_id)
+            else:
+                self.scheduler.resume_campaign(record.campaign_id)
+            resumed.append(record.campaign_id)
+        self._notify()
+        return resumed
+
+    def pause(self, campaign_id: str) -> dict[str, Any]:
+        """Checkpoint + pause one campaign (404-mapped when unknown)."""
+        self.store.get_campaign(campaign_id)  # raises for unknown ids
+        paused = self.scheduler.pause_campaign(campaign_id)
+        self._notify()
+        return {"campaign_id": campaign_id, "paused": paused}
+
+    def resume(self, campaign_id: str) -> dict[str, Any]:
+        """(Re)activate one stored or paused campaign."""
+        campaign = self.scheduler.resume_campaign(campaign_id)
+        self._notify()
+        return {
+            "campaign_id": campaign_id,
+            "done": campaign.is_done,
+            "status": self.store.get_campaign(campaign_id).status,
+        }
+
+    # -- read side ---------------------------------------------------------------
+    def list_campaigns(self) -> list[dict[str, Any]]:
+        """One progress summary per stored campaign, in creation order."""
+        return [
+            campaign_summary(self.store, record.campaign_id)
+            for record in self.store.list_campaigns()
+        ]
+
+    def show(self, campaign_id: str) -> dict[str, Any]:
+        """Record + replayed progress of one campaign (summary + spec)."""
+        summary = campaign_summary(self.store, campaign_id)
+        summary["spec"] = dict(self.store.get_campaign(campaign_id).spec)
+        return summary
+
+    def result(self, campaign_id: str) -> dict[str, Any]:
+        """The final :class:`~repro.core.plan.TuningResult` as a JSON dict.
+
+        Raises :class:`CampaignError` until the campaign completed (the
+        HTTP layer maps it to 409, so polling clients can tell "not yet"
+        from "no such campaign").
+        """
+        record = self.store.get_campaign(campaign_id)
+        if record.status != COMPLETED:
+            raise CampaignError(
+                f"campaign {campaign_id!r} has not completed "
+                f"(status: {record.status})"
+            )
+        campaign = self.scheduler.find(campaign_id)
+        if campaign is None or not campaign.is_done:
+            campaign = Campaign.resume(self.store, campaign_id)
+        return campaign.result().to_dict()
+
+    def log(self, campaign_id: str) -> list[dict[str, Any]]:
+        """The campaign's replayed (generation-collapsed) event log."""
+        events = replay_events(self.store.events(campaign_id))
+        return [event.to_dict() for event in events]
+
+    def events_since(self, campaign_id: str, after: int) -> list[CampaignEvent]:
+        """Replayed events with ``seq > after`` (the SSE catch-up query).
+
+        Replay collapses duplicate iterations across resume generations, so
+        a client reconnecting with a cursor never sees an iteration twice —
+        the replayed+live sequence equals
+        :func:`~repro.campaigns.store.replay_events` of the finished log.
+        Use once per stream; the live tail should poll the cheaper
+        :meth:`events_after`.
+        """
+        events = replay_events(self.store.events(campaign_id))
+        return [event for event in events if event.seq > after]
+
+    def events_after(self, campaign_id: str, after: int) -> list[CampaignEvent]:
+        """Raw events with ``seq > after`` (the cheap live-tail poll).
+
+        No generation collapse: past the initial catch-up everything newer
+        than the cursor is a live append, and any event a *newer* generation
+        re-executes supersedes only events the client already received —
+        exactly what the replayed view would stream too.  The filter is
+        pushed into the store query, so an idle poll costs O(new events),
+        not O(log).
+        """
+        return self.store.events(campaign_id, after=after)
+
+    def status(self, campaign_id: str) -> str:
+        """The store's lifecycle status for ``campaign_id``."""
+        return self.store.get_campaign(campaign_id).status
+
+    # -- live-activity plumbing (SSE) --------------------------------------------
+    def _on_tick(self, tick: SchedulerTick) -> None:
+        with self._activity:
+            self._tick_seq += 1
+            self._last_ticks[tick.campaign_id] = (
+                self._tick_seq,
+                {
+                    "campaign_id": tick.campaign_id,
+                    "name": tick.name,
+                    "priority": tick.priority,
+                    "iteration": tick.iteration,
+                    "spent": tick.spent,
+                    "budget": tick.budget,
+                    "done": tick.done,
+                },
+            )
+            self._activity.notify_all()
+
+    def _notify(self) -> None:
+        with self._activity:
+            self._activity.notify_all()
+
+    def wait_for_activity(self, timeout: float) -> None:
+        """Block until any scheduler tick / submission lands (or timeout)."""
+        with self._activity:
+            self._activity.wait(timeout)
+
+    def last_tick(self, campaign_id: str) -> tuple[int, dict[str, Any]] | None:
+        """The newest :class:`SchedulerTick` for a campaign, with its seq."""
+        with self._activity:
+            return self._last_ticks.get(campaign_id)
+
+    # -- stats -------------------------------------------------------------------
+    def server_stats(self) -> dict[str, Any]:
+        """Everything ``GET /stats`` reports (health + workload + cache)."""
+        by_status: dict[str, int] = {}
+        for record in self.store.list_campaigns():
+            by_status[record.status] = by_status.get(record.status, 0) + 1
+        total = sum(by_status.values())
+        active = total - by_status.get(COMPLETED, 0) - by_status.get(FAILED, 0)
+        stats: dict[str, Any] = self.stats.snapshot()
+        stats.update(
+            {
+                "scheduler_steps": self.scheduler.steps,
+                "pump_running": self.scheduler.pump_running,
+                "pump_errors": len(self.scheduler.errors),
+                "campaigns_total": total,
+                "campaigns_active": active,
+                "campaigns_completed": by_status.get(COMPLETED, 0),
+                "campaigns_paused": by_status.get(PAUSED, 0),
+                "campaigns_failed": by_status.get(FAILED, 0),
+            }
+        )
+        cache = self.scheduler.executor.cache
+        if cache is not None:
+            stats["cache"] = {
+                "requests": cache.stats.requests,
+                "hits": cache.stats.hits,
+                "misses": cache.stats.misses,
+                "evictions": cache.stats.evictions,
+            }
+        return stats

@@ -51,3 +51,13 @@ class CampaignError(ReproError):
     campaign twice, or loading a snapshot written by an incompatible
     version of the campaign subsystem.
     """
+
+
+class ServeError(ReproError):
+    """Raised when the tuner service (or its client) cannot complete a call.
+
+    Examples include a daemon that is not reachable, an HTTP error response
+    from the campaign API, or a malformed server-sent-event stream.  The
+    server maps library errors onto HTTP statuses; the client maps them
+    back onto this exception so CLI exit codes stay consistent.
+    """

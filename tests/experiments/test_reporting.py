@@ -114,3 +114,48 @@ class TestCacheStatsTable:
         assert stats["curves"].hits > 0
         text = cache_stats_table(stats, trainings_performed=cold)
         assert f"{cold} trainings performed" in text
+
+
+class TestServerStatsTable:
+    STATS = {
+        "uptime_seconds": 12.5,
+        "requests": 42,
+        "errors": 1,
+        "campaigns_submitted": 3,
+        "campaigns_total": 3,
+        "campaigns_active": 1,
+        "campaigns_completed": 2,
+        "campaigns_paused": 0,
+        "campaigns_failed": 0,
+        "scheduler_steps": 17,
+        "pump_running": True,
+        "pump_errors": 0,
+        "sse_connections": 2,
+        "events_streamed": 55,
+        "cache": {"requests": 10, "hits": 4, "misses": 6, "evictions": 0},
+    }
+
+    def test_renders_known_counters_and_cache(self):
+        from repro.experiments.reporting import server_stats_table
+
+        text = server_stats_table(self.STATS)
+        assert "Tuner service health" in text
+        assert "HTTP requests" in text and "42" in text
+        assert "campaigns completed" in text
+        assert "events streamed" in text and "55" in text
+        assert "shared result cache" in text and "4/10 hits" in text
+
+    def test_tolerates_missing_and_unknown_keys(self):
+        from repro.experiments.reporting import server_stats_table
+
+        text = server_stats_table({"requests": 7, "new_counter": 1})
+        assert "HTTP requests" in text and "7" in text
+        assert "new_counter" not in text
+
+    def test_status_line_is_one_line(self):
+        from repro.experiments.reporting import server_status_line
+
+        line = server_status_line(self.STATS)
+        assert "\n" not in line
+        assert "1 active / 3 stored campaign(s)" in line
+        assert "55 event(s) streamed" in line

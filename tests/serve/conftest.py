@@ -1,0 +1,99 @@
+"""Shared fixtures for the tuner-service test suite.
+
+Two campaign sizes are used throughout: ``tiny_spec`` completes in a single
+iteration (~1s of training on the CI box), ``multi_spec`` runs several
+iterations so pause/drain can land mid-run.  Both are deterministic, so
+every test can compare wire-served results against an in-process
+:class:`~repro.campaigns.campaign.Campaign` baseline.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.campaigns import Campaign, CampaignSpec, InMemoryStore, replay_events
+from repro.serve import TunerClient, TunerServer, TunerService
+
+
+def tiny_spec(name: str = "tiny", seed: int = 3, **overrides) -> dict:
+    """A one-iteration campaign spec as a JSON-style dict."""
+    spec = {
+        "name": name,
+        "dataset": "adult_like",
+        "scenario": "basic",
+        "method": "uniform",
+        "budget": 120.0,
+        "seed": seed,
+        "base_size": 30,
+        "validation_size": 30,
+        "epochs": 4,
+        "curve_points": 3,
+    }
+    spec.update(overrides)
+    return spec
+
+
+def multi_spec(name: str = "multi", seed: int = 0, **overrides) -> dict:
+    """A several-iteration campaign spec (drain/pause can land mid-run)."""
+    spec = {
+        "name": name,
+        "dataset": "adult_like",
+        "scenario": "basic",
+        "method": "moderate",
+        "budget": 600.0,
+        "seed": seed,
+        "base_size": 50,
+        "validation_size": 50,
+        "epochs": 8,
+        "curve_points": 3,
+    }
+    spec.update(overrides)
+    return spec
+
+
+def run_in_process(spec: dict):
+    """Run a spec via Campaign.run on a fresh in-memory store.
+
+    Returns ``(TuningResult, [(kind, iteration, payload), ...])`` — the
+    baseline every wire-level test compares against.
+    """
+    store = InMemoryStore()
+    campaign = Campaign.start(store, CampaignSpec(**spec))
+    result = campaign.run()
+    events = [
+        (event.kind, event.iteration, event.payload)
+        for event in replay_events(store.events(campaign.campaign_id))
+    ]
+    return result, events
+
+
+def event_keys(frames) -> list[tuple]:
+    """Normalize SSE frames / event dicts to comparable (kind, iter, payload)."""
+    keys = []
+    for frame in frames:
+        data = frame.get("data", frame)
+        if frame.get("id") is None and "kind" not in data:
+            continue  # tick / end frames carry no persisted event
+        keys.append((data["kind"], data["iteration"], data["payload"]))
+    return keys
+
+
+@pytest.fixture
+def service():
+    """A started in-memory TunerService; drained and closed on teardown."""
+    app = TunerService().start()
+    try:
+        yield app
+    finally:
+        app.close()
+
+
+@pytest.fixture
+def served(service):
+    """(service, server, client) against a live HTTP daemon on a free port."""
+    server = TunerServer(service).start_background()
+    client = TunerClient(server.url, timeout=30.0)
+    try:
+        yield service, server, client
+    finally:
+        server.shutdown()

@@ -1,0 +1,147 @@
+"""TunerService unit behavior: submissions, dedup, pause/resume, stats."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.campaigns import COMPLETED, PAUSED
+from repro.utils.exceptions import CampaignError, ConfigurationError
+
+from tests.serve.conftest import multi_spec, run_in_process, tiny_spec
+
+
+def _wait_done(service, campaign_id, timeout=120.0):
+    import time
+
+    deadline = time.monotonic() + timeout
+    while service.status(campaign_id) != COMPLETED:
+        assert time.monotonic() < deadline, service.status(campaign_id)
+        service.wait_for_activity(0.1)
+
+
+def test_submit_runs_to_in_process_result(service):
+    spec = tiny_spec()
+    baseline, baseline_events = run_in_process(spec)
+    submitted = service.submit(spec)
+    assert submitted["reused"] is False
+    _wait_done(service, submitted["campaign_id"])
+    assert service.result(submitted["campaign_id"]) == baseline.to_dict()
+    log = service.log(submitted["campaign_id"])
+    assert [(e["kind"], e["iteration"], e["payload"]) for e in log] == baseline_events
+
+
+def test_submit_rejects_unknown_fields(service):
+    with pytest.raises(ConfigurationError, match="unknown campaign spec field"):
+        service.submit(tiny_spec(buget=10.0))  # the typo must not be dropped
+
+
+def test_resubmit_deduplicates_by_fingerprint(service):
+    spec = tiny_spec()
+    first = service.submit(spec)
+    second = service.submit(dict(spec))
+    assert second["campaign_id"] == first["campaign_id"]
+    assert second["reused"] is True
+    _wait_done(service, first["campaign_id"])
+    # A renamed but otherwise identical spec still dedups (fingerprint
+    # ignores the name) and replays the stored result.
+    renamed = service.submit(tiny_spec(name="renamed"))
+    assert renamed["campaign_id"] == first["campaign_id"]
+    assert renamed["reused"] is True
+
+
+def test_result_before_completion_raises(service):
+    submitted = service.submit(multi_spec())
+    with pytest.raises(CampaignError, match="has not completed"):
+        service.result(submitted["campaign_id"])
+    _wait_done(service, submitted["campaign_id"])
+    service.result(submitted["campaign_id"])  # now fine
+
+
+def test_pause_then_resume_is_deterministic(service):
+    spec = multi_spec()
+    baseline, _ = run_in_process(spec)
+    submitted = service.submit(spec)
+    campaign_id = submitted["campaign_id"]
+    # Wait for the first persisted iteration, then pause mid-run.
+    while not any(
+        e["kind"] == "iteration" for e in service.log(campaign_id)
+    ):
+        service.wait_for_activity(0.1)
+    outcome = service.pause(campaign_id)
+    if outcome["paused"]:  # the campaign may have just finished on its own
+        assert service.status(campaign_id) == PAUSED
+        service.resume(campaign_id)
+    _wait_done(service, campaign_id)
+    assert service.result(campaign_id) == baseline.to_dict()
+
+
+def test_pause_unknown_campaign_raises(service):
+    with pytest.raises(CampaignError, match="unknown campaign"):
+        service.pause("nope")
+
+
+def test_server_stats_shape(service):
+    submitted = service.submit(tiny_spec())
+    _wait_done(service, submitted["campaign_id"])
+    stats = service.server_stats()
+    for key in (
+        "uptime_seconds",
+        "requests",
+        "campaigns_submitted",
+        "events_streamed",
+        "scheduler_steps",
+        "pump_running",
+        "pump_errors",
+        "campaigns_total",
+        "campaigns_active",
+        "campaigns_completed",
+        "cache",
+    ):
+        assert key in stats, key
+    assert stats["campaigns_submitted"] == 1
+    assert stats["campaigns_total"] == 1
+    assert stats["campaigns_completed"] == 1
+    assert stats["campaigns_active"] == 0
+    assert stats["pump_running"] is True
+    assert stats["pump_errors"] == 0
+
+
+def test_drain_rejects_new_submissions(service):
+    summary = service.drain()
+    assert summary["suspended"] == []
+    with pytest.raises(CampaignError, match="draining"):
+        service.submit(tiny_spec())
+
+
+def test_drain_reports_only_newly_suspended(service):
+    """A campaign paused before the drain is not double-counted."""
+    submitted = service.submit(multi_spec(name="pause-then-drain"))
+    campaign_id = submitted["campaign_id"]
+    while not any(e["kind"] == "iteration" for e in service.log(campaign_id)):
+        service.wait_for_activity(0.1)
+    if not service.pause(campaign_id)["paused"]:
+        return  # finished before the pause landed; nothing to assert
+    summary = service.drain()
+    assert campaign_id not in summary["suspended"]
+
+
+def test_failed_campaign_resume_retries_with_fresh_instance(service):
+    """Resuming a failed campaign re-registers it from the store."""
+    # An unknown dataset passes spec validation but fails at build time,
+    # so the failure happens under the pump.
+    submitted = service.submit(tiny_spec(name="doomed", dataset="not_a_task"))
+    campaign_id = submitted["campaign_id"]
+    import time
+
+    deadline = time.monotonic() + 60
+    while service.status(campaign_id) != "failed":
+        assert time.monotonic() < deadline, service.status(campaign_id)
+        service.wait_for_activity(0.1)
+    assert service.scheduler.errors, "pump should have recorded the failure"
+    assert service.scheduler.errors[0][0] == campaign_id
+    dead = service.scheduler.find(campaign_id)
+    service.resume(campaign_id)
+    fresh = service.scheduler.find(campaign_id)
+    assert fresh is not None and fresh is not dead, (
+        "failed campaign must be retried with a rebuilt Campaign"
+    )

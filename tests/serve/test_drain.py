@@ -1,0 +1,133 @@
+"""Graceful drain: SIGTERM a daemon mid-run, restart, resume, byte-identical.
+
+Two levels:
+
+* in-process — ``TunerService.drain()`` mid-run, a second service over the
+  same SQLite file resumes and finishes with results identical to an
+  uninterrupted ``Campaign.run``;
+* subprocess — the real ``python -m repro.cli serve`` daemon is SIGTERMed
+  while a campaign runs, restarted with ``--resume-all``, and the final
+  result fetched over HTTP equals the in-process baseline (the CI
+  serve-smoke job in miniature).
+"""
+
+from __future__ import annotations
+
+import os
+import re
+import signal
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+from repro.campaigns import SqliteStore
+from repro.serve import TunerClient, TunerServer, TunerService
+
+from tests.serve.conftest import multi_spec, run_in_process
+
+_SRC = str(Path(__file__).resolve().parents[2] / "src")
+
+
+def test_drain_restart_resume_is_byte_identical(tmp_path):
+    spec = multi_spec(name="drained")
+    baseline, baseline_events = run_in_process(spec)
+
+    path = str(tmp_path / "serve.sqlite")
+    app = TunerService(store=SqliteStore(path)).start()
+    campaign_id = app.submit(spec)["campaign_id"]
+    # Let at least one iteration persist so the drain lands mid-run.
+    while not any(e["kind"] == "iteration" for e in app.log(campaign_id)):
+        app.wait_for_activity(0.1)
+    summary = app.drain()
+    app.store.close()
+    assert campaign_id in summary["suspended"]
+
+    restarted = TunerService(store=SqliteStore(path))
+    assert restarted.resume_all() == [campaign_id]
+    restarted.start()
+    deadline = time.monotonic() + 180
+    while restarted.status(campaign_id) != "completed":
+        assert time.monotonic() < deadline
+        restarted.wait_for_activity(0.1)
+    assert restarted.result(campaign_id) == baseline.to_dict()
+    log = restarted.log(campaign_id)
+    assert [(e["kind"], e["iteration"], e["payload"]) for e in log] == baseline_events
+    # The resumed portion ran under a newer generation.
+    assert max(e["generation"] for e in log) >= 1
+    restarted.close()
+
+
+def _spawn_daemon(store_path: str) -> tuple[subprocess.Popen, str]:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = _SRC + os.pathsep + env.get("PYTHONPATH", "")
+    process = subprocess.Popen(
+        [
+            sys.executable, "-m", "repro.cli", "serve",
+            "--store", store_path, "--port", "0", "--resume-all", "--quiet",
+        ],
+        env=env,
+        stdout=subprocess.PIPE,
+        stderr=subprocess.PIPE,
+        text=True,
+    )
+    line = process.stdout.readline()
+    match = re.search(r"serving on (http://[\d.]+:\d+)", line)
+    assert match, (line, process.stderr.read() if process.poll() else "")
+    return process, match.group(1)
+
+
+def test_cli_daemon_sigterm_restart_resume(tmp_path):
+    spec = multi_spec(name="cli-drained")
+    baseline, _ = run_in_process(spec)
+    store_path = str(tmp_path / "cli-serve.sqlite")
+
+    process, url = _spawn_daemon(store_path)
+    try:
+        client = TunerClient(url, timeout=30.0)
+        client.wait_ready(timeout=15)
+        campaign_id = client.submit(spec)["campaign_id"]
+        # SIGTERM as soon as the first iteration event is streamed: the
+        # daemon drains (checkpoint + pause) and exits 0.
+        for frame in client.tail(campaign_id, reconnect=1):
+            if frame["event"] in ("iteration", "end"):
+                break
+        process.send_signal(signal.SIGTERM)
+        assert process.wait(timeout=60) == 0
+    finally:
+        if process.poll() is None:
+            process.kill()
+            process.wait(timeout=30)
+
+    process, url = _spawn_daemon(store_path)
+    try:
+        client = TunerClient(url, timeout=30.0)
+        client.wait_ready(timeout=15)
+        summary = client.wait(campaign_id, timeout=180)
+        assert summary["status"] == "completed"
+        assert client.result(campaign_id) == baseline.to_dict()
+    finally:
+        process.send_signal(signal.SIGTERM)
+        try:
+            process.wait(timeout=60)
+        except subprocess.TimeoutExpired:
+            process.kill()
+            process.wait(timeout=30)
+
+
+def test_sse_stream_ends_when_daemon_drains(tmp_path):
+    """A live tail receives an end frame (not a hang) on drain."""
+    path = str(tmp_path / "ending.sqlite")
+    app = TunerService(store=SqliteStore(path)).start()
+    server = TunerServer(app).start_background()
+    client = TunerClient(server.url, timeout=30.0)
+    campaign_id = client.submit(multi_spec(name="ender"))["campaign_id"]
+    frames = []
+    for frame in client.tail(campaign_id):
+        frames.append(frame)
+        if frame["event"] == "iteration":
+            app.drain()  # drain while the stream is live
+    assert frames[-1]["event"] == "end"
+    assert frames[-1]["data"]["status"] in ("draining", "paused")
+    server.shutdown()
+    app.close()

@@ -1,0 +1,135 @@
+"""HTTP API end-to-end: wire-served results equal in-process runs.
+
+The acceptance criterion of the serve PR: a campaign submitted over HTTP
+and observed through the JSON API yields a result and event log identical
+to the same spec run in-process via ``Campaign.run``.  Also covers the
+error-status mapping and the multi-client load path (concurrent clients
+sharing one daemon).
+"""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.serve import TunerClient
+from repro.utils.exceptions import ServeError
+
+from tests.serve.conftest import event_keys, run_in_process, tiny_spec
+
+
+def test_submit_wait_result_matches_in_process(served):
+    _, _, client = served
+    spec = tiny_spec()
+    baseline, baseline_events = run_in_process(spec)
+    submitted = client.submit(spec)
+    summary = client.wait(submitted["campaign_id"], timeout=120)
+    assert summary["status"] == "completed"
+    assert client.result(submitted["campaign_id"]) == baseline.to_dict()
+    assert event_keys(client.log(submitted["campaign_id"])) == [
+        (kind, iteration, payload)
+        for kind, iteration, payload in baseline_events
+    ]
+
+
+def test_health_list_show_stats_roundtrip(served):
+    _, _, client = served
+    assert client.health()["status"] == "ok"
+    spec = tiny_spec()
+    submitted = client.submit(spec)
+    client.wait(submitted["campaign_id"], timeout=120)
+    campaigns = client.list_campaigns()
+    assert [c["campaign_id"] for c in campaigns] == [submitted["campaign_id"]]
+    shown = client.show(submitted["campaign_id"])
+    assert shown["spec"]["budget"] == spec["budget"]
+    assert shown["status"] == "completed"
+    stats = client.stats()
+    assert stats["campaigns_completed"] == 1
+    assert stats["requests"] >= 4
+
+
+def test_error_statuses(served):
+    _, _, client = served
+    # 404: unknown campaign id.
+    with pytest.raises(ServeError) as excinfo:
+        client.show("nope")
+    assert excinfo.value.status == 404
+    # 400: invalid spec (unknown field).
+    with pytest.raises(ServeError) as excinfo:
+        client.submit(tiny_spec(buget=1.0))
+    assert excinfo.value.status == 400
+    # 409: result requested before completion (pending campaign).
+    submitted = client.submit(tiny_spec())
+    try:
+        client.result(submitted["campaign_id"])
+    except ServeError as error:
+        assert error.status == 409
+    # 404: unknown route.
+    with pytest.raises(ServeError) as excinfo:
+        client._request("GET", "/nope")
+    assert excinfo.value.status == 404
+    client.wait(submitted["campaign_id"], timeout=120)
+
+
+def test_concurrent_clients_share_one_daemon(served):
+    """The multi-client load path: N threads submit + wait concurrently."""
+    _, server, _ = served
+    specs = [tiny_spec(name=f"load-{i}", seed=10 + i) for i in range(3)]
+    baselines = {spec["name"]: run_in_process(spec)[0] for spec in specs}
+    outcomes: dict[str, dict] = {}
+    errors: list[Exception] = []
+
+    def one_client(spec: dict) -> None:
+        try:
+            client = TunerClient(server.url, timeout=60.0)
+            submitted = client.submit(spec)
+            client.wait(submitted["campaign_id"], timeout=180)
+            outcomes[spec["name"]] = client.result(submitted["campaign_id"])
+        except Exception as error:  # noqa: BLE001 - collected for the assert
+            errors.append(error)
+
+    threads = [
+        threading.Thread(target=one_client, args=(spec,)) for spec in specs
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+
+    assert errors == []
+    for spec in specs:
+        assert outcomes[spec["name"]] == baselines[spec["name"]].to_dict(), (
+            spec["name"]
+        )
+
+
+def test_malformed_sse_cursor_is_a_client_error(served):
+    """?after=abc / Last-Event-ID: abc must be 400, not a server fault."""
+    _, _, client = served
+    submitted = client.submit(tiny_spec(name="cursors"))
+    campaign_id = submitted["campaign_id"]
+    with pytest.raises(ServeError) as excinfo:
+        client._request("GET", f"/campaigns/{campaign_id}/events?after=abc")
+    assert excinfo.value.status == 400
+    with pytest.raises(ServeError) as excinfo:
+        client._request(
+            "GET",
+            f"/campaigns/{campaign_id}/events",
+            headers={"Last-Event-ID": "abc"},
+            stream=True,
+        )
+    assert excinfo.value.status == 400
+    client.wait(campaign_id, timeout=120)
+
+
+def test_tail_does_not_retry_http_errors(served):
+    """reconnect only covers dropped connections, never a definitive 404."""
+    import time
+
+    _, _, client = served
+    start = time.monotonic()
+    with pytest.raises(ServeError) as excinfo:
+        list(client.tail("nope", reconnect=5))
+    assert excinfo.value.status == 404
+    assert time.monotonic() - start < 1.0, "404 was retried like a disconnect"

@@ -1,0 +1,112 @@
+"""SSE semantics: framing round-trip and cursor-exact resume.
+
+The satellite acceptance: disconnect mid-stream, reconnect with
+``Last-Event-ID``, and the concatenation of everything received equals
+``replay_events`` of the finished log — i.e. tailing over the wire (with
+any number of drops) is indistinguishable from one in-process replay.
+"""
+
+from __future__ import annotations
+
+import io
+
+import pytest
+
+from repro.serve import format_sse_event, parse_sse_stream
+from repro.serve.stream import stream_campaign_events
+from repro.utils.exceptions import ServeError
+
+from tests.serve.conftest import event_keys, multi_spec, run_in_process, tiny_spec
+
+
+def test_sse_format_parse_roundtrip():
+    frames = (
+        format_sse_event({"kind": "iteration", "n": 1}, event="iteration", event_id=7)
+        + ": ping\n\n"
+        + format_sse_event({"done": True}, event="end")
+    )
+    parsed = list(parse_sse_stream(io.BytesIO(frames.encode("utf-8"))))
+    assert parsed == [
+        {"event": "iteration", "id": 7, "data": {"kind": "iteration", "n": 1}},
+        {"event": "end", "id": None, "data": {"done": True}},
+    ]
+
+
+def test_parse_rejects_malformed_frames():
+    with pytest.raises(ServeError, match="malformed SSE data"):
+        list(parse_sse_stream(io.BytesIO(b"data: {not json\n\n")))
+    with pytest.raises(ServeError, match="malformed SSE id"):
+        list(parse_sse_stream(io.BytesIO(b"id: seven\ndata: {}\n\n")))
+
+
+def test_disconnect_reconnect_equals_replay(served):
+    """The headline SSE guarantee, across a real socket."""
+    _, _, client = served
+    spec = multi_spec()
+    _, baseline_events = run_in_process(spec)
+    submitted = client.submit(spec)
+    campaign_id = submitted["campaign_id"]
+
+    received = []
+    for frame in client.tail(campaign_id):
+        if frame["id"] is not None:
+            received.append(frame)
+        if len(received) >= 2:
+            break  # simulate a dropped connection mid-stream
+
+    client.wait(campaign_id, timeout=180)
+
+    # Reconnect from the cursor (client.tail resumes from last_event_id).
+    for frame in client.tail(campaign_id):
+        if frame["id"] is not None:
+            assert frame["id"] > received[-1]["id"], "cursor replayed an event"
+            received.append(frame)
+
+    assert event_keys(received) == [
+        (kind, iteration, payload)
+        for kind, iteration, payload in baseline_events
+    ]
+
+
+def test_tail_from_cursor_skips_prefix(served):
+    from repro.serve import TunerClient
+
+    _, server, client = served
+    spec = tiny_spec(name="cursor")
+    submitted = client.submit(spec)
+    client.wait(submitted["campaign_id"], timeout=120)
+    full = [
+        frame
+        for frame in client.tail(submitted["campaign_id"], after=0)
+        if frame["id"] is not None
+    ]
+    assert len(full) >= 2
+    cursor = full[1]["id"]
+    fresh_client = TunerClient(server.url, timeout=30.0)
+    partial = [
+        frame
+        for frame in fresh_client.tail(submitted["campaign_id"], after=cursor)
+        if frame["id"] is not None
+    ]
+    assert [frame["id"] for frame in partial] == [
+        frame["id"] for frame in full if frame["id"] > cursor
+    ]
+
+
+def test_stream_generator_ends_with_status(service):
+    """Driving the generator directly (no HTTP): end frame carries status."""
+    submitted = service.submit(tiny_spec(name="direct"))
+    frames = list(
+        parse_sse_stream(
+            io.BytesIO(
+                "".join(
+                    stream_campaign_events(service, submitted["campaign_id"])
+                ).encode("utf-8")
+            )
+        )
+    )
+    assert frames[-1]["event"] == "end"
+    assert frames[-1]["data"]["status"] == "completed"
+    persisted = [frame for frame in frames if frame["id"] is not None]
+    assert persisted[-1]["data"]["kind"] == "completed"
+    assert frames[-1]["data"]["last_seq"] == persisted[-1]["id"]

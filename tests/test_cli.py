@@ -272,3 +272,50 @@ class TestCampaignCommands:
             main(["campaign", "resume", "some-id", "--all", "--store", store]) == 2
         )
         assert "error:" in capsys.readouterr().err
+
+
+class TestJsonOutput:
+    """The --json machine-readable mode: stable schema tags, parseable out."""
+
+    def test_run_json_schema(self, capsys):
+        import json
+
+        exit_code = main(
+            ["run", *FAST, "--method", "uniform", "--budget", "120", "--json"]
+        )
+        assert exit_code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["schema"] == "repro.run/1"
+        assert payload["config"]["method"] == "uniform"
+        assert payload["result"]["spent"] == pytest.approx(120.0)
+        assert payload["fulfillments"], "fulfillment log missing"
+        assert set(payload["fulfillments"][0]) >= {
+            "slice", "requested", "delivered", "status", "provenance",
+        }
+        assert "results" in payload["cache"]
+
+    def test_campaign_list_and_show_json(self, capsys, tmp_path):
+        import json
+
+        store = str(tmp_path / "camp.sqlite")
+        assert main(
+            ["campaign", "start", "--name", "jsonny", *CAMPAIGN_FAST,
+             "--store", store, "--quiet"]
+        ) == 0
+        capsys.readouterr()
+
+        assert main(["campaign", "list", "--store", store, "--json"]) == 0
+        listing = json.loads(capsys.readouterr().out)
+        assert listing["schema"] == "repro.campaign.list/1"
+        assert listing["campaigns"][0]["status"] == "completed"
+        campaign_id = listing["campaigns"][0]["campaign_id"]
+
+        assert main(
+            ["campaign", "show", campaign_id, "--store", store, "--json"]
+        ) == 0
+        shown = json.loads(capsys.readouterr().out)
+        assert shown["schema"] == "repro.campaign.show/1"
+        assert shown["campaign"]["campaign_id"] == campaign_id
+        assert shown["campaign"]["spec"]["method"] == "moderate"
+        kinds = {event["kind"] for event in shown["events"]}
+        assert {"iteration", "completed"} <= kinds
