@@ -1,0 +1,255 @@
+"""The discovery trajectory: slice discovery cost and dynamic re-slicing.
+
+Measures the layer this repo adds on top of the paper (the paper takes its
+slices as given and only sketches discovery in Appendix A):
+
+* per-method discovery time and slices found for every registered method
+  (``stump``, ``kmeans``, ``auto``) on one pooled instance, and
+* a dynamic (``discover="kmeans", reslice_every=2``) tuner run against the
+  static baseline of the same instance — same budget, same seed — reporting
+  the final-loss delta and the re-slice boundaries crossed.
+
+Shapes asserted: every method is deterministic (two fits agree on the
+content fingerprint), discovery is cheap relative to the tuning run it
+rides along with, and the dynamic run stays in the same quality regime as
+the static baseline (re-slicing must not blow up the loss).
+
+Set ``REPRO_EXECUTOR`` to ``serial`` (default) or ``process`` to route the
+dynamic run through the chosen engine backend — the numbers must not depend
+on it (the CI ``discovery-smoke`` job runs both and diffs the deterministic
+sections) — and ``BENCH_DISCOVERY_OUT`` to a path to record the numbers
+(reference point committed at ``benchmarks/BENCH_discovery.json``).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from pathlib import Path
+
+from conftest import emit
+
+from repro.core.tuner import SliceTuner, SliceTunerConfig
+from repro.curves.estimator import default_model_factory
+from repro.engine.executor import get_executor
+from repro.experiments.config import ExperimentConfig, fast_training_config
+from repro.experiments.runner import prepare_named_instance
+from repro.ml.train import Trainer
+from repro.slices.discovery import available_discovery_methods, get_discovery_method
+from repro.utils.tables import format_table
+
+# The recipe below (unbalanced exponential sizes, small slices, modest
+# budget) is the smallest known configuration that runs several iterations
+# and crosses a re-slice boundary; the balanced SPEED defaults spend the
+# whole budget in one step and never re-slice.
+BUDGET = 500.0
+BASE_SIZE = 60
+VALIDATION_SIZE = 60
+EPOCHS = 8
+SEED = 20_000
+RESLICE_EVERY = 2
+
+
+def _executor_name() -> str:
+    return os.environ.get("REPRO_EXECUTOR", "serial").strip().lower()
+
+
+def _config() -> ExperimentConfig:
+    return ExperimentConfig(
+        dataset="adult_like",
+        scenario="exponential",
+        budget=BUDGET,
+        methods=("conservative",),
+        lam=1.0,
+        trials=1,
+        validation_size=VALIDATION_SIZE,
+        curve_points=3,
+        curve_repeats=1,
+        epochs=EPOCHS,
+        seed=SEED,
+        extra={"base_size": BASE_SIZE},
+    )
+
+
+def _discovery_sweep() -> dict[str, dict]:
+    """Fit every registered method twice on one instance; time + verify."""
+    config = _config()
+    sliced, _ = prepare_named_instance(config, seed=config.seed)
+    pool = sliced.combined_train()
+    model = default_model_factory(sliced.n_classes)
+    Trainer(
+        config=fast_training_config(epochs=EPOCHS), random_state=0
+    ).fit(model, pool)
+    out: dict[str, dict] = {}
+    for name in available_discovery_methods():
+        start = time.perf_counter()
+        method = get_discovery_method(name, seed=7)
+        method.fit(None if name == "auto" else model, pool)
+        discovered = method.transform(sliced)
+        elapsed = time.perf_counter() - start
+        repeat = get_discovery_method(name, seed=7)
+        repeat.fit(None if name == "auto" else model, pool)
+        repeat.transform(sliced)
+        out[name] = {
+            "discovery_s": elapsed,
+            "slices_found": len(discovered.names),
+            "fingerprint": method.fingerprint(),
+            "deterministic": method.fingerprint() == repeat.fingerprint(),
+            "pool_rows": len(pool),
+        }
+    return out
+
+
+def _tuned_run(discover: str | None) -> dict:
+    """One tuning run (static baseline when ``discover`` is None)."""
+    config = _config()
+    sliced, sources = prepare_named_instance(config, seed=config.seed)
+    with get_executor(_executor_name()) as executor:
+        tuner = SliceTuner(
+            sliced,
+            trainer_config=config.training_config(),
+            curve_config=config.curve_config(),
+            config=SliceTunerConfig(
+                lam=1.0,
+                discover=discover,
+                reslice_every=RESLICE_EVERY if discover else 0,
+            ),
+            random_state=config.seed + 20_000,
+            sources=sources,
+            executor=executor,
+        )
+        session = tuner.session()
+        reslices = []
+        session.add_hook("reslice", reslices.append)
+        start = time.perf_counter()
+        result = session.run(BUDGET, strategy="conservative")
+        elapsed = time.perf_counter() - start
+    return {
+        "loss": result.final_report.loss,
+        "avg_eer": result.final_report.avg_eer,
+        "runtime_s": elapsed,
+        "iterations": result.n_iterations,
+        "spent": result.spent,
+        "reslices": [
+            {
+                "iteration": event.iteration,
+                "slice_generation": event.slice_generation,
+                "fingerprint": event.fingerprint,
+                "slice_names": list(event.slice_names),
+            }
+            for event in reslices
+        ],
+        "final_slices": sorted(result.total_acquired),
+    }
+
+
+def run_discovery_bench() -> dict:
+    return {
+        "methods": _discovery_sweep(),
+        "static": _tuned_run(None),
+        "dynamic": _tuned_run("kmeans"),
+    }
+
+
+def _record_bench(results: dict) -> None:
+    """Merge this run's numbers into ``$BENCH_DISCOVERY_OUT`` (when set)."""
+    out = os.environ.get("BENCH_DISCOVERY_OUT")
+    if not out:
+        return
+    path = Path(out)
+    payload: dict = {}
+    if path.exists():
+        try:
+            payload = json.loads(path.read_text())
+        except json.JSONDecodeError:
+            payload = {}
+    static, dynamic = results["static"], results["dynamic"]
+    payload[_executor_name()] = {
+        "methods": {
+            name: {
+                "discovery_s": round(stats["discovery_s"], 4),
+                "slices_found": int(stats["slices_found"]),
+                "fingerprint": stats["fingerprint"],
+                "pool_rows": int(stats["pool_rows"]),
+            }
+            for name, stats in results["methods"].items()
+        },
+        "static": {
+            "loss": round(static["loss"], 6),
+            "avg_eer": round(static["avg_eer"], 6),
+            "runtime_s": round(static["runtime_s"], 3),
+            "iterations": int(static["iterations"]),
+        },
+        "dynamic": {
+            "loss": round(dynamic["loss"], 6),
+            "avg_eer": round(dynamic["avg_eer"], 6),
+            "runtime_s": round(dynamic["runtime_s"], 3),
+            "iterations": int(dynamic["iterations"]),
+            "reslices": dynamic["reslices"],
+        },
+        "loss_delta_dynamic_vs_static": round(dynamic["loss"] - static["loss"], 6),
+    }
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+
+
+def test_discovery_methods_and_dynamic_reslicing(run_once):
+    results = run_once(run_discovery_bench)
+    _record_bench(results)
+
+    methods, static, dynamic = (
+        results["methods"], results["static"], results["dynamic"],
+    )
+    rows = [
+        [
+            name,
+            f"{stats['discovery_s'] * 1000:.1f}",
+            int(stats["slices_found"]),
+            "yes" if stats["deterministic"] else "NO",
+            stats["fingerprint"][:12],
+        ]
+        for name, stats in methods.items()
+    ]
+    emit(
+        "Slice discovery — per-method cost on one pooled instance "
+        f"(adult_like/exponential, {next(iter(methods.values()))['pool_rows']} "
+        f"rows, executor {_executor_name()})",
+        format_table(
+            headers=["method", "discovery (ms)", "slices", "deterministic", "fingerprint"],
+            rows=rows,
+        ),
+    )
+    emit(
+        "Dynamic re-slicing vs static baseline "
+        f"(budget {BUDGET:.0f}, reslice every {RESLICE_EVERY})",
+        format_table(
+            headers=["run", "Loss", "Avg. EER", "runtime (s)", "iterations", "reslices"],
+            rows=[
+                [
+                    "static", f"{static['loss']:.3f}", f"{static['avg_eer']:.3f}",
+                    f"{static['runtime_s']:.1f}", int(static["iterations"]), 0,
+                ],
+                [
+                    "dynamic", f"{dynamic['loss']:.3f}", f"{dynamic['avg_eer']:.3f}",
+                    f"{dynamic['runtime_s']:.1f}", int(dynamic["iterations"]),
+                    len(dynamic["reslices"]),
+                ],
+            ],
+        ),
+    )
+
+    # Every method is deterministic under a fixed seed.
+    assert all(stats["deterministic"] for stats in methods.values()), methods
+    # Every method actually partitioned the data (found at least 2 slices).
+    assert all(stats["slices_found"] >= 2 for stats in methods.values())
+    # The dynamic run crossed at least one re-slice boundary and swapped
+    # onto discovered slices.
+    assert dynamic["reslices"], "dynamic run never crossed a boundary"
+    assert any(name.startswith("km") for name in dynamic["final_slices"])
+    # Discovery itself is cheap relative to the tuning run it rides along.
+    total_discovery = sum(s["discovery_s"] for s in methods.values())
+    assert total_discovery <= max(static["runtime_s"], 1.0)
+    # Re-slicing must not blow up quality: same budget, same seed, loss in
+    # the same regime as the static baseline (generous margin — the point
+    # is catastrophe detection, not superiority claims).
+    assert dynamic["loss"] <= static["loss"] + 0.35

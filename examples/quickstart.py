@@ -30,7 +30,13 @@ This is the smallest end-to-end use of the library:
    in the background, a ``TunerServer`` exposes the HTTP campaign API, and
    a ``TunerClient`` submits a campaign, tails its live event stream
    (Server-Sent Events, resumable from any cursor), and fetches the final
-   result — identical to running the same spec in-process.
+   result — identical to running the same spec in-process, and
+10. discover slices instead of taking them as given: a registered
+    discovery method (``stump`` / ``kmeans`` / ``auto``) learns a
+    partition from a trained model's behaviour, and a ``dynamic_slices``
+    campaign re-runs discovery every few iterations mid-run, persisting
+    each re-slice boundary as a durable event so crash-resume stays
+    byte-identical.
 
 Run with::
 
@@ -55,9 +61,11 @@ from repro import (
     TunerServer,
     TunerService,
     TuningResult,
+    available_discovery_methods,
     available_sources,
     available_strategies,
     fashion_like_task,
+    get_discovery_method,
 )
 
 
@@ -257,6 +265,53 @@ def main() -> None:
     )
     server.shutdown()
     service.close()
+
+    # 10. Slice discovery + dynamic re-slicing.  Slices don't have to be
+    #     given: a registered discovery method (`python -m repro.cli
+    #     discover --list`) learns a partition of feature space, and the
+    #     dynamic_slices scenario re-runs discovery every 2 iterations,
+    #     swapping the tuner onto the discovered slices mid-run.  Every
+    #     re-slice boundary is a durable "reslice" event in the campaign
+    #     store, so a kill -9 at a boundary still resumes byte-identically
+    #     (tests/campaigns/test_dynamic_reslice.py asserts exactly that).
+    print(f"\nSlice discovery ({', '.join(available_discovery_methods())}):")
+    auto = get_discovery_method("auto", max_depth=3, min_slice_size=30)
+    discovered = auto.fit(None, sliced.combined_train()).transform(sliced)
+    print(
+        f"  auto discovered {len(discovered.names)} slices "
+        f"[{auto.fingerprint()[:12]}]"
+    )
+
+    dynamic_store = InMemoryStore()
+    dynamic = Campaign.start(
+        dynamic_store,
+        CampaignSpec(
+            name="dynamic",
+            dataset="adult_like",
+            scenario="dynamic_slices",     # carries discover="kmeans", every 2
+            method="conservative",
+            budget=500,
+            seed=20_000,
+            base_size=60,
+            validation_size=60,
+            epochs=8,
+            curve_points=3,
+        ),
+    )
+    dynamic_result = dynamic.run()
+    for event in dynamic_store.events(dynamic.campaign_id):
+        if event.kind == "reslice":
+            payload = event.payload
+            print(
+                f"  reslice @ iteration {event.iteration}: generation "
+                f"{payload['slice_generation']} ({payload['method']}) -> "
+                f"{', '.join(payload['slice_names'])}"
+            )
+    print(
+        f"  dynamic campaign done: {dynamic_result.n_iterations} iterations, "
+        f"spent {dynamic_result.spent:.0f}, "
+        f"slice generation {dynamic.slice_generation}"
+    )
 
 
 if __name__ == "__main__":

@@ -210,7 +210,15 @@ from repro.ml import (
     TrainingConfig,
 )
 from repro.serve import TunerClient, TunerServer, TunerService
-from repro.slices import Slice, SlicedDataset, SliceSpec
+from repro.slices import (
+    Slice,
+    SliceDiscoveryMethod,
+    SlicedDataset,
+    SliceSpec,
+    available_discovery_methods,
+    get_discovery_method,
+    register_discovery_method,
+)
 
 __version__ = "1.3.0"
 
@@ -264,6 +272,10 @@ __all__ = [
     "Slice",
     "SliceSpec",
     "SlicedDataset",
+    "SliceDiscoveryMethod",
+    "register_discovery_method",
+    "get_discovery_method",
+    "available_discovery_methods",
     # ml
     "Dataset",
     "SoftmaxRegression",

@@ -60,6 +60,7 @@ from repro.acquisition.router import AcquisitionRouter, RoutedDelivery
 from repro.acquisition.service import AcquisitionService
 from repro.acquisition.source import (
     DataSource,
+    DiscoverySource,
     GeneratorDataSource,
     PoolDataSource,
 )
@@ -68,6 +69,7 @@ __all__ = [
     "DataSource",
     "GeneratorDataSource",
     "PoolDataSource",
+    "DiscoverySource",
     "CompositeSource",
     "ThrottledSource",
     "register_source",

@@ -9,6 +9,11 @@ slice.  Two implementations cover the paper's settings:
 * :class:`PoolDataSource` — finite per-slice reserve pools; the analogue of a
   fixed unlabeled corpus.  Useful to test Slice Tuner's behaviour when a
   slice runs dry.
+* :class:`DiscoverySource` — adapts a base source that only understands the
+  *original* task slices to the slices a fitted
+  :class:`~repro.slices.discovery.SliceDiscoveryMethod` discovered, by
+  rejection-sampling candidate batches and keeping the rows the method
+  routes to the requested slice.
 """
 
 from __future__ import annotations
@@ -129,3 +134,103 @@ class PoolDataSource:
             raise AcquisitionError(
                 f"no acquisition pool for slice {slice_name!r}"
             ) from None
+
+
+class DiscoverySource:
+    """Serve *discovered* slices from a source that knows the original ones.
+
+    Real providers (generators, pools, crowdsourcing campaigns) deliver
+    examples for the task's original slices; after slice discovery the tuner
+    asks for examples of slices that exist only as regions of feature space.
+    This adapter bridges the two by rejection sampling: it draws candidate
+    batches from every base slice in turn, routes each row through the
+    fitted method's ``assign``, keeps the rows that land in the requested
+    discovered slice, and stops after ``max_rounds`` sweeps even if the
+    order is still short (a shortfall the acquisition service already
+    accounts for).
+
+    The adapter is deterministic (given a deterministic base source) and
+    picklable, so it survives campaign snapshots; nested adapters never
+    occur because re-slicing unwraps :attr:`base` before wrapping again.
+
+    Parameters
+    ----------
+    base:
+        The underlying source, addressed by the original slice names.
+    method:
+        A fitted + transformed discovery method whose ``assign`` /
+        ``slice_names`` define the discovered slices.
+    base_names:
+        The original slice names to draw candidates from.
+    n_features:
+        Feature width, for empty deliveries.
+    batch_size:
+        Minimum candidate batch drawn per base slice per round.
+    max_rounds:
+        Maximum sweeps over the base slices per order.
+    """
+
+    def __init__(
+        self,
+        base: DataSource,
+        method,
+        base_names: list[str],
+        n_features: int,
+        batch_size: int = 32,
+        max_rounds: int = 12,
+    ) -> None:
+        if not base_names:
+            raise AcquisitionError("DiscoverySource needs at least one base slice")
+        self.base = base
+        self.method = method
+        self.base_names = list(base_names)
+        self._n_features = int(n_features)
+        self._batch_size = int(batch_size)
+        self._max_rounds = int(max_rounds)
+        self.total_delivered = 0
+
+    def _target_index(self, slice_name: str) -> int:
+        try:
+            return self.method.slice_names.index(slice_name)
+        except ValueError:
+            raise AcquisitionError(
+                f"no discovered slice named {slice_name!r}; "
+                f"known: {self.method.slice_names}"
+            ) from None
+
+    def acquire(self, slice_name: str, count: int) -> Dataset:
+        """Rejection-sample up to ``count`` rows of the discovered slice."""
+        count = int(count)
+        if count < 0:
+            raise AcquisitionError(f"cannot acquire a negative count ({count})")
+        target = self._target_index(slice_name)
+        if count == 0:
+            return Dataset.empty(self._n_features)
+        kept: list[Dataset] = []
+        delivered = 0
+        draw = max(self._batch_size, count)
+        for _ in range(self._max_rounds):
+            for base_name in self.base_names:
+                batch = self.base.acquire(base_name, draw)
+                if len(batch) == 0:
+                    continue
+                mask = (
+                    np.asarray(self.method.assign(batch.features)) == target
+                )
+                if mask.any():
+                    matched = batch.subset(np.nonzero(mask)[0])
+                    kept.append(matched)
+                    delivered += len(matched)
+            if delivered >= count:
+                break
+        if not kept:
+            return Dataset.empty(self._n_features)
+        merged = Dataset.concatenate(kept)
+        taken = merged.take(min(count, len(merged)))
+        self.total_delivered += len(taken)
+        return taken
+
+    def available(self, slice_name: str) -> None:
+        """Unknown ahead of time: rejection sampling has no fixed reserve."""
+        self._target_index(slice_name)  # validates the name
+        return None

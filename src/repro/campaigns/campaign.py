@@ -90,6 +90,15 @@ class CampaignSpec:
         When True, the model is trained and evaluated before and after
         acquisition and the reports attached to the result (both survive
         crash/resume).
+    discover / reslice_every:
+        Dynamic-slices mode: a registered slice discovery method (see
+        :mod:`repro.slices.discovery`) re-run every ``reslice_every``
+        iterations, re-partitioning the data mid-campaign.  Each re-slice
+        is persisted as a durable ``reslice`` event whose payload carries
+        the content-fingerprinted boundaries, so replay and crash-resume
+        stay byte-identical.  ``discover=None`` defers to the scenario's
+        own defaults (e.g. ``dynamic_slices``); both fields are part of
+        the fingerprint.
     priority:
         Scheduling lane for :class:`~repro.campaigns.scheduler.
         CampaignScheduler` — higher runs first.  Not part of the
@@ -117,6 +126,8 @@ class CampaignSpec:
     acquisition_rounds: int = 1
     max_iterations: int = 30
     evaluate: bool = False
+    discover: str | None = None
+    reslice_every: int = 0
     priority: int = 0
     checkpoint_every: int = 1
 
@@ -136,6 +147,26 @@ class CampaignSpec:
         if self.checkpoint_every < 1:
             raise ConfigurationError(
                 f"checkpoint_every must be >= 1, got {self.checkpoint_every}"
+            )
+        if self.discover is not None:
+            from repro.slices.discovery import (
+                available_discovery_methods,
+                is_discovery_method,
+            )
+
+            if not is_discovery_method(self.discover):
+                raise ConfigurationError(
+                    f"unknown discovery method {self.discover!r}; registered: "
+                    f"{', '.join(available_discovery_methods())}"
+                )
+            if self.reslice_every < 1:
+                raise ConfigurationError(
+                    "discover requires reslice_every >= 1, "
+                    f"got {self.reslice_every}"
+                )
+        elif self.reslice_every != 0:
+            raise ConfigurationError(
+                "reslice_every requires a discover method to be set"
             )
 
     def fingerprint(self) -> str:
@@ -183,6 +214,7 @@ def build_campaign_tuner(
     from repro.core.tuner import SliceTuner, SliceTunerConfig
     from repro.experiments.config import ExperimentConfig
     from repro.experiments.runner import prepare_named_instance
+    from repro.experiments.scenarios import build_scenario
 
     extra: dict[str, Any] = {"base_size": spec.base_size}
     if spec.source is not None:
@@ -203,6 +235,14 @@ def build_campaign_tuner(
         extra=extra,
     )
     sliced, sources = prepare_named_instance(config, seed=spec.seed)
+    # Dynamic-slices knobs: an explicit spec wins; otherwise the scenario's
+    # own defaults apply (the dynamic_slices/drifting_slices scenarios carry
+    # a discovery method and cadence of their own).
+    scenario = build_scenario(spec.scenario)
+    if spec.discover is not None:
+        discover, reslice_every = spec.discover, spec.reslice_every
+    else:
+        discover, reslice_every = scenario.discover, scenario.reslice_every
     return SliceTuner(
         sliced,
         sources=sources,
@@ -213,6 +253,8 @@ def build_campaign_tuner(
             min_slice_size=spec.min_slice_size,
             max_iterations=spec.max_iterations,
             acquisition_rounds=spec.acquisition_rounds,
+            discover=discover,
+            reslice_every=reslice_every,
         ),
         random_state=spec.seed + 20_000,
         executor=executor,
@@ -234,6 +276,7 @@ class CampaignProgress:
     acquired: dict[str, int] = field(default_factory=dict)
     fulfillments: int = 0
     generations: int = 0
+    slice_generation: int = 0
 
     @property
     def spent_fraction(self) -> float:
@@ -255,10 +298,10 @@ def campaign_progress(store: CampaignStore, campaign_id: str) -> CampaignProgres
     # Generations start at 0 and increment by one per resume, so the count
     # is the latest generation + 1 — no need to scan the log for it.
     progress.generations = store.latest_generation(campaign_id) + 1
-    # Only iteration/fulfillment events are needed; skipping the rest keeps
-    # progress summaries cheap on stores whose ``completed`` events embed
-    # full results.
-    events = store.events(campaign_id, kinds=("iteration", "fulfillment"))
+    # Only iteration/fulfillment/reslice events are needed; skipping the
+    # rest keeps progress summaries cheap on stores whose ``completed``
+    # events embed full results.
+    events = store.events(campaign_id, kinds=("iteration", "fulfillment", "reslice"))
     for event in replay_events(events):
         if event.kind == "iteration":
             progress.iterations += 1
@@ -267,6 +310,11 @@ def campaign_progress(store: CampaignStore, campaign_id: str) -> CampaignProgres
                 progress.acquired[name] = progress.acquired.get(name, 0) + int(count)
         elif event.kind == "fulfillment":
             progress.fulfillments += 1
+        elif event.kind == "reslice":
+            progress.slice_generation = max(
+                progress.slice_generation,
+                int(event.payload.get("slice_generation", 0)),
+            )
     return progress
 
 
@@ -290,6 +338,7 @@ def campaign_summary(store: CampaignStore, campaign_id: str) -> dict[str, Any]:
         "acquired": dict(progress.acquired),
         "generations": progress.generations,
         "fulfillments": progress.fulfillments,
+        "slice_generation": progress.slice_generation,
     }
 
 
@@ -432,6 +481,13 @@ class Campaign:
         """Fraction of the budget spent (1.0 when the budget is zero)."""
         return self.spent / self.spec.budget if self.spec.budget > 0 else 1.0
 
+    @property
+    def slice_generation(self) -> int:
+        """Current slice generation of the live session (0 before discovery)."""
+        if self.session is not None:
+            return self.session.slice_generation
+        return 0
+
     def result(self) -> TuningResult:
         """The final result; raises until the campaign completed."""
         if self._result is None:
@@ -567,6 +623,7 @@ class Campaign:
         )
         self.session = self.tuner.session()
         self.session.add_hook("fulfillment", self._persist_fulfillment)
+        self.session.add_hook("reslice", self._persist_reslice)
         snapshot = self.store.latest_snapshot(self.campaign_id)
         if snapshot is not None:
             bundle = pickle.loads(snapshot.payload)
@@ -605,6 +662,20 @@ class Campaign:
             iteration=_iteration_of(summary),
             kind="fulfillment",
             payload=summary,
+        )
+
+    def _persist_reslice(self, event) -> None:
+        self.store.append_event(
+            self.campaign_id,
+            generation=self.generation,
+            iteration=int(event.iteration),
+            kind="reslice",
+            payload={
+                "slice_generation": int(event.slice_generation),
+                "method": event.method,
+                "fingerprint": event.fingerprint,
+                "slice_names": list(event.slice_names),
+            },
         )
 
     def _enter_paused(self) -> None:

@@ -62,6 +62,9 @@ class SchedulerTick:
         The campaign's budget position after the step.
     done:
         True on the tick that completed the campaign.
+    slice_generation:
+        The campaign's current slice generation (0 until a dynamic
+        campaign's first re-slice lands).
     """
 
     campaign_id: str
@@ -71,6 +74,7 @@ class SchedulerTick:
     spent: float
     budget: float
     done: bool
+    slice_generation: int = 0
 
 
 #: Signature of a scheduler progress callback.
@@ -373,6 +377,7 @@ class CampaignScheduler:
             spent=campaign.spent,
             budget=campaign.spec.budget,
             done=done,
+            slice_generation=campaign.slice_generation,
         )
         for callback in self._callbacks:
             callback(tick)

@@ -1,15 +1,20 @@
 """Command-line interface for the Slice Tuner reproduction.
 
-Nine subcommands cover the common workflows without writing any Python:
+Ten subcommands cover the common workflows without writing any Python:
 
 * ``curves`` — estimate and print the per-slice learning curves of a dataset.
 * ``plan`` — print the One-shot acquisition plan for a budget (no data is
   acquired), the "concrete action items" of the paper.
+* ``discover`` — run a registered slice-discovery method once over a fresh
+  instance (train a probe model, fit the method, print the discovered
+  partition and its content fingerprint); ``discover --list`` enumerates
+  the registered methods.
 * ``run`` — execute one acquisition strategy end to end against a chosen
   acquisition setup (``--source generator|pool|mixed|flaky|crowdsourcing``)
   and print the per-fulfillment delivery log plus the engine cache
-  statistics; ``run --resume <campaign-id>`` instead continues a stored
-  campaign from its latest snapshot.
+  statistics; ``--discover <method> --reslice-every N`` re-runs slice
+  discovery every N iterations mid-run; ``run --resume <campaign-id>``
+  instead continues a stored campaign from its latest snapshot.
 * ``compare`` — run several acquisition strategies over independently seeded
   trials and print the Table-2/6-style comparison.  ``--methods`` accepts
   any name in the strategy registry, including the ``bandit`` comparator
@@ -39,6 +44,9 @@ a ``schema`` tag (e.g. ``repro.run/1``) that stays stable across releases.
 Examples::
 
     python -m repro.cli strategies
+    python -m repro.cli discover --method kmeans --dataset adult_like
+    python -m repro.cli run --dataset adult_like --scenario exponential \
+        --method conservative --discover kmeans --reslice-every 2
     python -m repro.cli curves --dataset fashion_like --initial-size 150
     python -m repro.cli run --dataset fashion_like --scenario mixed_sources \
         --source mixed --method moderate --budget 800
@@ -96,11 +104,18 @@ from repro.experiments.runner import (
     SOURCE_KINDS,
     campaign_suite,
     compare_methods,
+    discovery_for,
     prepare_instance,
     prepare_named_instance,
 )
 from repro.experiments.scenarios import list_scenarios
 from repro.core.tuner import SliceTuner, SliceTunerConfig
+from repro.slices.discovery import (
+    available_discovery_methods,
+    discovery_method_descriptions,
+    get_discovery_method,
+    is_discovery_method,
+)
 from repro.serve import TunerClient, TunerServer, TunerService
 from repro.utils.exceptions import ConfigurationError, ReproError
 from repro.utils.tables import format_table
@@ -130,6 +145,17 @@ def _registered_method(name: str) -> str:
         raise argparse.ArgumentTypeError(
             f"unknown strategy {name!r}; run `python -m repro.cli strategies` "
             f"to list registered strategies ({', '.join(available_strategies())})"
+        )
+    return name.strip().lower()
+
+
+def _registered_discovery(name: str) -> str:
+    """argparse type for ``--discover``: any registered discovery method."""
+    if not is_discovery_method(name):
+        raise argparse.ArgumentTypeError(
+            f"unknown discovery method {name!r}; run `python -m repro.cli "
+            f"discover --list` to enumerate them "
+            f"({', '.join(available_discovery_methods())})"
         )
     return name.strip().lower()
 
@@ -178,8 +204,45 @@ def build_parser() -> argparse.ArgumentParser:
         sub.add_argument("--seed", type=int, default=0, help="base random seed")
         add_quiet(sub)
 
+    def add_discovery(sub: argparse.ArgumentParser) -> None:
+        sub.add_argument(
+            "--discover",
+            default=None,
+            type=_registered_discovery,
+            metavar="METHOD",
+            help="re-run this registered slice-discovery method mid-run and "
+            "swap onto the discovered slices (see the discover subcommand)",
+        )
+        sub.add_argument(
+            "--reslice-every",
+            type=int,
+            default=2,
+            help="iteration cadence for re-running discovery "
+            "(only with --discover; default: 2)",
+        )
+
     curves = subparsers.add_parser("curves", help="estimate per-slice learning curves")
     add_common(curves)
+
+    discover = subparsers.add_parser(
+        "discover",
+        help="run a slice-discovery method once and print the partition",
+    )
+    add_common(discover)
+    discover.add_argument(
+        "--method",
+        default="kmeans",
+        type=_registered_discovery,
+        metavar="METHOD",
+        help="registered discovery method to fit (default: kmeans)",
+    )
+    discover.add_argument(
+        "--list",
+        action="store_true",
+        dest="list_methods",
+        help="list the registered discovery methods and exit",
+    )
+    add_json(discover)
 
     plan = subparsers.add_parser("plan", help="print the One-shot acquisition plan for a budget")
     add_common(plan)
@@ -214,6 +277,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="routing rounds per acquisition request (re-ask throttled or "
         "partially-delivering providers up to this many times per batch)",
     )
+    add_discovery(run)
     run.add_argument(
         "--evaluate",
         action="store_true",
@@ -295,6 +359,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="acquisition setup (defaults to the scenario's own source kind)",
     )
     c_start.add_argument("--method", default="moderate", type=_registered_method, metavar="STRATEGY")
+    add_discovery(c_start)
     c_start.add_argument("--budget", type=float, default=500.0)
     c_start.add_argument("--lam", type=float, default=1.0)
     c_start.add_argument("--seed", type=int, default=0)
@@ -412,6 +477,7 @@ def build_parser() -> argparse.ArgumentParser:
     r_submit.add_argument(
         "--method", default="moderate", type=_registered_method, metavar="STRATEGY"
     )
+    add_discovery(r_submit)
     r_submit.add_argument("--budget", type=float, default=500.0)
     r_submit.add_argument("--lam", type=float, default=1.0)
     r_submit.add_argument("--seed", type=int, default=0)
@@ -563,11 +629,96 @@ def run_plan(args: argparse.Namespace) -> str:
     return plan.to_text()
 
 
+def run_discover(args: argparse.Namespace) -> str:
+    """The ``discover`` subcommand: fit one discovery method, print the partition."""
+    if args.list_methods:
+        descriptions = discovery_method_descriptions()
+        if args.quiet:
+            return "\n".join(available_discovery_methods())
+        return format_table(
+            headers=["method", "description"],
+            rows=[[name, descriptions[name]] for name in available_discovery_methods()],
+            title="Registered slice-discovery methods",
+        )
+
+    from repro.curves.estimator import default_model_factory
+    from repro.engine.factories import describe_factory
+    from repro.engine.job import TrainingJob, stable_seed
+
+    config = _experiment_config(args, methods=("moderate",), budget=1.0, lam=1.0, trials=1)
+    sliced, _ = prepare_named_instance(config, seed=args.seed)
+    pool = sliced.combined_train()
+    job = TrainingJob(
+        train=pool,
+        n_classes=sliced.n_classes,
+        seed=stable_seed("slice-discovery-model", 1),
+        trainer_config=config.training_config(),
+        model_factory=default_model_factory,
+        factory_name=describe_factory(default_model_factory),
+        tag=("discover", 1),
+    )
+    model = SerialExecutor(cache=InMemoryResultCache()).submit([job])[0].model
+    method = get_discovery_method(
+        args.method, seed=stable_seed("slice-discovery", args.method, 1)
+    )
+    method.fit(model, pool)
+    discovered = method.transform(sliced)
+
+    if args.json_output:
+        return _json_output(
+            "repro.discover/1",
+            {
+                "config": {
+                    "dataset": args.dataset,
+                    "scenario": args.scenario,
+                    "method": args.method,
+                    "seed": args.seed,
+                },
+                "fingerprint": method.fingerprint(),
+                "slices": [
+                    {
+                        "name": name,
+                        "train": len(discovered[name].train),
+                        "validation": len(discovered[name].validation),
+                        "cost": discovered[name].cost,
+                    }
+                    for name in discovered.names
+                ],
+            },
+        )
+    if args.quiet:
+        return "\n".join(
+            f"{name} {len(discovered[name].train)}" for name in discovered.names
+        ) + f"\nfingerprint {method.fingerprint()}"
+    rows = [
+        [
+            name,
+            len(discovered[name].train),
+            len(discovered[name].validation),
+            f"{discovered[name].cost:.2f}",
+        ]
+        for name in discovered.names
+    ]
+    output = format_table(
+        headers=["slice", "train", "validation", "cost"],
+        rows=rows,
+        title=(
+            f"Discovered partition — {args.method} on {args.dataset} "
+            f"({args.scenario} scenario, {len(discovered.names)} slices)"
+        ),
+    )
+    output += f"\n\nfingerprint: {method.fingerprint()}"
+    return output
+
+
 def run_run(args: argparse.Namespace) -> str:
     """The ``run`` subcommand: one strategy end to end + the fulfillment log."""
     if args.resume is not None:
         return _resume_campaigns(args, [args.resume])
     extra = {} if args.source is None else {"source": args.source}
+    if args.discover is not None:
+        extra["discover"] = args.discover
+        extra["reslice_every"] = args.reslice_every
     config = _experiment_config(
         args,
         methods=(args.method,),
@@ -576,12 +727,19 @@ def run_run(args: argparse.Namespace) -> str:
         trials=1,
         extra=extra,
     )
+    # Scenario defaults (e.g. dynamic_slices) apply unless --discover is given.
+    discover, reslice_every = discovery_for(config)
     sliced, sources = prepare_named_instance(config, seed=args.seed)
     tuner = SliceTuner(
         sliced,
         trainer_config=config.training_config(),
         curve_config=config.curve_config(),
-        config=SliceTunerConfig(lam=args.lam, acquisition_rounds=args.rounds),
+        config=SliceTunerConfig(
+            lam=args.lam,
+            acquisition_rounds=args.rounds,
+            discover=discover,
+            reslice_every=reslice_every if discover is not None else 0,
+        ),
         random_state=args.seed + 1,
         sources=sources,
         result_cache=InMemoryResultCache(),
@@ -589,6 +747,8 @@ def run_run(args: argparse.Namespace) -> str:
     session = tuner.session()
     fulfillments = []
     session.add_hook("fulfillment", lambda f: fulfillments.append(f))
+    reslices = []
+    session.add_hook("reslice", lambda e: reslices.append(e))
     if args.evaluate:
         result = session.run(args.budget, strategy=args.method, lam=args.lam)
     else:
@@ -609,9 +769,21 @@ def run_run(args: argparse.Namespace) -> str:
                     "lam": args.lam,
                     "seed": args.seed,
                     "rounds": args.rounds,
+                    "discover": discover,
+                    "reslice_every": reslice_every if discover is not None else 0,
                 },
                 "result": result.to_dict(),
                 "fulfillments": [f.summary() for f in fulfillments],
+                "reslices": [
+                    {
+                        "iteration": e.iteration,
+                        "slice_generation": e.slice_generation,
+                        "method": e.method,
+                        "fingerprint": e.fingerprint,
+                        "slice_names": list(e.slice_names),
+                    }
+                    for e in reslices
+                ],
                 "cache": {
                     name: {
                         "requests": stats.requests,
@@ -652,6 +824,13 @@ def run_run(args: argparse.Namespace) -> str:
             f"({len(fulfillments)} fulfillments)"
         ),
     )
+    if reslices:
+        output += "\n\n" + "\n".join(
+            f"reslice @ iteration {e.iteration}: generation "
+            f"{e.slice_generation} ({e.method}) -> "
+            f"{', '.join(e.slice_names)} [{e.fingerprint[:12]}]"
+            for e in reslices
+        )
     output += "\n\n" + result.acquisitions_table()
     output += "\n\n" + cache_stats_table(
         engine_cache_stats(tuner),
@@ -807,6 +986,8 @@ def run_campaign_start(args: argparse.Namespace) -> str:
             priority=args.priority,
             checkpoint_every=args.checkpoint_every,
             evaluate=args.evaluate,
+            discover=args.discover,
+            reslice_every=args.reslice_every if args.discover is not None else 0,
         )
         campaign = Campaign.start(store, spec, result_cache=InMemoryResultCache())
         if campaign.reused and campaign.is_done:
@@ -1089,6 +1270,8 @@ def _remote_submit_spec(args: argparse.Namespace) -> dict:
         "priority": args.priority,
         "checkpoint_every": args.checkpoint_every,
         "evaluate": args.evaluate,
+        "discover": args.discover,
+        "reslice_every": args.reslice_every if args.discover is not None else 0,
     }
 
 
@@ -1305,6 +1488,7 @@ def run_sources(args: argparse.Namespace) -> str:
 _COMMANDS = {
     "curves": run_curves,
     "plan": run_plan,
+    "discover": run_discover,
     "run": run_run,
     "compare": run_compare,
     "campaign": run_campaign,

@@ -54,12 +54,15 @@ to the most recently started run.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from dataclasses import field as dataclasses_field
 from typing import TYPE_CHECKING, Any, Callable, Iterable, Iterator, Mapping, Union
 
 from repro.acquisition.budget import BudgetLedger
+from repro.acquisition.cost import TableCost
 from repro.acquisition.requests import SKIPPED, Fulfillment
 from repro.acquisition.router import AcquisitionRouter
 from repro.acquisition.service import AcquisitionService
+from repro.acquisition.source import DiscoverySource
 from repro.core.plan import AcquisitionPlan, IterationRecord, TuningResult
 from repro.core.registry import get_strategy
 from repro.core.strategy_api import (
@@ -67,6 +70,9 @@ from repro.core.strategy_api import (
     TunerState,
     top_up_minimum_sizes,
 )
+from repro.engine.factories import describe_factory
+from repro.engine.job import TrainingJob, stable_seed
+from repro.slices.discovery import get_discovery_method
 from repro.utils.exceptions import ConfigurationError
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -111,8 +117,44 @@ class IterationEvent:
     kind: str = "iteration"
 
 
+@dataclass(frozen=True)
+class ResliceEvent:
+    """One dynamic re-slice: discovery re-ran and re-partitioned the data.
+
+    Emitted by sessions running with ``SliceTunerConfig.discover`` set,
+    after the boundary iteration's record and before the next iteration's
+    proposals.  The boundaries are content-fingerprinted (see
+    :meth:`~repro.slices.discovery.SliceDiscoveryMethod.fingerprint`), so a
+    crash-resumed run that re-discovers the same partition emits a
+    byte-identical event — the property the campaign store's
+    ``replay_events`` relies on.
+
+    Attributes
+    ----------
+    iteration:
+        The completed iteration after which discovery re-ran.
+    slice_generation:
+        1-based generation counter of the slice partition (0 = the initial,
+        static slices).
+    method:
+        Registry name of the discovery method.
+    fingerprint:
+        Content hash of the discovered boundaries.
+    slice_names:
+        Names of the discovered slices, in assignment order.
+    """
+
+    iteration: int
+    slice_generation: int
+    method: str
+    fingerprint: str
+    slice_names: tuple[str, ...]
+
+    kind: str = "reslice"
+
+
 #: Everything :meth:`TunerSession.stream_events` can yield.
-SessionEvent = Union[FulfillmentEvent, IterationEvent]
+SessionEvent = Union[FulfillmentEvent, IterationEvent, ResliceEvent]
 
 
 @dataclass
@@ -124,6 +166,9 @@ class _RunContext:
     result: TuningResult
     lam: float
     iteration: int = 0
+    slice_generation: int = 0
+    last_reslice_iteration: int = -1
+    reslice_log: list[ResliceEvent] = dataclasses_field(default_factory=list)
 
 
 class TunerSession:
@@ -152,6 +197,7 @@ class TunerSession:
             "acquire": [on_acquire] if on_acquire else [],
             "evaluate": [on_evaluate] if on_evaluate else [],
             "fulfillment": [on_fulfillment] if on_fulfillment else [],
+            "reslice": [],
         }
         self._early_stops: list[EarlyStop] = []
         #: The most recently started run (stream()/load_state_dict()).
@@ -159,7 +205,7 @@ class TunerSession:
 
     # -- hooks and early stops ---------------------------------------------------
     def add_hook(self, event: str, hook: Callable) -> "TunerSession":
-        """Register a hook; ``event`` is ``fulfillment``, ``acquire``, ``iteration``, or ``evaluate``.
+        """Register a hook; ``event`` is ``fulfillment``, ``acquire``, ``iteration``, ``evaluate``, or ``reslice``.
 
         ``fulfillment`` hooks fire with every
         :class:`~repro.acquisition.requests.Fulfillment` the moment the
@@ -168,7 +214,9 @@ class TunerSession:
         batch lands in the dataset; ``iteration`` hooks fire once the
         strategy has digested the batch; ``evaluate`` hooks fire as
         ``(stage, report)`` around the before/after evaluations of
-        :meth:`run`.  Returns ``self`` so calls chain.
+        :meth:`run`; ``reslice`` hooks fire with a :class:`ResliceEvent`
+        every time dynamic discovery re-partitions the data.  Returns
+        ``self`` so calls chain.
         """
         if event not in self._hooks:
             raise ConfigurationError(
@@ -252,8 +300,13 @@ class TunerSession:
         run = self._run
         assert run is not None and run.state.service is not None
         fulfillments = run.state.service.fulfillments
+        reslices = run.reslice_log
         seen = 0
+        seen_reslices = 0
         for record in records:
+            for reslice in reslices[seen_reslices:]:
+                yield reslice
+            seen_reslices = len(reslices)
             for fulfillment in fulfillments[seen:]:
                 yield FulfillmentEvent(
                     iteration=record.iteration, fulfillment=fulfillment
@@ -322,6 +375,8 @@ class TunerSession:
             "budget": run.state.ledger.total,
             "spent": run.state.ledger.spent,
             "iteration": run.iteration,
+            "slice_generation": run.slice_generation,
+            "last_reslice_iteration": run.last_reslice_iteration,
             "result": run.result.to_dict(),
         }
 
@@ -359,6 +414,8 @@ class TunerSession:
             result=result,
             lam=float(state["lam"]),
             iteration=int(state["iteration"]),
+            slice_generation=int(state.get("slice_generation", 0)),
+            last_reslice_iteration=int(state.get("last_reslice_iteration", -1)),
         )
         run.state.iteration = run.iteration
         run.state.records = result.iterations
@@ -456,6 +513,13 @@ class TunerSession:
                     break
                 if state.ledger.remaining < state.cheapest_cost():
                     break
+            if (
+                tuner.config.reslice_every > 0
+                and run.iteration > 0
+                and run.iteration % tuner.config.reslice_every == 0
+                and run.last_reslice_iteration != run.iteration
+            ):
+                self._reslice(run)
             plan = strategy.propose(state, state.ledger.remaining, run.lam)
             if plan is None:
                 break
@@ -475,6 +539,91 @@ class TunerSession:
             if stop or not keep_going or not strategy.is_iterative:
                 break
         result.spent = state.ledger.spent
+
+    def _reslice(self, run: _RunContext) -> None:
+        """Re-run slice discovery and swap the run onto the new partition.
+
+        Deterministic by construction: the discovery seed and the training
+        seed of the probe model derive from the slice generation through
+        :func:`~repro.engine.job.stable_seed` (never from the shared RNG
+        stream), so a crash-resumed run that replays this boundary
+        re-discovers byte-identical slices.  After the swap the strategy is
+        re-initialized via ``begin`` — its per-slice state keys by the old
+        names — and a :class:`ResliceEvent` fires on the ``reslice`` hooks.
+        """
+        tuner = self.tuner
+        generation = run.slice_generation + 1
+        method = get_discovery_method(
+            tuner.config.discover,
+            seed=stable_seed("slice-discovery", tuner.config.discover, generation),
+        )
+        pool = tuner.sliced.combined_train()
+        job = TrainingJob(
+            train=pool,
+            n_classes=tuner.sliced.n_classes,
+            seed=stable_seed("slice-discovery-model", generation),
+            trainer_config=tuner.trainer_config,
+            model_factory=tuner.model_factory,
+            factory_name=describe_factory(tuner.model_factory),
+            tag=("discover", generation),
+        )
+        model = tuner.executor.submit([job])[0].model
+        method.fit(model, pool)
+
+        # Base providers understand the *original* slice names; unwrap a
+        # previous generation's adapter rather than nesting adapters.
+        base_source = tuner.source
+        if isinstance(base_source, DiscoverySource):
+            base_names = list(base_source.base_names)
+            base_source = base_source.base
+        else:
+            base_names = tuner.sliced.names
+
+        new_sliced = method.transform(tuner.sliced)
+        discovery_source = DiscoverySource(
+            base=base_source,
+            method=method,
+            base_names=base_names,
+            n_features=new_sliced.n_features,
+        )
+        tuner.sliced = new_sliced
+        tuner.sources = {"discovered": discovery_source}
+        tuner.provider_order = ("discovered",)
+        tuner.source = discovery_source
+        tuner.cost_model = TableCost(
+            {name: new_sliced[name].cost for name in new_sliced.names}
+        )
+
+        state = run.state
+        state.sliced = new_sliced
+        state.source = discovery_source
+        state.cost_model = tuner.cost_model
+        if state.service is not None:
+            state.service.router = AcquisitionRouter(
+                tuner.sources, default=tuner.provider_order
+            )
+            state.service.cost_model = tuner.cost_model
+            state.service.sliced = new_sliced
+        for name in new_sliced.names:
+            run.result.total_acquired.setdefault(name, 0)
+        run.strategy.begin(state)
+
+        run.slice_generation = generation
+        run.last_reslice_iteration = run.iteration
+        event = ResliceEvent(
+            iteration=run.iteration,
+            slice_generation=generation,
+            method=method.name,
+            fingerprint=method.fingerprint(),
+            slice_names=tuple(new_sliced.names),
+        )
+        run.reslice_log.append(event)
+        self._fire("reslice", event)
+
+    @property
+    def slice_generation(self) -> int:
+        """Current slice-partition generation (0 until the first re-slice)."""
+        return self._run.slice_generation if self._run is not None else 0
 
     def _acquire_plan(
         self, state: TunerState, plan: AcquisitionPlan, iteration: int

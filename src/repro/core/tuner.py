@@ -88,6 +88,15 @@ class SliceTunerConfig:
         curves at unchanged cost).  Off by default: it trades curve
         freshness for fewer trainings under the exhaustive protocol, which
         also changes the Table 8 training counts.
+    discover:
+        Name of a registered slice discovery method (see
+        :mod:`repro.slices.discovery`).  When set, the session re-runs
+        discovery every ``reslice_every`` iterations as acquired data
+        shifts the error surface, re-partitioning the sliced dataset and
+        re-initializing the strategy (*dynamic slices* mode).
+    reslice_every:
+        Re-discovery cadence in iterations; required (>= 1) when
+        ``discover`` is set, and only meaningful with it.
     """
 
     lam: float = 1.0
@@ -96,8 +105,26 @@ class SliceTunerConfig:
     evaluation_trials: int = 1
     acquisition_rounds: int = 1
     incremental_curves: bool = False
+    discover: str | None = None
+    reslice_every: int = 0
 
     def __post_init__(self) -> None:
+        if self.discover is not None:
+            from repro.slices.discovery import is_discovery_method
+
+            if not is_discovery_method(self.discover):
+                raise ConfigurationError(
+                    f"unknown discovery method {self.discover!r}"
+                )
+            if self.reslice_every < 1:
+                raise ConfigurationError(
+                    "discover requires reslice_every >= 1, "
+                    f"got {self.reslice_every}"
+                )
+        elif self.reslice_every != 0:
+            raise ConfigurationError(
+                "reslice_every requires a discover method to be set"
+            )
         if self.lam < 0:
             raise ConfigurationError(f"lam must be >= 0, got {self.lam}")
         if self.min_slice_size < 0:

@@ -185,6 +185,22 @@ def _source_kind_for(config: ExperimentConfig) -> str:
     return str(config.extra.get("source", scenario.source_kind))
 
 
+def discovery_for(config: ExperimentConfig) -> tuple[str | None, int]:
+    """The (discover, reslice_every) pair in force for an experiment.
+
+    ``extra["discover"]`` / ``extra["reslice_every"]`` override the
+    scenario's defaults, mirroring how ``extra["source"]`` overrides
+    ``scenario.source_kind``.
+    """
+    scenario = build_scenario(config.scenario)
+    discover = config.extra.get("discover", scenario.discover)
+    if discover is not None:
+        discover = str(discover)
+    default_every = scenario.reslice_every if discover == scenario.discover else 2
+    reslice_every = int(config.extra.get("reslice_every", default_every))
+    return discover, reslice_every
+
+
 def prepare_named_instance(
     config: ExperimentConfig, seed: int
 ) -> tuple[SlicedDataset, dict[str, DataSource]]:
@@ -228,6 +244,7 @@ def run_method(
     """Run one method for one trial and measure loss/unfairness before/after."""
     seed = config.seed + trial
     sliced, sources = prepare_named_instance(config, seed)
+    discover, reslice_every = discovery_for(config)
     tuner = SliceTuner(
         sliced=sliced,
         model_factory=_model_factory_for(config),
@@ -237,6 +254,8 @@ def run_method(
             lam=config.lam,
             min_slice_size=config.min_slice_size,
             acquisition_rounds=int(config.extra.get("acquisition_rounds", 1)),
+            discover=discover,
+            reslice_every=reslice_every if discover is not None else 0,
         ),
         random_state=seed + 20_000,
         sources=sources,

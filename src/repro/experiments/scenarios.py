@@ -24,6 +24,16 @@ multi-source router instead:
 * ``flaky_source`` — a :class:`~repro.acquisition.providers.ThrottledSource`
   capping every request, so each batch comes back partially fulfilled and
   the router must retry across rounds.
+
+Finally, the *dynamic* scenarios exercise slice discovery: they carry a
+``discover`` method name and a ``reslice_every`` cadence, so the tuner
+re-runs discovery mid-run and swaps to the discovered slices (see
+:mod:`repro.slices.discovery`):
+
+* ``dynamic_slices`` — exponential initial sizes with periodic error
+  k-means re-slicing.
+* ``drifting_slices`` — skewed initial sizes with periodic error-stump
+  re-slicing, modelling boundaries that drift as data accumulates.
 """
 
 from __future__ import annotations
@@ -51,12 +61,20 @@ class Scenario:
         Which acquisition setup the experiment runner builds for the
         scenario (see :func:`repro.experiments.runner.build_sources`);
         ``"generator"`` reproduces the paper's unlimited simulator.
+    discover:
+        Name of a registered slice-discovery method the tuner should
+        re-run mid-campaign (``None`` keeps the task's static slices).
+    reslice_every:
+        Iteration cadence for re-running discovery (0 disables it; must
+        be >= 1 when ``discover`` is set).
     """
 
     name: str
     description: str
     sizer: Callable[[SyntheticTask, int], dict[str, int]]
     source_kind: str = "generator"
+    discover: str | None = None
+    reslice_every: int = 0
 
     def initial_sizes(self, task: SyntheticTask, base_size: int) -> dict[str, int]:
         """Initial sizes for ``task`` with the scenario's rule."""
@@ -170,6 +188,26 @@ _SCENARIOS: dict[str, Scenario] = {
         ),
         sizer=_equal_sizes,
         source_kind="flaky",
+    ),
+    "dynamic_slices": Scenario(
+        name="dynamic_slices",
+        description=(
+            "exponential initial sizes with periodic error k-means "
+            "re-slicing (slice boundaries discovered from the model)"
+        ),
+        sizer=_exponential,
+        discover="kmeans",
+        reslice_every=2,
+    ),
+    "drifting_slices": Scenario(
+        name="drifting_slices",
+        description=(
+            "skewed initial sizes with periodic error-stump re-slicing "
+            "(boundaries drift as acquired data accumulates)"
+        ),
+        sizer=_bad_for_water_filling,
+        discover="stump",
+        reslice_every=2,
     ),
 }
 

@@ -302,6 +302,7 @@ class TunerService:
                     "spent": tick.spent,
                     "budget": tick.budget,
                     "done": tick.done,
+                    "slice_generation": tick.slice_generation,
                 },
             )
             self._activity.notify_all()

@@ -14,7 +14,11 @@ and the stream resumes right after that event — the catch-up portion is
 served generation-collapsed (via
 :func:`~repro.campaigns.store.replay_events`), so the concatenation of what
 a client saw before and after any number of disconnects equals a single
-replay of the finished log.
+replay of the finished log.  Durable ``reslice`` events from dynamic
+campaigns (see :mod:`repro.slices.discovery`) flow through this same
+kind-based framing — the SSE ``event:`` field is the stored kind, so
+clients subscribe to re-slice boundaries with no extra plumbing, and
+``tick`` frames carry the campaign's current ``slice_generation``.
 
 Two unpersisted frame kinds are interleaved and carry **no id** (they never
 advance the cursor): ``tick`` frames mirror live

@@ -1,0 +1,128 @@
+"""The Appendix-A :class:`~repro.slices.auto_slicer.AutoSlicer` as a
+discovery method (``"auto"``).
+
+This adapter ports the legacy entropy-driven slicer onto the
+:class:`~repro.slices.discovery.SliceDiscoveryMethod` protocol without
+changing its behaviour: it drives the *same* ``AutoSlicer`` (same
+``_best_split`` search, same frontier policy, same leaf names), so
+``--discover auto`` and the legacy ``AutoSlicer.slice`` path share one code
+path and produce identical partitions.  On top of the legacy slicer it
+keeps the split tree with exact (unrounded) thresholds, which is what lets
+:meth:`assign` route *future* rows — acquired examples — into the
+discovered slices.
+
+The method is label-entropy driven and ignores the model entirely
+(``fit(model=None, dataset)`` is fine), matching the appendix.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.ml.data import Dataset
+from repro.slices.auto_slicer import AutoSlicer, label_entropy
+from repro.slices.discovery import SliceDiscoveryMethod, register_discovery_method
+from repro.utils.exceptions import ConfigurationError
+
+
+@dataclass
+class _Node:
+    name: str
+    feature: int = -1
+    threshold: float = 0.0
+    left: "_Node | None" = None
+    right: "_Node | None" = None
+    region: int = -1
+
+    @property
+    def is_leaf(self) -> bool:
+        return self.left is None
+
+
+@register_discovery_method(
+    "auto",
+    aliases=("auto_slicer", "entropy"),
+    description="Appendix-A entropy-driven AutoSlicer on the discovery protocol",
+)
+class AutoSliceDiscovery(SliceDiscoveryMethod):
+    """Label-entropy recursive slicing (Appendix A), discovery-protocol form."""
+
+    @dataclass(frozen=True)
+    class Config:
+        max_depth: int = 3
+        min_slice_size: int = 20
+        entropy_threshold: float = 0.3
+        n_thresholds: int = 8
+        seed: int = 0
+
+    def fit(self, model, dataset: Dataset, predictions=None):
+        if len(dataset) == 0:
+            raise ConfigurationError("cannot discover slices on an empty dataset")
+        slicer = AutoSlicer(
+            max_depth=self.config.max_depth,
+            min_slice_size=self.config.min_slice_size,
+            entropy_threshold=self.config.entropy_threshold,
+            n_thresholds=self.config.n_thresholds,
+        )
+        # Mirror AutoSlicer.slice exactly (same frontier policy, same split
+        # search via slicer._best_split, same names) while also recording
+        # the split tree with exact thresholds for assign().
+        root = _Node(name="root")
+        frontier: list[tuple[_Node, Dataset, int]] = [(root, dataset, 0)]
+        leaves: list[_Node] = []
+        while frontier:
+            node, node_dataset, depth = frontier.pop()
+            should_split = (
+                depth < slicer.max_depth
+                and label_entropy(node_dataset) > slicer.entropy_threshold
+                and len(node_dataset) >= 2 * slicer.min_slice_size
+            )
+            split = slicer._best_split(node_dataset) if should_split else None
+            if split is None:
+                node.region = len(leaves)
+                leaves.append(node)
+                continue
+            feature, threshold, left_idx, right_idx = split
+            node.feature = feature
+            node.threshold = threshold
+            node.left = _Node(name=f"{node.name}/x{feature}<={threshold:.3f}")
+            node.right = _Node(name=f"{node.name}/x{feature}>{threshold:.3f}")
+            frontier.append((node.left, node_dataset.subset(left_idx), depth + 1))
+            frontier.append((node.right, node_dataset.subset(right_idx), depth + 1))
+        self._root = root
+        self._leaves = leaves
+        return self._mark_fitted()
+
+    def _assign_regions(self, features: np.ndarray) -> np.ndarray:
+        features = np.asarray(features, dtype=np.float64)
+        out = np.zeros(len(features), dtype=np.int64)
+        self._route(self._root, np.arange(len(features)), features, out)
+        return out
+
+    def _route(
+        self, node: _Node, rows: np.ndarray, features: np.ndarray, out: np.ndarray
+    ) -> None:
+        if node.is_leaf:
+            out[rows] = node.region
+            return
+        mask = features[rows, node.feature] <= node.threshold
+        self._route(node.left, rows[mask], features, out)
+        self._route(node.right, rows[~mask], features, out)
+
+    def _region_names(self) -> list[str]:
+        return [leaf.name for leaf in self._leaves]
+
+    def _boundary_payload(self) -> object:
+        def serialize(node: _Node) -> dict:
+            if node.is_leaf:
+                return {"region": node.region, "name": node.name}
+            return {
+                "feature": node.feature,
+                "threshold": node.threshold,
+                "left": serialize(node.left),
+                "right": serialize(node.right),
+            }
+
+        return serialize(self._root)

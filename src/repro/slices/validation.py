@@ -7,7 +7,7 @@ from typing import Mapping, Sequence
 import numpy as np
 
 from repro.ml.data import Dataset
-from repro.utils.exceptions import SlicingError
+from repro.utils.exceptions import ConfigurationError, SlicingError
 
 
 def check_partition(
@@ -32,6 +32,49 @@ def check_partition(
     if not np.array_equal(combined_counts, dataset.class_counts(n_classes)):
         raise SlicingError(
             "per-class example counts of the slices do not match the dataset"
+        )
+
+
+def check_discovered_partition(
+    dataset: Dataset, assignments: Mapping[str, np.ndarray]
+) -> None:
+    """Verify that discovered slices partition ``dataset`` exactly.
+
+    ``assignments`` maps each discovered slice name to the row indices of
+    ``dataset`` it claims.  Unlike :func:`check_partition` (structural
+    counts), this is an exact index-level check: every row must be claimed
+    by exactly one slice — no overlap, full coverage, no out-of-range
+    indices.  Raises :class:`~repro.utils.exceptions.ConfigurationError`
+    with the offending slices named, instead of letting a bad discovery
+    split silently corrupt a run.
+    """
+    if not assignments:
+        raise ConfigurationError("discovered partition has no slices")
+    n = len(dataset)
+    claimed = np.zeros(n, dtype=np.int64)
+    for name, indices in assignments.items():
+        indices = np.asarray(indices, dtype=np.int64)
+        if indices.size and (indices.min() < 0 or indices.max() >= n):
+            raise ConfigurationError(
+                f"discovered slice {name!r} references rows outside the "
+                f"dataset (valid range 0..{n - 1})"
+            )
+        if indices.size != np.unique(indices).size:
+            raise ConfigurationError(
+                f"discovered slice {name!r} claims the same row twice"
+            )
+        claimed[indices] += 1
+    overlapping = int(np.count_nonzero(claimed > 1))
+    if overlapping:
+        raise ConfigurationError(
+            f"discovered slices overlap: {overlapping} rows are claimed by "
+            "more than one slice"
+        )
+    uncovered = int(np.count_nonzero(claimed == 0))
+    if uncovered:
+        raise ConfigurationError(
+            f"discovered slices do not cover the dataset: {uncovered} rows "
+            "belong to no slice"
         )
 
 
