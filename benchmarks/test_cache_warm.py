@@ -1,0 +1,124 @@
+"""Warm-cache benchmark: the first cache trajectory point of the repo.
+
+Three ``python -m repro.cli run`` subprocesses share one ``--cache-dir``:
+
+1. **cold** — a fresh cache; every training runs and is persisted.
+2. **warm serial** — a brand-new process over the same directory; every
+   training must be served from disk (``trainings_performed == 0``).
+3. **warm process-pool** — the same again through ``--executor process``,
+   proving pool workers read the shared WAL file too.
+
+The benchmark asserts the acceptance property — warm reruns across a
+process restart train nothing and their results are byte-identical to the
+cold serial baseline on both executors — and records hit rate, trainings
+avoided, and warm-vs-cold wall time to ``$BENCH_CACHE_OUT`` (the CI
+artifact ``BENCH_cache.json``; the committed ``benchmarks/BENCH_cache.json``
+is one reference point from a 1-CPU dev container).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+from conftest import emit
+
+_SRC = str(Path(__file__).resolve().parents[1] / "src")
+
+RUN_ARGS = [
+    "run",
+    "--dataset", "adult_like",
+    "--scenario", "basic",
+    "--method", "moderate",
+    "--budget", "200",
+    "--initial-size", "60",
+    "--validation-size", "60",
+    "--epochs", "10",
+    "--curve-points", "3",
+    "--seed", "0",
+    "--quiet",
+    "--json",
+]
+
+
+def _cli_run(cache_dir: str, *extra: str) -> tuple[dict, float]:
+    """One ``repro.cli run`` in a fresh process; returns (payload, seconds)."""
+    env = dict(os.environ)
+    env["PYTHONPATH"] = _SRC + os.pathsep + env.get("PYTHONPATH", "")
+    start = time.perf_counter()
+    proc = subprocess.run(
+        [sys.executable, "-m", "repro.cli", *RUN_ARGS,
+         "--cache-dir", cache_dir, *extra],
+        env=env,
+        capture_output=True,
+        text=True,
+        timeout=600,
+    )
+    elapsed = time.perf_counter() - start
+    assert proc.returncode == 0, (proc.returncode, proc.stderr)
+    return json.loads(proc.stdout), elapsed
+
+
+def run_cache_warm(cache_dir: str) -> dict:
+    cold, cold_s = _cli_run(cache_dir)
+    warm, warm_s = _cli_run(cache_dir)
+    pool, pool_s = _cli_run(cache_dir, "--executor", "process", "--workers", "2")
+    return {
+        "cold": cold, "cold_s": cold_s,
+        "warm": warm, "warm_s": warm_s,
+        "pool": pool, "pool_s": pool_s,
+    }
+
+
+def _record_bench(numbers: dict) -> None:
+    """Write this run's numbers to ``$BENCH_CACHE_OUT`` (when set)."""
+    out = os.environ.get("BENCH_CACHE_OUT")
+    if not out:
+        return
+    Path(out).write_text(json.dumps(numbers, indent=2, sort_keys=True) + "\n")
+
+
+def test_cache_warm_across_restarts(run_once, tmp_path):
+    cache_dir = str(tmp_path / "cache")
+    results = run_once(run_cache_warm, cache_dir)
+    cold, warm, pool = results["cold"], results["warm"], results["pool"]
+
+    # The cache only ever removes work, never changes answers: both warm
+    # reruns are byte-identical to the cold serial baseline.
+    baseline = json.dumps(cold["result"], sort_keys=True)
+    assert json.dumps(warm["result"], sort_keys=True) == baseline
+    assert json.dumps(pool["result"], sort_keys=True) == baseline
+
+    # Cold pays for every training; the warm restarts pay for none.
+    trainings_cold = cold["trainings_performed"]
+    assert trainings_cold > 0
+    assert warm["trainings_performed"] == 0
+    assert pool["trainings_performed"] == 0
+
+    # Counters are cumulative across every process sharing the file: by the
+    # pool run the two warm reruns have each avoided a cold run's worth.
+    warm_hits = warm["cache"]["results"]["hits"]
+    assert warm_hits >= trainings_cold
+
+    hit_rate_warm = warm_hits / max(warm["cache"]["results"]["requests"], 1)
+    numbers = {
+        "trainings_cold": int(trainings_cold),
+        "trainings_warm": int(warm["trainings_performed"]),
+        "trainings_warm_pool": int(pool["trainings_performed"]),
+        "trainings_avoided": int(warm_hits),
+        "hit_rate_warm": round(hit_rate_warm, 4),
+        "cold_s": round(results["cold_s"], 3),
+        "warm_s": round(results["warm_s"], 3),
+        "warm_pool_s": round(results["pool_s"], 3),
+        "warm_speedup": round(results["cold_s"] / results["warm_s"], 3),
+        "results_identical": True,
+    }
+    _record_bench(numbers)
+    emit(
+        "Warm-cache restart smoke — shared sqlite cache across processes",
+        "\n".join(f"{key:>20}: {value}" for key, value in numbers.items()),
+    )

@@ -36,7 +36,15 @@ This is the smallest end-to-end use of the library:
     partition from a trained model's behaviour, and a ``dynamic_slices``
     campaign re-runs discovery every few iterations mid-run, persisting
     each re-slice boundary as a durable event so crash-resume stays
-    byte-identical.
+    byte-identical, and
+11. make the cache itself durable: a ``SqliteResultCache`` persists every
+    training (and, with incremental curves, every fitted curve) to one
+    sqlite file in WAL mode, shared by serial runs, pool workers, and
+    restarted processes alike — a cold run trains and persists, a fresh
+    handle over the same file (a restarted process) re-estimates with
+    **zero** trainings and identical curves.  The CLI wires it through
+    ``--cache-dir`` / ``REPRO_CACHE_DIR`` and manages the file with the
+    ``cache stats / gc / clear`` subcommand.
 
 Run with::
 
@@ -44,6 +52,9 @@ Run with::
 """
 
 from __future__ import annotations
+
+import os
+import tempfile
 
 from repro import (
     Campaign,
@@ -56,6 +67,7 @@ from repro import (
     SerialExecutor,
     SliceTuner,
     SliceTunerConfig,
+    SqliteResultCache,
     TrainingConfig,
     TunerClient,
     TunerServer,
@@ -312,6 +324,46 @@ def main() -> None:
         f"spent {dynamic_result.spent:.0f}, "
         f"slice generation {dynamic.slice_generation}"
     )
+
+    # 11. The persistent cache.  Step 6's cache dies with the process; a
+    #     SqliteResultCache is the same protocol backed by one WAL-mode
+    #     sqlite file, so a *fresh handle over the same file* — standing in
+    #     for a restarted process here, and literally another process under
+    #     the pool executor or the serve daemon — re-estimates everything
+    #     with zero trainings and identical curves.
+    print("\nPersistent cache (one sqlite file, shared across restarts):")
+    with tempfile.TemporaryDirectory() as cache_dir:
+        cache_path = os.path.join(cache_dir, "cache.sqlite")
+
+        def estimate_with(cache: SqliteResultCache) -> tuple[dict, int]:
+            cached = SliceTuner(
+                task.initial_sliced_dataset(
+                    initial_sizes=150, validation_size=200, random_state=0
+                ),
+                GeneratorDataSource(task, random_state=1),
+                trainer_config=TrainingConfig(
+                    epochs=40, batch_size=64, learning_rate=0.03
+                ),
+                curve_config=CurveEstimationConfig(n_points=6, n_repeats=1),
+                random_state=2,
+                result_cache=cache,
+            )
+            curves = cached.estimate_curves()
+            return curves, cached.estimator.trainings_performed
+
+        with SqliteResultCache(cache_path) as cold_cache:
+            cold_curves, cold_n = estimate_with(cold_cache)
+        with SqliteResultCache(cache_path) as warm_cache:  # "restarted"
+            warm_curves, warm_n = estimate_with(warm_cache)
+            hits = warm_cache.tier_stats()["results"].hits
+        assert cold_n > 0 and warm_n == 0
+        assert {n: c.describe() for n, c in warm_curves.items()} == {
+            n: c.describe() for n, c in cold_curves.items()
+        }
+        print(
+            f"  {cold_n} trainings cold, {warm_n} after restart "
+            f"({hits} served from disk, curves identical)"
+        )
 
 
 if __name__ == "__main__":

@@ -183,6 +183,7 @@ from repro.engine import (
     MLPFactory,
     ProcessPoolExecutor,
     SerialExecutor,
+    SqliteResultCache,
     TrainingJob,
     available_executors,
     get_executor,
@@ -301,6 +302,7 @@ __all__ = [
     "ProcessPoolExecutor",
     "TrainingJob",
     "InMemoryResultCache",
+    "SqliteResultCache",
     "CurveCache",
     "MLPFactory",
     "get_executor",

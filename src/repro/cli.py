@@ -1,6 +1,6 @@
 """Command-line interface for the Slice Tuner reproduction.
 
-Ten subcommands cover the common workflows without writing any Python:
+Eleven subcommands cover the common workflows without writing any Python:
 
 * ``curves`` — estimate and print the per-slice learning curves of a dataset.
 * ``plan`` — print the One-shot acquisition plan for a budget (no data is
@@ -31,6 +31,12 @@ Ten subcommands cover the common workflows without writing any Python:
 * ``remote`` — thin clients for a running daemon: ``submit``, ``list``,
   ``show``, ``tail`` (live event stream), ``result``, ``wait``, ``pause``,
   ``resume``, ``stats``.
+* ``cache`` — inspect and maintain the persistent shared result/curve cache
+  (``stats``, ``clear``, ``gc --max-mb``).  ``run``, ``campaign``, and
+  ``serve`` all accept ``--cache-dir`` (or the ``REPRO_CACHE_DIR``
+  environment variable) to share one content-addressed SQLite cache across
+  processes and restarts: a training repeated anywhere with identical data,
+  configuration, and seed is served from disk instead of re-run.
 * ``strategies`` — list every registered acquisition strategy.
 * ``sources`` — list every registered data-source provider.
 
@@ -89,7 +95,8 @@ from repro.core.registry import (
     strategy_descriptions,
 )
 from repro.datasets.registry import available_tasks
-from repro.engine.cache import InMemoryResultCache
+from repro.engine.cache import InMemoryResultCache, ResultCache
+from repro.engine.diskcache import SqliteResultCache, default_cache_path
 from repro.engine.executor import SerialExecutor, available_executors, get_executor
 from repro.experiments.config import ExperimentConfig
 from repro.experiments.reporting import (
@@ -137,6 +144,45 @@ def _json_output(schema: str, payload: dict) -> str:
     diff-stable output.
     """
     return json.dumps({"schema": schema, **payload}, indent=2, sort_keys=True)
+
+
+def _resolve_cache_dir(args: argparse.Namespace) -> str | None:
+    """The persistent cache directory: ``--cache-dir`` flag, then env var.
+
+    ``REPRO_CACHE_DIR`` lets supervisors and CI point every invocation at
+    one shared cache without touching each command line; ``None`` means
+    per-process in-memory caching (the previous behavior).
+    """
+    cache_dir = getattr(args, "cache_dir", None)
+    if cache_dir is None:
+        cache_dir = os.environ.get("REPRO_CACHE_DIR") or None
+    return cache_dir
+
+
+def _build_result_cache(args: argparse.Namespace) -> ResultCache:
+    """The result cache a subcommand should use.
+
+    With a cache directory configured this is a process-shared, restart-
+    surviving :class:`~repro.engine.diskcache.SqliteResultCache`; without
+    one, the classic per-process :class:`InMemoryResultCache`.
+    """
+    cache_dir = _resolve_cache_dir(args)
+    if cache_dir is None:
+        return InMemoryResultCache()
+    os.makedirs(cache_dir, exist_ok=True)
+    return SqliteResultCache(default_cache_path(cache_dir))
+
+
+def _require_disk_cache(args: argparse.Namespace) -> SqliteResultCache:
+    """The persistent cache the ``cache`` subcommands operate on."""
+    cache_dir = _resolve_cache_dir(args)
+    if cache_dir is None:
+        raise ConfigurationError(
+            "the cache subcommand needs a persistent cache: pass --cache-dir "
+            "or set REPRO_CACHE_DIR"
+        )
+    os.makedirs(cache_dir, exist_ok=True)
+    return SqliteResultCache(default_cache_path(cache_dir))
 
 
 def _registered_method(name: str) -> str:
@@ -203,6 +249,16 @@ def build_parser() -> argparse.ArgumentParser:
         sub.add_argument("--curve-points", type=int, default=5, help="subset sizes measured per learning curve")
         sub.add_argument("--seed", type=int, default=0, help="base random seed")
         add_quiet(sub)
+
+    def add_cache_dir(sub: argparse.ArgumentParser) -> None:
+        sub.add_argument(
+            "--cache-dir",
+            default=None,
+            dest="cache_dir",
+            help="directory holding the persistent shared result/curve cache "
+            "(sqlite, shared across processes and restarts); defaults to "
+            "the REPRO_CACHE_DIR environment variable, else in-memory",
+        )
 
     def add_discovery(sub: argparse.ArgumentParser) -> None:
         sub.add_argument(
@@ -295,6 +351,20 @@ def build_parser() -> argparse.ArgumentParser:
         default=DEFAULT_STORE,
         help=f"campaign store used by --resume (default: {DEFAULT_STORE})",
     )
+    run.add_argument(
+        "--executor",
+        default="serial",
+        choices=available_executors(),
+        help="execution backend for the trainings (results are identical "
+        "for every backend)",
+    )
+    run.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="worker processes for --executor process (default: CPU count)",
+    )
+    add_cache_dir(run)
     add_json(run)
 
     compare = subparsers.add_parser("compare", help="compare acquisition methods over trials")
@@ -341,6 +411,7 @@ def build_parser() -> argparse.ArgumentParser:
             default=DEFAULT_STORE,
             help=f"SQLite campaign store path (default: {DEFAULT_STORE})",
         )
+        add_cache_dir(sub)
         add_quiet(sub)
 
     c_start = campaign_sub.add_parser(
@@ -443,7 +514,38 @@ def build_parser() -> argparse.ArgumentParser:
         dest="resume_all",
         help="re-activate every unfinished stored campaign on startup",
     )
+    add_cache_dir(serve)
     add_quiet(serve)
+
+    cache = subparsers.add_parser(
+        "cache",
+        help="inspect and maintain the persistent shared result/curve cache",
+    )
+    cache_sub = cache.add_subparsers(dest="cache_command", required=True)
+    cache_stats = cache_sub.add_parser(
+        "stats", help="tiered hit/miss/size statistics of the shared cache"
+    )
+    add_cache_dir(cache_stats)
+    add_quiet(cache_stats)
+    add_json(cache_stats)
+    cache_clear = cache_sub.add_parser(
+        "clear", help="drop every cached result and curve (keeps statistics)"
+    )
+    add_cache_dir(cache_clear)
+    add_quiet(cache_clear)
+    cache_gc = cache_sub.add_parser(
+        "gc",
+        help="evict least-recently-accessed entries until the cache fits",
+    )
+    add_cache_dir(cache_gc)
+    add_quiet(cache_gc)
+    cache_gc.add_argument(
+        "--max-mb",
+        type=float,
+        required=True,
+        dest="max_mb",
+        help="target payload size in megabytes (LRU eviction by last access)",
+    )
 
     remote = subparsers.add_parser(
         "remote",
@@ -730,31 +832,49 @@ def run_run(args: argparse.Namespace) -> str:
     # Scenario defaults (e.g. dynamic_slices) apply unless --discover is given.
     discover, reslice_every = discovery_for(config)
     sliced, sources = prepare_named_instance(config, seed=args.seed)
-    tuner = SliceTuner(
-        sliced,
-        trainer_config=config.training_config(),
-        curve_config=config.curve_config(),
-        config=SliceTunerConfig(
-            lam=args.lam,
-            acquisition_rounds=args.rounds,
-            discover=discover,
-            reslice_every=reslice_every if discover is not None else 0,
-        ),
-        random_state=args.seed + 1,
-        sources=sources,
-        result_cache=InMemoryResultCache(),
+    if args.workers is not None and args.executor != "process":
+        raise ConfigurationError("--workers only applies to --executor process")
+    executor_kwargs = (
+        {"max_workers": args.workers} if args.executor == "process" else {}
     )
-    session = tuner.session()
-    fulfillments = []
-    session.add_hook("fulfillment", lambda f: fulfillments.append(f))
-    reslices = []
-    session.add_hook("reslice", lambda e: reslices.append(e))
-    if args.evaluate:
-        result = session.run(args.budget, strategy=args.method, lam=args.lam)
-    else:
-        for _ in session.stream(args.budget, strategy=args.method, lam=args.lam):
-            pass
-        result = session.result()
+    result_cache = _build_result_cache(args)
+    try:
+        with get_executor(
+            args.executor, cache=result_cache, **executor_kwargs
+        ) as executor:
+            tuner = SliceTuner(
+                sliced,
+                trainer_config=config.training_config(),
+                curve_config=config.curve_config(),
+                config=SliceTunerConfig(
+                    lam=args.lam,
+                    acquisition_rounds=args.rounds,
+                    discover=discover,
+                    reslice_every=reslice_every if discover is not None else 0,
+                ),
+                random_state=args.seed + 1,
+                sources=sources,
+                executor=executor,
+            )
+            session = tuner.session()
+            fulfillments = []
+            session.add_hook("fulfillment", lambda f: fulfillments.append(f))
+            reslices = []
+            session.add_hook("reslice", lambda e: reslices.append(e))
+            if args.evaluate:
+                result = session.run(args.budget, strategy=args.method, lam=args.lam)
+            else:
+                for _ in session.stream(
+                    args.budget, strategy=args.method, lam=args.lam
+                ):
+                    pass
+                result = session.result()
+        # Snapshot before closing: a disk-backed cache cannot answer stats
+        # queries once its connection is released.
+        cache_stats = engine_cache_stats(tuner)
+        trainings_performed = tuner.estimator.trainings_performed
+    finally:
+        result_cache.close()
 
     if args.json_output:
         return _json_output(
@@ -784,6 +904,7 @@ def run_run(args: argparse.Namespace) -> str:
                     }
                     for e in reslices
                 ],
+                "trainings_performed": trainings_performed,
                 "cache": {
                     name: {
                         "requests": stats.requests,
@@ -791,7 +912,7 @@ def run_run(args: argparse.Namespace) -> str:
                         "misses": stats.misses,
                         "evictions": stats.evictions,
                     }
-                    for name, stats in engine_cache_stats(tuner).items()
+                    for name, stats in cache_stats.items()
                 },
             },
         )
@@ -833,8 +954,8 @@ def run_run(args: argparse.Namespace) -> str:
         )
     output += "\n\n" + result.acquisitions_table()
     output += "\n\n" + cache_stats_table(
-        engine_cache_stats(tuner),
-        trainings_performed=tuner.estimator.trainings_performed,
+        cache_stats,
+        trainings_performed=trainings_performed,
     )
     if args.evaluate and result.final_report is not None:
         output += "\n\n" + result.final_report.to_text()
@@ -958,14 +1079,18 @@ def run_campaign_start(args: argparse.Namespace) -> str:
     """``campaign start``: one campaign from flags, or the builtin suite."""
     with SqliteStore(args.store) as store:
         if args.suite:
-            executor = SerialExecutor(cache=InMemoryResultCache())
-            results = campaign_suite(
-                store=store,
-                executor=executor,
-                seed=args.seed,
-                on_progress=_combined_progress(args.quiet),
-            )
-            return _suite_summary(list(results.items()), executor, args.quiet)
+            result_cache = _build_result_cache(args)
+            try:
+                executor = SerialExecutor(cache=result_cache)
+                results = campaign_suite(
+                    store=store,
+                    executor=executor,
+                    seed=args.seed,
+                    on_progress=_combined_progress(args.quiet),
+                )
+                return _suite_summary(list(results.items()), executor, args.quiet)
+            finally:
+                result_cache.close()
         if not args.name:
             raise ConfigurationError(
                 "campaign start needs --name (or --suite for the builtin workload)"
@@ -989,31 +1114,36 @@ def run_campaign_start(args: argparse.Namespace) -> str:
             discover=args.discover,
             reslice_every=args.reslice_every if args.discover is not None else 0,
         )
-        campaign = Campaign.start(store, spec, result_cache=InMemoryResultCache())
-        if campaign.reused and campaign.is_done:
-            result = campaign.result()
-            return (
-                f"{campaign.campaign_id}: already completed (idempotent re-run) — "
-                f"iterations={result.n_iterations} spent={result.spent:.2f}"
-            )
-        if not args.quiet:
-            campaign.add_iteration_hook(
-                lambda c, record: print(
-                    f"[{c.spec.name}] iteration {record.iteration} — "
-                    f"spent {c.spent:.0f}/{c.spec.budget:.0f}"
+        result_cache = _build_result_cache(args)
+        try:
+            campaign = Campaign.start(store, spec, result_cache=result_cache)
+            if campaign.reused and campaign.is_done:
+                result = campaign.result()
+                return (
+                    f"{campaign.campaign_id}: already completed (idempotent "
+                    f"re-run) — iterations={result.n_iterations} "
+                    f"spent={result.spent:.2f}"
                 )
-            )
-        kill_hook = _kill_after_hook()
-        if kill_hook is not None:
-            campaign.add_iteration_hook(kill_hook)
-        result = campaign.run(max_steps=args.max_steps)
-        if result is None:
-            return (
-                f"{campaign.campaign_id}: paused after --max-steps "
-                f"{args.max_steps} iteration(s); resume with "
-                f"`campaign resume {campaign.campaign_id} --store {args.store}`"
-            )
-        return _campaign_result_text(campaign, result, args.quiet)
+            if not args.quiet:
+                campaign.add_iteration_hook(
+                    lambda c, record: print(
+                        f"[{c.spec.name}] iteration {record.iteration} — "
+                        f"spent {c.spent:.0f}/{c.spec.budget:.0f}"
+                    )
+                )
+            kill_hook = _kill_after_hook()
+            if kill_hook is not None:
+                campaign.add_iteration_hook(kill_hook)
+            result = campaign.run(max_steps=args.max_steps)
+            if result is None:
+                return (
+                    f"{campaign.campaign_id}: paused after --max-steps "
+                    f"{args.max_steps} iteration(s); resume with "
+                    f"`campaign resume {campaign.campaign_id} --store {args.store}`"
+                )
+            return _campaign_result_text(campaign, result, args.quiet)
+        finally:
+            result_cache.close()
 
 
 def _campaign_result_text(campaign: Campaign, result, quiet: bool) -> str:
@@ -1036,32 +1166,36 @@ def _campaign_result_text(campaign: Campaign, result, quiet: bool) -> str:
 
 def _resume_campaigns(args: argparse.Namespace, campaign_ids: list[str]) -> str:
     with SqliteStore(args.store) as store:
-        scheduler = CampaignScheduler(
-            store=store,
-            result_cache=InMemoryResultCache(),
-            on_progress=_combined_progress(args.quiet),
-        )
-        for campaign_id in campaign_ids:
-            scheduler.add_existing(campaign_id)
-        by_id = scheduler.run()
-        if getattr(args, "json_output", False):
-            return _json_output(
-                "repro.campaign.resume/1",
-                {
-                    "store": args.store,
-                    "results": {
-                        campaign_id: result.to_dict()
-                        for campaign_id, result in by_id.items()
-                    },
-                },
+        result_cache = _build_result_cache(args)
+        try:
+            scheduler = CampaignScheduler(
+                store=store,
+                result_cache=result_cache,
+                on_progress=_combined_progress(args.quiet),
             )
-        # Display names can collide across campaigns; campaign ids cannot,
-        # so every resumed campaign gets its own summary line.
-        results = [
-            (campaign.spec.name, by_id[campaign.campaign_id])
-            for campaign in scheduler.campaigns
-        ]
-        return _suite_summary(results, scheduler.executor, args.quiet)
+            for campaign_id in campaign_ids:
+                scheduler.add_existing(campaign_id)
+            by_id = scheduler.run()
+            if getattr(args, "json_output", False):
+                return _json_output(
+                    "repro.campaign.resume/1",
+                    {
+                        "store": args.store,
+                        "results": {
+                            campaign_id: result.to_dict()
+                            for campaign_id, result in by_id.items()
+                        },
+                    },
+                )
+            # Display names can collide across campaigns; campaign ids
+            # cannot, so every resumed campaign gets its own summary line.
+            results = [
+                (campaign.spec.name, by_id[campaign.campaign_id])
+                for campaign in scheduler.campaigns
+            ]
+            return _suite_summary(results, scheduler.executor, args.quiet)
+        finally:
+            result_cache.close()
 
 
 def run_campaign_resume(args: argparse.Namespace) -> str:
@@ -1196,6 +1330,111 @@ def run_campaign(args: argparse.Namespace) -> str:
     )
 
 
+# -- the persistent cache family ---------------------------------------------------
+
+
+def _cache_stats_payload(cache: SqliteResultCache) -> dict:
+    """The tier/size/counter snapshot both ``cache stats`` renderings share."""
+    tiers = cache.tier_stats()
+    entries = cache.entry_stats()
+    totals = cache.stats
+    payload_tiers = {}
+    for name, stats in tiers.items():
+        tier = {
+            "requests": stats.requests,
+            "hits": stats.hits,
+            "misses": stats.misses,
+            "evictions": stats.evictions,
+            "hit_rate": round(stats.hit_rate, 4),
+        }
+        if name in entries:
+            tier["entries"] = entries[name]["entries"]
+            tier["size_bytes"] = entries[name]["size_bytes"]
+        payload_tiers[name] = tier
+    return {
+        "path": cache.path,
+        "tiers": payload_tiers,
+        "totals": {
+            "requests": totals.requests,
+            "hits": totals.hits,
+            "misses": totals.misses,
+            "evictions": totals.evictions,
+            "hit_rate": round(totals.hit_rate, 4),
+        },
+    }
+
+
+def run_cache(args: argparse.Namespace) -> str:
+    """Dispatch for the ``cache`` family: stats, clear, gc."""
+    cache = _require_disk_cache(args)
+    try:
+        if args.cache_command == "stats":
+            payload = _cache_stats_payload(cache)
+            if args.json_output:
+                return _json_output("repro.cache/1", payload)
+            totals = payload["totals"]
+            if args.quiet:
+                return (
+                    f"requests={totals['requests']} hits={totals['hits']} "
+                    f"misses={totals['misses']}"
+                )
+            rows = []
+            for name, tier in payload["tiers"].items():
+                rows.append(
+                    [
+                        name,
+                        tier.get("entries", "-"),
+                        tier.get("size_bytes", "-"),
+                        tier["requests"],
+                        tier["hits"],
+                        tier["misses"],
+                        f"{tier['hit_rate']:.0%}",
+                        tier["evictions"],
+                    ]
+                )
+            rows.append(
+                [
+                    "total",
+                    sum(t.get("entries", 0) for t in payload["tiers"].values()),
+                    sum(t.get("size_bytes", 0) for t in payload["tiers"].values()),
+                    totals["requests"],
+                    totals["hits"],
+                    totals["misses"],
+                    f"{totals['hit_rate']:.0%}",
+                    totals["evictions"],
+                ]
+            )
+            return format_table(
+                headers=[
+                    "tier", "entries", "bytes", "lookups", "hits", "misses",
+                    "hit rate", "evictions",
+                ],
+                rows=rows,
+                title=f"Persistent cache — {cache.path}",
+            )
+        if args.cache_command == "clear":
+            removed = cache.clear_all()
+            return (
+                f"cleared {cache.path}: {removed['removed_results']} result(s), "
+                f"{removed['removed_curves']} curve(s), "
+                f"{removed['freed_bytes']} byte(s) freed"
+            )
+        if args.cache_command == "gc":
+            report = cache.gc(args.max_mb)
+            return (
+                f"gc {cache.path} to {args.max_mb:g} MB: evicted "
+                f"{report['removed_results']} result(s), "
+                f"{report['removed_curves']} curve(s), freed "
+                f"{report['freed_bytes']} byte(s) "
+                f"({report['remaining_bytes']} remaining)"
+            )
+        raise ConfigurationError(  # pragma: no cover - argparse enforces choices
+            f"unknown cache command {args.cache_command!r}"
+        )
+    finally:
+        cache.close()
+
+
 # -- the serve daemon and its remote clients ---------------------------------------
 
 
@@ -1209,7 +1448,8 @@ def run_serve(args: argparse.Namespace) -> str:
     byte-identically.
     """
     store = SqliteStore(args.store)
-    app = TunerService(store=store, result_cache=InMemoryResultCache())
+    result_cache = _build_result_cache(args)
+    app = TunerService(store=store, result_cache=result_cache)
     resumed = app.resume_all() if args.resume_all else []
     app.start()
     server = TunerServer(
@@ -1242,6 +1482,7 @@ def run_serve(args: argparse.Namespace) -> str:
         stats = app.server_stats()
         summary = app.drain()
         server.shutdown()
+        result_cache.close()
         store.close()
     line = (
         f"drained — {len(summary['suspended'])} campaign(s) suspended; "
@@ -1492,6 +1733,7 @@ _COMMANDS = {
     "run": run_run,
     "compare": run_compare,
     "campaign": run_campaign,
+    "cache": run_cache,
     "serve": run_serve,
     "remote": run_remote,
     "strategies": run_strategies,

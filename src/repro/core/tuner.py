@@ -240,6 +240,14 @@ class SliceTuner:
         # the same data agree regardless of how much of the main stream the
         # acquisition loop has consumed in between.
         self._eval_seed = int(self._rng.integers(0, 2**63 - 1))
+        # A disk-backed result cache doubles as the curve store (duck-typed
+        # on its curve tier), so incremental curves survive restarts too.
+        curve_store = (
+            self.executor.cache
+            if self.config.incremental_curves
+            and hasattr(self.executor.cache, "store_curve")
+            else None
+        )
         self.estimator = LearningCurveEstimator(
             model_factory=self.model_factory,
             trainer_config=self.trainer_config,
@@ -247,6 +255,7 @@ class SliceTuner:
             random_state=self._rng,
             executor=self.executor,
             incremental=self.config.incremental_curves,
+            curve_store=curve_store,
         )
 
     # -- curves and plans ---------------------------------------------------------

@@ -45,7 +45,12 @@ from repro.engine.cache import CurveCache
 from repro.engine.cache import pool_fingerprints as slice_pool_fingerprints
 from repro.engine.executor import Executor, SerialExecutor
 from repro.engine.factories import ModelFactory, describe_factory
-from repro.engine.job import JobResult, TrainingJob, stable_seed
+from repro.engine.job import (
+    JobResult,
+    TrainingJob,
+    _fingerprint_config,
+    stable_seed,
+)
 from repro.ml.linear import SoftmaxRegression
 from repro.ml.metrics import log_loss
 from repro.ml.train import TrainingConfig
@@ -143,6 +148,11 @@ class LearningCurveEstimator:
         :meth:`estimate` calls only re-measure slices whose training pools
         changed (the :class:`~repro.engine.cache.CurveCache` is exposed as
         :attr:`curve_cache`).
+    curve_store:
+        Optional :class:`~repro.engine.diskcache.SqliteResultCache` whose
+        curve tier should back the incremental cache.  Fitted curves are
+        then keyed by (estimation context, pool content) and survive
+        process restarts; ignored unless ``incremental`` is True.
     """
 
     def __init__(
@@ -153,6 +163,7 @@ class LearningCurveEstimator:
         random_state: RandomState = None,
         executor: Executor | None = None,
         incremental: bool = False,
+        curve_store: object | None = None,
     ) -> None:
         self.model_factory = model_factory or default_model_factory
         self.trainer_config = trainer_config or TrainingConfig()
@@ -160,10 +171,43 @@ class LearningCurveEstimator:
         self._rng = as_generator(random_state)
         self._root_seed = int(self._rng.integers(0, _SEED_BOUND))
         self.executor = executor or SerialExecutor()
-        self.curve_cache: CurveCache | None = CurveCache() if incremental else None
+        self.curve_cache: CurveCache | None = None
+        if incremental:
+            if curve_store is not None:
+                from repro.engine.diskcache import SqliteCurveCache
+
+                self.curve_cache = SqliteCurveCache(
+                    curve_store, context=self._curve_context()
+                )
+            else:
+                self.curve_cache = CurveCache()
         #: Number of model trainings performed so far (for the Table 8 bench).
         #: Cache-served jobs do not count — the counter stays honest.
         self.trainings_performed = 0
+
+    def _curve_context(self) -> str:
+        """Everything a fitted curve depends on besides the pool content.
+
+        Two estimators share persisted curves exactly when this context and
+        the pool fingerprint both match: same root seed (job seeds derive
+        from it), same model factory, same trainer configuration, and same
+        estimation protocol.
+        """
+        protocol = (
+            self.config.n_points,
+            self.config.min_fraction,
+            self.config.max_fraction,
+            self.config.n_repeats,
+            self.config.strategy,
+        )
+        return "\x1f".join(
+            (
+                str(self._root_seed),
+                describe_factory(self.model_factory),
+                _fingerprint_config(self.trainer_config),
+                repr(protocol),
+            )
+        )
 
     # -- public API -----------------------------------------------------------
     def estimate(

@@ -12,6 +12,12 @@ that observation into infrastructure:
   keyed on job fingerprints so a training with the same data, configuration,
   and seed is never re-run, plus the :class:`~repro.engine.cache.CurveCache`
   powering incremental curve re-estimation.
+* :mod:`repro.engine.diskcache` — the persistent tier:
+  :class:`~repro.engine.diskcache.SqliteResultCache` (WAL-mode SQLite behind
+  a small in-process LRU front) shares content-addressed results across
+  processes and restarts, and
+  :class:`~repro.engine.diskcache.SqliteCurveCache` does the same for
+  fitted curves.
 * :mod:`repro.engine.executor` — the :class:`~repro.engine.executor.Executor`
   protocol with :class:`~repro.engine.executor.SerialExecutor` and
   :class:`~repro.engine.executor.ProcessPoolExecutor` backends.  Seeds are
@@ -23,6 +29,7 @@ that observation into infrastructure:
 """
 
 from repro.engine.cache import CacheStats, CurveCache, InMemoryResultCache, ResultCache
+from repro.engine.diskcache import SqliteCurveCache, SqliteResultCache, default_cache_path
 from repro.engine.executor import (
     Executor,
     ProcessPoolExecutor,
@@ -55,8 +62,11 @@ __all__ = [
     "ProcessPoolExecutor",
     "ResultCache",
     "SerialExecutor",
+    "SqliteCurveCache",
+    "SqliteResultCache",
     "TrainingJob",
     "available_executors",
+    "default_cache_path",
     "available_model_factories",
     "describe_factory",
     "fingerprint_dataset",

@@ -105,8 +105,14 @@ class InMemoryResultCache:
         return served
 
     def put(self, fingerprint: str, result: JobResult) -> None:
-        """Store one result, evicting the LRU entry when over capacity."""
-        self._entries[fingerprint] = copy.deepcopy(result)
+        """Store one result, evicting the LRU entry when over capacity.
+
+        The result is stored by reference: :meth:`get` already copies on
+        every read, and executors hand the cache freshly trained results
+        they do not mutate afterwards, so a second defensive copy on insert
+        would only double the per-training cache cost.
+        """
+        self._entries[fingerprint] = result
         self._entries.move_to_end(fingerprint)
         if self.max_entries is not None and len(self._entries) > self.max_entries:
             self._entries.popitem(last=False)
@@ -115,6 +121,9 @@ class InMemoryResultCache:
     def clear(self) -> None:
         """Drop every entry (statistics are kept)."""
         self._entries.clear()
+
+    def close(self) -> None:
+        """Nothing to release; present for parity with disk-backed caches."""
 
 
 def pool_fingerprints(sliced: "SlicedDataset") -> dict[str, str]:
@@ -141,6 +150,7 @@ class CurveCache:
 
     stats: CacheStats = field(default_factory=CacheStats)
     _entries: dict[str, _CurveEntry] = field(default_factory=dict)
+    _last_counted: dict[str, str] = field(default_factory=dict)
 
     def stale_slices(
         self,
@@ -152,17 +162,27 @@ class CurveCache:
         Never-seen slices count as stale; the list preserves the dataset's
         slice order.  Pass precomputed per-slice ``fingerprints`` to avoid
         re-hashing pools the caller already fingerprinted.
+
+        Statistics count each *pool-fingerprint transition* once — the
+        first time a slice is seen at a given pool content it scores a hit
+        (curve already cached for that content) or a miss; re-polling an
+        unchanged dataset leaves :attr:`stats` untouched, so hit rates do
+        not depend on how often callers ask.
         """
         if fingerprints is None:
             fingerprints = pool_fingerprints(sliced)
         stale: list[str] = []
         for name, fingerprint in fingerprints.items():
             entry = self._entries.get(name)
-            if entry is None or entry.pool_fingerprint != fingerprint:
+            fresh = entry is not None and entry.pool_fingerprint == fingerprint
+            if not fresh:
                 stale.append(name)
-                self.stats.misses += 1
-            else:
-                self.stats.hits += 1
+            if self._last_counted.get(name) != fingerprint:
+                self._last_counted[name] = fingerprint
+                if fresh:
+                    self.stats.hits += 1
+                else:
+                    self.stats.misses += 1
         return stale
 
     def cached_curves(self, names: Iterable[str]) -> dict[str, "FittedCurve"]:
@@ -184,5 +204,6 @@ class CurveCache:
             )
 
     def clear(self) -> None:
-        """Forget every stored curve."""
+        """Forget every stored curve (statistics are kept)."""
         self._entries.clear()
+        self._last_counted.clear()

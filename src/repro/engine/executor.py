@@ -70,7 +70,11 @@ class Executor:
                     # Job fingerprints hash the full training set, so they
                     # are only materialized on cached runs.
                     result.fingerprint = job.fingerprint
-                    self.cache.put(job.fingerprint, result)
+                    if not result.from_cache:
+                        # A shared-cache worker may have served this "miss"
+                        # from another process's training; re-storing would
+                        # only rewrite an identical entry.
+                        self.cache.put(job.fingerprint, result)
         if any(result is None for result in results):
             raise RuntimeError("executor backend dropped a job result")
         return results
@@ -175,7 +179,15 @@ class ProcessPoolExecutor(Executor):
             )
             return [run_training_job(job) for job in jobs]
         pool = self._ensure_pool()
-        return list(pool.map(run_training_job, jobs, chunksize=self.chunksize))
+        # A process-shared cache (SqliteResultCache) supplies a picklable
+        # runner that re-checks and feeds the shared file from inside each
+        # worker, so results land on disk the moment they finish and no
+        # cross-process result is ever retrained.
+        runner: Callable[[TrainingJob], JobResult] = run_training_job
+        worker_factory = getattr(self.cache, "worker_runner", None)
+        if worker_factory is not None:
+            runner = worker_factory()
+        return list(pool.map(runner, jobs, chunksize=self.chunksize))
 
     def map(self, fn: Callable[[T], R], items: Iterable[T]) -> list[R]:
         items = list(items)

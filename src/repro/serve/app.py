@@ -344,10 +344,15 @@ class TunerService:
         )
         cache = self.scheduler.executor.cache
         if cache is not None:
+            # One snapshot: a disk-backed cache computes its stats per read
+            # (aggregated across every process sharing the file), so four
+            # separate reads could straddle a concurrent update.
+            snapshot = cache.stats
             stats["cache"] = {
-                "requests": cache.stats.requests,
-                "hits": cache.stats.hits,
-                "misses": cache.stats.misses,
-                "evictions": cache.stats.evictions,
+                "requests": snapshot.requests,
+                "hits": snapshot.hits,
+                "misses": snapshot.misses,
+                "evictions": snapshot.evictions,
+                "persistent": hasattr(cache, "tier_stats"),
             }
         return stats

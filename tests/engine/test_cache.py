@@ -65,6 +65,31 @@ class TestInMemoryResultCache:
         cache.clear()
         assert len(cache) == 0 and cache.stats.hits == 1
 
+    def test_single_copy_per_hit(self, job, monkeypatch):
+        """put() stores by reference; only get() pays one deepcopy per hit.
+
+        The micro-benchmark guard for the double-deepcopy fix: counting
+        calls is machine-independent where timing a 2x difference is not.
+        """
+        import repro.engine.cache as cache_module
+
+        cache = InMemoryResultCache()
+        result = run_training_job(job)
+        calls = {"n": 0}
+        real_deepcopy = cache_module.copy.deepcopy
+
+        def counting_deepcopy(value, *args, **kwargs):
+            calls["n"] += 1
+            return real_deepcopy(value, *args, **kwargs)
+
+        monkeypatch.setattr(cache_module.copy, "deepcopy", counting_deepcopy)
+        cache.put(job.fingerprint, result)
+        assert calls["n"] == 0
+        cache.get(job.fingerprint)
+        assert calls["n"] == 1
+        cache.get(job.fingerprint)
+        assert calls["n"] == 2
+
 
 class TestCurveCache:
     def test_all_slices_stale_initially(self, tiny_sliced):
@@ -100,3 +125,32 @@ class TestCurveCache:
         target = tiny_sliced.names[1]
         tiny_sliced.add_examples(target, tiny_source.acquire(target, 5))
         assert cache.stale_slices(tiny_sliced) == [target]
+
+    def test_stats_count_transitions_not_polls(
+        self, tiny_sliced, tiny_source, fast_training, fast_curves
+    ):
+        """Re-polling an unchanged dataset must not inflate hit/miss counts."""
+        from repro.curves.estimator import LearningCurveEstimator
+
+        estimator = LearningCurveEstimator(
+            trainer_config=fast_training, config=fast_curves, random_state=0
+        )
+        cache = CurveCache()
+        # First sight of each slice: one miss per slice, however often polled.
+        for _ in range(5):
+            cache.stale_slices(tiny_sliced)
+        assert cache.stats.misses == len(tiny_sliced.names)
+        assert cache.stats.hits == 0
+        cache.update(tiny_sliced, estimator.estimate(tiny_sliced))
+        # The cached state was already counted for these fingerprints:
+        # serving it on re-polls adds nothing.
+        for _ in range(5):
+            assert cache.stale_slices(tiny_sliced) == []
+        assert cache.stats.misses == len(tiny_sliced.names)
+        assert cache.stats.hits == 0
+        # A pool change is a new transition: exactly one fresh miss.
+        target = tiny_sliced.names[1]
+        tiny_sliced.add_examples(target, tiny_source.acquire(target, 5))
+        for _ in range(3):
+            assert cache.stale_slices(tiny_sliced) == [target]
+        assert cache.stats.misses == len(tiny_sliced.names) + 1

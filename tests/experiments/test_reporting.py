@@ -109,9 +109,13 @@ class TestCacheStatsTable:
         assert set(stats) == {"results", "curves"}
         tuner.estimate_curves()
         cold = tuner.estimator.trainings_performed
+        assert stats["curves"].misses == len(sliced.names)
         tuner.estimate_curves()  # warm: served from the curve cache
         assert tuner.estimator.trainings_performed == cold
-        assert stats["curves"].hits > 0
+        # Stats count pool-fingerprint transitions, not polls: the warm
+        # re-estimate of unchanged pools adds nothing.
+        assert stats["curves"].misses == len(sliced.names)
+        assert stats["curves"].hits == 0
         text = cache_stats_table(stats, trainings_performed=cold)
         assert f"{cold} trainings performed" in text
 

@@ -319,3 +319,80 @@ class TestJsonOutput:
         assert shown["campaign"]["spec"]["method"] == "moderate"
         kinds = {event["kind"] for event in shown["events"]}
         assert {"iteration", "completed"} <= kinds
+
+
+class TestCacheCommand:
+    """The persistent shared cache: --cache-dir plumbing + the cache family."""
+
+    RUN = ["run", *FAST, "--method", "moderate", "--budget", "120", "--json"]
+
+    def test_cache_family_needs_a_directory(self, capsys, monkeypatch):
+        monkeypatch.delenv("REPRO_CACHE_DIR", raising=False)
+        assert main(["cache", "stats"]) == 2
+        assert "REPRO_CACHE_DIR" in capsys.readouterr().err
+
+    def test_warm_rerun_trains_nothing_and_matches(self, capsys, tmp_path):
+        import json
+
+        cache_dir = str(tmp_path / "cache")
+        assert main([*self.RUN, "--cache-dir", cache_dir]) == 0
+        cold = json.loads(capsys.readouterr().out)
+        assert cold["trainings_performed"] > 0
+
+        # Every main() call opens a fresh cache handle over the same file —
+        # the in-process analogue of a restart.
+        assert main([*self.RUN, "--cache-dir", cache_dir]) == 0
+        warm = json.loads(capsys.readouterr().out)
+        assert warm["trainings_performed"] == 0
+        assert warm["result"] == cold["result"]
+        assert warm["cache"]["results"]["hits"] >= cold["trainings_performed"]
+
+    def test_env_var_configures_the_cache(self, capsys, tmp_path, monkeypatch):
+        import json
+
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "envcache"))
+        assert main(self.RUN) == 0
+        cold = json.loads(capsys.readouterr().out)
+        assert cold["trainings_performed"] > 0
+        assert main(self.RUN) == 0
+        warm = json.loads(capsys.readouterr().out)
+        assert warm["trainings_performed"] == 0
+
+        assert main(["cache", "stats", "--json"]) == 0
+        stats = json.loads(capsys.readouterr().out)
+        assert stats["schema"] == "repro.cache/1"
+
+    def test_stats_clear_and_gc(self, capsys, tmp_path):
+        import json
+
+        cache_dir = str(tmp_path / "cache")
+        assert main([*self.RUN, "--cache-dir", cache_dir]) == 0
+        capsys.readouterr()
+
+        assert main(["cache", "stats", "--cache-dir", cache_dir, "--json"]) == 0
+        stats = json.loads(capsys.readouterr().out)
+        assert stats["schema"] == "repro.cache/1"
+        assert set(stats["tiers"]) == {"memory", "results", "curves"}
+        assert stats["tiers"]["results"]["entries"] > 0
+        assert stats["tiers"]["results"]["size_bytes"] > 0
+        assert stats["totals"]["misses"] > 0
+
+        assert main(["cache", "gc", "--max-mb", "0", "--cache-dir", cache_dir]) == 0
+        assert "evicted" in capsys.readouterr().out
+        assert main(["cache", "clear", "--cache-dir", cache_dir]) == 0
+        assert "cleared" in capsys.readouterr().out
+
+        assert main(["cache", "stats", "--cache-dir", cache_dir, "--json"]) == 0
+        cleared = json.loads(capsys.readouterr().out)
+        assert cleared["tiers"]["results"]["entries"] == 0
+
+    def test_stats_table_lists_tiers(self, capsys, tmp_path):
+        cache_dir = str(tmp_path / "cache")
+        assert main(["cache", "stats", "--cache-dir", cache_dir]) == 0
+        output = capsys.readouterr().out
+        for tier in ("memory", "results", "curves", "total"):
+            assert tier in output
+
+    def test_workers_without_process_executor_exits_2(self, capsys):
+        assert main([*self.RUN, "--workers", "2"]) == 2
+        assert "error:" in capsys.readouterr().err
