@@ -1,0 +1,232 @@
+"""The analytics trajectory: cold rebuild vs incremental report refresh.
+
+Measures the reporting layer this repo adds on top of the paper (the paper
+reports its tables offline; here the campaign event log is mirrored into
+SQL views that answer the same questions live):
+
+* a **cold** report — mirror a multi-campaign event log from scratch
+  (full rebuild) and render every report kind, and
+* an **incremental** report — append a handful of new events against the
+  warm cursor and refresh; the refresh must fold in only the new events.
+
+Shapes asserted: every SQL view matches its pure-Python reference
+row-for-row at both measurement points, the incremental mirror is
+byte-identical to a from-scratch rebuild of the same log, and the
+incremental refresh is faster than the cold one (it is O(new events), not
+O(log)).
+
+Set ``BENCH_ANALYTICS_OUT`` to a path to record the numbers (reference
+point committed at ``benchmarks/BENCH_analytics.json``; the CI
+``analytics-smoke`` job regenerates it).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from pathlib import Path
+
+from conftest import emit
+
+from repro.analytics import REPORT_SECTIONS, Analytics, assert_consistent
+from repro.campaigns.store import CampaignRecord, SqliteStore
+from repro.utils.tables import format_table
+
+N_CAMPAIGNS = 8
+ITERATIONS = 40
+SLICES = ("s0", "s1", "s2")
+INCREMENTAL_ITERATIONS = 2
+
+
+def _iteration_payload(campaign: int, it: int) -> dict:
+    # Deterministic per-(campaign, iteration) numbers; the s1 curve drifts
+    # every 5th iteration so cache_trends sees non-trivial reuse ratios.
+    return {
+        "iteration": it,
+        "requested": {s: 5 + i for i, s in enumerate(SLICES)},
+        "acquired": {s: 4 + i for i, s in enumerate(SLICES)},
+        "spent": 7.25 + 0.5 * it + 0.125 * campaign,
+        "limit": 100.0,
+        "imbalance_before": 2.0 - 0.01 * it,
+        "imbalance_after": 1.8 - 0.01 * it,
+        "curve_parameters": {
+            "s0": [2.5, 0.7],
+            "s1": [3.0, 0.5 + 0.01 * (it // 5)],
+            "s2": [1.75, 0.9],
+        },
+    }
+
+
+def _fulfillment_payload(campaign: int, it: int) -> dict:
+    partial = (it + campaign) % 7 == 0
+    delivered = 3 if partial else 5
+    return {
+        "slice": SLICES[it % len(SLICES)],
+        "requested": 5,
+        "effective": 5,
+        "delivered": delivered,
+        "shortfall": 5 - delivered,
+        "unit_cost": 1.0,
+        "cost": float(delivered),
+        "provenance": ["pool", "synth"] if partial else ["pool"],
+        "contributions": {"pool": delivered},
+        "rounds": 2 if partial else 1,
+        "status": "partial" if partial else "fulfilled",
+        "tag": f"iteration:{it}",
+    }
+
+
+def _fill(store: SqliteStore, iterations: int) -> int:
+    """Build a deterministic multi-campaign log; return the event count."""
+    events = 0
+    for c in range(N_CAMPAIGNS):
+        cid = f"bench-{c:02d}"
+        store.create_campaign(
+            CampaignRecord(
+                campaign_id=cid,
+                name=f"bench-{c:02d}",
+                fingerprint=f"fp-{c:02d}",
+                spec={"name": f"bench-{c:02d}", "budget": 500.0 + 50.0 * c},
+                status="running",
+                priority=c % 3,
+                created_at=1000.0 + c,
+            )
+        )
+        for it in range(iterations):
+            store.append_event(
+                cid, generation=0, iteration=it, kind="iteration",
+                payload=_iteration_payload(c, it),
+            )
+            store.append_event(
+                cid, generation=0, iteration=it, kind="fulfillment",
+                payload=_fulfillment_payload(c, it),
+            )
+            events += 2
+        if c % 2 == 0:
+            store.append_event(
+                cid, generation=1, iteration=iterations, kind="reslice",
+                payload={
+                    "slice_generation": 1,
+                    "method": "kmeans",
+                    "fingerprint": f"resliced-{c:02d}",
+                    "slice_names": ["k0", "k1", "k2", "k3"],
+                },
+            )
+            events += 1
+        if c % 3 == 0:
+            store.set_status(cid, "completed")
+    return events
+
+
+def _append_increment(store: SqliteStore, start: int) -> int:
+    """Append a handful of fresh events to one campaign; return the count."""
+    events = 0
+    for it in range(start, start + INCREMENTAL_ITERATIONS):
+        store.append_event(
+            "bench-01", generation=0, iteration=it, kind="iteration",
+            payload=_iteration_payload(1, it),
+        )
+        store.append_event(
+            "bench-01", generation=0, iteration=it, kind="fulfillment",
+            payload=_fulfillment_payload(1, it),
+        )
+        events += 2
+    return events
+
+
+def _report_bytes(analytics: Analytics) -> str:
+    return json.dumps(
+        {kind: analytics.report(kind) for kind in REPORT_SECTIONS},
+        sort_keys=True,
+    )
+
+
+def _measure(tmp_path: Path) -> dict:
+    store_path = str(tmp_path / "bench-campaigns.sqlite")
+    with SqliteStore(store_path) as store:
+        total_events = _fill(store, ITERATIONS)
+
+        analytics = Analytics(store, path=str(tmp_path / "bench.analytics"))
+        with analytics:
+            start = time.perf_counter()
+            cold = analytics.rebuild()
+            rebuild_s = time.perf_counter() - start
+            for kind in REPORT_SECTIONS:
+                analytics.report(kind)
+            cold_s = time.perf_counter() - start
+            cold_counts = assert_consistent(store, analytics)
+
+            new_events = _append_increment(store, ITERATIONS)
+            start = time.perf_counter()
+            warm = analytics.refresh()
+            refresh_s = time.perf_counter() - start
+            for kind in REPORT_SECTIONS:
+                analytics.report(kind)
+            incremental_s = time.perf_counter() - start
+            warm_counts = assert_consistent(store, analytics)
+            incremental_bytes = _report_bytes(analytics)
+
+        # A from-scratch mirror of the final log must agree byte-for-byte.
+        with Analytics(store, path=str(tmp_path / "rebuild.analytics")) as fresh:
+            fresh.rebuild()
+            assert _report_bytes(fresh) == incremental_bytes
+
+    assert cold["events_seen"] == total_events
+    assert warm["events_seen"] == new_events
+    return {
+        "campaigns": N_CAMPAIGNS,
+        "events_total": total_events,
+        "events_incremental": new_events,
+        "cold_s": round(cold_s, 4),
+        "incremental_s": round(incremental_s, 4),
+        "rebuild_s": round(rebuild_s, 4),
+        "refresh_s": round(refresh_s, 4),
+        "fold_speedup": round(rebuild_s / refresh_s, 2),
+        "rows_verified": sum(warm_counts.values()),
+        "rollup_rows": warm_counts["campaign_rollup"],
+        "cold_rows_verified": sum(cold_counts.values()),
+    }
+
+
+def _record(numbers: dict) -> None:
+    """Write this run's numbers to ``$BENCH_ANALYTICS_OUT`` (when set)."""
+    out = os.environ.get("BENCH_ANALYTICS_OUT")
+    if not out:
+        return
+    Path(out).write_text(json.dumps(numbers, indent=2, sort_keys=True) + "\n")
+
+
+def test_analytics_cold_vs_incremental_report(run_once, tmp_path):
+    numbers = run_once(_measure, tmp_path)
+
+    rows = [
+        (
+            "cold rebuild",
+            numbers["events_total"],
+            f"{numbers['rebuild_s']:.4f}",
+            f"{numbers['cold_s']:.4f}",
+        ),
+        (
+            "incremental refresh",
+            numbers["events_incremental"],
+            f"{numbers['refresh_s']:.4f}",
+            f"{numbers['incremental_s']:.4f}",
+        ),
+    ]
+    emit(
+        "Analytics report latency: cold rebuild vs incremental refresh",
+        format_table(
+            ("phase", "events folded", "fold seconds", "report seconds"), rows
+        )
+        + f"\nfold speedup: {numbers['fold_speedup']}x"
+        + f" | rows verified against the Python reference:"
+        f" {numbers['rows_verified']}",
+    )
+    _record(numbers)
+
+    # Shape: the incremental path folds only the new events, so its fold
+    # step must beat the cold rebuild of the full log outright.
+    assert numbers["rollup_rows"] == N_CAMPAIGNS
+    assert numbers["rows_verified"] > numbers["rollup_rows"]
+    assert numbers["refresh_s"] < numbers["rebuild_s"]

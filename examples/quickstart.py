@@ -44,7 +44,17 @@ This is the smallest end-to-end use of the library:
     handle over the same file (a restarted process) re-estimates with
     **zero** trainings and identical curves.  The CLI wires it through
     ``--cache-dir`` / ``REPRO_CACHE_DIR`` and manages the file with the
-    ``cache stats / gc / clear`` subcommand.
+    ``cache stats / gc / clear`` subcommand, and
+
+12. report over everything that happened: ``Analytics`` mirrors a campaign
+    store's event log into a separate analytics database and serves named
+    SQL views (per-slice trajectories, fulfillment shortfall/failover
+    rates, scheduler fairness, curve-reuse and re-slice trends), each one
+    verified row-for-row against a pure-Python reference by
+    ``assert_consistent``.  The CLI equivalent is ``python -m repro.cli
+    report summary|slices|fulfillment|fairness|cache [--json] [--verify]``,
+    and a running daemon serves the *same* payloads at
+    ``GET /reports/summary`` and ``GET /campaigns/<id>/report``.
 
 Run with::
 
@@ -57,6 +67,7 @@ import os
 import tempfile
 
 from repro import (
+    Analytics,
     Campaign,
     CampaignSpec,
     CurveEstimationConfig,
@@ -73,6 +84,7 @@ from repro import (
     TunerServer,
     TunerService,
     TuningResult,
+    assert_consistent,
     available_discovery_methods,
     available_sources,
     available_strategies,
@@ -364,6 +376,43 @@ def main() -> None:
             f"  {cold_n} trainings cold, {warm_n} after restart "
             f"({hits} served from disk, curves identical)"
         )
+
+    # 12. Analytics over the event log.  The dynamic campaign of step 10
+    #     left a real log behind (iterations, fulfillments, a reslice);
+    #     Analytics mirrors it into a separate database — the store is only
+    #     ever *read* — and every SQL view is checked row-for-row against
+    #     its pure-Python reference before we trust a single number.  A
+    #     daemon over the same store serves the identical payload at
+    #     GET /reports/summary (and `python -m repro.cli report` prints it).
+    print("\nAnalytics (SQL views over the campaign event log):")
+    with Analytics(dynamic_store) as analytics:
+        analytics.refresh()
+        counts = assert_consistent(dynamic_store, analytics)
+        print(
+            f"  verified {sum(counts.values())} row(s) across "
+            f"{len(counts)} view(s) against the Python reference"
+        )
+        summary = analytics.report("summary")
+        columns = summary["sections"]["campaign_rollup"]["columns"]
+        for row in summary["sections"]["campaign_rollup"]["rows"]:
+            rollup = dict(zip(columns, row))
+            print(
+                f"  {rollup['campaign_id']}: {rollup['status']}, "
+                f"{rollup['iterations']} iterations, "
+                f"spent {rollup['spent']:.0f}, "
+                f"slice generation {rollup['slice_generation']}"
+            )
+    report_service = TunerService(store=dynamic_store)
+    report_server = TunerServer(report_service).start_background()
+    served = TunerClient(report_server.url).report("cache")
+    assert served["sections"]["reslice_trends"]["rows"], "reslice missing"
+    print(
+        f"  GET /reports/summary?kind=cache served "
+        f"{len(served['sections']['reslice_trends']['rows'])} reslice "
+        f"trend row(s) — same builder, same payload"
+    )
+    report_server.shutdown()
+    report_service.close()
 
 
 if __name__ == "__main__":

@@ -116,6 +116,12 @@ See ``examples/`` for runnable scripts and ``benchmarks/`` for the harness
 that regenerates every table and figure of the paper's evaluation.
 """
 
+from repro.analytics import (
+    Analytics,
+    REPORT_SCHEMA,
+    assert_consistent,
+    reference_rows,
+)
 from repro.acquisition import (
     AcquisitionRequest,
     AcquisitionRouter,
@@ -262,6 +268,11 @@ __all__ = [
     "TunerService",
     "TunerServer",
     "TunerClient",
+    # analytics
+    "Analytics",
+    "REPORT_SCHEMA",
+    "assert_consistent",
+    "reference_rows",
     # curves
     "PowerLawCurve",
     "PowerLawWithFloor",

@@ -1,0 +1,28 @@
+"""Analytics subsystem: SQL views over the campaign event log.
+
+A read-everything / write-nothing layer on top of the campaign store:
+
+* :mod:`~repro.analytics.views` — named SQL views (window functions over
+  the replayed event mirror): trajectories, shortfall/failover rates,
+  scheduler fairness, cache and reslice trends.
+* :mod:`~repro.analytics.refresh` — :class:`Analytics`, the incrementally
+  refreshed analytics database (``after=seq`` cursor, O(new events)).
+* :mod:`~repro.analytics.reference` — pure-Python reference
+  implementations and :func:`assert_consistent`, the row-for-row
+  SQL-vs-Python checker behind ``cli report --verify``.
+"""
+
+from repro.analytics.refresh import REPORT_SCHEMA, Analytics, default_analytics_path
+from repro.analytics.reference import assert_consistent, reference_rows
+from repro.analytics.views import REPORT_SECTIONS, VIEW_DEFINITIONS, ViewDef
+
+__all__ = [
+    "Analytics",
+    "REPORT_SCHEMA",
+    "REPORT_SECTIONS",
+    "VIEW_DEFINITIONS",
+    "ViewDef",
+    "assert_consistent",
+    "default_analytics_path",
+    "reference_rows",
+]

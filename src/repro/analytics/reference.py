@@ -1,0 +1,353 @@
+"""Pure-Python reference implementations of every analytics view.
+
+Each function recomputes one view of :mod:`repro.analytics.views` directly
+from :func:`repro.campaigns.store.replay_events` over the live store —
+no SQL involved — and :func:`assert_consistent` compares the two
+row-for-row.  This is the correctness tool of the analytics subsystem
+(exposed as ``cli report --verify`` and run in tests): the SQL is the
+fast production path, the Python is the executable specification.
+
+Exactness: comparisons use ``==`` on every cell, including floats.  That
+works because both sides parse the same JSON payload text (SQLite's JSON1
+float conversion matches Python's — verified empirically over random
+doubles) and both sides add floats in the same explicit order (the SQL
+uses running window sums with ``ORDER BY``; the reference accumulates in
+that same order).  Curve-parameter *reuse* is compared by canonical JSON
+rendering on both sides, so ``0.0`` vs ``-0.0`` count as a change in both.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import TYPE_CHECKING, Any, Callable
+
+from repro.analytics.views import VIEW_DEFINITIONS
+from repro.campaigns.store import CampaignEvent, CampaignStore, replay_events
+from repro.utils.exceptions import AnalyticsError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.analytics.refresh import Analytics
+
+__all__ = ["reference_rows", "assert_consistent"]
+
+
+def _replayed(store: CampaignStore, campaign_id: str) -> list[CampaignEvent]:
+    return replay_events(store.events(campaign_id))
+
+
+def _iteration_events(events: list[CampaignEvent]) -> list[CampaignEvent]:
+    return sorted(
+        (e for e in events if e.kind == "iteration"), key=lambda e: e.iteration
+    )
+
+
+def _final_spent(events: list[CampaignEvent]) -> float:
+    spent = None
+    for event in _iteration_events(events):
+        value = event.payload["spent"]
+        spent = value if spent is None else spent + value
+    return 0.0 if spent is None else spent
+
+
+def _ref_slice_trajectories(store: CampaignStore) -> list[tuple]:
+    rows: list[tuple] = []
+    for record in store.list_campaigns():
+        events = _replayed(store, record.campaign_id)
+        cum: dict[str, Any] = {}
+        for event in _iteration_events(events):
+            curves = event.payload.get("curve_parameters", {})
+            for name, acquired in event.payload["acquired"].items():
+                cum[name] = acquired if name not in cum else cum[name] + acquired
+                curve = curves.get(name)
+                rows.append(
+                    (
+                        record.campaign_id,
+                        event.iteration,
+                        name,
+                        acquired,
+                        cum[name],
+                        None if curve is None else curve[0],
+                        None if curve is None else curve[1],
+                    )
+                )
+    rows.sort(key=lambda row: (row[0], row[1], row[2]))
+    return rows
+
+
+def _ref_campaign_costs(store: CampaignStore) -> list[tuple]:
+    rows: list[tuple] = []
+    for record in store.list_campaigns():
+        events = _replayed(store, record.campaign_id)
+        cum = None
+        for event in _iteration_events(events):
+            payload = event.payload
+            spent = payload["spent"]
+            cum = spent if cum is None else cum + spent
+            rows.append(
+                (
+                    record.campaign_id,
+                    event.iteration,
+                    spent,
+                    cum,
+                    payload["limit"],
+                    payload["imbalance_before"],
+                    payload["imbalance_after"],
+                )
+            )
+    rows.sort(key=lambda row: (row[0], row[1]))
+    return rows
+
+
+def _ref_fulfillment_rates(store: CampaignStore) -> list[tuple]:
+    rows: list[tuple] = []
+    for record in store.list_campaigns():
+        events = _replayed(store, record.campaign_id)
+        fulfillments = [e for e in events if e.kind == "fulfillment"]
+        fulfillments.sort(key=lambda e: e.seq)
+        n = len(fulfillments)
+        requested = effective = delivered = shortfall = failovers = degraded = 0
+        cost = None
+        for event in fulfillments:
+            payload = event.payload
+            requested += payload["requested"]
+            effective += payload["effective"]
+            delivered += payload["delivered"]
+            shortfall += payload["shortfall"]
+            cost = payload["cost"] if cost is None else cost + payload["cost"]
+            failovers += 1 if len(payload["provenance"]) > 1 else 0
+            degraded += 1 if payload["status"] != "fulfilled" else 0
+        rows.append(
+            (
+                record.campaign_id,
+                n,
+                requested,
+                effective,
+                delivered,
+                shortfall,
+                0.0 if cost is None else cost,
+                failovers,
+                degraded,
+                shortfall * 1.0 / effective if effective > 0 else 0.0,
+                failovers * 1.0 / n if n > 0 else 0.0,
+            )
+        )
+    rows.sort(key=lambda row: row[0])
+    return rows
+
+
+def _ref_lane_fairness(store: CampaignStore) -> list[tuple]:
+    totals = []
+    for record in sorted(store.list_campaigns(), key=lambda r: r.campaign_id):
+        events = _replayed(store, record.campaign_id)
+        totals.append(
+            {
+                "priority": int(record.priority),
+                "budget": float(record.spec.get("budget", 0.0)),
+                "completed": 1 if record.status == "completed" else 0,
+                "iterations": len(_iteration_events(events)),
+                "spent": _final_spent(events),
+            }
+        )
+    lanes: dict[int, dict] = {}
+    for t in totals:  # already in campaign_id order, matching the SQL window
+        lane = lanes.setdefault(
+            t["priority"],
+            {"campaigns": 0, "completed": 0, "iterations": 0,
+             "spent": None, "budget": None},
+        )
+        lane["campaigns"] += 1
+        lane["completed"] += t["completed"]
+        lane["iterations"] += t["iterations"]
+        lane["spent"] = (
+            t["spent"] if lane["spent"] is None else lane["spent"] + t["spent"]
+        )
+        lane["budget"] = (
+            t["budget"] if lane["budget"] is None else lane["budget"] + t["budget"]
+        )
+    total_spent = None
+    total_budget = None
+    for priority in sorted(lanes):  # grand totals accumulate in priority order
+        lane = lanes[priority]
+        total_spent = (
+            lane["spent"] if total_spent is None else total_spent + lane["spent"]
+        )
+        total_budget = (
+            lane["budget"] if total_budget is None else total_budget + lane["budget"]
+        )
+    rows = []
+    for priority in sorted(lanes):
+        lane = lanes[priority]
+        rows.append(
+            (
+                priority,
+                lane["campaigns"],
+                lane["completed"],
+                lane["iterations"],
+                lane["spent"],
+                lane["budget"],
+                lane["spent"] / total_spent if total_spent > 0 else 0.0,
+                lane["budget"] / total_budget if total_budget > 0 else 0.0,
+            )
+        )
+    return rows
+
+
+def _canonical(value: Any) -> str:
+    return json.dumps(value, sort_keys=False)
+
+
+def _ref_cache_trends(store: CampaignStore) -> list[tuple]:
+    rows: list[tuple] = []
+    for record in store.list_campaigns():
+        events = _replayed(store, record.campaign_id)
+        previous: dict[str, str] = {}
+        for event in _iteration_events(events):
+            curves = event.payload.get("curve_parameters", {})
+            if not curves:
+                continue
+            slices = len(curves)
+            reusable = reuses = 0
+            for name, curve in curves.items():
+                rendered = _canonical(curve)
+                if name in previous:
+                    reusable += 1
+                    if previous[name] == rendered:
+                        reuses += 1
+                previous[name] = rendered
+            rows.append(
+                (
+                    record.campaign_id,
+                    event.iteration,
+                    slices,
+                    reuses,
+                    reusable,
+                    reuses * 1.0 / reusable if reusable > 0 else 0.0,
+                )
+            )
+    rows.sort(key=lambda row: (row[0], row[1]))
+    return rows
+
+
+def _ref_reslice_trends(store: CampaignStore) -> list[tuple]:
+    rows: list[tuple] = []
+    for record in store.list_campaigns():
+        events = [e for e in _replayed(store, record.campaign_id)
+                  if e.kind == "reslice"]
+        events.sort(key=lambda e: e.seq)
+        high_water = None
+        for event in events:
+            payload = event.payload
+            generation = payload["slice_generation"]
+            high_water = (
+                generation if high_water is None else max(high_water, generation)
+            )
+            rows.append(
+                (
+                    record.campaign_id,
+                    event.seq,
+                    event.iteration,
+                    generation,
+                    high_water,
+                    payload["method"],
+                    len(payload["slice_names"]),
+                    payload["fingerprint"],
+                )
+            )
+    rows.sort(key=lambda row: (row[0], row[1]))
+    return rows
+
+
+def _ref_campaign_rollup(store: CampaignStore) -> list[tuple]:
+    shortfalls = {row[0]: row[5] for row in _ref_fulfillment_rates(store)}
+    rows: list[tuple] = []
+    for record in store.list_campaigns():
+        events = _replayed(store, record.campaign_id)
+        generations = [
+            e.payload["slice_generation"] for e in events if e.kind == "reslice"
+        ]
+        rows.append(
+            (
+                record.campaign_id,
+                record.name,
+                record.status,
+                int(record.priority),
+                float(record.spec.get("budget", 0.0)),
+                len(_iteration_events(events)),
+                _final_spent(events),
+                sum(1 for e in events if e.kind == "fulfillment"),
+                shortfalls.get(record.campaign_id, 0),
+                max(generations) if generations else 0,
+                len(events),
+            )
+        )
+    rows.sort(key=lambda row: row[0])
+    return rows
+
+
+_REFERENCES: dict[str, Callable[[CampaignStore], list[tuple]]] = {
+    "campaign_rollup": _ref_campaign_rollup,
+    "slice_trajectories": _ref_slice_trajectories,
+    "campaign_costs": _ref_campaign_costs,
+    "fulfillment_rates": _ref_fulfillment_rates,
+    "lane_fairness": _ref_lane_fairness,
+    "cache_trends": _ref_cache_trends,
+    "reslice_trends": _ref_reslice_trends,
+}
+
+
+def reference_rows(
+    store: CampaignStore, view: str, campaign_id: str | None = None
+) -> list[tuple]:
+    """Reference rows for ``view``, ordered exactly like the SQL query."""
+    if view not in _REFERENCES:
+        raise AnalyticsError(
+            f"unknown analytics view {view!r}; expected one of "
+            f"{', '.join(sorted(_REFERENCES))}"
+        )
+    definition = VIEW_DEFINITIONS[view]
+    rows = _REFERENCES[view](store)
+    if campaign_id is not None:
+        if not definition.campaign_filterable:
+            raise AnalyticsError(f"view {view!r} is global, not per-campaign")
+        rows = [row for row in rows if row[0] == campaign_id]
+    return rows
+
+
+def assert_consistent(
+    store: CampaignStore, analytics: "Analytics | None" = None
+) -> dict[str, int]:
+    """Compare every SQL view against its Python reference, row-for-row.
+
+    Returns ``{view: row_count}`` on success; raises
+    :class:`~repro.utils.exceptions.AnalyticsError` naming the first
+    mismatching view, row, and column otherwise.  When ``analytics`` is
+    omitted a throw-away in-memory mirror is built from the store.
+    """
+    from repro.analytics.refresh import Analytics
+
+    owned = analytics is None
+    if owned:
+        analytics = Analytics(store, path=":memory:")
+    try:
+        analytics.refresh()
+        counts: dict[str, int] = {}
+        for view, definition in VIEW_DEFINITIONS.items():
+            got = analytics.rows(view)
+            want = reference_rows(store, view)
+            if len(got) != len(want):
+                raise AnalyticsError(
+                    f"view {view!r}: SQL returned {len(got)} rows, "
+                    f"reference computed {len(want)}"
+                )
+            for index, (g_row, w_row) in enumerate(zip(got, want)):
+                for column, g, w in zip(definition.columns, g_row, w_row):
+                    if not (g == w):
+                        raise AnalyticsError(
+                            f"view {view!r} row {index} column {column!r}: "
+                            f"SQL {g!r} != reference {w!r}"
+                        )
+            counts[view] = len(got)
+        return counts
+    finally:
+        if owned:
+            analytics.close()

@@ -1,0 +1,342 @@
+"""Incrementally refreshed analytics database over a campaign store.
+
+:class:`Analytics` maintains a *separate* SQLite database (default:
+``<store>.analytics`` next to a :class:`~repro.campaigns.store.SqliteStore`
+file, ``:memory:`` otherwise) holding a replayed-event mirror plus the
+views of :mod:`repro.analytics.views`.  The live store is only ever read —
+for a file-backed store through its own ``mode=ro`` URI connection — so
+report traffic can never contend the WAL write path or take the store's
+process-level write lock.
+
+Refresh is incremental: a ``cursor`` row in the ``meta`` table remembers
+the highest event ``seq`` mirrored so far, and :meth:`Analytics.refresh`
+pulls only events with ``seq > cursor`` (the same ``after=`` idiom the
+serve layer uses for live tails).  Re-running a report after *N* new events
+therefore costs O(N), not O(log).  Applying an event replays the
+generation-collapse rule of :func:`repro.campaigns.store.replay_events`
+one event at a time — for each ``(campaign, kind, iteration)`` key only the
+newest generation survives — so after any refresh the mirror equals what a
+from-scratch rebuild would produce, row for row and byte for byte.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sqlite3
+from typing import Any
+
+from repro.analytics.views import REPORT_SECTIONS, VIEW_DEFINITIONS, views_schema
+from repro.campaigns.store import CampaignStore, SqliteStore
+from repro.utils.exceptions import AnalyticsError
+
+__all__ = ["Analytics", "REPORT_SCHEMA", "default_analytics_path"]
+
+#: Schema tag stamped on every report payload (CLI ``--json`` and HTTP).
+REPORT_SCHEMA = "repro.report/1"
+
+_MIRROR_SCHEMA = """
+CREATE TABLE IF NOT EXISTS meta (
+    key   TEXT PRIMARY KEY,
+    value TEXT NOT NULL
+);
+CREATE TABLE IF NOT EXISTS campaigns (
+    campaign_id TEXT PRIMARY KEY,
+    name        TEXT NOT NULL,
+    status      TEXT NOT NULL,
+    priority    INTEGER NOT NULL,
+    budget      REAL NOT NULL,
+    created_at  REAL NOT NULL
+);
+CREATE TABLE IF NOT EXISTS events (
+    seq         INTEGER PRIMARY KEY,
+    campaign_id TEXT NOT NULL,
+    generation  INTEGER NOT NULL,
+    iteration   INTEGER NOT NULL,
+    kind        TEXT NOT NULL,
+    payload     TEXT NOT NULL
+);
+CREATE INDEX IF NOT EXISTS idx_mirror_events_key
+    ON events(campaign_id, kind, iteration);
+"""
+
+
+def default_analytics_path(store: CampaignStore) -> str:
+    """Where the analytics database for ``store`` lives by default."""
+    path = getattr(store, "path", None)
+    if path and path != ":memory:":
+        return f"{path}.analytics"
+    return ":memory:"
+
+
+class Analytics:
+    """Read-only analytics layer over a :class:`CampaignStore`.
+
+    Parameters
+    ----------
+    store:
+        The campaign store to mirror.  A file-backed
+        :class:`~repro.campaigns.store.SqliteStore` is read through a
+        dedicated read-only URI connection; any other store (e.g.
+        :class:`~repro.campaigns.store.InMemoryStore`) is read through the
+        :class:`CampaignStore` protocol.
+    path:
+        Analytics database file; defaults to
+        :func:`default_analytics_path`.
+    """
+
+    SCHEMA_VERSION = 1
+
+    def __init__(self, store: CampaignStore, path: str | None = None) -> None:
+        self.store = store
+        self.path = path or default_analytics_path(store)
+        self._conn = sqlite3.connect(self.path, check_same_thread=False)
+        self._conn.execute("PRAGMA busy_timeout=10000")
+        if self.path != ":memory:":
+            self._conn.execute("PRAGMA journal_mode=WAL")
+        self._init_schema()
+
+    # -- schema ------------------------------------------------------------------
+    def _init_schema(self) -> None:
+        with self._conn:
+            self._conn.executescript(_MIRROR_SCHEMA)
+            version = self._meta("schema_version")
+            if version is not None and version != str(self.SCHEMA_VERSION):
+                self._reset_locked()
+            self._set_meta("schema_version", str(self.SCHEMA_VERSION))
+            self._conn.executescript(views_schema())
+
+    def _reset_locked(self) -> None:
+        for name in VIEW_DEFINITIONS:
+            self._conn.execute(f"DROP VIEW IF EXISTS {name}")
+        self._conn.execute("DELETE FROM events")
+        self._conn.execute("DELETE FROM campaigns")
+        self._conn.execute("DELETE FROM meta")
+
+    def _meta(self, key: str) -> str | None:
+        row = self._conn.execute(
+            "SELECT value FROM meta WHERE key = ?", (key,)
+        ).fetchone()
+        return None if row is None else str(row[0])
+
+    def _set_meta(self, key: str, value: str) -> None:
+        self._conn.execute(
+            "INSERT INTO meta (key, value) VALUES (?, ?) "
+            "ON CONFLICT(key) DO UPDATE SET value = excluded.value",
+            (key, value),
+        )
+
+    # -- refresh -----------------------------------------------------------------
+    @property
+    def cursor(self) -> int:
+        """Highest store event ``seq`` mirrored so far."""
+        value = self._meta("cursor")
+        return 0 if value is None else int(value)
+
+    def refresh(self) -> dict[str, int]:
+        """Mirror events appended since the last refresh; O(new events)."""
+        after = self.cursor
+        batch = self._pull_events(after)
+        cursor = after
+        kept = 0
+        with self._conn:
+            for seq, campaign_id, generation, iteration, kind, payload in batch:
+                kept += self._apply_event(
+                    seq, campaign_id, generation, iteration, kind, payload
+                )
+                cursor = max(cursor, seq)
+            self._sync_campaigns()
+            self._set_meta("cursor", str(cursor))
+        return {
+            "cursor": cursor,
+            "events_seen": len(batch),
+            "events_kept": kept,
+            "campaigns": self._conn.execute(
+                "SELECT COUNT(*) FROM campaigns"
+            ).fetchone()[0],
+        }
+
+    def rebuild(self) -> dict[str, int]:
+        """Drop the mirror and refresh from scratch (seq 0)."""
+        with self._conn:
+            self._conn.execute("DELETE FROM events")
+            self._conn.execute("DELETE FROM campaigns")
+            self._set_meta("cursor", "0")
+        return self.refresh()
+
+    def _apply_event(
+        self,
+        seq: int,
+        campaign_id: str,
+        generation: int,
+        iteration: int,
+        kind: str,
+        payload: str,
+    ) -> int:
+        """Insert one event under the generation-collapse rule.
+
+        Mirrors :func:`repro.campaigns.store.replay_events` incrementally:
+        an event older than the newest generation already mirrored for its
+        ``(campaign, kind, iteration)`` key is dropped; a newer one evicts
+        the key's older rows first.
+        """
+        key = (campaign_id, kind, iteration)
+        row = self._conn.execute(
+            "SELECT MAX(generation) FROM events "
+            "WHERE campaign_id = ? AND kind = ? AND iteration = ?",
+            key,
+        ).fetchone()
+        newest = row[0]
+        if newest is not None:
+            if generation < newest:
+                return 0
+            if generation > newest:
+                self._conn.execute(
+                    "DELETE FROM events "
+                    "WHERE campaign_id = ? AND kind = ? AND iteration = ? "
+                    "AND generation < ?",
+                    key + (generation,),
+                )
+        self._conn.execute(
+            "INSERT INTO events (seq, campaign_id, generation, iteration, kind, "
+            "payload) VALUES (?, ?, ?, ?, ?, ?)",
+            (seq, campaign_id, generation, iteration, kind, payload),
+        )
+        return 1
+
+    def _sync_campaigns(self) -> None:
+        for record in self.store.list_campaigns():
+            self._conn.execute(
+                "INSERT INTO campaigns "
+                "(campaign_id, name, status, priority, budget, created_at) "
+                "VALUES (?, ?, ?, ?, ?, ?) "
+                "ON CONFLICT(campaign_id) DO UPDATE SET "
+                "name = excluded.name, status = excluded.status, "
+                "priority = excluded.priority, budget = excluded.budget, "
+                "created_at = excluded.created_at",
+                (
+                    record.campaign_id,
+                    record.name,
+                    record.status,
+                    int(record.priority),
+                    float(record.spec.get("budget", 0.0)),
+                    float(record.created_at),
+                ),
+            )
+
+    def _pull_events(self, after: int) -> list[tuple[int, str, int, int, str, str]]:
+        """New store events with ``seq > after``, in seq order.
+
+        File-backed stores are read through a read-only URI connection so
+        this never touches the store's write lock; other stores go through
+        the :class:`CampaignStore` protocol and re-serialize payloads with
+        the same ``json.dumps`` call :meth:`SqliteStore.append_event` uses,
+        so both paths mirror identical payload text.
+        """
+        if isinstance(self.store, SqliteStore) and self.store.path != ":memory:":
+            source = sqlite3.connect(
+                f"file:{self.store.path}?mode=ro", uri=True, check_same_thread=False
+            )
+            try:
+                source.execute("PRAGMA busy_timeout=10000")
+                rows = source.execute(
+                    "SELECT seq, campaign_id, generation, iteration, kind, payload "
+                    "FROM events WHERE seq > ? ORDER BY seq",
+                    (after,),
+                ).fetchall()
+            finally:
+                source.close()
+            return [
+                (int(r[0]), str(r[1]), int(r[2]), int(r[3]), str(r[4]), str(r[5]))
+                for r in rows
+            ]
+        batch: list[tuple[int, str, int, int, str, str]] = []
+        for record in self.store.list_campaigns():
+            for event in self.store.events(record.campaign_id, after=after):
+                batch.append(
+                    (
+                        event.seq,
+                        event.campaign_id,
+                        event.generation,
+                        event.iteration,
+                        event.kind,
+                        json.dumps(dict(event.payload)),
+                    )
+                )
+        batch.sort(key=lambda row: row[0])
+        return batch
+
+    # -- queries -----------------------------------------------------------------
+    def columns(self, view: str) -> tuple[str, ...]:
+        return self._view(view).columns
+
+    def rows(self, view: str, campaign_id: str | None = None) -> list[tuple]:
+        """Deterministically ordered rows of one view."""
+        definition = self._view(view)
+        if campaign_id is not None and not definition.campaign_filterable:
+            raise AnalyticsError(f"view {view!r} is global, not per-campaign")
+        sql, params = definition.query(campaign_id)
+        return [tuple(row) for row in self._conn.execute(sql, params).fetchall()]
+
+    def report(self, kind: str, campaign_id: str | None = None) -> dict[str, Any]:
+        """Schema-tagged ``repro.report/1`` payload for one report kind.
+
+        The same payload backs ``cli report --json`` and the HTTP report
+        endpoints, so the two surfaces are equal by construction.  Call
+        :meth:`refresh` first to fold in newly appended events.
+        """
+        if kind not in REPORT_SECTIONS:
+            raise AnalyticsError(
+                f"unknown report {kind!r}; expected one of "
+                f"{', '.join(sorted(REPORT_SECTIONS))}"
+            )
+        sections: dict[str, Any] = {}
+        for view in REPORT_SECTIONS[kind]:
+            definition = self._view(view)
+            filter_id = campaign_id if definition.campaign_filterable else None
+            if campaign_id is not None and not definition.campaign_filterable:
+                raise AnalyticsError(
+                    f"report {kind!r} is global, not per-campaign"
+                )
+            sections[view] = {
+                "doc": definition.doc,
+                "columns": list(definition.columns),
+                "rows": [list(row) for row in self.rows(view, filter_id)],
+            }
+        return {
+            "schema": REPORT_SCHEMA,
+            "report": kind,
+            "campaign_id": campaign_id,
+            "cursor": self.cursor,
+            "sections": sections,
+        }
+
+    @staticmethod
+    def _view(name: str):
+        try:
+            return VIEW_DEFINITIONS[name]
+        except KeyError:
+            raise AnalyticsError(
+                f"unknown analytics view {name!r}; expected one of "
+                f"{', '.join(sorted(VIEW_DEFINITIONS))}"
+            ) from None
+
+    # -- lifecycle ---------------------------------------------------------------
+    def close(self) -> None:
+        self._conn.close()
+
+    def remove(self) -> None:
+        """Delete the analytics database file (tests and ``--rebuild``)."""
+        self.close()
+        if self.path != ":memory:":
+            for suffix in ("", "-wal", "-shm"):
+                try:
+                    os.unlink(self.path + suffix)
+                except FileNotFoundError:
+                    pass
+
+    def __enter__(self) -> "Analytics":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()

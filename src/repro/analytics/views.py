@@ -1,0 +1,448 @@
+"""Named SQL views over the mirrored campaign event log.
+
+Every view reads the *analytics* database — a replayed-event mirror kept by
+:class:`~repro.analytics.refresh.Analytics` — never the live store, so the
+WAL write path of :class:`~repro.campaigns.store.SqliteStore` is never
+contended by reporting traffic.  The views lean on SQLite's window
+functions and JSON1 table-valued functions; every one of them has a pure
+Python twin in :mod:`repro.analytics.reference` that is compared
+row-for-row in tests and by ``cli report --verify``.
+
+Determinism note: several views sum floating-point columns.  Plain
+``SUM(...) GROUP BY`` leaves the addition order to the query planner, which
+would make bit-exact comparison against the Python reference impossible,
+so every float total is computed as a *running* window sum with an explicit
+``ORDER BY`` (taking the final row of each partition).  Integer aggregates
+are exact in any order and use ordinary ``GROUP BY``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["ViewDef", "VIEW_DEFINITIONS", "REPORT_SECTIONS", "views_schema"]
+
+
+@dataclass(frozen=True)
+class ViewDef:
+    """One named analytics view.
+
+    Attributes
+    ----------
+    name:
+        View name inside the analytics database.
+    doc:
+        One-line description (shown by ``cli report`` headers).
+    columns:
+        Output columns, in SELECT order.
+    order_by:
+        Deterministic ordering appended to every query of the view so SQL
+        rows and reference rows can be compared positionally.
+    campaign_filterable:
+        Whether the view has a ``campaign_id`` column that per-campaign
+        reports may filter on.
+    sql:
+        The ``CREATE VIEW`` body (a SELECT statement).
+    """
+
+    name: str
+    doc: str
+    columns: tuple[str, ...]
+    order_by: str
+    campaign_filterable: bool
+    sql: str
+
+    def create_sql(self) -> str:
+        return f"CREATE VIEW IF NOT EXISTS {self.name} AS\n{self.sql}"
+
+    def query(self, campaign_id: str | None = None) -> tuple[str, tuple]:
+        """Deterministically ordered SELECT over the view."""
+        sql = f"SELECT {', '.join(self.columns)} FROM {self.name}"
+        params: tuple = ()
+        if campaign_id is not None:
+            if not self.campaign_filterable:
+                raise ValueError(f"view {self.name!r} is not per-campaign")
+            sql += " WHERE campaign_id = ?"
+            params = (campaign_id,)
+        return sql + f" ORDER BY {self.order_by}", params
+
+
+_SLICE_TRAJECTORIES = """\
+WITH iteration_slices AS (
+    SELECT e.campaign_id,
+           e.iteration,
+           a.key AS slice,
+           a.value AS acquired,
+           json_extract(c.value, '$[0]') AS curve_b,
+           json_extract(c.value, '$[1]') AS curve_a
+    FROM events AS e
+    JOIN json_each(e.payload, '$.acquired') AS a
+    LEFT JOIN json_each(e.payload, '$.curve_parameters') AS c
+        ON c.key = a.key
+    WHERE e.kind = 'iteration'
+)
+SELECT campaign_id,
+       iteration,
+       slice,
+       acquired,
+       SUM(acquired) OVER (
+           PARTITION BY campaign_id, slice
+           ORDER BY iteration
+           ROWS UNBOUNDED PRECEDING
+       ) AS cum_acquired,
+       curve_b,
+       curve_a
+FROM iteration_slices"""
+
+_CAMPAIGN_COSTS = """\
+SELECT e.campaign_id,
+       e.iteration,
+       json_extract(e.payload, '$.spent') AS spent,
+       SUM(json_extract(e.payload, '$.spent')) OVER (
+           PARTITION BY e.campaign_id
+           ORDER BY e.iteration
+           ROWS UNBOUNDED PRECEDING
+       ) AS cum_spent,
+       json_extract(e.payload, '$.limit') AS budget_limit,
+       json_extract(e.payload, '$.imbalance_before') AS imbalance_before,
+       json_extract(e.payload, '$.imbalance_after') AS imbalance_after
+FROM events AS e
+WHERE e.kind = 'iteration'"""
+
+_FULFILLMENT_RATES = """\
+WITH f AS (
+    SELECT e.campaign_id,
+           e.seq,
+           json_extract(e.payload, '$.requested') AS requested,
+           json_extract(e.payload, '$.effective') AS effective,
+           json_extract(e.payload, '$.delivered') AS delivered,
+           json_extract(e.payload, '$.shortfall') AS shortfall,
+           json_extract(e.payload, '$.cost') AS cost,
+           CASE WHEN json_array_length(e.payload, '$.provenance') > 1
+                THEN 1 ELSE 0 END AS failover,
+           CASE WHEN json_extract(e.payload, '$.status') != 'fulfilled'
+                THEN 1 ELSE 0 END AS degraded
+    FROM events AS e
+    WHERE e.kind = 'fulfillment'
+),
+running AS (
+    SELECT campaign_id,
+           COUNT(*) OVER w AS fulfillments,
+           SUM(requested) OVER w AS requested,
+           SUM(effective) OVER w AS effective,
+           SUM(delivered) OVER w AS delivered,
+           SUM(shortfall) OVER w AS shortfall,
+           SUM(cost) OVER w AS cost,
+           SUM(failover) OVER w AS failovers,
+           SUM(degraded) OVER w AS degraded,
+           ROW_NUMBER() OVER w AS rn,
+           COUNT(*) OVER (PARTITION BY campaign_id) AS total
+    FROM f
+    WINDOW w AS (PARTITION BY campaign_id ORDER BY seq ROWS UNBOUNDED PRECEDING)
+),
+per_campaign AS (
+    SELECT * FROM running WHERE rn = total
+)
+SELECT c.campaign_id,
+       COALESCE(p.fulfillments, 0) AS fulfillments,
+       COALESCE(p.requested, 0) AS requested,
+       COALESCE(p.effective, 0) AS effective,
+       COALESCE(p.delivered, 0) AS delivered,
+       COALESCE(p.shortfall, 0) AS shortfall,
+       COALESCE(p.cost, 0.0) AS cost,
+       COALESCE(p.failovers, 0) AS failovers,
+       COALESCE(p.degraded, 0) AS degraded,
+       CASE WHEN COALESCE(p.effective, 0) > 0
+            THEN COALESCE(p.shortfall, 0) * 1.0 / p.effective
+            ELSE 0.0 END AS shortfall_rate,
+       CASE WHEN COALESCE(p.fulfillments, 0) > 0
+            THEN COALESCE(p.failovers, 0) * 1.0 / p.fulfillments
+            ELSE 0.0 END AS failover_rate
+FROM campaigns AS c
+LEFT JOIN per_campaign AS p ON p.campaign_id = c.campaign_id"""
+
+_LANE_FAIRNESS = """\
+WITH totals AS (
+    SELECT c.campaign_id,
+           c.priority,
+           c.budget,
+           CASE WHEN c.status = 'completed' THEN 1 ELSE 0 END AS completed,
+           COALESCE((SELECT COUNT(*) FROM events AS e
+                     WHERE e.campaign_id = c.campaign_id
+                       AND e.kind = 'iteration'), 0) AS iterations,
+           COALESCE((SELECT cc.cum_spent FROM campaign_costs AS cc
+                     WHERE cc.campaign_id = c.campaign_id
+                     ORDER BY cc.iteration DESC LIMIT 1), 0.0) AS spent
+    FROM campaigns AS c
+),
+running AS (
+    SELECT priority,
+           COUNT(*) OVER lane AS campaigns,
+           SUM(completed) OVER lane AS completed,
+           SUM(iterations) OVER lane AS iterations,
+           SUM(spent) OVER lane AS spent,
+           SUM(budget) OVER lane AS budget,
+           ROW_NUMBER() OVER lane AS rn,
+           COUNT(*) OVER (PARTITION BY priority) AS total
+    FROM totals
+    WINDOW lane AS (PARTITION BY priority ORDER BY campaign_id
+                    ROWS UNBOUNDED PRECEDING)
+),
+lanes AS (
+    SELECT priority, campaigns, completed, iterations, spent, budget
+    FROM running WHERE rn = total
+),
+grand_running AS (
+    SELECT SUM(spent) OVER g AS total_spent,
+           SUM(budget) OVER g AS total_budget,
+           ROW_NUMBER() OVER g AS rn,
+           COUNT(*) OVER () AS total
+    FROM lanes
+    WINDOW g AS (ORDER BY priority ROWS UNBOUNDED PRECEDING)
+),
+grand AS (
+    SELECT total_spent, total_budget FROM grand_running WHERE rn = total
+)
+SELECT l.priority,
+       l.campaigns,
+       l.completed,
+       l.iterations,
+       l.spent,
+       l.budget,
+       CASE WHEN g.total_spent > 0
+            THEN l.spent / g.total_spent ELSE 0.0 END AS spent_share,
+       CASE WHEN g.total_budget > 0
+            THEN l.budget / g.total_budget ELSE 0.0 END AS budget_share
+FROM lanes AS l, grand AS g"""
+
+_CACHE_TRENDS = """\
+WITH params AS (
+    SELECT e.campaign_id,
+           e.iteration,
+           j.key AS slice,
+           j.value AS curve
+    FROM events AS e,
+         json_each(e.payload, '$.curve_parameters') AS j
+    WHERE e.kind = 'iteration'
+),
+lagged AS (
+    SELECT campaign_id,
+           iteration,
+           curve,
+           LAG(curve) OVER (
+               PARTITION BY campaign_id, slice ORDER BY iteration
+           ) AS prev
+    FROM params
+)
+SELECT campaign_id,
+       iteration,
+       COUNT(*) AS slices,
+       SUM(CASE WHEN prev IS NOT NULL AND prev = curve
+                THEN 1 ELSE 0 END) AS curve_reuses,
+       SUM(CASE WHEN prev IS NOT NULL THEN 1 ELSE 0 END) AS reusable,
+       CASE WHEN SUM(CASE WHEN prev IS NOT NULL THEN 1 ELSE 0 END) > 0
+            THEN SUM(CASE WHEN prev IS NOT NULL AND prev = curve
+                          THEN 1 ELSE 0 END) * 1.0
+                 / SUM(CASE WHEN prev IS NOT NULL THEN 1 ELSE 0 END)
+            ELSE 0.0 END AS reuse_rate
+FROM lagged
+GROUP BY campaign_id, iteration"""
+
+_RESLICE_TRENDS = """\
+SELECT e.campaign_id,
+       e.seq,
+       e.iteration,
+       json_extract(e.payload, '$.slice_generation') AS slice_generation,
+       MAX(json_extract(e.payload, '$.slice_generation')) OVER (
+           PARTITION BY e.campaign_id
+           ORDER BY e.seq
+           ROWS UNBOUNDED PRECEDING
+       ) AS max_generation,
+       json_extract(e.payload, '$.method') AS method,
+       json_array_length(e.payload, '$.slice_names') AS n_slices,
+       json_extract(e.payload, '$.fingerprint') AS fingerprint
+FROM events AS e
+WHERE e.kind = 'reslice'"""
+
+_CAMPAIGN_ROLLUP = """\
+SELECT c.campaign_id,
+       c.name,
+       c.status,
+       c.priority,
+       c.budget,
+       COALESCE((SELECT COUNT(*) FROM events AS e
+                 WHERE e.campaign_id = c.campaign_id
+                   AND e.kind = 'iteration'), 0) AS iterations,
+       COALESCE((SELECT cc.cum_spent FROM campaign_costs AS cc
+                 WHERE cc.campaign_id = c.campaign_id
+                 ORDER BY cc.iteration DESC LIMIT 1), 0.0) AS spent,
+       COALESCE((SELECT COUNT(*) FROM events AS e
+                 WHERE e.campaign_id = c.campaign_id
+                   AND e.kind = 'fulfillment'), 0) AS fulfillments,
+       COALESCE((SELECT fr.shortfall FROM fulfillment_rates AS fr
+                 WHERE fr.campaign_id = c.campaign_id), 0) AS shortfall,
+       COALESCE((SELECT MAX(json_extract(e.payload, '$.slice_generation'))
+                 FROM events AS e
+                 WHERE e.campaign_id = c.campaign_id
+                   AND e.kind = 'reslice'), 0) AS slice_generation,
+       (SELECT COUNT(*) FROM events AS e
+        WHERE e.campaign_id = c.campaign_id) AS events
+FROM campaigns AS c"""
+
+
+#: Every analytics view, keyed by name.
+VIEW_DEFINITIONS: dict[str, ViewDef] = {
+    view.name: view
+    for view in (
+        ViewDef(
+            name="campaign_rollup",
+            doc="one-line health summary per campaign",
+            columns=(
+                "campaign_id",
+                "name",
+                "status",
+                "priority",
+                "budget",
+                "iterations",
+                "spent",
+                "fulfillments",
+                "shortfall",
+                "slice_generation",
+                "events",
+            ),
+            order_by="campaign_id",
+            campaign_filterable=True,
+            sql=_CAMPAIGN_ROLLUP,
+        ),
+        ViewDef(
+            name="slice_trajectories",
+            doc="per-slice acquisition and learning-curve trajectory",
+            columns=(
+                "campaign_id",
+                "iteration",
+                "slice",
+                "acquired",
+                "cum_acquired",
+                "curve_b",
+                "curve_a",
+            ),
+            order_by="campaign_id, iteration, slice",
+            campaign_filterable=True,
+            sql=_SLICE_TRAJECTORIES,
+        ),
+        ViewDef(
+            name="campaign_costs",
+            doc="per-iteration spend and imbalance trajectory",
+            columns=(
+                "campaign_id",
+                "iteration",
+                "spent",
+                "cum_spent",
+                "budget_limit",
+                "imbalance_before",
+                "imbalance_after",
+            ),
+            order_by="campaign_id, iteration",
+            campaign_filterable=True,
+            sql=_CAMPAIGN_COSTS,
+        ),
+        ViewDef(
+            name="fulfillment_rates",
+            doc="per-campaign shortfall and provider-failover rates",
+            columns=(
+                "campaign_id",
+                "fulfillments",
+                "requested",
+                "effective",
+                "delivered",
+                "shortfall",
+                "cost",
+                "failovers",
+                "degraded",
+                "shortfall_rate",
+                "failover_rate",
+            ),
+            order_by="campaign_id",
+            campaign_filterable=True,
+            sql=_FULFILLMENT_RATES,
+        ),
+        ViewDef(
+            name="lane_fairness",
+            doc="scheduler fairness: spend share vs budget share per priority lane",
+            columns=(
+                "priority",
+                "campaigns",
+                "completed",
+                "iterations",
+                "spent",
+                "budget",
+                "spent_share",
+                "budget_share",
+            ),
+            order_by="priority",
+            campaign_filterable=False,
+            sql=_LANE_FAIRNESS,
+        ),
+        ViewDef(
+            name="cache_trends",
+            doc="per-iteration curve-parameter reuse (warm-cache proxy)",
+            columns=(
+                "campaign_id",
+                "iteration",
+                "slices",
+                "curve_reuses",
+                "reusable",
+                "reuse_rate",
+            ),
+            order_by="campaign_id, iteration",
+            campaign_filterable=True,
+            sql=_CACHE_TRENDS,
+        ),
+        ViewDef(
+            name="reslice_trends",
+            doc="dynamic re-slicing events and slice-generation high-water mark",
+            columns=(
+                "campaign_id",
+                "seq",
+                "iteration",
+                "slice_generation",
+                "max_generation",
+                "method",
+                "n_slices",
+                "fingerprint",
+            ),
+            order_by="campaign_id, seq",
+            campaign_filterable=True,
+            sql=_RESLICE_TRENDS,
+        ),
+    )
+}
+
+#: Report kinds exposed by ``cli report`` and the serve layer, mapped to the
+#: analytics views each one renders (in section order).
+REPORT_SECTIONS: dict[str, tuple[str, ...]] = {
+    "summary": ("campaign_rollup",),
+    "slices": ("slice_trajectories", "campaign_costs"),
+    "fulfillment": ("fulfillment_rates",),
+    "fairness": ("lane_fairness",),
+    "cache": ("cache_trends", "reslice_trends"),
+}
+
+
+def views_schema() -> str:
+    """``CREATE VIEW IF NOT EXISTS`` statements for every view.
+
+    ``campaign_rollup`` and ``lane_fairness`` reference other views, so the
+    definition order matters; Python dicts preserve insertion order but the
+    dependency-safe order is made explicit here.
+    """
+    ordered = (
+        "slice_trajectories",
+        "campaign_costs",
+        "fulfillment_rates",
+        "lane_fairness",
+        "cache_trends",
+        "reslice_trends",
+        "campaign_rollup",
+    )
+    return ";\n".join(VIEW_DEFINITIONS[name].create_sql() for name in ordered) + ";"

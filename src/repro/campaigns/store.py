@@ -370,6 +370,8 @@ CREATE TABLE IF NOT EXISTS events (
     payload     TEXT NOT NULL
 );
 CREATE INDEX IF NOT EXISTS idx_events_campaign ON events(campaign_id, seq);
+CREATE INDEX IF NOT EXISTS idx_events_campaign_kind
+    ON events(campaign_id, kind, seq);
 CREATE TABLE IF NOT EXISTS snapshots (
     snap_id     INTEGER PRIMARY KEY AUTOINCREMENT,
     campaign_id TEXT NOT NULL,

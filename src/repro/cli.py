@@ -1,6 +1,6 @@
 """Command-line interface for the Slice Tuner reproduction.
 
-Eleven subcommands cover the common workflows without writing any Python:
+Twelve subcommands cover the common workflows without writing any Python:
 
 * ``curves`` — estimate and print the per-slice learning curves of a dataset.
 * ``plan`` — print the One-shot acquisition plan for a budget (no data is
@@ -37,15 +37,24 @@ Eleven subcommands cover the common workflows without writing any Python:
   environment variable) to share one content-addressed SQLite cache across
   processes and restarts: a training repeated anywhere with identical data,
   configuration, and seed is served from disk instead of re-run.
+* ``report`` — analytics reports over a campaign store's event log
+  (``summary``, ``slices``, ``fulfillment``, ``fairness``, ``cache``):
+  SQL views with window functions, materialized into a separate
+  ``<store>.analytics`` database refreshed incrementally by event-sequence
+  cursor.  ``--verify`` cross-checks every view row-for-row against a pure
+  Python reference; ``--json`` emits the same ``repro.report/1`` payload
+  the daemon serves at ``/reports/summary`` and ``/campaigns/<id>/report``.
 * ``strategies`` — list every registered acquisition strategy.
 * ``sources`` — list every registered data-source provider.
 
 Every subcommand accepts ``--quiet`` (print only essential results) and the
 process exits with code 0 on success, 2 on configuration/usage errors (the
 same code argparse uses), and a raised traceback only for genuine bugs.
-``run``, ``campaign list/show``, and the ``remote`` commands also accept
-``--json`` for machine-readable output: one JSON object on stdout carrying
-a ``schema`` tag (e.g. ``repro.run/1``) that stays stable across releases.
+``run``, ``campaign``, ``report``, ``cache``, ``strategies``, ``sources``,
+and the ``remote`` commands also accept ``--json`` for machine-readable
+output: one JSON object on stdout carrying a ``schema`` tag (e.g.
+``repro.run/1``) that stays stable across releases — the README documents
+the full tag inventory.
 
 Examples::
 
@@ -78,6 +87,7 @@ import threading
 from typing import Callable, Sequence
 
 from repro.acquisition.providers import source_descriptions
+from repro.analytics import Analytics, assert_consistent
 from repro.campaigns import (
     RESUMABLE,
     Campaign,
@@ -104,6 +114,7 @@ from repro.experiments.reporting import (
     cache_stats_table,
     engine_cache_stats,
     methods_table,
+    report_tables,
     server_stats_table,
     server_status_line,
 )
@@ -480,6 +491,7 @@ def build_parser() -> argparse.ArgumentParser:
         dest="resume_all",
         help="resume every unfinished campaign in the store, multiplexed",
     )
+    add_json(c_resume)
 
     c_list = campaign_sub.add_parser("list", help="list every stored campaign")
     add_store(c_list)
@@ -533,12 +545,14 @@ def build_parser() -> argparse.ArgumentParser:
     )
     add_cache_dir(cache_clear)
     add_quiet(cache_clear)
+    add_json(cache_clear)
     cache_gc = cache_sub.add_parser(
         "gc",
         help="evict least-recently-accessed entries until the cache fits",
     )
     add_cache_dir(cache_gc)
     add_quiet(cache_gc)
+    add_json(cache_gc)
     cache_gc.add_argument(
         "--max-mb",
         type=float,
@@ -546,6 +560,43 @@ def build_parser() -> argparse.ArgumentParser:
         dest="max_mb",
         help="target payload size in megabytes (LRU eviction by last access)",
     )
+
+    report = subparsers.add_parser(
+        "report",
+        help="analytics reports: SQL views over the campaign event log",
+    )
+    report.add_argument(
+        "report_kind",
+        choices=("summary", "slices", "fulfillment", "fairness", "cache"),
+        help="which report to render (each is one or two analytics views)",
+    )
+    add_store(report)
+    report.add_argument(
+        "--campaign",
+        default=None,
+        dest="campaign_id",
+        help="restrict the report to one campaign id (not valid for fairness)",
+    )
+    report.add_argument(
+        "--analytics",
+        default=None,
+        dest="analytics_path",
+        help="analytics database path (default: <store>.analytics)",
+    )
+    report.add_argument(
+        "--rebuild",
+        action="store_true",
+        help="rebuild the analytics mirror from scratch instead of the "
+        "incremental cursor refresh (the two are byte-identical; this "
+        "exists to prove it and to recover a corrupted mirror)",
+    )
+    report.add_argument(
+        "--verify",
+        action="store_true",
+        help="cross-check every SQL view row-for-row against the pure-Python "
+        "reference before reporting (exit 2 on any mismatch)",
+    )
+    add_json(report)
 
     remote = subparsers.add_parser(
         "remote",
@@ -659,10 +710,12 @@ def build_parser() -> argparse.ArgumentParser:
         "strategies", help="list every registered acquisition strategy"
     )
     add_quiet(strategies)
+    add_json(strategies)
     sources = subparsers.add_parser(
         "sources", help="list every registered data-source provider"
     )
     add_quiet(sources)
+    add_json(sources)
     return parser
 
 
@@ -1358,7 +1411,11 @@ def _cache_stats_payload(cache: SqliteResultCache) -> dict:
             "requests": totals.requests,
             "hits": totals.hits,
             "misses": totals.misses,
-            "evictions": totals.evictions,
+            # ``cache.stats`` aggregates the result path only (memory +
+            # results tiers); ``gc()`` also evicts curves, so the totals row
+            # sums evictions across every tier — otherwise curve evictions
+            # would be invisible outside the per-tier breakdown.
+            "evictions": sum(stats.evictions for stats in tiers.values()),
             "hit_rate": round(totals.hit_rate, 4),
         },
     }
@@ -1414,6 +1471,10 @@ def run_cache(args: argparse.Namespace) -> str:
             )
         if args.cache_command == "clear":
             removed = cache.clear_all()
+            if args.json_output:
+                return _json_output(
+                    "repro.cache.clear/1", {"path": cache.path, **removed}
+                )
             return (
                 f"cleared {cache.path}: {removed['removed_results']} result(s), "
                 f"{removed['removed_curves']} curve(s), "
@@ -1421,6 +1482,11 @@ def run_cache(args: argparse.Namespace) -> str:
             )
         if args.cache_command == "gc":
             report = cache.gc(args.max_mb)
+            if args.json_output:
+                return _json_output(
+                    "repro.cache.gc/1",
+                    {"path": cache.path, "max_mb": args.max_mb, **report},
+                )
             return (
                 f"gc {cache.path} to {args.max_mb:g} MB: evicted "
                 f"{report['removed_results']} result(s), "
@@ -1433,6 +1499,59 @@ def run_cache(args: argparse.Namespace) -> str:
         )
     finally:
         cache.close()
+
+
+# -- the analytics report family ---------------------------------------------------
+
+
+def run_report(args: argparse.Namespace) -> str:
+    """``report``: render one analytics report over a campaign store.
+
+    The payload comes from the same builder the daemon's report endpoints
+    use (:meth:`Analytics.report <repro.analytics.refresh.Analytics>`), so
+    ``report <kind> --json`` and ``GET /reports/summary?kind=<kind>`` emit
+    equal JSON for the same store.  ``--verify`` first compares every SQL
+    view row-for-row against the pure-Python reference implementation and
+    exits 2 on the first mismatch.
+    """
+    if not os.path.exists(args.store):
+        raise ConfigurationError(
+            f"no campaign store at {args.store!r}; start one with "
+            f"`campaign start` (or pass --store)"
+        )
+    with SqliteStore(args.store) as store:
+        with Analytics(store, path=args.analytics_path) as analytics:
+            refreshed = analytics.rebuild() if args.rebuild else analytics.refresh()
+            verified = assert_consistent(store, analytics) if args.verify else None
+            payload = analytics.report(args.report_kind, args.campaign_id)
+            if verified is not None:
+                payload["verified"] = verified
+            if args.json_output:
+                return _json_output(payload["schema"], payload)
+            if args.quiet:
+                rows = sum(
+                    len(section["rows"]) for section in payload["sections"].values()
+                )
+                line = (
+                    f"{args.report_kind} {rows} row(s) through seq "
+                    f"{payload['cursor']}"
+                )
+                if verified is not None:
+                    line += f" — verified {sum(verified.values())} view row(s)"
+                return line
+            output = report_tables(payload)
+            if verified is not None:
+                output += (
+                    "\n\nverified: every SQL view matches its Python reference "
+                    f"({sum(verified.values())} row(s) across "
+                    f"{len(verified)} view(s))"
+                )
+            if refreshed["events_seen"]:
+                output += (
+                    f"\nrefreshed: {refreshed['events_seen']} new event(s) "
+                    f"mirrored incrementally"
+                )
+            return output
 
 
 # -- the serve daemon and its remote clients ---------------------------------------
@@ -1698,6 +1817,25 @@ def run_remote(args: argparse.Namespace) -> str:
 
 def run_strategies(args: argparse.Namespace) -> str:
     """The ``strategies`` subcommand: list the acquisition-strategy registry."""
+    if args.json_output:
+        return _json_output(
+            "repro.strategies/1",
+            {
+                "strategies": [
+                    {
+                        "name": name,
+                        "kind": (
+                            "iterative"
+                            if get_strategy(name).is_iterative
+                            else "one-shot"
+                        ),
+                        "uses_lambda": get_strategy(name).uses_lam,
+                        "description": description,
+                    }
+                    for name, description in strategy_descriptions().items()
+                ]
+            },
+        )
     if args.quiet:
         return "\n".join(available_strategies())
     rows = []
@@ -1716,6 +1854,16 @@ def run_strategies(args: argparse.Namespace) -> str:
 def run_sources(args: argparse.Namespace) -> str:
     """The ``sources`` subcommand: list the data-source provider registry."""
     descriptions = source_descriptions()
+    if args.json_output:
+        return _json_output(
+            "repro.sources/1",
+            {
+                "sources": [
+                    {"name": name, "description": description}
+                    for name, description in descriptions.items()
+                ]
+            },
+        )
     if args.quiet:
         return "\n".join(descriptions)
     rows = [[name, description] for name, description in descriptions.items()]
@@ -1734,6 +1882,7 @@ _COMMANDS = {
     "compare": run_compare,
     "campaign": run_campaign,
     "cache": run_cache,
+    "report": run_report,
     "serve": run_serve,
     "remote": run_remote,
     "strategies": run_strategies,

@@ -157,6 +157,7 @@ _SERVER_STAT_ROWS = (
     ("pump_errors", "pump errors"),
     ("sse_connections", "event streams opened"),
     ("events_streamed", "events streamed"),
+    ("reports_served", "analytics reports served"),
 )
 
 
@@ -193,6 +194,47 @@ def server_status_line(stats: Mapping[str, object]) -> str:
         f"{stats.get('requests', 0)} request(s), "
         f"{stats.get('events_streamed', 0)} event(s) streamed"
     )
+
+
+def _report_cell(value: object) -> object:
+    """Human-friendly rendering of one analytics report cell."""
+    if value is None:
+        return "—"
+    if isinstance(value, float):
+        return f"{value:.4g}"
+    return value
+
+
+def report_tables(payload: Mapping[str, object]) -> str:
+    """A ``repro.report/1`` payload as aligned text tables, one per section.
+
+    The payload is exactly what :meth:`Analytics.report
+    <repro.analytics.refresh.Analytics.report>` builds (and ``--json``
+    prints verbatim); this renderer only formats — floats to four
+    significant digits, ``None`` as ``—`` — so the JSON stays the
+    machine-readable source of truth.
+    """
+    sections = payload.get("sections")
+    blocks: list[str] = []
+    if isinstance(sections, Mapping):
+        for name, section in sections.items():
+            if not isinstance(section, Mapping):
+                continue
+            columns = [str(c) for c in section.get("columns", [])]
+            rows = [
+                [_report_cell(cell) for cell in row]
+                for row in section.get("rows", [])
+            ]
+            if not rows:
+                rows = [["(no rows)"] + [""] * (len(columns) - 1)]
+            title = f"{name} — {section.get('doc', '')}".rstrip(" —")
+            blocks.append(format_table(headers=columns, rows=rows, title=title))
+    scope = payload.get("campaign_id") or "all campaigns"
+    header = (
+        f"report: {payload.get('report', '?')} ({scope}) "
+        f"— through event seq {payload.get('cursor', 0)}"
+    )
+    return "\n\n".join([header] + blocks)
 
 
 def series_text(

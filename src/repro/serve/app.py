@@ -26,6 +26,7 @@ import time
 from dataclasses import dataclass, field
 from typing import Any, Mapping
 
+from repro.analytics import Analytics
 from repro.campaigns.campaign import Campaign, CampaignSpec, campaign_summary
 from repro.campaigns.scheduler import CampaignScheduler, SchedulerTick
 from repro.campaigns.store import (
@@ -55,6 +56,7 @@ class ServerStats:
     campaigns_submitted: int = 0
     sse_connections: int = 0
     events_streamed: int = 0
+    reports_served: int = 0
     errors: int = 0
 
     def __post_init__(self) -> None:
@@ -74,6 +76,7 @@ class ServerStats:
                 "campaigns_submitted": self.campaigns_submitted,
                 "sse_connections": self.sse_connections,
                 "events_streamed": self.events_streamed,
+                "reports_served": self.reports_served,
                 "errors": self.errors,
             }
 
@@ -114,6 +117,8 @@ class TunerService:
         self._tick_seq = 0
         self._last_ticks: dict[str, tuple[int, dict[str, Any]]] = {}
         self._closing = threading.Event()
+        self._analytics: Analytics | None = None
+        self._analytics_lock = threading.Lock()
         self.scheduler.add_progress_callback(self._on_tick)
 
     # -- lifecycle ---------------------------------------------------------------
@@ -143,6 +148,10 @@ class TunerService:
         """Drain (if not already) and release the store."""
         if not self._closing.is_set():
             self.drain()
+        with self._analytics_lock:
+            if self._analytics is not None:
+                self._analytics.close()
+                self._analytics = None
         self.store.close()
 
     # -- submissions and control -------------------------------------------------
@@ -287,6 +296,26 @@ class TunerService:
     def status(self, campaign_id: str) -> str:
         """The store's lifecycle status for ``campaign_id``."""
         return self.store.get_campaign(campaign_id).status
+
+    def report(self, kind: str, campaign_id: str | None = None) -> dict[str, Any]:
+        """A ``repro.report/1`` analytics payload over the live store.
+
+        Backs ``GET /reports/summary`` and ``GET /campaigns/<id>/report``.
+        The analytics mirror is created lazily next to the store (in memory
+        for an :class:`InMemoryStore`) and refreshed incrementally before
+        every report, so a poll between scheduler ticks costs O(new
+        events).  The payload equals what ``cli report <kind> --json``
+        prints for the same store — one builder serves both surfaces.
+        """
+        if campaign_id is not None:
+            self.store.get_campaign(campaign_id)  # 404-mapped when unknown
+        with self._analytics_lock:
+            if self._analytics is None:
+                self._analytics = Analytics(self.store)
+            self._analytics.refresh()
+            payload = self._analytics.report(kind, campaign_id)
+        self.stats.count("reports_served")
+        return payload
 
     # -- live-activity plumbing (SSE) --------------------------------------------
     def _on_tick(self, tick: SchedulerTick) -> None:

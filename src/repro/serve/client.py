@@ -141,6 +141,18 @@ class TunerClient:
         """``GET /campaigns/<id>/log``: the replayed event log."""
         return list(self._request("GET", f"/campaigns/{campaign_id}/log")["events"])
 
+    def report(
+        self, kind: str = "summary", campaign_id: str | None = None
+    ) -> dict[str, Any]:
+        """``GET /reports/summary`` or ``GET /campaigns/<id>/report``.
+
+        Returns the schema-tagged ``repro.report/1`` payload — identical to
+        what ``cli report <kind> --json`` prints against the same store.
+        """
+        if campaign_id is None:
+            return self._request("GET", f"/reports/summary?kind={kind}")
+        return self._request("GET", f"/campaigns/{campaign_id}/report?kind={kind}")
+
     def wait(
         self, campaign_id: str, timeout: float = 300.0, poll: float = 0.2
     ) -> dict[str, Any]:

@@ -16,10 +16,18 @@ GET      ``/campaigns/<id>/result``      final ``TuningResult`` (409 until done)
 GET      ``/campaigns/<id>/log``         replayed event log as a JSON array
 GET      ``/campaigns/<id>/events``      Server-Sent-Events live tail (cursor:
                                          ``Last-Event-ID`` header or ``?after=N``)
+GET      ``/campaigns/<id>/report``      per-campaign analytics report
+                                         (``?kind=summary|slices|fulfillment|cache``)
+GET      ``/reports/summary``            fleet-wide ``repro.report/1`` payload
+                                         (``?kind=`` selects any report kind)
 POST     ``/campaigns/<id>/pause``       checkpoint + pause
 POST     ``/campaigns/<id>/resume``      re-activate a paused/stored campaign
 POST     ``/resume``                     re-activate every unfinished campaign
 =======  ==============================  =========================================
+
+Report payloads are built by :meth:`TunerService.report
+<repro.serve.app.TunerService.report>` — the same builder behind ``cli
+report --json`` — so the two surfaces emit equal JSON for the same store.
 
 Library errors map onto statuses clients can act on: unknown campaign ids
 are 404, invalid specs 400, "not completed yet" and other lifecycle
@@ -57,6 +65,8 @@ _ROUTES: tuple[tuple[str, re.Pattern, str], ...] = (
     ("GET", re.compile(rf"^/campaigns/{_ID}/result/?$"), "handle_result"),
     ("GET", re.compile(rf"^/campaigns/{_ID}/log/?$"), "handle_log"),
     ("GET", re.compile(rf"^/campaigns/{_ID}/events/?$"), "handle_events"),
+    ("GET", re.compile(rf"^/campaigns/{_ID}/report/?$"), "handle_report"),
+    ("GET", re.compile(r"^/reports/summary/?$"), "handle_reports_summary"),
     ("POST", re.compile(rf"^/campaigns/{_ID}/pause/?$"), "handle_pause"),
     ("POST", re.compile(rf"^/campaigns/{_ID}/resume/?$"), "handle_resume"),
 )
@@ -181,6 +191,22 @@ class _Handler(BaseHTTPRequestHandler):
         self._send_json(
             {"campaign_id": campaign_id, "events": self.app.log(campaign_id)}
         )
+
+    def _query_param(self, key: str) -> str | None:
+        query = self.path.partition("?")[2]
+        for pair in query.split("&"):
+            name, _, value = pair.partition("=")
+            if name == key and value:
+                return value
+        return None
+
+    def handle_report(self, campaign_id: str) -> None:
+        kind = self._query_param("kind") or "summary"
+        self._send_json(self.app.report(kind, campaign_id))
+
+    def handle_reports_summary(self) -> None:
+        kind = self._query_param("kind") or "summary"
+        self._send_json(self.app.report(kind))
 
     def handle_pause(self, campaign_id: str) -> None:
         self._send_json(self.app.pause(campaign_id))

@@ -61,3 +61,12 @@ class ServeError(ReproError):
     server maps library errors onto HTTP statuses; the client maps them
     back onto this exception so CLI exit codes stay consistent.
     """
+
+
+class AnalyticsError(ReproError):
+    """Raised when an analytics view, report, or consistency check fails.
+
+    Examples include requesting an unknown report kind, filtering a global
+    view by campaign, or — most importantly — a SQL view disagreeing with
+    its pure-Python reference implementation during ``cli report --verify``.
+    """

@@ -1,0 +1,199 @@
+"""Shared fixtures for the analytics test suite.
+
+``fill_store`` builds the canonical multi-campaign event log the whole
+suite exercises: a completed campaign with fulfillments, a resumed one
+with interleaved generations + a mid-run reslice + a partial (failover)
+fulfillment, and a failed campaign with no events at all.  Every shape
+the SQL views must handle — generation collapse, curve drift, empty
+campaigns — appears at least once.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.campaigns.store import CampaignRecord, InMemoryStore, SqliteStore
+
+
+def fill_store(store) -> None:
+    """Populate any CampaignStore with the canonical three-campaign log."""
+    specs = [
+        ("c-alpha", "alpha", 0, 300.0),
+        ("c-beta", "beta", 1, 500.0),
+        ("c-gamma", "gamma", 0, 200.0),
+    ]
+    for cid, name, priority, budget in specs:
+        store.create_campaign(
+            CampaignRecord(
+                campaign_id=cid,
+                name=name,
+                fingerprint=f"fp-{cid}",
+                spec={"name": name, "budget": budget},
+                status="running",
+                priority=priority,
+                created_at=1000.0,
+            )
+        )
+    # alpha: three generation-0 iterations with fulfillments; completed.
+    # The s1 curve drifts at iteration 2, so cache_trends sees one
+    # non-reusable transition in an otherwise stable campaign.
+    for it in range(3):
+        store.append_event(
+            "c-alpha",
+            generation=0,
+            iteration=it,
+            kind="iteration",
+            payload={
+                "iteration": it,
+                "requested": {"s0": 5, "s1": 3},
+                "acquired": {"s0": 5, "s1": 2},
+                "spent": 7.25 + it,
+                "limit": 100.0,
+                "imbalance_before": 1.5,
+                "imbalance_after": 1.2,
+                "curve_parameters": {
+                    "s0": [2.5, 0.7],
+                    "s1": [3.0, 0.5 + (it > 1) * 0.1],
+                },
+            },
+        )
+        store.append_event(
+            "c-alpha",
+            generation=0,
+            iteration=it,
+            kind="fulfillment",
+            payload={
+                "slice": "s0",
+                "requested": 5,
+                "effective": 5,
+                "delivered": 5,
+                "shortfall": 0,
+                "unit_cost": 1.0,
+                "cost": 5.0,
+                "provenance": ["pool"],
+                "contributions": {"pool": 5},
+                "rounds": 1,
+                "status": "fulfilled",
+                "tag": f"iteration:{it}",
+            },
+        )
+    store.append_event(
+        "c-alpha",
+        generation=0,
+        iteration=-1,
+        kind="completed",
+        payload={"result": {"ok": True}},
+    )
+    store.set_status("c-alpha", "completed")
+    # beta: resumed — generation 0 runs iterations 0-2, generation 1
+    # re-does iteration 2 (replay must keep only the newer one), then a
+    # reslice event and an iteration over the new slice set.  One partial
+    # fulfillment with two providers exercises the failover counters.
+    for it in range(3):
+        store.append_event(
+            "c-beta",
+            generation=0,
+            iteration=it,
+            kind="iteration",
+            payload={
+                "iteration": it,
+                "acquired": {"a": 4, "b": 1},
+                "spent": 3.5,
+                "limit": 80.0,
+                "imbalance_before": 2.0,
+                "imbalance_after": 1.8,
+                "curve_parameters": {"a": [1.5, 0.9], "b": [2.2, 0.4]},
+            },
+        )
+    store.append_event(
+        "c-beta",
+        generation=0,
+        iteration=1,
+        kind="fulfillment",
+        payload={
+            "slice": "a",
+            "requested": 4,
+            "effective": 4,
+            "delivered": 2,
+            "shortfall": 2,
+            "unit_cost": 2.0,
+            "cost": 4.0,
+            "provenance": ["pool", "synth"],
+            "contributions": {"pool": 1, "synth": 1},
+            "rounds": 2,
+            "status": "partial",
+            "tag": "iteration:1",
+        },
+    )
+    store.append_event(
+        "c-beta",
+        generation=1,
+        iteration=2,
+        kind="iteration",
+        payload={
+            "iteration": 2,
+            "acquired": {"a": 4, "b": 1},
+            "spent": 3.5,
+            "limit": 80.0,
+            "imbalance_before": 2.0,
+            "imbalance_after": 1.8,
+            "curve_parameters": {"a": [1.5, 0.9], "b": [2.2, 0.4]},
+        },
+    )
+    store.append_event(
+        "c-beta",
+        generation=1,
+        iteration=3,
+        kind="reslice",
+        payload={
+            "slice_generation": 1,
+            "method": "kmeans",
+            "fingerprint": "abc",
+            "slice_names": ["a1", "a2", "b"],
+        },
+    )
+    store.append_event(
+        "c-beta",
+        generation=1,
+        iteration=3,
+        kind="iteration",
+        payload={
+            "iteration": 3,
+            "acquired": {"a1": 2, "a2": 2, "b": 0},
+            "spent": 2.0,
+            "limit": 80.0,
+            "imbalance_before": 1.9,
+            "imbalance_after": 1.7,
+            "curve_parameters": {
+                "a1": [1.1, 0.8],
+                "a2": [1.2, 0.85],
+                "b": [2.2, 0.4],
+            },
+        },
+    )
+    # gamma: failed before producing any events — every view must still
+    # account for it (zero rows, or explicit zero totals).
+    store.set_status("c-gamma", "failed")
+
+
+@pytest.fixture(params=["memory", "sqlite"])
+def filled_store(request, tmp_path):
+    """The canonical log on both store backends; closed on teardown."""
+    if request.param == "memory":
+        store = InMemoryStore()
+    else:
+        store = SqliteStore(str(tmp_path / "campaigns.sqlite"))
+    fill_store(store)
+    try:
+        yield store
+    finally:
+        store.close()
+
+
+@pytest.fixture
+def filled_sqlite_path(tmp_path):
+    """Path to a filled on-disk store (for CLI / read-only-attach tests)."""
+    path = str(tmp_path / "campaigns.sqlite")
+    with SqliteStore(path) as store:
+        fill_store(store)
+    return path

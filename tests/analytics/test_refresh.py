@@ -1,0 +1,189 @@
+"""Incremental refresh semantics: cursor, O(N) pulls, rebuild identity."""
+
+from __future__ import annotations
+
+import json
+import os
+import sqlite3
+
+import pytest
+
+from repro.analytics import Analytics, assert_consistent, default_analytics_path
+from repro.campaigns.store import InMemoryStore, SqliteStore
+
+from tests.analytics.conftest import fill_store
+
+
+def _report_bytes(analytics: Analytics) -> str:
+    """Canonical rendering of every report kind (for byte-identity checks)."""
+    kinds = ("summary", "slices", "fulfillment", "fairness", "cache")
+    return json.dumps(
+        [analytics.report(kind) for kind in kinds], sort_keys=True
+    )
+
+
+def _append_iteration(store, campaign_id, iteration, generation=0, spent=2.0):
+    store.append_event(
+        campaign_id,
+        generation=generation,
+        iteration=iteration,
+        kind="iteration",
+        payload={
+            "iteration": iteration,
+            "acquired": {"s0": 1, "s1": 1},
+            "spent": spent,
+            "limit": 100.0,
+            "imbalance_before": 1.2,
+            "imbalance_after": 1.1,
+            "curve_parameters": {"s0": [2.5, 0.7], "s1": [3.1, 0.6]},
+        },
+    )
+
+
+class TestIncrementalRefresh:
+    def test_second_refresh_sees_nothing(self, filled_store):
+        with Analytics(filled_store, path=":memory:") as analytics:
+            first = analytics.refresh()
+            assert first["events_seen"] > 0
+            assert first["campaigns"] == 3
+            again = analytics.refresh()
+            assert again["events_seen"] == 0
+            assert again["cursor"] == first["cursor"]
+
+    def test_refresh_pulls_only_new_events(self, filled_store):
+        with Analytics(filled_store, path=":memory:") as analytics:
+            analytics.refresh()
+            _append_iteration(filled_store, "c-alpha", 3)
+            stats = analytics.refresh()
+            assert stats["events_seen"] == 1
+            assert stats["events_kept"] == 1
+
+    def test_incremental_equals_rebuild_byte_for_byte(self, filled_store):
+        with Analytics(filled_store, path=":memory:") as analytics:
+            analytics.refresh()
+            # Grow the log in three separate refresh rounds, including a
+            # generation bump that must evict a mirrored row.
+            _append_iteration(filled_store, "c-alpha", 3)
+            analytics.refresh()
+            _append_iteration(filled_store, "c-beta", 3, generation=2, spent=9.0)
+            analytics.refresh()
+            filled_store.set_status("c-beta", "paused")
+            analytics.refresh()
+            incremental = _report_bytes(analytics)
+            analytics.rebuild()
+            assert _report_bytes(analytics) == incremental
+            assert_consistent(filled_store, analytics)
+
+    def test_stale_generation_arriving_late_is_dropped(self, filled_store):
+        with Analytics(filled_store, path=":memory:") as analytics:
+            analytics.refresh()
+            before = analytics.rows("campaign_costs", "c-beta")
+            # A generation-0 echo of an iteration already mirrored at
+            # generation 1 must not resurface.
+            _append_iteration(filled_store, "c-beta", 3, generation=0, spent=99.0)
+            stats = analytics.refresh()
+            assert stats["events_seen"] == 1
+            assert stats["events_kept"] == 0
+            assert analytics.rows("campaign_costs", "c-beta") == before
+            incremental = _report_bytes(analytics)
+            analytics.rebuild()
+            assert _report_bytes(analytics) == incremental
+
+    def test_status_changes_propagate_without_new_events(self, filled_store):
+        with Analytics(filled_store, path=":memory:") as analytics:
+            analytics.refresh()
+            filled_store.set_status("c-beta", "completed")
+            analytics.refresh()
+            rows = {r[0]: r[2] for r in analytics.rows("campaign_rollup")}
+            assert rows["c-beta"] == "completed"
+
+
+class TestDurability:
+    def test_default_path_sits_next_to_the_store(self, tmp_path):
+        path = str(tmp_path / "campaigns.sqlite")
+        with SqliteStore(path) as store:
+            assert default_analytics_path(store) == path + ".analytics"
+        assert default_analytics_path(InMemoryStore()) == ":memory:"
+
+    def test_cursor_survives_reopen(self, filled_sqlite_path):
+        with SqliteStore(filled_sqlite_path) as store:
+            with Analytics(store) as analytics:
+                first = analytics.refresh()
+                assert os.path.exists(filled_sqlite_path + ".analytics")
+            with Analytics(store) as reopened:
+                assert reopened.cursor == first["cursor"]
+                assert reopened.refresh()["events_seen"] == 0
+
+    def test_schema_version_bump_resets_the_mirror(self, filled_sqlite_path):
+        with SqliteStore(filled_sqlite_path) as store:
+            with Analytics(store) as analytics:
+                analytics.refresh()
+                analytics._conn.execute(
+                    "UPDATE meta SET value = '999' WHERE key = 'schema_version'"
+                )
+                analytics._conn.commit()
+            with Analytics(store) as reopened:
+                assert reopened.cursor == 0
+                reopened.refresh()
+                assert_consistent(store, reopened)
+
+    def test_remove_deletes_the_analytics_file(self, filled_sqlite_path):
+        with SqliteStore(filled_sqlite_path) as store:
+            analytics = Analytics(store)
+            analytics.refresh()
+            analytics.remove()
+            assert not os.path.exists(filled_sqlite_path + ".analytics")
+
+    def test_store_file_is_opened_read_only(self, filled_sqlite_path, monkeypatch):
+        """The refresh pull must never write to the campaign store."""
+        real_connect = sqlite3.connect
+        seen: list[tuple] = []
+
+        def spy(*args, **kwargs):
+            seen.append((args, kwargs))
+            return real_connect(*args, **kwargs)
+
+        monkeypatch.setattr(sqlite3, "connect", spy)
+        with SqliteStore(filled_sqlite_path) as store:
+            with Analytics(store, path=":memory:") as analytics:
+                analytics.refresh()
+        store_connections = [
+            (args, kwargs)
+            for args, kwargs in seen
+            if filled_sqlite_path in str(args[0]) and "analytics" not in str(args[0])
+        ]
+        uri_reads = [
+            (args, kwargs)
+            for args, kwargs in store_connections
+            if str(args[0]).startswith("file:")
+        ]
+        assert uri_reads, "expected a read-only URI connection to the store"
+        for args, kwargs in uri_reads:
+            assert "mode=ro" in str(args[0])
+            assert kwargs.get("uri") is True
+
+
+class TestInMemoryStoreSupport:
+    def test_protocol_path_matches_sqlite_path(self, tmp_path):
+        """Both pull paths must mirror identical payload text."""
+        memory = InMemoryStore()
+        fill_store(memory)
+        disk = SqliteStore(str(tmp_path / "s.sqlite"))
+        fill_store(disk)
+        try:
+            with Analytics(memory, path=":memory:") as a_mem, Analytics(
+                disk, path=":memory:"
+            ) as a_disk:
+                a_mem.refresh()
+                a_disk.refresh()
+                assert _report_bytes(a_mem) == _report_bytes(a_disk)
+        finally:
+            disk.close()
+
+    def test_in_memory_store_raises_no_uri_tricks(self):
+        store = InMemoryStore()
+        fill_store(store)
+        with Analytics(store) as analytics:
+            assert analytics.path == ":memory:"
+            analytics.refresh()
+            assert_consistent(store, analytics)

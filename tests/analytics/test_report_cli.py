@@ -1,0 +1,122 @@
+"""The ``report`` CLI subcommand: text, --quiet, --json, --verify, errors."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+KINDS = ("summary", "slices", "fulfillment", "fairness", "cache")
+
+
+def run_json(capsys, *argv):
+    assert main(list(argv)) == 0
+    return json.loads(capsys.readouterr().out)
+
+
+class TestReportCommand:
+    def test_text_mode_renders_one_table_per_section(
+        self, capsys, filled_sqlite_path
+    ):
+        assert main(["report", "summary", "--store", filled_sqlite_path]) == 0
+        out = capsys.readouterr().out
+        assert "report: summary (all campaigns)" in out
+        assert "campaign_rollup" in out
+        for cid in ("c-alpha", "c-beta", "c-gamma"):
+            assert cid in out
+
+    def test_every_kind_emits_a_tagged_payload(self, capsys, filled_sqlite_path):
+        for kind in KINDS:
+            payload = run_json(
+                capsys, "report", kind, "--store", filled_sqlite_path, "--json"
+            )
+            assert payload["schema"] == "repro.report/1"
+            assert payload["report"] == kind
+            assert payload["cursor"] > 0
+            assert payload["sections"]
+
+    def test_verify_reports_row_counts(self, capsys, filled_sqlite_path):
+        payload = run_json(
+            capsys,
+            "report",
+            "summary",
+            "--store",
+            filled_sqlite_path,
+            "--verify",
+            "--json",
+        )
+        assert payload["verified"]["campaign_rollup"] == 3
+        assert main(
+            ["report", "summary", "--store", filled_sqlite_path, "--verify"]
+        ) == 0
+        assert "verified: every SQL view matches" in capsys.readouterr().out
+
+    def test_quiet_prints_one_line(self, capsys, filled_sqlite_path):
+        assert main(
+            ["report", "fairness", "--store", filled_sqlite_path, "--quiet"]
+        ) == 0
+        out = capsys.readouterr().out.strip()
+        assert len(out.splitlines()) == 1
+        assert out.startswith("fairness")
+
+    def test_campaign_filter(self, capsys, filled_sqlite_path):
+        payload = run_json(
+            capsys,
+            "report",
+            "slices",
+            "--store",
+            filled_sqlite_path,
+            "--campaign",
+            "c-alpha",
+            "--json",
+        )
+        assert payload["campaign_id"] == "c-alpha"
+        rows = payload["sections"]["slice_trajectories"]["rows"]
+        assert rows and all(row[0] == "c-alpha" for row in rows)
+
+    def test_rebuild_equals_incremental(self, capsys, filled_sqlite_path):
+        base = ["report", "summary", "--store", filled_sqlite_path, "--json"]
+        assert run_json(capsys, *base) == run_json(capsys, *base, "--rebuild")
+
+    def test_missing_store_exits_2(self, capsys, tmp_path):
+        assert main(
+            ["report", "summary", "--store", str(tmp_path / "nope.sqlite")]
+        ) == 2
+        assert "no campaign store" in capsys.readouterr().err
+
+    def test_fairness_rejects_campaign_filter(self, capsys, filled_sqlite_path):
+        assert main(
+            [
+                "report",
+                "fairness",
+                "--store",
+                filled_sqlite_path,
+                "--campaign",
+                "c-alpha",
+            ]
+        ) == 2
+        assert "global" in capsys.readouterr().err
+
+    def test_unknown_kind_rejected_by_argparse(self, filled_sqlite_path):
+        with pytest.raises(SystemExit):
+            main(["report", "bogus", "--store", filled_sqlite_path])
+
+    def test_analytics_db_is_reused_across_calls(
+        self, capsys, filled_sqlite_path, tmp_path
+    ):
+        db = str(tmp_path / "reports.analytics")
+        args = [
+            "report",
+            "summary",
+            "--store",
+            filled_sqlite_path,
+            "--analytics",
+            db,
+            "--quiet",
+        ]
+        assert main(args) == 0
+        first = capsys.readouterr().out
+        assert main(args) == 0
+        assert capsys.readouterr().out == first

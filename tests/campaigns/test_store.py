@@ -183,3 +183,74 @@ class TestReplay:
         assert sum(1 for e in replayed if e.kind == "fulfillment") == 1
         # Chronological order is preserved.
         assert [e.seq for e in replayed] == sorted(e.seq for e in replayed)
+
+
+class TestQueryPlans:
+    """The hot event-log queries must stay on their covering indexes.
+
+    ``events(after=)`` is the live-tail cursor query (polled by the serve
+    layer and the analytics refresh), ``events(kinds=)`` backs progress
+    summaries; neither may degrade to a full table scan as the log grows.
+    """
+
+    @pytest.fixture
+    def sqlite_store(self, tmp_path):
+        backend = SqliteStore(str(tmp_path / "plans.sqlite"))
+        backend.create_campaign(make_record())
+        for i in range(5):
+            backend.append_event(
+                "camp-1", generation=0, iteration=i, kind="iteration",
+                payload={"iteration": i},
+            )
+        yield backend
+        backend.close()
+
+    @staticmethod
+    def plan(store, query, params):
+        rows = store._conn.execute(
+            "EXPLAIN QUERY PLAN " + query, params
+        ).fetchall()
+        return " | ".join(str(row[-1]) for row in rows)
+
+    SELECT = (
+        "SELECT seq, generation, iteration, kind, payload FROM events "
+        "WHERE campaign_id = ?"
+    )
+
+    def test_cursor_query_uses_the_campaign_seq_index(self, sqlite_store):
+        plan = self.plan(
+            sqlite_store,
+            self.SELECT + " AND seq > ? ORDER BY seq",
+            ("camp-1", 3),
+        )
+        assert "idx_events_campaign" in plan
+        assert "seq>?" in plan
+        assert "SCAN events" not in plan
+
+    def test_kind_query_uses_the_campaign_kind_index(self, sqlite_store):
+        plan = self.plan(
+            sqlite_store,
+            self.SELECT + " AND kind IN (?) ORDER BY seq",
+            ("camp-1", "fulfillment"),
+        )
+        assert "idx_events_campaign_kind" in plan
+        assert "SCAN events" not in plan
+
+    def test_kind_plus_cursor_query_is_fully_indexed(self, sqlite_store):
+        plan = self.plan(
+            sqlite_store,
+            self.SELECT + " AND seq > ? AND kind IN (?) ORDER BY seq",
+            ("camp-1", 2, "iteration"),
+        )
+        assert "idx_events_campaign_kind" in plan
+        assert "kind=? AND seq>?" in plan
+        assert "SCAN events" not in plan
+
+    def test_filtered_reads_return_the_same_events_as_python_filtering(
+        self, sqlite_store
+    ):
+        everything = sqlite_store.events("camp-1")
+        assert sqlite_store.events("camp-1", after=2) == [
+            e for e in everything if e.seq > 2
+        ]
+        assert sqlite_store.events("camp-1", kinds=("iteration",)) == everything

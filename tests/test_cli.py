@@ -396,3 +396,100 @@ class TestCacheCommand:
     def test_workers_without_process_executor_exits_2(self, capsys):
         assert main([*self.RUN, "--workers", "2"]) == 2
         assert "error:" in capsys.readouterr().err
+
+
+class TestJsonSchemaTags:
+    """Every --json subcommand carries its schema tag (README inventory)."""
+
+    RUN = ["run", *FAST, "--method", "moderate", "--budget", "120", "--json"]
+
+    def test_strategies_json(self, capsys):
+        import json
+
+        assert main(["strategies", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["schema"] == "repro.strategies/1"
+        names = {entry["name"] for entry in payload["strategies"]}
+        assert {"uniform", "water_filling", "moderate"} <= names
+        assert all(
+            {"name", "kind", "uses_lambda", "description"} <= set(entry)
+            for entry in payload["strategies"]
+        )
+
+    def test_sources_json(self, capsys):
+        import json
+
+        assert main(["sources", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["schema"] == "repro.sources/1"
+        assert {entry["name"] for entry in payload["sources"]} >= {"pool"}
+
+    def test_cache_clear_json(self, capsys, tmp_path):
+        import json
+
+        cache_dir = str(tmp_path / "cache")
+        assert main([*self.RUN, "--cache-dir", cache_dir]) == 0
+        capsys.readouterr()
+        assert main(
+            ["cache", "clear", "--cache-dir", cache_dir, "--json"]
+        ) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["schema"] == "repro.cache.clear/1"
+        assert payload["removed_results"] > 0
+        assert payload["freed_bytes"] > 0
+        assert payload["path"].startswith(cache_dir)
+
+    def test_cache_gc_json_and_eviction_counters(self, capsys, tmp_path):
+        """gc evictions must surface in a later ``cache stats --json``."""
+        import json
+
+        from repro.engine.diskcache import SqliteResultCache, default_cache_path
+
+        cache_dir = str(tmp_path / "cache")
+        assert main([*self.RUN, "--cache-dir", cache_dir]) == 0
+        capsys.readouterr()
+        # Plain runs only populate the results tier; seed one curve so the
+        # gc demonstrably evicts across both disk tiers.
+        with SqliteResultCache(default_cache_path(cache_dir)) as handle:
+            handle.store_curve("curve-key", {"b": 2.5, "a": 0.7})
+
+        assert main(
+            ["cache", "gc", "--max-mb", "0", "--cache-dir", cache_dir, "--json"]
+        ) == 0
+        gc_payload = json.loads(capsys.readouterr().out)
+        assert gc_payload["schema"] == "repro.cache.gc/1"
+        assert gc_payload["max_mb"] == 0.0
+        evicted = gc_payload["removed_results"] + gc_payload["removed_curves"]
+        assert evicted > 0
+        assert gc_payload["remaining_bytes"] == 0
+
+        # The eviction counters are persisted in the cache file, so a fresh
+        # handle (a new CLI invocation) still reports them — and the totals
+        # row aggregates across every tier, curves included.
+        assert main(["cache", "stats", "--cache-dir", cache_dir, "--json"]) == 0
+        stats = json.loads(capsys.readouterr().out)
+        per_tier = sum(t["evictions"] for t in stats["tiers"].values())
+        assert per_tier >= evicted
+        assert stats["totals"]["evictions"] == per_tier
+        assert stats["tiers"]["curves"]["evictions"] > 0
+
+    def test_report_json_tag(self, capsys, tmp_path):
+        import json
+
+        from repro.campaigns.store import CampaignRecord, SqliteStore
+
+        store_path = str(tmp_path / "camp.sqlite")
+        with SqliteStore(store_path) as store:
+            store.create_campaign(
+                CampaignRecord(
+                    campaign_id="c-1",
+                    name="c",
+                    fingerprint="fp",
+                    spec={"name": "c", "budget": 10.0},
+                    status="completed",
+                    priority=0,
+                )
+            )
+        assert main(["report", "summary", "--store", store_path, "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["schema"] == "repro.report/1"
