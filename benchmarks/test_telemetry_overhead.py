@@ -1,0 +1,142 @@
+"""Telemetry overhead: a fully traced run vs an untraced one, byte-identical.
+
+The telemetry layer promises to be effectively free: span ids derive from
+(parent, name, sequence) — never clocks or RNGs — so tracing cannot perturb
+results, and the instrumented code paths must cost almost nothing even with
+the heaviest sink attached (every span JSON-encoded and flushed to a JSONL
+file, plus the metrics registry live).
+
+This benchmark runs the same deterministic tuning workload both ways,
+min-of-repeats on each side for timing stability, and asserts:
+
+* the traced and untraced results are **byte-identical** (``to_json``),
+* the traced run actually recorded spans and metrics (the sink was hot,
+  not bypassed), and
+* the traced minimum is within **5%** of the untraced minimum.
+
+Set ``BENCH_TELEMETRY_OUT`` to a path to record the numbers (reference
+point committed at ``benchmarks/BENCH_telemetry.json``; the CI
+``telemetry-smoke`` job regenerates it).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from pathlib import Path
+
+from conftest import emit, experiment_config
+
+import repro.telemetry as telemetry
+from repro.core.tuner import SliceTuner, SliceTunerConfig
+from repro.experiments.runner import prepare_named_instance
+from repro.telemetry import MetricsRegistry, read_spans, set_registry
+from repro.utils.tables import format_table
+
+REPEATS = 5
+BUDGET = 300.0
+OVERHEAD_GATE_PCT = 5.0
+
+
+def _run_workload() -> str:
+    """One deterministic end-to-end tuning run; returns the result JSON."""
+    config = experiment_config(
+        "adult_like", methods=("moderate",), budget=BUDGET, trials=1
+    )
+    sliced, sources = prepare_named_instance(config, seed=0)
+    tuner = SliceTuner(
+        sliced,
+        trainer_config=config.training_config(),
+        curve_config=config.curve_config(),
+        config=SliceTunerConfig(lam=1.0),
+        random_state=1,
+        sources=sources,
+    )
+    session = tuner.session()
+    for _ in session.stream(BUDGET, strategy="moderate"):
+        pass
+    return session.result().to_json()
+
+
+def _best_of(trace_dir: str | None) -> tuple[float, str]:
+    """Min-of-REPEATS wall time (and the result JSON) for one mode."""
+    best = float("inf")
+    result_json: str | None = None
+    for _ in range(REPEATS):
+        if trace_dir is not None:
+            telemetry.configure(trace_dir=trace_dir)
+            previous_registry = set_registry(MetricsRegistry())
+        try:
+            start = time.perf_counter()
+            payload = _run_workload()
+            elapsed = time.perf_counter() - start
+        finally:
+            if trace_dir is not None:
+                telemetry.shutdown()
+                set_registry(previous_registry)
+        best = min(best, elapsed)
+        if result_json is None:
+            result_json = payload
+        else:
+            assert payload == result_json  # repeats are deterministic
+    assert result_json is not None
+    return best, result_json
+
+
+def _measure(tmp_path: Path) -> dict:
+    _run_workload()  # warmup: imports, dataset synthesis, numpy caches
+    trace_dir = str(tmp_path / "trace")
+    untraced_s, untraced_json = _best_of(None)
+    traced_s, traced_json = _best_of(trace_dir)
+    spans = read_spans(trace_dir)
+    overhead_pct = (traced_s / untraced_s - 1.0) * 100.0
+    return {
+        "repeats": REPEATS,
+        "budget": BUDGET,
+        "untraced_s": round(untraced_s, 4),
+        "traced_s": round(traced_s, 4),
+        "overhead_pct": round(overhead_pct, 2),
+        "spans_recorded": len(spans),
+        "span_names": sorted({span["name"] for span in spans}),
+        "byte_identical": traced_json == untraced_json,
+    }
+
+
+def _record(numbers: dict) -> None:
+    """Write this run's numbers to ``$BENCH_TELEMETRY_OUT`` (when set)."""
+    out = os.environ.get("BENCH_TELEMETRY_OUT")
+    if not out:
+        return
+    Path(out).write_text(json.dumps(numbers, indent=2, sort_keys=True) + "\n")
+
+
+def test_tracing_overhead_under_gate(run_once, tmp_path):
+    numbers = run_once(_measure, tmp_path)
+
+    rows = [
+        ("untraced", f"{numbers['untraced_s']:.4f}", "-"),
+        (
+            "traced (JSONL sink)",
+            f"{numbers['traced_s']:.4f}",
+            f"{numbers['overhead_pct']:+.2f}%",
+        ),
+    ]
+    emit(
+        "Telemetry overhead: traced (full JSONL sink) vs untraced run",
+        format_table(("mode", f"best-of-{REPEATS} seconds", "overhead"), rows)
+        + f"\nspans recorded: {numbers['spans_recorded']} across "
+        f"{len(numbers['span_names'])} name(s); byte-identical results: "
+        f"{numbers['byte_identical']}",
+    )
+    _record(numbers)
+
+    # Tracing was actually on (the per-iteration skeleton plus acquisition
+    # spans all landed in the JSONL file) ...
+    assert numbers["spans_recorded"] > 0
+    assert "session.iteration" in numbers["span_names"]
+    assert "acquisition.provider" in numbers["span_names"]
+    # ... never changed the result ...
+    assert numbers["byte_identical"] is True
+    # ... and cost less than the gate.
+    assert numbers["overhead_pct"] < OVERHEAD_GATE_PCT

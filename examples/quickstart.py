@@ -54,7 +54,19 @@ This is the smallest end-to-end use of the library:
     ``assert_consistent``.  The CLI equivalent is ``python -m repro.cli
     report summary|slices|fulfillment|fairness|cache [--json] [--verify]``,
     and a running daemon serves the *same* payloads at
-    ``GET /reports/summary`` and ``GET /campaigns/<id>/report``.
+    ``GET /reports/summary`` and ``GET /campaigns/<id>/report``, and
+
+13. watch where the time goes: ``telemetry.configure(trace_dir=...)``
+    turns on structured tracing — every iteration, acquisition,
+    provider call, and engine job emits a ``Span`` whose id derives
+    from (parent, name, sequence), never from clocks, so a traced run
+    is byte-identical to an untraced one — plus a Counter/Gauge/
+    Histogram ``MetricsRegistry``.  Spans land in ``spans.jsonl``, the
+    final metrics snapshot in ``metrics.json``, and ``python -m
+    repro.cli telemetry spans|metrics|summary`` (or a daemon's
+    ``GET /metrics`` / ``GET /campaigns/<id>/spans``) reads them back.
+    When tracing is off (the default) every instrumented path hits a
+    no-op tracer and costs nothing.
 
 Run with::
 
@@ -66,6 +78,7 @@ from __future__ import annotations
 import os
 import tempfile
 
+import repro.telemetry as telemetry
 from repro import (
     Analytics,
     Campaign,
@@ -413,6 +426,54 @@ def main() -> None:
     )
     report_server.shutdown()
     report_service.close()
+
+    # 13. Telemetry.  Everything above ran untraced — the instrumented
+    #     paths hit a no-op tracer and cost nothing.  Turn tracing on and
+    #     the same run also leaves a profile behind: one span per
+    #     iteration / acquisition / provider call, all deterministically
+    #     id'd, so the *result* is byte-identical either way (the
+    #     benchmark suite gates that, plus <5% overhead, in CI).
+    print("\nTelemetry (structured tracing + metrics):")
+    with tempfile.TemporaryDirectory() as trace_dir:
+        live_names: list[str] = []
+        tracer = telemetry.configure(trace_dir=trace_dir)
+        tracer.add_listener(lambda span: live_names.append(span.name))
+        previous_registry = telemetry.set_registry(telemetry.MetricsRegistry())
+        try:
+            traced_tuner = SliceTuner(
+                task.initial_sliced_dataset(
+                    initial_sizes=150, validation_size=200, random_state=0
+                ),
+                GeneratorDataSource(task, random_state=1),
+                trainer_config=TrainingConfig(
+                    epochs=40, batch_size=64, learning_rate=0.03
+                ),
+                curve_config=CurveEstimationConfig(n_points=6, n_repeats=1),
+                random_state=2,
+            )
+            traced_session = traced_tuner.session()
+            for _ in traced_session.stream(budget=1000, strategy="moderate"):
+                pass
+        finally:
+            telemetry.shutdown()
+            telemetry.set_registry(previous_registry)
+        total, rollup = telemetry.summarize_spans(
+            telemetry.read_spans(trace_dir)
+        )
+        counters = telemetry.read_metrics(trace_dir).get("counters", {})
+        assert len(live_names) == total  # the on_span hook saw every one
+        print(
+            f"  {total} spans ({len(rollup)} names), "
+            f"{counters.get('session.iterations', 0):.0f} iterations counted"
+        )
+        for name in ("session.iteration", "acquisition.provider"):
+            entry = rollup[name]
+            print(
+                f"  {name}: {entry['count']} span(s), "
+                f"mean {entry['mean_seconds']:.4f}s, "
+                f"max {entry['max_seconds']:.4f}s"
+            )
+    assert not telemetry.get_tracer().enabled  # back to the free no-op
 
 
 if __name__ == "__main__":

@@ -25,11 +25,13 @@ growing the dataset belong to the
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 from typing import Mapping, Sequence
 
 from repro.acquisition.source import DataSource
 from repro.ml.data import Dataset
+from repro.telemetry import get_registry, get_tracer
 from repro.utils.exceptions import AcquisitionError, ConfigurationError
 
 
@@ -139,6 +141,8 @@ class AcquisitionRouter:
         if count < 0:
             raise AcquisitionError(f"cannot acquire a negative count ({count})")
         order = self.route(slice_name)
+        tracer = get_tracer()
+        registry = get_registry()
         parts: list[Dataset] = []
         provenance: list[str] = []
         contributions: dict[str, int] = {}
@@ -154,12 +158,30 @@ class AcquisitionRouter:
             for provider_name in order:
                 if remaining <= 0 and fallback is not None:
                     break
-                try:
-                    delivered = self._providers[provider_name].acquire(
-                        slice_name, max(remaining, 0)
-                    )
-                except AcquisitionError as error:
-                    last_error = error
+                with tracer.span(
+                    "acquisition.provider",
+                    attributes={
+                        "provider": provider_name,
+                        "slice": slice_name,
+                    },
+                ) as span:
+                    started = time.perf_counter()
+                    try:
+                        delivered = self._providers[provider_name].acquire(
+                            slice_name, max(remaining, 0)
+                        )
+                    except AcquisitionError as error:
+                        last_error = error
+                        delivered = None
+                        span.set_attribute("refused", True)
+                    finally:
+                        registry.histogram(
+                            "acquisition.provider_seconds",
+                            provider=provider_name,
+                        ).observe(time.perf_counter() - started)
+                    if delivered is not None:
+                        span.set_attribute("delivered", len(delivered))
+                if delivered is None:
                     continue
                 if fallback is None:
                     fallback = delivered

@@ -32,6 +32,7 @@ from typing import TYPE_CHECKING, Callable, Iterable, Mapping
 from repro.acquisition.requests import AcquisitionRequest, Fulfillment
 from repro.acquisition.router import AcquisitionRouter
 from repro.acquisition.source import DataSource
+from repro.telemetry import get_registry, get_tracer
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.acquisition.budget import BudgetLedger
@@ -125,37 +126,52 @@ class AcquisitionService:
 
     def _fulfill(self, request: AcquisitionRequest) -> Fulfillment:
         name = request.slice_name
-        unit_cost = self.cost_model.cost(name)
-        effective = request.count
-        if request.max_cost is not None and unit_cost > 0:
-            effective = min(effective, int(request.max_cost // unit_cost))
-        if self.cap_to_budget:
-            effective = min(effective, self.ledger.affordable_count(unit_cost))
-        if effective <= 0:
-            fulfillment = Fulfillment(
-                request=request,
-                effective_count=max(effective, 0),
-                unit_cost=unit_cost,
-            )
-        else:
-            delivery = self.router.fulfill(
-                name, effective, deadline_rounds=request.deadline_rounds
-            )
-            delivered = delivery.dataset
-            charged = self.ledger.charge(name, len(delivered), unit_cost)
-            self.cost_model.record_acquisition(name, len(delivered))
-            if self.sliced is not None and len(delivered):
-                self.sliced.add_examples(name, delivered)
-            fulfillment = Fulfillment(
-                request=request,
-                effective_count=effective,
-                delivered=delivered,
-                unit_cost=unit_cost,
-                cost=charged,
-                provenance=delivery.provenance,
-                contributions=delivery.contributions,
-                rounds=delivery.rounds,
-            )
+        registry = get_registry()
+        registry.counter("acquisition.requests").inc()
+        with get_tracer().span(
+            "acquisition.fulfill",
+            attributes={"slice": name, "requested": request.count},
+        ) as span:
+            unit_cost = self.cost_model.cost(name)
+            effective = request.count
+            if request.max_cost is not None and unit_cost > 0:
+                effective = min(effective, int(request.max_cost // unit_cost))
+            if self.cap_to_budget:
+                effective = min(
+                    effective, self.ledger.affordable_count(unit_cost)
+                )
+            if effective <= 0:
+                fulfillment = Fulfillment(
+                    request=request,
+                    effective_count=max(effective, 0),
+                    unit_cost=unit_cost,
+                )
+            else:
+                delivery = self.router.fulfill(
+                    name, effective, deadline_rounds=request.deadline_rounds
+                )
+                delivered = delivery.dataset
+                charged = self.ledger.charge(name, len(delivered), unit_cost)
+                self.cost_model.record_acquisition(name, len(delivered))
+                if self.sliced is not None and len(delivered):
+                    self.sliced.add_examples(name, delivered)
+                fulfillment = Fulfillment(
+                    request=request,
+                    effective_count=effective,
+                    delivered=delivered,
+                    unit_cost=unit_cost,
+                    cost=charged,
+                    provenance=delivery.provenance,
+                    contributions=delivery.contributions,
+                    rounds=delivery.rounds,
+                )
+            span.set_attribute("status", fulfillment.status)
+            span.set_attribute("delivered", fulfillment.delivered_count)
+            span.set_attribute("shortfall", fulfillment.shortfall)
+        registry.counter("acquisition.delivered").inc(
+            fulfillment.delivered_count
+        )
+        registry.counter("acquisition.shortfall").inc(fulfillment.shortfall)
         self.fulfillments.append(fulfillment)
         for callback in self._callbacks:
             callback(fulfillment)

@@ -257,6 +257,82 @@ def _ref_reslice_trends(store: CampaignStore) -> list[tuple]:
     return rows
 
 
+def _ref_telemetry_spans(store: CampaignStore) -> list[tuple]:
+    rows: list[tuple] = []
+    for record in store.list_campaigns():
+        events = [
+            e
+            for e in _replayed(store, record.campaign_id)
+            if e.kind == "telemetry"
+        ]
+        events.sort(key=lambda e: e.seq)
+        for event in events:
+            payload = event.payload
+            rows.append(
+                (
+                    record.campaign_id,
+                    event.seq,
+                    event.iteration,
+                    payload.get("name"),
+                    payload.get("span_id"),
+                    payload.get("parent_id"),
+                    payload.get("status"),
+                    payload.get("duration"),
+                    (payload.get("attributes") or {}).get("provider"),
+                )
+            )
+    rows.sort(key=lambda row: (row[0], row[1]))
+    return rows
+
+
+def _ref_provider_latency(store: CampaignStore) -> list[tuple]:
+    rows: list[tuple] = []
+    for record in store.list_campaigns():
+        events = [
+            e
+            for e in _replayed(store, record.campaign_id)
+            if e.kind == "telemetry"
+            and e.payload.get("name") == "acquisition.provider"
+        ]
+        events.sort(key=lambda e: e.seq)  # SQL sums in seq order too
+        groups: dict[str, dict] = {}
+        for event in events:
+            payload = event.payload
+            provider = (payload.get("attributes") or {}).get("provider")
+            group = groups.setdefault(
+                provider, {"calls": 0, "total": None, "max": None}
+            )
+            duration = payload.get("duration")
+            group["calls"] += 1
+            group["total"] = (
+                duration
+                if group["total"] is None
+                else group["total"] + duration
+            )
+            group["max"] = (
+                duration
+                if group["max"] is None
+                else max(group["max"], duration)
+            )
+        ranked = sorted(
+            groups.items(), key=lambda item: (-item[1]["total"], item[0])
+        )
+        for rank, (provider, group) in enumerate(ranked, start=1):
+            rows.append(
+                (
+                    record.campaign_id,
+                    provider,
+                    group["calls"],
+                    group["total"],
+                    group["total"] / group["calls"],
+                    group["max"],
+                    rank,
+                )
+            )
+    rows.sort(key=lambda row: (row[0], row[6]))
+    return rows
+
+
 def _ref_campaign_rollup(store: CampaignStore) -> list[tuple]:
     shortfalls = {row[0]: row[5] for row in _ref_fulfillment_rates(store)}
     rows: list[tuple] = []
@@ -292,6 +368,8 @@ _REFERENCES: dict[str, Callable[[CampaignStore], list[tuple]]] = {
     "lane_fairness": _ref_lane_fairness,
     "cache_trends": _ref_cache_trends,
     "reslice_trends": _ref_reslice_trends,
+    "telemetry_spans": _ref_telemetry_spans,
+    "provider_latency": _ref_provider_latency,
 }
 
 

@@ -264,6 +264,57 @@ SELECT e.campaign_id,
 FROM events AS e
 WHERE e.kind = 'reslice'"""
 
+_TELEMETRY_SPANS = """\
+SELECT e.campaign_id,
+       e.seq,
+       e.iteration,
+       json_extract(e.payload, '$.name') AS name,
+       json_extract(e.payload, '$.span_id') AS span_id,
+       json_extract(e.payload, '$.parent_id') AS parent_id,
+       json_extract(e.payload, '$.status') AS status,
+       json_extract(e.payload, '$.duration') AS duration_seconds,
+       json_extract(e.payload, '$.attributes.provider') AS provider
+FROM events AS e
+WHERE e.kind = 'telemetry'"""
+
+_PROVIDER_LATENCY = """\
+WITH p AS (
+    SELECT e.campaign_id,
+           e.seq,
+           json_extract(e.payload, '$.attributes.provider') AS provider,
+           json_extract(e.payload, '$.duration') AS duration
+    FROM events AS e
+    WHERE e.kind = 'telemetry'
+      AND json_extract(e.payload, '$.name') = 'acquisition.provider'
+),
+running AS (
+    SELECT campaign_id,
+           provider,
+           COUNT(*) OVER w AS calls,
+           SUM(duration) OVER w AS total_seconds,
+           MAX(duration) OVER w AS max_seconds,
+           ROW_NUMBER() OVER w AS rn,
+           COUNT(*) OVER (PARTITION BY campaign_id, provider) AS total
+    FROM p
+    WINDOW w AS (PARTITION BY campaign_id, provider ORDER BY seq
+                 ROWS UNBOUNDED PRECEDING)
+),
+per_provider AS (
+    SELECT campaign_id, provider, calls, total_seconds, max_seconds
+    FROM running WHERE rn = total
+)
+SELECT campaign_id,
+       provider,
+       calls,
+       total_seconds,
+       total_seconds / calls AS mean_seconds,
+       max_seconds,
+       ROW_NUMBER() OVER (
+           PARTITION BY campaign_id
+           ORDER BY total_seconds DESC, provider
+       ) AS rank
+FROM per_provider"""
+
 _CAMPAIGN_ROLLUP = """\
 SELECT c.campaign_id,
        c.name,
@@ -415,6 +466,40 @@ VIEW_DEFINITIONS: dict[str, ViewDef] = {
             campaign_filterable=True,
             sql=_RESLICE_TRENDS,
         ),
+        ViewDef(
+            name="telemetry_spans",
+            doc="persisted telemetry spans (the per-iteration time skeleton)",
+            columns=(
+                "campaign_id",
+                "seq",
+                "iteration",
+                "name",
+                "span_id",
+                "parent_id",
+                "status",
+                "duration_seconds",
+                "provider",
+            ),
+            order_by="campaign_id, seq",
+            campaign_filterable=True,
+            sql=_TELEMETRY_SPANS,
+        ),
+        ViewDef(
+            name="provider_latency",
+            doc="per-provider acquisition latency with slowest-first ranking",
+            columns=(
+                "campaign_id",
+                "provider",
+                "calls",
+                "total_seconds",
+                "mean_seconds",
+                "max_seconds",
+                "rank",
+            ),
+            order_by="campaign_id, rank",
+            campaign_filterable=True,
+            sql=_PROVIDER_LATENCY,
+        ),
     )
 }
 
@@ -423,9 +508,10 @@ VIEW_DEFINITIONS: dict[str, ViewDef] = {
 REPORT_SECTIONS: dict[str, tuple[str, ...]] = {
     "summary": ("campaign_rollup",),
     "slices": ("slice_trajectories", "campaign_costs"),
-    "fulfillment": ("fulfillment_rates",),
+    "fulfillment": ("fulfillment_rates", "provider_latency"),
     "fairness": ("lane_fairness",),
     "cache": ("cache_trends", "reslice_trends"),
+    "telemetry": ("telemetry_spans", "provider_latency"),
 }
 
 
@@ -443,6 +529,8 @@ def views_schema() -> str:
         "lane_fairness",
         "cache_trends",
         "reslice_trends",
+        "telemetry_spans",
+        "provider_latency",
         "campaign_rollup",
     )
     return ";\n".join(VIEW_DEFINITIONS[name].create_sql() for name in ordered) + ";"

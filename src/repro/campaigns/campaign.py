@@ -48,6 +48,7 @@ from repro.campaigns.store import (
 from repro.core.plan import IterationRecord, TuningResult
 from repro.core.registry import available_strategies, is_registered
 from repro.fairness.report import FairnessReport
+from repro.telemetry import PERSISTED_SPAN_NAMES, get_tracer
 from repro.utils.exceptions import CampaignError, ConfigurationError
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -624,6 +625,12 @@ class Campaign:
         self.session = self.tuner.session()
         self.session.add_hook("fulfillment", self._persist_fulfillment)
         self.session.add_hook("reslice", self._persist_reslice)
+        # Scope the session's spans by campaign id so concurrent campaigns
+        # sharing the process tracer keep disjoint span trees, and persist
+        # the per-iteration skeleton when tracing is live.
+        self.session.set_trace_scope(self.campaign_id)
+        if get_tracer().enabled:
+            self.session.add_hook("span", self._persist_span)
         snapshot = self.store.latest_snapshot(self.campaign_id)
         if snapshot is not None:
             bundle = pickle.loads(snapshot.payload)
@@ -662,6 +669,24 @@ class Campaign:
             iteration=_iteration_of(summary),
             kind="fulfillment",
             payload=summary,
+        )
+
+    def _persist_span(self, span) -> None:
+        """Persist one completed span as a durable ``telemetry`` event.
+
+        Only the bounded :data:`~repro.telemetry.PERSISTED_SPAN_NAMES`
+        vocabulary is stored (the per-iteration skeleton), so the event log
+        stays proportional to iterations, not trainings.  The iteration
+        rides in the span's baggage, stamped by the session.
+        """
+        if span.name not in PERSISTED_SPAN_NAMES:
+            return
+        self.store.append_event(
+            self.campaign_id,
+            generation=self.generation,
+            iteration=int(span.baggage.get("iteration", -1)),
+            kind="telemetry",
+            payload=span.to_dict(),
         )
 
     def _persist_reslice(self, event) -> None:

@@ -44,6 +44,7 @@ from repro.campaigns.store import RUNNING, CampaignStore, InMemoryStore
 from repro.core.plan import TuningResult
 from repro.engine.cache import ResultCache
 from repro.engine.executor import Executor, SerialExecutor
+from repro.telemetry import get_registry, get_tracer
 from repro.utils.exceptions import CampaignError
 
 
@@ -225,8 +226,16 @@ class CampaignScheduler:
             entry = self._pick(active)
             self._steps += 1
             entry.last_step = self._steps
+            get_registry().counter("scheduler.steps").inc()
             try:
-                record = entry.campaign.advance()
+                with get_tracer().span(
+                    "scheduler.step",
+                    attributes={
+                        "campaign_id": entry.campaign.campaign_id,
+                        "step": self._steps,
+                    },
+                ):
+                    record = entry.campaign.advance()
             except Exception as error:
                 # Campaign.advance already flipped the store status to
                 # FAILED; park the entry so one bad campaign cannot wedge

@@ -85,7 +85,10 @@ class CampaignEvent:
         Iteration the event belongs to (0 for the minimum-size top-up,
         ``-1`` for events outside the loop, e.g. ``evaluate``).
     kind:
-        ``iteration`` / ``fulfillment`` / ``evaluate`` / ``completed``.
+        ``iteration`` / ``fulfillment`` / ``evaluate`` / ``completed`` /
+        ``reslice`` / ``telemetry`` (completed
+        :class:`~repro.telemetry.Span` dicts, persisted only while a live
+        tracer is installed).
     payload:
         JSON-compatible event body.
     """

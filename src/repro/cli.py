@@ -1,6 +1,6 @@
 """Command-line interface for the Slice Tuner reproduction.
 
-Twelve subcommands cover the common workflows without writing any Python:
+Thirteen subcommands cover the common workflows without writing any Python:
 
 * ``curves`` — estimate and print the per-slice learning curves of a dataset.
 * ``plan`` — print the One-shot acquisition plan for a budget (no data is
@@ -37,8 +37,17 @@ Twelve subcommands cover the common workflows without writing any Python:
   environment variable) to share one content-addressed SQLite cache across
   processes and restarts: a training repeated anywhere with identical data,
   configuration, and seed is served from disk instead of re-run.
+* ``telemetry`` — inspect a recorded trace directory: ``spans`` (the raw
+  span log), ``metrics`` (the merged counter/gauge/histogram snapshot),
+  and ``summary`` (per-span-name timing rollup).  ``run``, ``campaign``,
+  and ``serve`` all accept ``--trace-out DIR`` (or the ``REPRO_TRACE_DIR``
+  environment variable) to switch tracing on: spans stream to
+  ``DIR/spans.jsonl`` and the final metrics snapshot lands in
+  ``DIR/metrics.json`` on exit.  Tracing never changes results — traced
+  and untraced runs are byte-identical.
 * ``report`` — analytics reports over a campaign store's event log
-  (``summary``, ``slices``, ``fulfillment``, ``fairness``, ``cache``):
+  (``summary``, ``slices``, ``fulfillment``, ``fairness``, ``cache``,
+  ``telemetry``):
   SQL views with window functions, materialized into a separate
   ``<store>.analytics`` database refreshed incrementally by event-sequence
   cursor.  ``--verify`` cross-checks every view row-for-row against a pure
@@ -50,7 +59,8 @@ Twelve subcommands cover the common workflows without writing any Python:
 Every subcommand accepts ``--quiet`` (print only essential results) and the
 process exits with code 0 on success, 2 on configuration/usage errors (the
 same code argparse uses), and a raised traceback only for genuine bugs.
-``run``, ``campaign``, ``report``, ``cache``, ``strategies``, ``sources``,
+``run``, ``campaign``, ``report``, ``cache``, ``telemetry``,
+``strategies``, ``sources``,
 and the ``remote`` commands also accept ``--json`` for machine-readable
 output: one JSON object on stdout carrying a ``schema`` tag (e.g.
 ``repro.run/1``) that stays stable across releases — the README documents
@@ -74,6 +84,8 @@ Examples::
     python -m repro.cli remote tail nightly-0123456789 --url http://127.0.0.1:8731
     python -m repro.cli compare --dataset mixed_like --budget 2000 \
         --methods uniform water_filling moderate bandit --trials 2
+    python -m repro.cli run --dataset adult_like --budget 500 --trace-out traces/
+    python -m repro.cli telemetry summary --trace-dir traces/ --json
 """
 
 from __future__ import annotations
@@ -135,6 +147,7 @@ from repro.slices.discovery import (
     is_discovery_method,
 )
 from repro.serve import TunerClient, TunerServer, TunerService
+from repro import telemetry
 from repro.utils.exceptions import ConfigurationError, ReproError
 from repro.utils.tables import format_table
 
@@ -194,6 +207,36 @@ def _require_disk_cache(args: argparse.Namespace) -> SqliteResultCache:
         )
     os.makedirs(cache_dir, exist_ok=True)
     return SqliteResultCache(default_cache_path(cache_dir))
+
+
+def _resolve_trace_dir(args: argparse.Namespace) -> str | None:
+    """The trace output directory: ``--trace-out`` flag, then env var.
+
+    Only subcommands that declare ``--trace-out`` (run, campaign, serve)
+    resolve the ``REPRO_TRACE_DIR`` fallback — inspection commands must
+    never install a live tracer over the directory they are reading.
+    ``None`` (the default) keeps the zero-cost no-op tracer installed.
+    """
+    if not hasattr(args, "trace_out"):
+        return None
+    trace_dir = args.trace_out
+    if trace_dir is None:
+        trace_dir = os.environ.get("REPRO_TRACE_DIR") or None
+    return trace_dir
+
+
+def _require_trace_dir(args: argparse.Namespace) -> str:
+    """The trace directory a ``telemetry`` inspection subcommand reads."""
+    trace_dir = getattr(args, "trace_dir", None)
+    if trace_dir is None:
+        trace_dir = os.environ.get("REPRO_TRACE_DIR") or None
+    if trace_dir is None:
+        raise ConfigurationError(
+            "the telemetry subcommand needs a trace directory: pass "
+            "--trace-dir or set REPRO_TRACE_DIR (record one with "
+            "`run --trace-out DIR`)"
+        )
+    return trace_dir
 
 
 def _registered_method(name: str) -> str:
@@ -269,6 +312,18 @@ def build_parser() -> argparse.ArgumentParser:
             help="directory holding the persistent shared result/curve cache "
             "(sqlite, shared across processes and restarts); defaults to "
             "the REPRO_CACHE_DIR environment variable, else in-memory",
+        )
+
+    def add_trace_out(sub: argparse.ArgumentParser) -> None:
+        sub.add_argument(
+            "--trace-out",
+            default=None,
+            dest="trace_out",
+            metavar="DIR",
+            help="record telemetry: stream spans to DIR/spans.jsonl and "
+            "write the metrics snapshot to DIR/metrics.json on exit "
+            "(defaults to the REPRO_TRACE_DIR environment variable, else "
+            "tracing stays off; results are identical either way)",
         )
 
     def add_discovery(sub: argparse.ArgumentParser) -> None:
@@ -376,6 +431,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="worker processes for --executor process (default: CPU count)",
     )
     add_cache_dir(run)
+    add_trace_out(run)
     add_json(run)
 
     compare = subparsers.add_parser("compare", help="compare acquisition methods over trials")
@@ -431,6 +487,7 @@ def build_parser() -> argparse.ArgumentParser:
         "every iteration",
     )
     add_store(c_start)
+    add_trace_out(c_start)
     c_start.add_argument("--name", default=None, help="campaign name (required unless --suite)")
     c_start.add_argument("--dataset", default="adult_like", choices=available_tasks())
     c_start.add_argument("--scenario", default="basic", choices=list_scenarios())
@@ -479,6 +536,7 @@ def build_parser() -> argparse.ArgumentParser:
         "resume", help="resume stored campaigns after a pause or crash"
     )
     add_store(c_resume)
+    add_trace_out(c_resume)
     c_resume.add_argument(
         "campaign_id",
         nargs="?",
@@ -527,6 +585,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="re-activate every unfinished stored campaign on startup",
     )
     add_cache_dir(serve)
+    add_trace_out(serve)
     add_quiet(serve)
 
     cache = subparsers.add_parser(
@@ -561,13 +620,58 @@ def build_parser() -> argparse.ArgumentParser:
         help="target payload size in megabytes (LRU eviction by last access)",
     )
 
+    telem = subparsers.add_parser(
+        "telemetry",
+        help="inspect a recorded trace directory: spans, metrics, summary",
+    )
+    telemetry_sub = telem.add_subparsers(dest="telemetry_command", required=True)
+
+    def add_trace_dir(sub: argparse.ArgumentParser) -> None:
+        sub.add_argument(
+            "--trace-dir",
+            default=None,
+            dest="trace_dir",
+            metavar="DIR",
+            help="trace directory to read (defaults to the REPRO_TRACE_DIR "
+            "environment variable)",
+        )
+        add_quiet(sub)
+        add_json(sub)
+
+    t_spans = telemetry_sub.add_parser(
+        "spans", help="the recorded span log (newest last)"
+    )
+    add_trace_dir(t_spans)
+    t_spans.add_argument(
+        "--name",
+        default=None,
+        dest="span_name",
+        help="only spans with this name (e.g. session.iteration)",
+    )
+    t_spans.add_argument(
+        "--limit",
+        type=int,
+        default=0,
+        help="print only the newest N spans (0 = all)",
+    )
+    t_metrics = telemetry_sub.add_parser(
+        "metrics", help="the merged counter/gauge/histogram snapshot"
+    )
+    add_trace_dir(t_metrics)
+    t_summary = telemetry_sub.add_parser(
+        "summary", help="per-span-name timing rollup (count/mean/max/errors)"
+    )
+    add_trace_dir(t_summary)
+
     report = subparsers.add_parser(
         "report",
         help="analytics reports: SQL views over the campaign event log",
     )
     report.add_argument(
         "report_kind",
-        choices=("summary", "slices", "fulfillment", "fairness", "cache"),
+        choices=(
+            "summary", "slices", "fulfillment", "fairness", "cache", "telemetry",
+        ),
         help="which report to render (each is one or two analytics views)",
     )
     add_store(report)
@@ -1501,6 +1605,125 @@ def run_cache(args: argparse.Namespace) -> str:
         cache.close()
 
 
+# -- the telemetry family ----------------------------------------------------------
+
+
+def run_telemetry(args: argparse.Namespace) -> str:
+    """Dispatch for the ``telemetry`` family: spans, metrics, summary.
+
+    All three read a trace directory previously recorded with
+    ``--trace-out`` (or ``REPRO_TRACE_DIR``); none of them installs a
+    tracer, so inspection never mutates the trace being inspected.  JSON
+    payloads share the ``repro.telemetry/1`` schema tag.
+    """
+    trace_dir = _require_trace_dir(args)
+    if args.telemetry_command == "spans":
+        spans = telemetry.read_spans(trace_dir)
+        if args.span_name is not None:
+            spans = [s for s in spans if s.get("name") == args.span_name]
+        if args.limit > 0:
+            spans = spans[-args.limit :]
+        if args.json_output:
+            return _json_output(
+                "repro.telemetry/1",
+                {
+                    "trace_dir": trace_dir,
+                    "kind": "spans",
+                    "span_count": len(spans),
+                    "spans": spans,
+                },
+            )
+        if args.quiet:
+            return f"{len(spans)} span(s) in {trace_dir}"
+        rows = [
+            [
+                s.get("name", "?"),
+                s.get("span_id", ""),
+                s.get("parent_id") or "-",
+                s.get("sequence", 0),
+                s.get("status", "?"),
+                f"{float(s.get('duration') or 0.0):.6f}",
+            ]
+            for s in spans
+        ]
+        return format_table(
+            headers=["name", "span id", "parent", "seq", "status", "seconds"],
+            rows=rows,
+            title=f"Trace spans — {trace_dir} ({len(spans)} span(s))",
+        )
+    if args.telemetry_command == "metrics":
+        snapshot = telemetry.read_metrics(trace_dir)
+        if args.json_output:
+            return _json_output(
+                "repro.telemetry/1",
+                {"trace_dir": trace_dir, "kind": "metrics", "metrics": snapshot},
+            )
+        counters = snapshot.get("counters", {})
+        gauges = snapshot.get("gauges", {})
+        histograms = snapshot.get("histograms", {})
+        if args.quiet:
+            return (
+                f"{len(counters)} counter(s), {len(gauges)} gauge(s), "
+                f"{len(histograms)} histogram(s) in {trace_dir}"
+            )
+        rows = [["counter", name, value] for name, value in sorted(counters.items())]
+        rows += [["gauge", name, value] for name, value in sorted(gauges.items())]
+        rows += [
+            [
+                "histogram",
+                name,
+                f"n={data.get('count', 0)} sum={data.get('sum', 0.0):.6f}",
+            ]
+            for name, data in sorted(histograms.items())
+        ]
+        if not rows:
+            return f"no metrics recorded under {trace_dir}"
+        return format_table(
+            headers=["instrument", "name", "value"],
+            rows=rows,
+            title=f"Metrics snapshot — {trace_dir}",
+        )
+    if args.telemetry_command == "summary":
+        total, summary = telemetry.summarize_spans(telemetry.read_spans(trace_dir))
+        counters = telemetry.read_metrics(trace_dir).get("counters", {})
+        if args.json_output:
+            return _json_output(
+                "repro.telemetry/1",
+                {
+                    "trace_dir": trace_dir,
+                    "kind": "summary",
+                    "span_count": total,
+                    "spans": summary,
+                    "counters": counters,
+                },
+            )
+        if args.quiet:
+            return (
+                f"{total} span(s) across {len(summary)} name(s) in {trace_dir}"
+            )
+        rows = [
+            [
+                name,
+                entry["count"],
+                entry["errors"],
+                f"{entry['total_seconds']:.6f}",
+                f"{entry['mean_seconds']:.6f}",
+                f"{entry['max_seconds']:.6f}",
+            ]
+            for name, entry in summary.items()
+        ]
+        if not rows:
+            return f"no spans recorded under {trace_dir}"
+        return format_table(
+            headers=["span", "count", "errors", "total s", "mean s", "max s"],
+            rows=rows,
+            title=f"Span summary — {trace_dir} ({total} span(s))",
+        )
+    raise ConfigurationError(  # pragma: no cover - argparse enforces choices
+        f"unknown telemetry command {args.telemetry_command!r}"
+    )
+
+
 # -- the analytics report family ---------------------------------------------------
 
 
@@ -1882,6 +2105,7 @@ _COMMANDS = {
     "compare": run_compare,
     "campaign": run_campaign,
     "cache": run_cache,
+    "telemetry": run_telemetry,
     "report": run_report,
     "serve": run_serve,
     "remote": run_remote,
@@ -1903,11 +2127,24 @@ def main(argv: Sequence[str] | None = None) -> int:
     handler = _COMMANDS.get(args.command)
     if handler is None:  # pragma: no cover - argparse enforces the choices
         parser.error(f"unknown command {args.command!r}")
+    # Tracing lifecycle: commands that declare --trace-out get a live
+    # tracer plus a fresh metrics registry for their whole run (so the
+    # written snapshot covers exactly this command); shutdown flushes the
+    # metrics next to the span log even when the command errors out.
+    trace_dir = _resolve_trace_dir(args)
+    previous_registry = None
+    if trace_dir is not None:
+        telemetry.configure(trace_dir=trace_dir)
+        previous_registry = telemetry.set_registry(telemetry.MetricsRegistry())
     try:
         output = handler(args)
     except ReproError as error:
         print(f"error: {error}", file=sys.stderr)
         return 2
+    finally:
+        if trace_dir is not None:
+            telemetry.shutdown()
+            telemetry.set_registry(previous_registry)
     if output:
         print(output)
     return 0

@@ -53,6 +53,7 @@ to the most recently started run.
 
 from __future__ import annotations
 
+import itertools
 from dataclasses import dataclass
 from dataclasses import field as dataclasses_field
 from typing import TYPE_CHECKING, Any, Callable, Iterable, Iterator, Mapping, Union
@@ -73,6 +74,7 @@ from repro.core.strategy_api import (
 from repro.engine.factories import describe_factory
 from repro.engine.job import TrainingJob, stable_seed
 from repro.slices.discovery import get_discovery_method
+from repro.telemetry import Span, get_registry, get_tracer
 from repro.utils.exceptions import ConfigurationError
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -83,7 +85,12 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 IterationHook = Callable[[IterationRecord], None]
 EvaluateHook = Callable[[str, "FairnessReport"], None]
 FulfillmentHook = Callable[[Fulfillment], None]
+SpanHook = Callable[[Span], None]
 EarlyStop = Callable[[IterationRecord], bool]
+
+#: Default trace scopes; only used for in-process span routing, so a plain
+#: process-local counter is fine (campaigns override with their campaign id).
+_scope_counter = itertools.count(1)
 
 _CHECKPOINT_VERSION = 1
 
@@ -198,14 +205,19 @@ class TunerSession:
             "evaluate": [on_evaluate] if on_evaluate else [],
             "fulfillment": [on_fulfillment] if on_fulfillment else [],
             "reslice": [],
+            "span": [],
         }
         self._early_stops: list[EarlyStop] = []
+        #: Baggage scope stamped on every span this session opens; spans
+        #: carrying a different scope (another session sharing the tracer)
+        #: never reach this session's ``span`` hooks.
+        self._scope = f"session-{next(_scope_counter)}"
         #: The most recently started run (stream()/load_state_dict()).
         self._run: _RunContext | None = None
 
     # -- hooks and early stops ---------------------------------------------------
     def add_hook(self, event: str, hook: Callable) -> "TunerSession":
-        """Register a hook; ``event`` is ``fulfillment``, ``acquire``, ``iteration``, ``evaluate``, or ``reslice``.
+        """Register a hook; ``event`` is ``fulfillment``, ``acquire``, ``iteration``, ``evaluate``, ``reslice``, or ``span``.
 
         ``fulfillment`` hooks fire with every
         :class:`~repro.acquisition.requests.Fulfillment` the moment the
@@ -215,8 +227,11 @@ class TunerSession:
         strategy has digested the batch; ``evaluate`` hooks fire as
         ``(stage, report)`` around the before/after evaluations of
         :meth:`run`; ``reslice`` hooks fire with a :class:`ResliceEvent`
-        every time dynamic discovery re-partitions the data.  Returns
-        ``self`` so calls chain.
+        every time dynamic discovery re-partitions the data; ``span`` hooks
+        fire with every completed :class:`~repro.telemetry.Span` belonging
+        to this session's runs (only while a live tracer is installed —
+        see :func:`repro.telemetry.configure`).  Returns ``self`` so calls
+        chain.
         """
         if event not in self._hooks:
             raise ConfigurationError(
@@ -231,9 +246,29 @@ class TunerSession:
         self._early_stops.append(predicate)
         return self
 
+    def on_span(self, hook: SpanHook) -> "TunerSession":
+        """Shorthand for ``add_hook("span", hook)``."""
+        return self.add_hook("span", hook)
+
+    def set_trace_scope(self, scope: str) -> "TunerSession":
+        """Stamp this session's spans with ``scope`` (baggage ``scope`` key).
+
+        Concurrent sessions share one process-wide tracer; the scope is how
+        each session (and each campaign, which sets its campaign id here)
+        tells its own spans apart.  Returns ``self`` so calls chain.
+        """
+        self._scope = str(scope)
+        return self
+
     def _fire(self, event: str, *args) -> None:
         for hook in self._hooks[event]:
             hook(*args)
+
+    def _dispatch_span(self, span: Span) -> None:
+        """Tracer listener: forward this session's completed spans to hooks."""
+        if span.baggage.get("scope") != self._scope:
+            return
+        self._fire("span", span)
 
     # -- the streaming API -------------------------------------------------------
     def stream(
@@ -484,61 +519,99 @@ class TunerSession:
         strategy, state, result = run.strategy, run.state, run.result
         stops = [*self._early_stops, *extra_stops]
         tuner = self.tuner
+        tracer = get_tracer()
+        registry = get_registry()
+        listening = tracer.enabled
+        if listening:
+            tracer.add_listener(self._dispatch_span)
 
         def finish(record: IterationRecord) -> bool:
             """Yield-side bookkeeping; True when an early stop fired."""
             result.spent = state.ledger.spent
             return any(predicate(record) for predicate in stops)
 
-        # Steps 3-6 of Algorithm 1: top every slice up to the minimum size L.
-        if (
-            run.iteration == 0
-            and strategy.enforce_min_slice_size
-            and tuner.config.min_slice_size > 0
-        ):
-            record = self._top_up_minimum_sizes(run)
-            if record is not None:
-                result.iterations.append(record)
-                self._fire("acquire", record)
+        try:
+            # Steps 3-6 of Algorithm 1: top every slice up to the minimum
+            # size L.
+            if (
+                run.iteration == 0
+                and strategy.enforce_min_slice_size
+                and tuner.config.min_slice_size > 0
+            ):
+                with tracer.span(
+                    "session.top_up",
+                    attributes={"strategy": strategy.name},
+                    baggage={"scope": self._scope, "iteration": 0},
+                ) as span:
+                    record = self._top_up_minimum_sizes(run)
+                    if record is not None:
+                        span.set_attribute("spent", record.spent)
+                if record is not None:
+                    result.iterations.append(record)
+                    self._fire("acquire", record)
+                    self._fire("iteration", record)
+                    stop = finish(record)
+                    yield record
+                    if stop:
+                        return
+
+            max_iterations = (
+                strategy.iteration_cap or tuner.config.max_iterations
+            )
+            while run.iteration < max_iterations:
+                if strategy.is_iterative:
+                    if state.ledger.exhausted:
+                        break
+                    if state.ledger.remaining < state.cheapest_cost():
+                        break
+                if (
+                    tuner.config.reslice_every > 0
+                    and run.iteration > 0
+                    and run.iteration % tuner.config.reslice_every == 0
+                    and run.last_reslice_iteration != run.iteration
+                ):
+                    self._reslice(run)
+                # The span closes before the "iteration" hooks and the
+                # yield, so it measures propose/acquire/observe — not
+                # whatever the consumer does between records.
+                with tracer.span(
+                    "session.iteration",
+                    attributes={"strategy": strategy.name},
+                    baggage={
+                        "scope": self._scope,
+                        "iteration": run.iteration + 1,
+                    },
+                ) as span:
+                    plan = strategy.propose(
+                        state, state.ledger.remaining, run.lam
+                    )
+                    if plan is None:
+                        span.set_attribute("proposed", False)
+                        break
+                    run.iteration += 1
+                    state.iteration = run.iteration
+                    record = self._acquire_plan(state, plan, run.iteration)
+                    result.iterations.append(record)
+                    for name, count in record.acquired.items():
+                        result.total_acquired[name] = (
+                            result.total_acquired.get(name, 0) + count
+                        )
+                    self._fire("acquire", record)
+                    keep_going = strategy.observe(state, record)
+                    span.set_attribute(
+                        "acquired", sum(record.acquired.values())
+                    )
+                    span.set_attribute("spent", record.spent)
+                registry.counter("session.iterations").inc()
                 self._fire("iteration", record)
                 stop = finish(record)
                 yield record
-                if stop:
-                    return
-
-        max_iterations = strategy.iteration_cap or tuner.config.max_iterations
-        while run.iteration < max_iterations:
-            if strategy.is_iterative:
-                if state.ledger.exhausted:
+                if stop or not keep_going or not strategy.is_iterative:
                     break
-                if state.ledger.remaining < state.cheapest_cost():
-                    break
-            if (
-                tuner.config.reslice_every > 0
-                and run.iteration > 0
-                and run.iteration % tuner.config.reslice_every == 0
-                and run.last_reslice_iteration != run.iteration
-            ):
-                self._reslice(run)
-            plan = strategy.propose(state, state.ledger.remaining, run.lam)
-            if plan is None:
-                break
-            run.iteration += 1
-            state.iteration = run.iteration
-            record = self._acquire_plan(state, plan, run.iteration)
-            result.iterations.append(record)
-            for name, count in record.acquired.items():
-                result.total_acquired[name] = (
-                    result.total_acquired.get(name, 0) + count
-                )
-            self._fire("acquire", record)
-            keep_going = strategy.observe(state, record)
-            self._fire("iteration", record)
-            stop = finish(record)
-            yield record
-            if stop or not keep_going or not strategy.is_iterative:
-                break
-        result.spent = state.ledger.spent
+            result.spent = state.ledger.spent
+        finally:
+            if listening:
+                tracer.remove_listener(self._dispatch_span)
 
     def _reslice(self, run: _RunContext) -> None:
         """Re-run slice discovery and swap the run onto the new partition.
@@ -553,22 +626,33 @@ class TunerSession:
         """
         tuner = self.tuner
         generation = run.slice_generation + 1
-        method = get_discovery_method(
-            tuner.config.discover,
-            seed=stable_seed("slice-discovery", tuner.config.discover, generation),
-        )
-        pool = tuner.sliced.combined_train()
-        job = TrainingJob(
-            train=pool,
-            n_classes=tuner.sliced.n_classes,
-            seed=stable_seed("slice-discovery-model", generation),
-            trainer_config=tuner.trainer_config,
-            model_factory=tuner.model_factory,
-            factory_name=describe_factory(tuner.model_factory),
-            tag=("discover", generation),
-        )
-        model = tuner.executor.submit([job])[0].model
-        method.fit(model, pool)
+        with get_tracer().span(
+            "session.reslice",
+            attributes={
+                "generation": generation,
+                "method": tuner.config.discover,
+            },
+            baggage={"scope": self._scope, "iteration": run.iteration},
+        ):
+            method = get_discovery_method(
+                tuner.config.discover,
+                seed=stable_seed(
+                    "slice-discovery", tuner.config.discover, generation
+                ),
+            )
+            pool = tuner.sliced.combined_train()
+            job = TrainingJob(
+                train=pool,
+                n_classes=tuner.sliced.n_classes,
+                seed=stable_seed("slice-discovery-model", generation),
+                trainer_config=tuner.trainer_config,
+                model_factory=tuner.model_factory,
+                factory_name=describe_factory(tuner.model_factory),
+                tag=("discover", generation),
+            )
+            model = tuner.executor.submit([job])[0].model
+            method.fit(model, pool)
+        get_registry().counter("session.reslices").inc()
 
         # Base providers understand the *original* slice names; unwrap a
         # previous generation's adapter rather than nesting adapters.

@@ -18,7 +18,14 @@ from __future__ import annotations
 import copy
 from collections import OrderedDict
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Iterable, Mapping, Protocol, runtime_checkable
+from typing import (
+    TYPE_CHECKING,
+    Any,
+    Iterable,
+    Mapping,
+    Protocol,
+    runtime_checkable,
+)
 
 from repro.engine.job import JobResult, fingerprint_dataset
 from repro.utils.exceptions import ConfigurationError
@@ -45,6 +52,24 @@ class CacheStats:
     def hit_rate(self) -> float:
         """Fraction of lookups served from the cache (0 when unused)."""
         return self.hits / self.requests if self.requests else 0.0
+
+    def snapshot(self) -> dict[str, Any]:
+        """All counters as one JSON-compatible dict, read in one pass.
+
+        Surfaces that report several counters together (``/stats``,
+        ``cache stats --json``) build on this instead of reading the
+        attributes one by one, so no counter in a payload can be mid-update
+        relative to another.
+        """
+        hits, misses, evictions = self.hits, self.misses, self.evictions
+        requests = hits + misses
+        return {
+            "requests": requests,
+            "hits": hits,
+            "misses": misses,
+            "evictions": evictions,
+            "hit_rate": round(hits / requests, 4) if requests else 0.0,
+        }
 
 
 @runtime_checkable
@@ -103,6 +128,10 @@ class InMemoryResultCache:
         served = copy.deepcopy(entry)
         served.from_cache = True
         return served
+
+    def stats_snapshot(self) -> dict[str, Any]:
+        """All counters in one consistent read (see :meth:`CacheStats.snapshot`)."""
+        return self.stats.snapshot()
 
     def put(self, fingerprint: str, result: JobResult) -> None:
         """Store one result, evicting the LRU entry when over capacity.

@@ -49,7 +49,7 @@ import threading
 import time
 import warnings
 from collections import OrderedDict
-from typing import TYPE_CHECKING, Callable, Mapping
+from typing import TYPE_CHECKING, Any, Callable, Mapping
 
 from repro.engine.cache import CacheStats, CurveCache, _CurveEntry, pool_fingerprints
 from repro.engine.job import JobResult, TrainingJob, run_training_job
@@ -262,6 +262,21 @@ class SqliteResultCache:
             misses=disk.misses,
             evictions=memory.evictions + disk.evictions,
         )
+
+    def stats_snapshot(self) -> dict[str, Any]:
+        """All aggregated counters in one consistent read.
+
+        One :meth:`tier_stats` pass (a single locked flush + query) feeds
+        every number, so the payload cannot tear across a concurrent
+        update the way four separate :attr:`stats` reads could.
+        """
+        tiers = self.tier_stats()
+        memory, disk = tiers["memory"], tiers["results"]
+        return CacheStats(
+            hits=memory.hits + disk.hits,
+            misses=disk.misses,
+            evictions=memory.evictions + disk.evictions,
+        ).snapshot()
 
     def tier_stats(self) -> dict[str, CacheStats]:
         """Cumulative per-tier counters, aggregated across processes."""

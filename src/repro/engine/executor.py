@@ -20,10 +20,21 @@ import concurrent.futures
 import os
 import pickle
 import warnings
+from dataclasses import dataclass, field
 from typing import Any, Callable, Iterable, Sequence, TypeVar
 
 from repro.engine.cache import ResultCache
 from repro.engine.job import JobResult, TrainingJob, run_training_job
+from repro.telemetry import (
+    CollectSink,
+    MetricsRegistry,
+    Span,
+    Tracer,
+    get_registry,
+    get_tracer,
+    set_registry,
+    set_tracer,
+)
 from repro.utils.exceptions import ConfigurationError
 
 T = TypeVar("T")
@@ -50,31 +61,42 @@ class Executor:
     def submit(self, jobs: Sequence[TrainingJob]) -> list[JobResult]:
         """Run ``jobs`` (serving cache hits), results in submission order."""
         jobs = list(jobs)
-        results: list[JobResult | None] = [None] * len(jobs)
-        pending: list[tuple[int, TrainingJob]] = []
-        if self.cache is None:
-            pending = list(enumerate(jobs))
-        else:
-            for index, job in enumerate(jobs):
-                hit = self.cache.get(job.fingerprint)
-                if hit is not None:
-                    hit.tag = job.tag
-                    results[index] = hit
-                else:
-                    pending.append((index, job))
-        if pending:
-            executed = self._run_jobs([job for _, job in pending])
-            for (index, job), result in zip(pending, executed, strict=True):
-                results[index] = result
-                if self.cache is not None:
-                    # Job fingerprints hash the full training set, so they
-                    # are only materialized on cached runs.
-                    result.fingerprint = job.fingerprint
-                    if not result.from_cache:
-                        # A shared-cache worker may have served this "miss"
-                        # from another process's training; re-storing would
-                        # only rewrite an identical entry.
-                        self.cache.put(job.fingerprint, result)
+        registry = get_registry()
+        registry.counter("engine.jobs").inc(len(jobs))
+        with get_tracer().span(
+            "engine.submit",
+            attributes={"executor": self.name, "jobs": len(jobs)},
+        ) as span:
+            results: list[JobResult | None] = [None] * len(jobs)
+            pending: list[tuple[int, TrainingJob]] = []
+            if self.cache is None:
+                pending = list(enumerate(jobs))
+            else:
+                for index, job in enumerate(jobs):
+                    hit = self.cache.get(job.fingerprint)
+                    if hit is not None:
+                        hit.tag = job.tag
+                        results[index] = hit
+                    else:
+                        pending.append((index, job))
+            if pending:
+                executed = self._run_jobs([job for _, job in pending])
+                for (index, job), result in zip(pending, executed, strict=True):
+                    results[index] = result
+                    if self.cache is not None:
+                        # Job fingerprints hash the full training set, so they
+                        # are only materialized on cached runs.
+                        result.fingerprint = job.fingerprint
+                        if not result.from_cache:
+                            # A shared-cache worker may have served this "miss"
+                            # from another process's training; re-storing would
+                            # only rewrite an identical entry.
+                            self.cache.put(job.fingerprint, result)
+            hits = len(jobs) - len(pending)
+            registry.counter("engine.cache_hits").inc(hits)
+            registry.counter("engine.cache_misses").inc(len(pending))
+            span.set_attribute("cache_hits", hits)
+            span.set_attribute("executed", len(pending))
         if any(result is None for result in results):
             raise RuntimeError("executor backend dropped a job result")
         return results
@@ -96,6 +118,58 @@ class Executor:
 
     def __exit__(self, *exc_info: object) -> None:
         self.close()
+
+
+@dataclass
+class _ShippedJob:
+    """A worker's result plus the telemetry it produced (picklable)."""
+
+    result: JobResult
+    spans: list = field(default_factory=list)
+    metrics: dict = field(default_factory=dict)
+
+
+@dataclass
+class _TracedWorkerRunner:
+    """Picklable wrapper running one job under a worker-local tracer.
+
+    The worker installs a fresh tracer (collect sink) and a fresh metrics
+    registry around the job, so the shipped payload contains exactly this
+    job's spans and metric deltas — pool processes are reused across jobs,
+    and a process-wide registry would double-count.  The span id derives
+    from the parent ``engine.submit`` span and the job's submission index,
+    never from which worker ran it.
+    """
+
+    runner: Callable[[TrainingJob], JobResult]
+    parent_id: str
+    baggage: dict
+
+    def __call__(self, indexed_job: tuple[int, TrainingJob]) -> _ShippedJob:
+        index, job = indexed_job
+        collector = CollectSink()
+        tracer = Tracer(sinks=[collector])
+        registry = MetricsRegistry()
+        previous_tracer = set_tracer(tracer)
+        previous_registry = set_registry(registry)
+        try:
+            with tracer.span(
+                "engine.job",
+                parent=self.parent_id,
+                sequence=index,
+                attributes={"index": index, "tag": repr(job.tag)},
+                baggage=self.baggage,
+            ) as span:
+                result = self.runner(job)
+                span.set_attribute("from_cache", bool(result.from_cache))
+        finally:
+            set_tracer(previous_tracer)
+            set_registry(previous_registry)
+        return _ShippedJob(
+            result=result,
+            spans=[span.to_dict() for span in collector.spans()],
+            metrics=registry.snapshot(),
+        )
 
 
 class SerialExecutor(Executor):
@@ -187,7 +261,31 @@ class ProcessPoolExecutor(Executor):
         worker_factory = getattr(self.cache, "worker_runner", None)
         if worker_factory is not None:
             runner = worker_factory()
-        return list(pool.map(runner, jobs, chunksize=self.chunksize))
+        tracer = get_tracer()
+        if not tracer.enabled:
+            return list(pool.map(runner, jobs, chunksize=self.chunksize))
+        # Tracing is on: wrap the runner so each worker runs its job under
+        # a span on a job-local tracer/registry and ships both back with
+        # the result.  Parent linkage and sequence are pre-assigned here,
+        # so worker span ids are deterministic regardless of which worker
+        # process picks which job up.
+        parent = tracer.current_span()
+        traced_runner = _TracedWorkerRunner(
+            runner=runner,
+            parent_id=parent.span_id if parent is not None else "",
+            baggage=dict(parent.baggage) if parent is not None else {},
+        )
+        shipped = list(
+            pool.map(traced_runner, enumerate(jobs), chunksize=self.chunksize)
+        )
+        registry = get_registry()
+        results: list[JobResult] = []
+        for item in shipped:
+            results.append(item.result)
+            for span_dict in item.spans:
+                tracer.emit(Span.from_dict(span_dict))
+            registry.merge(item.metrics)
+        return results
 
     def map(self, fn: Callable[[T], R], items: Iterable[T]) -> list[R]:
         items = list(items)

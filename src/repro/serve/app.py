@@ -40,6 +40,13 @@ from repro.campaigns.store import (
     replay_events,
 )
 from repro.engine.cache import InMemoryResultCache, ResultCache
+from repro.telemetry import (
+    MetricsRegistry,
+    get_registry,
+    get_tracer,
+    merge_snapshots,
+    summarize_spans,
+)
 from repro.utils.exceptions import CampaignError, ConfigurationError
 
 #: Store statuses that end a live event stream (a paused campaign may be
@@ -49,36 +56,47 @@ TERMINAL_STATUSES = (COMPLETED, FAILED, PAUSED)
 
 @dataclass
 class ServerStats:
-    """Thread-safe counters of everything the daemon has served so far."""
+    """Thread-safe counters of everything the daemon has served so far.
+
+    Backed by a per-service :class:`~repro.telemetry.MetricsRegistry`
+    (instruments render as ``serve.<counter>``), so :meth:`snapshot` is a
+    single-lock atomic read — no counter in one snapshot can be mid-update
+    relative to another — and ``GET /metrics`` can merge these counters
+    with the process-wide registry.  Per-instance rather than process-wide
+    so two services in one process (or test) never share counts.
+    """
 
     started_at: float = field(default_factory=time.time)
-    requests: int = 0
-    campaigns_submitted: int = 0
-    sse_connections: int = 0
-    events_streamed: int = 0
-    reports_served: int = 0
-    errors: int = 0
+
+    _COUNTERS = (
+        "requests",
+        "campaigns_submitted",
+        "sse_connections",
+        "events_streamed",
+        "reports_served",
+        "errors",
+    )
 
     def __post_init__(self) -> None:
-        self._lock = threading.Lock()
+        self.registry = MetricsRegistry()
+        for name in self._COUNTERS:
+            self.registry.counter(f"serve.{name}")
 
     def count(self, counter: str, amount: int = 1) -> None:
         """Atomically bump one of the counters by ``amount``."""
-        with self._lock:
-            setattr(self, counter, getattr(self, counter) + amount)
+        if counter not in self._COUNTERS:
+            raise AttributeError(f"unknown server counter {counter!r}")
+        self.registry.counter(f"serve.{counter}").inc(amount)
 
     def snapshot(self) -> dict[str, Any]:
         """A point-in-time copy, as plain JSON-compatible values."""
-        with self._lock:
-            return {
-                "uptime_seconds": round(time.time() - self.started_at, 3),
-                "requests": self.requests,
-                "campaigns_submitted": self.campaigns_submitted,
-                "sse_connections": self.sse_connections,
-                "events_streamed": self.events_streamed,
-                "reports_served": self.reports_served,
-                "errors": self.errors,
-            }
+        counters = self.registry.snapshot()["counters"]
+        payload: dict[str, Any] = {
+            "uptime_seconds": round(time.time() - self.started_at, 3)
+        }
+        for name in self._COUNTERS:
+            payload[name] = counters.get(f"serve.{name}", 0)
+        return payload
 
 
 class TunerService:
@@ -375,13 +393,51 @@ class TunerService:
         if cache is not None:
             # One snapshot: a disk-backed cache computes its stats per read
             # (aggregated across every process sharing the file), so four
-            # separate reads could straddle a concurrent update.
-            snapshot = cache.stats
-            stats["cache"] = {
-                "requests": snapshot.requests,
-                "hits": snapshot.hits,
-                "misses": snapshot.misses,
-                "evictions": snapshot.evictions,
-                "persistent": hasattr(cache, "tier_stats"),
-            }
+            # separate reads could straddle a concurrent update.  Built-in
+            # caches expose a single-lock stats_snapshot(); custom caches
+            # fall back to the four-attribute read.
+            snapshot_fn = getattr(cache, "stats_snapshot", None)
+            if snapshot_fn is not None:
+                cache_stats = dict(snapshot_fn())
+            else:
+                snapshot = cache.stats
+                cache_stats = {
+                    "requests": snapshot.requests,
+                    "hits": snapshot.hits,
+                    "misses": snapshot.misses,
+                    "evictions": snapshot.evictions,
+                }
+            cache_stats["persistent"] = hasattr(cache, "tier_stats")
+            stats["cache"] = cache_stats
         return stats
+
+    def metrics_snapshot(self) -> dict[str, Any]:
+        """One merged metrics snapshot: process registry + server counters.
+
+        Backs ``GET /metrics``.  The process-wide registry carries the
+        engine/acquisition/session instruments; the service's
+        :class:`ServerStats` registry carries the HTTP counters.
+        """
+        return merge_snapshots(
+            get_registry().snapshot(), self.stats.registry.snapshot()
+        )
+
+    def span_summary(self, campaign_id: str) -> dict[str, Any]:
+        """Aggregate a campaign's persisted telemetry spans by span name.
+
+        Backs ``GET /campaigns/<id>/spans``.  Reads the durable
+        ``telemetry`` events (written only while a live tracer is
+        installed), so the summary survives daemon restarts alongside the
+        campaign itself.
+        """
+        self.store.get_campaign(campaign_id)  # 404-mapped when unknown
+        total, spans = summarize_spans(
+            event.payload
+            for event in self.store.events(campaign_id, kinds=("telemetry",))
+        )
+        return {
+            "campaign_id": campaign_id,
+            "tracing": get_tracer().enabled,
+            "span_count": total,
+            "spans": spans,
+        }

@@ -18,8 +18,10 @@ GET      ``/campaigns/<id>/events``      Server-Sent-Events live tail (cursor:
                                          ``Last-Event-ID`` header or ``?after=N``)
 GET      ``/campaigns/<id>/report``      per-campaign analytics report
                                          (``?kind=summary|slices|fulfillment|cache``)
+GET      ``/campaigns/<id>/spans``       per-campaign telemetry span summary
 GET      ``/reports/summary``            fleet-wide ``repro.report/1`` payload
                                          (``?kind=`` selects any report kind)
+GET      ``/metrics``                    merged metrics-registry snapshot
 POST     ``/campaigns/<id>/pause``       checkpoint + pause
 POST     ``/campaigns/<id>/resume``      re-activate a paused/stored campaign
 POST     ``/resume``                     re-activate every unfinished campaign
@@ -45,6 +47,7 @@ from typing import Any, Callable
 
 from repro.serve.app import TunerService
 from repro.serve.stream import stream_campaign_events
+from repro.telemetry import get_tracer
 from repro.utils.exceptions import (
     CampaignError,
     ConfigurationError,
@@ -66,7 +69,9 @@ _ROUTES: tuple[tuple[str, re.Pattern, str], ...] = (
     ("GET", re.compile(rf"^/campaigns/{_ID}/log/?$"), "handle_log"),
     ("GET", re.compile(rf"^/campaigns/{_ID}/events/?$"), "handle_events"),
     ("GET", re.compile(rf"^/campaigns/{_ID}/report/?$"), "handle_report"),
+    ("GET", re.compile(rf"^/campaigns/{_ID}/spans/?$"), "handle_spans"),
     ("GET", re.compile(r"^/reports/summary/?$"), "handle_reports_summary"),
+    ("GET", re.compile(r"^/metrics/?$"), "handle_metrics"),
     ("POST", re.compile(rf"^/campaigns/{_ID}/pause/?$"), "handle_pause"),
     ("POST", re.compile(rf"^/campaigns/{_ID}/resume/?$"), "handle_resume"),
 )
@@ -140,13 +145,19 @@ class _Handler(BaseHTTPRequestHandler):
             if match is None:
                 continue
             handler: Callable[..., None] = getattr(self, attr)
-            try:
-                handler(**match.groupdict())
-            except (BrokenPipeError, ConnectionResetError):
-                pass  # the client went away mid-response; nothing to send
-            except Exception as error:  # noqa: BLE001 - mapped to a status
-                self.app.stats.count("errors")
-                self._send_json({"error": str(error)}, status=_status_for(error))
+            with get_tracer().span(
+                "http.request",
+                attributes={"method": method, "route": attr},
+            ) as span:
+                try:
+                    handler(**match.groupdict())
+                except (BrokenPipeError, ConnectionResetError):
+                    pass  # the client went away mid-response; nothing to send
+                except Exception as error:  # noqa: BLE001 - mapped to a status
+                    self.app.stats.count("errors")
+                    status = _status_for(error)
+                    span.set_attribute("status_code", status)
+                    self._send_json({"error": str(error)}, status=status)
             return
         self._send_json(
             {"error": f"no route for {method} {path}"}, status=404
@@ -207,6 +218,12 @@ class _Handler(BaseHTTPRequestHandler):
     def handle_reports_summary(self) -> None:
         kind = self._query_param("kind") or "summary"
         self._send_json(self.app.report(kind))
+
+    def handle_spans(self, campaign_id: str) -> None:
+        self._send_json(self.app.span_summary(campaign_id))
+
+    def handle_metrics(self) -> None:
+        self._send_json(self.app.metrics_snapshot())
 
     def handle_pause(self, campaign_id: str) -> None:
         self._send_json(self.app.pause(campaign_id))

@@ -34,6 +34,7 @@ import json
 from typing import TYPE_CHECKING, Any, IO, Iterator
 
 from repro.serve.app import TERMINAL_STATUSES
+from repro.telemetry import get_registry
 from repro.utils.exceptions import ServeError
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -54,6 +55,7 @@ def format_sse_event(
     data: dict[str, Any], event: str | None = None, event_id: int | None = None
 ) -> str:
     """Render one SSE frame (``id``/``event``/``data`` lines + blank line)."""
+    get_registry().counter("serve.sse_frames").inc()
     lines = []
     if event_id is not None:
         lines.append(f"id: {int(event_id)}")

@@ -35,8 +35,10 @@ lazily on first lookup, exactly like acquisition strategies:
 
 from __future__ import annotations
 
+import functools
 import hashlib
 import json
+import time
 from abc import ABC, abstractmethod
 from dataclasses import asdict, dataclass
 from typing import Callable, Mapping, Sequence
@@ -47,6 +49,7 @@ from repro.ml.data import Dataset
 from repro.slices.slice import SliceSpec
 from repro.slices.sliced_dataset import SlicedDataset
 from repro.slices.validation import check_discovered_partition
+from repro.telemetry import get_registry, get_tracer
 from repro.utils.exceptions import ConfigurationError
 
 __all__ = [
@@ -106,6 +109,36 @@ class SliceDiscoveryMethod(ABC):
         self._specs: tuple[SliceSpec, ...] | None = None
         self._remap: np.ndarray | None = None
         self._final_of_region: np.ndarray | None = None
+
+    def __init_subclass__(cls, **kwargs) -> None:
+        """Trace every concrete ``fit`` — including user-registered methods.
+
+        Each subclass defining its own ``fit`` gets it wrapped in a
+        ``discovery.fit`` span plus a ``discovery.fit_seconds`` histogram
+        observation, so the protocol stays a plain method to implement and
+        instrumentation cannot be forgotten.
+        """
+        super().__init_subclass__(**kwargs)
+        fit = cls.__dict__.get("fit")
+        if fit is None or getattr(fit, "_telemetry_wrapped", False):
+            return
+
+        @functools.wraps(fit)
+        def traced_fit(self, *args, **fit_kwargs):
+            with get_tracer().span(
+                "discovery.fit",
+                attributes={"method": type(self).__name__},
+            ):
+                started = time.perf_counter()
+                try:
+                    return fit(self, *args, **fit_kwargs)
+                finally:
+                    get_registry().histogram(
+                        "discovery.fit_seconds"
+                    ).observe(time.perf_counter() - started)
+
+        traced_fit._telemetry_wrapped = True
+        cls.fit = traced_fit
 
     # -- the protocol ----------------------------------------------------------
     @abstractmethod

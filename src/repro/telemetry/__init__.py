@@ -1,0 +1,143 @@
+"""End-to-end telemetry: structured tracing, metrics, and live profiling.
+
+The observability layer of the repo — one substrate answering "where did
+this iteration's time go?" across every subsystem:
+
+* :mod:`repro.telemetry.trace` — :class:`Span`\\ s with deterministic ids,
+  thread-local + explicit context propagation, and a no-op default tracer
+  so instrumented code is free when tracing is off;
+* :mod:`repro.telemetry.metrics` — named Counter/Gauge/Histogram
+  instruments in a process-wide :class:`MetricsRegistry` with atomic
+  snapshots and cross-process merge;
+* :mod:`repro.telemetry.sinks` — ring buffer, JSONL trace files
+  (``--trace-out`` / ``REPRO_TRACE_DIR``), and the readers behind the CLI
+  ``telemetry`` subcommand.
+
+Typical lifecycle (the CLI does exactly this)::
+
+    import repro.telemetry as telemetry
+
+    tracer = telemetry.configure(trace_dir="traces/")   # JSONL + ring buffer
+    ...run tuning...                                    # subsystems emit spans
+    telemetry.shutdown()                                # metrics.json + close
+
+Telemetry never perturbs results: span ids derive from (parent, name,
+sequence) — never from clocks or RNGs — and timestamps/durations live only
+in telemetry payloads, a property locked in by byte-identity regression
+tests over traced vs untraced runs on both executors.
+"""
+
+from __future__ import annotations
+
+from repro.telemetry.metrics import (
+    DEFAULT_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    get_registry,
+    merge_snapshots,
+    set_registry,
+)
+from repro.telemetry.sinks import (
+    CollectSink,
+    JsonlTraceSink,
+    RingBufferSink,
+    metrics_path,
+    read_metrics,
+    read_spans,
+    spans_path,
+    summarize_spans,
+    write_metrics_snapshot,
+)
+from repro.telemetry.trace import (
+    NOOP_TRACER,
+    NoopTracer,
+    Span,
+    Tracer,
+    current_span,
+    derive_span_id,
+    get_tracer,
+    set_tracer,
+    traced,
+)
+
+__all__ = [
+    "Span",
+    "Tracer",
+    "NoopTracer",
+    "NOOP_TRACER",
+    "get_tracer",
+    "set_tracer",
+    "current_span",
+    "traced",
+    "derive_span_id",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "DEFAULT_BUCKETS",
+    "get_registry",
+    "set_registry",
+    "merge_snapshots",
+    "RingBufferSink",
+    "JsonlTraceSink",
+    "CollectSink",
+    "spans_path",
+    "metrics_path",
+    "write_metrics_snapshot",
+    "read_spans",
+    "read_metrics",
+    "summarize_spans",
+    "configure",
+    "shutdown",
+]
+
+#: Span names campaigns persist as durable ``telemetry`` events (bounded
+#: volume: the per-iteration skeleton, not every training in the engine).
+PERSISTED_SPAN_NAMES = frozenset(
+    {
+        "session.iteration",
+        "session.top_up",
+        "session.reslice",
+        "acquisition.fulfill",
+        "acquisition.provider",
+        "engine.submit",
+        "engine.job",
+        "discovery.fit",
+    }
+)
+
+
+def configure(
+    trace_dir: str | None = None, ring_capacity: int = 4096
+) -> Tracer:
+    """Build and install a live tracer; returns it.
+
+    Always attaches a :class:`RingBufferSink`; ``trace_dir`` additionally
+    streams spans to ``<trace_dir>/spans.jsonl`` and makes
+    :func:`shutdown` write the metrics snapshot next to it.
+    """
+    sinks: list[object] = [RingBufferSink(ring_capacity)]
+    if trace_dir:
+        sinks.append(JsonlTraceSink(spans_path(trace_dir)))
+    tracer = Tracer(sinks=sinks)
+    tracer.trace_dir = trace_dir
+    set_tracer(tracer)
+    return tracer
+
+
+def shutdown() -> None:
+    """Flush the active tracer and restore the no-op default.
+
+    When the tracer was configured with a trace directory the default
+    registry's snapshot is merged into ``<trace_dir>/metrics.json`` first,
+    so ``cli telemetry metrics`` sees the run's final numbers.
+    """
+    tracer = get_tracer()
+    if not tracer.enabled:
+        return
+    if tracer.trace_dir:
+        write_metrics_snapshot(tracer.trace_dir, get_registry().snapshot())
+    tracer.close()
+    set_tracer(None)

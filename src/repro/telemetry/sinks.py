@@ -1,0 +1,195 @@
+"""Span sinks: where completed spans go.
+
+Three sinks, all with the same one-method protocol (``on_span(span)``):
+
+* :class:`RingBufferSink` — a bounded in-memory buffer for live inspection
+  (the daemon's per-campaign span summaries, tests);
+* :class:`JsonlTraceSink` — one JSON line per span appended to
+  ``<trace_dir>/spans.jsonl`` (the ``--trace-out`` / ``REPRO_TRACE_DIR``
+  surface the CLI ``telemetry`` subcommand reads back);
+* :class:`CollectSink` — an unbounded plain list, used by pool workers to
+  gather spans for shipping back with job results.
+
+The module also owns the on-disk layout of a trace directory: spans in
+``spans.jsonl``, the final metrics snapshot in ``metrics.json`` (merged
+over whatever an earlier run left there, so sequential runs sharing one
+trace directory accumulate).
+"""
+
+from __future__ import annotations
+
+import collections
+import json
+import os
+import threading
+from typing import Any, Iterable
+
+from repro.telemetry.metrics import merge_snapshots
+from repro.telemetry.trace import Span
+
+__all__ = [
+    "RingBufferSink",
+    "JsonlTraceSink",
+    "CollectSink",
+    "spans_path",
+    "metrics_path",
+    "write_metrics_snapshot",
+    "read_spans",
+    "read_metrics",
+    "summarize_spans",
+]
+
+_SPANS_FILE = "spans.jsonl"
+_METRICS_FILE = "metrics.json"
+
+
+class RingBufferSink:
+    """Keep the newest ``capacity`` spans in memory."""
+
+    def __init__(self, capacity: int = 4096) -> None:
+        if capacity <= 0:
+            raise ValueError(f"capacity must be positive, got {capacity}")
+        self._buffer: collections.deque[Span] = collections.deque(maxlen=capacity)
+        self._lock = threading.Lock()
+
+    def on_span(self, span: Span) -> None:
+        with self._lock:
+            self._buffer.append(span)
+
+    def spans(self) -> list[Span]:
+        with self._lock:
+            return list(self._buffer)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._buffer.clear()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._buffer)
+
+
+class CollectSink:
+    """Unbounded collector (pool workers ship its contents back)."""
+
+    def __init__(self) -> None:
+        self._spans: list[Span] = []
+        self._lock = threading.Lock()
+
+    def on_span(self, span: Span) -> None:
+        with self._lock:
+            self._spans.append(span)
+
+    def spans(self) -> list[Span]:
+        with self._lock:
+            return list(self._spans)
+
+
+class JsonlTraceSink:
+    """Append one sorted-key JSON line per completed span to a file."""
+
+    def __init__(self, path: str) -> None:
+        self.path = path
+        directory = os.path.dirname(path)
+        if directory:
+            os.makedirs(directory, exist_ok=True)
+        self._lock = threading.Lock()
+        self._file = open(path, "a", encoding="utf-8")
+
+    def on_span(self, span: Span) -> None:
+        line = json.dumps(span.to_dict(), sort_keys=True)
+        with self._lock:
+            if self._file.closed:  # pragma: no cover - emit after close
+                return
+            self._file.write(line + "\n")
+            self._file.flush()
+
+    def close(self) -> None:
+        with self._lock:
+            if not self._file.closed:
+                self._file.close()
+
+
+def spans_path(trace_dir: str) -> str:
+    """Where a trace directory keeps its span log."""
+    return os.path.join(trace_dir, _SPANS_FILE)
+
+
+def metrics_path(trace_dir: str) -> str:
+    """Where a trace directory keeps its merged metrics snapshot."""
+    return os.path.join(trace_dir, _METRICS_FILE)
+
+
+def write_metrics_snapshot(trace_dir: str, snapshot: dict[str, Any]) -> str:
+    """Merge ``snapshot`` over the directory's existing one and write it."""
+    os.makedirs(trace_dir, exist_ok=True)
+    path = metrics_path(trace_dir)
+    existing: dict[str, Any] = {}
+    if os.path.exists(path):
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                existing = json.load(handle)
+        except (OSError, json.JSONDecodeError):
+            existing = {}
+    merged = merge_snapshots(existing, snapshot) if existing else snapshot
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(merged, handle, sort_keys=True, indent=2)
+        handle.write("\n")
+    return path
+
+
+def read_spans(trace_dir: str) -> list[dict[str, Any]]:
+    """Every span recorded under ``trace_dir``, as dicts, in file order."""
+    spans: list[dict[str, Any]] = []
+    if not os.path.isdir(trace_dir):
+        return spans
+    for name in sorted(os.listdir(trace_dir)):
+        if not name.endswith(".jsonl"):
+            continue
+        with open(os.path.join(trace_dir, name), "r", encoding="utf-8") as handle:
+            for line in handle:
+                line = line.strip()
+                if line:
+                    spans.append(json.loads(line))
+    return spans
+
+
+def read_metrics(trace_dir: str) -> dict[str, Any]:
+    """The directory's merged metrics snapshot ({} when absent)."""
+    path = metrics_path(trace_dir)
+    if not os.path.exists(path):
+        return {}
+    with open(path, "r", encoding="utf-8") as handle:
+        return json.load(handle)
+
+
+def summarize_spans(
+    spans: Iterable[dict[str, Any]],
+) -> tuple[int, dict[str, dict[str, Any]]]:
+    """Aggregate span dicts by name into per-name timing/error rollups.
+
+    Returns ``(total_span_count, {name: {count, errors, total_seconds,
+    mean_seconds, max_seconds}})`` with names sorted — the shape shared by
+    the daemon's ``GET /campaigns/<id>/spans`` endpoint and the CLI
+    ``telemetry summary`` subcommand, so the two surfaces stay equal for
+    the same spans.
+    """
+    summary: dict[str, dict[str, Any]] = {}
+    total = 0
+    for payload in spans:
+        total += 1
+        entry = summary.setdefault(
+            str(payload.get("name", "?")),
+            {"count": 0, "errors": 0, "total_seconds": 0.0, "max_seconds": 0.0},
+        )
+        duration = float(payload.get("duration") or 0.0)
+        entry["count"] += 1
+        entry["total_seconds"] += duration
+        entry["max_seconds"] = max(entry["max_seconds"], duration)
+        if payload.get("status") == "error":
+            entry["errors"] += 1
+    for entry in summary.values():
+        entry["mean_seconds"] = round(entry["total_seconds"] / entry["count"], 6)
+        entry["total_seconds"] = round(entry["total_seconds"], 6)
+        entry["max_seconds"] = round(entry["max_seconds"], 6)
+    return total, dict(sorted(summary.items()))

@@ -1,0 +1,426 @@
+"""Structured tracing: deterministic span ids, nested context, zero cost off.
+
+A :class:`Span` records one timed operation — name, deterministic span id,
+parent linkage, wall-clock start, monotonic duration, free-form attributes,
+and a status — and a :class:`Tracer` hands them out as context managers::
+
+    tracer = Tracer(sinks=[RingBufferSink()])
+    with tracer.span("session.iteration", attributes={"iteration": 3}):
+        with tracer.span("engine.submit"):      # nests via thread-local
+            ...
+
+Span ids are **deterministic**: each id derives from the parent id, the
+span name, and a per-parent sequence number (never from the clock or an
+RNG), so two runs of the same code produce the same tree of ids and a
+crash-resumed run re-derives the ids it already emitted.  Timestamps and
+durations live only in telemetry payloads — they never feed fingerprints,
+RNG streams, or result bytes.
+
+Context propagates two ways:
+
+* **thread-local** — ``tracer.span(...)`` parents under the innermost open
+  span of the calling thread (the common case);
+* **explicit** — pass ``parent=`` (a :class:`Span` or a span id string)
+  plus ``sequence=`` to stitch trees across threads and processes;
+  :class:`~repro.engine.executor.ProcessPoolExecutor` workers use this to
+  ship completed spans back to the parent process with their results.
+
+``baggage`` is a small dict inherited by every descendant span (unlike
+``attributes``, which belong to one span).  Sessions use it to stamp a
+per-run scope on everything beneath an iteration, which is how concurrent
+campaigns keep disjoint span trees over one shared tracer.
+
+The module-level default tracer is a :class:`NoopTracer`: every ``span()``
+call returns one preallocated null context manager, so instrumented code
+paths cost a single attribute lookup when tracing is off.  Enable tracing
+with :func:`repro.telemetry.configure` (or :func:`set_tracer`).
+"""
+
+from __future__ import annotations
+
+import functools
+import hashlib
+import threading
+import time
+from typing import Any, Callable, Iterable, Mapping
+
+__all__ = [
+    "Span",
+    "Tracer",
+    "NoopTracer",
+    "NOOP_TRACER",
+    "get_tracer",
+    "set_tracer",
+    "current_span",
+    "traced",
+    "derive_span_id",
+]
+
+
+def derive_span_id(parent_id: str, name: str, sequence: int) -> str:
+    """Deterministic 16-hex-char span id from (parent id, name, sequence)."""
+    material = f"{parent_id}\x1f{name}\x1f{int(sequence)}"
+    return hashlib.sha256(material.encode("utf-8")).hexdigest()[:16]
+
+
+class Span:
+    """One timed, attributed operation in a trace tree.
+
+    Attributes
+    ----------
+    name:
+        Operation name (dotted, e.g. ``"session.iteration"``).
+    span_id / parent_id:
+        Deterministic identity (see :func:`derive_span_id`); a root span's
+        ``parent_id`` is ``""``.
+    sequence:
+        Index of this span among same-named children of its parent — the
+        third input of the id derivation, kept for reconstruction.
+    started_at:
+        Wall-clock start (``time.time()``); telemetry payloads only.
+    duration:
+        Monotonic seconds between enter and exit (``None`` while open).
+    attributes:
+        Free-form JSON-compatible facts about this span alone.
+    baggage:
+        Inherited key/value context (copied into every descendant).
+    status:
+        ``"ok"``, or ``"error"`` when the traced block raised.
+    """
+
+    __slots__ = (
+        "name",
+        "span_id",
+        "parent_id",
+        "sequence",
+        "started_at",
+        "duration",
+        "attributes",
+        "baggage",
+        "status",
+        "_children",
+        "_child_lock",
+        "_started_mono",
+    )
+
+    def __init__(
+        self,
+        name: str,
+        span_id: str,
+        parent_id: str,
+        sequence: int,
+        baggage: Mapping[str, Any] | None = None,
+        attributes: Mapping[str, Any] | None = None,
+    ) -> None:
+        self.name = name
+        self.span_id = span_id
+        self.parent_id = parent_id
+        self.sequence = int(sequence)
+        self.started_at: float = 0.0
+        self.duration: float | None = None
+        self.attributes: dict[str, Any] = dict(attributes or {})
+        self.baggage: dict[str, Any] = dict(baggage or {})
+        self.status = "ok"
+        self._children: dict[str, int] = {}
+        self._child_lock = threading.Lock()
+        self._started_mono = 0.0
+
+    def set_attribute(self, key: str, value: Any) -> "Span":
+        self.attributes[key] = value
+        return self
+
+    def child_sequence(self, name: str) -> int:
+        """Allocate the next sequence number for a same-named child."""
+        with self._child_lock:
+            sequence = self._children.get(name, 0)
+            self._children[name] = sequence + 1
+            return sequence
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-compatible form (what sinks, stores, and workers ship)."""
+        return {
+            "name": self.name,
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "sequence": self.sequence,
+            "started_at": self.started_at,
+            "duration": self.duration,
+            "status": self.status,
+            "attributes": dict(self.attributes),
+            "baggage": dict(self.baggage),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "Span":
+        """Rebuild a completed span (e.g. one shipped from a worker)."""
+        span = cls(
+            name=str(data["name"]),
+            span_id=str(data["span_id"]),
+            parent_id=str(data.get("parent_id", "")),
+            sequence=int(data.get("sequence", 0)),
+            baggage=data.get("baggage") or {},
+            attributes=data.get("attributes") or {},
+        )
+        span.started_at = float(data.get("started_at", 0.0))
+        duration = data.get("duration")
+        span.duration = None if duration is None else float(duration)
+        span.status = str(data.get("status", "ok"))
+        return span
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Span({self.name!r}, id={self.span_id}, parent={self.parent_id!r}, "
+            f"duration={self.duration}, status={self.status})"
+        )
+
+
+class _ActiveSpan:
+    """Context manager returned by :meth:`Tracer.span`."""
+
+    __slots__ = ("_tracer", "span")
+
+    def __init__(self, tracer: "Tracer", span: Span) -> None:
+        self._tracer = tracer
+        self.span = span
+
+    def __enter__(self) -> Span:
+        self.span.started_at = time.time()
+        self.span._started_mono = time.perf_counter()
+        self._tracer._push(self.span)
+        return self.span
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        span = self.span
+        span.duration = time.perf_counter() - span._started_mono
+        if exc_type is not None:
+            span.status = "error"
+            span.attributes.setdefault("error", exc_type.__name__)
+        self._tracer._pop(span)
+        self._tracer.emit(span)
+        return False
+
+
+class Tracer:
+    """Hands out spans, tracks the per-thread context stack, feeds sinks.
+
+    Parameters
+    ----------
+    sinks:
+        Objects with an ``on_span(span)`` method (see
+        :mod:`repro.telemetry.sinks`), called with every completed span.
+    """
+
+    enabled = True
+
+    def __init__(self, sinks: Iterable[Any] = ()) -> None:
+        self._sinks: list[Any] = list(sinks)
+        self._listeners: list[Callable[[Span], None]] = []
+        self._lock = threading.Lock()
+        self._local = threading.local()
+        #: Sequence counters for spans without a live parent ``Span`` object
+        #: (roots and explicit string parents), keyed by (parent id, name).
+        self._sequences: dict[tuple[str, str], int] = {}
+        #: Optional trace directory this tracer writes to (set by configure).
+        self.trace_dir: str | None = None
+
+    # -- context -----------------------------------------------------------------
+    def _stack(self) -> list[Span]:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = []
+            self._local.stack = stack
+        return stack
+
+    def _push(self, span: Span) -> None:
+        self._stack().append(span)
+
+    def _pop(self, span: Span) -> None:
+        stack = self._stack()
+        if stack and stack[-1] is span:
+            stack.pop()
+        elif span in stack:  # pragma: no cover - unbalanced exit, be safe
+            stack.remove(span)
+
+    def current_span(self) -> Span | None:
+        """The innermost open span of the calling thread (or None)."""
+        stack = self._stack()
+        return stack[-1] if stack else None
+
+    def _allocate_sequence(self, parent_id: str, name: str) -> int:
+        with self._lock:
+            key = (parent_id, name)
+            sequence = self._sequences.get(key, 0)
+            self._sequences[key] = sequence + 1
+            return sequence
+
+    # -- span creation -----------------------------------------------------------
+    def span(
+        self,
+        name: str,
+        parent: "Span | str | None" = None,
+        sequence: int | None = None,
+        attributes: Mapping[str, Any] | None = None,
+        baggage: Mapping[str, Any] | None = None,
+    ) -> _ActiveSpan:
+        """Open a span as a context manager yielding the :class:`Span`.
+
+        ``parent`` defaults to the calling thread's innermost open span;
+        pass a :class:`Span` or a span id string (with ``sequence``) for
+        explicit cross-thread/process propagation.  ``baggage`` entries are
+        merged over the parent's (descendants inherit the union).
+        """
+        if parent is None:
+            parent = self.current_span()
+        inherited: Mapping[str, Any] = {}
+        if isinstance(parent, Span):
+            parent_id = parent.span_id
+            inherited = parent.baggage
+            if sequence is None:
+                sequence = parent.child_sequence(name)
+        else:
+            parent_id = str(parent or "")
+            if sequence is None:
+                sequence = self._allocate_sequence(parent_id, name)
+        merged = dict(inherited)
+        if baggage:
+            merged.update(baggage)
+        span = Span(
+            name=name,
+            span_id=derive_span_id(parent_id, name, sequence),
+            parent_id=parent_id,
+            sequence=sequence,
+            baggage=merged,
+            attributes=attributes,
+        )
+        return _ActiveSpan(self, span)
+
+    # -- emission ----------------------------------------------------------------
+    def emit(self, span: Span) -> None:
+        """Deliver a completed span to every listener and sink."""
+        with self._lock:
+            listeners = list(self._listeners)
+            sinks = list(self._sinks)
+        for listener in listeners:
+            listener(span)
+        for sink in sinks:
+            sink.on_span(span)
+
+    def add_sink(self, sink: Any) -> "Tracer":
+        with self._lock:
+            self._sinks.append(sink)
+        return self
+
+    def add_listener(self, listener: Callable[[Span], None]) -> "Tracer":
+        """Register a callback fired with every completed span."""
+        with self._lock:
+            self._listeners.append(listener)
+        return self
+
+    def remove_listener(self, listener: Callable[[Span], None]) -> None:
+        with self._lock:
+            if listener in self._listeners:
+                self._listeners.remove(listener)
+
+    @property
+    def sinks(self) -> tuple[Any, ...]:
+        with self._lock:
+            return tuple(self._sinks)
+
+    def close(self) -> None:
+        """Close every sink that has a ``close()``."""
+        for sink in self.sinks:
+            close = getattr(sink, "close", None)
+            if close is not None:
+                close()
+
+
+class _NoopSpan(Span):
+    """Singleton stand-in when tracing is off; absorbs writes."""
+
+    def set_attribute(self, key: str, value: Any) -> "Span":
+        return self
+
+    def child_sequence(self, name: str) -> int:
+        return 0
+
+
+class _NoopContext:
+    __slots__ = ("_span",)
+
+    def __init__(self, span: _NoopSpan) -> None:
+        self._span = span
+
+    def __enter__(self) -> Span:
+        return self._span
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        return False
+
+
+class NoopTracer(Tracer):
+    """The default tracer: every operation is a near-free no-op."""
+
+    enabled = False
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._noop_context = _NoopContext(_NoopSpan("noop", "", "", 0))
+
+    def span(self, name, parent=None, sequence=None, attributes=None, baggage=None):
+        return self._noop_context
+
+    def current_span(self) -> Span | None:
+        return None
+
+    def emit(self, span: Span) -> None:
+        pass
+
+    def add_sink(self, sink: Any) -> "Tracer":
+        return self
+
+    def add_listener(self, listener: Callable[[Span], None]) -> "Tracer":
+        return self
+
+
+#: The process-wide no-op tracer (the default active tracer).
+NOOP_TRACER = NoopTracer()
+
+_active_tracer: Tracer = NOOP_TRACER
+_tracer_lock = threading.Lock()
+
+
+def get_tracer() -> Tracer:
+    """The process-wide active tracer (:data:`NOOP_TRACER` by default)."""
+    return _active_tracer
+
+
+def set_tracer(tracer: Tracer | None) -> Tracer:
+    """Install ``tracer`` (None restores the no-op); returns the previous one."""
+    global _active_tracer
+    with _tracer_lock:
+        previous = _active_tracer
+        _active_tracer = tracer if tracer is not None else NOOP_TRACER
+        return previous
+
+
+def current_span() -> Span | None:
+    """The active tracer's innermost open span on this thread."""
+    return _active_tracer.current_span()
+
+
+def traced(
+    name: str | None = None, **attributes: Any
+) -> Callable[[Callable[..., Any]], Callable[..., Any]]:
+    """Decorator: run the function inside a span on the active tracer."""
+
+    def decorator(fn: Callable[..., Any]) -> Callable[..., Any]:
+        span_name = name or fn.__qualname__
+
+        @functools.wraps(fn)
+        def wrapper(*args: Any, **kwargs: Any) -> Any:
+            with get_tracer().span(span_name, attributes=attributes):
+                return fn(*args, **kwargs)
+
+        return wrapper
+
+    return decorator

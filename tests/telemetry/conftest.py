@@ -1,0 +1,33 @@
+"""Shared fixtures for the telemetry test suite.
+
+Every test that turns tracing on goes through ``live_tracer``: a
+CollectSink-backed :class:`Tracer` plus a fresh default registry, both
+restored on teardown so telemetry state never leaks across tests (the rest
+of the suite assumes the default no-op tracer).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.telemetry import (
+    CollectSink,
+    MetricsRegistry,
+    Tracer,
+    set_registry,
+    set_tracer,
+)
+
+
+@pytest.fixture
+def live_tracer():
+    """(tracer, sink): a live tracer collecting every span, restored after."""
+    sink = CollectSink()
+    tracer = Tracer(sinks=[sink])
+    previous_tracer = set_tracer(tracer)
+    previous_registry = set_registry(MetricsRegistry())
+    try:
+        yield tracer, sink
+    finally:
+        set_tracer(previous_tracer)
+        set_registry(previous_registry)

@@ -1,0 +1,103 @@
+"""CLI surface of the telemetry layer: --trace-out and the subcommand."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.telemetry import get_tracer
+
+#: Small, fast arguments shared by the traced-run tests.
+FAST = [
+    "--dataset", "adult_like",
+    "--initial-size", "60",
+    "--validation-size", "60",
+    "--epochs", "10",
+    "--curve-points", "3",
+    "--seed", "0",
+    "--budget", "200",
+]
+
+
+def run_traced(tmp_path, capsys) -> str:
+    trace_dir = str(tmp_path / "trace")
+    assert main(["run", *FAST, "--trace-out", trace_dir, "--quiet"]) == 0
+    capsys.readouterr()
+    return trace_dir
+
+
+class TestTraceOut:
+    def test_traced_run_writes_spans_and_metrics(self, capsys, tmp_path):
+        trace_dir = run_traced(tmp_path, capsys)
+        assert (tmp_path / "trace" / "spans.jsonl").exists()
+        assert (tmp_path / "trace" / "metrics.json").exists()
+        # The lifecycle restored the no-op tracer after the command.
+        assert not get_tracer().enabled
+
+    def test_traced_and_untraced_runs_emit_identical_json(
+        self, capsys, tmp_path
+    ):
+        assert main(["run", *FAST, "--json"]) == 0
+        untraced = capsys.readouterr().out
+        trace_dir = str(tmp_path / "trace")
+        assert main(["run", *FAST, "--trace-out", trace_dir, "--json"]) == 0
+        traced = capsys.readouterr().out
+        assert traced == untraced
+
+    def test_env_var_configures_tracing(self, capsys, tmp_path, monkeypatch):
+        trace_dir = tmp_path / "envtrace"
+        monkeypatch.setenv("REPRO_TRACE_DIR", str(trace_dir))
+        assert main(["run", *FAST, "--quiet"]) == 0
+        assert (trace_dir / "spans.jsonl").exists()
+
+
+class TestTelemetrySubcommand:
+    def test_summary_json_schema(self, capsys, tmp_path):
+        trace_dir = run_traced(tmp_path, capsys)
+        assert main(
+            ["telemetry", "summary", "--trace-dir", trace_dir, "--json"]
+        ) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["schema"] == "repro.telemetry/1"
+        assert payload["kind"] == "summary"
+        assert payload["span_count"] > 0
+        assert "session.iteration" in payload["spans"]
+        entry = payload["spans"]["session.iteration"]
+        assert set(entry) == {
+            "count", "errors", "total_seconds", "mean_seconds", "max_seconds",
+        }
+        assert payload["counters"]["session.iterations"] == entry["count"]
+
+    def test_spans_filter_and_limit(self, capsys, tmp_path):
+        trace_dir = run_traced(tmp_path, capsys)
+        assert main(
+            [
+                "telemetry", "spans", "--trace-dir", trace_dir,
+                "--name", "session.iteration", "--limit", "1", "--json",
+            ]
+        ) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["span_count"] == 1
+        assert payload["spans"][0]["name"] == "session.iteration"
+
+    def test_metrics_reads_the_snapshot(self, capsys, tmp_path):
+        trace_dir = run_traced(tmp_path, capsys)
+        assert main(
+            ["telemetry", "metrics", "--trace-dir", trace_dir, "--json"]
+        ) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["metrics"]["counters"]["session.iterations"] >= 1
+
+    def test_missing_trace_dir_exits_2(self, capsys, monkeypatch):
+        monkeypatch.delenv("REPRO_TRACE_DIR", raising=False)
+        assert main(["telemetry", "summary"]) == 2
+        assert "needs a trace directory" in capsys.readouterr().err
+
+    def test_summary_table_lists_span_names(self, capsys, tmp_path):
+        trace_dir = run_traced(tmp_path, capsys)
+        assert main(["telemetry", "summary", "--trace-dir", trace_dir]) == 0
+        output = capsys.readouterr().out
+        assert "session.iteration" in output
+        assert "acquisition.fulfill" in output

@@ -1,0 +1,139 @@
+"""Tests for repro.telemetry.metrics: instruments, snapshot, merge."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.telemetry import (
+    DEFAULT_BUCKETS,
+    MetricsRegistry,
+    merge_snapshots,
+)
+
+
+class TestInstruments:
+    def test_counter_increments_and_rejects_negatives(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("requests")
+        counter.inc()
+        counter.inc(4)
+        assert counter.value == 5
+        with pytest.raises(ValueError, match="only go up"):
+            counter.inc(-1)
+
+    def test_get_or_create_returns_the_same_instrument(self):
+        registry = MetricsRegistry()
+        assert registry.counter("x") is registry.counter("x")
+        assert registry.gauge("y") is registry.gauge("y")
+        assert registry.histogram("z") is registry.histogram("z")
+
+    def test_gauge_is_last_write_wins(self):
+        gauge = MetricsRegistry().gauge("depth")
+        gauge.set(3)
+        gauge.set(1.5)
+        assert gauge.value == 1.5
+
+    def test_histogram_places_observations_in_fixed_buckets(self):
+        histogram = MetricsRegistry().histogram("latency")
+        assert histogram.buckets == DEFAULT_BUCKETS
+        histogram.observe(0.0005)  # <= 0.001 -> first bucket
+        histogram.observe(0.003)  # <= 0.005 -> third bucket
+        histogram.observe(99.0)  # > 10.0  -> overflow slot
+        snap = histogram.snapshot()
+        assert snap["counts"][0] == 1
+        assert snap["counts"][2] == 1
+        assert snap["counts"][-1] == 1
+        assert snap["count"] == 3
+        assert snap["sum"] == pytest.approx(0.0005 + 0.003 + 99.0)
+        assert histogram.mean == pytest.approx(snap["sum"] / 3)
+
+    def test_histogram_rejects_unsorted_buckets(self):
+        with pytest.raises(ValueError, match="sorted"):
+            MetricsRegistry().histogram("bad", buckets=(1.0, 0.5))
+
+    def test_labels_render_sorted_into_the_key(self):
+        registry = MetricsRegistry()
+        registry.counter("calls", provider="pool", slice="a").inc()
+        snapshot = registry.snapshot()
+        assert snapshot["counters"] == {"calls{provider=pool,slice=a}": 1}
+        # Label order in the call does not matter: same instrument.
+        assert (
+            registry.counter("calls", slice="a", provider="pool").value == 1
+        )
+
+
+class TestSnapshotAndMerge:
+    def test_snapshot_shape_is_json_compatible_and_sorted(self):
+        registry = MetricsRegistry()
+        registry.counter("b").inc(2)
+        registry.counter("a").inc(1)
+        registry.gauge("g").set(7)
+        registry.histogram("h").observe(0.2)
+        snapshot = registry.snapshot()
+        assert list(snapshot) == ["counters", "gauges", "histograms"]
+        assert list(snapshot["counters"]) == ["a", "b"]
+        assert snapshot["gauges"] == {"g": 7.0}
+        assert snapshot["histograms"]["h"]["count"] == 1
+
+    def test_merge_adds_counters_and_histograms_gauges_overwrite(self):
+        worker = MetricsRegistry()
+        worker.counter("jobs").inc(3)
+        worker.gauge("depth").set(9)
+        worker.histogram("lat").observe(0.01)
+
+        parent = MetricsRegistry()
+        parent.counter("jobs").inc(1)
+        parent.gauge("depth").set(2)
+        parent.histogram("lat").observe(0.02)
+        parent.merge(worker.snapshot())
+
+        snapshot = parent.snapshot()
+        assert snapshot["counters"]["jobs"] == 4
+        assert snapshot["gauges"]["depth"] == 9.0
+        assert snapshot["histograms"]["lat"]["count"] == 2
+
+    def test_merge_refuses_mismatched_bucket_shapes(self):
+        incoming = MetricsRegistry()
+        incoming.histogram("lat", buckets=(0.5, 1.0)).observe(0.7)
+        parent = MetricsRegistry()
+        parent.histogram("lat").observe(0.01)
+        with pytest.raises(ValueError, match="bucket boundaries differ"):
+            parent.merge(incoming.snapshot())
+
+    def test_merge_snapshots_is_pure_and_associative_for_counters(self):
+        registries = []
+        for amount in (1, 2, 3):
+            registry = MetricsRegistry()
+            registry.counter("n").inc(amount)
+            registries.append(registry.snapshot())
+        merged = merge_snapshots(*registries)
+        assert merged["counters"]["n"] == 6
+        # The inputs were not mutated.
+        assert [s["counters"]["n"] for s in registries] == [1, 2, 3]
+
+    def test_reset_drops_every_instrument(self):
+        registry = MetricsRegistry()
+        registry.counter("n").inc()
+        registry.reset()
+        assert registry.snapshot() == {
+            "counters": {},
+            "gauges": {},
+            "histograms": {},
+        }
+
+    def test_concurrent_increments_are_not_lost(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("hammered")
+
+        def hammer() -> None:
+            for _ in range(1000):
+                counter.inc()
+
+        threads = [threading.Thread(target=hammer) for _ in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert counter.value == 8000

@@ -1,0 +1,108 @@
+"""Tests for repro.telemetry.sinks and the configure/shutdown lifecycle."""
+
+from __future__ import annotations
+
+import json
+import os
+
+import repro.telemetry as telemetry
+from repro.telemetry import (
+    JsonlTraceSink,
+    MetricsRegistry,
+    Tracer,
+    get_registry,
+    get_tracer,
+    read_metrics,
+    read_spans,
+    set_registry,
+    set_tracer,
+    spans_path,
+    summarize_spans,
+    write_metrics_snapshot,
+)
+
+
+class TestJsonlRoundtrip:
+    def test_spans_written_one_sorted_json_line_each(self, tmp_path):
+        trace_dir = str(tmp_path)
+        sink = JsonlTraceSink(spans_path(trace_dir))
+        tracer = Tracer(sinks=[sink])
+        with tracer.span("outer"):
+            with tracer.span("inner"):
+                pass
+        tracer.close()
+        lines = open(spans_path(trace_dir)).read().splitlines()
+        assert len(lines) == 2
+        assert all(line == json.dumps(json.loads(line), sort_keys=True) for line in lines)
+        spans = read_spans(trace_dir)
+        assert [span["name"] for span in spans] == ["inner", "outer"]
+        assert spans[0]["parent_id"] == spans[1]["span_id"]
+
+    def test_read_spans_on_missing_dir_is_empty(self, tmp_path):
+        assert read_spans(str(tmp_path / "nope")) == []
+
+    def test_metrics_snapshot_merges_over_existing(self, tmp_path):
+        trace_dir = str(tmp_path)
+        first = MetricsRegistry()
+        first.counter("n").inc(2)
+        write_metrics_snapshot(trace_dir, first.snapshot())
+        second = MetricsRegistry()
+        second.counter("n").inc(3)
+        write_metrics_snapshot(trace_dir, second.snapshot())
+        assert read_metrics(trace_dir)["counters"]["n"] == 5
+
+    def test_read_metrics_on_missing_file_is_empty(self, tmp_path):
+        assert read_metrics(str(tmp_path)) == {}
+
+
+class TestSummarizeSpans:
+    def test_rollup_counts_errors_and_durations(self):
+        spans = [
+            {"name": "op", "duration": 0.2, "status": "ok"},
+            {"name": "op", "duration": 0.4, "status": "error"},
+            {"name": "other", "duration": 0.1, "status": "ok"},
+        ]
+        total, summary = summarize_spans(spans)
+        assert total == 3
+        assert list(summary) == ["op", "other"]  # sorted
+        assert summary["op"] == {
+            "count": 2,
+            "errors": 1,
+            "total_seconds": 0.6,
+            "mean_seconds": 0.3,
+            "max_seconds": 0.4,
+        }
+
+    def test_empty_input(self):
+        assert summarize_spans([]) == (0, {})
+
+
+class TestConfigureShutdown:
+    def test_lifecycle_writes_spans_and_metrics(self, tmp_path):
+        trace_dir = str(tmp_path / "trace")
+        previous_registry = set_registry(MetricsRegistry())
+        try:
+            tracer = telemetry.configure(trace_dir=trace_dir)
+            assert get_tracer() is tracer
+            assert tracer.enabled
+            with get_tracer().span("lifecycle.op"):
+                get_registry().counter("lifecycle.count").inc()
+            telemetry.shutdown()
+            assert not get_tracer().enabled  # back to the no-op
+            assert [s["name"] for s in read_spans(trace_dir)] == ["lifecycle.op"]
+            assert read_metrics(trace_dir)["counters"]["lifecycle.count"] == 1
+        finally:
+            set_tracer(None)
+            set_registry(previous_registry)
+
+    def test_configure_without_dir_keeps_everything_in_memory(self, tmp_path):
+        previous_registry = set_registry(MetricsRegistry())
+        try:
+            telemetry.configure()
+            with get_tracer().span("memory.only"):
+                pass
+            telemetry.shutdown()
+            assert os.listdir(str(tmp_path)) == []  # nothing written anywhere
+        finally:
+            set_tracer(None)
+            set_registry(previous_registry)

@@ -1,0 +1,185 @@
+"""Tests for repro.telemetry.trace: ids, nesting, propagation, the no-op."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.telemetry import (
+    NOOP_TRACER,
+    CollectSink,
+    RingBufferSink,
+    Span,
+    Tracer,
+    current_span,
+    derive_span_id,
+    get_tracer,
+    set_tracer,
+    traced,
+)
+
+
+class TestDeterministicIds:
+    def test_id_is_a_pure_function_of_parent_name_sequence(self):
+        first = derive_span_id("abc", "session.iteration", 3)
+        assert first == derive_span_id("abc", "session.iteration", 3)
+        assert len(first) == 16
+        assert first != derive_span_id("abc", "session.iteration", 4)
+        assert first != derive_span_id("abc", "session.reslice", 3)
+        assert first != derive_span_id("xyz", "session.iteration", 3)
+
+    def test_two_runs_produce_identical_trees(self):
+        def run_once() -> list[tuple[str, str, int]]:
+            sink = CollectSink()
+            tracer = Tracer(sinks=[sink])
+            for _ in range(2):
+                with tracer.span("outer"):
+                    with tracer.span("inner"):
+                        pass
+                    with tracer.span("inner"):
+                        pass
+            return [
+                (span.span_id, span.parent_id, span.sequence)
+                for span in sink.spans()
+            ]
+
+        assert run_once() == run_once()
+
+    def test_sibling_sequences_increment_per_parent(self):
+        sink = CollectSink()
+        tracer = Tracer(sinks=[sink])
+        with tracer.span("outer"):
+            with tracer.span("inner"):
+                pass
+            with tracer.span("inner"):
+                pass
+        inner = [span for span in sink.spans() if span.name == "inner"]
+        assert [span.sequence for span in inner] == [0, 1]
+        assert inner[0].span_id != inner[1].span_id
+
+
+class TestContextPropagation:
+    def test_thread_local_nesting(self):
+        sink = CollectSink()
+        tracer = Tracer(sinks=[sink])
+        assert tracer.current_span() is None
+        with tracer.span("outer") as outer:
+            assert tracer.current_span() is outer
+            with tracer.span("inner") as inner:
+                assert inner.parent_id == outer.span_id
+                assert tracer.current_span() is inner
+            assert tracer.current_span() is outer
+        assert tracer.current_span() is None
+        # Completion order is inner-first (spans emit on close).
+        assert [span.name for span in sink.spans()] == ["inner", "outer"]
+
+    def test_explicit_string_parent_and_sequence(self):
+        tracer = Tracer(sinks=[CollectSink()])
+        with tracer.span("engine.job", parent="feedbeef00000000", sequence=7) as span:
+            pass
+        assert span.parent_id == "feedbeef00000000"
+        assert span.sequence == 7
+        assert span.span_id == derive_span_id("feedbeef00000000", "engine.job", 7)
+
+    def test_threads_do_not_share_context_stacks(self):
+        tracer = Tracer(sinks=[CollectSink()])
+        seen: list[Span | None] = []
+
+        def worker() -> None:
+            seen.append(tracer.current_span())
+            with tracer.span("worker.root") as span:
+                seen.append(span)
+
+        with tracer.span("main.root"):
+            thread = threading.Thread(target=worker)
+            thread.start()
+            thread.join()
+        # The other thread saw no inherited context: its root has no parent.
+        assert seen[0] is None
+        assert seen[1] is not None and seen[1].parent_id == ""
+
+    def test_baggage_inherited_and_explicit_wins(self):
+        tracer = Tracer(sinks=[CollectSink()])
+        with tracer.span("outer", baggage={"scope": "a", "keep": 1}):
+            with tracer.span("inner") as inherited:
+                pass
+            with tracer.span("inner", baggage={"scope": "b"}) as overridden:
+                pass
+        assert inherited.baggage == {"scope": "a", "keep": 1}
+        assert overridden.baggage == {"scope": "b", "keep": 1}
+
+
+class TestLifecycleAndEmission:
+    def test_exception_marks_error_status(self):
+        sink = CollectSink()
+        tracer = Tracer(sinks=[sink])
+        with pytest.raises(ValueError):
+            with tracer.span("boom"):
+                raise ValueError("nope")
+        (span,) = sink.spans()
+        assert span.status == "error"
+        assert span.attributes["error"] == "ValueError"
+        assert span.duration is not None and span.duration >= 0.0
+
+    def test_to_dict_from_dict_roundtrip(self):
+        sink = CollectSink()
+        tracer = Tracer(sinks=[sink])
+        with tracer.span("op", attributes={"k": 1}, baggage={"scope": "s"}):
+            pass
+        (span,) = sink.spans()
+        rebuilt = Span.from_dict(span.to_dict())
+        assert rebuilt.to_dict() == span.to_dict()
+
+    def test_listeners_fire_and_remove(self):
+        tracer = Tracer(sinks=[CollectSink()])
+        seen: list[str] = []
+        listener = lambda span: seen.append(span.name)  # noqa: E731
+        tracer.add_listener(listener)
+        with tracer.span("first"):
+            pass
+        tracer.remove_listener(listener)
+        with tracer.span("second"):
+            pass
+        assert seen == ["first"]
+
+    def test_ring_buffer_keeps_newest(self):
+        sink = RingBufferSink(capacity=2)
+        tracer = Tracer(sinks=[sink])
+        for name in ("a", "b", "c"):
+            with tracer.span(name):
+                pass
+        assert [span.name for span in sink.spans()] == ["b", "c"]
+
+    def test_ring_buffer_rejects_nonpositive_capacity(self):
+        with pytest.raises(ValueError, match="capacity"):
+            RingBufferSink(capacity=0)
+
+
+class TestGlobalTracer:
+    def test_default_is_the_noop(self):
+        assert get_tracer() is NOOP_TRACER
+        assert not get_tracer().enabled
+        with get_tracer().span("free") as span:
+            span.set_attribute("ignored", True)  # absorbed, not recorded
+        assert current_span() is None
+
+    def test_set_tracer_installs_and_restores(self, live_tracer):
+        tracer, sink = live_tracer
+        assert get_tracer() is tracer
+        previous = set_tracer(None)
+        assert previous is tracer
+        assert get_tracer() is NOOP_TRACER
+        set_tracer(tracer)  # the fixture's teardown expects it back
+
+    def test_traced_decorator_uses_active_tracer(self, live_tracer):
+        _, sink = live_tracer
+
+        @traced("custom.name", flavor="test")
+        def add(a, b):
+            return a + b
+
+        assert add(2, 3) == 5
+        (span,) = sink.spans()
+        assert span.name == "custom.name"
+        assert span.attributes == {"flavor": "test"}
