@@ -1,0 +1,179 @@
+"""Monitoring overhead: a monitored campaign vs ``monitor=False``, identical.
+
+The health & alerting layer promises the same bargain telemetry struck:
+rule evaluation folds payloads the campaign already persists (windows
+keyed by iteration, samples that are ratios of payload integers), so it
+cannot perturb results — and the per-iteration fold must cost almost
+nothing next to the model trainings it watches.
+
+This benchmark runs the same deterministic *flaky* campaign both ways
+(the flaky source keeps the acquisition rules busy: alerts actually fire
+and resolve, so the monitored side pays the full evaluation + durable
+``alert``-event path), min-of-repeats per side, and asserts:
+
+* monitored and unmonitored results are **byte-identical** (``to_json``),
+* the monitored run produced a non-empty durable alert sequence,
+* the same sequence is byte-identical on the process-pool executor, and
+* the monitored minimum is within **5%** of the unmonitored minimum.
+
+Set ``BENCH_MONITOR_OUT`` to a path to record the numbers (reference
+point committed at ``benchmarks/BENCH_monitor.json``; the CI
+``monitor-smoke`` job regenerates it).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from pathlib import Path
+
+from conftest import emit
+
+from repro.campaigns import Campaign, CampaignSpec, InMemoryStore, replay_events
+from repro.engine.executor import get_executor
+from repro.utils.tables import format_table
+
+REPEATS = 5
+BUDGET = 300.0
+OVERHEAD_GATE_PCT = 5.0
+
+#: The flaky-source campaign the monitor tests use: provider trouble in
+#: the early iterations trips the acquisition rules, then recovery
+#: resolves them — alerts fire on every monitored run.
+SPEC = dict(
+    name="bench-monitor",
+    dataset="adult_like",
+    scenario="flaky_source",
+    method="moderate",
+    budget=BUDGET,
+    seed=0,
+    base_size=60,
+    validation_size=50,
+    epochs=8,
+    curve_points=3,
+)
+
+
+def _run_campaign(monitor: bool, executor=None) -> tuple[str, list[dict]]:
+    """One campaign run on a fresh store; returns (result JSON, alerts)."""
+    store = InMemoryStore()
+    spec = CampaignSpec(**{**SPEC, "monitor": monitor})
+    campaign = Campaign.start(store, spec, executor=executor)
+    result = campaign.run()
+    alerts = [
+        event.payload
+        for event in replay_events(store.events(campaign.campaign_id))
+        if event.kind == "alert"
+    ]
+    return result.to_json(), alerts
+
+
+def _timed(monitor: bool) -> tuple[float, str, list[dict]]:
+    start = time.perf_counter()
+    payload, run_alerts = _run_campaign(monitor)
+    return time.perf_counter() - start, payload, run_alerts
+
+
+def _measure_once() -> dict:
+    """Interleaved min-of-REPEATS for both modes.
+
+    Each repeat times an unmonitored run immediately followed by a
+    monitored one, so a background-load spike on a shared CI box slows
+    both sides instead of landing entirely on whichever mode ran last.
+    """
+    unmonitored_s = monitored_s = float("inf")
+    unmonitored_json: str | None = None
+    monitored_json: str | None = None
+    no_alerts: list[dict] | None = None
+    alerts: list[dict] | None = None
+    for _ in range(REPEATS):
+        elapsed, payload, run_alerts = _timed(monitor=False)
+        unmonitored_s = min(unmonitored_s, elapsed)
+        if unmonitored_json is None:
+            unmonitored_json, no_alerts = payload, run_alerts
+        else:
+            assert payload == unmonitored_json  # repeats are deterministic
+            assert run_alerts == no_alerts
+        elapsed, payload, run_alerts = _timed(monitor=True)
+        monitored_s = min(monitored_s, elapsed)
+        if monitored_json is None:
+            monitored_json, alerts = payload, run_alerts
+        else:
+            assert payload == monitored_json
+            assert run_alerts == alerts
+    assert unmonitored_json is not None and no_alerts is not None
+    assert monitored_json is not None and alerts is not None
+    # The alert sequence is executor-independent: the process pool derives
+    # the identical durable history.
+    executor = get_executor("process", max_workers=2)
+    try:
+        pool_json, pool_alerts = _run_campaign(monitor=True, executor=executor)
+    finally:
+        executor.close()
+    overhead_pct = (monitored_s / unmonitored_s - 1.0) * 100.0
+    return {
+        "repeats": REPEATS,
+        "budget": BUDGET,
+        "unmonitored_s": round(unmonitored_s, 4),
+        "monitored_s": round(monitored_s, 4),
+        "overhead_pct": round(overhead_pct, 2),
+        "alerts_recorded": len(alerts),
+        "alert_rules": sorted({alert["rule"] for alert in alerts}),
+        "unmonitored_alerts": len(no_alerts),
+        "byte_identical": monitored_json == unmonitored_json,
+        "alerts_identical_across_executors": pool_alerts == alerts
+        and pool_json == monitored_json,
+    }
+
+
+def _measure() -> dict:
+    _run_campaign(monitor=True)  # warmup: imports, dataset synthesis
+    numbers = _measure_once()
+    if numbers["overhead_pct"] >= OVERHEAD_GATE_PCT:
+        # One noise retry: min-of-repeats can still lose to a sustained
+        # load spike; a genuine monitoring regression fails twice.
+        numbers = _measure_once()
+    return numbers
+
+
+def _record(numbers: dict) -> None:
+    """Write this run's numbers to ``$BENCH_MONITOR_OUT`` (when set)."""
+    out = os.environ.get("BENCH_MONITOR_OUT")
+    if not out:
+        return
+    Path(out).write_text(json.dumps(numbers, indent=2, sort_keys=True) + "\n")
+
+
+def test_monitoring_overhead_under_gate(run_once):
+    numbers = run_once(_measure)
+
+    rows = [
+        ("monitor=False", f"{numbers['unmonitored_s']:.4f}", "-"),
+        (
+            "monitored (rules + durable alerts)",
+            f"{numbers['monitored_s']:.4f}",
+            f"{numbers['overhead_pct']:+.2f}%",
+        ),
+    ]
+    emit(
+        "Monitoring overhead: rule evaluation + alert events vs bare run",
+        format_table(("mode", f"best-of-{REPEATS} seconds", "overhead"), rows)
+        + f"\nalerts recorded: {numbers['alerts_recorded']} across rules "
+        f"{numbers['alert_rules']}; byte-identical results: "
+        f"{numbers['byte_identical']}; identical across executors: "
+        f"{numbers['alerts_identical_across_executors']}",
+    )
+    _record(numbers)
+
+    # The monitor was actually hot: the flaky source tripped rules and
+    # the transitions landed in the durable log ...
+    assert numbers["alerts_recorded"] > 0
+    assert "fulfillment_shortfall" in numbers["alert_rules"]
+    # ... the unmonitored run wrote none ...
+    assert numbers["unmonitored_alerts"] == 0
+    # ... monitoring never changed the result, on either executor ...
+    assert numbers["byte_identical"] is True
+    assert numbers["alerts_identical_across_executors"] is True
+    # ... and cost less than the gate.
+    assert numbers["overhead_pct"] < OVERHEAD_GATE_PCT

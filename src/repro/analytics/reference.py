@@ -257,6 +257,39 @@ def _ref_reslice_trends(store: CampaignStore) -> list[tuple]:
     return rows
 
 
+def _ref_alert_history(store: CampaignStore) -> list[tuple]:
+    rows: list[tuple] = []
+    for record in store.list_campaigns():
+        events = [
+            e
+            for e in _replayed(store, record.campaign_id)
+            if e.kind == "alert"
+        ]
+        events.sort(key=lambda e: e.seq)
+        fired: dict[str, int] = {}  # running per-rule fired count
+        for event in events:
+            payload = event.payload
+            rule = payload.get("rule")
+            if payload.get("state") == "fired":
+                fired[rule] = fired.get(rule, 0) + 1
+            rows.append(
+                (
+                    record.campaign_id,
+                    event.seq,
+                    event.iteration,
+                    rule,
+                    payload.get("component"),
+                    payload.get("severity"),
+                    payload.get("state"),
+                    payload.get("value"),
+                    payload.get("threshold"),
+                    fired.get(rule, 0),
+                )
+            )
+    rows.sort(key=lambda row: (row[0], row[1]))
+    return rows
+
+
 def _ref_telemetry_spans(store: CampaignStore) -> list[tuple]:
     rows: list[tuple] = []
     for record in store.list_campaigns():
@@ -368,6 +401,7 @@ _REFERENCES: dict[str, Callable[[CampaignStore], list[tuple]]] = {
     "lane_fairness": _ref_lane_fairness,
     "cache_trends": _ref_cache_trends,
     "reslice_trends": _ref_reslice_trends,
+    "alert_history": _ref_alert_history,
     "telemetry_spans": _ref_telemetry_spans,
     "provider_latency": _ref_provider_latency,
 }

@@ -264,6 +264,25 @@ SELECT e.campaign_id,
 FROM events AS e
 WHERE e.kind = 'reslice'"""
 
+_ALERT_HISTORY = """\
+SELECT e.campaign_id,
+       e.seq,
+       e.iteration,
+       json_extract(e.payload, '$.rule') AS rule,
+       json_extract(e.payload, '$.component') AS component,
+       json_extract(e.payload, '$.severity') AS severity,
+       json_extract(e.payload, '$.state') AS state,
+       json_extract(e.payload, '$.value') AS value,
+       json_extract(e.payload, '$.threshold') AS threshold,
+       SUM(CASE WHEN json_extract(e.payload, '$.state') = 'fired'
+                THEN 1 ELSE 0 END) OVER (
+           PARTITION BY e.campaign_id, json_extract(e.payload, '$.rule')
+           ORDER BY e.seq
+           ROWS UNBOUNDED PRECEDING
+       ) AS fired_count
+FROM events AS e
+WHERE e.kind = 'alert'"""
+
 _TELEMETRY_SPANS = """\
 SELECT e.campaign_id,
        e.seq,
@@ -467,6 +486,25 @@ VIEW_DEFINITIONS: dict[str, ViewDef] = {
             sql=_RESLICE_TRENDS,
         ),
         ViewDef(
+            name="alert_history",
+            doc="durable monitor alerts with a running per-rule fired count",
+            columns=(
+                "campaign_id",
+                "seq",
+                "iteration",
+                "rule",
+                "component",
+                "severity",
+                "state",
+                "value",
+                "threshold",
+                "fired_count",
+            ),
+            order_by="campaign_id, seq",
+            campaign_filterable=True,
+            sql=_ALERT_HISTORY,
+        ),
+        ViewDef(
             name="telemetry_spans",
             doc="persisted telemetry spans (the per-iteration time skeleton)",
             columns=(
@@ -512,6 +550,7 @@ REPORT_SECTIONS: dict[str, tuple[str, ...]] = {
     "fairness": ("lane_fairness",),
     "cache": ("cache_trends", "reslice_trends"),
     "telemetry": ("telemetry_spans", "provider_latency"),
+    "alerts": ("alert_history",),
 }
 
 
@@ -529,6 +568,7 @@ def views_schema() -> str:
         "lane_fairness",
         "cache_trends",
         "reslice_trends",
+        "alert_history",
         "telemetry_spans",
         "provider_latency",
         "campaign_rollup",

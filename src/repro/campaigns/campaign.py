@@ -48,6 +48,7 @@ from repro.campaigns.store import (
 from repro.core.plan import IterationRecord, TuningResult
 from repro.core.registry import available_strategies, is_registered
 from repro.fairness.report import FairnessReport
+from repro.monitor.health import CampaignMonitor
 from repro.telemetry import PERSISTED_SPAN_NAMES, get_tracer
 from repro.utils.exceptions import CampaignError, ConfigurationError
 
@@ -109,6 +110,13 @@ class CampaignSpec:
         crash can lose at most ``checkpoint_every - 1`` iterations of
         *snapshot* state; the resumed run re-executes them deterministically
         from the previous snapshot.  Not part of the fingerprint.
+    monitor:
+        Evaluate the campaign-scope alert rules
+        (:func:`repro.monitor.campaign_rules`) against the event log and
+        persist transitions as durable ``alert`` events.  Monitoring only
+        reads events and appends alerts — it never touches tuner state —
+        so results are byte-identical either way, and the flag (like
+        ``priority``) is not part of the fingerprint.
     """
 
     name: str
@@ -131,9 +139,10 @@ class CampaignSpec:
     reslice_every: int = 0
     priority: int = 0
     checkpoint_every: int = 1
+    monitor: bool = True
 
     #: Spec fields that do not contribute to the content fingerprint.
-    _NON_IDENTITY = ("name", "priority", "checkpoint_every")
+    _NON_IDENTITY = ("name", "priority", "checkpoint_every", "monitor")
 
     def __post_init__(self) -> None:
         if not self.name:
@@ -390,6 +399,8 @@ class Campaign:
         self._pause_requested = False
         self._since_checkpoint = 0
         self._iteration_hooks: list[IterationHook] = []
+        self._monitor: CampaignMonitor | None = None
+        self._monitor_cursor = 0
 
     # -- construction ------------------------------------------------------------
     @classmethod
@@ -558,6 +569,7 @@ class Campaign:
             kind="iteration",
             payload=record.to_dict(),
         )
+        self._poll_monitor()
         self._since_checkpoint += 1
         if self._since_checkpoint >= self.spec.checkpoint_every:
             self.checkpoint()
@@ -632,6 +644,7 @@ class Campaign:
         if get_tracer().enabled:
             self.session.add_hook("span", self._persist_span)
         snapshot = self.store.latest_snapshot(self.campaign_id)
+        resume_iteration: int | None = None
         if snapshot is not None:
             bundle = pickle.loads(snapshot.payload)
             if int(bundle.get("version", -1)) != _SNAPSHOT_VERSION:
@@ -641,6 +654,7 @@ class Campaign:
                 )
             self.tuner.restore_runtime_state(bundle["tuner"])
             self.session.load_state_dict(bundle["session"])
+            resume_iteration = int(bundle["session"]["iteration"])
             if bundle.get("initial_report") is not None:
                 self._initial_report = FairnessReport.from_dict(
                     bundle["initial_report"]
@@ -659,6 +673,20 @@ class Campaign:
             self._records = self.session.stream(
                 self.spec.budget, strategy=self.spec.method, lam=self.spec.lam
             )
+        if self.spec.monitor:
+            # The monitor folds this campaign's own durable events (never
+            # tuner state), so it can be rebuilt from the log: warm it up
+            # with the replayed pre-snapshot history (the re-executed tail
+            # re-derives its samples live, byte-identically), then cursor
+            # past everything already stored.
+            self._monitor = CampaignMonitor(self.campaign_id)
+            history = self.store.events(self.campaign_id)
+            if history:
+                self._monitor_cursor = history[-1].seq
+                if resume_iteration is not None:
+                    self._monitor.warmup(
+                        replay_events(history), resume_iteration
+                    )
         self.store.set_status(self.campaign_id, RUNNING)
 
     def _persist_fulfillment(self, fulfillment) -> None:
@@ -710,6 +738,31 @@ class Campaign:
                 self.checkpoint()
             self.store.set_status(self.campaign_id, PAUSED)
 
+    def _poll_monitor(self) -> None:
+        """Fold events appended since the last poll; persist transitions.
+
+        Called right after the ``iteration`` event lands (and before the
+        checkpoint, so a snapshot boundary never splits an iteration from
+        its alerts).  The ``after=seq`` cursor keeps an idle poll at
+        O(new events).
+        """
+        if self._monitor is None:
+            return
+        fresh = self.store.events(self.campaign_id, after=self._monitor_cursor)
+        if fresh:
+            self._monitor_cursor = fresh[-1].seq
+        for alert in self._monitor.fold(fresh):
+            self._monitor_cursor = max(
+                self._monitor_cursor,
+                self.store.append_event(
+                    self.campaign_id,
+                    generation=self.generation,
+                    iteration=alert.iteration,
+                    kind="alert",
+                    payload=alert.to_dict(),
+                ),
+            )
+
     def _finalize(self) -> None:
         assert self.session is not None and self.tuner is not None
         result = self.session.result()
@@ -717,6 +770,15 @@ class Campaign:
             result.initial_report = self._initial_report
             result.final_report = self.tuner.evaluate()
         self._result = result
+        if self._monitor is not None:
+            for alert in self._monitor.finalize():
+                self.store.append_event(
+                    self.campaign_id,
+                    generation=self.generation,
+                    iteration=alert.iteration,
+                    kind="alert",
+                    payload=alert.to_dict(),
+                )
         self.store.append_event(
             self.campaign_id,
             generation=self.generation,

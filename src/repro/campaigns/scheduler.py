@@ -227,6 +227,10 @@ class CampaignScheduler:
             self._steps += 1
             entry.last_step = self._steps
             get_registry().counter("scheduler.steps").inc()
+            # Per-lane step counts feed the monitor's lane_starvation rule.
+            get_registry().counter(
+                "scheduler.lane_steps", lane=entry.campaign.spec.priority
+            ).inc()
             try:
                 with get_tracer().span(
                     "scheduler.step",

@@ -88,7 +88,11 @@ class CampaignEvent:
         ``iteration`` / ``fulfillment`` / ``evaluate`` / ``completed`` /
         ``reslice`` / ``telemetry`` (completed
         :class:`~repro.telemetry.Span` dicts, persisted only while a live
-        tracer is installed).
+        tracer is installed) / ``alert``
+        (:class:`~repro.monitor.Alert` rule transitions persisted by the
+        campaign monitor; payloads carry rule identity and iteration
+        index, never seqs, so resumed generations re-append them
+        byte-identically).
     payload:
         JSON-compatible event body.
     """

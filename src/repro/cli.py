@@ -96,6 +96,7 @@ import os
 import signal
 import sys
 import threading
+import time
 from typing import Callable, Sequence
 
 from repro.acquisition.providers import source_descriptions
@@ -148,6 +149,13 @@ from repro.slices.discovery import (
 )
 from repro.serve import TunerClient, TunerServer, TunerService
 from repro import telemetry
+from repro.monitor import (
+    HealthEvaluator,
+    alert_history,
+    available_rules,
+    get_rule,
+    watchdog,
+)
 from repro.utils.exceptions import ConfigurationError, ReproError
 from repro.utils.tables import format_table
 
@@ -670,7 +678,8 @@ def build_parser() -> argparse.ArgumentParser:
     report.add_argument(
         "report_kind",
         choices=(
-            "summary", "slices", "fulfillment", "fairness", "cache", "telemetry",
+            "summary", "slices", "fulfillment", "fairness", "cache",
+            "telemetry", "alerts",
         ),
         help="which report to render (each is one or two analytics views)",
     )
@@ -809,6 +818,85 @@ def build_parser() -> argparse.ArgumentParser:
 
     r_stats = remote_sub.add_parser("stats", help="the daemon's health table")
     add_url(r_stats)
+
+    monitor = subparsers.add_parser(
+        "monitor",
+        help="health & alerting: SLO rules, alert history, live dashboard",
+    )
+    monitor_sub = monitor.add_subparsers(dest="monitor_command", required=True)
+
+    m_rules = monitor_sub.add_parser(
+        "rules", help="list every registered alert rule and its thresholds"
+    )
+    add_quiet(m_rules)
+    add_json(m_rules)
+
+    m_alerts = monitor_sub.add_parser(
+        "alerts", help="the durable alert history replayed from a store"
+    )
+    add_store(m_alerts)
+    add_json(m_alerts)
+    m_alerts.add_argument(
+        "--campaign",
+        default=None,
+        dest="campaign_id",
+        help="restrict to one campaign id",
+    )
+
+    m_status = monitor_sub.add_parser(
+        "status",
+        help="per-component health verdict folded from a store's alerts",
+    )
+    add_store(m_status)
+    add_json(m_status)
+
+    m_watch = monitor_sub.add_parser(
+        "watch",
+        help="live dashboard: poll a daemon's /health/deep and /alerts",
+    )
+    add_url(m_watch)
+    m_watch.add_argument(
+        "--interval",
+        type=float,
+        default=2.0,
+        help="seconds between refreshes (default: 2.0)",
+    )
+    m_watch.add_argument(
+        "--max-seconds",
+        type=float,
+        default=0.0,
+        help="stop after this many seconds (0 = run until interrupted)",
+    )
+    m_watch.add_argument(
+        "--once",
+        action="store_true",
+        help="render a single frame and exit",
+    )
+
+    m_bench = monitor_sub.add_parser(
+        "bench",
+        help="benchmark-regression watchdog: fresh results vs committed "
+        "BENCH_*.json references",
+    )
+    m_bench.add_argument(
+        "--fresh",
+        required=True,
+        help="JSON file of freshly measured benchmark results "
+        "({benchmark: {metric: value}})",
+    )
+    m_bench.add_argument(
+        "--benchmark",
+        default=None,
+        help="restrict the comparison to one benchmark name",
+    )
+    m_bench.add_argument(
+        "--reference-dir",
+        default="benchmarks",
+        help="directory holding the committed BENCH_*.json references "
+        "(default: benchmarks)",
+    )
+    add_quiet(m_bench)
+    add_json(m_bench)
 
     strategies = subparsers.add_parser(
         "strategies", help="list every registered acquisition strategy"
@@ -1653,14 +1741,23 @@ def run_telemetry(args: argparse.Namespace) -> str:
         )
     if args.telemetry_command == "metrics":
         snapshot = telemetry.read_metrics(trace_dir)
+        histograms = snapshot.get("histograms", {})
+        quantiles = {
+            name: telemetry.histogram_quantiles(data)
+            for name, data in sorted(histograms.items())
+        }
         if args.json_output:
             return _json_output(
                 "repro.telemetry/1",
-                {"trace_dir": trace_dir, "kind": "metrics", "metrics": snapshot},
+                {
+                    "trace_dir": trace_dir,
+                    "kind": "metrics",
+                    "metrics": snapshot,
+                    "quantiles": quantiles,
+                },
             )
         counters = snapshot.get("counters", {})
         gauges = snapshot.get("gauges", {})
-        histograms = snapshot.get("histograms", {})
         if args.quiet:
             return (
                 f"{len(counters)} counter(s), {len(gauges)} gauge(s), "
@@ -1672,7 +1769,12 @@ def run_telemetry(args: argparse.Namespace) -> str:
             [
                 "histogram",
                 name,
-                f"n={data.get('count', 0)} sum={data.get('sum', 0.0):.6f}",
+                f"n={data.get('count', 0)} sum={data.get('sum', 0.0):.6f} "
+                + " ".join(
+                    f"{label}={value:.6f}"
+                    for label, value in quantiles[name].items()
+                    if value is not None
+                ),
             ]
             for name, data in sorted(histograms.items())
         ]
@@ -1685,7 +1787,12 @@ def run_telemetry(args: argparse.Namespace) -> str:
         )
     if args.telemetry_command == "summary":
         total, summary = telemetry.summarize_spans(telemetry.read_spans(trace_dir))
-        counters = telemetry.read_metrics(trace_dir).get("counters", {})
+        metrics = telemetry.read_metrics(trace_dir)
+        counters = metrics.get("counters", {})
+        quantiles = {
+            name: telemetry.histogram_quantiles(data)
+            for name, data in sorted(metrics.get("histograms", {}).items())
+        }
         if args.json_output:
             return _json_output(
                 "repro.telemetry/1",
@@ -1695,6 +1802,7 @@ def run_telemetry(args: argparse.Namespace) -> str:
                     "span_count": total,
                     "spans": summary,
                     "counters": counters,
+                    "quantiles": quantiles,
                 },
             )
         if args.quiet:
@@ -1714,11 +1822,31 @@ def run_telemetry(args: argparse.Namespace) -> str:
         ]
         if not rows:
             return f"no spans recorded under {trace_dir}"
-        return format_table(
+        out = format_table(
             headers=["span", "count", "errors", "total s", "mean s", "max s"],
             rows=rows,
             title=f"Span summary — {trace_dir} ({total} span(s))",
         )
+        quantile_rows = [
+            [
+                name,
+                estimates.get("p50"),
+                estimates.get("p95"),
+                estimates.get("p99"),
+            ]
+            for name, estimates in quantiles.items()
+            if estimates.get("p50") is not None
+        ]
+        if quantile_rows:
+            out += "\n\n" + format_table(
+                headers=["histogram", "p50 s", "p95 s", "p99 s"],
+                rows=[
+                    [name, f"{p50:.6f}", f"{p95:.6f}", f"{p99:.6f}"]
+                    for name, p50, p95, p99 in quantile_rows
+                ],
+                title="Latency quantiles (bucket-interpolated)",
+            )
+        return out
     raise ConfigurationError(  # pragma: no cover - argparse enforces choices
         f"unknown telemetry command {args.telemetry_command!r}"
     )
@@ -1777,6 +1905,276 @@ def run_report(args: argparse.Namespace) -> str:
             return output
 
 
+# -- the health & alerting family --------------------------------------------------
+
+
+def _monitor_store(args: argparse.Namespace) -> SqliteStore:
+    if not os.path.exists(args.store):
+        raise ConfigurationError(
+            f"no campaign store at {args.store!r}; start one with "
+            f"`campaign start` (or pass --store)"
+        )
+    return SqliteStore(args.store)
+
+
+def _alert_rows(alerts: list[dict]) -> list[list]:
+    return [
+        [
+            row["campaign_id"],
+            row["seq"],
+            row["iteration"],
+            row["rule"],
+            row["severity"],
+            row["state"],
+            f"{row['value']:.6g}",
+            f"{row['threshold']:g}",
+        ]
+        for row in alerts
+    ]
+
+
+def _health_table(verdict: dict, title: str) -> str:
+    rows = []
+    for name, component in verdict["components"].items():
+        notes = "; ".join(
+            f"{alert['rule']} {alert['state']} ({alert['severity']})"
+            for alert in component["alerts"]
+        )
+        rows.append([name, component["status"], notes or "-"])
+    out = format_table(
+        headers=["component", "status", "alerts"],
+        rows=rows,
+        title=title,
+    )
+    return out + f"\noverall: {verdict['status']}"
+
+
+def _watch_frame(
+    url: str, frame: int, verdict: dict, alerts_payload: dict
+) -> str:
+    out = _health_table(
+        verdict,
+        title=f"Tuner health — {url} (frame {frame})",
+    )
+    recent = alerts_payload["alerts"][-8:]
+    if recent:
+        out += "\n\n" + format_table(
+            headers=[
+                "campaign", "seq", "iter", "rule", "severity", "state",
+                "value", "threshold",
+            ],
+            rows=_alert_rows(recent),
+            title=(
+                f"Alert history — newest {len(recent)} of "
+                f"{alerts_payload['count']} row(s)"
+            ),
+        )
+    else:
+        out += "\n\nno alerts recorded"
+    return out
+
+
+def run_monitor(args: argparse.Namespace) -> str:
+    """Dispatch for the ``monitor`` family: SLO rules, alert history,
+    per-component health verdicts, the live dashboard, and the
+    benchmark-regression watchdog.
+
+    Everything here reads the same durable surfaces the daemon serves —
+    ``monitor alerts`` replays the store's ``alert`` events exactly as
+    ``GET /alerts`` and the ``alert_history`` analytics view do.
+    """
+    command = args.monitor_command
+
+    if command == "rules":
+        rules = [get_rule(name).to_dict() for name in available_rules()]
+        if args.json_output:
+            return _json_output(
+                "repro.monitor/1",
+                {"kind": "rules", "count": len(rules), "rules": rules},
+            )
+        if args.quiet:
+            return f"{len(rules)} alert rule(s) registered"
+        return format_table(
+            headers=[
+                "rule", "scope", "component", "signal", "breach",
+                "window", "min", "severity", "debounce",
+            ],
+            rows=[
+                [
+                    rule["name"],
+                    rule["scope"],
+                    rule["component"],
+                    rule["signal"],
+                    f"{rule['predicate']} {rule['threshold']:g}",
+                    rule["window"],
+                    rule["min_samples"],
+                    rule["severity"],
+                    rule["debounce"],
+                ]
+                for rule in rules
+            ],
+            title="Registered alert rules",
+        )
+
+    if command == "alerts":
+        with _monitor_store(args) as store:
+            if args.campaign_id is not None:
+                store.get_campaign(args.campaign_id)
+            alerts = alert_history(store, args.campaign_id)
+        if args.json_output:
+            return _json_output(
+                "repro.monitor/1",
+                {"kind": "alerts", "count": len(alerts), "alerts": alerts},
+            )
+        if args.quiet:
+            fired = sum(1 for row in alerts if row["state"] == "fired")
+            return (
+                f"{len(alerts)} alert row(s) ({fired} fired) in {args.store}"
+            )
+        if not alerts:
+            return f"no alerts recorded in {args.store}"
+        return format_table(
+            headers=[
+                "campaign", "seq", "iter", "rule", "severity", "state",
+                "value", "threshold",
+            ],
+            rows=_alert_rows(alerts),
+            title=f"Alert history — {args.store} ({len(alerts)} row(s))",
+        )
+
+    if command == "status":
+        with _monitor_store(args) as store:
+            verdict = HealthEvaluator().health(store=store)
+        if args.json_output:
+            return _json_output(
+                "repro.monitor/1", {"kind": "status", "health": verdict}
+            )
+        if args.quiet:
+            return f"{verdict['status']} — {args.store}"
+        return _health_table(verdict, title=f"Campaign health — {args.store}")
+
+    if command == "watch":
+        client = TunerClient(args.url, timeout=args.timeout)
+        interval = max(float(args.interval), 0.1)
+        deadline = (
+            time.monotonic() + args.max_seconds
+            if args.max_seconds > 0
+            else None
+        )
+        frame = 0
+        output = ""
+        try:
+            while True:
+                verdict = client.health_deep()
+                alerts_payload = client.alerts()
+                frame += 1
+                if args.json_output:
+                    output = _json_output(
+                        "repro.monitor/1",
+                        {
+                            "kind": "watch",
+                            "frame": frame,
+                            "health": verdict,
+                            "alerts": alerts_payload,
+                        },
+                    )
+                elif args.quiet:
+                    output = (
+                        f"frame {frame}: {verdict['status']} — "
+                        f"{alerts_payload['count']} alert row(s)"
+                    )
+                else:
+                    output = _watch_frame(
+                        args.url, frame, verdict, alerts_payload
+                    )
+                done = args.once or (
+                    deadline is not None and time.monotonic() >= deadline
+                )
+                if done:
+                    return output
+                print(output, flush=True)
+                time.sleep(interval)
+        except KeyboardInterrupt:  # pragma: no cover - interactive only
+            return output
+
+    if command == "bench":
+        try:
+            with open(args.fresh, "r", encoding="utf-8") as handle:
+                fresh = json.load(handle)
+        except (OSError, ValueError) as error:
+            raise ConfigurationError(
+                f"cannot read fresh benchmark results {args.fresh!r}: {error}"
+            ) from None
+        if not isinstance(fresh, dict):
+            raise ConfigurationError(
+                f"{args.fresh!r} must hold a JSON object mapping benchmark "
+                f"names to their metric dicts"
+            )
+        if args.benchmark is not None:
+            if args.benchmark not in fresh:
+                raise ConfigurationError(
+                    f"no benchmark {args.benchmark!r} in {args.fresh!r}; "
+                    f"present: {', '.join(sorted(fresh)) or 'none'}"
+                )
+            fresh = {args.benchmark: fresh[args.benchmark]}
+        verdict = watchdog(args.reference_dir, fresh)
+        if args.json_output:
+            output = _json_output(
+                "repro.monitor/1", {"kind": "bench", **verdict}
+            )
+        elif args.quiet:
+            output = (
+                f"{verdict['status']} — {len(verdict['checked'])} "
+                f"benchmark(s) checked, {len(verdict['regressions'])} "
+                f"regression(s)"
+            )
+        else:
+            lines = [
+                f"checked: {', '.join(verdict['checked']) or 'none'}",
+            ]
+            if verdict["unmatched"]:
+                lines.append(
+                    "unmatched (no committed reference): "
+                    + ", ".join(verdict["unmatched"])
+                )
+            if verdict["regressions"]:
+                lines.append("")
+                lines.append(format_table(
+                    headers=[
+                        "benchmark", "metric", "reference", "fresh",
+                        "limit", "severity",
+                    ],
+                    rows=[
+                        [
+                            reg["benchmark"],
+                            reg["metric"],
+                            reg["reference"],
+                            reg["fresh"],
+                            reg["limit"] if reg["limit"] is not None else "-",
+                            reg["severity"],
+                        ]
+                        for reg in verdict["regressions"]
+                    ],
+                    title="Benchmark regressions",
+                ))
+            else:
+                lines.append("no regressions")
+            lines.append(f"overall: {verdict['status']}")
+            output = "\n".join(lines)
+        if verdict["regressions"]:
+            # Exit 2 for CI after the report is visible on stdout.
+            print(output, flush=True)
+            raise ConfigurationError(
+                f"{len(verdict['regressions'])} benchmark regression(s) "
+                f"against {args.reference_dir}"
+            )
+        return output
+
+    raise ConfigurationError(  # pragma: no cover - argparse enforces choices
+        f"unknown monitor command {command!r}"
+    )
+
+
 # -- the serve daemon and its remote clients ---------------------------------------
 
 
@@ -1819,13 +2217,18 @@ def run_serve(args: argparse.Namespace) -> str:
         while not stop.wait(0.2):
             pass
     finally:
-        for signum, handler in previous.items():
-            signal.signal(signum, handler)
+        # Flush the metrics snapshot to --trace-out *before* the drain and
+        # keep the benign signal handlers installed through it: a second
+        # SIGTERM mid-drain must not kill the process with the telemetry
+        # still buffered in memory.
+        telemetry.flush_metrics()
         stats = app.server_stats()
         summary = app.drain()
         server.shutdown()
         result_cache.close()
         store.close()
+        for signum, handler in previous.items():
+            signal.signal(signum, handler)
     line = (
         f"drained — {len(summary['suspended'])} campaign(s) suspended; "
         f"{server_status_line(stats)}"
@@ -2107,6 +2510,7 @@ _COMMANDS = {
     "cache": run_cache,
     "telemetry": run_telemetry,
     "report": run_report,
+    "monitor": run_monitor,
     "serve": run_serve,
     "remote": run_remote,
     "strategies": run_strategies,

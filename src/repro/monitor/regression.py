@@ -1,0 +1,204 @@
+"""Benchmark-regression watchdog over the committed ``BENCH_*.json`` points.
+
+Every benchmark in ``benchmarks/`` records its numbers to a committed
+reference file (``BENCH_telemetry.json``, ``BENCH_monitor.json``, ...).
+This module is the first consumer of that trajectory: it loads the
+reference points, compares a fresh run's numbers against them with
+per-metric tolerances, and reports :class:`Regression` records — the
+``cli monitor bench`` subcommand and the CI smoke jobs surface them.
+
+Tolerance policy is keyed by metric-name convention, matching how the
+benchmarks name their numbers:
+
+* ``*_s`` (seconds) — timing; regression when the fresh value exceeds the
+  reference by more than ``rel_pct`` percent (timing is noisy, so the
+  default headroom is generous).  Lower is always fine.
+* ``*_pct`` (percentage points) — overhead gates; regression when the
+  fresh value exceeds the reference by more than ``abs_pct`` points.
+* booleans — invariants (``byte_identical`` and friends); a reference
+  ``true`` that comes back ``false`` is a **critical** regression, exact
+  on both sides otherwise informational.
+* everything else (counts, lists, strings) — informational only; shapes
+  legitimately drift as the workload grows.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Mapping
+
+from repro.utils.exceptions import ConfigurationError
+
+__all__ = [
+    "Regression",
+    "compare_numbers",
+    "load_benchmarks",
+    "watchdog",
+]
+
+#: Default headroom for ``*_s`` timing metrics, relative percent.
+DEFAULT_REL_PCT = 25.0
+
+#: Default headroom for ``*_pct`` gate metrics, absolute points.
+DEFAULT_ABS_PCT = 10.0
+
+_PREFIX = "BENCH_"
+
+
+@dataclass(frozen=True)
+class Regression:
+    """One metric that moved outside its tolerance."""
+
+    benchmark: str
+    metric: str
+    reference: Any
+    fresh: Any
+    limit: float | None
+    severity: str  # "degraded" | "critical"
+    message: str
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "benchmark": self.benchmark,
+            "metric": self.metric,
+            "reference": self.reference,
+            "fresh": self.fresh,
+            "limit": self.limit,
+            "severity": self.severity,
+            "message": self.message,
+        }
+
+
+def load_benchmarks(directory: str | Path) -> dict[str, dict[str, Any]]:
+    """Committed reference points: ``{"telemetry": {...}, ...}``.
+
+    Scans ``directory`` for ``BENCH_<name>.json`` files; names are
+    lower-cased.  Raises when the directory does not exist.
+    """
+    root = Path(directory)
+    if not root.is_dir():
+        raise ConfigurationError(
+            f"benchmark reference directory not found: {root}"
+        )
+    references = {}
+    for path in sorted(root.glob(f"{_PREFIX}*.json")):
+        name = path.stem[len(_PREFIX):].lower()
+        try:
+            references[name] = json.loads(path.read_text())
+        except (OSError, json.JSONDecodeError) as exc:
+            raise ConfigurationError(
+                f"unreadable benchmark reference {path}: {exc}"
+            ) from exc
+    return references
+
+
+def _is_number(value: Any) -> bool:
+    return isinstance(value, (int, float)) and not isinstance(value, bool)
+
+
+def compare_numbers(
+    benchmark: str,
+    reference: Mapping[str, Any],
+    fresh: Mapping[str, Any],
+    *,
+    rel_pct: float = DEFAULT_REL_PCT,
+    abs_pct: float = DEFAULT_ABS_PCT,
+) -> list[Regression]:
+    """Regressions of one fresh run against one committed reference.
+
+    Metrics present on only one side are skipped — references gain and
+    lose fields as benchmarks evolve, and that is not a perf regression.
+    """
+    regressions = []
+    for metric in sorted(reference):
+        if metric not in fresh:
+            continue
+        ref, new = reference[metric], fresh[metric]
+        if isinstance(ref, bool):
+            if ref is True and new is not True:
+                regressions.append(Regression(
+                    benchmark=benchmark,
+                    metric=metric,
+                    reference=ref,
+                    fresh=new,
+                    limit=None,
+                    severity="critical",
+                    message=f"invariant {metric!r} no longer holds",
+                ))
+            continue
+        if not (_is_number(ref) and _is_number(new)):
+            continue
+        if metric.endswith("_s"):
+            limit = ref * (1.0 + rel_pct / 100.0)
+            if new > limit:
+                regressions.append(Regression(
+                    benchmark=benchmark,
+                    metric=metric,
+                    reference=ref,
+                    fresh=new,
+                    limit=round(limit, 6),
+                    severity="degraded",
+                    message=(
+                        f"{metric} rose {100.0 * (new / ref - 1.0):.1f}% over "
+                        f"the reference (headroom {rel_pct:g}%)"
+                    ),
+                ))
+        elif metric.endswith("_pct"):
+            limit = ref + abs_pct
+            if new > limit:
+                regressions.append(Regression(
+                    benchmark=benchmark,
+                    metric=metric,
+                    reference=ref,
+                    fresh=new,
+                    limit=round(limit, 6),
+                    severity="degraded",
+                    message=(
+                        f"{metric} rose {new - ref:.2f} points over the "
+                        f"reference (headroom {abs_pct:g} points)"
+                    ),
+                ))
+    return regressions
+
+
+def watchdog(
+    directory: str | Path,
+    fresh: Mapping[str, Mapping[str, Any]],
+    *,
+    rel_pct: float = DEFAULT_REL_PCT,
+    abs_pct: float = DEFAULT_ABS_PCT,
+) -> dict[str, Any]:
+    """Compare fresh benchmark runs against the committed references.
+
+    ``fresh`` maps benchmark name (as in :func:`load_benchmarks`) to that
+    run's numbers.  Names with no committed reference are reported under
+    ``"unmatched"`` rather than silently dropped.
+    """
+    references = load_benchmarks(directory)
+    regressions: list[Regression] = []
+    checked = []
+    unmatched = []
+    for name in sorted(fresh):
+        reference = references.get(name.lower())
+        if reference is None:
+            unmatched.append(name)
+            continue
+        checked.append(name.lower())
+        regressions.extend(compare_numbers(
+            name.lower(), reference, fresh[name],
+            rel_pct=rel_pct, abs_pct=abs_pct,
+        ))
+    status = "ok"
+    if regressions:
+        status = "critical" if any(
+            r.severity == "critical" for r in regressions
+        ) else "degraded"
+    return {
+        "status": status,
+        "checked": checked,
+        "unmatched": unmatched,
+        "references": sorted(references),
+        "regressions": [r.to_dict() for r in regressions],
+    }

@@ -1,0 +1,92 @@
+"""Seq-cursored incremental rolling windows for rule evaluation.
+
+A :class:`RollingWindow` holds the last ``span`` samples of one signal,
+each keyed by a monotonically increasing *index* — an iteration number for
+campaign-scope rules, an evaluation counter for service-scope rules —
+never a wall-clock timestamp.  Folding the same event log through the same
+window therefore always yields the same means and the same alert
+transitions, which is what keeps monitoring out of the determinism
+surface: a warmed-up window (replayed on resume) is indistinguishable from
+one that watched the run live.
+
+Updates are O(1) amortised (append + bounded eviction); aggregates are
+recomputed from the retained samples in insertion order so float summation
+order is fixed and replay-stable.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Iterator
+
+from repro.utils.exceptions import ConfigurationError
+
+__all__ = ["RollingWindow"]
+
+
+class RollingWindow:
+    """The last ``span`` (index, value) samples of one signal.
+
+    Parameters
+    ----------
+    span:
+        Maximum number of samples retained; pushing an additional sample
+        evicts the oldest.  Must be positive.
+    """
+
+    __slots__ = ("span", "_samples")
+
+    def __init__(self, span: int) -> None:
+        if span < 1:
+            raise ConfigurationError(f"window span must be >= 1, got {span}")
+        self.span = int(span)
+        self._samples: deque[tuple[int, float]] = deque(maxlen=self.span)
+
+    def push(self, index: int, value: float) -> None:
+        """Record ``value`` at ``index``; indices must not decrease."""
+        index = int(index)
+        if self._samples and index < self._samples[-1][0]:
+            raise ConfigurationError(
+                f"window indices must be monotonic: got {index} after "
+                f"{self._samples[-1][0]}"
+            )
+        self._samples.append((index, float(value)))
+
+    def __len__(self) -> int:
+        return len(self._samples)
+
+    def __iter__(self) -> Iterator[tuple[int, float]]:
+        return iter(self._samples)
+
+    @property
+    def values(self) -> tuple[float, ...]:
+        """Retained sample values, oldest first."""
+        return tuple(value for _, value in self._samples)
+
+    @property
+    def last_index(self) -> int | None:
+        """Index of the newest sample, or ``None`` when empty."""
+        return self._samples[-1][0] if self._samples else None
+
+    def mean(self) -> float:
+        """Mean of the retained samples (0.0 when empty).
+
+        Summed in insertion order so the float result is identical across
+        live evaluation and replay warm-up.
+        """
+        if not self._samples:
+            return 0.0
+        total = 0.0
+        for _, value in self._samples:
+            total += value
+        return total / len(self._samples)
+
+    def state_dict(self) -> dict:
+        """Serializable window state (for introspection/tests)."""
+        return {
+            "span": self.span,
+            "samples": [[index, value] for index, value in self._samples],
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"RollingWindow(span={self.span}, samples={list(self._samples)})"

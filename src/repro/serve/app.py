@@ -40,6 +40,7 @@ from repro.campaigns.store import (
     replay_events,
 )
 from repro.engine.cache import InMemoryResultCache, ResultCache
+from repro.monitor import HealthEvaluator, alert_history
 from repro.telemetry import (
     MetricsRegistry,
     get_registry,
@@ -137,6 +138,8 @@ class TunerService:
         self._closing = threading.Event()
         self._analytics: Analytics | None = None
         self._analytics_lock = threading.Lock()
+        self._health = HealthEvaluator()
+        self._health_lock = threading.Lock()
         self.scheduler.add_progress_callback(self._on_tick)
 
     # -- lifecycle ---------------------------------------------------------------
@@ -421,6 +424,42 @@ class TunerService:
         return merge_snapshots(
             get_registry().snapshot(), self.stats.registry.snapshot()
         )
+
+    def health_deep(self) -> dict[str, Any]:
+        """Per-component health verdicts (the ``GET /health/deep`` body).
+
+        Folds one merged metrics snapshot into the service-scope rules
+        (windows keyed by evaluation count, so repeated identical polls
+        are deterministic) and combines the result with the durable alert
+        state of non-terminal campaigns and the daemon's own drain/pump
+        flags.  The HTTP layer returns 503 while ``status`` is
+        ``critical`` — the admission-control signal.
+        """
+        pump_error = None
+        if self.scheduler.errors:
+            failed_id, exc = self.scheduler.errors[-1]
+            pump_error = f"{failed_id}: {exc}"
+        with self._health_lock:
+            self._health.observe(self.metrics_snapshot())
+            return self._health.health(
+                store=self.store,
+                serve_state={
+                    "draining": self.closing,
+                    "pump_error": pump_error,
+                },
+            )
+
+    def alerts(self, campaign_id: str | None = None) -> dict[str, Any]:
+        """The durable, replayed alert history (``GET /alerts``).
+
+        Exactly the rows ``cli monitor alerts`` prints for the same
+        store; ``campaign_id`` narrows to one campaign (404-mapped when
+        unknown).
+        """
+        if campaign_id is not None:
+            self.store.get_campaign(campaign_id)  # 404-mapped when unknown
+        rows = alert_history(self.store, campaign_id)
+        return {"count": len(rows), "alerts": rows}
 
     def span_summary(self, campaign_id: str) -> dict[str, Any]:
         """Aggregate a campaign's persisted telemetry spans by span name.

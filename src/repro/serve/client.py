@@ -68,8 +68,11 @@ class TunerClient:
             response = urllib.request.urlopen(request, timeout=self.timeout)
         except urllib.error.HTTPError as error:
             detail = ""
+            parsed = None
             try:
-                detail = json.loads(error.read().decode("utf-8")).get("error", "")
+                parsed = json.loads(error.read().decode("utf-8"))
+                if isinstance(parsed, dict):
+                    detail = parsed.get("error", "")
             except Exception:  # noqa: BLE001 - best-effort message extraction
                 pass
             served = ServeError(
@@ -77,6 +80,7 @@ class TunerClient:
                 + (f": {detail}" if detail else "")
             )
             served.status = error.code  # type: ignore[attr-defined]
+            served.body = parsed  # type: ignore[attr-defined]
             raise served from None
         except (urllib.error.URLError, socket.timeout, OSError) as error:
             raise ServeError(
@@ -103,9 +107,44 @@ class TunerClient:
                     raise
                 time.sleep(poll)
 
+    def health_deep(self) -> dict[str, Any]:
+        """``GET /health/deep``: per-component verdicts.
+
+        A critical daemon answers 503 *with* the verdict document; that is
+        a health report, not a failure, so the body is returned rather
+        than raised.
+        """
+        try:
+            return self._request("GET", "/health/deep")
+        except ServeError as error:
+            if getattr(error, "status", None) != 503:
+                raise
+            body = getattr(error, "body", None)
+            if isinstance(body, dict) and "components" in body:
+                return body
+            raise
+
+    def alerts(self, campaign_id: str | None = None) -> dict[str, Any]:
+        """``GET /alerts``: the durable, replayed alert history."""
+        path = "/alerts"
+        if campaign_id is not None:
+            path += f"?campaign_id={campaign_id}"
+        return self._request("GET", path)
+
     def stats(self) -> dict[str, Any]:
         """``GET /stats``."""
         return self._request("GET", "/stats")
+
+    def metrics(self, format: str | None = None) -> Any:
+        """``GET /metrics``: snapshot dict, or exposition text when
+        ``format="prometheus"``."""
+        if format == "prometheus":
+            response = self._request(
+                "GET", "/metrics?format=prometheus", stream=True
+            )
+            with response:
+                return response.read().decode("utf-8")
+        return self._request("GET", "/metrics")
 
     # -- campaign control --------------------------------------------------------
     def submit(self, spec: Mapping[str, Any]) -> dict[str, Any]:

@@ -8,6 +8,10 @@ shared scheduler.  The API is JSON over plain HTTP:
 Method   Path                            Meaning
 =======  ==============================  =========================================
 GET      ``/health``                     liveness probe (status + uptime)
+GET      ``/health/deep``                per-component health verdicts (503
+                                         while any component is critical)
+GET      ``/alerts``                     durable alert history
+                                         (``?campaign_id=`` narrows to one)
 GET      ``/stats``                      server/scheduler/cache statistics
 GET      ``/campaigns``                  progress summary of every campaign
 POST     ``/campaigns``                  submit a ``CampaignSpec`` JSON body
@@ -22,6 +26,8 @@ GET      ``/campaigns/<id>/spans``       per-campaign telemetry span summary
 GET      ``/reports/summary``            fleet-wide ``repro.report/1`` payload
                                          (``?kind=`` selects any report kind)
 GET      ``/metrics``                    merged metrics-registry snapshot
+                                         (``?format=prometheus`` for text
+                                         exposition)
 POST     ``/campaigns/<id>/pause``       checkpoint + pause
 POST     ``/campaigns/<id>/resume``      re-activate a paused/stored campaign
 POST     ``/resume``                     re-activate every unfinished campaign
@@ -47,7 +53,7 @@ from typing import Any, Callable
 
 from repro.serve.app import TunerService
 from repro.serve.stream import stream_campaign_events
-from repro.telemetry import get_tracer
+from repro.telemetry import get_tracer, render_prometheus
 from repro.utils.exceptions import (
     CampaignError,
     ConfigurationError,
@@ -59,7 +65,9 @@ _ID = r"(?P<campaign_id>[A-Za-z0-9._-]+)"
 
 #: ``(method, compiled path regex, handler attribute name)`` routing table.
 _ROUTES: tuple[tuple[str, re.Pattern, str], ...] = (
+    ("GET", re.compile(r"^/health/deep/?$"), "handle_health_deep"),
     ("GET", re.compile(r"^/health/?$"), "handle_health"),
+    ("GET", re.compile(r"^/alerts/?$"), "handle_alerts"),
     ("GET", re.compile(r"^/stats/?$"), "handle_stats"),
     ("GET", re.compile(r"^/campaigns/?$"), "handle_list"),
     ("POST", re.compile(r"^/campaigns/?$"), "handle_submit"),
@@ -135,6 +143,14 @@ class _Handler(BaseHTTPRequestHandler):
         self.end_headers()
         self.wfile.write(body)
 
+    def _send_text(self, text: str, status: int = 200) -> None:
+        body = text.encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "text/plain; version=0.0.4")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
     def _dispatch(self, method: str) -> None:
         self.app.stats.count("requests")
         path = self.path.split("?", 1)[0]
@@ -177,6 +193,16 @@ class _Handler(BaseHTTPRequestHandler):
                 "uptime_seconds": self.app.stats.snapshot()["uptime_seconds"],
             }
         )
+
+    def handle_health_deep(self) -> None:
+        verdict = self.app.health_deep()
+        # 503 while critical: load balancers and submitters can use this
+        # route as an admission-control gate, not just a status page.
+        status = 503 if verdict["status"] == "critical" else 200
+        self._send_json(verdict, status=status)
+
+    def handle_alerts(self) -> None:
+        self._send_json(self.app.alerts(self._query_param("campaign_id")))
 
     def handle_stats(self) -> None:
         self._send_json(self.app.server_stats())
@@ -223,6 +249,14 @@ class _Handler(BaseHTTPRequestHandler):
         self._send_json(self.app.span_summary(campaign_id))
 
     def handle_metrics(self) -> None:
+        fmt = self._query_param("format")
+        if fmt == "prometheus":
+            self._send_text(render_prometheus(self.app.metrics_snapshot()))
+            return
+        if fmt is not None and fmt != "json":
+            raise ServeError(
+                f"unknown metrics format {fmt!r}; use json or prometheus"
+            )
         self._send_json(self.app.metrics_snapshot())
 
     def handle_pause(self, campaign_id: str) -> None:

@@ -36,7 +36,9 @@ from repro.telemetry.metrics import (
     Histogram,
     MetricsRegistry,
     get_registry,
+    histogram_quantiles,
     merge_snapshots,
+    render_prometheus,
     set_registry,
 )
 from repro.telemetry.sinks import (
@@ -80,6 +82,8 @@ __all__ = [
     "get_registry",
     "set_registry",
     "merge_snapshots",
+    "histogram_quantiles",
+    "render_prometheus",
     "RingBufferSink",
     "JsonlTraceSink",
     "CollectSink",
@@ -90,6 +94,7 @@ __all__ = [
     "read_metrics",
     "summarize_spans",
     "configure",
+    "flush_metrics",
     "shutdown",
 ]
 
@@ -125,6 +130,24 @@ def configure(
     tracer.trace_dir = trace_dir
     set_tracer(tracer)
     return tracer
+
+
+def flush_metrics() -> None:
+    """Write the metrics snapshot to the active trace dir *now*.
+
+    The early-flush half of the drain path: a daemon stopping on SIGTERM
+    calls this before its (potentially slow) campaign drain, so
+    ``<trace_dir>/metrics.json`` survives even if a second signal kills
+    the process mid-drain.  The flushed deltas are cleared from the
+    registry — :func:`shutdown`'s final merge then only adds whatever
+    accumulated after the flush, never double-counting.
+    """
+    tracer = get_tracer()
+    if not tracer.enabled or not tracer.trace_dir:
+        return
+    registry = get_registry()
+    write_metrics_snapshot(tracer.trace_dir, registry.snapshot())
+    registry.reset()
 
 
 def shutdown() -> None:

@@ -29,8 +29,9 @@ provider="pool")``); a labeled instrument's snapshot key renders as
 
 from __future__ import annotations
 
+import re
 import threading
-from typing import Any, Mapping
+from typing import Any, Iterable, Mapping
 
 __all__ = [
     "Counter",
@@ -41,6 +42,8 @@ __all__ = [
     "get_registry",
     "set_registry",
     "merge_snapshots",
+    "histogram_quantiles",
+    "render_prometheus",
 ]
 
 #: Fixed histogram bucket upper bounds, in seconds — chosen once so every
@@ -281,6 +284,132 @@ def merge_snapshots(*snapshots: Mapping[str, Any]) -> dict[str, Any]:
     for snapshot in snapshots:
         merged.merge(snapshot)
     return merged.snapshot()
+
+
+def histogram_quantiles(
+    histogram: Mapping[str, Any],
+    quantiles: Iterable[float] = (0.5, 0.95, 0.99),
+) -> dict[str, float | None]:
+    """Quantile estimates from one histogram snapshot's bucket counts.
+
+    Standard linearly-interpolated estimation over the cumulative bucket
+    counts: the q-quantile falls in the first bucket whose cumulative
+    count reaches ``q * count`` and is interpolated between that bucket's
+    bounds (the first bucket's lower edge is 0 — these are latency
+    histograms).  Observations in the overflow slot clamp to the top
+    bound, the best available estimate without an upper edge.  Keys
+    render as ``p50`` / ``p95`` / ``p99``; values are ``None`` for an
+    empty histogram.
+    """
+    bounds = [float(bound) for bound in histogram.get("buckets", ())]
+    counts = [int(count) for count in histogram.get("counts", ())]
+    total = sum(counts)
+    estimates: dict[str, float | None] = {}
+    for quantile in quantiles:
+        if not 0.0 < quantile <= 1.0:
+            raise ValueError(f"quantiles must be in (0, 1], got {quantile}")
+        label = f"p{quantile * 100:g}"
+        if total == 0:
+            estimates[label] = None
+            continue
+        target = quantile * total
+        cumulative = 0
+        for index, count in enumerate(counts):
+            if count == 0:
+                continue
+            previous = cumulative
+            cumulative += count
+            if cumulative >= target:
+                if index >= len(bounds):  # overflow slot
+                    estimates[label] = bounds[-1]
+                else:
+                    lower = 0.0 if index == 0 else bounds[index - 1]
+                    upper = bounds[index]
+                    fraction = (target - previous) / count
+                    estimates[label] = lower + (upper - lower) * fraction
+                break
+    return estimates
+
+
+_PROM_NAME_RE = re.compile(r"[^a-zA-Z0-9_:]")
+
+
+def _prom_parse(key: str) -> tuple[str, list[tuple[str, str]]]:
+    """Split a snapshot key into a sanitized metric name and label pairs."""
+    labels: list[tuple[str, str]] = []
+    name = key
+    if key.endswith("}") and "{" in key:
+        name, _, rendered = key.partition("{")
+        for pair in rendered[:-1].split(","):
+            label, _, value = pair.partition("=")
+            labels.append((_PROM_NAME_RE.sub("_", label.strip()), value))
+    name = _PROM_NAME_RE.sub("_", name)
+    if name and name[0].isdigit():
+        name = f"_{name}"
+    return name, labels
+
+
+def _prom_labels(labels: Iterable[tuple[str, str]]) -> str:
+    rendered = ",".join(
+        '{}="{}"'.format(
+            label,
+            value.replace("\\", r"\\").replace('"', r"\"").replace("\n", r"\n"),
+        )
+        for label, value in labels
+    )
+    return f"{{{rendered}}}" if rendered else ""
+
+
+def _prom_number(value: float) -> str:
+    as_float = float(value)
+    if as_float == int(as_float) and abs(as_float) < 1e15:
+        return str(int(as_float))
+    return repr(as_float)
+
+
+def render_prometheus(snapshot: Mapping[str, Any]) -> str:
+    """A snapshot in Prometheus text exposition format (version 0.0.4).
+
+    Counters and gauges render one sample each; histograms render the
+    conventional cumulative ``_bucket{le=...}`` series plus ``_sum`` and
+    ``_count``.  Dots in repo metric names become underscores
+    (``engine.cache_hits`` -> ``engine_cache_hits``); one ``# TYPE`` line
+    is emitted per family, covering every labeled series in it.
+    """
+    lines: list[str] = []
+    typed: set[str] = set()
+
+    def declare(name: str, kind: str) -> None:
+        if name not in typed:
+            typed.add(name)
+            lines.append(f"# TYPE {name} {kind}")
+
+    for key, value in (snapshot.get("counters") or {}).items():
+        name, labels = _prom_parse(key)
+        declare(name, "counter")
+        lines.append(f"{name}{_prom_labels(labels)} {_prom_number(value)}")
+    for key, value in (snapshot.get("gauges") or {}).items():
+        name, labels = _prom_parse(key)
+        declare(name, "gauge")
+        lines.append(f"{name}{_prom_labels(labels)} {_prom_number(value)}")
+    for key, histogram in (snapshot.get("histograms") or {}).items():
+        name, labels = _prom_parse(key)
+        declare(name, "histogram")
+        cumulative = 0
+        counts = [int(count) for count in histogram.get("counts", ())]
+        for bound, count in zip(histogram.get("buckets", ()), counts):
+            cumulative += count
+            series = _prom_labels(labels + [("le", _prom_number(bound))])
+            lines.append(f"{name}_bucket{series} {cumulative}")
+        total = sum(counts)
+        inf_series = _prom_labels(labels + [("le", "+Inf")])
+        lines.append(f"{name}_bucket{inf_series} {total}")
+        lines.append(
+            f"{name}_sum{_prom_labels(labels)} "
+            f"{repr(float(histogram.get('sum', 0.0)))}"
+        )
+        lines.append(f"{name}_count{_prom_labels(labels)} {total}")
+    return "\n".join(lines) + "\n"
 
 
 _default_registry = MetricsRegistry()

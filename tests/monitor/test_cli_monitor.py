@@ -1,0 +1,198 @@
+"""CLI surface of the monitoring subsystem (``monitor ...``, quantiles).
+
+The CLI must agree with the library: ``monitor alerts`` prints exactly the
+rows :func:`repro.monitor.alert_history` replays, ``report alerts``
+verifies SQL against the Python reference, and ``telemetry metrics``
+derives the same quantile estimates :func:`histogram_quantiles` does.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.campaigns import Campaign, SqliteStore
+from repro.cli import main
+from repro.monitor import alert_history
+from tests.monitor.test_determinism import flaky_spec
+
+
+@pytest.fixture(scope="module")
+def flaky_store(tmp_path_factory):
+    """One completed flaky campaign in a sqlite store (module-shared)."""
+    path = str(tmp_path_factory.mktemp("clistore") / "flaky.sqlite")
+    store = SqliteStore(path)
+    campaign = Campaign.start(store, flaky_spec(name="cli-flaky"))
+    campaign.run()
+    rows = alert_history(store)
+    store.close()
+    return path, campaign.campaign_id, rows
+
+
+class TestMonitorRules:
+    def test_table_lists_builtins(self, capsys):
+        assert main(["monitor", "rules"]) == 0
+        output = capsys.readouterr().out
+        for name in ("provider_failover", "fulfillment_shortfall",
+                     "cache_hit_collapse", "lane_starvation",
+                     "span_error_rate"):
+            assert name in output
+
+    def test_json_is_schema_tagged(self, capsys):
+        assert main(["monitor", "rules", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["schema"] == "repro.monitor/1"
+        assert payload["count"] == len(payload["rules"]) == 5
+
+
+class TestMonitorAlerts:
+    def test_rows_match_alert_history(self, capsys, flaky_store):
+        path, campaign_id, rows = flaky_store
+        assert main(["monitor", "alerts", "--store", path, "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["schema"] == "repro.monitor/1"
+        assert payload["count"] == len(rows) > 0
+        assert payload["alerts"] == json.loads(json.dumps(rows))
+
+    def test_campaign_filter_and_unknown_id(self, capsys, flaky_store):
+        path, campaign_id, rows = flaky_store
+        assert main([
+            "monitor", "alerts", "--store", path,
+            "--campaign", campaign_id, "--json",
+        ]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["count"] == len(rows)
+        assert main([
+            "monitor", "alerts", "--store", path, "--campaign", "ghost",
+        ]) == 2
+
+    def test_quiet_counts_fired(self, capsys, flaky_store):
+        path, _, rows = flaky_store
+        assert main(["monitor", "alerts", "--store", path, "--quiet"]) == 0
+        fired = sum(1 for row in rows if row["state"] == "fired")
+        line = capsys.readouterr().out.strip()
+        assert line == f"{len(rows)} alert row(s) ({fired} fired) in {path}"
+
+    def test_missing_store_exits_2(self, capsys, tmp_path):
+        assert main([
+            "monitor", "alerts", "--store", str(tmp_path / "none.sqlite"),
+        ]) == 2
+
+
+class TestMonitorStatus:
+    def test_completed_campaigns_are_healthy(self, capsys, flaky_store):
+        path, _, _ = flaky_store
+        assert main(["monitor", "status", "--store", path, "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["health"]["status"] == "ok"
+        assert sorted(payload["health"]["components"]) == [
+            "acquisition", "cache", "engine", "scheduler", "serve",
+        ]
+
+    def test_quiet_line(self, capsys, flaky_store):
+        path, _, _ = flaky_store
+        assert main(["monitor", "status", "--store", path, "--quiet"]) == 0
+        assert capsys.readouterr().out.strip() == f"ok — {path}"
+
+
+class TestMonitorBench:
+    def test_clean_run_exits_0(self, capsys, tmp_path):
+        ref_dir = tmp_path / "refs"
+        ref_dir.mkdir()
+        (ref_dir / "BENCH_demo.json").write_text(
+            json.dumps({"run_s": 1.0, "byte_identical": True})
+        )
+        fresh = tmp_path / "fresh.json"
+        fresh.write_text(
+            json.dumps({"demo": {"run_s": 0.9, "byte_identical": True}})
+        )
+        assert main([
+            "monitor", "bench", "--fresh", str(fresh),
+            "--reference-dir", str(ref_dir), "--json",
+        ]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["status"] == "ok"
+        assert payload["checked"] == ["demo"]
+
+    def test_regression_exits_2_after_reporting(self, capsys, tmp_path):
+        ref_dir = tmp_path / "refs"
+        ref_dir.mkdir()
+        (ref_dir / "BENCH_demo.json").write_text(
+            json.dumps({"byte_identical": True})
+        )
+        fresh = tmp_path / "fresh.json"
+        fresh.write_text(json.dumps({"demo": {"byte_identical": False}}))
+        assert main([
+            "monitor", "bench", "--fresh", str(fresh),
+            "--reference-dir", str(ref_dir), "--json",
+        ]) == 2
+        captured = capsys.readouterr()
+        payload = json.loads(captured.out)
+        assert payload["status"] == "critical"
+        assert "regression" in captured.err
+
+    def test_unknown_benchmark_filter_exits_2(self, tmp_path, capsys):
+        fresh = tmp_path / "fresh.json"
+        fresh.write_text(json.dumps({"demo": {}}))
+        assert main([
+            "monitor", "bench", "--fresh", str(fresh),
+            "--benchmark", "nope", "--reference-dir", "benchmarks",
+        ]) == 2
+
+
+class TestReportAlerts:
+    def test_report_alerts_verifies_sql_against_python(self, capsys, flaky_store):
+        path, _, rows = flaky_store
+        assert main([
+            "report", "alerts", "--store", path, "--verify", "--json",
+        ]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        section = payload["sections"]["alert_history"]
+        assert len(section["rows"]) == len(rows)
+        assert "alert_history" in payload["verified"]
+
+
+class TestTelemetryQuantiles:
+    @pytest.fixture()
+    def trace_dir(self, tmp_path):
+        path = str(tmp_path / "trace")
+        assert main([
+            "campaign", "start", "--store", str(tmp_path / "t.sqlite"),
+            "--name", "traced", "--dataset", "adult_like",
+            "--scenario", "flaky_source", "--method", "moderate",
+            "--budget", "300", "--seed", "0", "--initial-size", "60",
+            "--validation-size", "50", "--epochs", "8",
+            "--curve-points", "3", "--quiet", "--trace-out", path,
+        ]) == 0
+        return path
+
+    def test_metrics_json_carries_quantiles(self, capsys, trace_dir):
+        capsys.readouterr()
+        assert main([
+            "telemetry", "metrics", "--trace-dir", trace_dir, "--json",
+        ]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["quantiles"], "flaky source records provider timings"
+        for estimates in payload["quantiles"].values():
+            assert set(estimates) == {"p50", "p95", "p99"}
+            values = [v for v in estimates.values() if v is not None]
+            assert values == sorted(values)
+
+    def test_quantiles_match_library_function(self, capsys, trace_dir):
+        from repro.telemetry import histogram_quantiles
+
+        capsys.readouterr()
+        assert main([
+            "telemetry", "metrics", "--trace-dir", trace_dir, "--json",
+        ]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        for name, data in payload["metrics"]["histograms"].items():
+            assert payload["quantiles"][name] == histogram_quantiles(data)
+
+    def test_summary_renders_quantile_table(self, capsys, trace_dir):
+        capsys.readouterr()
+        assert main(["telemetry", "summary", "--trace-dir", trace_dir]) == 0
+        output = capsys.readouterr().out
+        assert "Latency quantiles" in output
+        assert "p95 s" in output

@@ -1,0 +1,150 @@
+"""Monitoring must not perturb results, and alerts must be deterministic.
+
+The contract under test:
+
+* a monitored campaign's ``TuningResult`` is byte-identical to the same
+  spec run with ``monitor=False`` — on the serial *and* the process-pool
+  executor;
+* the durable alert sequence of a flaky campaign is identical across
+  store backends (in-memory vs sqlite) and executors, and replaying the
+  stored event log through a fresh :class:`CampaignMonitor` reproduces it
+  exactly;
+* a crash-resume run re-appends the same alerts under a newer generation,
+  collapsing to the uninterrupted history.
+"""
+
+from __future__ import annotations
+
+from repro.campaigns import (
+    Campaign,
+    CampaignSpec,
+    InMemoryStore,
+    SqliteStore,
+    replay_events,
+)
+from repro.engine.executor import get_executor
+from repro.monitor import CampaignMonitor
+
+#: A campaign whose flaky source trips the acquisition rules and then
+#: recovers — small enough to run four times in this module.
+FLAKY = dict(
+    dataset="adult_like",
+    scenario="flaky_source",
+    method="moderate",
+    budget=300.0,
+    seed=0,
+    base_size=60,
+    validation_size=50,
+    epochs=8,
+    curve_points=3,
+)
+
+
+def flaky_spec(name="flaky", **overrides) -> CampaignSpec:
+    return CampaignSpec(name=name, **{**FLAKY, **overrides})
+
+
+def alert_payloads(store, campaign_id):
+    """The collapsed alert payload sequence, in seq order."""
+    return [
+        event.payload
+        for event in replay_events(store.events(campaign_id))
+        if event.kind == "alert"
+    ]
+
+
+def run(spec, store=None, executor=None):
+    store = store if store is not None else InMemoryStore()
+    campaign = Campaign.start(store, spec, executor=executor)
+    result = campaign.run()
+    return store, campaign.campaign_id, result
+
+
+class TestMonitoringIsInert:
+    def test_monitored_equals_unmonitored_serial(self):
+        _, _, monitored = run(flaky_spec())
+        store, campaign_id, plain = run(flaky_spec(monitor=False))
+        assert monitored.to_dict() == plain.to_dict()
+        assert alert_payloads(store, campaign_id) == []
+
+    def test_monitored_equals_unmonitored_process_pool(self):
+        executor = get_executor("process", max_workers=2)
+        try:
+            _, _, monitored = run(flaky_spec(), executor=executor)
+            _, _, plain = run(flaky_spec(monitor=False), executor=executor)
+        finally:
+            executor.close()
+        assert monitored.to_dict() == plain.to_dict()
+
+    def test_monitor_flag_is_not_identity(self):
+        assert (
+            flaky_spec().fingerprint()
+            == flaky_spec(monitor=False).fingerprint()
+        )
+
+
+class TestAlertDeterminism:
+    def test_flaky_campaign_fires_and_recovers(self):
+        store, campaign_id, _ = run(flaky_spec())
+        payloads = alert_payloads(store, campaign_id)
+        transitions = [(p["rule"], p["state"]) for p in payloads]
+        assert ("fulfillment_shortfall", "fired") in transitions
+        assert ("provider_failover", "fired") in transitions
+        # Every fired rule resolves by campaign completion.
+        open_rules = set()
+        for payload in payloads:
+            if payload["state"] == "fired":
+                open_rules.add(payload["rule"])
+            else:
+                open_rules.discard(payload["rule"])
+        assert open_rules == set()
+
+    def test_identical_across_stores_and_executors(self, tmp_path):
+        reference_store, reference_id, reference = run(flaky_spec())
+        expected = alert_payloads(reference_store, reference_id)
+        assert expected, "the flaky spec must produce alerts"
+
+        sqlite_store = SqliteStore(str(tmp_path / "flaky.sqlite"))
+        store, campaign_id, result = run(flaky_spec(), store=sqlite_store)
+        assert alert_payloads(store, campaign_id) == expected
+        assert result.to_dict() == reference.to_dict()
+        sqlite_store.close()
+
+        executor = get_executor("process", max_workers=2)
+        try:
+            store, campaign_id, result = run(flaky_spec(), executor=executor)
+        finally:
+            executor.close()
+        assert alert_payloads(store, campaign_id) == expected
+        assert result.to_dict() == reference.to_dict()
+
+    def test_replaying_the_log_reproduces_the_alerts(self):
+        store, campaign_id, _ = run(flaky_spec())
+        expected = alert_payloads(store, campaign_id)
+        monitor = CampaignMonitor(campaign_id)
+        replayed = monitor.fold(replay_events(store.events(campaign_id)))
+        replayed += monitor.finalize()
+        assert [a.to_dict() for a in replayed] == expected
+
+    def test_pause_resume_collapses_to_the_same_history(self, tmp_path):
+        baseline_store, baseline_id, baseline = run(flaky_spec())
+        expected = alert_payloads(baseline_store, baseline_id)
+
+        store = SqliteStore(str(tmp_path / "resumed.sqlite"))
+        spec = flaky_spec(checkpoint_every=2)
+        campaign = Campaign.start(store, spec)
+        campaign.run(max_steps=3)
+        campaign.pause()
+
+        resumed = Campaign.resume(store, campaign.campaign_id)
+        result = resumed.run()
+        assert result.to_dict() == baseline.to_dict()
+        assert alert_payloads(store, campaign.campaign_id) == expected
+        # The raw (uncollapsed) log shows the resumed generation at work.
+        generations = {
+            e.generation
+            for e in store.events(campaign.campaign_id)
+            if e.kind == "alert"
+        }
+        assert len(generations) >= 1
+        store.close()

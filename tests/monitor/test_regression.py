@@ -1,0 +1,96 @@
+"""Tests for repro.monitor.regression (benchmark watchdog)."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.monitor import compare_numbers, load_benchmarks, watchdog
+from repro.utils.exceptions import ConfigurationError
+
+
+def write_reference(directory, name, payload):
+    path = directory / f"BENCH_{name}.json"
+    path.write_text(json.dumps(payload))
+    return path
+
+
+class TestLoadBenchmarks:
+    def test_scans_bench_prefixed_files(self, tmp_path):
+        write_reference(tmp_path, "alpha", {"x_s": 1.0})
+        write_reference(tmp_path, "Beta", {"y_pct": 2.0})
+        (tmp_path / "notes.json").write_text("{}")  # ignored: no prefix
+        refs = load_benchmarks(tmp_path)
+        assert sorted(refs) == ["alpha", "beta"]
+        assert refs["alpha"] == {"x_s": 1.0}
+
+    def test_missing_directory_raises(self, tmp_path):
+        with pytest.raises(ConfigurationError):
+            load_benchmarks(tmp_path / "nope")
+
+    def test_unreadable_reference_raises(self, tmp_path):
+        (tmp_path / "BENCH_bad.json").write_text("{not json")
+        with pytest.raises(ConfigurationError, match="BENCH_bad"):
+            load_benchmarks(tmp_path)
+
+
+class TestCompareNumbers:
+    def test_timing_metrics_get_relative_headroom(self):
+        ref = {"run_s": 1.0}
+        assert compare_numbers("b", ref, {"run_s": 1.2}) == []
+        regs = compare_numbers("b", ref, {"run_s": 1.3})
+        assert [(r.metric, r.severity) for r in regs] == [("run_s", "degraded")]
+        # Faster is never a regression.
+        assert compare_numbers("b", ref, {"run_s": 0.1}) == []
+
+    def test_pct_metrics_get_absolute_headroom(self):
+        ref = {"overhead_pct": -2.0}
+        assert compare_numbers("b", ref, {"overhead_pct": 7.9}) == []
+        regs = compare_numbers("b", ref, {"overhead_pct": 8.1})
+        assert [r.metric for r in regs] == ["overhead_pct"]
+        assert regs[0].limit == pytest.approx(8.0)
+
+    def test_boolean_invariants_are_critical(self):
+        ref = {"byte_identical": True}
+        assert compare_numbers("b", ref, {"byte_identical": True}) == []
+        regs = compare_numbers("b", ref, {"byte_identical": False})
+        assert [r.severity for r in regs] == ["critical"]
+        # A reference False coming back True is an improvement, not a
+        # regression.
+        assert compare_numbers("b", {"flag": False}, {"flag": True}) == []
+
+    def test_missing_and_informational_metrics_are_skipped(self):
+        ref = {"gone_s": 1.0, "names": ["a"], "count": 3}
+        fresh = {"names": ["b"], "count": 99, "new_s": 5.0}
+        assert compare_numbers("b", ref, fresh) == []
+
+
+class TestWatchdog:
+    def test_verdict_shape_and_status(self, tmp_path):
+        write_reference(tmp_path, "alpha", {
+            "run_s": 1.0, "byte_identical": True,
+        })
+        verdict = watchdog(tmp_path, {
+            "alpha": {"run_s": 2.0, "byte_identical": False},
+            "orphan": {"x_s": 1.0},
+        })
+        assert verdict["status"] == "critical"
+        assert verdict["checked"] == ["alpha"]
+        assert verdict["unmatched"] == ["orphan"]
+        assert verdict["references"] == ["alpha"]
+        metrics = {r["metric"]: r["severity"] for r in verdict["regressions"]}
+        assert metrics == {"run_s": "degraded", "byte_identical": "critical"}
+
+    def test_all_clear(self, tmp_path):
+        write_reference(tmp_path, "alpha", {"run_s": 1.0})
+        verdict = watchdog(tmp_path, {"alpha": {"run_s": 1.0}})
+        assert verdict["status"] == "ok"
+        assert verdict["regressions"] == []
+
+    def test_committed_references_match_repo_benchmarks(self):
+        # The real benchmarks/ directory stays loadable — the CI watchdog
+        # depends on it.
+        refs = load_benchmarks("benchmarks")
+        assert "telemetry" in refs
+        assert "monitor" in refs

@@ -1,0 +1,112 @@
+"""Tests for repro.monitor.rules (the declarative SLO rule registry)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.monitor import (
+    AlertRule,
+    available_rules,
+    campaign_rules,
+    get_rule,
+    is_rule,
+    register_rule,
+    rule_descriptions,
+    service_rules,
+    unregister_rule,
+)
+from repro.utils.exceptions import ConfigurationError
+
+
+def make_rule(name="custom_rule", **overrides) -> AlertRule:
+    fields = dict(
+        name=name,
+        component="engine",
+        scope="campaign",
+        signal="failover_rate",
+        predicate="gt",
+        threshold=0.5,
+        window=3,
+        min_samples=2,
+        severity="degraded",
+        debounce=1,
+        description="a test rule",
+    )
+    fields.update(overrides)
+    return AlertRule(**fields)
+
+
+class TestAlertRule:
+    @pytest.mark.parametrize(
+        "overrides",
+        [
+            dict(component="nope"),
+            dict(scope="nope"),
+            dict(predicate="ge"),
+            dict(severity="fatal"),
+            dict(window=0),
+            dict(min_samples=0),
+            dict(min_samples=4),  # > window
+            dict(debounce=-1),
+        ],
+    )
+    def test_validation_rejects_bad_fields(self, overrides):
+        with pytest.raises(ConfigurationError):
+            make_rule(**overrides)
+
+    def test_breaches_is_strict(self):
+        gt = make_rule(predicate="gt", threshold=0.5)
+        assert gt.breaches(0.51) and not gt.breaches(0.5)
+        lt = make_rule(predicate="lt", threshold=0.5)
+        assert lt.breaches(0.49) and not lt.breaches(0.5)
+
+    def test_to_dict_round_trips_every_field(self):
+        rule = make_rule()
+        assert AlertRule(**rule.to_dict()) == rule
+
+
+class TestRegistry:
+    def teardown_method(self):
+        unregister_rule("custom_rule")
+
+    def test_register_get_unregister(self):
+        register_rule(make_rule())
+        assert is_rule("custom_rule")
+        assert is_rule("  CUSTOM_RULE  ")  # case/space-insensitive
+        assert get_rule("custom_rule").threshold == 0.5
+        unregister_rule("custom_rule")
+        assert not is_rule("custom_rule")
+
+    def test_duplicate_registration_is_guarded(self):
+        register_rule(make_rule())
+        with pytest.raises(ConfigurationError):
+            register_rule(make_rule(threshold=0.9))
+        replaced = register_rule(make_rule(threshold=0.9), overwrite=True)
+        assert replaced.threshold == 0.9
+
+    def test_unknown_rule_raises_with_candidates(self):
+        with pytest.raises(ConfigurationError, match="provider_failover"):
+            get_rule("nope")
+
+
+class TestBuiltins:
+    def test_builtin_rule_set(self):
+        assert available_rules() == (
+            "cache_hit_collapse",
+            "fulfillment_shortfall",
+            "lane_starvation",
+            "provider_failover",
+            "span_error_rate",
+        )
+
+    def test_scope_split(self):
+        assert tuple(r.name for r in campaign_rules()) == (
+            "fulfillment_shortfall", "provider_failover", "span_error_rate",
+        )
+        assert tuple(r.name for r in service_rules()) == (
+            "cache_hit_collapse", "lane_starvation",
+        )
+
+    def test_every_builtin_has_a_description(self):
+        for name, description in rule_descriptions().items():
+            assert description, name

@@ -1,0 +1,56 @@
+"""Tests for repro.monitor.windows (seq-cursored rolling windows)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.monitor import RollingWindow
+from repro.utils.exceptions import ConfigurationError
+
+
+class TestRollingWindow:
+    def test_span_must_be_positive(self):
+        with pytest.raises(ConfigurationError):
+            RollingWindow(0)
+
+    def test_empty_window(self):
+        window = RollingWindow(3)
+        assert len(window) == 0
+        assert window.values == ()
+        assert window.last_index is None
+        assert window.mean() == 0.0
+
+    def test_push_and_eviction(self):
+        window = RollingWindow(3)
+        for index, value in enumerate([1.0, 2.0, 3.0, 4.0]):
+            window.push(index, value)
+        assert window.values == (2.0, 3.0, 4.0)
+        assert window.last_index == 3
+        assert window.mean() == pytest.approx(3.0)
+
+    def test_indices_must_not_decrease(self):
+        window = RollingWindow(3)
+        window.push(5, 1.0)
+        window.push(5, 2.0)  # equal is fine (re-evaluation of one index)
+        with pytest.raises(ConfigurationError):
+            window.push(4, 3.0)
+
+    def test_mean_is_insertion_order_stable(self):
+        # The same samples folded twice give the identical float — the
+        # property replay warm-up relies on.
+        a, b = RollingWindow(5), RollingWindow(5)
+        samples = [0.1, 0.7, 0.30000000000000004, 0.2, 0.9]
+        for index, value in enumerate(samples):
+            a.push(index, value)
+            b.push(index, value)
+        assert a.mean() == b.mean()
+
+    def test_state_dict_round_trip_shape(self):
+        window = RollingWindow(2)
+        window.push(1, 0.5)
+        window.push(2, 0.25)
+        assert window.state_dict() == {
+            "span": 2,
+            "samples": [[1, 0.5], [2, 0.25]],
+        }
+        assert list(window) == [(1, 0.5), (2, 0.25)]

@@ -58,13 +58,14 @@ def test_drain_restart_resume_is_byte_identical(tmp_path):
     restarted.close()
 
 
-def _spawn_daemon(store_path: str) -> tuple[subprocess.Popen, str]:
+def _spawn_daemon(store_path: str, *extra: str) -> tuple[subprocess.Popen, str]:
     env = dict(os.environ)
     env["PYTHONPATH"] = _SRC + os.pathsep + env.get("PYTHONPATH", "")
     process = subprocess.Popen(
         [
             sys.executable, "-m", "repro.cli", "serve",
             "--store", store_path, "--port", "0", "--resume-all", "--quiet",
+            *extra,
         ],
         env=env,
         stdout=subprocess.PIPE,
@@ -113,6 +114,41 @@ def test_cli_daemon_sigterm_restart_resume(tmp_path):
         except subprocess.TimeoutExpired:
             process.kill()
             process.wait(timeout=30)
+
+
+def test_sigterm_drain_flushes_trace_metrics(tmp_path):
+    """A SIGTERMed ``serve --trace-out`` daemon writes metrics.json.
+
+    The metrics snapshot is flushed at the *start* of the drain and the
+    (benign) signal handlers stay installed through it, so even a second
+    SIGTERM landing mid-drain cannot leave the telemetry buffered in
+    memory — the failure mode this test pins down.
+    """
+    import json
+
+    from tests.serve.conftest import tiny_spec
+
+    store_path = str(tmp_path / "traced.sqlite")
+    trace_dir = tmp_path / "trace"
+    process, url = _spawn_daemon(store_path, "--trace-out", str(trace_dir))
+    try:
+        client = TunerClient(url, timeout=30.0)
+        client.wait_ready(timeout=15)
+        campaign_id = client.submit(tiny_spec(name="traced"))["campaign_id"]
+        client.wait(campaign_id, timeout=120)
+        process.send_signal(signal.SIGTERM)
+        time.sleep(0.05)
+        process.send_signal(signal.SIGTERM)  # second signal mid-drain
+        assert process.wait(timeout=60) == 0
+    finally:
+        if process.poll() is None:
+            process.kill()
+            process.wait(timeout=30)
+    metrics_path = trace_dir / "metrics.json"
+    assert metrics_path.exists()
+    snapshot = json.loads(metrics_path.read_text())
+    assert snapshot["counters"]["session.iterations"] >= 1
+    assert snapshot["counters"]["scheduler.steps"] >= 1
 
 
 def test_sse_stream_ends_when_daemon_drains(tmp_path):

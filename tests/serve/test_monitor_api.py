@@ -1,0 +1,171 @@
+"""Monitoring over the wire: /health/deep, /alerts, Prometheus metrics.
+
+The daemon's monitoring surface must agree with the offline one: the
+alerts served over HTTP are the same replayed rows ``monitor alerts``
+prints, and a critical component flips ``GET /health/deep`` to 503 while
+leaving the document readable (a health report, not a failure).
+"""
+
+from __future__ import annotations
+
+import json
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.campaigns.store import COMPLETED, RUNNING, CampaignRecord
+from repro.monitor import alert_history
+from repro.telemetry import MetricsRegistry, set_registry
+from repro.utils.exceptions import ServeError
+
+from tests.serve.conftest import multi_spec
+
+FLAKY = dict(
+    dataset="adult_like",
+    scenario="flaky_source",
+    method="moderate",
+    budget=300.0,
+    seed=0,
+    base_size=60,
+    validation_size=50,
+    epochs=8,
+    curve_points=3,
+)
+
+
+def critical_alert(iteration=1):
+    return {
+        "rule": "fulfillment_shortfall",
+        "component": "acquisition",
+        "severity": "critical",
+        "state": "fired",
+        "value": 0.6,
+        "threshold": 0.2,
+        "window": 3,
+        "iteration": iteration,
+        "message": "synthetic",
+    }
+
+
+def raw_get(url):
+    """(status, parsed JSON body) without the client's error mapping."""
+    try:
+        with urllib.request.urlopen(url, timeout=30) as response:
+            return response.status, json.loads(response.read().decode())
+    except urllib.error.HTTPError as error:
+        return error.code, json.loads(error.read().decode())
+
+
+def test_health_deep_ok_on_idle_daemon(served):
+    _, _, client = served
+    verdict = client.health_deep()
+    assert verdict["status"] == "ok"
+    assert sorted(verdict["components"]) == [
+        "acquisition", "cache", "engine", "scheduler", "serve",
+    ]
+    assert all(
+        slot["status"] == "ok" for slot in verdict["components"].values()
+    )
+
+
+def test_health_deep_503_while_critical_200_after_recovery(served):
+    service, server, client = served
+    # Inject a running campaign with an unresolved critical alert — the
+    # deterministic version of "a flaky campaign is mid-incident".
+    service.store.create_campaign(CampaignRecord(
+        campaign_id="sick", name="sick", fingerprint="f-sick", spec={},
+        status=RUNNING,
+    ))
+    service.store.append_event(
+        "sick", generation=0, kind="alert", iteration=1,
+        payload=critical_alert(),
+    )
+    status, body = raw_get(server.url + "/health/deep")
+    assert status == 503
+    assert body["status"] == "critical"
+    assert body["components"]["acquisition"]["status"] == "critical"
+    # The client returns the verdict instead of raising on 503 (the
+    # evaluations counter ticks per request; everything else is equal).
+    mirrored = client.health_deep()
+    assert mirrored["status"] == body["status"]
+    assert mirrored["components"] == body["components"]
+    # Recovery: the campaign reaches a terminal state.
+    service.store.set_status("sick", COMPLETED)
+    status, body = raw_get(server.url + "/health/deep")
+    assert status == 200
+    assert body["status"] == "ok"
+
+
+def test_alerts_endpoint_matches_store_replay(served):
+    service, _, client = served
+    spec = dict(FLAKY, name="wire-flaky")
+    campaign_id = client.submit(spec)["campaign_id"]
+    client.wait(campaign_id, timeout=180)
+    payload = client.alerts()
+    assert payload["count"] == len(payload["alerts"]) > 0
+    assert payload["alerts"] == alert_history(service.store)
+    scoped = client.alerts(campaign_id=campaign_id)
+    assert scoped == payload  # only one campaign on this daemon
+    rules = {row["rule"] for row in payload["alerts"]}
+    assert "fulfillment_shortfall" in rules
+    # Unknown campaign ids map to 404, like every other endpoint.
+    with pytest.raises(ServeError) as excinfo:
+        client.alerts(campaign_id="nope")
+    assert excinfo.value.status == 404
+
+
+def test_metrics_prometheus_exposition(served):
+    _, _, client = served
+    spec = multi_spec(name="prom")
+    campaign_id = client.submit(spec)["campaign_id"]
+    client.wait(campaign_id, timeout=180)
+    snapshot = client.metrics()
+    assert "counters" in snapshot
+    text = client.metrics(format="prometheus")
+    assert "# TYPE" in text
+    assert "session_iterations" in text
+    # Counter values agree between the two formats.
+    iterations = snapshot["counters"]["session.iterations"]
+    assert f"session_iterations {iterations}" in text
+    # Histogram families render the full cumulative-bucket series.
+    if snapshot.get("histograms"):
+        assert '_bucket{' in text and 'le="+Inf"' in text
+    with pytest.raises(ServeError) as excinfo:
+        client._request("GET", "/metrics?format=xml")
+    assert excinfo.value.status == 400
+
+
+def test_health_deep_trajectory_over_flaky_campaign(served):
+    # End-to-end: a flaky campaign degrades the live verdict mid-run and
+    # the daemon recovers once it completes.  The background pump is
+    # stopped and the scheduler stepped by hand so every phase of the
+    # incident is observed over the wire instead of racing the campaign's
+    # wall-clock (on a loaded box a poll loop can miss the whole window).
+    # A real daemon owns its process, so /health/deep sampling the
+    # process-wide metrics registry is correct there; under pytest that
+    # registry carries every previous test's counters, so give this
+    # daemon a fresh one or the cache-rate rules judge foreign history.
+    service, _, client = served
+    service.scheduler.stop_pump()
+    previous_registry = set_registry(MetricsRegistry())
+    try:
+        campaign_id = client.submit(dict(FLAKY, name="trajectory"))["campaign_id"]
+        statuses = []
+        while client.show(campaign_id)["status"] not in ("completed", "failed"):
+            service.scheduler.step()
+            statuses.append(client.health_deep()["status"])
+    finally:
+        set_registry(previous_registry)
+    assert client.show(campaign_id)["status"] == "completed"
+    # ok before the incident, critical while the fired alert is open,
+    # ok again once the campaign resolves it and completes.
+    assert "critical" in statuses, statuses
+    assert statuses[0] == "ok"
+    assert statuses[-1] == "ok"
+    fired = [
+        alert
+        for alert in client.alerts(campaign_id=campaign_id)["alerts"]
+        if alert["state"] == "fired" and alert["severity"] == "critical"
+    ]
+    assert fired, "the flaky source always trips a critical rule"
